@@ -1,0 +1,501 @@
+//! Quasi-affine integer index expressions.
+
+use std::fmt;
+
+/// A quasi-affine integer expression over positional variables `v0..vn`.
+///
+/// The affine fragment (`Var`, `Const`, `Add`, `Sub`, `Mul` by constant)
+/// corresponds exactly to the paper's `M·v + c` form (Eq. 1). Floor
+/// division and modulo extend it to the *quasi*-affine maps the paper uses
+/// for `reshape`-style operators (linearize/delinearize are quasi-affine).
+///
+/// ```
+/// use souffle_affine::IndexExpr;
+/// // (2*v0 + v1) mod 4
+/// let e = IndexExpr::var(0).mul(2).add(IndexExpr::var(1)).modulo(4);
+/// assert_eq!(e.eval(&[3, 1]), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum IndexExpr {
+    /// The `i`-th input variable.
+    Var(usize),
+    /// An integer constant.
+    Const(i64),
+    /// Sum of two expressions.
+    Add(Box<IndexExpr>, Box<IndexExpr>),
+    /// Difference of two expressions.
+    Sub(Box<IndexExpr>, Box<IndexExpr>),
+    /// Product with a constant (affine maps only permit constant factors).
+    Mul(Box<IndexExpr>, i64),
+    /// Floor division by a positive constant.
+    FloorDiv(Box<IndexExpr>, i64),
+    /// Euclidean remainder by a positive constant.
+    Mod(Box<IndexExpr>, i64),
+}
+
+#[allow(clippy::should_implement_trait)] // fluent builder API: add/sub/mul are index arithmetic, not std ops
+impl IndexExpr {
+    /// Shorthand for [`IndexExpr::Var`].
+    pub fn var(i: usize) -> Self {
+        IndexExpr::Var(i)
+    }
+
+    /// Shorthand for [`IndexExpr::Const`].
+    pub fn constant(c: i64) -> Self {
+        IndexExpr::Const(c)
+    }
+
+    /// `self + rhs`.
+    pub fn add(self, rhs: IndexExpr) -> Self {
+        IndexExpr::Add(Box::new(self), Box::new(rhs)).simplified()
+    }
+
+    /// `self - rhs`.
+    pub fn sub(self, rhs: IndexExpr) -> Self {
+        IndexExpr::Sub(Box::new(self), Box::new(rhs)).simplified()
+    }
+
+    /// `self * k`.
+    pub fn mul(self, k: i64) -> Self {
+        IndexExpr::Mul(Box::new(self), k).simplified()
+    }
+
+    /// `self / k` (floor), `k > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k <= 0`.
+    pub fn floor_div(self, k: i64) -> Self {
+        assert!(k > 0, "floor_div requires a positive divisor, got {k}");
+        IndexExpr::FloorDiv(Box::new(self), k).simplified()
+    }
+
+    /// `self mod k` (Euclidean), `k > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k <= 0`.
+    pub fn modulo(self, k: i64) -> Self {
+        assert!(k > 0, "modulo requires a positive modulus, got {k}");
+        IndexExpr::Mod(Box::new(self), k).simplified()
+    }
+
+    /// Evaluates the expression with values `vars[i]` for `Var(i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable index is out of range of `vars`.
+    pub fn eval(&self, vars: &[i64]) -> i64 {
+        match self {
+            IndexExpr::Var(i) => vars[*i],
+            IndexExpr::Const(c) => *c,
+            IndexExpr::Add(a, b) => a.eval(vars) + b.eval(vars),
+            IndexExpr::Sub(a, b) => a.eval(vars) - b.eval(vars),
+            IndexExpr::Mul(a, k) => a.eval(vars) * k,
+            IndexExpr::FloorDiv(a, k) => a.eval(vars).div_euclid(*k),
+            IndexExpr::Mod(a, k) => a.eval(vars).rem_euclid(*k),
+        }
+    }
+
+    /// Substitutes `subs[i]` for `Var(i)`, composing index functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable index is out of range of `subs`.
+    pub fn substitute(&self, subs: &[IndexExpr]) -> IndexExpr {
+        let out = match self {
+            IndexExpr::Var(i) => subs[*i].clone(),
+            IndexExpr::Const(c) => IndexExpr::Const(*c),
+            IndexExpr::Add(a, b) => IndexExpr::Add(
+                Box::new(a.substitute(subs)),
+                Box::new(b.substitute(subs)),
+            ),
+            IndexExpr::Sub(a, b) => IndexExpr::Sub(
+                Box::new(a.substitute(subs)),
+                Box::new(b.substitute(subs)),
+            ),
+            IndexExpr::Mul(a, k) => IndexExpr::Mul(Box::new(a.substitute(subs)), *k),
+            IndexExpr::FloorDiv(a, k) => IndexExpr::FloorDiv(Box::new(a.substitute(subs)), *k),
+            IndexExpr::Mod(a, k) => IndexExpr::Mod(Box::new(a.substitute(subs)), *k),
+        };
+        out.simplified()
+    }
+
+    /// Largest variable index referenced, or `None` for constant expressions.
+    pub fn max_var(&self) -> Option<usize> {
+        match self {
+            IndexExpr::Var(i) => Some(*i),
+            IndexExpr::Const(_) => None,
+            IndexExpr::Add(a, b) | IndexExpr::Sub(a, b) => a.max_var().max(b.max_var()),
+            IndexExpr::Mul(a, _) | IndexExpr::FloorDiv(a, _) | IndexExpr::Mod(a, _) => a.max_var(),
+        }
+    }
+
+    /// Remaps every `Var(i)` to `Var(i + offset)`.
+    pub fn shift_vars(&self, offset: usize) -> IndexExpr {
+        match self {
+            IndexExpr::Var(i) => IndexExpr::Var(i + offset),
+            IndexExpr::Const(c) => IndexExpr::Const(*c),
+            IndexExpr::Add(a, b) => IndexExpr::Add(
+                Box::new(a.shift_vars(offset)),
+                Box::new(b.shift_vars(offset)),
+            ),
+            IndexExpr::Sub(a, b) => IndexExpr::Sub(
+                Box::new(a.shift_vars(offset)),
+                Box::new(b.shift_vars(offset)),
+            ),
+            IndexExpr::Mul(a, k) => IndexExpr::Mul(Box::new(a.shift_vars(offset)), *k),
+            IndexExpr::FloorDiv(a, k) => IndexExpr::FloorDiv(Box::new(a.shift_vars(offset)), *k),
+            IndexExpr::Mod(a, k) => IndexExpr::Mod(Box::new(a.shift_vars(offset)), *k),
+        }
+    }
+
+    /// Returns `(coeffs, constant)` if the expression is purely affine:
+    /// `sum(coeffs[i] * v_i) + constant`. `coeffs` is sized to `n_vars`.
+    ///
+    /// Quasi-affine sub-terms (`FloorDiv`/`Mod` over non-constant operands)
+    /// yield `None`.
+    pub fn as_linear(&self, n_vars: usize) -> Option<(Vec<i64>, i64)> {
+        let mut coeffs = vec![0i64; n_vars];
+        let mut constant = 0i64;
+        self.accumulate_linear(n_vars, 1, &mut coeffs, &mut constant)?;
+        Some((coeffs, constant))
+    }
+
+    fn accumulate_linear(
+        &self,
+        n_vars: usize,
+        factor: i64,
+        coeffs: &mut [i64],
+        constant: &mut i64,
+    ) -> Option<()> {
+        match self {
+            IndexExpr::Var(i) => {
+                if *i >= n_vars {
+                    return None;
+                }
+                coeffs[*i] += factor;
+                Some(())
+            }
+            IndexExpr::Const(c) => {
+                *constant += factor * c;
+                Some(())
+            }
+            IndexExpr::Add(a, b) => {
+                a.accumulate_linear(n_vars, factor, coeffs, constant)?;
+                b.accumulate_linear(n_vars, factor, coeffs, constant)
+            }
+            IndexExpr::Sub(a, b) => {
+                a.accumulate_linear(n_vars, factor, coeffs, constant)?;
+                b.accumulate_linear(n_vars, -factor, coeffs, constant)
+            }
+            IndexExpr::Mul(a, k) => a.accumulate_linear(n_vars, factor * k, coeffs, constant),
+            IndexExpr::FloorDiv(..) | IndexExpr::Mod(..) => None,
+        }
+    }
+
+    /// Whether the expression is purely affine (no floor-div / mod).
+    pub fn is_affine(&self) -> bool {
+        match self {
+            IndexExpr::Var(_) | IndexExpr::Const(_) => true,
+            IndexExpr::Add(a, b) | IndexExpr::Sub(a, b) => a.is_affine() && b.is_affine(),
+            IndexExpr::Mul(a, _) => a.is_affine(),
+            IndexExpr::FloorDiv(..) | IndexExpr::Mod(..) => false,
+        }
+    }
+
+    /// Simplifies by constant folding, dropping additive/multiplicative
+    /// identities, and canonicalizing affine sub-expressions to a sorted
+    /// sum-of-terms form. Floor-div/mod over exactly divisible affine bodies
+    /// are reduced (e.g. `(4*v0)/4 → v0`), which is what makes
+    /// reshape-then-inverse-reshape compose back to the identity map.
+    pub fn simplified(&self) -> IndexExpr {
+        // First canonicalize affine parts.
+        let n = self.max_var().map_or(0, |m| m + 1);
+        if let Some((coeffs, c)) = self.as_linear(n) {
+            return IndexExpr::from_linear(&coeffs, c);
+        }
+        match self {
+            IndexExpr::Add(a, b) => {
+                let (a, b) = (a.simplified(), b.simplified());
+                match (&a, &b) {
+                    (IndexExpr::Const(x), IndexExpr::Const(y)) => IndexExpr::Const(x + y),
+                    (IndexExpr::Const(0), _) => b,
+                    (_, IndexExpr::Const(0)) => a,
+                    _ => IndexExpr::Add(Box::new(a), Box::new(b)),
+                }
+            }
+            IndexExpr::Sub(a, b) => {
+                let (a, b) = (a.simplified(), b.simplified());
+                match (&a, &b) {
+                    (IndexExpr::Const(x), IndexExpr::Const(y)) => IndexExpr::Const(x - y),
+                    (_, IndexExpr::Const(0)) => a,
+                    _ => IndexExpr::Sub(Box::new(a), Box::new(b)),
+                }
+            }
+            IndexExpr::Mul(a, k) => {
+                let a = a.simplified();
+                match (&a, *k) {
+                    (_, 0) => IndexExpr::Const(0),
+                    (_, 1) => a,
+                    (IndexExpr::Const(x), k) => IndexExpr::Const(x * k),
+                    _ => IndexExpr::Mul(Box::new(a), *k),
+                }
+            }
+            IndexExpr::FloorDiv(a, k) => {
+                let a = a.simplified();
+                if *k == 1 {
+                    return a;
+                }
+                if let IndexExpr::Const(x) = a {
+                    return IndexExpr::Const(x.div_euclid(*k));
+                }
+                // (sum of terms all divisible by k) / k
+                let n = a.max_var().map_or(0, |m| m + 1);
+                if let Some((coeffs, c)) = a.as_linear(n) {
+                    if coeffs.iter().all(|&co| co % k == 0) && c % k == 0 {
+                        let coeffs: Vec<i64> = coeffs.iter().map(|co| co / k).collect();
+                        return IndexExpr::from_linear(&coeffs, c / k);
+                    }
+                }
+                IndexExpr::FloorDiv(Box::new(a), *k)
+            }
+            IndexExpr::Mod(a, k) => {
+                let a = a.simplified();
+                if *k == 1 {
+                    return IndexExpr::Const(0);
+                }
+                if let IndexExpr::Const(x) = a {
+                    return IndexExpr::Const(x.rem_euclid(*k));
+                }
+                let n = a.max_var().map_or(0, |m| m + 1);
+                if let Some((coeffs, c)) = a.as_linear(n) {
+                    if coeffs.iter().all(|&co| co % k == 0) && c % k == 0 {
+                        return IndexExpr::Const(0);
+                    }
+                }
+                IndexExpr::Mod(Box::new(a), *k)
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// Conservative interval of the expression when each variable `v_i`
+    /// ranges over `bounds[i] = (lo, hi)` inclusive. Used for static bounds
+    /// checking and for tile-footprint estimation in the scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a variable index is out of range of `bounds`.
+    pub fn interval(&self, bounds: &[(i64, i64)]) -> (i64, i64) {
+        match self {
+            IndexExpr::Var(i) => bounds[*i],
+            IndexExpr::Const(c) => (*c, *c),
+            IndexExpr::Add(a, b) => {
+                let (al, ah) = a.interval(bounds);
+                let (bl, bh) = b.interval(bounds);
+                (al + bl, ah + bh)
+            }
+            IndexExpr::Sub(a, b) => {
+                let (al, ah) = a.interval(bounds);
+                let (bl, bh) = b.interval(bounds);
+                (al - bh, ah - bl)
+            }
+            IndexExpr::Mul(a, k) => {
+                let (al, ah) = a.interval(bounds);
+                if *k >= 0 {
+                    (al * k, ah * k)
+                } else {
+                    (ah * k, al * k)
+                }
+            }
+            IndexExpr::FloorDiv(a, k) => {
+                let (al, ah) = a.interval(bounds);
+                (al.div_euclid(*k), ah.div_euclid(*k))
+            }
+            IndexExpr::Mod(a, k) => {
+                let (al, ah) = a.interval(bounds);
+                if al.div_euclid(*k) == ah.div_euclid(*k) {
+                    (al.rem_euclid(*k), ah.rem_euclid(*k))
+                } else {
+                    (0, k - 1)
+                }
+            }
+        }
+    }
+
+    /// Builds a canonical affine expression from coefficients and constant.
+    pub fn from_linear(coeffs: &[i64], constant: i64) -> IndexExpr {
+        let mut expr: Option<IndexExpr> = None;
+        for (i, &c) in coeffs.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let term = if c == 1 {
+                IndexExpr::Var(i)
+            } else {
+                IndexExpr::Mul(Box::new(IndexExpr::Var(i)), c)
+            };
+            expr = Some(match expr {
+                None => term,
+                Some(e) => IndexExpr::Add(Box::new(e), Box::new(term)),
+            });
+        }
+        match (expr, constant) {
+            (None, c) => IndexExpr::Const(c),
+            (Some(e), 0) => e,
+            (Some(e), c) => IndexExpr::Add(Box::new(e), Box::new(IndexExpr::Const(c))),
+        }
+    }
+}
+
+impl fmt::Display for IndexExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexExpr::Var(i) => write!(f, "v{i}"),
+            IndexExpr::Const(c) => write!(f, "{c}"),
+            IndexExpr::Add(a, b) => write!(f, "({a} + {b})"),
+            IndexExpr::Sub(a, b) => write!(f, "({a} - {b})"),
+            IndexExpr::Mul(a, k) => write!(f, "{k}*{a}"),
+            IndexExpr::FloorDiv(a, k) => write!(f, "({a} / {k})"),
+            IndexExpr::Mod(a, k) => write!(f, "({a} % {k})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn eval_basic() {
+        let e = IndexExpr::var(0).mul(2).add(IndexExpr::var(1));
+        assert_eq!(e.eval(&[3, 4]), 10);
+    }
+
+    #[test]
+    fn substitute_composes() {
+        // e = v0 + 2*v1 ; subs v0 -> v0*3, v1 -> 5
+        let e = IndexExpr::var(0).add(IndexExpr::var(1).mul(2));
+        let s = e.substitute(&[IndexExpr::var(0).mul(3), IndexExpr::constant(5)]);
+        assert_eq!(s.eval(&[2]), 16);
+    }
+
+    #[test]
+    fn simplify_identities() {
+        assert_eq!(IndexExpr::var(0).mul(1), IndexExpr::Var(0));
+        assert_eq!(IndexExpr::var(0).mul(0), IndexExpr::Const(0));
+        assert_eq!(
+            IndexExpr::var(0).add(IndexExpr::constant(0)),
+            IndexExpr::Var(0)
+        );
+        assert_eq!(IndexExpr::constant(7).floor_div(2), IndexExpr::Const(3));
+        assert_eq!(IndexExpr::constant(7).modulo(2), IndexExpr::Const(1));
+    }
+
+    #[test]
+    fn divisible_div_mod_reduce() {
+        // (4*v0 + 8) / 4 == v0 + 2
+        let e = IndexExpr::var(0).mul(4).add(IndexExpr::constant(8)).floor_div(4);
+        assert_eq!(e, IndexExpr::var(0).add(IndexExpr::constant(2)));
+        // (4*v0) % 4 == 0
+        let m = IndexExpr::var(0).mul(4).modulo(4);
+        assert_eq!(m, IndexExpr::Const(0));
+    }
+
+    #[test]
+    fn linearize_delinearize_identity() {
+        // reshape (a,b) -> flat -> (a,b): flat = v0*B + v1, then /B and %B.
+        const B: i64 = 6;
+        let flat = IndexExpr::var(0).mul(B).add(IndexExpr::var(1));
+        let row = flat.clone().floor_div(B);
+        let col = flat.modulo(B);
+        // row should simplify to v0 only when v1 < B is known; we cannot
+        // prove that symbolically, so evaluate instead.
+        for i in 0..3 {
+            for j in 0..B {
+                assert_eq!(row.eval(&[i, j]), i);
+                assert_eq!(col.eval(&[i, j]), j);
+            }
+        }
+    }
+
+    #[test]
+    fn as_linear_extracts_coefficients() {
+        let e = IndexExpr::var(1).mul(3).add(IndexExpr::var(0)).sub(IndexExpr::constant(2));
+        let (coeffs, c) = e.as_linear(2).unwrap();
+        assert_eq!(coeffs, vec![1, 3]);
+        assert_eq!(c, -2);
+    }
+
+    #[test]
+    fn as_linear_rejects_quasi() {
+        let e = IndexExpr::var(0).add(IndexExpr::var(1)).floor_div(3);
+        assert!(e.as_linear(2).is_none());
+        assert!(!e.is_affine());
+    }
+
+    #[test]
+    fn shift_vars_offsets() {
+        let e = IndexExpr::var(0).add(IndexExpr::var(2));
+        let s = e.shift_vars(3);
+        assert_eq!(s.max_var(), Some(5));
+        assert_eq!(s.eval(&[0, 0, 0, 1, 0, 10]), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive divisor")]
+    fn floor_div_nonpositive_panics() {
+        IndexExpr::var(0).floor_div(0);
+    }
+
+    fn arb_expr() -> impl Strategy<Value = IndexExpr> {
+        let leaf = prop_oneof![
+            (0usize..3).prop_map(IndexExpr::Var),
+            (-8i64..8).prop_map(IndexExpr::Const),
+        ];
+        leaf.prop_recursive(3, 24, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| IndexExpr::Add(Box::new(a), Box::new(b))),
+                (inner.clone(), inner.clone())
+                    .prop_map(|(a, b)| IndexExpr::Sub(Box::new(a), Box::new(b))),
+                (inner.clone(), -4i64..4).prop_map(|(a, k)| IndexExpr::Mul(Box::new(a), k)),
+                (inner.clone(), 1i64..5)
+                    .prop_map(|(a, k)| IndexExpr::FloorDiv(Box::new(a), k)),
+                (inner, 1i64..5).prop_map(|(a, k)| IndexExpr::Mod(Box::new(a), k)),
+            ]
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn simplify_preserves_semantics(e in arb_expr(), v0 in -9i64..9, v1 in -9i64..9, v2 in -9i64..9) {
+            let vars = [v0, v1, v2];
+            prop_assert_eq!(e.simplified().eval(&vars), e.eval(&vars));
+        }
+
+        #[test]
+        fn substitution_is_composition(e in arb_expr(), v in -9i64..9) {
+            // substituting constants == evaluating
+            let subs = [IndexExpr::constant(v), IndexExpr::constant(v + 1), IndexExpr::constant(v - 1)];
+            let sub = e.substitute(&subs);
+            prop_assert_eq!(sub.eval(&[]), e.eval(&[v, v + 1, v - 1]));
+        }
+
+        #[test]
+        fn as_linear_agrees_with_eval(
+            coeffs in proptest::collection::vec(-5i64..5, 3),
+            c in -10i64..10,
+            vars in proptest::collection::vec(-9i64..9, 3),
+        ) {
+            let e = IndexExpr::from_linear(&coeffs, c);
+            let (got_coeffs, got_c) = e.as_linear(3).unwrap();
+            prop_assert_eq!(&got_coeffs, &coeffs);
+            prop_assert_eq!(got_c, c);
+            let expected: i64 = coeffs.iter().zip(&vars).map(|(a, b)| a * b).sum::<i64>() + c;
+            prop_assert_eq!(e.eval(&vars), expected);
+        }
+    }
+}

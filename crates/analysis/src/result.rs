@@ -1,0 +1,145 @@
+//! The analysis bundle handed to the transformation stage (Algorithm 1's
+//! inputs).
+
+use crate::classify::{classify_program, TeClass};
+use crate::graph::TeGraph;
+use crate::liveness::{live_ranges, LiveRange};
+use crate::partition::{partition_program, Partition};
+use crate::reuse::{find_reuse, ReuseReport};
+use souffle_affine::DependenceKind;
+use souffle_sched::{schedule_program, GpuSpec, ScheduleMap};
+use souffle_te::{TeId, TensorId, TeProgram};
+use std::collections::HashMap;
+
+/// All global analysis results for one TE program — the inputs Algorithm 1
+/// names `OR` (one-relies-on-one), `MR` (one-relies-on-many), `MI`
+/// (memory-intensive), `CI` (compute-intensive), `SR` (spatial reuse) and
+/// `TR` (temporal reuse), plus schedules, live ranges and the partition.
+#[derive(Debug, Clone)]
+pub struct AnalysisResult {
+    /// Dependence classification per TE (§5.2).
+    pub dependence: HashMap<TeId, DependenceKind>,
+    /// Compute/memory classification per TE (§5.3).
+    pub classes: HashMap<TeId, TeClass>,
+    /// Data-reuse report (§5.1).
+    pub reuse: ReuseReport,
+    /// Live range per tensor.
+    pub liveness: HashMap<TensorId, LiveRange>,
+    /// Ansor-lite schedules per TE.
+    pub schedules: ScheduleMap,
+    /// Resource-aware partition (§5.4).
+    pub partition: Partition,
+}
+
+impl AnalysisResult {
+    /// Runs the full §5 analysis pipeline on a program.
+    pub fn analyze(program: &TeProgram, spec: &GpuSpec) -> AnalysisResult {
+        let graph = TeGraph::build(program);
+        let dependence = program
+            .te_ids()
+            .map(|id| (id, program.te(id).dependence_kind()))
+            .collect();
+        let classes = classify_program(program);
+        let reuse = find_reuse(program, &graph);
+        let liveness = live_ranges(program);
+        let schedules = schedule_program(program, spec);
+        let partition = partition_program(program, &graph, &classes, &schedules, spec);
+        AnalysisResult {
+            dependence,
+            classes,
+            reuse,
+            liveness,
+            schedules,
+            partition,
+        }
+    }
+
+    /// One-relies-on-one TEs (`OR`).
+    pub fn one_relies_on_one(&self) -> Vec<TeId> {
+        let mut v: Vec<TeId> = self
+            .dependence
+            .iter()
+            .filter(|(_, k)| **k == DependenceKind::OneReliesOnOne)
+            .map(|(id, _)| *id)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// One-relies-on-many TEs (`MR`).
+    pub fn one_relies_on_many(&self) -> Vec<TeId> {
+        let mut v: Vec<TeId> = self
+            .dependence
+            .iter()
+            .filter(|(_, k)| **k == DependenceKind::OneReliesOnMany)
+            .map(|(id, _)| *id)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Compute-intensive TEs (`CI`).
+    pub fn compute_intensive(&self) -> Vec<TeId> {
+        let mut v: Vec<TeId> = self
+            .classes
+            .iter()
+            .filter(|(_, c)| **c == TeClass::ComputeIntensive)
+            .map(|(id, _)| *id)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Memory-intensive TEs (`MI`).
+    pub fn memory_intensive(&self) -> Vec<TeId> {
+        let mut v: Vec<TeId> = self
+            .classes
+            .iter()
+            .filter(|(_, c)| **c == TeClass::MemoryIntensive)
+            .map(|(id, _)| *id)
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use souffle_te::builders;
+    use souffle_tensor::{DType, Shape};
+
+    #[test]
+    fn analyze_fig2_example() {
+        // Fig. 2's five TEs: three GEMMs and two element-wise TEs.
+        let mut p = TeProgram::new();
+        let i0 = p.add_input("I0", Shape::new(vec![64, 64]), DType::F16);
+        let w0 = p.add_weight("W0", Shape::new(vec![64, 64]), DType::F16);
+        let o0 = builders::matmul(&mut p, "TE0", i0, w0); // TE0
+        let o1 = builders::sigmoid(&mut p, "TE1", o0); // TE1
+        let w2 = p.add_weight("W2", Shape::new(vec![64, 64]), DType::F16);
+        let o2 = builders::matmul(&mut p, "TE2", o1, w2); // TE2
+        let o3 = builders::add(&mut p, "TE3", o0, o2); // TE3
+        let w4 = p.add_weight("W4", Shape::new(vec![64, 256]), DType::F16);
+        let _o4 = builders::matmul(&mut p, "TE4", o3, w4); // TE4
+        let spec = GpuSpec::a100();
+        let r = AnalysisResult::analyze(&p, &spec);
+
+        // "TE0, TE2, TE4: one-relies-on-many, compute-intensive"
+        assert_eq!(r.one_relies_on_many(), vec![TeId(0), TeId(2), TeId(4)]);
+        assert_eq!(r.compute_intensive(), vec![TeId(0), TeId(2), TeId(4)]);
+        // "TE1, TE3: one-to-one, memory-intensive"
+        assert_eq!(r.one_relies_on_one(), vec![TeId(1), TeId(3)]);
+        assert_eq!(r.memory_intensive(), vec![TeId(1), TeId(3)]);
+        // "{O0: [TE1, TE3]}": O0 reused temporally (TE3 depends on TE1).
+        assert_eq!(r.reuse.temporal.len(), 1);
+        assert_eq!(r.reuse.temporal[0].0, o0);
+        assert_eq!(r.reuse.temporal[0].1, vec![TeId(1), TeId(3)]);
+        // All TEs scheduled and partitioned.
+        assert_eq!(r.schedules.len(), 5);
+        assert_eq!(r.partition.num_tes(), 5);
+        // O0 live from TE0 to TE3.
+        assert_eq!(r.liveness[&o0].def, Some(0));
+        assert_eq!(r.liveness[&o0].last_use, Some(3));
+    }
+}

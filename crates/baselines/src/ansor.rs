@@ -1,0 +1,83 @@
+//! TVM + Ansor (Zheng et al., OSDI'20) as a fusion strategy.
+
+use crate::strategy::{consumes_group_output, group_by, Strategy, StrategyContext};
+use souffle_te::TeId;
+
+/// Ansor's fusion behaviour: when scheduling a compute op it inlines the
+/// element-wise (one-relies-on-one) consumers that follow it — the classic
+/// epilogue fusion of auto-schedulers — but every reduction starts its own
+/// kernel, and independent operators are never merged.
+///
+/// This is the paper's V0 configuration (Table 4): "the TVM + Ansor
+/// generated code".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnsorStrategy;
+
+impl Strategy for AnsorStrategy {
+    fn name(&self) -> &'static str {
+        "Ansor"
+    }
+
+    fn group(&self, ctx: &StrategyContext) -> Vec<Vec<TeId>> {
+        group_by(ctx, |ctx, group, te| {
+            let te_ref = ctx.program.te(te);
+            // Element-wise TEs fuse into the group they consume from.
+            !te_ref.is_reduction() && consumes_group_output(ctx, group, te)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use souffle_sched::GpuSpec;
+    use souffle_te::{builders, TeProgram};
+    use souffle_tensor::{DType, Shape};
+
+    #[test]
+    fn epilogue_fuses_but_reductions_split() {
+        // mm -> sigmoid -> mm -> add : Ansor gives 2 kernels
+        // (mm+sigmoid, mm+add).
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![64, 64]), DType::F16);
+        let w1 = p.add_weight("W1", Shape::new(vec![64, 64]), DType::F16);
+        let x = builders::matmul(&mut p, "mm1", a, w1);
+        let s = builders::sigmoid(&mut p, "sig", x);
+        let w2 = p.add_weight("W2", Shape::new(vec![64, 64]), DType::F16);
+        let y = builders::matmul(&mut p, "mm2", s, w2);
+        let z = builders::add(&mut p, "add", y, s);
+        p.mark_output(z);
+        let ctx = StrategyContext::new(&p, &GpuSpec::a100());
+        let groups = AnsorStrategy.group(&ctx);
+        assert_eq!(groups.len(), 2, "{groups:?}");
+        assert_eq!(groups[0], vec![TeId(0), TeId(1)]);
+        assert_eq!(groups[1], vec![TeId(2), TeId(3)]);
+        let compiled = AnsorStrategy.compile(&ctx);
+        assert_eq!(compiled.num_kernels(), 2);
+        // The intermediate sigmoid output is still stored (consumed by the
+        // later add outside its group).
+        assert!(compiled.kernels[0].global_write_bytes() > 0);
+    }
+
+    #[test]
+    fn independent_ops_never_merge() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![32]), DType::F32);
+        let b = p.add_input("B", Shape::new(vec![32]), DType::F32);
+        let ea = builders::exp(&mut p, "ea", a);
+        let eb = builders::exp(&mut p, "eb", b);
+        let s = builders::add(&mut p, "s", ea, eb);
+        p.mark_output(s);
+        let ctx = StrategyContext::new(&p, &GpuSpec::a100());
+        let groups = AnsorStrategy.group(&ctx);
+        // eb does not consume ea's group output -> split; add consumes eb.
+        assert_eq!(groups.len(), 2, "{groups:?}");
+    }
+
+    #[test]
+    fn supports_everything() {
+        for m in souffle_frontend::Model::ALL {
+            assert!(AnsorStrategy.supports(m));
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Apollo (Zhao et al., MLSys'22) as a fusion strategy.
+
+use crate::strategy::{consumes_group_output, group_by, Strategy, StrategyContext};
+use souffle_analysis::TeClass;
+use souffle_frontend::Model;
+use souffle_te::TeId;
+
+/// Apollo's behaviour (§2.3, §8.1): partition-based fusion driven by loop
+/// rules — memory-bound operators merge only when their tile (output
+/// shape) matches, "it can only merge two reductions with the same tile
+/// size", compute-intensive operators take at most a single-op epilogue,
+/// and there is no global synchronization. The same-tile restriction is
+/// what fragments the BERT subgraph into 14 kernels in Table 1 (twice
+/// TensorRT's 7).
+///
+/// Table 3/5 report Apollo failing on the LSTM.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ApolloStrategy;
+
+impl Strategy for ApolloStrategy {
+    fn name(&self) -> &'static str {
+        "Apollo"
+    }
+
+    fn supports(&self, model: Model) -> bool {
+        model != Model::Lstm
+    }
+
+    fn group(&self, ctx: &StrategyContext) -> Vec<Vec<TeId>> {
+        group_by(ctx, |ctx, group, te| {
+            let te_ref = ctx.program.te(te);
+            if ctx.classes[&te] == TeClass::ComputeIntensive {
+                return false;
+            }
+            let group_has_ci = group
+                .iter()
+                .any(|g| ctx.classes[g] == TeClass::ComputeIntensive);
+            if group_has_ci {
+                // At most one epilogue op behind a compute-intensive anchor.
+                return group.len() < 2
+                    && !te_ref.is_reduction()
+                    && consumes_group_output(ctx, group, te);
+            }
+            // Memory-bound fusion requires identical tiles (output shapes).
+            let same_tile = group.iter().all(|&g| {
+                ctx.program.output_shape(g).dims() == ctx.program.output_shape(te).dims()
+            });
+            same_tile && consumes_group_output(ctx, group, te)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use souffle_sched::GpuSpec;
+    use souffle_te::{builders, TeProgram};
+    use souffle_tensor::{DType, Shape};
+
+    #[test]
+    fn softmax_fragments_on_tile_mismatch() {
+        // softmax TEs alternate between (64,64) and (64,) shapes, so the
+        // same-tile rule fragments it, unlike TensorRT.
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![64, 64]), DType::F32);
+        let s = builders::softmax(&mut p, "sm", a);
+        p.mark_output(s);
+        let ctx = StrategyContext::new(&p, &GpuSpec::a100());
+        let groups = ApolloStrategy.group(&ctx);
+        assert!(groups.len() >= 3, "{groups:?}");
+    }
+
+    #[test]
+    fn ci_epilogue_limited_to_one_op() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![64, 64]), DType::F16);
+        let w = p.add_weight("W", Shape::new(vec![64, 64]), DType::F16);
+        let b = p.add_weight("b", Shape::new(vec![64]), DType::F16);
+        let x = builders::matmul(&mut p, "mm", a, w);
+        let x = builders::bias_add(&mut p, "bias", x, b);
+        let x = builders::relu(&mut p, "relu", x);
+        p.mark_output(x);
+        let ctx = StrategyContext::new(&p, &GpuSpec::a100());
+        let groups = ApolloStrategy.group(&ctx);
+        assert_eq!(groups.len(), 2, "{groups:?}"); // [mm, bias], [relu]
+    }
+
+    #[test]
+    fn same_shape_elementwise_fuse() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![128]), DType::F32);
+        let e = builders::exp(&mut p, "e", a);
+        let r = builders::relu(&mut p, "r", e);
+        p.mark_output(r);
+        let ctx = StrategyContext::new(&p, &GpuSpec::a100());
+        assert_eq!(ApolloStrategy.group(&ctx).len(), 1);
+    }
+
+    #[test]
+    fn lstm_is_unsupported() {
+        assert!(!ApolloStrategy.supports(Model::Lstm));
+        assert!(ApolloStrategy.supports(Model::Bert));
+    }
+}

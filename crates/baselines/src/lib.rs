@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+//! The six baseline DNN optimizers Souffle is compared against (§7.2),
+//! re-implemented as fusion/partitioning *strategies* over the shared TE
+//! program, kernel IR and GPU simulator.
+//!
+//! Each strategy encodes the documented fusion rule set of the original
+//! system — which operators it can and cannot merge — because that is
+//! what drives the paper's comparisons (kernel counts, memory traffic and
+//! therefore latency). Code-quality differences are modelled by per-
+//! strategy simulator efficiencies (e.g. TensorRT's hand-tuned GEMMs
+//! achieve a higher fraction of peak, §2.2).
+//!
+//! | Strategy | Fusion capability modelled |
+//! |---|---|
+//! | [`AnsorStrategy`] | TVM+Ansor: element-wise epilogues fuse into their producer; every reduction starts a kernel |
+//! | [`XlaStrategy`] | XLA: GEMM/conv go to library calls (no epilogue); loop fusion of element-wise chains with at most one trailing reduction; never two consecutive reductions |
+//! | [`TensorRtStrategy`] | TensorRT: GEMM + bias/activation epilogue fusion, fused point-wise/softmax kernels, hand-tuned efficiency |
+//! | [`RammerStrategy`] | Rammer/NNFusion: inter-operator (wavefront) co-scheduling — one kernel per dependence level — but no temporal buffer reuse |
+//! | [`ApolloStrategy`] | Apollo: partition-based fusion of memory-bound chains with equal tile sizes; two reductions only when identically shaped; no global sync |
+//! | [`IreeStrategy`] | IREE: producer-consumer tile-and-fuse only; compute-intensive ops never merge with each other |
+//!
+//! Models some baselines cannot compile (Table 3's "Failed" entries) are
+//! recorded in [`Strategy::supports`] from the paper's reported results.
+
+mod ansor;
+mod apollo;
+mod iree;
+mod rammer;
+mod strategy;
+mod tensorrt;
+mod xla;
+
+pub use ansor::AnsorStrategy;
+pub use apollo::ApolloStrategy;
+pub use iree::IreeStrategy;
+pub use rammer::RammerStrategy;
+pub use strategy::{group_by, CompileError, Strategy, StrategyContext};
+pub use tensorrt::TensorRtStrategy;
+pub use xla::XlaStrategy;
+
+/// All six baselines, in the paper's table order.
+pub fn all_baselines() -> Vec<Box<dyn Strategy>> {
+    vec![
+        Box::new(XlaStrategy),
+        Box::new(AnsorStrategy),
+        Box::new(TensorRtStrategy),
+        Box::new(RammerStrategy),
+        Box::new(ApolloStrategy),
+        Box::new(IreeStrategy),
+    ]
+}

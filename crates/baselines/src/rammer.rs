@@ -1,0 +1,92 @@
+//! Rammer / NNFusion as a fusion strategy.
+
+use crate::strategy::{Strategy, StrategyContext};
+use souffle_frontend::Model;
+use souffle_te::TeId;
+
+/// Rammer's behaviour (§7.2, §8.4): a compile-time spatio-temporal
+/// schedule that co-locates *independent* operators (rTasks) in one kernel
+/// wave — modelled as one kernel per dependence level of the TE graph,
+/// which is exactly the wavefront execution of Fig. 7(a). Rammer "does not
+/// perform element-wise data dependence analysis or reuse tensor buffers"
+/// (§8.1), so every wave reloads its weights from global memory.
+///
+/// Table 3 reports Rammer failing to compile EfficientNet, Swin-Transformer
+/// and MMoE; [`Strategy::supports`] reproduces that compatibility matrix.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RammerStrategy;
+
+impl Strategy for RammerStrategy {
+    fn name(&self) -> &'static str {
+        "Rammer"
+    }
+
+    fn supports(&self, model: Model) -> bool {
+        !matches!(
+            model,
+            Model::EfficientNet | Model::SwinTransformer | Model::Mmoe
+        )
+    }
+
+    fn group(&self, ctx: &StrategyContext) -> Vec<Vec<TeId>> {
+        // One kernel per graph level: all TEs of a level are mutually
+        // independent and run as rTasks of the same launch. Level order is
+        // a valid execution order (edges strictly increase the level).
+        let mut levels: Vec<Vec<TeId>> = Vec::new();
+        for te in ctx.program.te_ids() {
+            let l = ctx.graph.level(te);
+            if levels.len() <= l {
+                levels.resize(l + 1, Vec::new());
+            }
+            levels[l].push(te);
+        }
+        levels.retain(|g| !g.is_empty());
+        levels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use souffle_sched::GpuSpec;
+    use souffle_te::{builders, TeProgram};
+    use souffle_tensor::{DType, Shape};
+
+    #[test]
+    fn independent_gemvs_share_a_wave() {
+        let mut p = TeProgram::new();
+        let w1 = p.add_weight("W1", Shape::new(vec![16, 8]), DType::F16);
+        let w2 = p.add_weight("W2", Shape::new(vec![16, 8]), DType::F16);
+        let x1 = p.add_input("x1", Shape::new(vec![8]), DType::F16);
+        let x2 = p.add_input("x2", Shape::new(vec![8]), DType::F16);
+        let a = builders::gemv(&mut p, "g1", w1, x1);
+        let b = builders::gemv(&mut p, "g2", w2, x2);
+        let s = builders::add(&mut p, "s", a, b);
+        p.mark_output(s);
+        let ctx = StrategyContext::new(&p, &GpuSpec::a100());
+        let groups = RammerStrategy.group(&ctx);
+        assert_eq!(groups.len(), 2, "{groups:?}");
+        assert_eq!(groups[0], vec![TeId(0), TeId(1)]);
+    }
+
+    #[test]
+    fn dependent_ops_are_separate_waves() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![8]), DType::F32);
+        let e = builders::exp(&mut p, "e", a);
+        let r = builders::relu(&mut p, "r", e);
+        p.mark_output(r);
+        let ctx = StrategyContext::new(&p, &GpuSpec::a100());
+        assert_eq!(RammerStrategy.group(&ctx).len(), 2);
+    }
+
+    #[test]
+    fn compatibility_matrix_matches_table3() {
+        assert!(RammerStrategy.supports(Model::Bert));
+        assert!(RammerStrategy.supports(Model::ResNext));
+        assert!(RammerStrategy.supports(Model::Lstm));
+        assert!(!RammerStrategy.supports(Model::EfficientNet));
+        assert!(!RammerStrategy.supports(Model::SwinTransformer));
+        assert!(!RammerStrategy.supports(Model::Mmoe));
+    }
+}

@@ -1,0 +1,106 @@
+//! NVIDIA TensorRT as a fusion strategy.
+
+use crate::strategy::{consumes_group_output, group_by, Strategy, StrategyContext};
+use souffle_analysis::TeClass;
+use souffle_gpusim::SimConfig;
+use souffle_te::TeId;
+
+/// TensorRT's fusion behaviour (§2.3): hand-crafted rules fuse a GEMM/conv
+/// with a short bias/activation epilogue, and adjacent memory-intensive
+/// operators (element-wise chains, softmax) into fused point-wise kernels
+/// — but never a compute-intensive operator with a reduction, and never
+/// across two compute-intensive operators. Its closed-source kernels are
+/// hand-tuned, modelled as higher achieved efficiency (§2.2: "TensorRT has
+/// been specifically tuned for Transformer-based models with
+/// close-sourced, hand-optimized low-level operator implementations").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TensorRtStrategy;
+
+/// Maximum epilogue operators fused behind a compute-intensive anchor.
+const MAX_EPILOGUE: usize = 3;
+/// Maximum operators in a fused point-wise / RNN-cell kernel.
+const MAX_POINTWISE_GROUP: usize = 16;
+
+impl Strategy for TensorRtStrategy {
+    fn name(&self) -> &'static str {
+        "TensorRT"
+    }
+
+    fn group(&self, ctx: &StrategyContext) -> Vec<Vec<TeId>> {
+        group_by(ctx, |ctx, group, te| {
+            let te_ref = ctx.program.te(te);
+            // Matrix-scale compute ops anchor their own kernels. Vector
+            // GEMVs are treated like point-wise work: TensorRT's RNN path
+            // fuses a whole recurrent cell (GEMVs + gate math) into one
+            // kernel.
+            let te_big_ci = ctx.classes[&te] == TeClass::ComputeIntensive
+                && ctx.program.output_shape(te).rank() > 1;
+            if te_big_ci {
+                return false;
+            }
+            let group_has_big_ci = group.iter().any(|g| {
+                ctx.classes[g] == TeClass::ComputeIntensive
+                    && ctx.program.output_shape(*g).rank() > 1
+            });
+            if group_has_big_ci {
+                // Epilogue fusion: short chain of one-relies-on-one ops.
+                return !te_ref.is_reduction()
+                    && group.len() <= MAX_EPILOGUE
+                    && consumes_group_output(ctx, group, te);
+            }
+            // Point-wise / softmax / RNN-cell fusion among memory-bound and
+            // vector operators, bounded by the fused-kernel size limit.
+            group.len() < MAX_POINTWISE_GROUP && consumes_group_output(ctx, group, te)
+        })
+    }
+
+    fn sim_config(&self) -> SimConfig {
+        SimConfig::a100_hand_tuned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use souffle_sched::GpuSpec;
+    use souffle_te::{builders, TeProgram};
+    use souffle_tensor::{DType, Shape};
+
+    #[test]
+    fn gemm_keeps_its_epilogue_and_softmax_is_one_kernel() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![64, 64]), DType::F16);
+        let w = p.add_weight("W", Shape::new(vec![64, 64]), DType::F16);
+        let b = p.add_weight("b", Shape::new(vec![64]), DType::F16);
+        let x = builders::matmul(&mut p, "mm", a, w);
+        let x = builders::bias_add(&mut p, "bias", x, b);
+        let x = builders::relu(&mut p, "relu", x);
+        let s = builders::softmax(&mut p, "sm", x);
+        p.mark_output(s);
+        let ctx = StrategyContext::new(&p, &GpuSpec::a100());
+        let groups = TensorRtStrategy.group(&ctx);
+        // [mm, bias, relu] then softmax's 4 TEs as one point-wise kernel.
+        assert_eq!(groups.len(), 2, "{groups:?}");
+        assert_eq!(groups[0].len(), 3);
+        assert_eq!(groups[1].len(), 4);
+    }
+
+    #[test]
+    fn two_gemms_never_fuse() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![64, 64]), DType::F16);
+        let w1 = p.add_weight("W1", Shape::new(vec![64, 64]), DType::F16);
+        let w2 = p.add_weight("W2", Shape::new(vec![64, 64]), DType::F16);
+        let x = builders::matmul(&mut p, "mm1", a, w1);
+        let y = builders::matmul(&mut p, "mm2", x, w2);
+        p.mark_output(y);
+        let ctx = StrategyContext::new(&p, &GpuSpec::a100());
+        assert_eq!(TensorRtStrategy.group(&ctx).len(), 2);
+    }
+
+    #[test]
+    fn hand_tuned_efficiency() {
+        let cfg = TensorRtStrategy.sim_config();
+        assert!(cfg.compute_efficiency > SimConfig::a100().compute_efficiency);
+    }
+}

@@ -1,0 +1,91 @@
+//! TensorFlow XLA as a fusion strategy.
+
+use crate::strategy::{consumes_group_output, group_by, Strategy, StrategyContext};
+use souffle_analysis::TeClass;
+use souffle_gpusim::SimConfig;
+use souffle_te::TeId;
+
+/// XLA's fusion behaviour (§7.2, §8.1): compute-intensive operators (GEMM,
+/// conv) are mapped to cuBLAS/cuDNN *library calls* and can never merge
+/// with anything; element-wise chains loop-fuse, optionally terminated by
+/// a single reduction at the fusion root — XLA "cannot optimize some
+/// computation patterns, such as merging two consecutive reduction
+/// operators in the BERT model".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct XlaStrategy;
+
+impl Strategy for XlaStrategy {
+    fn name(&self) -> &'static str {
+        "XLA"
+    }
+
+    fn group(&self, ctx: &StrategyContext) -> Vec<Vec<TeId>> {
+        group_by(ctx, |ctx, group, te| {
+            // Library calls stand alone.
+            if ctx.classes[&te] == TeClass::ComputeIntensive {
+                return false;
+            }
+            if group
+                .iter()
+                .any(|g| ctx.classes[g] == TeClass::ComputeIntensive)
+            {
+                return false;
+            }
+            // A reduction already in the group seals it (one reduction per
+            // fusion, at the root).
+            if group.iter().any(|&g| ctx.program.te(g).is_reduction()) {
+                return false;
+            }
+            consumes_group_output(ctx, group, te)
+        })
+    }
+
+    fn sim_config(&self) -> SimConfig {
+        // Library GEMMs are fast but fusions are conservative; XLA's
+        // generated loops reach a bit less of peak than Ansor-tuned code.
+        SimConfig {
+            compute_efficiency: 0.60,
+            memory_efficiency: 0.75,
+            ..SimConfig::a100()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use souffle_sched::GpuSpec;
+    use souffle_te::{builders, TeProgram};
+    use souffle_tensor::{DType, Shape};
+
+    #[test]
+    fn gemm_is_isolated_and_softmax_splits_at_second_reduction() {
+        // mm -> softmax(4 TEs: max, exp, sum, div)
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![64, 64]), DType::F16);
+        let w = p.add_weight("W", Shape::new(vec![64, 64]), DType::F16);
+        let x = builders::matmul(&mut p, "mm", a, w);
+        let s = builders::softmax(&mut p, "sm", x);
+        p.mark_output(s);
+        let ctx = StrategyContext::new(&p, &GpuSpec::a100());
+        let groups = XlaStrategy.group(&ctx);
+        // mm | max | exp+sum? exp is elementwise, then sum is a reduction
+        // joining exp's group... then div must split (group sealed).
+        // Expected: [mm], [max], [exp, sum], [div] = 4 kernels.
+        assert_eq!(groups.len(), 4, "{groups:?}");
+        assert_eq!(groups[0], vec![TeId(0)]);
+    }
+
+    #[test]
+    fn elementwise_chains_loop_fuse() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![128]), DType::F32);
+        let mut cur = a;
+        for i in 0..4 {
+            cur = builders::relu(&mut p, &format!("r{i}"), cur);
+        }
+        p.mark_output(cur);
+        let ctx = StrategyContext::new(&p, &GpuSpec::a100());
+        assert_eq!(XlaStrategy.group(&ctx).len(), 1);
+    }
+}

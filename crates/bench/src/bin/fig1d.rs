@@ -1,0 +1,72 @@
+//! Fig. 1(d): optimizations across computation-intensive kernels — two
+//! dependent GEMMs executed (a) as two kernels without pipelining and
+//! (b) as one kernel where loading `W3` of GEMM3 overlaps GEMM2's tensor
+//! core computation.
+
+use souffle::report::{fmt_us, Table};
+use souffle_analysis::{classify_program, partition_program, TeGraph};
+use souffle_gpusim::{simulate, SimConfig};
+use souffle_kernel::passes::pipeline_pass;
+use souffle_kernel::{lower_partition, lower_te_as_kernel, LowerOptions};
+use souffle_sched::{schedule_program, GpuSpec};
+use souffle_te::{builders, TeProgram};
+use souffle_tensor::{DType, Shape};
+
+fn two_gemms() -> TeProgram {
+    let mut p = TeProgram::new();
+    let i2 = p.add_input("I2", Shape::new(vec![384, 768]), DType::F16);
+    let w2 = p.add_weight("W2", Shape::new(vec![768, 768]), DType::F16);
+    let o2 = builders::matmul(&mut p, "GEMM2", i2, w2);
+    let w3 = p.add_weight("W3", Shape::new(vec![768, 768]), DType::F16);
+    let o3 = builders::matmul(&mut p, "GEMM3", o2, w3);
+    p.mark_output(o3);
+    p
+}
+
+fn main() {
+    let p = two_gemms();
+    let spec = GpuSpec::a100();
+    let cfg = SimConfig::a100();
+    let schedules = schedule_program(&p, &spec);
+    let classes = classify_program(&p);
+    let graph = TeGraph::build(&p);
+
+    // (a) Two separate kernels, no cross-operator pipelining.
+    let separate: Vec<_> = p
+        .te_ids()
+        .map(|te| lower_te_as_kernel(&p, te, &schedules[&te], classes[&te], LowerOptions::default()))
+        .collect();
+    let prof_sep = simulate(&separate, &cfg);
+
+    // (b) One kernel; the pipelining pass overlaps W3's LDGSTS with
+    // GEMM2's HMMA.
+    let partition = partition_program(&p, &graph, &classes, &schedules, &spec);
+    let mut merged = lower_partition(&p, &partition, &schedules, &classes, LowerOptions::default());
+    for k in &mut merged {
+        pipeline_pass(k);
+    }
+    let prof_merged = simulate(&merged, &cfg);
+
+    let mut t = Table::new(
+        "Fig. 1(d): two dependent GEMMs — separate kernels vs one pipelined kernel",
+        &["Version", "kernels", "time (us)", "grid syncs"],
+    );
+    t.row(vec![
+        "w/o optimization (2 kernels)".into(),
+        prof_sep.num_kernel_calls().to_string(),
+        fmt_us(prof_sep.total_time_s()),
+        prof_sep.grid_syncs().to_string(),
+    ]);
+    t.row(vec![
+        "Souffle (1 kernel, pipelined)".into(),
+        prof_merged.num_kernel_calls().to_string(),
+        fmt_us(prof_merged.total_time_s()),
+        prof_merged.grid_syncs().to_string(),
+    ]);
+    println!("{}", t.render());
+    println!(
+        "Pipeline execution saves {:.2} us ({:.1}%): LDGSTS.E.BYPASS.128 of W3 dual-issues with GEMM2's HMMA.16816.F16.",
+        (prof_sep.total_time_s() - prof_merged.total_time_s()) * 1e6,
+        (1.0 - prof_merged.total_time_s() / prof_sep.total_time_s()) * 100.0
+    );
+}

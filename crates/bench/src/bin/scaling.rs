@@ -1,0 +1,69 @@
+//! Extension experiment (beyond the paper, which fixes batch size 1):
+//! how Souffle's advantage scales with problem size — BERT sequence
+//! length and LSTM unroll depth. The prediction from the paper's model:
+//! launch-overhead-bound configurations (short sequences, deep unrolls)
+//! benefit most from kernel-count reduction; at large sizes the workloads
+//! become bandwidth/compute-bound and the gap narrows toward the pure
+//! traffic savings.
+
+use souffle::report::Table;
+use souffle_baselines::{Strategy, StrategyContext, TensorRtStrategy};
+use souffle_bench::run_souffle;
+use souffle_frontend::models::bert::{build, BertConfig};
+use souffle_frontend::models::lstm::{build as build_lstm, LstmConfig};
+use souffle_frontend::ModelConfig;
+use souffle_gpusim::simulate;
+use souffle_sched::GpuSpec;
+
+fn main() {
+    let mut t = Table::new(
+        "Scaling: BERT sequence length (ms, Souffle vs TensorRT)",
+        &["seq len", "TensorRT", "Souffle", "speedup"],
+    );
+    for seq in [64, 128, 256, 384, 512] {
+        let cfg = BertConfig {
+            seq,
+            layers: 4,
+            ..BertConfig::new(ModelConfig::Paper)
+        };
+        let p = build(&cfg);
+        let ctx = StrategyContext::new(&p, &GpuSpec::a100());
+        let trt = simulate(
+            &TensorRtStrategy.compile(&ctx).kernels,
+            &TensorRtStrategy.sim_config(),
+        );
+        let (_, ours) = run_souffle(&p);
+        t.row(vec![
+            seq.to_string(),
+            format!("{:.3}", trt.total_time_ms()),
+            format!("{:.3}", ours.total_time_ms()),
+            format!("{:.2}x", trt.total_time_s() / ours.total_time_s()),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let mut t = Table::new(
+        "Scaling: LSTM unroll depth (ms, Souffle vs TensorRT)",
+        &["steps", "TensorRT", "Souffle", "speedup"],
+    );
+    for steps in [10, 25, 50, 100] {
+        let cfg = LstmConfig {
+            steps,
+            ..LstmConfig::new(ModelConfig::Paper)
+        };
+        let p = build_lstm(&cfg);
+        let ctx = StrategyContext::new(&p, &GpuSpec::a100());
+        let trt = simulate(
+            &TensorRtStrategy.compile(&ctx).kernels,
+            &TensorRtStrategy.sim_config(),
+        );
+        let (_, ours) = run_souffle(&p);
+        t.row(vec![
+            steps.to_string(),
+            format!("{:.3}", trt.total_time_ms()),
+            format!("{:.3}", ours.total_time_ms()),
+            format!("{:.2}x", trt.total_time_s() / ours.total_time_s()),
+        ]);
+    }
+    println!("{}", t.render());
+}

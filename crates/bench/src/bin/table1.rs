@@ -1,0 +1,77 @@
+//! Table 1: performance of the generated kernels for the §2 working
+//! example — a BERT layer subgraph — under TensorRT, Apollo and Souffle.
+//!
+//! Paper reference values (A100): total 62.34 / 179.07 / 57.73 µs,
+//! 7 / 14 / 1 kernels, 16.52 / 27.78 / 8.87 MB loaded.
+
+use souffle::report::{fmt_mb, fmt_us, Table};
+use souffle_bench::{run_baseline, run_souffle};
+use souffle_frontend::models::bert::{build_attention_subgraph, BertConfig};
+use souffle_frontend::{Model, ModelConfig};
+use souffle_gpusim::ModelProfile;
+use souffle_baselines::{ApolloStrategy, TensorRtStrategy};
+
+fn split_ci_mi(profile: &ModelProfile) -> (f64, f64) {
+    // A kernel is compute-intensive when its arithmetic dominates (tensor
+    // core busy time exceeds memory busy time).
+    let mut ci = 0.0;
+    let mut mi = 0.0;
+    for k in &profile.kernels {
+        if k.tensor_busy_s + k.fma_busy_s >= k.mem_busy_s {
+            ci += k.time_s;
+        } else {
+            mi += k.time_s;
+        }
+    }
+    (ci, mi)
+}
+
+fn main() {
+    let program = build_attention_subgraph(&BertConfig::new(ModelConfig::Paper));
+    program.validate().expect("BERT subgraph must validate");
+
+    let trt = run_baseline(&TensorRtStrategy, Model::Bert, &program).expect("TRT supports BERT");
+    let apollo =
+        run_baseline(&ApolloStrategy, Model::Bert, &program).expect("Apollo supports BERT");
+    let (_, ours) = run_souffle(&program);
+
+    let mut t = Table::new(
+        "Table 1: generated kernels for the BERT subgraph (Fig. 1)",
+        &["Metric", "TensorRT", "Apollo", "Souffle"],
+    );
+    type MetricFn = Box<dyn Fn(&ModelProfile) -> String>;
+    let rows: Vec<(&str, MetricFn)> = vec![
+        (
+            "Total execution time (us)",
+            Box::new(|p: &ModelProfile| fmt_us(p.total_time_s())),
+        ),
+        (
+            "- Computation-intensive kernels (us)",
+            Box::new(|p: &ModelProfile| fmt_us(split_ci_mi(p).0)),
+        ),
+        (
+            "- Memory-intensive kernels (us)",
+            Box::new(|p: &ModelProfile| fmt_us(split_ci_mi(p).1)),
+        ),
+        (
+            "#Kernels",
+            Box::new(|p: &ModelProfile| p.num_kernel_calls().to_string()),
+        ),
+        (
+            "#Bytes load from global (MB)",
+            Box::new(|p: &ModelProfile| fmt_mb(p.global_read_bytes())),
+        ),
+    ];
+    for (name, f) in rows {
+        t.row(vec![name.to_string(), f(&trt), f(&apollo), f(&ours)]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Paper shape check: kernels TRT {} > Souffle {}; bytes TRT {:.1}MB > Souffle {:.1}MB; Apollo slowest: {}",
+        trt.num_kernel_calls(),
+        ours.num_kernel_calls(),
+        trt.global_read_bytes() as f64 / 1e6,
+        ours.global_read_bytes() as f64 / 1e6,
+        apollo.total_time_s() > trt.total_time_s(),
+    );
+}

@@ -1,0 +1,58 @@
+//! Table 3: end-to-end model runtime (ms) for the six models under XLA,
+//! Ansor, TensorRT, Rammer, Apollo, IREE and Souffle (lower is better).
+//!
+//! Paper reference (A100, ms):
+//! BERT 2.55/2.31/1.30/2.19/3.29/2.22/1.22 · ResNeXt
+//! 8.91/20.50/24.82/11.69/22.80/314.8/4.43 · LSTM
+//! 10.57/6.78/6.30/1.72/Failed/16.0/0.80 · EfficientNet
+//! 2.96/0.91/1.21/Failed/2.3/12.33/0.66 · SwinTrans.
+//! 6.43/5.81/1.74/Failed/10.78/18.1/1.55 · MMoE
+//! 0.29/0.034/0.070/Failed/0.049/0.088/0.014
+
+use souffle::report::Table;
+use souffle_baselines::all_baselines;
+use souffle_bench::{fmt_latency_ms, paper_program, run_baseline, run_souffle};
+use souffle_frontend::Model;
+
+fn main() {
+    let baselines = all_baselines();
+    let mut header: Vec<&str> = vec!["Model"];
+    for b in &baselines {
+        header.push(b.name());
+    }
+    header.push("Ours");
+    let mut t = Table::new("Table 3: end-to-end model runtime (ms)", &header);
+
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+    for model in Model::ALL {
+        let program = paper_program(model);
+        let mut row = vec![model.to_string()];
+        let mut base_times = Vec::new();
+        for b in &baselines {
+            let p = run_baseline(b.as_ref(), model, &program);
+            if let Some(ref p) = p {
+                base_times.push((b.name().to_string(), p.total_time_s()));
+            }
+            row.push(fmt_latency_ms(&p));
+        }
+        let (_, ours) = run_souffle(&program);
+        row.push(format!("{:.3}", ours.total_time_ms()));
+        t.row(row);
+        for (name, tb) in base_times {
+            speedups.push((name, tb / ours.total_time_s()));
+        }
+    }
+    println!("{}", t.render());
+
+    // Geometric-mean speedups per baseline (the paper reports up to 3.7x
+    // over TensorRT and 7.8x over XLA).
+    let mut per: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
+    for (name, s) in speedups {
+        per.entry(name).or_default().push(s);
+    }
+    println!("Geometric-mean speedup of Souffle over each baseline:");
+    for (name, ss) in per {
+        let gm = (ss.iter().map(|s| s.ln()).sum::<f64>() / ss.len() as f64).exp();
+        println!("  vs {name:<9} {gm:.2}x over {} models", ss.len());
+    }
+}

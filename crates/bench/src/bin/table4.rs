@@ -1,0 +1,41 @@
+//! Table 4: execution time (ms) with Souffle's individual optimizations
+//! enabled one by one — V0 (TVM+Ansor), V1 (+horizontal), V2 (+vertical),
+//! V3 (+global sync), V4 (+subprogram-level optimization).
+//!
+//! Paper reference (ms): BERT 3.1/2.12/1.53/1.41/1.22 · ResNeXt
+//! 29.0/5.90/4.43/4.43/4.43 · LSTM 6.78/1.60/1.21/0.8/0.8 · EfficientNet
+//! 4.2/0.91/0.72/0.63/0.63 · Swin-Trans. 5.81/4.88/2.09/1.78/1.55 · MMoE
+//! 0.05/0.019/0.016/0.014/0.014
+
+use souffle::report::Table;
+use souffle::SouffleOptions;
+use souffle_bench::{paper_program, run_variant};
+use souffle_frontend::Model;
+
+fn main() {
+    let variants = SouffleOptions::ablation();
+    let mut header: Vec<&str> = vec!["Model"];
+    for (name, _) in &variants {
+        header.push(name);
+    }
+    let mut t = Table::new(
+        "Table 4: execution time (ms) with individual optimizations",
+        &header,
+    );
+    for model in Model::ALL {
+        let program = paper_program(model);
+        let mut row = vec![model.to_string()];
+        let mut prev = f64::INFINITY;
+        for (name, opts) in &variants {
+            let (_, prof) = run_variant(&program, opts.clone());
+            let ms = prof.total_time_ms();
+            row.push(format!("{ms:.3}"));
+            if ms > prev * 1.02 {
+                eprintln!("warning: {model} {name} regressed ({ms:.3} > {prev:.3})");
+            }
+            prev = prev.min(ms);
+        }
+        t.row(row);
+    }
+    println!("{}", t.render());
+}

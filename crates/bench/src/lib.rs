@@ -1,0 +1,114 @@
+#![warn(missing_docs)]
+//! Shared harness for the experiment binaries and Criterion benches.
+//!
+//! One binary per table/figure of the paper regenerates that artifact:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 — BERT subgraph: time, kernels, bytes (TRT/Apollo/Souffle) |
+//! | `fig1` | Fig. 1 — kernel mapping of the BERT subgraph |
+//! | `table3` | Table 3 — end-to-end latency, 6 models × 7 systems |
+//! | `table4` | Table 4 — ablation V0–V4 |
+//! | `table5` | Table 5 — kernel calls + memory transfer |
+//! | `table6` | Table 6 — LSTM counters, Rammer vs Souffle |
+//! | `fig6` | Fig. 6 — EfficientNet sub-module variants M0–M9 |
+//! | `fig7` | Fig. 7 — LSTM kernel mapping, Rammer vs Souffle |
+//! | `overhead` | §8.5 — compilation overhead |
+//!
+//! Run with `cargo run --release -p souffle-bench --bin <name>`.
+
+use souffle::{Compiled, Souffle, SouffleOptions};
+use souffle_baselines::{Strategy, StrategyContext};
+use souffle_frontend::{build_model, Model, ModelConfig};
+use souffle_gpusim::{simulate, ModelProfile};
+use souffle_sched::GpuSpec;
+use souffle_te::TeProgram;
+
+/// Builds a model's TE program at the paper's configuration.
+pub fn paper_program(model: Model) -> TeProgram {
+    build_model(model, ModelConfig::Paper)
+}
+
+/// Builds a model's TE program at the tiny (test) configuration.
+pub fn tiny_program(model: Model) -> TeProgram {
+    build_model(model, ModelConfig::Tiny)
+}
+
+/// Compiles and simulates a program with a baseline strategy. Returns
+/// `None` when the original system could not compile the model (Table 3's
+/// "Failed" entries).
+pub fn run_baseline(
+    strategy: &dyn Strategy,
+    model: Model,
+    program: &TeProgram,
+) -> Option<ModelProfile> {
+    if !strategy.supports(model) {
+        return None;
+    }
+    let ctx = StrategyContext::new(program, &GpuSpec::a100());
+    let compiled = strategy.compile(&ctx);
+    Some(simulate(&compiled.kernels, &strategy.sim_config()))
+}
+
+/// Compiles and simulates a program with full Souffle.
+pub fn run_souffle(program: &TeProgram) -> (Compiled, ModelProfile) {
+    Souffle::new(SouffleOptions::full()).run(program)
+}
+
+/// Compiles and simulates a program with a specific ablation variant.
+pub fn run_variant(program: &TeProgram, options: SouffleOptions) -> (Compiled, ModelProfile) {
+    Souffle::new(options).run(program)
+}
+
+/// Formats an optional latency like the paper's tables ("Failed" cells).
+pub fn fmt_latency_ms(profile: &Option<ModelProfile>) -> String {
+    match profile {
+        Some(p) => format!("{:.3}", p.total_time_ms()),
+        None => "Failed".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use souffle_baselines::all_baselines;
+
+    #[test]
+    fn harness_runs_every_strategy_on_tiny_mmoe() {
+        let program = tiny_program(Model::Mmoe);
+        for s in all_baselines() {
+            let p = run_baseline(s.as_ref(), Model::Mmoe, &program);
+            match s.name() {
+                "Rammer" => assert!(p.is_none(), "Rammer fails on MMoE per Table 3"),
+                _ => {
+                    let p = p.expect("supported");
+                    assert!(p.total_time_s() > 0.0);
+                }
+            }
+        }
+        let (_, prof) = run_souffle(&program);
+        assert!(prof.total_time_s() > 0.0);
+    }
+
+    #[test]
+    fn souffle_beats_every_baseline_on_tiny_bert() {
+        let program = tiny_program(Model::Bert);
+        let (_, ours) = run_souffle(&program);
+        for s in all_baselines() {
+            if let Some(p) = run_baseline(s.as_ref(), Model::Bert, &program) {
+                assert!(
+                    ours.total_time_s() <= p.total_time_s() * 1.2,
+                    "{} ({:.3e}s) should not decisively beat Souffle ({:.3e}s)",
+                    s.name(),
+                    p.total_time_s(),
+                    ours.total_time_s()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fmt_latency_marks_failures() {
+        assert_eq!(fmt_latency_ms(&None), "Failed");
+    }
+}

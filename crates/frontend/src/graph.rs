@@ -1,0 +1,760 @@
+//! Operator-level computation graphs — the ONNX/TensorFlow-like frontend
+//! the paper ingests (§4: "Souffle first lowers each operator to its
+//! corresponding TEs to form a TE program").
+//!
+//! An [`OpGraph`] is a DAG of named operators with inferred shapes.
+//! [`OpGraph::lower`] turns it into [`Lowered`]: a sequence of segments,
+//! each either a TE program (fusable by Souffle) or a *library call* for
+//! the operators tensor expressions cannot express (§9: "Souffle maps
+//! these TE-unsupported operators to a computation kernel and uses the
+//! back-end operator library implementation but without fusing them with
+//! other operators") — here `Resize` and `TopK`.
+
+use souffle_te::{builders, ReduceOp, TeProgram, TensorId, UnaryOp};
+use souffle_tensor::{DType, Shape};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a node in an [`OpGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// The operator vocabulary (§6.7 plus the §9 fallback operators).
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpKind {
+    /// Runtime input.
+    Input(Shape, DType),
+    /// Constant parameter.
+    Weight(Shape, DType),
+    /// Element-wise unary operator.
+    Unary(UnaryOp),
+    /// Element-wise addition.
+    Add,
+    /// Element-wise multiplication.
+    Mul,
+    /// Bias add over the last dimension.
+    BiasAdd,
+    /// Scale by a constant.
+    Scale(f32),
+    /// 2-D matrix multiplication.
+    MatMul,
+    /// Batched matrix multiplication.
+    BatchMatMul,
+    /// 2-D convolution (NCHW), weight FCHW.
+    Conv2d {
+        /// Spatial stride.
+        stride: i64,
+        /// Zero padding.
+        pad: i64,
+        /// Channel groups (1 = dense, C = depthwise).
+        groups: i64,
+    },
+    /// Max pooling.
+    MaxPool2d {
+        /// Window size.
+        kernel: i64,
+        /// Stride.
+        stride: i64,
+        /// Zero padding.
+        pad: i64,
+    },
+    /// Softmax over the last axis.
+    Softmax,
+    /// Sum-reduction over the last axis.
+    ReduceSum,
+    /// Max-reduction over the last axis.
+    ReduceMax,
+    /// Reshape to a new shape.
+    Reshape(Shape),
+    /// Dimension permutation.
+    Transpose(Vec<usize>),
+    /// Concatenation of two inputs along an axis.
+    Concat(usize),
+    /// Global average pooling of an NCHW tensor to `[N, C]`.
+    GlobalAvgPool,
+    /// Matrix–vector product `w[i,k] · x[k]`.
+    Gemv,
+    /// Strided slice along one axis: `(axis, start, stride, extent)`.
+    StridedSlice(usize, i64, i64, i64),
+    /// TE-unsupported: spatial resize — lowered as a library call (§9).
+    Resize {
+        /// Output spatial size (square).
+        size: i64,
+    },
+    /// TE-unsupported: top-k selection — lowered as a library call (§9).
+    TopK {
+        /// Number of elements kept.
+        k: i64,
+    },
+}
+
+impl OpKind {
+    /// Whether tensor expressions can express this operator.
+    pub fn te_expressible(&self) -> bool {
+        !matches!(self, OpKind::Resize { .. } | OpKind::TopK { .. })
+    }
+}
+
+/// One operator node.
+#[derive(Debug, Clone)]
+pub struct OpNode {
+    /// Node id.
+    pub id: NodeId,
+    /// Name (used for generated TE names).
+    pub name: String,
+    /// Operator.
+    pub kind: OpKind,
+    /// Data inputs.
+    pub inputs: Vec<NodeId>,
+    /// Inferred output shape.
+    pub shape: Shape,
+    /// Inferred output dtype.
+    pub dtype: DType,
+}
+
+/// Shape-inference or lowering failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphError {
+    /// Offending node name.
+    pub node: String,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "graph node \"{}\": {}", self.node, self.reason)
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An operator-level computation graph with shape inference at build time.
+#[derive(Debug, Clone, Default)]
+pub struct OpGraph {
+    nodes: Vec<OpNode>,
+    outputs: Vec<NodeId>,
+}
+
+impl OpGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        OpGraph::default()
+    }
+
+    /// Adds a node, inferring its output shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] when inputs are inconsistent with the
+    /// operator (rank or extent mismatches).
+    pub fn add(&mut self, name: &str, kind: OpKind, inputs: &[NodeId]) -> Result<NodeId, GraphError> {
+        let err = |reason: &str| GraphError {
+            node: name.to_string(),
+            reason: reason.to_string(),
+        };
+        let in_shape = |i: usize| -> Result<&Shape, GraphError> {
+            inputs
+                .get(i)
+                .and_then(|id| self.nodes.get(id.0))
+                .map(|n| &n.shape)
+                .ok_or_else(|| err("missing input"))
+        };
+        let (shape, dtype) = match &kind {
+            OpKind::Input(s, d) | OpKind::Weight(s, d) => (s.clone(), *d),
+            OpKind::Unary(_) | OpKind::Scale(_) => {
+                (in_shape(0)?.clone(), self.nodes[inputs[0].0].dtype)
+            }
+            OpKind::Add | OpKind::Mul => {
+                let (a, b) = (in_shape(0)?.clone(), in_shape(1)?.clone());
+                if a != b {
+                    return Err(err(&format!("shape mismatch {a} vs {b}")));
+                }
+                (a, self.nodes[inputs[0].0].dtype)
+            }
+            OpKind::BiasAdd => {
+                let (a, b) = (in_shape(0)?.clone(), in_shape(1)?.clone());
+                if b.rank() != 1 || b.dim(0) != a.dim(a.rank() - 1) {
+                    return Err(err("bias must match last dimension"));
+                }
+                (a, self.nodes[inputs[0].0].dtype)
+            }
+            OpKind::MatMul => {
+                let (a, b) = (in_shape(0)?.clone(), in_shape(1)?.clone());
+                if a.rank() != 2 || b.rank() != 2 || a.dim(1) != b.dim(0) {
+                    return Err(err("matmul requires 2-D operands with matching inner extent"));
+                }
+                (
+                    Shape::new(vec![a.dim(0), b.dim(1)]),
+                    self.nodes[inputs[0].0].dtype,
+                )
+            }
+            OpKind::BatchMatMul => {
+                let (a, b) = (in_shape(0)?.clone(), in_shape(1)?.clone());
+                if a.rank() != 3 || b.rank() != 3 || a.dim(0) != b.dim(0) || a.dim(2) != b.dim(1) {
+                    return Err(err("batch_matmul extent mismatch"));
+                }
+                (
+                    Shape::new(vec![a.dim(0), a.dim(1), b.dim(2)]),
+                    self.nodes[inputs[0].0].dtype,
+                )
+            }
+            OpKind::Conv2d { stride, pad, groups } => {
+                let (x, w) = (in_shape(0)?.clone(), in_shape(1)?.clone());
+                if x.rank() != 4 || w.rank() != 4 {
+                    return Err(err("conv2d requires NCHW input and FCHW weight"));
+                }
+                if x.dim(1) % groups != 0 || w.dim(1) != x.dim(1) / groups {
+                    return Err(err("conv2d channel/group mismatch"));
+                }
+                let oh = (x.dim(2) + 2 * pad - w.dim(2)) / stride + 1;
+                let ow = (x.dim(3) + 2 * pad - w.dim(3)) / stride + 1;
+                if oh <= 0 || ow <= 0 {
+                    return Err(err("conv2d output would be empty"));
+                }
+                (
+                    Shape::new(vec![x.dim(0), w.dim(0), oh, ow]),
+                    self.nodes[inputs[0].0].dtype,
+                )
+            }
+            OpKind::MaxPool2d { kernel, stride, pad } => {
+                let x = in_shape(0)?.clone();
+                if x.rank() != 4 {
+                    return Err(err("max_pool2d requires NCHW"));
+                }
+                let oh = (x.dim(2) + 2 * pad - kernel) / stride + 1;
+                let ow = (x.dim(3) + 2 * pad - kernel) / stride + 1;
+                (
+                    Shape::new(vec![x.dim(0), x.dim(1), oh, ow]),
+                    self.nodes[inputs[0].0].dtype,
+                )
+            }
+            OpKind::Softmax => (in_shape(0)?.clone(), self.nodes[inputs[0].0].dtype),
+            OpKind::ReduceSum | OpKind::ReduceMax => {
+                let a = in_shape(0)?.clone();
+                let dims = if a.rank() <= 1 {
+                    vec![1]
+                } else {
+                    a.dims()[..a.rank() - 1].to_vec()
+                };
+                (Shape::new(dims), self.nodes[inputs[0].0].dtype)
+            }
+            OpKind::Reshape(s) => {
+                let a = in_shape(0)?;
+                if a.numel() != s.numel() {
+                    return Err(err("reshape must preserve element count"));
+                }
+                (s.clone(), self.nodes[inputs[0].0].dtype)
+            }
+            OpKind::Transpose(perm) => {
+                let a = in_shape(0)?.clone();
+                if perm.len() != a.rank() {
+                    return Err(err("transpose perm rank mismatch"));
+                }
+                (
+                    Shape::new(perm.iter().map(|&ax| a.dim(ax)).collect()),
+                    self.nodes[inputs[0].0].dtype,
+                )
+            }
+            OpKind::Concat(axis) => {
+                let (a, b) = (in_shape(0)?.clone(), in_shape(1)?.clone());
+                if a.rank() != b.rank() || *axis >= a.rank() {
+                    return Err(err("concat rank/axis mismatch"));
+                }
+                let mut dims = a.dims().to_vec();
+                dims[*axis] += b.dim(*axis);
+                (Shape::new(dims), self.nodes[inputs[0].0].dtype)
+            }
+            OpKind::GlobalAvgPool => {
+                let a = in_shape(0)?.clone();
+                if a.rank() != 4 {
+                    return Err(err("global_avg_pool requires NCHW"));
+                }
+                (
+                    Shape::new(vec![a.dim(0), a.dim(1)]),
+                    self.nodes[inputs[0].0].dtype,
+                )
+            }
+            OpKind::Gemv => {
+                let (w, x) = (in_shape(0)?.clone(), in_shape(1)?.clone());
+                if w.rank() != 2 || x.rank() != 1 || w.dim(1) != x.dim(0) {
+                    return Err(err("gemv requires [m,k] matrix and [k] vector"));
+                }
+                (Shape::new(vec![w.dim(0)]), self.nodes[inputs[0].0].dtype)
+            }
+            OpKind::StridedSlice(axis, start, stride, extent) => {
+                let a = in_shape(0)?.clone();
+                if *axis >= a.rank() {
+                    return Err(err("slice axis out of range"));
+                }
+                if start + (extent - 1) * stride >= a.dim(*axis) || *extent <= 0 {
+                    return Err(err("slice exceeds input extent"));
+                }
+                let mut dims = a.dims().to_vec();
+                dims[*axis] = *extent;
+                (Shape::new(dims), self.nodes[inputs[0].0].dtype)
+            }
+            OpKind::Resize { size } => {
+                let a = in_shape(0)?.clone();
+                if a.rank() != 4 {
+                    return Err(err("resize requires NCHW"));
+                }
+                (
+                    Shape::new(vec![a.dim(0), a.dim(1), *size, *size]),
+                    self.nodes[inputs[0].0].dtype,
+                )
+            }
+            OpKind::TopK { k } => {
+                let a = in_shape(0)?.clone();
+                let mut dims = a.dims().to_vec();
+                let last = dims.len() - 1;
+                if *k > dims[last] {
+                    return Err(err("k exceeds last extent"));
+                }
+                dims[last] = *k;
+                (Shape::new(dims), self.nodes[inputs[0].0].dtype)
+            }
+        };
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(OpNode {
+            id,
+            name: name.to_string(),
+            kind,
+            inputs: inputs.to_vec(),
+            shape,
+            dtype,
+        });
+        Ok(id)
+    }
+
+    /// Marks a node as a graph output.
+    pub fn mark_output(&mut self, id: NodeId) {
+        self.outputs.push(id);
+    }
+
+    /// The nodes, in insertion (topological) order.
+    pub fn nodes(&self) -> &[OpNode] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Lowers the graph into TE-program segments separated by library
+    /// calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] if an op's inputs were themselves never
+    /// lowered (cannot happen for graphs built through [`OpGraph::add`]).
+    pub fn lower(&self) -> Result<Lowered, GraphError> {
+        // Pre-pass: each node's segment is the number of library calls
+        // preceding it (library nodes sit between segments). A tensor
+        // consumed from a different segment — or by a library call, or
+        // escaping as a graph output — must be materialized as a segment
+        // output so the next segment can load it.
+        let mut seg_of = vec![0usize; self.nodes.len()];
+        let mut libs_seen = 0usize;
+        for node in &self.nodes {
+            if !node.kind.te_expressible() {
+                libs_seen += 1;
+            }
+            seg_of[node.id.0] = libs_seen;
+        }
+        let mut crosses_segment = vec![false; self.nodes.len()];
+        for node in &self.nodes {
+            for &inp in &node.inputs {
+                if seg_of[inp.0] != seg_of[node.id.0] || !node.kind.te_expressible() {
+                    crosses_segment[inp.0] = true;
+                }
+            }
+        }
+
+        let mut segments: Vec<Segment> = Vec::new();
+        let mut program = TeProgram::new();
+        // node -> (segment index at production time, tensor in that segment)
+        let mut bound: HashMap<NodeId, TensorId> = HashMap::new();
+        let mut cut_points: Vec<LibraryCall> = Vec::new();
+
+        let flush =
+            |program: &mut TeProgram, segments: &mut Vec<Segment>, bound: &mut HashMap<NodeId, TensorId>| {
+                if program.num_tes() > 0 || program.num_tensors() > 0 {
+                    segments.push(Segment::Te(std::mem::take(program)));
+                    bound.clear();
+                }
+            };
+
+        for node in &self.nodes {
+            if !node.kind.te_expressible() {
+                // §9 fallback: close the current TE segment and emit a
+                // library call; its output re-enters the next segment as a
+                // fresh input.
+                flush(&mut program, &mut segments, &mut bound);
+                cut_points.push(LibraryCall {
+                    name: node.name.clone(),
+                    kind: node.kind.clone(),
+                    output_shape: node.shape.clone(),
+                    dtype: node.dtype,
+                });
+                segments.push(Segment::Library(cut_points.last().expect("just pushed").clone()));
+                continue;
+            }
+            // Resolve inputs: tensors from this segment, or fresh segment
+            // inputs when the producer lives in an earlier segment.
+            let mut ins: Vec<TensorId> = Vec::with_capacity(node.inputs.len());
+            for &inp in &node.inputs {
+                let t = match bound.get(&inp) {
+                    Some(&t) => t,
+                    None => {
+                        let n = &self.nodes[inp.0];
+                        let t = program.add_input(&n.name, n.shape.clone(), n.dtype);
+                        bound.insert(inp, t);
+                        t
+                    }
+                };
+                ins.push(t);
+            }
+            let out = match &node.kind {
+                OpKind::Input(s, d) => program.add_input(&node.name, s.clone(), *d),
+                OpKind::Weight(s, d) => program.add_weight(&node.name, s.clone(), *d),
+                OpKind::Unary(op) => builders::unary(&mut program, &node.name, *op, ins[0]),
+                OpKind::Add => builders::add(&mut program, &node.name, ins[0], ins[1]),
+                OpKind::Mul => builders::mul(&mut program, &node.name, ins[0], ins[1]),
+                OpKind::BiasAdd => builders::bias_add(&mut program, &node.name, ins[0], ins[1]),
+                OpKind::Scale(c) => builders::scale(&mut program, &node.name, ins[0], *c),
+                OpKind::MatMul => builders::matmul(&mut program, &node.name, ins[0], ins[1]),
+                OpKind::BatchMatMul => {
+                    builders::batch_matmul(&mut program, &node.name, ins[0], ins[1])
+                }
+                OpKind::Conv2d { stride, pad, groups } => {
+                    if *groups == 1 {
+                        builders::conv2d(&mut program, &node.name, ins[0], ins[1], *stride, *pad)
+                    } else {
+                        builders::grouped_conv2d(
+                            &mut program,
+                            &node.name,
+                            ins[0],
+                            ins[1],
+                            *stride,
+                            *pad,
+                            *groups,
+                        )
+                    }
+                }
+                OpKind::MaxPool2d { kernel, stride, pad } => {
+                    builders::max_pool2d(&mut program, &node.name, ins[0], *kernel, *stride, *pad)
+                }
+                OpKind::Softmax => builders::softmax(&mut program, &node.name, ins[0]),
+                OpKind::ReduceSum => {
+                    builders::reduce_last(&mut program, &node.name, ReduceOp::Sum, ins[0])
+                }
+                OpKind::ReduceMax => {
+                    builders::reduce_last(&mut program, &node.name, ReduceOp::Max, ins[0])
+                }
+                OpKind::Reshape(s) => builders::reshape(&mut program, &node.name, ins[0], s.clone()),
+                OpKind::Transpose(perm) => {
+                    builders::transpose(&mut program, &node.name, ins[0], perm)
+                }
+                OpKind::Concat(axis) => {
+                    builders::concat(&mut program, &node.name, ins[0], ins[1], *axis)
+                }
+                OpKind::GlobalAvgPool => {
+                    builders::global_avg_pool(&mut program, &node.name, ins[0])
+                }
+                OpKind::Gemv => builders::gemv(&mut program, &node.name, ins[0], ins[1]),
+                OpKind::StridedSlice(axis, start, stride, extent) => builders::strided_slice(
+                    &mut program,
+                    &node.name,
+                    ins[0],
+                    *axis,
+                    *start,
+                    *stride,
+                    *extent,
+                ),
+                OpKind::Resize { .. } | OpKind::TopK { .. } => unreachable!("handled above"),
+            };
+            bound.insert(node.id, out);
+            if self.outputs.contains(&node.id) || crosses_segment[node.id.0] {
+                program.mark_output(out);
+            }
+        }
+        flush(&mut program, &mut segments, &mut bound);
+
+        // Validate every TE segment.
+        for s in &segments {
+            if let Segment::Te(p) = s {
+                p.validate().map_err(|e| GraphError {
+                    node: "<lowered segment>".to_string(),
+                    reason: e.to_string(),
+                })?;
+            }
+        }
+        Ok(Lowered { segments })
+    }
+}
+
+/// A TE-unsupported operator compiled as an opaque library kernel (§9).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LibraryCall {
+    /// Operator name.
+    pub name: String,
+    /// The operator.
+    pub kind: OpKind,
+    /// Output shape (drives the library kernel's traffic estimate).
+    pub output_shape: Shape,
+    /// Output dtype.
+    pub dtype: DType,
+}
+
+/// One lowered segment.
+#[derive(Debug, Clone)]
+pub enum Segment {
+    /// A TE program Souffle can analyze and fuse.
+    Te(TeProgram),
+    /// An opaque library kernel; never fused with neighbours.
+    Library(LibraryCall),
+}
+
+/// The result of lowering an [`OpGraph`].
+#[derive(Debug, Clone)]
+pub struct Lowered {
+    /// Segments in execution order.
+    pub segments: Vec<Segment>,
+}
+
+impl Lowered {
+    /// Number of TE segments.
+    pub fn num_te_segments(&self) -> usize {
+        self.segments
+            .iter()
+            .filter(|s| matches!(s, Segment::Te(_)))
+            .count()
+    }
+
+    /// Number of library calls.
+    pub fn num_library_calls(&self) -> usize {
+        self.segments
+            .iter()
+            .filter(|s| matches!(s, Segment::Library(_)))
+            .count()
+    }
+
+    /// The single TE program, when the whole graph was expressible.
+    pub fn sole_program(&self) -> Option<&TeProgram> {
+        match self.segments.as_slice() {
+            [Segment::Te(p)] => Some(p),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mlp_graph() -> (OpGraph, NodeId) {
+        let mut g = OpGraph::new();
+        let x = g
+            .add("x", OpKind::Input(Shape::new(vec![4, 8]), DType::F32), &[])
+            .unwrap();
+        let w = g
+            .add("w", OpKind::Weight(Shape::new(vec![8, 16]), DType::F32), &[])
+            .unwrap();
+        let mm = g.add("mm", OpKind::MatMul, &[x, w]).unwrap();
+        let r = g.add("relu", OpKind::Unary(UnaryOp::Relu), &[mm]).unwrap();
+        g.mark_output(r);
+        (g, r)
+    }
+
+    #[test]
+    fn shape_inference_matmul() {
+        let (g, r) = mlp_graph();
+        assert_eq!(g.nodes()[r.0].shape.dims(), &[4, 16]);
+    }
+
+    #[test]
+    fn lowering_produces_single_validated_program() {
+        let (g, _) = mlp_graph();
+        let lowered = g.lower().unwrap();
+        assert_eq!(lowered.num_te_segments(), 1);
+        assert_eq!(lowered.num_library_calls(), 0);
+        let p = lowered.sole_program().unwrap();
+        assert_eq!(p.num_tes(), 2);
+        assert_eq!(p.outputs().len(), 1);
+    }
+
+    #[test]
+    fn lowered_program_evaluates() {
+        let (g, _) = mlp_graph();
+        let lowered = g.lower().unwrap();
+        let p = lowered.sole_program().unwrap();
+        let out = souffle_te::interp::eval_with_random_inputs(p, 5).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn unsupported_op_splits_segments() {
+        let mut g = OpGraph::new();
+        let x = g
+            .add(
+                "x",
+                OpKind::Input(Shape::new(vec![1, 2, 8, 8]), DType::F32),
+                &[],
+            )
+            .unwrap();
+        let r = g.add("relu", OpKind::Unary(UnaryOp::Relu), &[x]).unwrap();
+        let rs = g.add("resize", OpKind::Resize { size: 16 }, &[r]).unwrap();
+        assert_eq!(g.nodes()[rs.0].shape.dims(), &[1, 2, 16, 16]);
+        let s = g.add("sig", OpKind::Unary(UnaryOp::Sigmoid), &[rs]).unwrap();
+        g.mark_output(s);
+        let lowered = g.lower().unwrap();
+        assert_eq!(lowered.num_library_calls(), 1);
+        assert_eq!(lowered.num_te_segments(), 2);
+        assert!(lowered.sole_program().is_none());
+    }
+
+    #[test]
+    fn segment_boundary_tensors_are_materialized() {
+        // A tensor feeding a library call must become an output of its TE
+        // segment, otherwise it is never written to global memory.
+        let mut g = OpGraph::new();
+        let x = g
+            .add(
+                "x",
+                OpKind::Input(Shape::new(vec![1, 2, 4, 4]), DType::F32),
+                &[],
+            )
+            .unwrap();
+        let r = g.add("relu", OpKind::Unary(UnaryOp::Relu), &[x]).unwrap();
+        let rs = g.add("resize", OpKind::Resize { size: 8 }, &[r]).unwrap();
+        let s = g.add("sig", OpKind::Unary(UnaryOp::Sigmoid), &[rs]).unwrap();
+        g.mark_output(s);
+        let lowered = g.lower().unwrap();
+        let Segment::Te(first) = &lowered.segments[0] else {
+            panic!("first segment must be TE");
+        };
+        assert_eq!(
+            first.outputs().len(),
+            1,
+            "boundary tensor must escape: {first}"
+        );
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let mut g = OpGraph::new();
+        let x = g
+            .add("x", OpKind::Input(Shape::new(vec![4, 8]), DType::F32), &[])
+            .unwrap();
+        let w = g
+            .add("w", OpKind::Weight(Shape::new(vec![9, 16]), DType::F32), &[])
+            .unwrap();
+        let e = g.add("mm", OpKind::MatMul, &[x, w]).unwrap_err();
+        assert!(e.to_string().contains("mm"));
+        assert!(e.to_string().contains("matching inner extent"));
+    }
+
+    #[test]
+    fn topk_shape_inference() {
+        let mut g = OpGraph::new();
+        let x = g
+            .add("x", OpKind::Input(Shape::new(vec![4, 100]), DType::F32), &[])
+            .unwrap();
+        let t = g.add("topk", OpKind::TopK { k: 5 }, &[x]).unwrap();
+        assert_eq!(g.nodes()[t.0].shape.dims(), &[4, 5]);
+        assert!(!g.nodes()[t.0].kind.te_expressible());
+    }
+
+    #[test]
+    fn concat_and_transpose_infer() {
+        let mut g = OpGraph::new();
+        let a = g
+            .add("a", OpKind::Input(Shape::new(vec![2, 3]), DType::F32), &[])
+            .unwrap();
+        let b = g
+            .add("b", OpKind::Input(Shape::new(vec![5, 3]), DType::F32), &[])
+            .unwrap();
+        let c = g.add("cat", OpKind::Concat(0), &[a, b]).unwrap();
+        assert_eq!(g.nodes()[c.0].shape.dims(), &[7, 3]);
+        let t = g.add("t", OpKind::Transpose(vec![1, 0]), &[c]).unwrap();
+        assert_eq!(g.nodes()[t.0].shape.dims(), &[3, 7]);
+    }
+
+    #[test]
+    fn gemv_pool_slice_infer_and_lower() {
+        let mut g = OpGraph::new();
+        let x = g
+            .add(
+                "x",
+                OpKind::Input(Shape::new(vec![1, 4, 4, 4]), DType::F32),
+                &[],
+            )
+            .unwrap();
+        let pooled = g.add("gap", OpKind::GlobalAvgPool, &[x]).unwrap();
+        assert_eq!(g.nodes()[pooled.0].shape.dims(), &[1, 4]);
+        let flat = g
+            .add("flat", OpKind::Reshape(Shape::new(vec![4])), &[pooled])
+            .unwrap();
+        let w = g
+            .add("w", OpKind::Weight(Shape::new(vec![6, 4]), DType::F32), &[])
+            .unwrap();
+        let y = g.add("gemv", OpKind::Gemv, &[w, flat]).unwrap();
+        assert_eq!(g.nodes()[y.0].shape.dims(), &[6]);
+        let s = g
+            .add("slice", OpKind::StridedSlice(0, 0, 2, 3), &[y])
+            .unwrap();
+        assert_eq!(g.nodes()[s.0].shape.dims(), &[3]);
+        g.mark_output(s);
+        let lowered = g.lower().unwrap();
+        let p = lowered.sole_program().unwrap();
+        let out = souffle_te::interp::eval_with_random_inputs(p, 9).unwrap();
+        assert!(out.values().next().unwrap().data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn bad_slice_is_rejected() {
+        let mut g = OpGraph::new();
+        let x = g
+            .add("x", OpKind::Input(Shape::new(vec![4]), DType::F32), &[])
+            .unwrap();
+        assert!(g.add("s", OpKind::StridedSlice(0, 2, 2, 3), &[x]).is_err());
+    }
+
+    #[test]
+    fn conv_graph_lowers_and_runs() {
+        let mut g = OpGraph::new();
+        let x = g
+            .add(
+                "x",
+                OpKind::Input(Shape::new(vec![1, 2, 6, 6]), DType::F32),
+                &[],
+            )
+            .unwrap();
+        let w = g
+            .add(
+                "w",
+                OpKind::Weight(Shape::new(vec![4, 2, 3, 3]), DType::F32),
+                &[],
+            )
+            .unwrap();
+        let c = g
+            .add("conv", OpKind::Conv2d { stride: 1, pad: 1, groups: 1 }, &[x, w])
+            .unwrap();
+        let m = g
+            .add("pool", OpKind::MaxPool2d { kernel: 2, stride: 2, pad: 0 }, &[c])
+            .unwrap();
+        g.mark_output(m);
+        assert_eq!(g.nodes()[m.0].shape.dims(), &[1, 4, 3, 3]);
+        let lowered = g.lower().unwrap();
+        let p = lowered.sole_program().unwrap();
+        let out = souffle_te::interp::eval_with_random_inputs(p, 6).unwrap();
+        assert!(out.values().next().unwrap().data().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+//! DNN model frontends: the six evaluation workloads of the paper
+//! (Table 2), built directly as TE programs.
+//!
+//! The paper ingests TensorFlow/ONNX models and lowers each operator to
+//! TEs through TVM; here the models are constructed straight in TE form
+//! with the same layer structure and the configurations of Table 2:
+//!
+//! | Model | Configuration |
+//! |---|---|
+//! | BERT | base, 12 layers, hidden 768, heads 12, SQuAD seq len 384, FP16 GEMMs |
+//! | ResNeXt | 101 layers, bottleneck width 64d, ImageNet 224×224 |
+//! | LSTM | input length 100, hidden size 256, 10 layers |
+//! | EfficientNet | B0, ImageNet |
+//! | Swin-Transformer | base, patch 4, window 7 |
+//! | MMoE | base model from Ma et al. (KDD'18) |
+//!
+//! Every builder also offers a `tiny` configuration small enough for the
+//! reference interpreter, used by the semantic-preservation tests.
+
+pub mod graph;
+pub mod models;
+
+pub use graph::{GraphError, Lowered, LibraryCall, NodeId, OpGraph, OpKind, OpNode, Segment};
+pub use models::{build_model, Model, ModelConfig};

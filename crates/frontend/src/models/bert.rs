@@ -1,0 +1,190 @@
+//! BERT-base (Devlin et al.), the paper's NLP workload.
+//!
+//! Configuration from Table 2: base version with 12 layers (hidden 768,
+//! 12 heads), SQuAD sequence length 384, batch 1, FP16 GEMMs on tensor
+//! cores (§7.1). Each encoder layer lowers to the TE mix Fig. 1 shows:
+//! QKV GEMMs (horizontally fusable), reshape/permutation memory operators,
+//! batched attention GEMMs, softmax (max/exp/sum/div TEs), projection and
+//! FFN GEMMs, residual adds and layer norms.
+
+use super::ModelConfig;
+use souffle_te::{builders, TeProgram, TensorId};
+use souffle_tensor::{DType, Shape};
+
+/// BERT build configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BertConfig {
+    /// Number of encoder layers.
+    pub layers: usize,
+    /// Hidden size.
+    pub hidden: i64,
+    /// Attention heads.
+    pub heads: i64,
+    /// Sequence length.
+    pub seq: i64,
+    /// FFN inner size.
+    pub ffn: i64,
+}
+
+impl BertConfig {
+    /// Builds the configuration for a size class.
+    pub fn new(config: ModelConfig) -> Self {
+        match config {
+            ModelConfig::Paper => BertConfig {
+                layers: 12,
+                hidden: 768,
+                heads: 12,
+                seq: 384,
+                ffn: 3072,
+            },
+            ModelConfig::Tiny => BertConfig {
+                layers: 2,
+                hidden: 16,
+                heads: 2,
+                seq: 8,
+                ffn: 32,
+            },
+        }
+    }
+}
+
+/// Builds the TE program.
+pub fn build(cfg: &BertConfig) -> TeProgram {
+    let mut p = TeProgram::new();
+    let dt = DType::F16;
+    let (s, h) = (cfg.seq, cfg.hidden);
+    let head_dim = h / cfg.heads;
+    let mut x = p.add_input("bert.input", Shape::new(vec![s, h]), dt);
+
+    for l in 0..cfg.layers {
+        let pre = format!("bert.l{l}");
+        // --- Self-attention ---
+        // QKV projections: three independent GEMMs sharing x (spatial
+        // reuse, §5.1) — the paper's horizontal transformation target.
+        let wq = p.add_weight(&format!("{pre}.wq"), Shape::new(vec![h, h]), dt);
+        let wk = p.add_weight(&format!("{pre}.wk"), Shape::new(vec![h, h]), dt);
+        let wv = p.add_weight(&format!("{pre}.wv"), Shape::new(vec![h, h]), dt);
+        let q = builders::matmul(&mut p, &format!("{pre}.q"), x, wq);
+        let k = builders::matmul(&mut p, &format!("{pre}.k"), x, wk);
+        let v = builders::matmul(&mut p, &format!("{pre}.v"), x, wv);
+        let bq = p.add_weight(&format!("{pre}.bq"), Shape::new(vec![h]), dt);
+        let bk = p.add_weight(&format!("{pre}.bk"), Shape::new(vec![h]), dt);
+        let bv = p.add_weight(&format!("{pre}.bv"), Shape::new(vec![h]), dt);
+        let q = builders::bias_add(&mut p, &format!("{pre}.q.bias"), q, bq);
+        let k = builders::bias_add(&mut p, &format!("{pre}.k.bias"), k, bk);
+        let v = builders::bias_add(&mut p, &format!("{pre}.v.bias"), v, bv);
+
+        // Split heads: reshape (s, h) -> (s, heads, dh), permute to
+        // (heads, s, dh) — the element-wise memory operators of Fig. 1.
+        let split = |p: &mut TeProgram, t: TensorId, tag: &str| {
+            let r = builders::reshape(
+                p,
+                &format!("{pre}.{tag}.reshape"),
+                t,
+                Shape::new(vec![s, cfg.heads, head_dim]),
+            );
+            builders::transpose(p, &format!("{pre}.{tag}.permute"), r, &[1, 0, 2])
+        };
+        let qh = split(&mut p, q, "q"); // (heads, s, dh)
+        let kh = split(&mut p, k, "k");
+        let vh = split(&mut p, v, "v");
+
+        // scores = (Q K^T) / sqrt(dh): batched GEMM + scale.
+        let kt = builders::transpose(&mut p, &format!("{pre}.kT"), kh, &[0, 2, 1]); // (heads, dh, s)
+        let scores = builders::batch_matmul(&mut p, &format!("{pre}.scores"), qh, kt);
+        let scaled = builders::scale(
+            &mut p,
+            &format!("{pre}.scores.scale"),
+            scores,
+            1.0 / (head_dim as f32).sqrt(),
+        );
+        // Softmax over keys: the reduction pattern TensorRT/XLA cannot fuse
+        // with the GEMMs (§8.1).
+        let probs = builders::softmax(&mut p, &format!("{pre}.softmax"), scaled);
+        // context = probs V : (heads, s, s) x (heads, s, dh)
+        let ctx = builders::batch_matmul(&mut p, &format!("{pre}.ctx"), probs, vh);
+        // Merge heads: permute back + reshape.
+        let ctx_t = builders::transpose(&mut p, &format!("{pre}.ctx.permute"), ctx, &[1, 0, 2]);
+        let merged = builders::reshape(
+            &mut p,
+            &format!("{pre}.ctx.reshape"),
+            ctx_t,
+            Shape::new(vec![s, h]),
+        );
+        // Output projection + residual + layer norm.
+        let wo = p.add_weight(&format!("{pre}.wo"), Shape::new(vec![h, h]), dt);
+        let proj = builders::matmul(&mut p, &format!("{pre}.proj"), merged, wo);
+        let bo = p.add_weight(&format!("{pre}.bo"), Shape::new(vec![h]), dt);
+        let proj = builders::bias_add(&mut p, &format!("{pre}.proj.bias"), proj, bo);
+        let res1 = builders::add(&mut p, &format!("{pre}.res1"), proj, x);
+        let g1 = p.add_weight(&format!("{pre}.ln1.gamma"), Shape::new(vec![h]), dt);
+        let b1 = p.add_weight(&format!("{pre}.ln1.beta"), Shape::new(vec![h]), dt);
+        let ln1 = builders::layer_norm(&mut p, &format!("{pre}.ln1"), res1, g1, b1, 1e-5);
+
+        // --- FFN ---
+        let w1 = p.add_weight(&format!("{pre}.ffn.w1"), Shape::new(vec![h, cfg.ffn]), dt);
+        let f1 = builders::matmul(&mut p, &format!("{pre}.ffn.fc1"), ln1, w1);
+        let fb1 = p.add_weight(&format!("{pre}.ffn.b1"), Shape::new(vec![cfg.ffn]), dt);
+        let f1 = builders::bias_add(&mut p, &format!("{pre}.ffn.b1.add"), f1, fb1);
+        let gelu = builders::unary(&mut p, &format!("{pre}.ffn.gelu"), souffle_te::UnaryOp::Gelu, f1);
+        let w2 = p.add_weight(&format!("{pre}.ffn.w2"), Shape::new(vec![cfg.ffn, h]), dt);
+        let f2 = builders::matmul(&mut p, &format!("{pre}.ffn.fc2"), gelu, w2);
+        let fb2 = p.add_weight(&format!("{pre}.ffn.b2"), Shape::new(vec![h]), dt);
+        let f2 = builders::bias_add(&mut p, &format!("{pre}.ffn.b2.add"), f2, fb2);
+        let res2 = builders::add(&mut p, &format!("{pre}.res2"), f2, ln1);
+        let g2 = p.add_weight(&format!("{pre}.ln2.gamma"), Shape::new(vec![h]), dt);
+        let b2 = p.add_weight(&format!("{pre}.ln2.beta"), Shape::new(vec![h]), dt);
+        x = builders::layer_norm(&mut p, &format!("{pre}.ln2"), res2, g2, b2, 1e-5);
+    }
+    // SQuAD span head: hidden -> 2 logits per position.
+    let w_span = p.add_weight("bert.span.w", Shape::new(vec![h, 2]), dt);
+    let logits = builders::matmul(&mut p, "bert.span", x, w_span);
+    p.mark_output(logits);
+    p
+}
+
+/// Builds only the attention block of one layer — the §2 working-example
+/// subgraph used by Table 1 and Fig. 1.
+pub fn build_attention_subgraph(cfg: &BertConfig) -> TeProgram {
+    let one_layer = BertConfig { layers: 1, ..*cfg };
+    build(&one_layer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use souffle_te::interp::eval_with_random_inputs;
+
+    #[test]
+    fn tiny_bert_runs_in_interpreter() {
+        let p = build(&BertConfig::new(ModelConfig::Tiny));
+        p.validate().unwrap();
+        let out = eval_with_random_inputs(&p, 1).unwrap();
+        assert_eq!(out.len(), 1);
+        let t = out.values().next().unwrap();
+        assert_eq!(t.shape().dims(), &[8, 2]);
+        assert!(t.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn paper_bert_structure() {
+        let p = build(&BertConfig::new(ModelConfig::Paper));
+        p.validate().unwrap();
+        // 12 layers, each with 6 GEMMs + 2 batched GEMMs.
+        let gemms = p
+            .tes()
+            .iter()
+            .filter(|te| te.is_reduction() && te.inputs.len() >= 2)
+            .count();
+        assert!(gemms >= 12 * 8, "found only {gemms} GEMM-like TEs");
+        // Softmax lowers to reductions: at least 2 per layer.
+        assert!(p.num_tes() > 300);
+    }
+
+    #[test]
+    fn attention_subgraph_is_one_layer() {
+        let p = build_attention_subgraph(&BertConfig::new(ModelConfig::Paper));
+        p.validate().unwrap();
+        assert!(p.num_tes() < 60);
+    }
+}

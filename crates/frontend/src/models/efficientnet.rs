@@ -1,0 +1,252 @@
+//! EfficientNet-B0 (Tan & Le), the paper's mobile CNN workload.
+//!
+//! The MBConv block — expand 1×1, depthwise k×k, squeeze-and-excitation,
+//! project 1×1 — is the sub-module of Fig. 5/Fig. 6 (M0–M9): a pattern
+//! mixing tiny reductions (global average pool), tiny GEMMs and broadcast
+//! multiplies that existing frameworks map to many small kernels.
+
+use super::ModelConfig;
+use souffle_te::{builders, BinaryOp, ScalarExpr, TeProgram, TensorId, UnaryOp};
+use souffle_affine::IndexExpr;
+use souffle_tensor::{DType, Shape};
+
+/// One MBConv stage description: (expansion, channels, repeats, stride,
+/// kernel).
+pub type StageSpec = (i64, i64, usize, i64, i64);
+
+/// EfficientNet build configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EfficientNetConfig {
+    /// Input resolution.
+    pub image: i64,
+    /// Stem channels.
+    pub stem: i64,
+    /// MBConv stages.
+    pub stages: Vec<StageSpec>,
+    /// Head channels.
+    pub head: i64,
+}
+
+impl EfficientNetConfig {
+    /// Builds the configuration for a size class.
+    pub fn new(config: ModelConfig) -> Self {
+        match config {
+            // The B0 architecture from the source publication.
+            ModelConfig::Paper => EfficientNetConfig {
+                image: 224,
+                stem: 32,
+                stages: vec![
+                    (1, 16, 1, 1, 3),
+                    (6, 24, 2, 2, 3),
+                    (6, 40, 2, 2, 5),
+                    (6, 80, 3, 2, 3),
+                    (6, 112, 3, 1, 5),
+                    (6, 192, 4, 2, 5),
+                    (6, 320, 1, 1, 3),
+                ],
+                head: 1280,
+            },
+            ModelConfig::Tiny => EfficientNetConfig {
+                image: 8,
+                stem: 4,
+                stages: vec![(1, 4, 1, 1, 3), (2, 8, 1, 2, 3)],
+                head: 16,
+            },
+        }
+    }
+}
+
+fn bn(p: &mut TeProgram, name: &str, x: TensorId) -> TensorId {
+    let sx = p.tensor(x).shape.clone();
+    let c = sx.dim(1);
+    let dtype = p.tensor(x).dtype;
+    let scale = p.add_weight(&format!("{name}.scale"), Shape::new(vec![c]), dtype);
+    let shift = p.add_weight(&format!("{name}.shift"), Shape::new(vec![c]), dtype);
+    let iv: Vec<IndexExpr> = (0..4).map(IndexExpr::Var).collect();
+    p.add_te(
+        name,
+        sx,
+        dtype,
+        vec![x, scale, shift],
+        vec![],
+        None,
+        ScalarExpr::binary(
+            BinaryOp::Add,
+            ScalarExpr::binary(
+                BinaryOp::Mul,
+                ScalarExpr::input(0, iv),
+                ScalarExpr::input(1, vec![IndexExpr::var(1)]),
+            ),
+            ScalarExpr::input(2, vec![IndexExpr::var(1)]),
+        ),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn conv_bn_silu(
+    p: &mut TeProgram,
+    name: &str,
+    x: TensorId,
+    out_ch: i64,
+    kernel: i64,
+    stride: i64,
+    depthwise: bool,
+    activate: bool,
+) -> TensorId {
+    let in_ch = p.tensor(x).shape.dim(1);
+    let dtype = p.tensor(x).dtype;
+    let pad = kernel / 2;
+    let y = if depthwise {
+        let w = p.add_weight(
+            &format!("{name}.w"),
+            Shape::new(vec![in_ch, 1, kernel, kernel]),
+            dtype,
+        );
+        builders::grouped_conv2d(p, name, x, w, stride, pad, in_ch)
+    } else {
+        let w = p.add_weight(
+            &format!("{name}.w"),
+            Shape::new(vec![out_ch, in_ch, kernel, kernel]),
+            dtype,
+        );
+        builders::conv2d(p, name, x, w, stride, pad)
+    };
+    let y = bn(p, &format!("{name}.bn"), y);
+    if activate {
+        builders::unary(p, &format!("{name}.silu"), UnaryOp::Silu, y)
+    } else {
+        y
+    }
+}
+
+/// Squeeze-and-excitation: the Fig. 5 sub-module. GAP to (1, C), two tiny
+/// GEMMs with SiLU/sigmoid, then a channel-wise rescale of the feature
+/// map.
+pub fn squeeze_excite(p: &mut TeProgram, name: &str, x: TensorId, se_ch: i64) -> TensorId {
+    let sx = p.tensor(x).shape.clone();
+    let c = sx.dim(1);
+    let dtype = p.tensor(x).dtype;
+    let pooled = builders::global_avg_pool(p, &format!("{name}.gap"), x); // (1, C)
+    let w1 = p.add_weight(&format!("{name}.w1"), Shape::new(vec![c, se_ch]), dtype);
+    let h = builders::matmul(p, &format!("{name}.fc1"), pooled, w1);
+    let h = builders::unary(p, &format!("{name}.silu"), UnaryOp::Silu, h);
+    let w2 = p.add_weight(&format!("{name}.w2"), Shape::new(vec![se_ch, c]), dtype);
+    let s = builders::matmul(p, &format!("{name}.fc2"), h, w2);
+    let s = builders::sigmoid(p, &format!("{name}.gate"), s); // (1, C)
+    // x * s broadcast over N, H, W.
+    let iv: Vec<IndexExpr> = (0..4).map(IndexExpr::Var).collect();
+    p.add_te(
+        &format!("{name}.scale"),
+        sx,
+        dtype,
+        vec![x, s],
+        vec![],
+        None,
+        ScalarExpr::binary(
+            BinaryOp::Mul,
+            ScalarExpr::input(0, iv),
+            ScalarExpr::input(1, vec![IndexExpr::constant(0), IndexExpr::var(1)]),
+        ),
+    )
+}
+
+/// One MBConv block. Public so the Fig. 6 micro-benchmark can instantiate
+/// the sub-module at each of the paper's M0–M9 input sizes.
+pub fn mbconv(
+    p: &mut TeProgram,
+    name: &str,
+    x: TensorId,
+    out_ch: i64,
+    expand: i64,
+    kernel: i64,
+    stride: i64,
+) -> TensorId {
+    let in_ch = p.tensor(x).shape.dim(1);
+    let mid = in_ch * expand;
+    let mut cur = x;
+    if expand > 1 {
+        cur = conv_bn_silu(p, &format!("{name}.expand"), cur, mid, 1, 1, false, true);
+    }
+    cur = conv_bn_silu(p, &format!("{name}.dw"), cur, mid, kernel, stride, true, true);
+    let se_ch = (in_ch / 4).max(1);
+    cur = squeeze_excite(p, &format!("{name}.se"), cur, se_ch);
+    cur = conv_bn_silu(p, &format!("{name}.project"), cur, out_ch, 1, 1, false, false);
+    if stride == 1 && in_ch == out_ch {
+        cur = builders::add(p, &format!("{name}.res"), cur, x);
+    }
+    cur
+}
+
+/// Builds the TE program.
+pub fn build(cfg: &EfficientNetConfig) -> TeProgram {
+    let mut p = TeProgram::new();
+    let dt = DType::F16;
+    let x = p.add_input(
+        "effnet.input",
+        Shape::new(vec![1, 3, cfg.image, cfg.image]),
+        dt,
+    );
+    let mut cur = conv_bn_silu(&mut p, "effnet.stem", x, cfg.stem, 3, 2, false, true);
+    for (si, &(expand, channels, repeats, stride, kernel)) in cfg.stages.iter().enumerate() {
+        for r in 0..repeats {
+            let s = if r == 0 { stride } else { 1 };
+            cur = mbconv(
+                &mut p,
+                &format!("effnet.s{si}.b{r}"),
+                cur,
+                channels,
+                expand,
+                kernel,
+                s,
+            );
+        }
+    }
+    cur = conv_bn_silu(&mut p, "effnet.head", cur, cfg.head, 1, 1, false, true);
+    let pooled = builders::global_avg_pool(&mut p, "effnet.gap", cur);
+    let w_fc = p.add_weight("effnet.fc.w", Shape::new(vec![cfg.head, 1000.min(cfg.head)]), dt);
+    let logits = builders::matmul(&mut p, "effnet.fc", pooled, w_fc);
+    p.mark_output(logits);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use souffle_te::interp::eval_with_random_inputs;
+
+    #[test]
+    fn tiny_efficientnet_runs_in_interpreter() {
+        let p = build(&EfficientNetConfig::new(ModelConfig::Tiny));
+        p.validate().unwrap();
+        let out = eval_with_random_inputs(&p, 5).unwrap();
+        assert!(out.values().next().unwrap().data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn paper_b0_has_16_blocks() {
+        let cfg = EfficientNetConfig::new(ModelConfig::Paper);
+        let blocks: usize = cfg.stages.iter().map(|s| s.2).sum();
+        assert_eq!(blocks, 16);
+        let p = build(&cfg);
+        p.validate().unwrap();
+        // Each block has one SE gate.
+        let gates = p.tes().iter().filter(|t| t.name.ends_with(".se.gate")).count();
+        assert_eq!(gates, 16);
+    }
+
+    #[test]
+    fn se_module_shapes() {
+        let mut p = TeProgram::new();
+        let x = p.add_input("x", Shape::new(vec![1, 8, 4, 4]), DType::F32);
+        let y = squeeze_excite(&mut p, "se", x, 2);
+        assert_eq!(p.tensor(y).shape.dims(), &[1, 8, 4, 4]);
+        p.validate().unwrap();
+        let out = eval_with_random_inputs(&{
+            let mut q = p.clone();
+            q.mark_output(y);
+            q
+        }, 6)
+        .unwrap();
+        assert!(out.values().next().unwrap().data().iter().all(|v| v.is_finite()));
+    }
+}

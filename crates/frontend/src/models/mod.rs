@@ -1,0 +1,131 @@
+//! Model builders.
+
+pub mod bert;
+pub mod efficientnet;
+pub mod lstm;
+pub mod mmoe;
+pub mod resnext;
+pub mod swin;
+
+use souffle_te::TeProgram;
+use std::fmt;
+
+/// The six evaluation workloads (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Model {
+    /// BERT-base on SQuAD (seq len 384), FP16 GEMMs.
+    Bert,
+    /// ResNeXt-101 (bottleneck width 64d) on ImageNet.
+    ResNext,
+    /// 10-layer LSTM, hidden 256, 100 time steps.
+    Lstm,
+    /// EfficientNet-B0 on ImageNet.
+    EfficientNet,
+    /// Swin-Transformer base, patch 4, window 7.
+    SwinTransformer,
+    /// Multi-gate mixture-of-experts base model.
+    Mmoe,
+}
+
+impl Model {
+    /// All six models, in the paper's table order.
+    pub const ALL: [Model; 6] = [
+        Model::Bert,
+        Model::ResNext,
+        Model::Lstm,
+        Model::EfficientNet,
+        Model::SwinTransformer,
+        Model::Mmoe,
+    ];
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Model::Bert => "BERT",
+            Model::ResNext => "ResNeXt",
+            Model::Lstm => "LSTM",
+            Model::EfficientNet => "EfficientNet",
+            Model::SwinTransformer => "Swin-Trans.",
+            Model::Mmoe => "MMoE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Size configuration for a model builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelConfig {
+    /// The paper's evaluation configuration (Table 2), batch size 1.
+    Paper,
+    /// A shrunken configuration small enough for the reference
+    /// interpreter (used by semantic-preservation tests).
+    Tiny,
+}
+
+/// Builds the TE program of a model.
+///
+/// The returned program is validated; builders panic (via `expect`) only
+/// on internal inconsistencies, which tests guard against.
+pub fn build_model(model: Model, config: ModelConfig) -> TeProgram {
+    let p = match model {
+        Model::Bert => bert::build(&bert::BertConfig::new(config)),
+        Model::ResNext => resnext::build(&resnext::ResNextConfig::new(config)),
+        Model::Lstm => lstm::build(&lstm::LstmConfig::new(config)),
+        Model::EfficientNet => efficientnet::build(&efficientnet::EfficientNetConfig::new(config)),
+        Model::SwinTransformer => swin::build(&swin::SwinConfig::new(config)),
+        Model::Mmoe => mmoe::build(&mmoe::MmoeConfig::new(config)),
+    };
+    debug_assert!(p.validate().is_ok(), "{model} must validate");
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_tiny_models_validate() {
+        for model in Model::ALL {
+            let p = build_model(model, ModelConfig::Tiny);
+            p.validate()
+                .unwrap_or_else(|e| panic!("{model} tiny failed: {e}"));
+            assert!(p.num_tes() > 3, "{model} tiny is suspiciously small");
+        }
+    }
+
+    #[test]
+    fn all_paper_models_validate() {
+        for model in Model::ALL {
+            let p = build_model(model, ModelConfig::Paper);
+            p.validate()
+                .unwrap_or_else(|e| panic!("{model} paper failed: {e}"));
+        }
+    }
+
+    #[test]
+    fn paper_models_have_realistic_te_counts() {
+        let counts: Vec<(Model, usize)> = Model::ALL
+            .iter()
+            .map(|&m| (m, build_model(m, ModelConfig::Paper).num_tes()))
+            .collect();
+        for (m, n) in &counts {
+            match m {
+                Model::Bert => assert!((200..1000).contains(n), "BERT has {n} TEs"),
+                Model::ResNext => assert!((300..1500).contains(n), "ResNeXt has {n} TEs"),
+                Model::Lstm => assert!((5000..20000).contains(n), "LSTM has {n} TEs"),
+                Model::EfficientNet => {
+                    assert!((150..1000).contains(n), "EfficientNet has {n} TEs")
+                }
+                Model::SwinTransformer => assert!((300..2000).contains(n), "Swin has {n} TEs"),
+                Model::Mmoe => assert!((20..200).contains(n), "MMoE has {n} TEs"),
+            }
+        }
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(Model::Bert.to_string(), "BERT");
+        assert_eq!(Model::SwinTransformer.to_string(), "Swin-Trans.");
+    }
+}

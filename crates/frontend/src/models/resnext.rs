@@ -1,0 +1,221 @@
+//! ResNeXt-101 (Xie et al.), the paper's classic CNN workload.
+//!
+//! Configuration from Table 2: 101 layers, bottleneck width 64d
+//! (cardinality 64, group width 4), ImageNet 224×224, batch 1. The
+//! aggregated transform is a grouped 3×3 convolution; batch norm is
+//! lowered to its inference form, a per-channel affine (scale + shift)
+//! element-wise TE pair that the vertical transformation folds away.
+
+use super::ModelConfig;
+use souffle_te::{builders, BinaryOp, ScalarExpr, TeProgram, TensorId};
+use souffle_affine::IndexExpr;
+use souffle_tensor::{DType, Shape};
+
+/// ResNeXt build configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResNextConfig {
+    /// Input spatial resolution (square).
+    pub image: i64,
+    /// Stem output channels.
+    pub stem: i64,
+    /// Blocks per stage.
+    pub depths: [usize; 4],
+    /// Grouped-conv internal width per stage.
+    pub widths: [i64; 4],
+    /// Output channels per stage.
+    pub outs: [i64; 4],
+    /// Cardinality (number of groups).
+    pub groups: i64,
+}
+
+impl ResNextConfig {
+    /// Builds the configuration for a size class.
+    pub fn new(config: ModelConfig) -> Self {
+        match config {
+            // ResNeXt-101 64x4d: depths 3+4+23+3 (x3 convs = 99) + stem +
+            // fc = 101 layers.
+            ModelConfig::Paper => ResNextConfig {
+                image: 224,
+                stem: 64,
+                depths: [3, 4, 23, 3],
+                widths: [256, 512, 1024, 2048],
+                outs: [256, 512, 1024, 2048],
+                groups: 64,
+            },
+            ModelConfig::Tiny => ResNextConfig {
+                image: 16,
+                stem: 4,
+                depths: [1, 1, 1, 1],
+                widths: [4, 8, 8, 8],
+                outs: [8, 8, 8, 8],
+                groups: 2,
+            },
+        }
+    }
+}
+
+/// Inference-time batch norm: per-channel `x * scale + shift` on an NCHW
+/// tensor (two broadcast element-wise TEs).
+fn batch_norm(p: &mut TeProgram, name: &str, x: TensorId) -> TensorId {
+    let sx = p.tensor(x).shape.clone();
+    let c = sx.dim(1);
+    let dtype = p.tensor(x).dtype;
+    let scale = p.add_weight(&format!("{name}.scale"), Shape::new(vec![c]), dtype);
+    let shift = p.add_weight(&format!("{name}.shift"), Shape::new(vec![c]), dtype);
+    let iv: Vec<IndexExpr> = (0..4).map(IndexExpr::Var).collect();
+    p.add_te(
+        name,
+        sx,
+        dtype,
+        vec![x, scale, shift],
+        vec![],
+        None,
+        ScalarExpr::binary(
+            BinaryOp::Add,
+            ScalarExpr::binary(
+                BinaryOp::Mul,
+                ScalarExpr::input(0, iv),
+                ScalarExpr::input(1, vec![IndexExpr::var(1)]),
+            ),
+            ScalarExpr::input(2, vec![IndexExpr::var(1)]),
+        ),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn conv_bn_relu(
+    p: &mut TeProgram,
+    name: &str,
+    x: TensorId,
+    out_ch: i64,
+    kernel: i64,
+    stride: i64,
+    groups: i64,
+    relu: bool,
+) -> TensorId {
+    let in_ch = p.tensor(x).shape.dim(1);
+    let dtype = p.tensor(x).dtype;
+    let w = p.add_weight(
+        &format!("{name}.w"),
+        Shape::new(vec![out_ch, in_ch / groups, kernel, kernel]),
+        dtype,
+    );
+    let pad = kernel / 2;
+    let y = if groups == 1 {
+        builders::conv2d(p, name, x, w, stride, pad)
+    } else {
+        builders::grouped_conv2d(p, name, x, w, stride, pad, groups)
+    };
+    let y = batch_norm(p, &format!("{name}.bn"), y);
+    if relu {
+        builders::relu(p, &format!("{name}.relu"), y)
+    } else {
+        y
+    }
+}
+
+/// One aggregated bottleneck block: 1×1 reduce, grouped 3×3, 1×1 expand,
+/// residual.
+#[allow(clippy::too_many_arguments)]
+fn block(
+    p: &mut TeProgram,
+    name: &str,
+    x: TensorId,
+    width: i64,
+    out_ch: i64,
+    stride: i64,
+    groups: i64,
+) -> TensorId {
+    let in_ch = p.tensor(x).shape.dim(1);
+    let a = conv_bn_relu(p, &format!("{name}.conv1"), x, width, 1, 1, 1, true);
+    let b = conv_bn_relu(p, &format!("{name}.conv2"), a, width, 3, stride, groups, true);
+    let c = conv_bn_relu(p, &format!("{name}.conv3"), b, out_ch, 1, 1, 1, false);
+    let shortcut = if in_ch != out_ch || stride != 1 {
+        conv_bn_relu(p, &format!("{name}.down"), x, out_ch, 1, stride, 1, false)
+    } else {
+        x
+    };
+    let sum = builders::add(p, &format!("{name}.res"), c, shortcut);
+    builders::relu(p, &format!("{name}.relu"), sum)
+}
+
+/// Builds the TE program.
+pub fn build(cfg: &ResNextConfig) -> TeProgram {
+    let mut p = TeProgram::new();
+    let dt = DType::F16;
+    let x = p.add_input(
+        "resnext.input",
+        Shape::new(vec![1, 3, cfg.image, cfg.image]),
+        dt,
+    );
+    // Stem: 7x7/2 conv + 3x3/2 max pool.
+    let stem = conv_bn_relu(&mut p, "resnext.stem", x, cfg.stem, 7, 2, 1, true);
+    let mut cur = builders::max_pool2d(&mut p, "resnext.maxpool", stem, 3, 2, 1);
+
+    for (si, &depth) in cfg.depths.iter().enumerate() {
+        for bi in 0..depth {
+            let stride = if bi == 0 && si > 0 { 2 } else { 1 };
+            cur = block(
+                &mut p,
+                &format!("resnext.s{si}.b{bi}"),
+                cur,
+                cfg.widths[si],
+                cfg.outs[si],
+                stride,
+                cfg.groups,
+            );
+        }
+    }
+
+    let pooled = builders::global_avg_pool(&mut p, "resnext.gap", cur); // (1, C)
+    let w_fc = p.add_weight(
+        "resnext.fc.w",
+        Shape::new(vec![cfg.outs[3], 1000.min(cfg.outs[3] * 4)]),
+        dt,
+    );
+    let logits = builders::matmul(&mut p, "resnext.fc", pooled, w_fc);
+    p.mark_output(logits);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use souffle_te::interp::eval_with_random_inputs;
+
+    #[test]
+    fn tiny_resnext_runs_in_interpreter() {
+        let p = build(&ResNextConfig::new(ModelConfig::Tiny));
+        p.validate().unwrap();
+        let out = eval_with_random_inputs(&p, 4).unwrap();
+        let t = out.values().next().unwrap();
+        assert!(t.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn paper_resnext_has_101_conv_layers() {
+        let p = build(&ResNextConfig::new(ModelConfig::Paper));
+        p.validate().unwrap();
+        let convs = p
+            .tes()
+            .iter()
+            .filter(|te| te.is_reduction() && te.inputs.len() == 2 && te.reduce.len() == 3)
+            .count();
+        // 99 block convs + stem + downsample projections.
+        assert!(convs >= 100, "found {convs} convolutions");
+    }
+
+    #[test]
+    fn spatial_sizes_halve_per_stage() {
+        let cfg = ResNextConfig::new(ModelConfig::Paper);
+        let p = build(&cfg);
+        // Find the last block output: its H should be image/32.
+        let gap = p
+            .tes()
+            .iter()
+            .find(|te| te.name == "resnext.gap.sum")
+            .unwrap();
+        let in_shape = &p.tensor(gap.inputs[0]).shape;
+        assert_eq!(in_shape.dim(2), cfg.image / 32);
+    }
+}

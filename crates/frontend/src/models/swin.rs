@@ -1,0 +1,377 @@
+//! Swin Transformer (Liu et al.), the paper's vision-transformer workload.
+//!
+//! Configuration from Table 2: base version, patch size 4, window size 7.
+//! Window partitioning, shifted windows (cyclic roll) and patch merging
+//! are all *quasi-affine* memory operators — precisely the reorganisation
+//! TEs Souffle's vertical transformation folds into adjacent compute TEs
+//! (§6.2), and the reason quasi-affine index maps (div/mod) are needed at
+//! all.
+
+use super::ModelConfig;
+use souffle_te::{builders, ScalarExpr, TeProgram, TensorId};
+use souffle_affine::IndexExpr;
+use souffle_tensor::{DType, Shape};
+
+/// Swin build configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwinConfig {
+    /// Input image resolution.
+    pub image: i64,
+    /// Patch size (4 in the paper).
+    pub patch: i64,
+    /// Window size (7 in the paper).
+    pub window: i64,
+    /// Embedding dim of stage 1.
+    pub dim: i64,
+    /// Blocks per stage.
+    pub depths: Vec<usize>,
+    /// Attention heads per stage.
+    pub heads: Vec<i64>,
+}
+
+impl SwinConfig {
+    /// Builds the configuration for a size class.
+    pub fn new(config: ModelConfig) -> Self {
+        match config {
+            // Swin-B: dim 128, depths [2,2,18,2], heads [4,8,16,32].
+            ModelConfig::Paper => SwinConfig {
+                image: 224,
+                patch: 4,
+                window: 7,
+                dim: 128,
+                depths: vec![2, 2, 18, 2],
+                heads: vec![4, 8, 16, 32],
+            },
+            ModelConfig::Tiny => SwinConfig {
+                image: 8,
+                patch: 2,
+                window: 2,
+                dim: 8,
+                depths: vec![1, 1],
+                heads: vec![2, 2],
+            },
+        }
+    }
+}
+
+/// Cyclic roll of the token grid by `shift` in both spatial directions —
+/// the shifted-window mechanism, as a single quasi-affine view TE.
+fn roll_tokens(p: &mut TeProgram, name: &str, x: TensorId, res: i64, shift: i64) -> TensorId {
+    let sx = p.tensor(x).shape.clone();
+    let dtype = p.tensor(x).dtype;
+    let h = IndexExpr::var(0)
+        .floor_div(res)
+        .add(IndexExpr::constant(shift))
+        .modulo(res);
+    let w = IndexExpr::var(0)
+        .modulo(res)
+        .add(IndexExpr::constant(shift))
+        .modulo(res);
+    let t = h.mul(res).add(w);
+    p.add_te(
+        name,
+        sx,
+        dtype,
+        vec![x],
+        vec![],
+        None,
+        ScalarExpr::input(0, vec![t, IndexExpr::var(1)]),
+    )
+}
+
+/// Window partition of a `(res², C)` token tensor into
+/// `(windows × heads, window², head_dim)` — one quasi-affine view TE.
+fn window_partition(
+    p: &mut TeProgram,
+    name: &str,
+    x: TensorId,
+    res: i64,
+    win: i64,
+    heads: i64,
+) -> TensorId {
+    let c = p.tensor(x).shape.dim(1);
+    let dh = c / heads;
+    let wpr = res / win; // windows per row
+    let nw = wpr * wpr;
+    let dtype = p.tensor(x).dtype;
+    // v0 = window*heads + head, v1 = in-window position, v2 = head channel
+    let wi = IndexExpr::var(0).floor_div(heads);
+    let hd = IndexExpr::var(0).modulo(heads);
+    let h = wi
+        .clone()
+        .floor_div(wpr)
+        .mul(win)
+        .add(IndexExpr::var(1).floor_div(win));
+    let w = wi.modulo(wpr).mul(win).add(IndexExpr::var(1).modulo(win));
+    let t = h.mul(res).add(w);
+    let col = hd.mul(dh).add(IndexExpr::var(2));
+    p.add_te(
+        name,
+        Shape::new(vec![nw * heads, win * win, dh]),
+        dtype,
+        vec![x],
+        vec![],
+        None,
+        ScalarExpr::input(0, vec![t, col]),
+    )
+}
+
+/// Inverse of [`window_partition`]: back to `(res², C)`.
+fn window_merge(
+    p: &mut TeProgram,
+    name: &str,
+    x: TensorId,
+    res: i64,
+    win: i64,
+    heads: i64,
+) -> TensorId {
+    let dh = p.tensor(x).shape.dim(2);
+    let c = dh * heads;
+    let wpr = res / win;
+    let dtype = p.tensor(x).dtype;
+    // v0 = token, v1 = channel
+    let h = IndexExpr::var(0).floor_div(res);
+    let w = IndexExpr::var(0).modulo(res);
+    let wi = h
+        .clone()
+        .floor_div(win)
+        .mul(wpr)
+        .add(w.clone().floor_div(win));
+    let pi = h.modulo(win).mul(win).add(w.modulo(win));
+    let hd = IndexExpr::var(1).floor_div(dh);
+    let j = IndexExpr::var(1).modulo(dh);
+    let b = wi.mul(heads).add(hd);
+    p.add_te(
+        name,
+        Shape::new(vec![res * res, c]),
+        dtype,
+        vec![x],
+        vec![],
+        None,
+        ScalarExpr::input(0, vec![b, pi, j]),
+    )
+}
+
+/// Patch merging between stages: `(res², C)` → `((res/2)², 2C)` via a 2×2
+/// neighbourhood gather (quasi-affine view) and a `4C → 2C` linear layer.
+fn patch_merging(p: &mut TeProgram, name: &str, x: TensorId, res: i64) -> TensorId {
+    let c = p.tensor(x).shape.dim(1);
+    let dtype = p.tensor(x).dtype;
+    let half = res / 2;
+    // v0 = merged token, v1 = gathered channel in [0, 4C)
+    let h2 = IndexExpr::var(0).floor_div(half);
+    let w2 = IndexExpr::var(0).modulo(half);
+    let quadrant = IndexExpr::var(1).floor_div(c);
+    let ch = IndexExpr::var(1).modulo(c);
+    let h = h2.mul(2).add(quadrant.clone().floor_div(2));
+    let w = w2.mul(2).add(quadrant.modulo(2));
+    let t = h.mul(res).add(w);
+    let gathered = p.add_te(
+        &format!("{name}.gather"),
+        Shape::new(vec![half * half, 4 * c]),
+        dtype,
+        vec![x],
+        vec![],
+        None,
+        ScalarExpr::input(0, vec![t, ch]),
+    );
+    let w_red = p.add_weight(&format!("{name}.w"), Shape::new(vec![4 * c, 2 * c]), dtype);
+    builders::matmul(p, &format!("{name}.linear"), gathered, w_red)
+}
+
+/// One Swin block (window attention + MLP), shifted when `shift > 0`.
+#[allow(clippy::too_many_arguments)]
+fn swin_block(
+    p: &mut TeProgram,
+    name: &str,
+    x: TensorId,
+    res: i64,
+    win: i64,
+    heads: i64,
+    shift: i64,
+) -> TensorId {
+    let c = p.tensor(x).shape.dim(1);
+    let dh = c / heads;
+    let dt = p.tensor(x).dtype;
+    let g1 = p.add_weight(&format!("{name}.ln1.g"), Shape::new(vec![c]), dt);
+    let b1 = p.add_weight(&format!("{name}.ln1.b"), Shape::new(vec![c]), dt);
+    let ln1 = builders::layer_norm(p, &format!("{name}.ln1"), x, g1, b1, 1e-5);
+    let attn_in = if shift > 0 {
+        roll_tokens(p, &format!("{name}.roll"), ln1, res, shift)
+    } else {
+        ln1
+    };
+    let wq = p.add_weight(&format!("{name}.wq"), Shape::new(vec![c, c]), dt);
+    let wk = p.add_weight(&format!("{name}.wk"), Shape::new(vec![c, c]), dt);
+    let wv = p.add_weight(&format!("{name}.wv"), Shape::new(vec![c, c]), dt);
+    let q = builders::matmul(p, &format!("{name}.q"), attn_in, wq);
+    let k = builders::matmul(p, &format!("{name}.k"), attn_in, wk);
+    let v = builders::matmul(p, &format!("{name}.v"), attn_in, wv);
+    let qw = window_partition(p, &format!("{name}.q.win"), q, res, win, heads);
+    let kw = window_partition(p, &format!("{name}.k.win"), k, res, win, heads);
+    let vw = window_partition(p, &format!("{name}.v.win"), v, res, win, heads);
+    let kt = builders::transpose(p, &format!("{name}.kT"), kw, &[0, 2, 1]);
+    let scores = builders::batch_matmul(p, &format!("{name}.scores"), qw, kt);
+    let scaled = builders::scale(
+        p,
+        &format!("{name}.scale"),
+        scores,
+        1.0 / (dh as f32).sqrt(),
+    );
+    let probs = builders::softmax(p, &format!("{name}.softmax"), scaled);
+    let ctx = builders::batch_matmul(p, &format!("{name}.ctx"), probs, vw);
+    let merged = window_merge(p, &format!("{name}.merge"), ctx, res, win, heads);
+    let unrolled = if shift > 0 {
+        roll_tokens(p, &format!("{name}.unroll"), merged, res, res - shift)
+    } else {
+        merged
+    };
+    let wo = p.add_weight(&format!("{name}.wo"), Shape::new(vec![c, c]), dt);
+    let proj = builders::matmul(p, &format!("{name}.proj"), unrolled, wo);
+    let res1 = builders::add(p, &format!("{name}.res1"), proj, x);
+    // MLP
+    let g2 = p.add_weight(&format!("{name}.ln2.g"), Shape::new(vec![c]), dt);
+    let b2 = p.add_weight(&format!("{name}.ln2.b"), Shape::new(vec![c]), dt);
+    let ln2 = builders::layer_norm(p, &format!("{name}.ln2"), res1, g2, b2, 1e-5);
+    let w1 = p.add_weight(&format!("{name}.mlp.w1"), Shape::new(vec![c, 4 * c]), dt);
+    let f1 = builders::matmul(p, &format!("{name}.mlp.fc1"), ln2, w1);
+    let gelu = builders::unary(p, &format!("{name}.mlp.gelu"), souffle_te::UnaryOp::Gelu, f1);
+    let w2 = p.add_weight(&format!("{name}.mlp.w2"), Shape::new(vec![4 * c, c]), dt);
+    let f2 = builders::matmul(p, &format!("{name}.mlp.fc2"), gelu, w2);
+    builders::add(p, &format!("{name}.res2"), f2, res1)
+}
+
+/// Builds the TE program.
+pub fn build(cfg: &SwinConfig) -> TeProgram {
+    let mut p = TeProgram::new();
+    let dt = DType::F16;
+    let img = p.add_input(
+        "swin.input",
+        Shape::new(vec![1, 3, cfg.image, cfg.image]),
+        dt,
+    );
+    // Patch embedding: conv patch×patch / patch, then tokens view.
+    let w_embed = p.add_weight(
+        "swin.embed.w",
+        Shape::new(vec![cfg.dim, 3, cfg.patch, cfg.patch]),
+        dt,
+    );
+    let embedded = builders::conv2d(&mut p, "swin.embed", img, w_embed, cfg.patch, 0);
+    let mut res = cfg.image / cfg.patch;
+    // tokens (res², C): view of NCHW conv output.
+    let t_expr = vec![
+        IndexExpr::constant(0),
+        IndexExpr::var(1),
+        IndexExpr::var(0).floor_div(res),
+        IndexExpr::var(0).modulo(res),
+    ];
+    let mut x = p.add_te(
+        "swin.tokens",
+        Shape::new(vec![res * res, cfg.dim]),
+        dt,
+        vec![embedded],
+        vec![],
+        None,
+        ScalarExpr::input(0, t_expr),
+    );
+
+    let mut dim = cfg.dim;
+    for (si, &depth) in cfg.depths.iter().enumerate() {
+        let heads = cfg.heads[si];
+        for bi in 0..depth {
+            let shift = if bi % 2 == 1 { cfg.window / 2 } else { 0 };
+            x = swin_block(
+                &mut p,
+                &format!("swin.s{si}.b{bi}"),
+                x,
+                res,
+                cfg.window.min(res),
+                heads,
+                shift,
+            );
+        }
+        if si + 1 < cfg.depths.len() {
+            x = patch_merging(&mut p, &format!("swin.s{si}.merge"), x, res);
+            res /= 2;
+            dim *= 2;
+        }
+    }
+
+    // Head: mean over tokens + classifier.
+    let xt = builders::transpose(&mut p, "swin.pool.t", x, &[1, 0]);
+    let pooled = builders::reduce_last(&mut p, "swin.pool.sum", souffle_te::ReduceOp::Sum, xt);
+    let pooled = builders::scale(&mut p, "swin.pool.avg", pooled, 1.0 / (res * res) as f32);
+    let r = builders::reshape(&mut p, "swin.pool.row", pooled, Shape::new(vec![1, dim]));
+    let w_fc = p.add_weight("swin.fc.w", Shape::new(vec![dim, 1000.min(dim * 4)]), dt);
+    let logits = builders::matmul(&mut p, "swin.fc", r, w_fc);
+    p.mark_output(logits);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use souffle_te::interp::eval_with_random_inputs;
+    use souffle_tensor::Tensor;
+    use std::collections::HashMap;
+
+    #[test]
+    fn tiny_swin_runs_in_interpreter() {
+        let p = build(&SwinConfig::new(ModelConfig::Tiny));
+        p.validate().unwrap();
+        let out = eval_with_random_inputs(&p, 8).unwrap();
+        assert!(out.values().next().unwrap().data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn window_partition_roundtrips() {
+        // partition then merge must be the identity.
+        let mut p = TeProgram::new();
+        let x = p.add_input("x", Shape::new(vec![16, 4]), DType::F32); // res 4, C 4
+        let w = window_partition(&mut p, "part", x, 4, 2, 2);
+        let m = window_merge(&mut p, "merge", w, 4, 2, 2);
+        p.mark_output(m);
+        p.validate().unwrap();
+        let tx = Tensor::random(Shape::new(vec![16, 4]), 9);
+        let mut binds = HashMap::new();
+        binds.insert(x, tx.clone());
+        let out = souffle_te::interp::eval_program(&p, &binds).unwrap();
+        assert_eq!(out[&m], tx);
+    }
+
+    #[test]
+    fn roll_is_inverse_of_counter_roll() {
+        let mut p = TeProgram::new();
+        let x = p.add_input("x", Shape::new(vec![16, 2]), DType::F32);
+        let r = roll_tokens(&mut p, "roll", x, 4, 1);
+        let b = roll_tokens(&mut p, "back", r, 4, 3);
+        p.mark_output(b);
+        p.validate().unwrap();
+        let tx = Tensor::random(Shape::new(vec![16, 2]), 10);
+        let mut binds = HashMap::new();
+        binds.insert(x, tx.clone());
+        let out = souffle_te::interp::eval_program(&p, &binds).unwrap();
+        assert_eq!(out[&b], tx);
+    }
+
+    #[test]
+    fn paper_swin_structure() {
+        let cfg = SwinConfig::new(ModelConfig::Paper);
+        let p = build(&cfg);
+        p.validate().unwrap();
+        let blocks: usize = cfg.depths.iter().sum();
+        assert_eq!(blocks, 24);
+        // Each block has a softmax -> 2 reductions (max, sum).
+        let softmax_divs = p.tes().iter().filter(|t| t.name.ends_with(".softmax.div")).count();
+        assert_eq!(softmax_divs, 24);
+    }
+
+    #[test]
+    fn patch_merging_halves_resolution() {
+        let mut p = TeProgram::new();
+        let x = p.add_input("x", Shape::new(vec![16, 4]), DType::F32); // res 4, C 4
+        let m = patch_merging(&mut p, "pm", x, 4);
+        assert_eq!(p.tensor(m).shape.dims(), &[4, 8]);
+        p.validate().unwrap();
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! An A100-class GPU simulator for the Souffle reproduction.
+//!
+//! The paper evaluates on real hardware with NVIDIA Nsight Compute; this
+//! crate substitutes both. It executes the kernel IR of `souffle-kernel`
+//! against a [`souffle_sched::GpuSpec`] and produces the same metrics the
+//! paper reports:
+//!
+//! - end-to-end latency (Tables 1, 3, 4, Fig. 6),
+//! - number of kernel calls (Tables 1, 5),
+//! - global-memory transfer bytes (Tables 1, 5, 6),
+//! - LSU / FMA pipeline utilization (Table 6).
+//!
+//! The timing model is a calibrated roofline: per stage,
+//! `mem = bytes / (BW × eff)`, `compute = flops / (peak × eff)`, serialized
+//! unless the instruction-level pipelining pass marked the stage
+//! overlappable (`max` instead of `+`, §6.5). Kernel launches cost ~2 µs
+//! (§8.3), grid syncs a fraction of that — which is precisely the trade
+//! Souffle's single-kernel strategy exploits. Stages with too little
+//! parallelism to fill the device are derated, which is what penalizes
+//! wavefront-style execution (Fig. 7's Rammer LSTM).
+
+mod profile;
+mod sim;
+pub mod timeline;
+
+pub use profile::{KernelProfile, ModelProfile};
+pub use sim::{simulate, SimConfig};
+pub use timeline::chrome_trace;

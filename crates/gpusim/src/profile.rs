@@ -1,0 +1,178 @@
+//! Nsight-lite profiles produced by the simulator.
+
+use std::fmt;
+
+/// Per-kernel measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelProfile {
+    /// Kernel name.
+    pub name: String,
+    /// Wall time including launch overhead, seconds.
+    pub time_s: f64,
+    /// Time the memory (LSU) pipeline was busy, seconds.
+    pub mem_busy_s: f64,
+    /// Time the CUDA-core FMA pipeline was busy, seconds.
+    pub fma_busy_s: f64,
+    /// Time the tensor-core pipeline was busy, seconds.
+    pub tensor_busy_s: f64,
+    /// Bytes read from global memory.
+    pub global_read_bytes: u64,
+    /// Bytes written to global memory (including atomics).
+    pub global_write_bytes: u64,
+    /// Bytes served from the shared-memory tensor cache.
+    pub shared_read_bytes: u64,
+    /// Floating-point operations executed.
+    pub flops: u64,
+    /// Grid synchronizations executed.
+    pub grid_syncs: u64,
+}
+
+/// Whole-model measurements: what Nsight Compute would report for one
+/// inference.
+#[derive(Debug, Clone, Default)]
+pub struct ModelProfile {
+    /// Per-kernel breakdown in launch order.
+    pub kernels: Vec<KernelProfile>,
+}
+
+impl ModelProfile {
+    /// End-to-end latency in seconds.
+    pub fn total_time_s(&self) -> f64 {
+        self.kernels.iter().map(|k| k.time_s).sum()
+    }
+
+    /// End-to-end latency in milliseconds (the unit of Table 3).
+    pub fn total_time_ms(&self) -> f64 {
+        self.total_time_s() * 1e3
+    }
+
+    /// End-to-end latency in microseconds (the unit of Table 1).
+    pub fn total_time_us(&self) -> f64 {
+        self.total_time_s() * 1e6
+    }
+
+    /// Number of kernel calls (Table 5).
+    pub fn num_kernel_calls(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Bytes loaded from global memory (Table 1's "#Bytes load from
+    /// global").
+    pub fn global_read_bytes(&self) -> u64 {
+        self.kernels.iter().map(|k| k.global_read_bytes).sum()
+    }
+
+    /// Total global transfer: reads + writes (Table 5's "memory transfer
+    /// size", Table 6's "GPU global memory trans.").
+    pub fn global_transfer_bytes(&self) -> u64 {
+        self.kernels
+            .iter()
+            .map(|k| k.global_read_bytes + k.global_write_bytes)
+            .sum()
+    }
+
+    /// LSU pipeline utilization: memory-busy time over total time
+    /// (Table 6).
+    pub fn lsu_utilization(&self) -> f64 {
+        let t = self.total_time_s();
+        if t == 0.0 {
+            return 0.0;
+        }
+        self.kernels.iter().map(|k| k.mem_busy_s).sum::<f64>() / t
+    }
+
+    /// FMA pipeline utilization (Table 6).
+    pub fn fma_utilization(&self) -> f64 {
+        let t = self.total_time_s();
+        if t == 0.0 {
+            return 0.0;
+        }
+        self.kernels.iter().map(|k| k.fma_busy_s).sum::<f64>() / t
+    }
+
+    /// Tensor-core pipeline utilization.
+    pub fn tensor_utilization(&self) -> f64 {
+        let t = self.total_time_s();
+        if t == 0.0 {
+            return 0.0;
+        }
+        self.kernels.iter().map(|k| k.tensor_busy_s).sum::<f64>() / t
+    }
+
+    /// Total grid synchronizations.
+    pub fn grid_syncs(&self) -> u64 {
+        self.kernels.iter().map(|k| k.grid_syncs).sum()
+    }
+}
+
+impl fmt::Display for ModelProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} kernels, {:.3} ms, {:.2} MB read, {:.2} MB transferred",
+            self.num_kernel_calls(),
+            self.total_time_ms(),
+            self.global_read_bytes() as f64 / 1e6,
+            self.global_transfer_bytes() as f64 / 1e6,
+        )?;
+        for k in &self.kernels {
+            writeln!(
+                f,
+                "  {}: {:.2} us, {:.3} MB read, {} syncs",
+                k.name,
+                k.time_s * 1e6,
+                k.global_read_bytes as f64 / 1e6,
+                k.grid_syncs
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kp(time: f64, mem: f64, read: u64) -> KernelProfile {
+        KernelProfile {
+            name: "k".into(),
+            time_s: time,
+            mem_busy_s: mem,
+            fma_busy_s: 0.0,
+            tensor_busy_s: 0.0,
+            global_read_bytes: read,
+            global_write_bytes: read / 2,
+            shared_read_bytes: 0,
+            flops: 0,
+            grid_syncs: 1,
+        }
+    }
+
+    #[test]
+    fn aggregates_sum_over_kernels() {
+        let m = ModelProfile {
+            kernels: vec![kp(1e-3, 5e-4, 1000), kp(2e-3, 1e-3, 2000)],
+        };
+        assert!((m.total_time_ms() - 3.0).abs() < 1e-9);
+        assert_eq!(m.num_kernel_calls(), 2);
+        assert_eq!(m.global_read_bytes(), 3000);
+        assert_eq!(m.global_transfer_bytes(), 4500);
+        assert!((m.lsu_utilization() - 0.5).abs() < 1e-9);
+        assert_eq!(m.grid_syncs(), 2);
+    }
+
+    #[test]
+    fn empty_profile_is_zero() {
+        let m = ModelProfile::default();
+        assert_eq!(m.total_time_s(), 0.0);
+        assert_eq!(m.lsu_utilization(), 0.0);
+    }
+
+    #[test]
+    fn display_reports_kernels() {
+        let m = ModelProfile {
+            kernels: vec![kp(1e-3, 5e-4, 1000)],
+        };
+        assert!(m.to_string().contains("1 kernels"));
+    }
+}

@@ -1,0 +1,328 @@
+//! The simulator core.
+
+use crate::{KernelProfile, ModelProfile};
+use souffle_kernel::{Instr, Kernel, Stage};
+use souffle_sched::GpuSpec;
+
+/// Simulation configuration: the device plus achieved-efficiency knobs.
+///
+/// Baseline strategies use different efficiencies to reflect their code
+/// quality (e.g. TensorRT's hand-tuned GEMMs achieve a higher fraction of
+/// peak than compiler-generated code; §2.2 calls this out explicitly).
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Device description.
+    pub spec: GpuSpec,
+    /// Fraction of peak compute achieved by the generated code.
+    pub compute_efficiency: f64,
+    /// Fraction of peak DRAM bandwidth achieved.
+    pub memory_efficiency: f64,
+    /// Aggregate shared-memory bandwidth in bytes/s (per device).
+    pub shared_bw_bytes_per_s: f64,
+    /// Multiplier on atomic traffic (read-modify-write costs more than a
+    /// plain store).
+    pub atomic_penalty: f64,
+}
+
+impl SimConfig {
+    /// Configuration for compiler-generated code on the paper's A100.
+    pub fn a100() -> Self {
+        SimConfig {
+            spec: GpuSpec::a100(),
+            compute_efficiency: 0.55,
+            memory_efficiency: 0.80,
+            shared_bw_bytes_per_s: 19.5e12,
+            atomic_penalty: 2.0,
+        }
+    }
+
+    /// Same device with hand-tuned library efficiency (TensorRT-class).
+    pub fn a100_hand_tuned() -> Self {
+        SimConfig {
+            compute_efficiency: 0.80,
+            memory_efficiency: 0.90,
+            ..SimConfig::a100()
+        }
+    }
+}
+
+/// Timing of one stage.
+fn stage_time(stage: &Stage, cfg: &SimConfig) -> (f64, f64, f64, f64) {
+    let spec = &cfg.spec;
+    let mut read = 0u64;
+    let mut write = 0u64;
+    let mut shared = 0u64;
+    let mut atomic = 0u64;
+    let mut wmma_flops = 0u64;
+    let mut fma_flops = 0u64;
+    let mut grid_syncs = 0u64;
+    let mut block_syncs = 0u64;
+    for i in &stage.instrs {
+        match i {
+            Instr::LdGlobalToShared { bytes, .. } | Instr::LdGlobal { bytes, .. } => read += bytes,
+            Instr::LdShared { bytes, .. } => shared += bytes,
+            Instr::StSharedToGlobal { bytes, .. } | Instr::StGlobal { bytes, .. } => {
+                write += bytes;
+            }
+            Instr::AtomicAdd { bytes } => atomic += bytes,
+            Instr::Wmma { flops } => wmma_flops += flops,
+            Instr::Fma { flops } => fma_flops += flops,
+            Instr::GridSync => grid_syncs += 1,
+            Instr::BlockSync => block_syncs += 1,
+        }
+    }
+
+    // Parallelism derating: a stage that cannot fill the device gets a
+    // proportionally smaller share of bandwidth/compute. Saturation needs
+    // roughly 4 warps per SM.
+    let threads = stage.grid_blocks as f64 * stage.threads_per_block as f64;
+    let saturation = (threads / (spec.num_sms as f64 * 128.0)).clamp(1.0 / 64.0, 1.0);
+
+    let global_bytes = (read + write) as f64 + atomic as f64 * cfg.atomic_penalty;
+    let mem_time = global_bytes / (spec.global_bw_bytes_per_s * cfg.memory_efficiency * saturation)
+        + shared as f64 / cfg.shared_bw_bytes_per_s;
+    let tensor_time = wmma_flops as f64
+        / (spec.fp16_tensor_flops * cfg.compute_efficiency * saturation);
+    let fma_time = fma_flops as f64 / (spec.fp32_flops * cfg.compute_efficiency * saturation);
+    let compute_time = tensor_time + fma_time;
+
+    let busy = if stage.pipelined {
+        mem_time.max(compute_time)
+    } else {
+        mem_time + compute_time
+    };
+    let sync_time = grid_syncs as f64 * spec.grid_sync_overhead_s
+        + block_syncs as f64 * spec.block_sync_overhead_s;
+
+    // Pipe-active times use Nsight semantics: the time each pipe would be
+    // busy at its peak rate. A derated stage keeps the pipe mostly idle,
+    // so busy time is *smaller* than elapsed time. Shared-memory reads
+    // (the software cache) keep the LSU busy without global traffic.
+    let lsu_busy = (read + write) as f64 / spec.global_bw_bytes_per_s
+        + atomic as f64 * cfg.atomic_penalty / spec.global_bw_bytes_per_s
+        + shared as f64 / cfg.shared_bw_bytes_per_s;
+    let fma_busy = fma_flops as f64 / spec.fp32_flops;
+    let tensor_busy = wmma_flops as f64 / spec.fp16_tensor_flops;
+    (busy + sync_time, lsu_busy, fma_busy, tensor_busy)
+}
+
+/// Executes a kernel sequence on the simulated device.
+pub fn simulate(kernels: &[Kernel], cfg: &SimConfig) -> ModelProfile {
+    let mut profile = ModelProfile::default();
+    for kernel in kernels {
+        let mut time = cfg.spec.kernel_launch_overhead_s;
+        let mut mem_busy = 0.0;
+        let mut fma_busy = 0.0;
+        let mut tensor_busy = 0.0;
+        let mut shared_read = 0u64;
+        let mut grid_syncs = 0u64;
+        for stage in &kernel.stages {
+            let (t, m, f, tc) = stage_time(stage, cfg);
+            time += t;
+            mem_busy += m;
+            fma_busy += f;
+            tensor_busy += tc;
+            shared_read += stage.shared_read_bytes();
+            grid_syncs += stage.grid_syncs();
+        }
+        profile.kernels.push(KernelProfile {
+            name: kernel.name.clone(),
+            time_s: time,
+            mem_busy_s: mem_busy,
+            fma_busy_s: fma_busy,
+            tensor_busy_s: tensor_busy,
+            global_read_bytes: kernel.global_read_bytes(),
+            global_write_bytes: kernel.global_write_bytes(),
+            shared_read_bytes: shared_read,
+            flops: kernel.flops(),
+            grid_syncs,
+        });
+    }
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use souffle_te::{TeId, TensorId};
+
+    fn stage(instrs: Vec<Instr>, grid: u64, pipelined: bool) -> Stage {
+        Stage {
+            te: TeId(0),
+            name: "s".into(),
+            grid_blocks: grid,
+            threads_per_block: 256,
+            shared_mem_bytes: 0,
+            regs_per_thread: 32,
+            instrs,
+            pipelined,
+        }
+    }
+
+    fn mem_compute_stage(bytes: u64, flops: u64, pipelined: bool) -> Stage {
+        stage(
+            vec![
+                Instr::LdGlobalToShared { tensor: TensorId(0), bytes },
+                Instr::Wmma { flops },
+                Instr::StSharedToGlobal { tensor: TensorId(1), bytes: 0 },
+            ],
+            1024,
+            pipelined,
+        )
+    }
+
+    #[test]
+    fn launch_overhead_dominates_empty_kernels() {
+        let cfg = SimConfig::a100();
+        let kernels: Vec<Kernel> = (0..10)
+            .map(|i| Kernel {
+                name: format!("k{i}"),
+                stages: vec![],
+            })
+            .collect();
+        let p = simulate(&kernels, &cfg);
+        assert!((p.total_time_us() - 20.0).abs() < 1e-6);
+        assert_eq!(p.num_kernel_calls(), 10);
+    }
+
+    #[test]
+    fn pipelining_overlaps_memory_and_compute() {
+        let cfg = SimConfig::a100();
+        // Sized so mem and compute are comparable.
+        let bytes = 100_000_000;
+        let flops = 10_000_000_000;
+        let serial = Kernel {
+            name: "serial".into(),
+            stages: vec![mem_compute_stage(bytes, flops, false)],
+        };
+        let piped = Kernel {
+            name: "piped".into(),
+            stages: vec![mem_compute_stage(bytes, flops, true)],
+        };
+        let ps = simulate(std::slice::from_ref(&serial), &cfg);
+        let pp = simulate(std::slice::from_ref(&piped), &cfg);
+        assert!(
+            pp.total_time_s() < ps.total_time_s(),
+            "pipelined {:.3e} must beat serial {:.3e}",
+            pp.total_time_s(),
+            ps.total_time_s()
+        );
+    }
+
+    #[test]
+    fn fewer_kernels_win_for_tiny_work() {
+        let cfg = SimConfig::a100();
+        let tiny = |n: &str| Kernel {
+            name: n.into(),
+            stages: vec![stage(
+                vec![Instr::LdGlobal { tensor: TensorId(0), bytes: 1024 }],
+                4,
+                false,
+            )],
+        };
+        let many: Vec<Kernel> = (0..8).map(|i| tiny(&format!("k{i}"))).collect();
+        let one = vec![Kernel {
+            name: "fused".into(),
+            stages: many.iter().flat_map(|k| k.stages.clone()).collect(),
+        }];
+        let pm = simulate(&many, &cfg);
+        let po = simulate(&one, &cfg);
+        assert!(po.total_time_s() < pm.total_time_s());
+        assert_eq!(pm.num_kernel_calls(), 8);
+        assert_eq!(po.num_kernel_calls(), 1);
+    }
+
+    #[test]
+    fn low_parallelism_is_derated() {
+        let cfg = SimConfig::a100();
+        let mk = |grid: u64| Kernel {
+            name: "k".into(),
+            stages: vec![stage(
+                vec![Instr::LdGlobal { tensor: TensorId(0), bytes: 50_000_000 }],
+                grid,
+                false,
+            )],
+        };
+        let wide = simulate(&[mk(1024)], &cfg);
+        let narrow = simulate(&[mk(2)], &cfg);
+        assert!(narrow.total_time_s() > 2.0 * wide.total_time_s());
+    }
+
+    #[test]
+    fn atomics_cost_more_than_stores() {
+        let cfg = SimConfig::a100();
+        let with_atomic = Kernel {
+            name: "a".into(),
+            stages: vec![stage(vec![Instr::AtomicAdd { bytes: 10_000_000 }], 1024, false)],
+        };
+        let with_store = Kernel {
+            name: "s".into(),
+            stages: vec![stage(
+                vec![Instr::StGlobal { tensor: TensorId(0), bytes: 10_000_000 }],
+                1024,
+                false,
+            )],
+        };
+        let pa = simulate(std::slice::from_ref(&with_atomic), &cfg);
+        let ps = simulate(std::slice::from_ref(&with_store), &cfg);
+        assert!(pa.total_time_s() > ps.total_time_s());
+    }
+
+    #[test]
+    fn grid_sync_cheaper_than_launch() {
+        let cfg = SimConfig::a100();
+        // one kernel with 3 grid syncs vs 4 kernels
+        let synced = vec![Kernel {
+            name: "coop".into(),
+            stages: (0..4)
+                .map(|i| {
+                    stage(
+                        if i > 0 { vec![Instr::GridSync] } else { vec![] },
+                        108,
+                        false,
+                    )
+                })
+                .collect(),
+        }];
+        let split: Vec<Kernel> = (0..4)
+            .map(|i| Kernel {
+                name: format!("k{i}"),
+                stages: vec![stage(vec![], 108, false)],
+            })
+            .collect();
+        let pc = simulate(&synced, &cfg);
+        let pl = simulate(&split, &cfg);
+        assert!(pc.total_time_s() < pl.total_time_s());
+        assert_eq!(pc.grid_syncs(), 3);
+    }
+
+    #[test]
+    fn utilization_reflects_memory_boundedness() {
+        let cfg = SimConfig::a100();
+        let k = Kernel {
+            name: "memk".into(),
+            stages: vec![stage(
+                vec![Instr::LdGlobal { tensor: TensorId(0), bytes: 1_000_000_000 }],
+                1024,
+                false,
+            )],
+        };
+        let p = simulate(std::slice::from_ref(&k), &cfg);
+        // Pipe-active time is measured at peak rate; elapsed time includes
+        // the achieved-efficiency derating, so a fully memory-bound kernel
+        // sits near (but below) the memory efficiency (0.8).
+        assert!(p.lsu_utilization() > 0.7);
+        assert!(p.fma_utilization() < 0.01);
+    }
+
+    #[test]
+    fn hand_tuned_config_is_faster() {
+        let k = Kernel {
+            name: "mm".into(),
+            stages: vec![mem_compute_stage(10_000_000, 100_000_000_000, false)],
+        };
+        let generic = simulate(std::slice::from_ref(&k), &SimConfig::a100());
+        let tuned = simulate(std::slice::from_ref(&k), &SimConfig::a100_hand_tuned());
+        assert!(tuned.total_time_s() < generic.total_time_s());
+    }
+}

@@ -1,0 +1,183 @@
+//! Chrome-trace export of a simulated execution.
+//!
+//! [`chrome_trace`] renders a [`ModelProfile`] as a `chrome://tracing` /
+//! Perfetto-compatible JSON document with one track per pipeline (kernel
+//! span, LSU busy, FMA busy, tensor-core busy) — the closest equivalent
+//! of Nsight Systems' timeline view for the simulated device. The JSON is
+//! emitted by hand; no serialization dependency is needed for this fixed
+//! schema.
+
+use crate::ModelProfile;
+use std::fmt::Write as _;
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if c.is_control() => vec![' '],
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn event(
+    out: &mut String,
+    name: &str,
+    tid: u32,
+    start_us: f64,
+    dur_us: f64,
+    args: &[(&str, String)],
+) {
+    let mut arg_s = String::new();
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            arg_s.push(',');
+        }
+        let _ = write!(arg_s, "\"{k}\":\"{}\"", escape(v));
+    }
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{start_us:.3},\"dur\":{dur_us:.3},\"args\":{{{arg_s}}}}}",
+        escape(name)
+    );
+}
+
+/// Track ids in the emitted trace.
+const TRACK_KERNEL: u32 = 0;
+const TRACK_LSU: u32 = 1;
+const TRACK_FMA: u32 = 2;
+const TRACK_TENSOR: u32 = 3;
+
+/// Renders the profile as Chrome-trace JSON (an object with a
+/// `traceEvents` array), with kernels laid out back-to-back and per-pipe
+/// busy spans nested inside each kernel span.
+pub fn chrome_trace(profile: &ModelProfile) -> String {
+    let mut events = String::new();
+    let mut first = true;
+    let mut cursor_us = 0.0f64;
+    for k in &profile.kernels {
+        let dur = k.time_s * 1e6;
+        if !first {
+            events.push(',');
+        }
+        first = false;
+        event(
+            &mut events,
+            &k.name,
+            TRACK_KERNEL,
+            cursor_us,
+            dur,
+            &[
+                ("read_bytes", k.global_read_bytes.to_string()),
+                ("write_bytes", k.global_write_bytes.to_string()),
+                ("flops", k.flops.to_string()),
+                ("grid_syncs", k.grid_syncs.to_string()),
+            ],
+        );
+        for (tid, busy, label) in [
+            (TRACK_LSU, k.mem_busy_s, "lsu"),
+            (TRACK_FMA, k.fma_busy_s, "fma"),
+            (TRACK_TENSOR, k.tensor_busy_s, "tensor"),
+        ] {
+            if busy > 0.0 {
+                events.push(',');
+                event(
+                    &mut events,
+                    &format!("{label}:{}", k.name),
+                    tid,
+                    cursor_us,
+                    busy * 1e6,
+                    &[],
+                );
+            }
+        }
+        cursor_us += dur;
+    }
+    let mut meta = String::new();
+    for (tid, name) in [
+        (TRACK_KERNEL, "kernels"),
+        (TRACK_LSU, "LSU busy"),
+        (TRACK_FMA, "FMA busy"),
+        (TRACK_TENSOR, "TensorCore busy"),
+    ] {
+        let _ = write!(
+            meta,
+            ",{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"name\":\"{name}\"}}}}"
+        );
+    }
+    format!("{{\"traceEvents\":[{events}{meta}],\"displayTimeUnit\":\"ns\"}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KernelProfile;
+
+    fn profile() -> ModelProfile {
+        ModelProfile {
+            kernels: vec![
+                KernelProfile {
+                    name: "subprogram_0".into(),
+                    time_s: 10e-6,
+                    mem_busy_s: 4e-6,
+                    fma_busy_s: 1e-6,
+                    tensor_busy_s: 6e-6,
+                    global_read_bytes: 1000,
+                    global_write_bytes: 500,
+                    shared_read_bytes: 0,
+                    flops: 12345,
+                    grid_syncs: 2,
+                },
+                KernelProfile {
+                    name: "lib_\"resize\"".into(), // name needing escaping
+                    time_s: 5e-6,
+                    mem_busy_s: 5e-6,
+                    fma_busy_s: 0.0,
+                    tensor_busy_s: 0.0,
+                    global_read_bytes: 64,
+                    global_write_bytes: 64,
+                    shared_read_bytes: 0,
+                    flops: 0,
+                    grid_syncs: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn trace_is_structurally_valid_json() {
+        let json = chrome_trace(&profile());
+        // Balanced braces/brackets and required fields.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"subprogram_0\""));
+        assert!(json.contains("\"grid_syncs\":\"2\""));
+        assert!(json.contains("LSU busy"));
+    }
+
+    #[test]
+    fn kernels_are_laid_out_sequentially() {
+        let json = chrome_trace(&profile());
+        // Second kernel starts at 10 us.
+        assert!(json.contains("\"ts\":10.000"), "{json}");
+    }
+
+    #[test]
+    fn quotes_in_names_are_escaped() {
+        let json = chrome_trace(&profile());
+        assert!(json.contains("lib_\\\"resize\\\""), "{json}");
+    }
+
+    #[test]
+    fn empty_profile_is_valid() {
+        let json = chrome_trace(&ModelProfile::default());
+        assert!(json.contains("traceEvents"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

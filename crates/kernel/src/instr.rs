@@ -1,0 +1,166 @@
+//! The instruction vocabulary of merged subprogram functions (Fig. 2).
+
+use souffle_te::TensorId;
+use std::fmt;
+
+/// One instruction of a kernel stage.
+///
+/// Byte counts are kernel-wide aggregates (summed over all blocks); the
+/// simulator divides by bandwidth directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// `ldg2s`: asynchronous copy global → shared (`LDGSTS` on the A100).
+    LdGlobalToShared {
+        /// Tensor being staged.
+        tensor: TensorId,
+        /// Total bytes read from global memory.
+        bytes: u64,
+    },
+    /// Plain global-memory load (uncached element-wise traffic).
+    LdGlobal {
+        /// Tensor read.
+        tensor: TensorId,
+        /// Total bytes read.
+        bytes: u64,
+    },
+    /// Read of a tensor buffer resident in the software-managed shared
+    /// memory cache (§6.5) — no global traffic.
+    LdShared {
+        /// Tensor read.
+        tensor: TensorId,
+        /// Bytes read from shared memory.
+        bytes: u64,
+    },
+    /// `sts2g`: store shared → global.
+    StSharedToGlobal {
+        /// Tensor written.
+        tensor: TensorId,
+        /// Total bytes written to global memory.
+        bytes: u64,
+    },
+    /// Plain global store.
+    StGlobal {
+        /// Tensor written.
+        tensor: TensorId,
+        /// Total bytes written.
+        bytes: u64,
+    },
+    /// Tensor-core matrix multiply-accumulate (`HMMA`/wmma).
+    Wmma {
+        /// Total floating-point operations.
+        flops: u64,
+    },
+    /// CUDA-core fused multiply-add arithmetic.
+    Fma {
+        /// Total floating-point operations.
+        flops: u64,
+    },
+    /// Atomic partial-reduction combine in global memory (§2.3's
+    /// two-phase reduction).
+    AtomicAdd {
+        /// Bytes of partial results combined atomically.
+        bytes: u64,
+    },
+    /// Grid-wide synchronization (cooperative `grid.sync()`).
+    GridSync,
+    /// Block-wide barrier (`__syncthreads`).
+    BlockSync,
+}
+
+impl Instr {
+    /// Bytes this instruction moves to/from *global* memory (reads).
+    pub fn global_read_bytes(&self) -> u64 {
+        match self {
+            Instr::LdGlobalToShared { bytes, .. } | Instr::LdGlobal { bytes, .. } => *bytes,
+            _ => 0,
+        }
+    }
+
+    /// Bytes this instruction writes to global memory.
+    pub fn global_write_bytes(&self) -> u64 {
+        match self {
+            Instr::StSharedToGlobal { bytes, .. } | Instr::StGlobal { bytes, .. } => *bytes,
+            Instr::AtomicAdd { bytes } => *bytes,
+            _ => 0,
+        }
+    }
+
+    /// Floating-point operations this instruction performs.
+    pub fn flops(&self) -> u64 {
+        match self {
+            Instr::Wmma { flops } | Instr::Fma { flops } => *flops,
+            _ => 0,
+        }
+    }
+
+    /// Whether this is a memory-pipeline (LSU) instruction.
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            Instr::LdGlobalToShared { .. }
+                | Instr::LdGlobal { .. }
+                | Instr::LdShared { .. }
+                | Instr::StSharedToGlobal { .. }
+                | Instr::StGlobal { .. }
+                | Instr::AtomicAdd { .. }
+        )
+    }
+
+    /// Whether this is an arithmetic-pipeline instruction.
+    pub fn is_compute(&self) -> bool {
+        matches!(self, Instr::Wmma { .. } | Instr::Fma { .. })
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::LdGlobalToShared { tensor, bytes } => write!(f, "ldg2s {tensor} {bytes}B"),
+            Instr::LdGlobal { tensor, bytes } => write!(f, "ldg {tensor} {bytes}B"),
+            Instr::LdShared { tensor, bytes } => write!(f, "lds {tensor} {bytes}B"),
+            Instr::StSharedToGlobal { tensor, bytes } => write!(f, "sts2g {tensor} {bytes}B"),
+            Instr::StGlobal { tensor, bytes } => write!(f, "stg {tensor} {bytes}B"),
+            Instr::Wmma { flops } => write!(f, "wmma {flops}flop"),
+            Instr::Fma { flops } => write!(f, "fma {flops}flop"),
+            Instr::AtomicAdd { bytes } => write!(f, "atomicAdd {bytes}B"),
+            Instr::GridSync => f.write_str("grid.sync"),
+            Instr::BlockSync => f.write_str("__syncthreads"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_accounting() {
+        let t = TensorId(0);
+        assert_eq!(Instr::LdGlobal { tensor: t, bytes: 64 }.global_read_bytes(), 64);
+        assert_eq!(Instr::LdShared { tensor: t, bytes: 64 }.global_read_bytes(), 0);
+        assert_eq!(
+            Instr::StSharedToGlobal { tensor: t, bytes: 32 }.global_write_bytes(),
+            32
+        );
+        assert_eq!(Instr::AtomicAdd { bytes: 16 }.global_write_bytes(), 16);
+        assert_eq!(Instr::GridSync.global_read_bytes(), 0);
+    }
+
+    #[test]
+    fn pipeline_classification() {
+        assert!(Instr::LdGlobal { tensor: TensorId(0), bytes: 1 }.is_memory());
+        assert!(Instr::Wmma { flops: 1 }.is_compute());
+        assert!(!Instr::GridSync.is_memory());
+        assert!(!Instr::GridSync.is_compute());
+        assert_eq!(Instr::Fma { flops: 7 }.flops(), 7);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            Instr::LdGlobalToShared { tensor: TensorId(2), bytes: 128 }.to_string(),
+            "ldg2s t2 128B"
+        );
+        assert_eq!(Instr::GridSync.to_string(), "grid.sync");
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! Kernel IR ("TensorIR-lite") and subprogram-level optimizations.
+//!
+//! After partitioning and TE transformation, Souffle merges the schedules
+//! of a subprogram's TEs into one function (§6.4): each TE becomes a
+//! *stage* wrapped in a launch-dimension predicate, with grid
+//! synchronization inserted between stages that communicate across thread
+//! blocks. This crate models that function as a [`Kernel`] holding an
+//! instruction stream per stage (`ldg2s`, `wmma`, `sts2g`, `grid.sync`,
+//! `atomicAdd` — the vocabulary of Fig. 2's generated code).
+//!
+//! Two subprogram-level passes implement §6.5:
+//!
+//! - [`passes::tensor_reuse_pass`]: a software-managed LRU cache of tensor
+//!   buffers in shared memory; global loads of cached tensors become
+//!   shared-memory reads, with spills when capacity is exhausted,
+//! - [`passes::pipeline_pass`]: marks stages whose asynchronous global
+//!   loads can overlap arithmetic of the surrounding stages
+//!   (`LDGSTS` + `HMMA` dual-issue in the paper's example).
+//!
+//! The `souffle-gpusim` crate executes this IR on the simulated A100.
+
+pub mod codegen;
+pub mod lower;
+pub mod lru;
+pub mod passes;
+
+mod instr;
+#[allow(clippy::module_inception)]
+mod kernel;
+
+pub use instr::Instr;
+pub use kernel::{CompiledModel, Kernel, Stage};
+pub use lower::{lower_fused_group, lower_partition, lower_te_as_kernel, tensor_read_bytes, LowerOptions};
+pub use lru::LruCache;

@@ -1,0 +1,193 @@
+//! The software-managed LRU tensor-buffer cache of §6.5.
+
+use souffle_te::TensorId;
+use std::collections::HashMap;
+
+/// Outcome of touching a tensor in the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Buffer already resident — no global traffic.
+    Hit,
+    /// Buffer inserted; `evicted_bytes` were spilled to make room.
+    Miss {
+        /// Bytes evicted (spilled back to global memory).
+        evicted_bytes: u64,
+    },
+    /// Buffer larger than the whole cache — bypasses it.
+    Bypass,
+}
+
+/// Least-recently-used cache of tensor buffers in shared memory, used by
+/// the tensor-reuse pass (§6.5): "Souffle maximizes tensor buffer reuse
+/// across TEs with a simple software-managed cache, using a Least Recently
+/// Used (LRU) policy".
+#[derive(Debug, Clone)]
+pub struct LruCache {
+    capacity: u64,
+    used: u64,
+    /// tensor -> (bytes, last-touch tick)
+    entries: HashMap<TensorId, (u64, u64)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl LruCache {
+    /// Creates a cache with the given capacity in bytes.
+    pub fn new(capacity: u64) -> Self {
+        LruCache {
+            capacity,
+            used: 0,
+            entries: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently resident.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Number of hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of evicted buffers so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Whether a tensor is resident.
+    pub fn contains(&self, tensor: TensorId) -> bool {
+        self.entries.contains_key(&tensor)
+    }
+
+    /// Touches `tensor` (`bytes` large): returns whether it hit, missed
+    /// (with eviction accounting), or bypassed the cache entirely.
+    pub fn touch(&mut self, tensor: TensorId, bytes: u64) -> Access {
+        self.tick += 1;
+        if bytes > self.capacity {
+            return Access::Bypass;
+        }
+        if let Some(entry) = self.entries.get_mut(&tensor) {
+            entry.1 = self.tick;
+            self.hits += 1;
+            return Access::Hit;
+        }
+        self.misses += 1;
+        let mut evicted_bytes = 0;
+        while self.used + bytes > self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(id, _)| *id)
+                .expect("cache non-empty when over capacity");
+            let (vb, _) = self.entries.remove(&victim).expect("victim resident");
+            self.used -= vb;
+            evicted_bytes += vb;
+            self.evictions += 1;
+        }
+        self.entries.insert(tensor, (bytes, self.tick));
+        self.used += bytes;
+        Access::Miss { evicted_bytes }
+    }
+
+    /// Removes a tensor (e.g. when its live range ends), returning its size.
+    pub fn invalidate(&mut self, tensor: TensorId) -> Option<u64> {
+        let (bytes, _) = self.entries.remove(&tensor)?;
+        self.used -= bytes;
+        Some(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = LruCache::new(100);
+        assert_eq!(c.touch(TensorId(0), 40), Access::Miss { evicted_bytes: 0 });
+        assert_eq!(c.touch(TensorId(0), 40), Access::Hit);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(100);
+        c.touch(TensorId(0), 40);
+        c.touch(TensorId(1), 40);
+        c.touch(TensorId(0), 40); // refresh 0; 1 is now LRU
+        let r = c.touch(TensorId(2), 40);
+        assert_eq!(r, Access::Miss { evicted_bytes: 40 });
+        assert!(c.contains(TensorId(0)));
+        assert!(!c.contains(TensorId(1)));
+        assert!(c.contains(TensorId(2)));
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn oversized_buffer_bypasses() {
+        let mut c = LruCache::new(100);
+        assert_eq!(c.touch(TensorId(0), 200), Access::Bypass);
+        assert_eq!(c.used(), 0);
+    }
+
+    #[test]
+    fn invalidate_frees_space() {
+        let mut c = LruCache::new(100);
+        c.touch(TensorId(0), 60);
+        assert_eq!(c.invalidate(TensorId(0)), Some(60));
+        assert_eq!(c.used(), 0);
+        assert_eq!(c.invalidate(TensorId(0)), None);
+        // Now two 50s fit without eviction.
+        assert_eq!(c.touch(TensorId(1), 50), Access::Miss { evicted_bytes: 0 });
+        assert_eq!(c.touch(TensorId(2), 50), Access::Miss { evicted_bytes: 0 });
+    }
+
+    proptest! {
+        #[test]
+        fn never_exceeds_capacity(
+            ops in proptest::collection::vec((0usize..8, 1u64..60), 1..100)
+        ) {
+            let mut c = LruCache::new(100);
+            for (id, bytes) in ops {
+                c.touch(TensorId(id), bytes);
+                prop_assert!(c.used() <= c.capacity());
+            }
+        }
+
+        #[test]
+        fn accounting_balances(
+            ops in proptest::collection::vec((0usize..4, 1u64..60), 1..100)
+        ) {
+            let mut c = LruCache::new(100);
+            let mut touches = 0u64;
+            for (id, bytes) in ops {
+                match c.touch(TensorId(id), bytes) {
+                    Access::Hit | Access::Miss { .. } => touches += 1,
+                    Access::Bypass => {}
+                }
+            }
+            prop_assert_eq!(c.hits() + c.misses(), touches);
+        }
+    }
+}

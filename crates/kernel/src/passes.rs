@@ -1,0 +1,193 @@
+//! Subprogram-level optimization passes (§6.5).
+
+use crate::lru::{Access, LruCache};
+use crate::{Instr, Kernel};
+
+/// Result of the tensor-reuse pass, for reports and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReuseStats {
+    /// Global loads converted to shared-memory reads.
+    pub loads_eliminated: u64,
+    /// Bytes of global read traffic removed.
+    pub bytes_saved: u64,
+    /// Bytes spilled back to global memory on eviction.
+    pub bytes_spilled: u64,
+}
+
+/// The tensor-buffer reuse optimization (§6.5): scans a kernel's
+/// instructions linearly, maintaining a software-managed LRU cache of
+/// tensor buffers in shared memory. A load whose tensor is resident
+/// becomes a shared-memory read (zero global traffic); stores insert the
+/// produced buffer so later stages can consume it on-chip; evictions spill
+/// (modelled as extra write traffic) and a memory barrier is inserted.
+pub fn tensor_reuse_pass(kernel: &mut Kernel, cache_bytes: u64) -> ReuseStats {
+    let mut cache = LruCache::new(cache_bytes);
+    let mut stats = ReuseStats::default();
+    for stage in &mut kernel.stages {
+        let mut new_instrs = Vec::with_capacity(stage.instrs.len());
+        for instr in stage.instrs.drain(..) {
+            match instr {
+                Instr::LdGlobalToShared { tensor, bytes } | Instr::LdGlobal { tensor, bytes } => {
+                    match cache.touch(tensor, bytes) {
+                        Access::Hit => {
+                            stats.loads_eliminated += 1;
+                            stats.bytes_saved += bytes;
+                            new_instrs.push(Instr::LdShared { tensor, bytes });
+                        }
+                        Access::Miss { evicted_bytes } => {
+                            if evicted_bytes > 0 {
+                                stats.bytes_spilled += evicted_bytes;
+                                new_instrs.push(Instr::BlockSync);
+                            }
+                            new_instrs.push(instr);
+                        }
+                        Access::Bypass => new_instrs.push(instr),
+                    }
+                }
+                Instr::StSharedToGlobal { tensor, bytes } | Instr::StGlobal { tensor, bytes } => {
+                    // The produced buffer is on-chip right after the store;
+                    // keep it cached for downstream stages.
+                    let _ = cache.touch(tensor, bytes);
+                    new_instrs.push(instr);
+                }
+                other => new_instrs.push(other),
+            }
+        }
+        stage.instrs = new_instrs;
+    }
+    stats
+}
+
+/// Result of the pipelining pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PipelineStats {
+    /// Stages whose loads were overlapped with arithmetic.
+    pub stages_pipelined: u64,
+}
+
+/// The instruction-level optimization of §6.5: regroups memory and
+/// arithmetic instructions so asynchronous global loads (`LDGSTS`) execute
+/// in parallel with tensor-core arithmetic (`HMMA`). A stage is eligible
+/// when it issues both global loads and compute, and its loads are not
+/// already shared-memory hits only.
+///
+/// The simulator models a pipelined stage as `max(mem, compute)` instead
+/// of `mem + compute`.
+pub fn pipeline_pass(kernel: &mut Kernel) -> PipelineStats {
+    let mut stats = PipelineStats::default();
+    for stage in &mut kernel.stages {
+        let has_global_loads = stage
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::LdGlobalToShared { .. } | Instr::LdGlobal { .. }));
+        let has_compute = stage.instrs.iter().any(Instr::is_compute);
+        if has_global_loads && has_compute && !stage.pipelined {
+            stage.pipelined = true;
+            stats.stages_pipelined += 1;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Stage;
+    use souffle_te::{TeId, TensorId};
+
+    fn stage(instrs: Vec<Instr>) -> Stage {
+        Stage {
+            te: TeId(0),
+            name: "s".into(),
+            grid_blocks: 4,
+            threads_per_block: 128,
+            shared_mem_bytes: 0,
+            regs_per_thread: 32,
+            instrs,
+            pipelined: false,
+        }
+    }
+
+    #[test]
+    fn repeated_load_becomes_shared_read() {
+        // The Fig. 2 pattern: SO0 produced by stage 0 is reused by stage 1
+        // across the TE boundary.
+        let t0 = TensorId(0);
+        let mut k = Kernel {
+            name: "k".into(),
+            stages: vec![
+                stage(vec![
+                    Instr::LdGlobalToShared { tensor: t0, bytes: 1024 },
+                    Instr::Wmma { flops: 100 },
+                    Instr::StSharedToGlobal { tensor: TensorId(1), bytes: 512 },
+                ]),
+                stage(vec![
+                    Instr::LdGlobalToShared { tensor: TensorId(1), bytes: 512 },
+                    Instr::Fma { flops: 10 },
+                    Instr::StGlobal { tensor: TensorId(2), bytes: 512 },
+                ]),
+            ],
+        };
+        let before = k.global_read_bytes();
+        let stats = tensor_reuse_pass(&mut k, 64 * 1024);
+        assert_eq!(stats.loads_eliminated, 1);
+        assert_eq!(stats.bytes_saved, 512);
+        assert_eq!(k.global_read_bytes(), before - 512);
+        assert!(matches!(
+            k.stages[1].instrs[0],
+            Instr::LdShared { bytes: 512, .. }
+        ));
+    }
+
+    #[test]
+    fn capacity_forces_eviction_and_barrier() {
+        let mut k = Kernel {
+            name: "k".into(),
+            stages: vec![stage(vec![
+                Instr::LdGlobal { tensor: TensorId(0), bytes: 700 },
+                Instr::LdGlobal { tensor: TensorId(1), bytes: 700 },
+                Instr::Fma { flops: 1 },
+            ])],
+        };
+        let stats = tensor_reuse_pass(&mut k, 1000);
+        assert_eq!(stats.bytes_spilled, 700);
+        assert!(k.stages[0]
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::BlockSync)));
+    }
+
+    #[test]
+    fn oversized_tensors_bypass_cache() {
+        let mut k = Kernel {
+            name: "k".into(),
+            stages: vec![
+                stage(vec![Instr::LdGlobal { tensor: TensorId(0), bytes: 5000 }]),
+                stage(vec![Instr::LdGlobal { tensor: TensorId(0), bytes: 5000 }]),
+            ],
+        };
+        let stats = tensor_reuse_pass(&mut k, 1000);
+        assert_eq!(stats.loads_eliminated, 0);
+        assert_eq!(k.global_read_bytes(), 10_000);
+    }
+
+    #[test]
+    fn pipeline_marks_mixed_stages_only() {
+        let mut k = Kernel {
+            name: "k".into(),
+            stages: vec![
+                stage(vec![
+                    Instr::LdGlobalToShared { tensor: TensorId(0), bytes: 10 },
+                    Instr::Wmma { flops: 10 },
+                ]),
+                stage(vec![Instr::GridSync]),
+            ],
+        };
+        let stats = pipeline_pass(&mut k);
+        assert_eq!(stats.stages_pipelined, 1);
+        assert!(k.stages[0].pipelined);
+        assert!(!k.stages[1].pipelined);
+        // Idempotent.
+        assert_eq!(pipeline_pass(&mut k).stages_pipelined, 0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Roofline-style analytical cost model shared by Ansor-lite and the
+//! baseline strategies.
+
+use crate::{GpuSpec, Schedule};
+use souffle_te::{TeId, TeProgram};
+
+/// Achieved fraction of peak compute for generated (non-hand-tuned) code.
+pub const COMPUTE_EFFICIENCY: f64 = 0.55;
+/// Achieved fraction of peak DRAM bandwidth.
+pub const MEMORY_EFFICIENCY: f64 = 0.80;
+
+/// Per-operand footprint (elements) of a TE's accesses over a box of
+/// variable bounds (`bounds[i] = extent of variable i`; iteration variables
+/// first, then reduction variables). Multiple accesses to the same operand
+/// count once with the largest footprint (they overlap in practice —
+/// spatial reuse inside a block).
+pub fn operand_footprints(program: &TeProgram, te: TeId, bounds: &[i64]) -> Vec<(usize, i64)> {
+    let te_ref = program.te(te);
+    let pairs: Vec<(i64, i64)> = bounds.iter().map(|&b| (0, b - 1)).collect();
+    let mut per_operand: Vec<(usize, i64)> = Vec::new();
+    for (operand, indices) in te_ref.body.accesses() {
+        let shape = &program.tensor(te_ref.inputs[operand]).shape;
+        let mut elems = 1i64;
+        for (axis, idx) in indices.iter().enumerate() {
+            let (lo, hi) = idx.interval(&pairs);
+            // Clamp to the tensor: guarded accesses may range outside.
+            let lo = lo.max(0);
+            let hi = hi.min(shape.dim(axis) - 1);
+            elems = elems.saturating_mul((hi - lo + 1).max(0));
+        }
+        match per_operand.iter_mut().find(|(o, _)| *o == operand) {
+            Some((_, e)) => *e = (*e).max(elems),
+            None => per_operand.push((operand, elems)),
+        }
+    }
+    per_operand
+}
+
+/// Global-memory traffic of running a TE as its own unfused kernel:
+/// `(read_bytes, write_bytes)`, assuming perfect caching inside the kernel
+/// (each touched input element is read from DRAM once, plus one write per
+/// output element).
+pub fn te_global_bytes(program: &TeProgram, te: TeId) -> (u64, u64) {
+    let te_ref = program.te(te);
+    let out_shape = program.output_shape(te).clone();
+    let mut bounds: Vec<i64> = out_shape.dims().to_vec();
+    bounds.extend_from_slice(&te_ref.reduce);
+    let reads: u64 = operand_footprints(program, te, &bounds)
+        .into_iter()
+        .map(|(operand, elems)| {
+            let t = program.tensor(te_ref.inputs[operand]);
+            (elems.min(t.shape.numel()) as u64) * t.dtype.size_bytes()
+        })
+        .sum();
+    let out = program.tensor(te_ref.output);
+    let writes = out.shape.numel() as u64 * out.dtype.size_bytes();
+    (reads, writes)
+}
+
+/// Roofline time estimate for a TE executed under `schedule` as (part of) a
+/// kernel: `max(compute time, memory time)` with empirically calibrated
+/// efficiencies. Launch overhead is *not* included — kernel-level costs are
+/// accounted by the simulator, which knows how many TEs share a kernel.
+pub fn te_time_estimate(
+    program: &TeProgram,
+    te: TeId,
+    schedule: &Schedule,
+    spec: &GpuSpec,
+) -> f64 {
+    let te_ref = program.te(te);
+    let out_shape = program.output_shape(te).clone();
+    let flops = te_ref.flops(&out_shape) as f64;
+    let peak = spec.peak_flops(schedule.use_tensor_core) * COMPUTE_EFFICIENCY;
+    let compute_time = flops / peak;
+
+    // Per-block traffic: footprint over the block's tile (full reduction
+    // extent — a block eventually streams the whole reduced region).
+    let mut tile_bounds: Vec<i64> = schedule.output_tiles.iter().map(|t| t.tile).collect();
+    tile_bounds.extend(te_ref.reduce.iter().copied());
+    let per_block_reads: u64 = operand_footprints(program, te, &tile_bounds)
+        .into_iter()
+        .map(|(operand, elems)| {
+            let t = program.tensor(te_ref.inputs[operand]);
+            elems as u64 * t.dtype.size_bytes()
+        })
+        .sum();
+    let blocks: i64 = schedule
+        .output_tiles
+        .iter()
+        .map(TileDimExt::num_tiles)
+        .product();
+    let out = program.tensor(te_ref.output);
+    let write_bytes = out.shape.numel() as u64 * out.dtype.size_bytes();
+    let read_bytes = per_block_reads.saturating_mul(blocks.max(1) as u64);
+    let mem_time = (read_bytes + write_bytes) as f64
+        / (spec.global_bw_bytes_per_s * MEMORY_EFFICIENCY);
+
+    // Waves: blocks beyond one wave serialize.
+    let wave_cap = spec
+        .max_blocks_per_wave(
+            schedule.threads_per_block,
+            schedule.shared_mem_bytes,
+            schedule.regs_per_thread,
+        )
+        .max(1);
+    let waves = schedule.grid_blocks.div_ceil(wave_cap).max(1) as f64;
+    // A small per-wave scheduling cost keeps absurdly tiny tiles from
+    // looking free.
+    let wave_overhead = (waves - 1.0) * 0.2e-6;
+
+    compute_time.max(mem_time) + wave_overhead
+}
+
+/// Internal helper trait so `cost` does not depend on schedule internals.
+trait TileDimExt {
+    fn num_tiles(&self) -> i64;
+}
+
+impl TileDimExt for crate::TileDim {
+    fn num_tiles(&self) -> i64 {
+        crate::TileDim::num_tiles(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use souffle_te::builders;
+    use souffle_tensor::{DType, Shape};
+
+    fn gemm_program(m: i64, k: i64, n: i64, dtype: DType) -> (TeProgram, TeId) {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![m, k]), dtype);
+        let b = p.add_weight("B", Shape::new(vec![k, n]), dtype);
+        let _ = builders::matmul(&mut p, "mm", a, b);
+        (p, TeId(0))
+    }
+
+    #[test]
+    fn unfused_bytes_count_operands_and_output() {
+        let (p, te) = gemm_program(64, 64, 64, DType::F32);
+        let (r, w) = te_global_bytes(&p, te);
+        assert_eq!(r, 2 * 64 * 64 * 4);
+        assert_eq!(w, 64 * 64 * 4);
+    }
+
+    #[test]
+    fn f16_halves_traffic() {
+        let (p32, te) = gemm_program(64, 64, 64, DType::F32);
+        let (p16, _) = gemm_program(64, 64, 64, DType::F16);
+        let (r32, _) = te_global_bytes(&p32, te);
+        let (r16, _) = te_global_bytes(&p16, te);
+        assert_eq!(r32, 2 * r16);
+    }
+
+    #[test]
+    fn elementwise_footprint_matches_tensor() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![128]), DType::F32);
+        let _ = builders::exp(&mut p, "e", a);
+        let (r, w) = te_global_bytes(&p, TeId(0));
+        assert_eq!(r, 128 * 4);
+        assert_eq!(w, 128 * 4);
+    }
+
+    #[test]
+    fn sliced_access_reads_less_than_whole_tensor() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![128]), DType::F32);
+        let _ = builders::strided_slice(&mut p, "s", a, 0, 0, 1, 32);
+        let (r, _) = te_global_bytes(&p, TeId(0));
+        assert_eq!(r, 32 * 4);
+    }
+
+    #[test]
+    fn time_estimate_positive_and_bandwidth_bound_for_elementwise() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![1 << 20]), DType::F32);
+        let _ = builders::exp(&mut p, "e", a);
+        let spec = GpuSpec::a100();
+        let s = Schedule::elementwise(TeId(0), &[1 << 20]);
+        let t = te_time_estimate(&p, TeId(0), &s, &spec);
+        let min_mem = (2.0 * (1 << 20) as f64 * 4.0) / spec.global_bw_bytes_per_s;
+        assert!(t >= min_mem, "estimate {t} below raw DRAM time {min_mem}");
+        assert!(t < 1e-3);
+    }
+
+    #[test]
+    fn larger_tiles_reduce_gemm_traffic_time() {
+        use crate::TileDim;
+        let (p, te) = gemm_program(1024, 1024, 1024, DType::F16);
+        let spec = GpuSpec::a100();
+        let mk = |tile: i64| Schedule {
+            te,
+            output_tiles: vec![
+                TileDim { extent: 1024, tile },
+                TileDim { extent: 1024, tile },
+            ],
+            reduce_tiles: vec![TileDim { extent: 1024, tile: 32 }],
+            grid_blocks: ((1024 / tile) * (1024 / tile)) as u64,
+            threads_per_block: 128,
+            shared_mem_bytes: 16 * 1024,
+            regs_per_thread: 64,
+            use_tensor_core: true,
+            cross_block_reduction: false,
+            estimated_time_s: 0.0,
+        };
+        let t_small = te_time_estimate(&p, te, &mk(16), &spec);
+        let t_large = te_time_estimate(&p, te, &mk(128), &spec);
+        assert!(
+            t_large < t_small,
+            "128-tiles ({t_large}) should beat 16-tiles ({t_small})"
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Analytical occupancy estimation (§9, "Cost model for TE program
+//! partitioning").
+//!
+//! The paper extracts launch dimensions and register/shared-memory
+//! occupancy by compiling the raw TE program and notes that "this can be
+//! improved by building a cost model to estimate occupancy from the TE
+//! program". This module is that improvement: a closed-form predictor of
+//! the resources Ansor-lite's search will assign, usable by the
+//! partitioner to avoid scheduling TEs it will immediately re-schedule.
+
+use crate::GpuSpec;
+use souffle_te::{TeId, TeProgram};
+
+/// Predicted resource envelope of a TE's eventual schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OccupancyEstimate {
+    /// Predicted thread-block count.
+    pub grid_blocks: u64,
+    /// Predicted threads per block.
+    pub threads_per_block: u32,
+    /// Predicted shared memory per block (bytes).
+    pub shared_mem_bytes: u64,
+    /// Predicted registers per thread.
+    pub regs_per_thread: u32,
+}
+
+impl OccupancyEstimate {
+    /// Max blocks per wave under this estimate.
+    pub fn max_blocks_per_wave(&self, spec: &GpuSpec) -> u64 {
+        spec.max_blocks_per_wave(
+            self.threads_per_block,
+            self.shared_mem_bytes,
+            self.regs_per_thread,
+        )
+    }
+}
+
+/// Predicts the schedule resources of a TE without running the search.
+///
+/// Element-wise TEs map to flat 256-thread blocks. Reduction TEs are
+/// assumed to take a square-ish tile of ~`TILE` output elements per block
+/// with double-buffered operand staging over a bounded k-chunk — the same
+/// shape the search converges to.
+pub fn estimate_occupancy(program: &TeProgram, te: TeId) -> OccupancyEstimate {
+    let te_ref = program.te(te);
+    let shape = program.output_shape(te);
+    let out_elems = shape.numel();
+    if !te_ref.is_reduction() {
+        let threads = 256u32;
+        return OccupancyEstimate {
+            grid_blocks: ((out_elems + 255) / 256).max(1) as u64,
+            threads_per_block: threads,
+            shared_mem_bytes: 0,
+            regs_per_thread: 32,
+        };
+    }
+    // Reduction: tile ~4096 output elements per block (64x64 on matrices),
+    // but never more than the output itself.
+    const TILE: i64 = 4096;
+    let tile = out_elems.min(TILE);
+    let grid = ((out_elems + tile - 1) / tile).max(1) as u64;
+    let dtype = program.tensor(te_ref.output).dtype;
+    // Staging: each operand contributes roughly tile-side * k-chunk
+    // elements; approximate with 2 operands x sqrt(tile) x 32, double
+    // buffered, plus the accumulator tile.
+    let side = (tile as f64).sqrt().ceil() as i64;
+    let k_chunk = te_ref.reduce.iter().product::<i64>().min(32);
+    let smem_elems = 2 * (2 * side * k_chunk + tile);
+    let smem = (smem_elems as u64) * dtype.size_bytes();
+    let tensor_core = dtype.tensor_core_eligible();
+    OccupancyEstimate {
+        grid_blocks: grid,
+        threads_per_block: if tensor_core { 128 } else { 256 },
+        shared_mem_bytes: smem.min(48 * 1024),
+        regs_per_thread: 64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{auto_schedule, GpuSpec};
+    use souffle_te::builders;
+    use souffle_tensor::{DType, Shape};
+
+    #[test]
+    fn elementwise_estimate_matches_search_exactly() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![100_000]), DType::F32);
+        let _ = builders::relu(&mut p, "r", a);
+        let est = estimate_occupancy(&p, TeId(0));
+        let sch = auto_schedule(&p, TeId(0), &GpuSpec::a100());
+        assert_eq!(est.grid_blocks, sch.grid_blocks);
+        assert_eq!(est.threads_per_block, sch.threads_per_block);
+        assert_eq!(est.shared_mem_bytes, sch.shared_mem_bytes);
+    }
+
+    #[test]
+    fn gemm_estimate_is_in_the_searchs_ballpark() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![1024, 1024]), DType::F16);
+        let b = p.add_weight("B", Shape::new(vec![1024, 1024]), DType::F16);
+        let _ = builders::matmul(&mut p, "mm", a, b);
+        let spec = GpuSpec::a100();
+        let est = estimate_occupancy(&p, TeId(0));
+        let sch = auto_schedule(&p, TeId(0), &spec);
+        // Within 8x on grid and shared memory: good enough for the
+        // partitioner's feasibility check.
+        let ratio = est.grid_blocks as f64 / sch.grid_blocks as f64;
+        assert!(
+            (0.125..=8.0).contains(&ratio),
+            "grid estimate {} vs search {}",
+            est.grid_blocks,
+            sch.grid_blocks
+        );
+        assert!(est.shared_mem_bytes <= spec.shared_mem_per_block_max);
+        // Both must agree on wave feasibility direction for this size.
+        let est_wave = est.max_blocks_per_wave(&spec);
+        assert!(est_wave > 0);
+    }
+
+    #[test]
+    fn estimate_never_exceeds_device_limits() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4096, 4096]), DType::F32);
+        let b = p.add_weight("B", Shape::new(vec![4096, 4096]), DType::F32);
+        let _ = builders::matmul(&mut p, "mm", a, b);
+        let spec = GpuSpec::a100();
+        let est = estimate_occupancy(&p, TeId(0));
+        assert!(est.shared_mem_bytes <= spec.shared_mem_per_block_max);
+        assert!(est.threads_per_block <= spec.max_threads_per_sm);
+    }
+}

@@ -1,0 +1,246 @@
+//! TVM-style schedule primitives: the `split/reorder/bind/cache_read/`
+//! `compute_at` trace of a schedule, as the paper prints it in Fig. 2
+//! ("3. Resource Aware Partition" and "4. TE transformation").
+//!
+//! Ansor-lite decides tilings numerically; this module renders those
+//! decisions as the primitive sequence an Ansor schedule would apply, and
+//! expresses §6.3's *schedule propagation* — attaching a memory-intensive
+//! TE to its compute-intensive producer's tiling — as the
+//! `split` + `compute_at` pair of the paper's example.
+
+use crate::Schedule;
+use std::fmt;
+
+/// One schedule primitive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Primitive {
+    /// `s.split(axis, factor)`: tile an axis.
+    Split {
+        /// Axis name (`i`, `j`, `k`, …).
+        axis: String,
+        /// Tile factor.
+        factor: i64,
+    },
+    /// `s.reorder(...)`: set the loop order.
+    Reorder {
+        /// New order of loop variables.
+        order: Vec<String>,
+    },
+    /// `s.cache_read(tensor, "shared", at)`: stage an operand in shared
+    /// memory.
+    CacheRead {
+        /// Operand position.
+        operand: usize,
+        /// Loop level the staging happens at.
+        at: String,
+    },
+    /// `s.bind(axis, thread)`: bind a loop to a hardware axis.
+    Bind {
+        /// Loop variable.
+        axis: String,
+        /// Hardware axis (`blockIdx.x`, `threadIdx.x`).
+        hw: String,
+    },
+    /// `s[op].compute_at(parent, axis)`: §6.3's schedule propagation —
+    /// compute this TE inside the parent's loop nest.
+    ComputeAt {
+        /// The producer TE's name.
+        parent: String,
+        /// Loop level.
+        axis: String,
+    },
+    /// `s.tensorize(axis, wmma_16x16)`: map the inner tile to tensor
+    /// cores.
+    Tensorize {
+        /// Inner axis.
+        axis: String,
+    },
+    /// Cross-block reduction finishing with atomics (§2.3).
+    AtomicReduce,
+}
+
+impl fmt::Display for Primitive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Primitive::Split { axis, factor } => {
+                write!(f, "{axis}o, {axis}i = s.split({axis}, {factor})")
+            }
+            Primitive::Reorder { order } => write!(f, "s.reorder({})", order.join(", ")),
+            Primitive::CacheRead { operand, at } => {
+                write!(f, "S{operand} = s.cache_read(in{operand}, \"shared\", at={at})")
+            }
+            Primitive::Bind { axis, hw } => write!(f, "s.bind({axis}, {hw})"),
+            Primitive::ComputeAt { parent, axis } => {
+                write!(f, "s.compute_at(s[{parent}], {axis})")
+            }
+            Primitive::Tensorize { axis } => write!(f, "s.tensorize({axis}, wmma_16x16)"),
+            Primitive::AtomicReduce => f.write_str("s.cross_block_reduce(atomicAdd)"),
+        }
+    }
+}
+
+const AXIS_NAMES: [&str; 6] = ["i", "j", "k", "l", "m", "n"];
+
+fn axis_name(d: usize) -> String {
+    AXIS_NAMES
+        .get(d)
+        .map(|s| s.to_string())
+        .unwrap_or_else(|| format!("ax{d}"))
+}
+
+/// Renders a schedule as its primitive trace.
+pub fn trace(schedule: &Schedule, n_operands: usize) -> Vec<Primitive> {
+    let mut out = Vec::new();
+    let mut order_outer = Vec::new();
+    let mut order_inner = Vec::new();
+    for (d, t) in schedule.output_tiles.iter().enumerate() {
+        let ax = axis_name(d);
+        if t.tile < t.extent {
+            out.push(Primitive::Split {
+                axis: ax.clone(),
+                factor: t.tile,
+            });
+            order_outer.push(format!("{ax}o"));
+            order_inner.push(format!("{ax}i"));
+        } else {
+            order_outer.push(ax);
+        }
+    }
+    let n_out = schedule.output_tiles.len();
+    for (r, t) in schedule.reduce_tiles.iter().enumerate() {
+        let ax = format!("r{}", axis_name(n_out + r));
+        if t.tile < t.extent {
+            out.push(Primitive::Split {
+                axis: ax.clone(),
+                factor: t.tile,
+            });
+            order_outer.push(format!("{ax}o"));
+            order_inner.push(format!("{ax}i"));
+        } else {
+            order_inner.push(ax);
+        }
+    }
+    let mut order = order_outer.clone();
+    order.extend(order_inner);
+    out.push(Primitive::Reorder { order });
+    if schedule.shared_mem_bytes > 0 {
+        let at = order_outer
+            .last()
+            .cloned()
+            .unwrap_or_else(|| "root".to_string());
+        for operand in 0..n_operands {
+            out.push(Primitive::CacheRead {
+                operand,
+                at: at.clone(),
+            });
+        }
+    }
+    if let Some(first) = order_outer.first() {
+        out.push(Primitive::Bind {
+            axis: first.clone(),
+            hw: "blockIdx.x".to_string(),
+        });
+    }
+    out.push(Primitive::Bind {
+        axis: "ii".to_string(),
+        hw: "threadIdx.x".to_string(),
+    });
+    if schedule.use_tensor_core {
+        out.push(Primitive::Tensorize {
+            axis: "ki".to_string(),
+        });
+    }
+    if schedule.cross_block_reduction {
+        out.push(Primitive::AtomicReduce);
+    }
+    out
+}
+
+/// The §6.3 propagation trace: the primitives that attach a
+/// memory-intensive TE to its compute-intensive producer's schedule
+/// ("Inherit tile shape from TE0's schedule … Move computation of TE1
+/// into TE0's loop" in Fig. 2).
+pub fn propagation_trace(producer_name: &str, producer: &Schedule) -> Vec<Primitive> {
+    let mut out = Vec::new();
+    for (d, t) in producer.output_tiles.iter().enumerate() {
+        if t.tile < t.extent {
+            out.push(Primitive::Split {
+                axis: axis_name(d),
+                factor: t.tile,
+            });
+        }
+    }
+    out.push(Primitive::ComputeAt {
+        parent: producer_name.to_string(),
+        axis: format!("{}o", axis_name(0)),
+    });
+    out
+}
+
+/// Renders a trace as the multi-line listing style of Fig. 2.
+pub fn render(name: &str, primitives: &[Primitive]) -> String {
+    let mut s = format!("# schedule for {name}\n");
+    for p in primitives {
+        s.push_str(&format!("{name}: {p}\n"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auto_schedule;
+    use crate::GpuSpec;
+    use souffle_te::{builders, TeId, TeProgram};
+    use souffle_tensor::{DType, Shape};
+
+    fn gemm_schedule() -> Schedule {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![512, 512]), DType::F16);
+        let b = p.add_weight("B", Shape::new(vec![512, 512]), DType::F16);
+        let _ = builders::matmul(&mut p, "mm", a, b);
+        auto_schedule(&p, TeId(0), &GpuSpec::a100())
+    }
+
+    #[test]
+    fn gemm_trace_has_fig2_shape() {
+        let sch = gemm_schedule();
+        let t = trace(&sch, 2);
+        let rendered = render("TE0", &t);
+        // Fig. 2's elements: split, reorder, cache_read, bind blockIdx.
+        assert!(rendered.contains("s.split("), "{rendered}");
+        assert!(rendered.contains("s.reorder("), "{rendered}");
+        assert!(rendered.contains("cache_read"), "{rendered}");
+        assert!(rendered.contains("blockIdx.x"), "{rendered}");
+        assert!(rendered.contains("wmma_16x16"), "{rendered}");
+    }
+
+    #[test]
+    fn propagation_trace_contains_compute_at() {
+        let sch = gemm_schedule();
+        let t = propagation_trace("TE0", &sch);
+        assert!(t.iter().any(|p| matches!(p, Primitive::ComputeAt { .. })));
+        let rendered = render("TE1", &t);
+        assert!(rendered.contains("compute_at(s[TE0]"), "{rendered}");
+    }
+
+    #[test]
+    fn elementwise_trace_is_flat() {
+        let s = Schedule::elementwise(TeId(0), &[1000]);
+        let t = trace(&s, 1);
+        assert!(!t.iter().any(|p| matches!(p, Primitive::Tensorize { .. })));
+        assert!(!t.iter().any(|p| matches!(p, Primitive::CacheRead { .. })));
+    }
+
+    #[test]
+    fn primitive_display() {
+        assert_eq!(
+            Primitive::Split { axis: "i".into(), factor: 16 }.to_string(),
+            "io, ii = s.split(i, 16)"
+        );
+        assert_eq!(
+            Primitive::Bind { axis: "io".into(), hw: "blockIdx.x".into() }.to_string(),
+            "s.bind(io, blockIdx.x)"
+        );
+    }
+}

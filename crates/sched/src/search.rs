@@ -1,0 +1,275 @@
+//! Ansor-lite schedule search.
+
+use crate::cost::{operand_footprints, te_time_estimate};
+use crate::{GpuSpec, Schedule, TileDim};
+use souffle_te::{BinaryOp, ScalarExpr, TeId, TeProgram};
+use std::collections::HashMap;
+
+/// Schedules for every TE of a program, keyed by TE id.
+pub type ScheduleMap = HashMap<TeId, Schedule>;
+
+/// Generates a schedule for one TE: element-wise TEs get a flat
+/// thread-per-element schedule; reduction TEs go through tile-size search
+/// with the roofline cost model.
+pub fn auto_schedule(program: &TeProgram, te: TeId, spec: &GpuSpec) -> Schedule {
+    let te_ref = program.te(te);
+    let out_shape = program.output_shape(te).clone();
+    if !te_ref.is_reduction() {
+        let mut s = Schedule::elementwise(te, out_shape.dims());
+        s.estimated_time_s = te_time_estimate(program, te, &s, spec);
+        return s;
+    }
+    search_reduction(program, te, spec)
+}
+
+/// Schedules every TE of a program.
+pub fn schedule_program(program: &TeProgram, spec: &GpuSpec) -> ScheduleMap {
+    program
+        .te_ids()
+        .map(|id| (id, auto_schedule(program, id, spec)))
+        .collect()
+}
+
+/// Whether the TE's body is a multiply-accumulate of two distinct operands
+/// — the shape the tensor cores accelerate.
+fn is_mma_body(body: &ScalarExpr) -> bool {
+    fn contains_mul_of_inputs(e: &ScalarExpr) -> bool {
+        match e {
+            ScalarExpr::Binary(BinaryOp::Mul, a, b) => {
+                reads_input(a) && reads_input(b) || contains_mul_of_inputs(a) || contains_mul_of_inputs(b)
+            }
+            ScalarExpr::Binary(_, a, b) => contains_mul_of_inputs(a) || contains_mul_of_inputs(b),
+            ScalarExpr::Unary(_, a) => contains_mul_of_inputs(a),
+            ScalarExpr::Select {
+                on_true, on_false, ..
+            } => contains_mul_of_inputs(on_true) || contains_mul_of_inputs(on_false),
+            _ => false,
+        }
+    }
+    fn reads_input(e: &ScalarExpr) -> bool {
+        match e {
+            ScalarExpr::Input { .. } => true,
+            ScalarExpr::Unary(_, a) => reads_input(a),
+            ScalarExpr::Binary(_, a, b) => reads_input(a) || reads_input(b),
+            ScalarExpr::Select {
+                on_true, on_false, ..
+            } => reads_input(on_true) || reads_input(on_false),
+            _ => false,
+        }
+    }
+    contains_mul_of_inputs(body)
+}
+
+fn tile_candidates(extent: i64) -> Vec<i64> {
+    let mut out = vec![];
+    for t in [1i64, 4, 8, 16, 32, 64, 128] {
+        let t = t.min(extent);
+        if !out.contains(&t) {
+            out.push(t);
+        }
+    }
+    out
+}
+
+fn search_reduction(program: &TeProgram, te: TeId, spec: &GpuSpec) -> Schedule {
+    let te_ref = program.te(te);
+    let out_shape = program.output_shape(te).clone();
+    let dims = out_shape.dims().to_vec();
+    let rank = dims.len();
+    let dtype = program.tensor(te_ref.output).dtype;
+    let tensor_core = dtype.tensor_core_eligible()
+        && is_mma_body(&te_ref.body)
+        && te_ref.reduce.iter().product::<i64>() >= 16;
+
+    // Tile at most the two largest dimensions; the rest stay at tile = 1.
+    let mut order: Vec<usize> = (0..rank).collect();
+    order.sort_by_key(|&d| std::cmp::Reverse(dims[d]));
+    let tiled_dims: Vec<usize> = order.into_iter().take(2).collect();
+
+    let reduce_total: i64 = te_ref.reduce.iter().product();
+    let out_elems: i64 = dims.iter().product();
+
+    let mut best: Option<Schedule> = None;
+    let cands_a = tile_candidates(dims[tiled_dims[0]]);
+    let cands_b: Vec<i64> = if tiled_dims.len() > 1 {
+        tile_candidates(dims[tiled_dims[1]])
+    } else {
+        vec![1]
+    };
+    // Cross-block reduction split candidates: only worth exploring when the
+    // output is small relative to the device (the reduce_sum-after-GEMM and
+    // global-pool patterns of §2.3).
+    let split_cands: Vec<i64> = if out_elems < (spec.num_sms as i64 * 256) && reduce_total >= 64 {
+        vec![1, 2, 4, 8]
+    } else {
+        vec![1]
+    };
+
+    for &ta in &cands_a {
+        for &tb in &cands_b {
+            for &split in &split_cands {
+                let mut tiles: Vec<TileDim> = dims
+                    .iter()
+                    .map(|&e| TileDim { extent: e, tile: 1 })
+                    .collect();
+                tiles[tiled_dims[0]].tile = ta;
+                if tiled_dims.len() > 1 {
+                    tiles[tiled_dims[1]].tile = tb;
+                }
+                let block_elems: i64 = tiles.iter().map(|t| t.tile).product();
+                let threads = pick_threads(block_elems, tensor_core);
+
+                // Shared-memory staging: operand footprints over one tile
+                // with a k-chunk of the reduction, double buffered.
+                let k_chunk: Vec<i64> = te_ref.reduce.iter().map(|&r| r.min(32)).collect();
+                let mut tile_bounds: Vec<i64> = tiles.iter().map(|t| t.tile).collect();
+                tile_bounds.extend(k_chunk.iter().copied());
+                let smem_elems: i64 = operand_footprints(program, te, &tile_bounds)
+                    .into_iter()
+                    .map(|(_, e)| e)
+                    .sum::<i64>()
+                    + block_elems;
+                let smem = 2 * smem_elems as u64 * dtype.size_bytes();
+                if smem > spec.shared_mem_per_block_max {
+                    continue;
+                }
+                let regs = (32 + (block_elems / threads as i64).min(128) * 2) as u32;
+                let blocks: i64 = tiles.iter().map(TileDim::num_tiles).product::<i64>() * split;
+                let mut sch = Schedule {
+                    te,
+                    output_tiles: tiles,
+                    reduce_tiles: te_ref
+                        .reduce
+                        .iter()
+                        .map(|&r| TileDim {
+                            extent: r,
+                            tile: (r + split - 1) / split,
+                        })
+                        .collect(),
+                    grid_blocks: blocks.max(1) as u64,
+                    threads_per_block: threads,
+                    shared_mem_bytes: smem,
+                    regs_per_thread: regs,
+                    use_tensor_core: tensor_core,
+                    cross_block_reduction: split > 1,
+                    estimated_time_s: 0.0,
+                };
+                let mut t = te_time_estimate(program, te, &sch, spec);
+                if split > 1 {
+                    // Atomics + the final combine add a small cost, but the
+                    // extra parallelism often wins for skinny outputs.
+                    t = t / (split as f64).sqrt() + 0.3e-6;
+                }
+                sch.estimated_time_s = t;
+                if best.as_ref().is_none_or(|b| t < b.estimated_time_s) {
+                    best = Some(sch);
+                }
+            }
+        }
+    }
+    best.unwrap_or_else(|| {
+        let mut s = Schedule::elementwise(te, &dims);
+        s.estimated_time_s = te_time_estimate(program, te, &s, spec);
+        s
+    })
+}
+
+fn pick_threads(block_elems: i64, tensor_core: bool) -> u32 {
+    if tensor_core {
+        128
+    } else {
+        block_elems.clamp(32, 256) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use souffle_te::builders;
+    use souffle_tensor::{DType, Shape};
+
+    fn spec() -> GpuSpec {
+        GpuSpec::a100()
+    }
+
+    #[test]
+    fn elementwise_gets_flat_schedule() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![1000]), DType::F32);
+        let _ = builders::relu(&mut p, "r", a);
+        let s = auto_schedule(&p, TeId(0), &spec());
+        assert_eq!(s.grid_blocks, 4);
+        assert!(!s.use_tensor_core);
+        assert!(s.estimated_time_s > 0.0);
+    }
+
+    #[test]
+    fn f16_gemm_uses_tensor_cores() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![512, 512]), DType::F16);
+        let b = p.add_weight("B", Shape::new(vec![512, 512]), DType::F16);
+        let _ = builders::matmul(&mut p, "mm", a, b);
+        let s = auto_schedule(&p, TeId(0), &spec());
+        assert!(s.use_tensor_core);
+        assert!(s.shared_mem_bytes > 0);
+        assert!(s.shared_mem_bytes <= spec().shared_mem_per_block_max);
+    }
+
+    #[test]
+    fn f32_gemm_does_not_use_tensor_cores() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![256, 256]), DType::F32);
+        let b = p.add_weight("B", Shape::new(vec![256, 256]), DType::F32);
+        let _ = builders::matmul(&mut p, "mm", a, b);
+        assert!(!auto_schedule(&p, TeId(0), &spec()).use_tensor_core);
+    }
+
+    #[test]
+    fn skinny_reduction_splits_across_blocks() {
+        let mut p = TeProgram::new();
+        // reduce a [64, 4096] tensor to [64]: tiny output, large reduction.
+        let a = p.add_input("A", Shape::new(vec![64, 4096]), DType::F32);
+        let _ = builders::reduce_last(&mut p, "rs", souffle_te::ReduceOp::Sum, a);
+        let s = auto_schedule(&p, TeId(0), &spec());
+        assert!(
+            s.cross_block_reduction,
+            "expected two-phase reduction, got {s}"
+        );
+    }
+
+    #[test]
+    fn big_gemm_prefers_large_tiles() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![2048, 2048]), DType::F16);
+        let b = p.add_weight("B", Shape::new(vec![2048, 2048]), DType::F16);
+        let _ = builders::matmul(&mut p, "mm", a, b);
+        let s = auto_schedule(&p, TeId(0), &spec());
+        let max_tile = s.output_tiles.iter().map(|t| t.tile).max().unwrap();
+        assert!(max_tile >= 64, "expected large tiles, got {s}");
+    }
+
+    #[test]
+    fn schedule_program_covers_all_tes() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![64, 64]), DType::F16);
+        let b = p.add_weight("B", Shape::new(vec![64, 64]), DType::F16);
+        let c = builders::matmul(&mut p, "mm", a, b);
+        let d = builders::sigmoid(&mut p, "sg", c);
+        let _ = builders::exp(&mut p, "ex", d);
+        let map = schedule_program(&p, &spec());
+        assert_eq!(map.len(), 3);
+        for id in p.te_ids() {
+            assert!(map.contains_key(&id));
+        }
+    }
+
+    #[test]
+    fn schedules_respect_shared_memory_cap() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4096, 4096]), DType::F32);
+        let b = p.add_weight("B", Shape::new(vec![4096, 4096]), DType::F32);
+        let _ = builders::matmul(&mut p, "mm", a, b);
+        let s = auto_schedule(&p, TeId(0), &spec());
+        assert!(s.shared_mem_bytes <= spec().shared_mem_per_block_max);
+    }
+}

@@ -1,0 +1,144 @@
+//! `souffle-cli`: compile one of the paper's models and report what the
+//! compiler did — the "driver" a downstream user runs first.
+//!
+//! ```sh
+//! souffle-cli <model> [--variant V0..V4] [--emit-cuda] [--compare]
+//! ```
+//!
+//! `<model>` is one of `bert`, `resnext`, `lstm`, `efficientnet`, `swin`,
+//! `mmoe`. `--compare` also runs the six baselines.
+
+use souffle::{Souffle, SouffleOptions};
+use souffle_baselines::{all_baselines, StrategyContext};
+use souffle_frontend::{build_model, Model, ModelConfig};
+use souffle_gpusim::simulate;
+use souffle_sched::GpuSpec;
+use std::process::ExitCode;
+
+fn parse_model(name: &str) -> Option<Model> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "bert" => Model::Bert,
+        "resnext" => Model::ResNext,
+        "lstm" => Model::Lstm,
+        "efficientnet" | "effnet" => Model::EfficientNet,
+        "swin" => Model::SwinTransformer,
+        "mmoe" => Model::Mmoe,
+        _ => return None,
+    })
+}
+
+fn parse_variant(name: &str) -> Option<SouffleOptions> {
+    SouffleOptions::ablation()
+        .into_iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        .map(|(_, o)| o)
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: souffle-cli <bert|resnext|lstm|efficientnet|swin|mmoe> \
+         [--variant V0..V4] [--tiny] [--emit-cuda] [--compare] [--trace out.json]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(model_arg) = args.first() else {
+        return usage();
+    };
+    let Some(model) = parse_model(model_arg) else {
+        eprintln!("unknown model: {model_arg}");
+        return usage();
+    };
+    let mut options = SouffleOptions::full();
+    let mut emit_cuda = false;
+    let mut compare = false;
+    let mut trace_path: Option<String> = None;
+    let mut config = ModelConfig::Paper;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--variant" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|v| parse_variant(v)) else {
+                    eprintln!("--variant expects V0..V4");
+                    return usage();
+                };
+                options = v;
+            }
+            "--tiny" => config = ModelConfig::Tiny,
+            "--trace" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("--trace expects a file path");
+                    return usage();
+                };
+                trace_path = Some(path.clone());
+            }
+            "--emit-cuda" => emit_cuda = true,
+            "--compare" => compare = true,
+            other => {
+                eprintln!("unknown flag: {other}");
+                return usage();
+            }
+        }
+        i += 1;
+    }
+
+    let program = build_model(model, config);
+    println!(
+        "{model}: {} TEs, {} tensors, {:.1} MB weights",
+        program.num_tes(),
+        program.num_tensors(),
+        program.weight_bytes() as f64 / 1e6
+    );
+    let souffle = Souffle::new(options);
+    let compiled = souffle.compile(&program);
+    let profile = souffle.simulate(&compiled);
+    println!(
+        "compiled in {:.1} ms: {} kernels | transform: {} horizontal, {} vertical | reuse: {} loads cut",
+        compiled.stats.total_time().as_secs_f64() * 1e3,
+        compiled.num_kernels(),
+        compiled.stats.transform.horizontal_groups,
+        compiled.stats.transform.vertical_fused,
+        compiled.stats.reuse.loads_eliminated,
+    );
+    println!(
+        "simulated: {:.3} ms | {:.1} MB traffic | {} grid syncs",
+        profile.total_time_ms(),
+        profile.global_transfer_bytes() as f64 / 1e6,
+        profile.grid_syncs()
+    );
+
+    if compare {
+        println!("\nbaselines:");
+        for strategy in all_baselines() {
+            if !strategy.supports(model) {
+                println!("  {:<9} Failed (per Table 3)", strategy.name());
+                continue;
+            }
+            let ctx = StrategyContext::new(&program, &GpuSpec::a100());
+            let base = simulate(&strategy.compile(&ctx).kernels, &strategy.sim_config());
+            println!(
+                "  {:<9} {:>9.3} ms  {:>6} kernels  ({:.2}x vs Souffle)",
+                strategy.name(),
+                base.total_time_ms(),
+                base.num_kernel_calls(),
+                base.total_time_s() / profile.total_time_s()
+            );
+        }
+    }
+    if let Some(path) = trace_path {
+        let json = souffle_gpusim::chrome_trace(&profile);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("failed to write trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote Chrome trace to {path} (open in chrome://tracing or Perfetto)");
+    }
+    if emit_cuda {
+        println!("\n{}", compiled.emit_cuda());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,122 @@
+//! Pipeline configuration, including the ablation points of Table 4.
+
+use souffle_sched::GpuSpec;
+
+/// Which optimization stages run — the knobs of the paper's ablation
+/// study (§8.2): V0 is plain TVM+Ansor codegen; each step adds one
+/// Souffle mechanism.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SouffleOptions {
+    /// Horizontal TE transformation (§6.1) — V1.
+    pub horizontal: bool,
+    /// Vertical TE transformation (§6.2) — V2.
+    pub vertical: bool,
+    /// Resource-aware partitioning into grid-synchronized merged kernels
+    /// (§5.4, §6.4) — V3. When off, kernels are generated per compute TE
+    /// with epilogue fusion (Ansor-style).
+    pub global_sync: bool,
+    /// Subprogram-level optimization: instruction pipelining + LRU tensor
+    /// buffer reuse (§6.5) — V4.
+    pub subprogram_opts: bool,
+    /// Capacity of the software-managed LRU tensor cache used by the
+    /// reuse pass (§6.5). `None` uses the device-wide shared memory
+    /// (each block caches its tile); the design-ablation bench sweeps
+    /// this.
+    pub reuse_cache_bytes: Option<u64>,
+    /// The target device.
+    pub spec: GpuSpec,
+}
+
+impl SouffleOptions {
+    /// V0: TVM + Ansor baseline codegen (no Souffle mechanisms).
+    pub fn v0() -> Self {
+        SouffleOptions {
+            horizontal: false,
+            vertical: false,
+            global_sync: false,
+            subprogram_opts: false,
+            reuse_cache_bytes: None,
+            spec: GpuSpec::a100(),
+        }
+    }
+
+    /// V1: + horizontal transformation.
+    pub fn v1() -> Self {
+        SouffleOptions {
+            horizontal: true,
+            ..SouffleOptions::v0()
+        }
+    }
+
+    /// V2: + vertical transformation.
+    pub fn v2() -> Self {
+        SouffleOptions {
+            vertical: true,
+            ..SouffleOptions::v1()
+        }
+    }
+
+    /// V3: + global synchronization (merged subprogram kernels).
+    pub fn v3() -> Self {
+        SouffleOptions {
+            global_sync: true,
+            ..SouffleOptions::v2()
+        }
+    }
+
+    /// V4 (= full Souffle): + subprogram-level optimization.
+    pub fn v4() -> Self {
+        SouffleOptions {
+            subprogram_opts: true,
+            ..SouffleOptions::v3()
+        }
+    }
+
+    /// The complete pipeline (alias of [`SouffleOptions::v4`]).
+    pub fn full() -> Self {
+        SouffleOptions::v4()
+    }
+
+    /// All ablation variants in order, with their Table 4 labels.
+    pub fn ablation() -> Vec<(&'static str, SouffleOptions)> {
+        vec![
+            ("V0", SouffleOptions::v0()),
+            ("V1", SouffleOptions::v1()),
+            ("V2", SouffleOptions::v2()),
+            ("V3", SouffleOptions::v3()),
+            ("V4", SouffleOptions::v4()),
+        ]
+    }
+}
+
+impl Default for SouffleOptions {
+    fn default() -> Self {
+        SouffleOptions::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_is_monotonic() {
+        let steps = SouffleOptions::ablation();
+        assert_eq!(steps.len(), 5);
+        let on = |o: &SouffleOptions| {
+            [o.horizontal, o.vertical, o.global_sync, o.subprogram_opts]
+                .iter()
+                .filter(|&&b| b)
+                .count()
+        };
+        for w in steps.windows(2) {
+            assert_eq!(on(&w[1].1), on(&w[0].1) + 1);
+        }
+    }
+
+    #[test]
+    fn full_is_v4() {
+        assert_eq!(SouffleOptions::full(), SouffleOptions::v4());
+        assert_eq!(SouffleOptions::default(), SouffleOptions::v4());
+    }
+}

@@ -1,0 +1,401 @@
+//! The end-to-end compilation pipeline.
+
+use crate::SouffleOptions;
+use souffle_analysis::AnalysisResult;
+use souffle_baselines::{AnsorStrategy, Strategy, StrategyContext};
+use souffle_gpusim::{simulate, ModelProfile, SimConfig};
+use souffle_kernel::passes::{pipeline_pass, tensor_reuse_pass, PipelineStats, ReuseStats};
+use souffle_kernel::{lower_partition, Kernel, LowerOptions};
+use souffle_te::TeProgram;
+use souffle_transform::{horizontal_fuse_program, vertical_fuse_program, TransformStats};
+use std::time::{Duration, Instant};
+
+/// Timing and statistics of one compilation (§8.5's overhead study).
+#[derive(Debug, Clone, Default)]
+pub struct CompileStats {
+    /// Horizontal + vertical transformation statistics.
+    pub transform: TransformStats,
+    /// LRU tensor-reuse pass statistics, summed over kernels.
+    pub reuse: ReuseStats,
+    /// Pipelining pass statistics, summed over kernels.
+    pub pipeline: PipelineStats,
+    /// Wall time of global analysis (dependence, classification,
+    /// schedules, partitioning).
+    pub analysis_time: Duration,
+    /// Wall time of TE transformations.
+    pub transform_time: Duration,
+    /// Wall time of lowering + subprogram optimization.
+    pub codegen_time: Duration,
+}
+
+impl CompileStats {
+    /// Total compilation wall time.
+    pub fn total_time(&self) -> Duration {
+        self.analysis_time + self.transform_time + self.codegen_time
+    }
+}
+
+/// The result of compiling a model with Souffle.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The (possibly transformed) TE program that was lowered.
+    pub program: TeProgram,
+    /// Global analysis results for that program.
+    pub analysis: AnalysisResult,
+    /// Generated kernels in launch order.
+    pub kernels: Vec<Kernel>,
+    /// Compilation statistics.
+    pub stats: CompileStats,
+}
+
+impl Compiled {
+    /// Number of kernels one inference launches.
+    pub fn num_kernels(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Renders the generated kernels as CUDA-like source (the back-end
+    /// code-generation stage, Fig. 2's `Fn_TE_Subprogram_0`).
+    pub fn emit_cuda(&self) -> String {
+        souffle_kernel::codegen::emit_model(&self.program, &self.kernels)
+    }
+}
+
+/// The Souffle compiler.
+#[derive(Debug, Clone, Default)]
+pub struct Souffle {
+    options: SouffleOptions,
+}
+
+impl Souffle {
+    /// Creates a compiler with the given options.
+    pub fn new(options: SouffleOptions) -> Self {
+        Souffle { options }
+    }
+
+    /// The active options.
+    pub fn options(&self) -> &SouffleOptions {
+        &self.options
+    }
+
+    /// Runs the full pipeline on a TE program.
+    pub fn compile(&self, program: &TeProgram) -> Compiled {
+        let mut stats = CompileStats::default();
+        let spec = &self.options.spec;
+
+        // --- Semantic-preserving TE transformations (§6.1, §6.2) ---
+        let t0 = Instant::now();
+        let mut transformed = program.clone();
+        if self.options.horizontal {
+            let (p, s) = horizontal_fuse_program(&transformed);
+            transformed = p;
+            stats.transform.horizontal_groups = s.horizontal_groups;
+        }
+        if self.options.vertical {
+            let (p, s) = vertical_fuse_program(&transformed);
+            transformed = p;
+            stats.transform.vertical_fused = s.vertical_fused;
+        }
+        stats.transform.tes_before = program.num_tes();
+        stats.transform.tes_after = transformed.num_tes();
+        stats.transform_time = t0.elapsed();
+
+        // --- Global analysis + partitioning (§5) ---
+        let t1 = Instant::now();
+        let analysis = AnalysisResult::analyze(&transformed, spec);
+        stats.analysis_time = t1.elapsed();
+
+        // --- Lowering (§6.4) + subprogram optimization (§6.5) ---
+        let t2 = Instant::now();
+        let mut kernels = if self.options.global_sync {
+            lower_partition(
+                &transformed,
+                &analysis.partition,
+                &analysis.schedules,
+                &analysis.classes,
+                LowerOptions::default(),
+            )
+        } else {
+            // Without global sync, fall back to Ansor-style epilogue-fused
+            // kernels over the transformed program (the V0–V2 codegen).
+            let ctx = StrategyContext::new(&transformed, spec);
+            AnsorStrategy.compile(&ctx).kernels
+        };
+        if self.options.subprogram_opts {
+            // Each block caches its tile of reused buffers; capacity
+            // defaults to the device-wide shared memory.
+            let cache = self
+                .options
+                .reuse_cache_bytes
+                .unwrap_or(spec.num_sms as u64 * spec.shared_mem_per_sm);
+            for k in &mut kernels {
+                let r = tensor_reuse_pass(k, cache);
+                stats.reuse.loads_eliminated += r.loads_eliminated;
+                stats.reuse.bytes_saved += r.bytes_saved;
+                stats.reuse.bytes_spilled += r.bytes_spilled;
+                let p = pipeline_pass(k);
+                stats.pipeline.stages_pipelined += p.stages_pipelined;
+            }
+        }
+        stats.codegen_time = t2.elapsed();
+
+        Compiled {
+            program: transformed,
+            analysis,
+            kernels,
+            stats,
+        }
+    }
+
+    /// Executes a compiled model on the simulated A100.
+    pub fn simulate(&self, compiled: &Compiled) -> ModelProfile {
+        simulate(&compiled.kernels, &self.sim_config())
+    }
+
+    /// The simulator configuration Souffle-generated code runs under.
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig {
+            spec: self.options.spec.clone(),
+            ..SimConfig::a100()
+        }
+    }
+
+    /// Convenience: compile and simulate in one call.
+    pub fn run(&self, program: &TeProgram) -> (Compiled, ModelProfile) {
+        let compiled = self.compile(program);
+        let profile = self.simulate(&compiled);
+        (compiled, profile)
+    }
+
+    /// Compiles an operator graph: every TE segment goes through the full
+    /// pipeline; TE-unsupported operators become opaque library kernels
+    /// that are never fused with their neighbours (§9, "Expression power
+    /// of TE").
+    pub fn compile_graph(
+        &self,
+        graph: &souffle_frontend::OpGraph,
+    ) -> Result<GraphCompiled, souffle_frontend::GraphError> {
+        let lowered = graph.lower()?;
+        let mut parts = Vec::new();
+        for segment in lowered.segments {
+            match segment {
+                souffle_frontend::Segment::Te(program) => {
+                    parts.push(GraphPart::Te(Box::new(self.compile(&program))));
+                }
+                souffle_frontend::Segment::Library(call) => {
+                    parts.push(GraphPart::Library(library_kernel(&call)));
+                }
+            }
+        }
+        Ok(GraphCompiled { parts })
+    }
+
+    /// Simulates a compiled graph end to end.
+    pub fn simulate_graph(&self, compiled: &GraphCompiled) -> ModelProfile {
+        let kernels: Vec<Kernel> = compiled
+            .parts
+            .iter()
+            .flat_map(|p| match p {
+                GraphPart::Te(c) => c.kernels.clone(),
+                GraphPart::Library(k) => vec![k.clone()],
+            })
+            .collect();
+        simulate(&kernels, &self.sim_config())
+    }
+}
+
+/// One compiled piece of an operator graph.
+#[derive(Debug, Clone)]
+pub enum GraphPart {
+    /// A Souffle-compiled TE segment.
+    Te(Box<Compiled>),
+    /// An opaque library kernel.
+    Library(Kernel),
+}
+
+/// A compiled operator graph: Souffle-optimized segments interleaved with
+/// library kernels at the TE-unsupported operators.
+#[derive(Debug, Clone)]
+pub struct GraphCompiled {
+    /// Parts in execution order.
+    pub parts: Vec<GraphPart>,
+}
+
+impl GraphCompiled {
+    /// Total kernels one inference launches.
+    pub fn num_kernels(&self) -> usize {
+        self.parts
+            .iter()
+            .map(|p| match p {
+                GraphPart::Te(c) => c.num_kernels(),
+                GraphPart::Library(_) => 1,
+            })
+            .sum()
+    }
+
+    /// Number of library-call kernels.
+    pub fn num_library_kernels(&self) -> usize {
+        self.parts
+            .iter()
+            .filter(|p| matches!(p, GraphPart::Library(_)))
+            .count()
+    }
+}
+
+/// Models a library operator as a single memory-streaming kernel: it reads
+/// and writes its tensor once (the library implementation is tuned, but it
+/// cannot fuse with anything around it).
+fn library_kernel(call: &souffle_frontend::LibraryCall) -> Kernel {
+    use souffle_kernel::{Instr, Stage};
+    let bytes = call.output_shape.numel() as u64 * call.dtype.size_bytes();
+    Kernel {
+        name: format!("lib_{}", call.name),
+        stages: vec![Stage {
+            te: souffle_te::TeId(0),
+            name: call.name.clone(),
+            grid_blocks: ((call.output_shape.numel() + 255) / 256).max(1) as u64,
+            threads_per_block: 256,
+            shared_mem_bytes: 0,
+            regs_per_thread: 32,
+            instrs: vec![
+                Instr::LdGlobal {
+                    tensor: souffle_te::TensorId(0),
+                    bytes,
+                },
+                Instr::Fma { flops: bytes * 4 },
+                Instr::StGlobal {
+                    tensor: souffle_te::TensorId(0),
+                    bytes,
+                },
+            ],
+            pipelined: false,
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use souffle_te::builders;
+    use souffle_tensor::{DType, Shape};
+
+    fn fig2_program() -> TeProgram {
+        let mut p = TeProgram::new();
+        let i0 = p.add_input("I0", Shape::new(vec![64, 64]), DType::F16);
+        let w0 = p.add_weight("W0", Shape::new(vec![64, 64]), DType::F16);
+        let o0 = builders::matmul(&mut p, "TE0", i0, w0);
+        let o1 = builders::sigmoid(&mut p, "TE1", o0);
+        let w2 = p.add_weight("W2", Shape::new(vec![64, 64]), DType::F16);
+        let o2 = builders::matmul(&mut p, "TE2", o1, w2);
+        let o3 = builders::add(&mut p, "TE3", o0, o2);
+        let w4 = p.add_weight("W4", Shape::new(vec![64, 256]), DType::F16);
+        let o4 = builders::matmul(&mut p, "TE4", o3, w4);
+        p.mark_output(o4);
+        p
+    }
+
+    #[test]
+    fn full_pipeline_produces_fewer_kernels_than_v0() {
+        let p = fig2_program();
+        let (c0, prof0) = Souffle::new(SouffleOptions::v0()).run(&p);
+        let (c4, prof4) = Souffle::new(SouffleOptions::full()).run(&p);
+        assert!(c4.num_kernels() <= c0.num_kernels());
+        assert!(prof4.total_time_s() <= prof0.total_time_s());
+        assert!(prof4.global_read_bytes() <= prof0.global_read_bytes());
+    }
+
+    #[test]
+    fn ablation_latency_is_monotonically_nonincreasing() {
+        let p = fig2_program();
+        let mut last = f64::INFINITY;
+        for (name, opts) in SouffleOptions::ablation() {
+            let (_, prof) = Souffle::new(opts).run(&p);
+            let t = prof.total_time_s();
+            assert!(
+                t <= last * 1.05,
+                "{name} regressed: {t:.3e} vs previous {last:.3e}"
+            );
+            last = t.min(last);
+        }
+    }
+
+    #[test]
+    fn transformed_program_still_validates() {
+        let p = fig2_program();
+        let compiled = Souffle::new(SouffleOptions::full()).compile(&p);
+        compiled.program.validate().unwrap();
+        assert!(compiled.stats.total_time() > Duration::ZERO);
+    }
+
+    #[test]
+    fn full_pipeline_single_kernel_for_small_program() {
+        let p = fig2_program();
+        let compiled = Souffle::new(SouffleOptions::full()).compile(&p);
+        // The Fig. 2 program fits in one grid-synchronized kernel.
+        assert_eq!(compiled.num_kernels(), 1, "{:?}", compiled.kernels.len());
+        assert!(compiled.kernels[0].uses_grid_sync());
+    }
+
+    #[test]
+    fn graph_with_library_op_compiles_in_parts() {
+        use souffle_frontend::{OpGraph, OpKind};
+        let mut g = OpGraph::new();
+        let x = g
+            .add(
+                "x",
+                OpKind::Input(Shape::new(vec![1, 4, 8, 8]), DType::F32),
+                &[],
+            )
+            .unwrap();
+        let r = g
+            .add("relu", OpKind::Unary(souffle_te::UnaryOp::Relu), &[x])
+            .unwrap();
+        let rs = g.add("resize", OpKind::Resize { size: 16 }, &[r]).unwrap();
+        let s = g
+            .add("sig", OpKind::Unary(souffle_te::UnaryOp::Sigmoid), &[rs])
+            .unwrap();
+        g.mark_output(s);
+        let souffle = Souffle::new(SouffleOptions::full());
+        let compiled = souffle.compile_graph(&g).unwrap();
+        assert_eq!(compiled.num_library_kernels(), 1);
+        assert!(compiled.num_kernels() >= 3, "{}", compiled.num_kernels());
+        let profile = souffle.simulate_graph(&compiled);
+        assert!(profile.total_time_s() > 0.0);
+        assert!(profile
+            .kernels
+            .iter()
+            .any(|k| k.name.starts_with("lib_resize")));
+    }
+
+    #[test]
+    fn fully_expressible_graph_has_no_library_kernels() {
+        use souffle_frontend::{OpGraph, OpKind};
+        let mut g = OpGraph::new();
+        let x = g
+            .add("x", OpKind::Input(Shape::new(vec![8, 8]), DType::F16), &[])
+            .unwrap();
+        let w = g
+            .add("w", OpKind::Weight(Shape::new(vec![8, 8]), DType::F16), &[])
+            .unwrap();
+        let mm = g.add("mm", OpKind::MatMul, &[x, w]).unwrap();
+        let sm = g.add("sm", OpKind::Softmax, &[mm]).unwrap();
+        g.mark_output(sm);
+        let souffle = Souffle::new(SouffleOptions::full());
+        let compiled = souffle.compile_graph(&g).unwrap();
+        assert_eq!(compiled.num_library_kernels(), 0);
+        assert_eq!(compiled.parts.len(), 1);
+    }
+
+    #[test]
+    fn reuse_pass_reports_savings_on_temporal_reuse() {
+        let p = fig2_program();
+        let compiled = Souffle::new(SouffleOptions::full()).compile(&p);
+        // O0 is consumed twice (TE1, TE3): the second consumer hits the
+        // cache.
+        assert!(
+            compiled.stats.reuse.loads_eliminated > 0,
+            "{:?}",
+            compiled.stats.reuse
+        );
+    }
+}

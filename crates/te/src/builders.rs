@@ -1,0 +1,1036 @@
+//! Convenience constructors for the operator vocabulary the paper supports
+//! (§6.7): element-wise operators, broadcasts, reductions (`reduce_sum`,
+//! GEMM, convolution), reorganisation operators (`reshape`) and shuffle
+//! operators (`transpose`).
+//!
+//! Each builder appends one or more TEs to a [`TeProgram`] and returns the
+//! id of the resulting tensor. Complex operators (softmax, layer norm)
+//! lower to several simple TEs — exactly the property Souffle's analysis
+//! exploits (a softmax becomes a reduction TE plus element-wise TEs).
+
+use crate::expr::{BinaryOp, CmpOp, Cond, ScalarExpr, UnaryOp};
+use crate::program::{TeProgram, TensorId};
+use crate::te::ReduceOp;
+use souffle_affine::IndexExpr;
+use souffle_tensor::Shape;
+
+fn iter_vars(rank: usize) -> Vec<IndexExpr> {
+    (0..rank).map(IndexExpr::Var).collect()
+}
+
+/// Element-wise unary operator `out[i..] = op(a[i..])`.
+pub fn unary(p: &mut TeProgram, name: &str, op: UnaryOp, a: TensorId) -> TensorId {
+    let t = p.tensor(a);
+    let (shape, dtype, rank) = (t.shape.clone(), t.dtype, t.shape.rank());
+    p.add_te(
+        name,
+        shape,
+        dtype,
+        vec![a],
+        vec![],
+        None,
+        ScalarExpr::unary(op, ScalarExpr::input(0, iter_vars(rank))),
+    )
+}
+
+/// `exp` shorthand.
+pub fn exp(p: &mut TeProgram, name: &str, a: TensorId) -> TensorId {
+    unary(p, name, UnaryOp::Exp, a)
+}
+
+/// `sigmoid` shorthand.
+pub fn sigmoid(p: &mut TeProgram, name: &str, a: TensorId) -> TensorId {
+    unary(p, name, UnaryOp::Sigmoid, a)
+}
+
+/// `relu` shorthand.
+pub fn relu(p: &mut TeProgram, name: &str, a: TensorId) -> TensorId {
+    unary(p, name, UnaryOp::Relu, a)
+}
+
+/// Element-wise binary operator over same-shaped tensors.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn binary(p: &mut TeProgram, name: &str, op: BinaryOp, a: TensorId, b: TensorId) -> TensorId {
+    let (sa, sb) = (p.tensor(a).shape.clone(), p.tensor(b).shape.clone());
+    assert_eq!(sa, sb, "binary {name}: shape mismatch {sa} vs {sb}");
+    let dtype = p.tensor(a).dtype;
+    let rank = sa.rank();
+    p.add_te(
+        name,
+        sa,
+        dtype,
+        vec![a, b],
+        vec![],
+        None,
+        ScalarExpr::binary(
+            op,
+            ScalarExpr::input(0, iter_vars(rank)),
+            ScalarExpr::input(1, iter_vars(rank)),
+        ),
+    )
+}
+
+/// `a + b` shorthand.
+pub fn add(p: &mut TeProgram, name: &str, a: TensorId, b: TensorId) -> TensorId {
+    binary(p, name, BinaryOp::Add, a, b)
+}
+
+/// `a * b` shorthand.
+pub fn mul(p: &mut TeProgram, name: &str, a: TensorId, b: TensorId) -> TensorId {
+    binary(p, name, BinaryOp::Mul, a, b)
+}
+
+/// Adds a scalar constant element-wise.
+pub fn add_scalar(p: &mut TeProgram, name: &str, a: TensorId, c: f32) -> TensorId {
+    let t = p.tensor(a);
+    let (shape, dtype, rank) = (t.shape.clone(), t.dtype, t.shape.rank());
+    p.add_te(
+        name,
+        shape,
+        dtype,
+        vec![a],
+        vec![],
+        None,
+        ScalarExpr::binary(
+            BinaryOp::Add,
+            ScalarExpr::input(0, iter_vars(rank)),
+            ScalarExpr::Const(c),
+        ),
+    )
+}
+
+/// Multiplies by a scalar constant element-wise.
+pub fn scale(p: &mut TeProgram, name: &str, a: TensorId, c: f32) -> TensorId {
+    let t = p.tensor(a);
+    let (shape, dtype, rank) = (t.shape.clone(), t.dtype, t.shape.rank());
+    p.add_te(
+        name,
+        shape,
+        dtype,
+        vec![a],
+        vec![],
+        None,
+        ScalarExpr::binary(
+            BinaryOp::Mul,
+            ScalarExpr::input(0, iter_vars(rank)),
+            ScalarExpr::Const(c),
+        ),
+    )
+}
+
+/// Broadcast binary op where `b` has the trailing shape of `a` along `axis`
+/// collapsed — the common "add bias over last dim" pattern:
+/// `out[.., j] = op(a[.., j], b[j])`.
+///
+/// # Panics
+///
+/// Panics if `b` is not rank 1 matching `a`'s last dimension.
+pub fn broadcast_last(
+    p: &mut TeProgram,
+    name: &str,
+    op: BinaryOp,
+    a: TensorId,
+    b: TensorId,
+) -> TensorId {
+    let sa = p.tensor(a).shape.clone();
+    let sb = p.tensor(b).shape.clone();
+    assert_eq!(sb.rank(), 1, "broadcast_last expects rank-1 rhs");
+    assert_eq!(sb.dim(0), sa.dim(sa.rank() - 1), "broadcast extent mismatch");
+    let dtype = p.tensor(a).dtype;
+    let rank = sa.rank();
+    p.add_te(
+        name,
+        sa,
+        dtype,
+        vec![a, b],
+        vec![],
+        None,
+        ScalarExpr::binary(
+            op,
+            ScalarExpr::input(0, iter_vars(rank)),
+            ScalarExpr::input(1, vec![IndexExpr::var(rank - 1)]),
+        ),
+    )
+}
+
+/// Bias add over the last dimension.
+pub fn bias_add(p: &mut TeProgram, name: &str, a: TensorId, bias: TensorId) -> TensorId {
+    broadcast_last(p, name, BinaryOp::Add, a, bias)
+}
+
+/// Matrix multiplication `out[i,j] = sum_k a[i,k] * b[k,j]`.
+///
+/// # Panics
+///
+/// Panics on non-2D operands or mismatched inner extents.
+pub fn matmul(p: &mut TeProgram, name: &str, a: TensorId, b: TensorId) -> TensorId {
+    let sa = p.tensor(a).shape.clone();
+    let sb = p.tensor(b).shape.clone();
+    assert_eq!(sa.rank(), 2, "matmul lhs must be 2-D");
+    assert_eq!(sb.rank(), 2, "matmul rhs must be 2-D");
+    assert_eq!(sa.dim(1), sb.dim(0), "matmul inner extent mismatch");
+    let dtype = p.tensor(a).dtype;
+    p.add_te(
+        name,
+        Shape::new(vec![sa.dim(0), sb.dim(1)]),
+        dtype,
+        vec![a, b],
+        vec![sa.dim(1)],
+        Some(ReduceOp::Sum),
+        ScalarExpr::binary(
+            BinaryOp::Mul,
+            ScalarExpr::input(0, vec![IndexExpr::var(0), IndexExpr::var(2)]),
+            ScalarExpr::input(1, vec![IndexExpr::var(2), IndexExpr::var(1)]),
+        ),
+    )
+}
+
+/// Batched matrix multiplication `out[b,i,j] = sum_k a[b,i,k] * w[b,k,j]`.
+///
+/// # Panics
+///
+/// Panics on non-3D operands or mismatched extents.
+pub fn batch_matmul(p: &mut TeProgram, name: &str, a: TensorId, b: TensorId) -> TensorId {
+    let sa = p.tensor(a).shape.clone();
+    let sb = p.tensor(b).shape.clone();
+    assert_eq!(sa.rank(), 3, "batch_matmul lhs must be 3-D");
+    assert_eq!(sb.rank(), 3, "batch_matmul rhs must be 3-D");
+    assert_eq!(sa.dim(0), sb.dim(0), "batch extent mismatch");
+    assert_eq!(sa.dim(2), sb.dim(1), "inner extent mismatch");
+    let dtype = p.tensor(a).dtype;
+    p.add_te(
+        name,
+        Shape::new(vec![sa.dim(0), sa.dim(1), sb.dim(2)]),
+        dtype,
+        vec![a, b],
+        vec![sa.dim(2)],
+        Some(ReduceOp::Sum),
+        ScalarExpr::binary(
+            BinaryOp::Mul,
+            ScalarExpr::input(0, vec![IndexExpr::var(0), IndexExpr::var(1), IndexExpr::var(3)]),
+            ScalarExpr::input(1, vec![IndexExpr::var(0), IndexExpr::var(3), IndexExpr::var(2)]),
+        ),
+    )
+}
+
+/// Matrix–vector product `out[i] = sum_k w[i,k] * x[k]` (the LSTM GEMV).
+///
+/// # Panics
+///
+/// Panics on rank/extent mismatches.
+pub fn gemv(p: &mut TeProgram, name: &str, w: TensorId, x: TensorId) -> TensorId {
+    let sw = p.tensor(w).shape.clone();
+    let sx = p.tensor(x).shape.clone();
+    assert_eq!(sw.rank(), 2, "gemv matrix must be 2-D");
+    assert_eq!(sx.rank(), 1, "gemv vector must be 1-D");
+    assert_eq!(sw.dim(1), sx.dim(0), "gemv extent mismatch");
+    let dtype = p.tensor(w).dtype;
+    p.add_te(
+        name,
+        Shape::new(vec![sw.dim(0)]),
+        dtype,
+        vec![w, x],
+        vec![sw.dim(1)],
+        Some(ReduceOp::Sum),
+        ScalarExpr::binary(
+            BinaryOp::Mul,
+            ScalarExpr::input(0, vec![IndexExpr::var(0), IndexExpr::var(1)]),
+            ScalarExpr::input(1, vec![IndexExpr::var(1)]),
+        ),
+    )
+}
+
+/// Reduction over the last axis: `out[i..] = reduce(a[i.., r])`.
+pub fn reduce_last(
+    p: &mut TeProgram,
+    name: &str,
+    op: ReduceOp,
+    a: TensorId,
+) -> TensorId {
+    let sa = p.tensor(a).shape.clone();
+    assert!(sa.rank() >= 1, "reduce_last requires rank >= 1");
+    let out_rank = sa.rank() - 1;
+    let out_shape = if out_rank == 0 {
+        Shape::new(vec![1])
+    } else {
+        Shape::new(sa.dims()[..out_rank].to_vec())
+    };
+    let dtype = p.tensor(a).dtype;
+    let mut idx = iter_vars(out_rank);
+    // The reduce variable comes after the (possibly zero) iteration vars.
+    let reduce_var = if out_rank == 0 {
+        // out shape is [1]; iteration var v0 exists but is unused, reduce is v1
+        idx.clear();
+        IndexExpr::var(1)
+    } else {
+        IndexExpr::var(out_rank)
+    };
+    idx.push(reduce_var);
+    p.add_te(
+        name,
+        out_shape,
+        dtype,
+        vec![a],
+        vec![sa.dim(sa.rank() - 1)],
+        Some(op),
+        ScalarExpr::input(0, idx),
+    )
+}
+
+/// Softmax over the last axis, lowered as the paper describes (§1): a
+/// max-reduction, an element-wise exp of the shifted input, a sum-reduction
+/// and an element-wise division. Returns the final tensor.
+pub fn softmax(p: &mut TeProgram, name: &str, a: TensorId) -> TensorId {
+    let sa = p.tensor(a).shape.clone();
+    let rank = sa.rank();
+    let dtype = p.tensor(a).dtype;
+    let m = reduce_last(p, &format!("{name}.max"), ReduceOp::Max, a);
+    // shifted exp: e[i..,j] = exp(a[i..,j] - m[i..])
+    let mut m_idx = iter_vars(rank - 1);
+    if rank == 1 {
+        m_idx = vec![IndexExpr::constant(0)];
+    }
+    let e = p.add_te(
+        &format!("{name}.exp"),
+        sa.clone(),
+        dtype,
+        vec![a, m],
+        vec![],
+        None,
+        ScalarExpr::unary(
+            UnaryOp::Exp,
+            ScalarExpr::binary(
+                BinaryOp::Sub,
+                ScalarExpr::input(0, iter_vars(rank)),
+                ScalarExpr::input(1, m_idx.clone()),
+            ),
+        ),
+    );
+    let s = reduce_last(p, &format!("{name}.sum"), ReduceOp::Sum, e);
+    p.add_te(
+        &format!("{name}.div"),
+        sa,
+        dtype,
+        vec![e, s],
+        vec![],
+        None,
+        ScalarExpr::binary(
+            BinaryOp::Div,
+            ScalarExpr::input(0, iter_vars(rank)),
+            ScalarExpr::input(1, m_idx),
+        ),
+    )
+}
+
+/// Layer normalisation over the last axis (mean/variance reductions plus
+/// element-wise normalisation with learned `gamma`/`beta`).
+pub fn layer_norm(
+    p: &mut TeProgram,
+    name: &str,
+    a: TensorId,
+    gamma: TensorId,
+    beta: TensorId,
+    eps: f32,
+) -> TensorId {
+    let sa = p.tensor(a).shape.clone();
+    let rank = sa.rank();
+    let n = sa.dim(rank - 1);
+    let dtype = p.tensor(a).dtype;
+    let sum = reduce_last(p, &format!("{name}.sum"), ReduceOp::Sum, a);
+    let mean = scale(p, &format!("{name}.mean"), sum, 1.0 / n as f32);
+    let mean_idx = if rank == 1 {
+        vec![IndexExpr::constant(0)]
+    } else {
+        iter_vars(rank - 1)
+    };
+    // centered: c = a - mean (broadcast)
+    let c = p.add_te(
+        &format!("{name}.center"),
+        sa.clone(),
+        dtype,
+        vec![a, mean],
+        vec![],
+        None,
+        ScalarExpr::binary(
+            BinaryOp::Sub,
+            ScalarExpr::input(0, iter_vars(rank)),
+            ScalarExpr::input(1, mean_idx.clone()),
+        ),
+    );
+    let sq = mul(p, &format!("{name}.sq"), c, c);
+    let var_sum = reduce_last(p, &format!("{name}.varsum"), ReduceOp::Sum, sq);
+    let var = scale(p, &format!("{name}.var"), var_sum, 1.0 / n as f32);
+    // normalized: out = c * rsqrt(var + eps) * gamma + beta
+    p.add_te(
+        &format!("{name}.norm"),
+        sa,
+        dtype,
+        vec![c, var, gamma, beta],
+        vec![],
+        None,
+        ScalarExpr::binary(
+            BinaryOp::Add,
+            ScalarExpr::binary(
+                BinaryOp::Mul,
+                ScalarExpr::binary(
+                    BinaryOp::Mul,
+                    ScalarExpr::input(0, iter_vars(rank)),
+                    ScalarExpr::unary(
+                        UnaryOp::Rsqrt,
+                        ScalarExpr::binary(
+                            BinaryOp::Add,
+                            ScalarExpr::input(1, mean_idx),
+                            ScalarExpr::Const(eps),
+                        ),
+                    ),
+                ),
+                ScalarExpr::input(2, vec![IndexExpr::var(rank - 1)]),
+            ),
+            ScalarExpr::input(3, vec![IndexExpr::var(rank - 1)]),
+        ),
+    )
+}
+
+/// Reshape as a quasi-affine view: linearize the output index, delinearize
+/// into the input shape.
+///
+/// # Panics
+///
+/// Panics if element counts differ.
+pub fn reshape(p: &mut TeProgram, name: &str, a: TensorId, new_shape: Shape) -> TensorId {
+    let sa = p.tensor(a).shape.clone();
+    assert_eq!(sa.numel(), new_shape.numel(), "reshape must preserve numel");
+    let dtype = p.tensor(a).dtype;
+    // flat = sum(v_i * stride_i) over the new shape
+    let strides = new_shape.strides();
+    let mut flat = IndexExpr::constant(0);
+    for (i, &s) in strides.iter().enumerate() {
+        flat = flat.add(IndexExpr::var(i).mul(s));
+    }
+    // input index d: (flat / stride_in_d) % dim_in_d
+    let in_strides = sa.strides();
+    let indices: Vec<IndexExpr> = in_strides
+        .iter()
+        .zip(sa.dims())
+        .map(|(&st, &d)| flat.clone().floor_div(st).modulo(d))
+        .collect();
+    p.add_te(name, new_shape, dtype, vec![a], vec![], None, ScalarExpr::input(0, indices))
+}
+
+/// Permutation of dimensions: `out[i0..in] = a[i_perm[0]..i_perm[n]]`.
+///
+/// `perm[d]` names the input axis that output axis `d` draws its extent
+/// from (same convention as `numpy.transpose`).
+///
+/// # Panics
+///
+/// Panics if `perm` is not a permutation of the input rank.
+pub fn transpose(p: &mut TeProgram, name: &str, a: TensorId, perm: &[usize]) -> TensorId {
+    let sa = p.tensor(a).shape.clone();
+    assert_eq!(perm.len(), sa.rank(), "perm rank mismatch");
+    let mut seen = vec![false; perm.len()];
+    for &ax in perm {
+        assert!(ax < perm.len() && !seen[ax], "perm must be a permutation");
+        seen[ax] = true;
+    }
+    let dtype = p.tensor(a).dtype;
+    let out_shape = Shape::new(perm.iter().map(|&ax| sa.dim(ax)).collect());
+    // input axis `ax` is read at the output variable whose perm entry is ax
+    let mut indices = vec![IndexExpr::constant(0); sa.rank()];
+    for (out_axis, &in_axis) in perm.iter().enumerate() {
+        indices[in_axis] = IndexExpr::var(out_axis);
+    }
+    p.add_te(name, out_shape, dtype, vec![a], vec![], None, ScalarExpr::input(0, indices))
+}
+
+/// Strided slice along one axis: keeps `out_extent` elements starting at
+/// `start` with step `stride`.
+///
+/// # Panics
+///
+/// Panics if the slice exceeds the input extent.
+pub fn strided_slice(
+    p: &mut TeProgram,
+    name: &str,
+    a: TensorId,
+    axis: usize,
+    start: i64,
+    stride: i64,
+    out_extent: i64,
+) -> TensorId {
+    let sa = p.tensor(a).shape.clone();
+    assert!(axis < sa.rank(), "axis out of range");
+    assert!(
+        start + (out_extent - 1) * stride < sa.dim(axis),
+        "slice exceeds input extent"
+    );
+    let dtype = p.tensor(a).dtype;
+    let mut dims = sa.dims().to_vec();
+    dims[axis] = out_extent;
+    let indices: Vec<IndexExpr> = (0..sa.rank())
+        .map(|d| {
+            if d == axis {
+                IndexExpr::var(d).mul(stride).add(IndexExpr::constant(start))
+            } else {
+                IndexExpr::var(d)
+            }
+        })
+        .collect();
+    p.add_te(
+        name,
+        Shape::new(dims),
+        dtype,
+        vec![a],
+        vec![],
+        None,
+        ScalarExpr::input(0, indices),
+    )
+}
+
+/// Concatenation of two tensors along `axis`, lowered with the
+/// `if_then_else` predicate the paper's horizontal transformation uses
+/// (Fig. 3).
+///
+/// # Panics
+///
+/// Panics if shapes disagree outside `axis`.
+pub fn concat(p: &mut TeProgram, name: &str, a: TensorId, b: TensorId, axis: usize) -> TensorId {
+    let sa = p.tensor(a).shape.clone();
+    let sb = p.tensor(b).shape.clone();
+    assert_eq!(sa.rank(), sb.rank(), "concat rank mismatch");
+    for d in 0..sa.rank() {
+        if d != axis {
+            assert_eq!(sa.dim(d), sb.dim(d), "concat extent mismatch on axis {d}");
+        }
+    }
+    let dtype = p.tensor(a).dtype;
+    let mut dims = sa.dims().to_vec();
+    dims[axis] += sb.dim(axis);
+    let rank = sa.rank();
+    let b_indices: Vec<IndexExpr> = (0..rank)
+        .map(|d| {
+            if d == axis {
+                IndexExpr::var(d).sub(IndexExpr::constant(sa.dim(axis)))
+            } else {
+                IndexExpr::var(d)
+            }
+        })
+        .collect();
+    p.add_te(
+        name,
+        Shape::new(dims),
+        dtype,
+        vec![a, b],
+        vec![],
+        None,
+        ScalarExpr::select(
+            Cond::cmp(
+                CmpOp::Lt,
+                IndexExpr::var(axis),
+                IndexExpr::constant(sa.dim(axis)),
+            ),
+            ScalarExpr::input(0, iter_vars(rank)),
+            ScalarExpr::input(1, b_indices),
+        ),
+    )
+}
+
+/// Direct 2-D convolution in NCHW layout with zero padding, the paper's
+/// default convolution implementation (§6.7):
+/// `out[n,f,y,x] = sum_{c,ry,rx} in[n,c,y*s+ry-pad,x*s+rx-pad] * w[f,c,ry,rx]`.
+///
+/// # Panics
+///
+/// Panics on rank or channel mismatches.
+#[allow(clippy::many_single_char_names)]
+pub fn conv2d(
+    p: &mut TeProgram,
+    name: &str,
+    input: TensorId,
+    weight: TensorId,
+    stride: i64,
+    pad: i64,
+) -> TensorId {
+    let si = p.tensor(input).shape.clone();
+    let sw = p.tensor(weight).shape.clone();
+    assert_eq!(si.rank(), 4, "conv2d input must be NCHW");
+    assert_eq!(sw.rank(), 4, "conv2d weight must be FCHW");
+    assert_eq!(si.dim(1), sw.dim(1), "channel mismatch");
+    let (n, c, h, w) = (si.dim(0), si.dim(1), si.dim(2), si.dim(3));
+    let (f, kh, kw) = (sw.dim(0), sw.dim(2), sw.dim(3));
+    let oh = (h + 2 * pad - kh) / stride + 1;
+    let ow = (w + 2 * pad - kw) / stride + 1;
+    let dtype = p.tensor(input).dtype;
+    // vars: 0..4 = n, f, y, x ; 4..7 = c, ry, rx
+    let iy = IndexExpr::var(2)
+        .mul(stride)
+        .add(IndexExpr::var(5))
+        .sub(IndexExpr::constant(pad));
+    let ix = IndexExpr::var(3)
+        .mul(stride)
+        .add(IndexExpr::var(6))
+        .sub(IndexExpr::constant(pad));
+    let in_access = ScalarExpr::input(
+        0,
+        vec![IndexExpr::var(0), IndexExpr::var(4), iy.clone(), ix.clone()],
+    );
+    let guarded = if pad > 0 {
+        ScalarExpr::select(
+            Cond::cmp(CmpOp::Ge, iy.clone(), IndexExpr::constant(0))
+                .and(Cond::cmp(CmpOp::Lt, iy, IndexExpr::constant(h)))
+                .and(Cond::cmp(CmpOp::Ge, ix.clone(), IndexExpr::constant(0)))
+                .and(Cond::cmp(CmpOp::Lt, ix, IndexExpr::constant(w))),
+            in_access,
+            ScalarExpr::Const(0.0),
+        )
+    } else {
+        in_access
+    };
+    p.add_te(
+        name,
+        Shape::new(vec![n, f, oh, ow]),
+        dtype,
+        vec![input, weight],
+        vec![c, kh, kw],
+        Some(ReduceOp::Sum),
+        ScalarExpr::binary(
+            BinaryOp::Mul,
+            guarded,
+            ScalarExpr::input(
+                1,
+                vec![
+                    IndexExpr::var(1),
+                    IndexExpr::var(4),
+                    IndexExpr::var(5),
+                    IndexExpr::var(6),
+                ],
+            ),
+        ),
+    )
+}
+
+/// Grouped 2-D convolution (ResNeXt's aggregated transform): channels are
+/// split into `groups`; output feature `f` only reduces over its group's
+/// input channels.
+///
+/// Weight layout is `[F, C/groups, KH, KW]`.
+///
+/// # Panics
+///
+/// Panics if extents are not divisible by `groups`.
+pub fn grouped_conv2d(
+    p: &mut TeProgram,
+    name: &str,
+    input: TensorId,
+    weight: TensorId,
+    stride: i64,
+    pad: i64,
+    groups: i64,
+) -> TensorId {
+    let si = p.tensor(input).shape.clone();
+    let sw = p.tensor(weight).shape.clone();
+    let (n, c, h, w) = (si.dim(0), si.dim(1), si.dim(2), si.dim(3));
+    let (f, cg, kh, kw) = (sw.dim(0), sw.dim(1), sw.dim(2), sw.dim(3));
+    assert_eq!(c % groups, 0, "channels not divisible by groups");
+    assert_eq!(f % groups, 0, "features not divisible by groups");
+    assert_eq!(cg, c / groups, "weight channel extent mismatch");
+    let oh = (h + 2 * pad - kh) / stride + 1;
+    let ow = (w + 2 * pad - kw) / stride + 1;
+    let dtype = p.tensor(input).dtype;
+    let fpg = f / groups; // features per group
+    // vars: 0..4 = n, f, y, x ; 4..7 = cg (within group), ry, rx
+    // input channel = (f / fpg) * cg_extent + cg
+    let in_c = IndexExpr::var(1)
+        .floor_div(fpg)
+        .mul(cg)
+        .add(IndexExpr::var(4));
+    let iy = IndexExpr::var(2)
+        .mul(stride)
+        .add(IndexExpr::var(5))
+        .sub(IndexExpr::constant(pad));
+    let ix = IndexExpr::var(3)
+        .mul(stride)
+        .add(IndexExpr::var(6))
+        .sub(IndexExpr::constant(pad));
+    let in_access = ScalarExpr::input(0, vec![IndexExpr::var(0), in_c, iy.clone(), ix.clone()]);
+    let guarded = if pad > 0 {
+        ScalarExpr::select(
+            Cond::cmp(CmpOp::Ge, iy.clone(), IndexExpr::constant(0))
+                .and(Cond::cmp(CmpOp::Lt, iy, IndexExpr::constant(h)))
+                .and(Cond::cmp(CmpOp::Ge, ix.clone(), IndexExpr::constant(0)))
+                .and(Cond::cmp(CmpOp::Lt, ix, IndexExpr::constant(w))),
+            in_access,
+            ScalarExpr::Const(0.0),
+        )
+    } else {
+        in_access
+    };
+    p.add_te(
+        name,
+        Shape::new(vec![n, f, oh, ow]),
+        dtype,
+        vec![input, weight],
+        vec![cg, kh, kw],
+        Some(ReduceOp::Sum),
+        ScalarExpr::binary(
+            BinaryOp::Mul,
+            guarded,
+            ScalarExpr::input(
+                1,
+                vec![
+                    IndexExpr::var(1),
+                    IndexExpr::var(4),
+                    IndexExpr::var(5),
+                    IndexExpr::var(6),
+                ],
+            ),
+        ),
+    )
+}
+
+/// 2-D max pooling in NCHW layout with zero-stride-window semantics:
+/// `out[n,c,y,x] = max over (ry,rx) of in[n,c,y*s+ry-pad,x*s+rx-pad]`,
+/// out-of-range taps contribute `-inf`.
+///
+/// # Panics
+///
+/// Panics on non-4D input.
+pub fn max_pool2d(
+    p: &mut TeProgram,
+    name: &str,
+    a: TensorId,
+    kernel: i64,
+    stride: i64,
+    pad: i64,
+) -> TensorId {
+    let sa = p.tensor(a).shape.clone();
+    assert_eq!(sa.rank(), 4, "max_pool2d expects NCHW");
+    let (n, c, h, w) = (sa.dim(0), sa.dim(1), sa.dim(2), sa.dim(3));
+    let oh = (h + 2 * pad - kernel) / stride + 1;
+    let ow = (w + 2 * pad - kernel) / stride + 1;
+    let dtype = p.tensor(a).dtype;
+    // vars: 0..4 = n, c, y, x ; 4..6 = ry, rx
+    let iy = IndexExpr::var(2)
+        .mul(stride)
+        .add(IndexExpr::var(4))
+        .sub(IndexExpr::constant(pad));
+    let ix = IndexExpr::var(3)
+        .mul(stride)
+        .add(IndexExpr::var(5))
+        .sub(IndexExpr::constant(pad));
+    let access = ScalarExpr::input(
+        0,
+        vec![IndexExpr::var(0), IndexExpr::var(1), iy.clone(), ix.clone()],
+    );
+    let body = if pad > 0 {
+        ScalarExpr::select(
+            Cond::cmp(CmpOp::Ge, iy.clone(), IndexExpr::constant(0))
+                .and(Cond::cmp(CmpOp::Lt, iy, IndexExpr::constant(h)))
+                .and(Cond::cmp(CmpOp::Ge, ix.clone(), IndexExpr::constant(0)))
+                .and(Cond::cmp(CmpOp::Lt, ix, IndexExpr::constant(w))),
+            access,
+            ScalarExpr::Const(f32::NEG_INFINITY),
+        )
+    } else {
+        access
+    };
+    p.add_te(
+        name,
+        Shape::new(vec![n, c, oh, ow]),
+        dtype,
+        vec![a],
+        vec![kernel, kernel],
+        Some(ReduceOp::Max),
+        body,
+    )
+}
+
+/// Global average pooling over H and W of an NCHW tensor, producing `[N, C]`.
+pub fn global_avg_pool(p: &mut TeProgram, name: &str, a: TensorId) -> TensorId {
+    let sa = p.tensor(a).shape.clone();
+    assert_eq!(sa.rank(), 4, "global_avg_pool expects NCHW");
+    let (n, c, h, w) = (sa.dim(0), sa.dim(1), sa.dim(2), sa.dim(3));
+    let dtype = p.tensor(a).dtype;
+    let sum = p.add_te(
+        &format!("{name}.sum"),
+        Shape::new(vec![n, c]),
+        dtype,
+        vec![a],
+        vec![h, w],
+        Some(ReduceOp::Sum),
+        ScalarExpr::input(
+            0,
+            vec![
+                IndexExpr::var(0),
+                IndexExpr::var(1),
+                IndexExpr::var(2),
+                IndexExpr::var(3),
+            ],
+        ),
+    );
+    scale(p, &format!("{name}.avg"), sum, 1.0 / (h * w) as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::eval_program;
+    use souffle_tensor::{DType, Tensor};
+    use std::collections::HashMap;
+
+    fn run(p: &TeProgram, binds: Vec<(TensorId, Tensor)>) -> HashMap<TensorId, Tensor> {
+        p.validate().expect("program must validate");
+        eval_program(p, &binds.into_iter().collect()).expect("eval must succeed")
+    }
+
+    #[test]
+    fn matmul_matches_reference() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![3, 4]), DType::F32);
+        let b = p.add_input("B", Shape::new(vec![4, 2]), DType::F32);
+        let c = matmul(&mut p, "mm", a, b);
+        let ta = Tensor::from_fn(Shape::new(vec![3, 4]), |i| (i[0] + i[1]) as f32);
+        let tb = Tensor::from_fn(Shape::new(vec![4, 2]), |i| (i[0] * 2 + i[1]) as f32);
+        let out = run(&p, vec![(a, ta.clone()), (b, tb.clone())]);
+        let got = &out[&c];
+        for i in 0..3 {
+            for j in 0..2 {
+                let want: f32 = (0..4).map(|k| ta.at(&[i, k]) * tb.at(&[k, j])).sum();
+                assert!((got.at(&[i, j]) - want).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4, 8]), DType::F32);
+        let s = softmax(&mut p, "sm", a);
+        let out = run(&p, vec![(a, Tensor::random(Shape::new(vec![4, 8]), 7))]);
+        let got = &out[&s];
+        for i in 0..4 {
+            let sum: f32 = (0..8).map(|j| got.at(&[i, j])).sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {i} sums to {sum}");
+            for j in 0..8 {
+                assert!(got.at(&[i, j]) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn reshape_roundtrips() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4, 6]), DType::F32);
+        let r = reshape(&mut p, "rs", a, Shape::new(vec![2, 12]));
+        let back = reshape(&mut p, "rs2", r, Shape::new(vec![4, 6]));
+        let ta = Tensor::random(Shape::new(vec![4, 6]), 3);
+        let out = run(&p, vec![(a, ta.clone())]);
+        assert!(out[&back].allclose(&ta, 0.0, 0.0));
+        // And the flat data is bit-identical under reshape.
+        assert_eq!(out[&r].data(), ta.data());
+    }
+
+    #[test]
+    fn transpose_swaps_axes() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![2, 3]), DType::F32);
+        let t = transpose(&mut p, "tr", a, &[1, 0]);
+        let ta = Tensor::from_fn(Shape::new(vec![2, 3]), |i| (i[0] * 3 + i[1]) as f32);
+        let out = run(&p, vec![(a, ta.clone())]);
+        for i in 0..3 {
+            for j in 0..2 {
+                assert_eq!(out[&t].at(&[i, j]), ta.at(&[j, i]));
+            }
+        }
+    }
+
+    #[test]
+    fn strided_slice_picks_elements() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![8]), DType::F32);
+        let s = strided_slice(&mut p, "sl", a, 0, 1, 2, 4);
+        let ta = Tensor::from_fn(Shape::new(vec![8]), |i| i[0] as f32);
+        let out = run(&p, vec![(a, ta)]);
+        assert_eq!(out[&s].data(), &[1.0, 3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn concat_joins_tensors() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![2, 2]), DType::F32);
+        let b = p.add_input("B", Shape::new(vec![3, 2]), DType::F32);
+        let c = concat(&mut p, "cat", a, b, 0);
+        let out = run(
+            &p,
+            vec![
+                (a, Tensor::full(Shape::new(vec![2, 2]), 1.0)),
+                (b, Tensor::full(Shape::new(vec![3, 2]), 2.0)),
+            ],
+        );
+        assert_eq!(out[&c].shape().dims(), &[5, 2]);
+        assert_eq!(out[&c].at(&[1, 1]), 1.0);
+        assert_eq!(out[&c].at(&[2, 0]), 2.0);
+    }
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        let mut p = TeProgram::new();
+        let x = p.add_input("X", Shape::new(vec![1, 1, 4, 4]), DType::F32);
+        let w = p.add_weight("W", Shape::new(vec![1, 1, 1, 1]), DType::F32);
+        let y = conv2d(&mut p, "conv", x, w, 1, 0);
+        let tx = Tensor::random(Shape::new(vec![1, 1, 4, 4]), 11);
+        let tw = Tensor::full(Shape::new(vec![1, 1, 1, 1]), 1.0);
+        let out = run(&p, vec![(x, tx.clone()), (w, tw)]);
+        assert!(out[&y].allclose(&tx, 1e-6, 0.0));
+    }
+
+    #[test]
+    fn conv2d_padding_produces_same_spatial_size() {
+        let mut p = TeProgram::new();
+        let x = p.add_input("X", Shape::new(vec![1, 2, 5, 5]), DType::F32);
+        let w = p.add_weight("W", Shape::new(vec![3, 2, 3, 3]), DType::F32);
+        let y = conv2d(&mut p, "conv", x, w, 1, 1);
+        assert_eq!(p.tensor(y).shape.dims(), &[1, 3, 5, 5]);
+        // Border outputs only see the valid region (zero padding).
+        let tx = Tensor::full(Shape::new(vec![1, 2, 5, 5]), 1.0);
+        let tw = Tensor::full(Shape::new(vec![3, 2, 3, 3]), 1.0);
+        let out = run(&p, vec![(x, tx), (w, tw)]);
+        // center: 2 channels * 9 taps = 18 ; corner: 2 * 4 = 8
+        assert_eq!(out[&y].at(&[0, 0, 2, 2]), 18.0);
+        assert_eq!(out[&y].at(&[0, 0, 0, 0]), 8.0);
+    }
+
+    #[test]
+    fn grouped_conv_blocks_channels() {
+        let mut p = TeProgram::new();
+        // 4 input channels, 4 output features, 2 groups, 1x1 kernels.
+        let x = p.add_input("X", Shape::new(vec![1, 4, 2, 2]), DType::F32);
+        let w = p.add_weight("W", Shape::new(vec![4, 2, 1, 1]), DType::F32);
+        let y = grouped_conv2d(&mut p, "gconv", x, w, 1, 0, 2);
+        // Input: channel c filled with value c; weights all 1.
+        let tx = Tensor::from_fn(Shape::new(vec![1, 4, 2, 2]), |i| i[1] as f32);
+        let tw = Tensor::full(Shape::new(vec![4, 2, 1, 1]), 1.0);
+        let out = run(&p, vec![(x, tx), (w, tw)]);
+        // Feature 0,1 reduce channels {0,1} -> 1 ; features 2,3 reduce {2,3} -> 5.
+        assert_eq!(out[&y].at(&[0, 0, 0, 0]), 1.0);
+        assert_eq!(out[&y].at(&[0, 1, 0, 0]), 1.0);
+        assert_eq!(out[&y].at(&[0, 2, 0, 0]), 5.0);
+        assert_eq!(out[&y].at(&[0, 3, 0, 0]), 5.0);
+    }
+
+    #[test]
+    fn layer_norm_normalizes() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![2, 16]), DType::F32);
+        let g = p.add_weight("G", Shape::new(vec![16]), DType::F32);
+        let b = p.add_weight("B", Shape::new(vec![16]), DType::F32);
+        let y = layer_norm(&mut p, "ln", a, g, b, 1e-5);
+        let out = run(
+            &p,
+            vec![
+                (a, Tensor::random(Shape::new(vec![2, 16]), 5)),
+                (g, Tensor::full(Shape::new(vec![16]), 1.0)),
+                (b, Tensor::full(Shape::new(vec![16]), 0.0)),
+            ],
+        );
+        for i in 0..2 {
+            let row: Vec<f32> = (0..16).map(|j| out[&y].at(&[i, j])).collect();
+            let mean: f32 = row.iter().sum::<f32>() / 16.0;
+            let var: f32 = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / 16.0;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn gemv_matches_reference() {
+        let mut p = TeProgram::new();
+        let w = p.add_weight("W", Shape::new(vec![3, 4]), DType::F32);
+        let x = p.add_input("x", Shape::new(vec![4]), DType::F32);
+        let y = gemv(&mut p, "gemv", w, x);
+        let tw = Tensor::from_fn(Shape::new(vec![3, 4]), |i| (i[0] * 4 + i[1]) as f32);
+        let tx = Tensor::full(Shape::new(vec![4]), 1.0);
+        let out = run(&p, vec![(w, tw), (x, tx)]);
+        assert_eq!(out[&y].data(), &[6.0, 22.0, 38.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_averages() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![1, 2, 2, 2]), DType::F32);
+        let y = global_avg_pool(&mut p, "gap", a);
+        let ta = Tensor::from_fn(Shape::new(vec![1, 2, 2, 2]), |i| (i[2] * 2 + i[3]) as f32);
+        let out = run(&p, vec![(a, ta)]);
+        assert_eq!(out[&y].shape().dims(), &[1, 2]);
+        assert_eq!(out[&y].at(&[0, 0]), 1.5);
+    }
+
+    #[test]
+    fn batch_matmul_batches_independently() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![2, 2, 3]), DType::F32);
+        let b = p.add_input("B", Shape::new(vec![2, 3, 2]), DType::F32);
+        let c = batch_matmul(&mut p, "bmm", a, b);
+        let ta = Tensor::from_fn(Shape::new(vec![2, 2, 3]), |i| (i[0] + 1) as f32);
+        let tb = Tensor::full(Shape::new(vec![2, 3, 2]), 1.0);
+        let out = run(&p, vec![(a, ta), (b, tb)]);
+        assert_eq!(out[&c].at(&[0, 0, 0]), 3.0);
+        assert_eq!(out[&c].at(&[1, 0, 0]), 6.0);
+    }
+
+    #[test]
+    fn bias_add_broadcasts() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![2, 3]), DType::F32);
+        let b = p.add_weight("b", Shape::new(vec![3]), DType::F32);
+        let y = bias_add(&mut p, "bias", a, b);
+        let out = run(
+            &p,
+            vec![
+                (a, Tensor::zeros(Shape::new(vec![2, 3]))),
+                (b, Tensor::from_vec(Shape::new(vec![3]), vec![1.0, 2.0, 3.0])),
+            ],
+        );
+        assert_eq!(out[&y].at(&[0, 2]), 3.0);
+        assert_eq!(out[&y].at(&[1, 0]), 1.0);
+    }
+
+    #[test]
+    fn max_pool_takes_window_maximum() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![1, 1, 4, 4]), DType::F32);
+        let y = max_pool2d(&mut p, "mp", a, 2, 2, 0);
+        assert_eq!(p.tensor(y).shape.dims(), &[1, 1, 2, 2]);
+        let ta = Tensor::from_fn(Shape::new(vec![1, 1, 4, 4]), |i| (i[2] * 4 + i[3]) as f32);
+        let out = run(&p, vec![(a, ta)]);
+        assert_eq!(out[&y].at(&[0, 0, 0, 0]), 5.0);
+        assert_eq!(out[&y].at(&[0, 0, 1, 1]), 15.0);
+    }
+
+    #[test]
+    fn max_pool_padding_contributes_neg_infinity() {
+        // With padding, border windows must ignore the out-of-range taps
+        // (they contribute -inf), never zero-pad like convolution.
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![1, 1, 2, 2]), DType::F32);
+        let y = max_pool2d(&mut p, "mp", a, 3, 1, 1);
+        assert_eq!(p.tensor(y).shape.dims(), &[1, 1, 2, 2]);
+        let ta = Tensor::full(Shape::new(vec![1, 1, 2, 2]), -5.0);
+        let out = run(&p, vec![(a, ta)]);
+        // All negative inputs: result must be -5, not 0.
+        assert_eq!(out[&y].at(&[0, 0, 0, 0]), -5.0);
+    }
+
+    #[test]
+    fn reduce_last_on_vector_yields_scalar_shape() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![5]), DType::F32);
+        let s = reduce_last(&mut p, "sum", ReduceOp::Sum, a);
+        assert_eq!(p.tensor(s).shape.dims(), &[1]);
+        let out = run(&p, vec![(a, Tensor::full(Shape::new(vec![5]), 2.0))]);
+        assert_eq!(out[&s].at(&[0]), 10.0);
+    }
+}

@@ -1,0 +1,699 @@
+//! Scalar expression bodies of tensor expressions.
+
+use souffle_affine::IndexExpr;
+use std::fmt;
+
+/// Unary scalar operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Natural exponential.
+    Exp,
+    /// Natural logarithm.
+    Log,
+    /// Square root.
+    Sqrt,
+    /// Reciprocal square root.
+    Rsqrt,
+    /// Reciprocal.
+    Recip,
+    /// Logistic sigmoid `1 / (1 + e^-x)`.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Rectified linear unit `max(x, 0)`.
+    Relu,
+    /// Absolute value.
+    Abs,
+    /// GELU (tanh approximation), used by BERT/Swin FFNs.
+    Gelu,
+    /// Sigmoid-weighted linear unit `x * sigmoid(x)` (EfficientNet's swish).
+    Silu,
+    /// Unit step function (0 for x < 0, 1 otherwise) — the derivative of
+    /// ReLU, used by the training extension.
+    Heaviside,
+    /// Sign function (-1, 0, 1) — the derivative of `Abs`.
+    Sign,
+}
+
+impl UnaryOp {
+    /// Applies the operation to a scalar.
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            UnaryOp::Neg => -x,
+            UnaryOp::Exp => x.exp(),
+            UnaryOp::Log => x.ln(),
+            UnaryOp::Sqrt => x.sqrt(),
+            UnaryOp::Rsqrt => 1.0 / x.sqrt(),
+            UnaryOp::Recip => 1.0 / x,
+            UnaryOp::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            UnaryOp::Tanh => x.tanh(),
+            UnaryOp::Relu => x.max(0.0),
+            UnaryOp::Abs => x.abs(),
+            UnaryOp::Gelu => {
+                const C: f32 = 0.797_884_6; // sqrt(2/pi)
+                0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+            }
+            UnaryOp::Silu => x / (1.0 + (-x).exp()),
+            UnaryOp::Heaviside => {
+                if x < 0.0 {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+            UnaryOp::Sign => {
+                if x > 0.0 {
+                    1.0
+                } else if x < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Number of arithmetic instructions the cost model charges.
+    pub fn cost(self) -> u64 {
+        match self {
+            UnaryOp::Neg | UnaryOp::Abs | UnaryOp::Relu | UnaryOp::Heaviside | UnaryOp::Sign => 1,
+            UnaryOp::Sqrt | UnaryOp::Rsqrt | UnaryOp::Recip => 2,
+            UnaryOp::Exp | UnaryOp::Log | UnaryOp::Tanh => 4,
+            UnaryOp::Sigmoid | UnaryOp::Silu => 5,
+            UnaryOp::Gelu => 8,
+        }
+    }
+}
+
+/// Binary scalar operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Elementwise maximum.
+    Max,
+    /// Elementwise minimum.
+    Min,
+}
+
+impl BinaryOp {
+    /// Applies the operation to two scalars.
+    pub fn apply(self, a: f32, b: f32) -> f32 {
+        match self {
+            BinaryOp::Add => a + b,
+            BinaryOp::Sub => a - b,
+            BinaryOp::Mul => a * b,
+            BinaryOp::Div => a / b,
+            BinaryOp::Max => a.max(b),
+            BinaryOp::Min => a.min(b),
+        }
+    }
+
+    /// Number of arithmetic instructions the cost model charges.
+    pub fn cost(self) -> u64 {
+        match self {
+            BinaryOp::Div => 4,
+            _ => 1,
+        }
+    }
+}
+
+/// Integer comparison predicates over index expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl CmpOp {
+    /// Evaluates the predicate.
+    pub fn apply(self, a: i64, b: i64) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A boolean condition over the iteration space, used for the
+/// `tir.if_then_else` predicates the paper inserts during horizontal
+/// transformation (Fig. 3) and for boundary guards (e.g. padding).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Comparison of two index expressions.
+    Cmp(CmpOp, IndexExpr, IndexExpr),
+    /// Conjunction.
+    And(Box<Cond>, Box<Cond>),
+    /// Disjunction.
+    Or(Box<Cond>, Box<Cond>),
+    /// Negation.
+    Not(Box<Cond>),
+}
+
+impl Cond {
+    /// `lhs op rhs` shorthand.
+    pub fn cmp(op: CmpOp, lhs: IndexExpr, rhs: IndexExpr) -> Self {
+        Cond::Cmp(op, lhs, rhs)
+    }
+
+    /// `self && rhs`.
+    pub fn and(self, rhs: Cond) -> Self {
+        Cond::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self || rhs`.
+    pub fn or(self, rhs: Cond) -> Self {
+        Cond::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// Evaluates the condition at a point of the iteration space.
+    pub fn eval(&self, vars: &[i64]) -> bool {
+        match self {
+            Cond::Cmp(op, a, b) => op.apply(a.eval(vars), b.eval(vars)),
+            Cond::And(a, b) => a.eval(vars) && b.eval(vars),
+            Cond::Or(a, b) => a.eval(vars) || b.eval(vars),
+            Cond::Not(a) => !a.eval(vars),
+        }
+    }
+
+    /// Substitutes index expressions for variables in every comparison.
+    pub fn substitute(&self, subs: &[IndexExpr]) -> Cond {
+        match self {
+            Cond::Cmp(op, a, b) => Cond::Cmp(*op, a.substitute(subs), b.substitute(subs)),
+            Cond::And(a, b) => Cond::And(Box::new(a.substitute(subs)), Box::new(b.substitute(subs))),
+            Cond::Or(a, b) => Cond::Or(Box::new(a.substitute(subs)), Box::new(b.substitute(subs))),
+            Cond::Not(a) => Cond::Not(Box::new(a.substitute(subs))),
+        }
+    }
+
+    /// Largest variable index referenced, or `None`.
+    pub fn max_var(&self) -> Option<usize> {
+        match self {
+            Cond::Cmp(_, a, b) => a.max_var().max(b.max_var()),
+            Cond::And(a, b) | Cond::Or(a, b) => a.max_var().max(b.max_var()),
+            Cond::Not(a) => a.max_var(),
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cond::Cmp(op, a, b) => write!(f, "{a} {op} {b}"),
+            Cond::And(a, b) => write!(f, "({a} && {b})"),
+            Cond::Or(a, b) => write!(f, "({a} || {b})"),
+            Cond::Not(a) => write!(f, "!({a})"),
+        }
+    }
+}
+
+/// The scalar body of a tensor expression.
+///
+/// Variables referenced by embedded [`IndexExpr`]s follow the TE convention:
+/// variables `0..output_rank` are iteration variables, variables
+/// `output_rank..output_rank + reduce_rank` are reduction variables.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarExpr {
+    /// A floating-point constant.
+    Const(f32),
+    /// Read of operand `operand` (position in the TE's input list) at the
+    /// given index expressions.
+    Input {
+        /// Position in the TE's input tensor list.
+        operand: usize,
+        /// One index expression per dimension of the operand.
+        indices: Vec<IndexExpr>,
+    },
+    /// The current value of an iteration/reduction variable, cast to f32
+    /// (used by positional encodings and masks).
+    IndexValue(IndexExpr),
+    /// Unary operation.
+    Unary(UnaryOp, Box<ScalarExpr>),
+    /// Binary operation.
+    Binary(BinaryOp, Box<ScalarExpr>, Box<ScalarExpr>),
+    /// `if cond then on_true else on_false` — evaluated lazily so that the
+    /// untaken branch may contain out-of-bounds accesses (padding).
+    Select {
+        /// Index-space predicate.
+        cond: Cond,
+        /// Value when the predicate holds.
+        on_true: Box<ScalarExpr>,
+        /// Value otherwise.
+        on_false: Box<ScalarExpr>,
+    },
+}
+
+impl ScalarExpr {
+    /// Shorthand: read operand `operand` at `indices`.
+    pub fn input(operand: usize, indices: Vec<IndexExpr>) -> Self {
+        ScalarExpr::Input { operand, indices }
+    }
+
+    /// Shorthand for a unary application.
+    pub fn unary(op: UnaryOp, inner: ScalarExpr) -> Self {
+        ScalarExpr::Unary(op, Box::new(inner))
+    }
+
+    /// Shorthand for a binary application.
+    pub fn binary(op: BinaryOp, lhs: ScalarExpr, rhs: ScalarExpr) -> Self {
+        ScalarExpr::Binary(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Shorthand for a select.
+    pub fn select(cond: Cond, on_true: ScalarExpr, on_false: ScalarExpr) -> Self {
+        ScalarExpr::Select {
+            cond,
+            on_true: Box::new(on_true),
+            on_false: Box::new(on_false),
+        }
+    }
+
+    /// Largest index variable referenced anywhere in the body.
+    pub fn max_var(&self) -> Option<usize> {
+        match self {
+            ScalarExpr::Const(_) => None,
+            ScalarExpr::Input { indices, .. } => {
+                indices.iter().filter_map(IndexExpr::max_var).max()
+            }
+            ScalarExpr::IndexValue(e) => e.max_var(),
+            ScalarExpr::Unary(_, a) => a.max_var(),
+            ScalarExpr::Binary(_, a, b) => a.max_var().max(b.max_var()),
+            ScalarExpr::Select {
+                cond,
+                on_true,
+                on_false,
+            } => cond
+                .max_var()
+                .max(on_true.max_var())
+                .max(on_false.max_var()),
+        }
+    }
+
+    /// All `(operand, indices)` accesses in the body, in evaluation order.
+    pub fn accesses(&self) -> Vec<(usize, &[IndexExpr])> {
+        let mut out = Vec::new();
+        self.collect_accesses(&mut out);
+        out
+    }
+
+    fn collect_accesses<'a>(&'a self, out: &mut Vec<(usize, &'a [IndexExpr])>) {
+        match self {
+            ScalarExpr::Const(_) | ScalarExpr::IndexValue(_) => {}
+            ScalarExpr::Input { operand, indices } => out.push((*operand, indices)),
+            ScalarExpr::Unary(_, a) => a.collect_accesses(out),
+            ScalarExpr::Binary(_, a, b) => {
+                a.collect_accesses(out);
+                b.collect_accesses(out);
+            }
+            ScalarExpr::Select {
+                on_true, on_false, ..
+            } => {
+                on_true.collect_accesses(out);
+                on_false.collect_accesses(out);
+            }
+        }
+    }
+
+    /// Number of arithmetic instructions one evaluation of the body costs
+    /// (the numerator of the paper's compute/memory ratio, §5.3).
+    pub fn arith_cost(&self) -> u64 {
+        match self {
+            ScalarExpr::Const(_) | ScalarExpr::Input { .. } | ScalarExpr::IndexValue(_) => 0,
+            ScalarExpr::Unary(op, a) => op.cost() + a.arith_cost(),
+            ScalarExpr::Binary(op, a, b) => op.cost() + a.arith_cost() + b.arith_cost(),
+            ScalarExpr::Select {
+                on_true, on_false, ..
+            } => 1 + on_true.arith_cost().max(on_false.arith_cost()),
+        }
+    }
+
+    /// Number of input-tensor reads one evaluation of the body performs
+    /// (the denominator of the compute/memory ratio, together with the
+    /// output write).
+    pub fn access_cost(&self) -> u64 {
+        match self {
+            ScalarExpr::Const(_) | ScalarExpr::IndexValue(_) => 0,
+            ScalarExpr::Input { .. } => 1,
+            ScalarExpr::Unary(_, a) => a.arith_cost_accesses(),
+            ScalarExpr::Binary(_, a, b) => a.arith_cost_accesses() + b.arith_cost_accesses(),
+            ScalarExpr::Select {
+                on_true, on_false, ..
+            } => on_true
+                .arith_cost_accesses()
+                .max(on_false.arith_cost_accesses()),
+        }
+    }
+
+    fn arith_cost_accesses(&self) -> u64 {
+        self.access_cost()
+    }
+
+    /// Rewrites every variable through `subs` (composition with an index
+    /// map), and remaps operand slots through `operand_map`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand slot is missing from `operand_map`.
+    pub fn substitute(&self, subs: &[IndexExpr], operand_map: &dyn Fn(usize) -> usize) -> ScalarExpr {
+        match self {
+            ScalarExpr::Const(c) => ScalarExpr::Const(*c),
+            ScalarExpr::Input { operand, indices } => ScalarExpr::Input {
+                operand: operand_map(*operand),
+                indices: indices.iter().map(|e| e.substitute(subs)).collect(),
+            },
+            ScalarExpr::IndexValue(e) => ScalarExpr::IndexValue(e.substitute(subs)),
+            ScalarExpr::Unary(op, a) => {
+                ScalarExpr::Unary(*op, Box::new(a.substitute(subs, operand_map)))
+            }
+            ScalarExpr::Binary(op, a, b) => ScalarExpr::Binary(
+                *op,
+                Box::new(a.substitute(subs, operand_map)),
+                Box::new(b.substitute(subs, operand_map)),
+            ),
+            ScalarExpr::Select {
+                cond,
+                on_true,
+                on_false,
+            } => ScalarExpr::Select {
+                cond: cond.substitute(subs),
+                on_true: Box::new(on_true.substitute(subs, operand_map)),
+                on_false: Box::new(on_false.substitute(subs, operand_map)),
+            },
+        }
+    }
+
+    /// Replaces reads of operand `slot` with `replacement`, whose variables
+    /// are first substituted with the access's index expressions. This is
+    /// the inlining step of vertical transformation (§6.2).
+    pub fn inline_operand(&self, slot: usize, replacement: &ScalarExpr) -> ScalarExpr {
+        match self {
+            ScalarExpr::Const(c) => ScalarExpr::Const(*c),
+            ScalarExpr::IndexValue(e) => ScalarExpr::IndexValue(e.clone()),
+            ScalarExpr::Input { operand, indices } => {
+                if *operand == slot {
+                    // The replacement body's variables are the producer's
+                    // iteration variables; the access's index expressions say
+                    // how to compute them from the consumer's variables.
+                    replacement.substitute(indices, &|op| op)
+                } else {
+                    ScalarExpr::Input {
+                        operand: *operand,
+                        indices: indices.clone(),
+                    }
+                }
+            }
+            ScalarExpr::Unary(op, a) => {
+                ScalarExpr::Unary(*op, Box::new(a.inline_operand(slot, replacement)))
+            }
+            ScalarExpr::Binary(op, a, b) => ScalarExpr::Binary(
+                *op,
+                Box::new(a.inline_operand(slot, replacement)),
+                Box::new(b.inline_operand(slot, replacement)),
+            ),
+            ScalarExpr::Select {
+                cond,
+                on_true,
+                on_false,
+            } => ScalarExpr::Select {
+                cond: cond.clone(),
+                on_true: Box::new(on_true.inline_operand(slot, replacement)),
+                on_false: Box::new(on_false.inline_operand(slot, replacement)),
+            },
+        }
+    }
+
+    /// Remaps operand slots without touching index variables.
+    pub fn remap_operands(&self, f: &dyn Fn(usize) -> usize) -> ScalarExpr {
+        let n = self.max_var().map_or(0, |m| m + 1);
+        let identity: Vec<IndexExpr> = (0..n).map(IndexExpr::Var).collect();
+        self.substitute(&identity, f)
+    }
+
+    /// Algebraic simplification: constant folding, additive/multiplicative
+    /// identities, and elimination of statically decidable selects.
+    /// Applied after vertical inlining (§6.2), where composed bodies
+    /// accumulate `x + 0`-style residue and guards whose predicates became
+    /// constant under index substitution.
+    pub fn simplified(&self) -> ScalarExpr {
+        match self {
+            ScalarExpr::Const(_) | ScalarExpr::Input { .. } => self.clone(),
+            ScalarExpr::IndexValue(e) => match e {
+                IndexExpr::Const(c) => ScalarExpr::Const(*c as f32),
+                _ => ScalarExpr::IndexValue(e.clone()),
+            },
+            ScalarExpr::Unary(op, a) => {
+                let a = a.simplified();
+                if let ScalarExpr::Const(c) = a {
+                    return ScalarExpr::Const(op.apply(c));
+                }
+                ScalarExpr::Unary(*op, Box::new(a))
+            }
+            ScalarExpr::Binary(op, a, b) => {
+                let a = a.simplified();
+                let b = b.simplified();
+                match (op, &a, &b) {
+                    (_, ScalarExpr::Const(x), ScalarExpr::Const(y)) => {
+                        ScalarExpr::Const(op.apply(*x, *y))
+                    }
+                    (BinaryOp::Add, ScalarExpr::Const(z), other)
+                    | (BinaryOp::Add, other, ScalarExpr::Const(z))
+                        if *z == 0.0 =>
+                    {
+                        other.clone()
+                    }
+                    (BinaryOp::Sub, other, ScalarExpr::Const(z)) if *z == 0.0 => other.clone(),
+                    (BinaryOp::Mul, ScalarExpr::Const(o), other)
+                    | (BinaryOp::Mul, other, ScalarExpr::Const(o))
+                        if *o == 1.0 =>
+                    {
+                        other.clone()
+                    }
+                    (BinaryOp::Div, other, ScalarExpr::Const(o)) if *o == 1.0 => other.clone(),
+                    _ => ScalarExpr::Binary(*op, Box::new(a), Box::new(b)),
+                }
+            }
+            ScalarExpr::Select {
+                cond,
+                on_true,
+                on_false,
+            } => {
+                // A predicate over no variables is a constant.
+                if cond.max_var().is_none() {
+                    return if cond.eval(&[]) {
+                        on_true.simplified()
+                    } else {
+                        on_false.simplified()
+                    };
+                }
+                ScalarExpr::Select {
+                    cond: cond.clone(),
+                    on_true: Box::new(on_true.simplified()),
+                    on_false: Box::new(on_false.simplified()),
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for ScalarExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarExpr::Const(c) => write!(f, "{c}"),
+            ScalarExpr::Input { operand, indices } => {
+                write!(f, "in{operand}[")?;
+                for (i, e) in indices.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "]")
+            }
+            ScalarExpr::IndexValue(e) => write!(f, "idx({e})"),
+            ScalarExpr::Unary(op, a) => write!(f, "{op:?}({a})"),
+            ScalarExpr::Binary(op, a, b) => write!(f, "{op:?}({a}, {b})"),
+            ScalarExpr::Select {
+                cond,
+                on_true,
+                on_false,
+            } => write!(f, "select({cond}, {on_true}, {on_false})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unary_apply_matches_reference() {
+        assert_eq!(UnaryOp::Relu.apply(-2.0), 0.0);
+        assert_eq!(UnaryOp::Relu.apply(3.0), 3.0);
+        assert!((UnaryOp::Sigmoid.apply(0.0) - 0.5).abs() < 1e-6);
+        assert!((UnaryOp::Silu.apply(0.0)).abs() < 1e-6);
+        assert!((UnaryOp::Gelu.apply(0.0)).abs() < 1e-6);
+        assert!((UnaryOp::Exp.apply(1.0) - std::f32::consts::E).abs() < 1e-5);
+    }
+
+    #[test]
+    fn binary_apply() {
+        assert_eq!(BinaryOp::Max.apply(2.0, 5.0), 5.0);
+        assert_eq!(BinaryOp::Div.apply(1.0, 4.0), 0.25);
+    }
+
+    #[test]
+    fn cond_eval_and_substitute() {
+        let c = Cond::cmp(CmpOp::Lt, IndexExpr::var(0), IndexExpr::constant(4))
+            .and(Cond::cmp(CmpOp::Ge, IndexExpr::var(1), IndexExpr::constant(0)));
+        assert!(c.eval(&[3, 0]));
+        assert!(!c.eval(&[4, 0]));
+        let s = c.substitute(&[IndexExpr::var(0).mul(2), IndexExpr::var(0)]);
+        assert!(s.eval(&[1]));
+        assert!(!s.eval(&[2]));
+    }
+
+    #[test]
+    fn accesses_enumerates_inputs() {
+        let body = ScalarExpr::binary(
+            BinaryOp::Add,
+            ScalarExpr::input(0, vec![IndexExpr::var(0)]),
+            ScalarExpr::input(1, vec![IndexExpr::var(0)]),
+        );
+        let acc = body.accesses();
+        assert_eq!(acc.len(), 2);
+        assert_eq!(acc[0].0, 0);
+        assert_eq!(acc[1].0, 1);
+    }
+
+    #[test]
+    fn costs_count_sensibly() {
+        // sigmoid(a + b) : 1 add + 5 sigmoid = 6 arith, 2 accesses
+        let body = ScalarExpr::unary(
+            UnaryOp::Sigmoid,
+            ScalarExpr::binary(
+                BinaryOp::Add,
+                ScalarExpr::input(0, vec![IndexExpr::var(0)]),
+                ScalarExpr::input(1, vec![IndexExpr::var(0)]),
+            ),
+        );
+        assert_eq!(body.arith_cost(), 6);
+        assert_eq!(body.access_cost(), 2);
+    }
+
+    #[test]
+    fn inline_operand_substitutes_producer_body() {
+        // consumer: out[i] = in0[2*i] ; producer body: in0'[i] = exp(in0[i])
+        let consumer = ScalarExpr::input(0, vec![IndexExpr::var(0).mul(2)]);
+        let producer = ScalarExpr::unary(UnaryOp::Exp, ScalarExpr::input(0, vec![IndexExpr::var(0)]));
+        let fused = consumer.inline_operand(0, &producer);
+        // fused should be exp(in0[2*i])
+        match &fused {
+            ScalarExpr::Unary(UnaryOp::Exp, inner) => match inner.as_ref() {
+                ScalarExpr::Input { operand, indices } => {
+                    assert_eq!(*operand, 0);
+                    assert_eq!(indices[0], IndexExpr::var(0).mul(2));
+                }
+                other => panic!("unexpected inner {other}"),
+            },
+            other => panic!("unexpected fused {other}"),
+        }
+    }
+
+    #[test]
+    fn max_var_spans_cond_and_branches() {
+        let e = ScalarExpr::select(
+            Cond::cmp(CmpOp::Lt, IndexExpr::var(3), IndexExpr::constant(1)),
+            ScalarExpr::input(0, vec![IndexExpr::var(1)]),
+            ScalarExpr::Const(0.0),
+        );
+        assert_eq!(e.max_var(), Some(3));
+    }
+
+    #[test]
+    fn simplify_folds_constants_and_identities() {
+        // exp(1 + 0) -> const
+        let e = ScalarExpr::unary(
+            UnaryOp::Exp,
+            ScalarExpr::binary(BinaryOp::Add, ScalarExpr::Const(1.0), ScalarExpr::Const(0.0)),
+        );
+        match e.simplified() {
+            ScalarExpr::Const(c) => assert!((c - std::f32::consts::E).abs() < 1e-6),
+            other => panic!("expected const, got {other}"),
+        }
+        // x * 1 -> x ; x + 0 -> x
+        let x = ScalarExpr::input(0, vec![IndexExpr::var(0)]);
+        let e = ScalarExpr::binary(BinaryOp::Mul, x.clone(), ScalarExpr::Const(1.0));
+        assert_eq!(e.simplified(), x);
+        let e = ScalarExpr::binary(BinaryOp::Add, ScalarExpr::Const(0.0), x.clone());
+        assert_eq!(e.simplified(), x);
+    }
+
+    #[test]
+    fn simplify_resolves_constant_selects() {
+        let x = ScalarExpr::input(0, vec![IndexExpr::var(0)]);
+        let e = ScalarExpr::select(
+            Cond::cmp(CmpOp::Lt, IndexExpr::constant(1), IndexExpr::constant(2)),
+            x.clone(),
+            ScalarExpr::Const(0.0),
+        );
+        assert_eq!(e.simplified(), x);
+        let e = ScalarExpr::select(
+            Cond::cmp(CmpOp::Gt, IndexExpr::constant(1), IndexExpr::constant(2)),
+            x,
+            ScalarExpr::Const(0.0),
+        );
+        assert_eq!(e.simplified(), ScalarExpr::Const(0.0));
+    }
+
+    #[test]
+    fn simplify_keeps_variable_selects() {
+        let e = ScalarExpr::select(
+            Cond::cmp(CmpOp::Lt, IndexExpr::var(0), IndexExpr::constant(2)),
+            ScalarExpr::input(0, vec![IndexExpr::var(0)]),
+            ScalarExpr::Const(0.0),
+        );
+        assert_eq!(e.simplified(), e);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let e = ScalarExpr::unary(UnaryOp::Exp, ScalarExpr::input(0, vec![IndexExpr::var(0)]));
+        assert!(e.to_string().contains("Exp"));
+    }
+}

@@ -1,0 +1,649 @@
+//! Reverse-mode differentiation of TE programs — the "Fusion in DL
+//! training" extension the paper leaves as future work (§9).
+//!
+//! [`backward`] builds, from a forward TE program and a scalar loss, a new
+//! TE program computing `d loss / d t` for requested tensors. Following
+//! §9's observation that "intermediate tensors must be kept in global
+//! memory in DL training for backward gradient-based optimization", the
+//! backward program treats every forward activation it needs as a fresh
+//! *input* (the saved activations) — which is exactly the constraint that
+//! restricts operator fusion during training.
+//!
+//! Supported forward patterns (sufficient for MLP-style training graphs):
+//! element-wise unary operators, element-wise add/sub/mul/div, scalar
+//! scale/offset, bias-add over the last axis (rank 2), `matmul`, and
+//! sum-reduction over the last axis. Unsupported TEs yield a
+//! [`GradError`].
+
+use crate::builders;
+use crate::expr::{BinaryOp, ScalarExpr, UnaryOp};
+use crate::program::{TensorId, TeProgram};
+use crate::te::ReduceOp;
+use souffle_affine::IndexExpr;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Differentiation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GradError {
+    /// The loss tensor must hold exactly one element.
+    LossNotScalar {
+        /// The offending tensor.
+        tensor: TensorId,
+    },
+    /// A forward TE's pattern has no differentiation rule.
+    Unsupported {
+        /// The TE's name.
+        te: String,
+        /// What was unsupported.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GradError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GradError::LossNotScalar { tensor } => {
+                write!(f, "loss tensor {tensor} is not a scalar")
+            }
+            GradError::Unsupported { te, reason } => {
+                write!(f, "cannot differentiate TE \"{te}\": {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GradError {}
+
+/// The backward program plus its binding maps.
+#[derive(Debug, Clone)]
+pub struct GradProgram {
+    /// The backward TE program. Its inputs are the saved forward tensors
+    /// (activations, weights, inputs); its outputs are gradients.
+    pub program: TeProgram,
+    /// Forward tensor → its saved-activation input in the backward
+    /// program.
+    pub saved: HashMap<TensorId, TensorId>,
+    /// Forward tensor → its gradient tensor in the backward program (for
+    /// the tensors requested in `wrt`).
+    pub grads: HashMap<TensorId, TensorId>,
+}
+
+/// The recognized differentiable pattern of one forward TE.
+enum Pattern {
+    UnaryEw(UnaryOp),
+    BinaryEw(BinaryOp),
+    ScalarRhs(BinaryOp, f32),
+    BiasAdd,
+    MatMul,
+    ReduceSumLast,
+}
+
+fn identity_access(e: &ScalarExpr, operand: usize, rank: usize) -> bool {
+    match e {
+        ScalarExpr::Input {
+            operand: o,
+            indices,
+        } => {
+            *o == operand
+                && indices.len() == rank
+                && indices
+                    .iter()
+                    .enumerate()
+                    .all(|(d, ix)| *ix == IndexExpr::Var(d))
+        }
+        _ => false,
+    }
+}
+
+fn recognize(program: &TeProgram, te: &crate::TensorExpr) -> Result<Pattern, GradError> {
+    let rank = program.tensor(te.output).shape.rank();
+    let unsupported = |reason: &str| GradError::Unsupported {
+        te: te.name.clone(),
+        reason: reason.to_string(),
+    };
+    if te.is_reduction() {
+        // matmul: sum over rk of in0[i, rk] * in1[rk, j]
+        if let ScalarExpr::Binary(BinaryOp::Mul, a, b) = &te.body {
+            let is_matmul = matches!(
+                (a.as_ref(), b.as_ref()),
+                (
+                    ScalarExpr::Input { operand: 0, indices: ia },
+                    ScalarExpr::Input { operand: 1, indices: ib },
+                ) if rank == 2
+                    && ia.as_slice() == [IndexExpr::Var(0), IndexExpr::Var(2)]
+                    && ib.as_slice() == [IndexExpr::Var(2), IndexExpr::Var(1)]
+            );
+            if is_matmul && te.reduce_op == Some(ReduceOp::Sum) {
+                return Ok(Pattern::MatMul);
+            }
+        }
+        // reduce_last sum: in0[i.., r]
+        if te.reduce_op == Some(ReduceOp::Sum) && te.reduce.len() == 1 {
+            if let ScalarExpr::Input { operand: 0, indices } = &te.body {
+                let ok = indices.len() == rank + 1
+                    && indices
+                        .iter()
+                        .enumerate()
+                        .all(|(d, ix)| *ix == IndexExpr::Var(d));
+                // reduce_last on a vector produces shape [1] with the body
+                // reading [v1]; accept that too.
+                let vec_ok = rank == 1
+                    && indices.len() == 1
+                    && indices[0] == IndexExpr::Var(1);
+                if ok || vec_ok {
+                    return Ok(Pattern::ReduceSumLast);
+                }
+            }
+        }
+        return Err(unsupported("reduction pattern"));
+    }
+    match &te.body {
+        ScalarExpr::Unary(op, a) if identity_access(a, 0, rank) => Ok(Pattern::UnaryEw(*op)),
+        ScalarExpr::Binary(op, a, b) => {
+            if identity_access(a, 0, rank) && identity_access(b, 1, rank) {
+                return Ok(Pattern::BinaryEw(*op));
+            }
+            if let (true, ScalarExpr::Const(c)) = (identity_access(a, 0, rank), b.as_ref()) {
+                return Ok(Pattern::ScalarRhs(*op, *c));
+            }
+            // bias add: in0[i, j] + in1[j] (rank 2)
+            if rank == 2 && *op == BinaryOp::Add && identity_access(a, 0, rank) {
+                if let ScalarExpr::Input { operand: 1, indices } = b.as_ref() {
+                    if indices.as_slice() == [IndexExpr::Var(1)] {
+                        return Ok(Pattern::BiasAdd);
+                    }
+                }
+            }
+            Err(unsupported("binary pattern"))
+        }
+        _ => Err(unsupported("body pattern")),
+    }
+}
+
+/// Builds the backward program of `forward` for a scalar `loss`,
+/// producing gradients for every tensor in `wrt`.
+///
+/// ```
+/// use souffle_te::{builders, grad, ReduceOp, TeProgram};
+/// use souffle_tensor::{DType, Shape};
+///
+/// let mut p = TeProgram::new();
+/// let x = p.add_input("x", Shape::new(vec![4, 8]), DType::F32);
+/// let w = p.add_input("w", Shape::new(vec![8, 2]), DType::F32);
+/// let y = builders::matmul(&mut p, "mm", x, w);
+/// let rows = builders::reduce_last(&mut p, "rows", ReduceOp::Sum, y);
+/// let loss = builders::reduce_last(&mut p, "loss", ReduceOp::Sum, rows);
+/// p.mark_output(loss);
+///
+/// let g = grad::backward(&p, loss, &[w])?;
+/// assert!(g.grads.contains_key(&w));
+/// g.program.validate()?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`GradError`] when the loss is not scalar or a TE on the path
+/// from `wrt` to `loss` has no differentiation rule.
+pub fn backward(
+    forward: &TeProgram,
+    loss: TensorId,
+    wrt: &[TensorId],
+) -> Result<GradProgram, GradError> {
+    if forward.tensor(loss).shape.numel() != 1 {
+        return Err(GradError::LossNotScalar { tensor: loss });
+    }
+    let mut bwd = TeProgram::new();
+    let mut saved: HashMap<TensorId, TensorId> = HashMap::new();
+    // Gradient accumulator per forward tensor.
+    let mut grads: HashMap<TensorId, TensorId> = HashMap::new();
+
+    // Saved-activation inputs are materialized lazily.
+    macro_rules! save {
+        ($fid:expr) => {{
+            let fid: TensorId = $fid;
+            match saved.get(&fid) {
+                Some(&t) => t,
+                None => {
+                    let info = forward.tensor(fid);
+                    let t = bwd.add_input(
+                        &format!("saved.{}", info.name),
+                        info.shape.clone(),
+                        info.dtype,
+                    );
+                    saved.insert(fid, t);
+                    t
+                }
+            }
+        }};
+    }
+
+    // Seed: d loss / d loss = 1.
+    let loss_info = forward.tensor(loss);
+    let ones = bwd.add_te(
+        "grad.seed",
+        loss_info.shape.clone(),
+        loss_info.dtype,
+        vec![],
+        vec![],
+        None,
+        ScalarExpr::Const(1.0),
+    );
+    grads.insert(loss, ones);
+
+    let accumulate = |bwd: &mut TeProgram,
+                          grads: &mut HashMap<TensorId, TensorId>,
+                          fwd_tensor: TensorId,
+                          contribution: TensorId,
+                          name: &str| {
+        match grads.get(&fwd_tensor) {
+            Some(&existing) => {
+                let sum = builders::add(bwd, &format!("{name}.acc"), existing, contribution);
+                grads.insert(fwd_tensor, sum);
+            }
+            None => {
+                grads.insert(fwd_tensor, contribution);
+            }
+        }
+    };
+
+    // Walk the forward TEs in reverse.
+    for te in forward.tes().iter().rev() {
+        let Some(&dy) = grads.get(&te.output) else {
+            continue; // does not influence the loss
+        };
+        let pattern = recognize(forward, te)?;
+        let gname = format!("grad.{}", te.name);
+        match pattern {
+            Pattern::UnaryEw(op) => {
+                let x = if op == UnaryOp::Neg {
+                    None
+                } else {
+                    Some(save!(te.inputs[0]))
+                };
+                let dx = unary_grad(&mut bwd, &gname, op, dy, x).map_err(|reason| {
+                    GradError::Unsupported {
+                        te: te.name.clone(),
+                        reason,
+                    }
+                })?;
+                accumulate(&mut bwd, &mut grads, te.inputs[0], dx, &gname);
+            }
+            Pattern::BinaryEw(op) => match op {
+                BinaryOp::Add => {
+                    accumulate(&mut bwd, &mut grads, te.inputs[0], dy, &gname);
+                    accumulate(&mut bwd, &mut grads, te.inputs[1], dy, &gname);
+                }
+                BinaryOp::Sub => {
+                    accumulate(&mut bwd, &mut grads, te.inputs[0], dy, &gname);
+                    let neg = builders::scale(&mut bwd, &format!("{gname}.neg"), dy, -1.0);
+                    accumulate(&mut bwd, &mut grads, te.inputs[1], neg, &gname);
+                }
+                BinaryOp::Mul => {
+                    let x0 = save!(te.inputs[0]);
+                    let x1 = save!(te.inputs[1]);
+                    let d0 = builders::mul(&mut bwd, &format!("{gname}.d0"), dy, x1);
+                    let d1 = builders::mul(&mut bwd, &format!("{gname}.d1"), dy, x0);
+                    accumulate(&mut bwd, &mut grads, te.inputs[0], d0, &gname);
+                    accumulate(&mut bwd, &mut grads, te.inputs[1], d1, &gname);
+                }
+                BinaryOp::Div => {
+                    // d(a/b) = dy/b ; -dy*a/b^2
+                    let a = save!(te.inputs[0]);
+                    let b = save!(te.inputs[1]);
+                    let d0 = builders::binary(&mut bwd, &format!("{gname}.d0"), BinaryOp::Div, dy, b);
+                    let b2 = builders::mul(&mut bwd, &format!("{gname}.b2"), b, b);
+                    let num = builders::mul(&mut bwd, &format!("{gname}.num"), dy, a);
+                    let frac =
+                        builders::binary(&mut bwd, &format!("{gname}.frac"), BinaryOp::Div, num, b2);
+                    let d1 = builders::scale(&mut bwd, &format!("{gname}.d1"), frac, -1.0);
+                    accumulate(&mut bwd, &mut grads, te.inputs[0], d0, &gname);
+                    accumulate(&mut bwd, &mut grads, te.inputs[1], d1, &gname);
+                }
+                other => {
+                    return Err(GradError::Unsupported {
+                        te: te.name.clone(),
+                        reason: format!("binary op {other:?}"),
+                    })
+                }
+            },
+            Pattern::ScalarRhs(op, c) => {
+                let dx = match op {
+                    BinaryOp::Add | BinaryOp::Sub => dy,
+                    BinaryOp::Mul => builders::scale(&mut bwd, &format!("{gname}.scale"), dy, c),
+                    BinaryOp::Div => {
+                        builders::scale(&mut bwd, &format!("{gname}.scale"), dy, 1.0 / c)
+                    }
+                    other => {
+                        return Err(GradError::Unsupported {
+                            te: te.name.clone(),
+                            reason: format!("scalar op {other:?}"),
+                        })
+                    }
+                };
+                accumulate(&mut bwd, &mut grads, te.inputs[0], dx, &gname);
+            }
+            Pattern::BiasAdd => {
+                accumulate(&mut bwd, &mut grads, te.inputs[0], dy, &gname);
+                // d bias[j] = sum_i dy[i, j]
+                let dyt = builders::transpose(&mut bwd, &format!("{gname}.t"), dy, &[1, 0]);
+                let db = builders::reduce_last(&mut bwd, &format!("{gname}.db"), ReduceOp::Sum, dyt);
+                accumulate(&mut bwd, &mut grads, te.inputs[1], db, &gname);
+            }
+            Pattern::MatMul => {
+                // C = A B : dA = dC B^T ; dB = A^T dC
+                let a = save!(te.inputs[0]);
+                let b = save!(te.inputs[1]);
+                let bt = builders::transpose(&mut bwd, &format!("{gname}.bT"), b, &[1, 0]);
+                let da = builders::matmul(&mut bwd, &format!("{gname}.dA"), dy, bt);
+                let at = builders::transpose(&mut bwd, &format!("{gname}.aT"), a, &[1, 0]);
+                let db = builders::matmul(&mut bwd, &format!("{gname}.dB"), at, dy);
+                accumulate(&mut bwd, &mut grads, te.inputs[0], da, &gname);
+                accumulate(&mut bwd, &mut grads, te.inputs[1], db, &gname);
+            }
+            Pattern::ReduceSumLast => {
+                // dx[.., r] = dy[..] broadcast over the reduced axis.
+                let in_info = forward.tensor(te.inputs[0]);
+                let in_shape = in_info.shape.clone();
+                let out_rank = forward.tensor(te.output).shape.rank();
+                // dy index: leading dims of dx; scalar case reads [0].
+                let dy_idx: Vec<IndexExpr> =
+                    if out_rank == 1 && in_shape.rank() == 1 {
+                        vec![IndexExpr::constant(0)]
+                    } else {
+                        (0..in_shape.rank() - 1).map(IndexExpr::Var).collect()
+                    };
+                let dx = bwd.add_te(
+                    &format!("{gname}.bcast"),
+                    in_shape,
+                    in_info.dtype,
+                    vec![dy],
+                    vec![],
+                    None,
+                    ScalarExpr::input(0, dy_idx),
+                );
+                accumulate(&mut bwd, &mut grads, te.inputs[0], dx, &gname);
+            }
+        }
+    }
+
+    // Mark requested gradients as outputs.
+    let mut requested = HashMap::new();
+    for &t in wrt {
+        let Some(&g) = grads.get(&t) else {
+            return Err(GradError::Unsupported {
+                te: forward.tensor(t).name.clone(),
+                reason: "tensor does not influence the loss".to_string(),
+            });
+        };
+        bwd.mark_output(g);
+        requested.insert(t, g);
+    }
+    Ok(GradProgram {
+        program: bwd,
+        saved,
+        grads: requested,
+    })
+}
+
+/// Emits `dx = dy * f'(x or y)` for a unary op. `saved` is the saved
+/// forward input (`None` only for `Neg`, which needs no activation).
+fn unary_grad(
+    bwd: &mut TeProgram,
+    name: &str,
+    op: UnaryOp,
+    dy: TensorId,
+    saved: Option<TensorId>,
+) -> Result<TensorId, String> {
+    let saved_input = || saved.expect("activation saved for this op");
+    let dx = match op {
+        UnaryOp::Neg => builders::scale(bwd, &format!("{name}.neg"), dy, -1.0),
+        UnaryOp::Exp => {
+            let x = saved_input();
+            let y = builders::exp(bwd, &format!("{name}.exp"), x);
+            builders::mul(bwd, &format!("{name}.mul"), dy, y)
+        }
+        UnaryOp::Log => {
+            let x = saved_input();
+            builders::binary(bwd, &format!("{name}.div"), BinaryOp::Div, dy, x)
+        }
+        UnaryOp::Relu => {
+            let x = saved_input();
+            let step = builders::unary(bwd, &format!("{name}.step"), UnaryOp::Heaviside, x);
+            builders::mul(bwd, &format!("{name}.mul"), dy, step)
+        }
+        UnaryOp::Abs => {
+            let x = saved_input();
+            let sign = builders::unary(bwd, &format!("{name}.sign"), UnaryOp::Sign, x);
+            builders::mul(bwd, &format!("{name}.mul"), dy, sign)
+        }
+        UnaryOp::Sigmoid => {
+            // y(1 - y)
+            let x = saved_input();
+            let y = builders::sigmoid(bwd, &format!("{name}.y"), x);
+            let shape = bwd.tensor(y).shape.clone();
+            let dt = bwd.tensor(y).dtype;
+            let one = bwd.add_te(
+                &format!("{name}.one"),
+                shape,
+                dt,
+                vec![],
+                vec![],
+                None,
+                ScalarExpr::Const(1.0),
+            );
+            let one_minus =
+                builders::binary(bwd, &format!("{name}.om"), BinaryOp::Sub, one, y);
+            let dydx = builders::mul(bwd, &format!("{name}.dydx"), y, one_minus);
+            builders::mul(bwd, &format!("{name}.mul"), dy, dydx)
+        }
+        UnaryOp::Tanh => {
+            // 1 - y^2
+            let x = saved_input();
+            let y = builders::unary(bwd, &format!("{name}.y"), UnaryOp::Tanh, x);
+            let y2 = builders::mul(bwd, &format!("{name}.y2"), y, y);
+            let shape = bwd.tensor(y2).shape.clone();
+            let dt = bwd.tensor(y2).dtype;
+            let one = bwd.add_te(
+                &format!("{name}.one"),
+                shape,
+                dt,
+                vec![],
+                vec![],
+                None,
+                ScalarExpr::Const(1.0),
+            );
+            let dydx = builders::binary(bwd, &format!("{name}.dydx"), BinaryOp::Sub, one, y2);
+            builders::mul(bwd, &format!("{name}.mul"), dy, dydx)
+        }
+        other => return Err(format!("unary op {other:?}")),
+    };
+    Ok(dx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::eval_program;
+    use crate::program::TensorKind;
+    use souffle_tensor::{DType, Shape, Tensor};
+
+    /// Numerically checks d loss / d input via central finite differences.
+    fn check_gradient(
+        forward: &TeProgram,
+        loss: TensorId,
+        wrt: TensorId,
+        bindings: &HashMap<TensorId, Tensor>,
+        tol: f32,
+    ) {
+        forward.validate().expect("forward validates");
+        let g = backward(forward, loss, &[wrt]).expect("differentiable");
+        g.program.validate().expect("backward validates");
+
+        // Evaluate the forward program to fill saved activations.
+        let fwd_vals = eval_program(forward, bindings).expect("forward eval");
+        let lookup = |fid: TensorId| -> Tensor {
+            bindings
+                .get(&fid)
+                .cloned()
+                .or_else(|| fwd_vals.get(&fid).cloned())
+                .expect("saved tensor available")
+        };
+        let mut bwd_binds: HashMap<TensorId, Tensor> = HashMap::new();
+        for (&fid, &sid) in &g.saved {
+            bwd_binds.insert(sid, lookup(fid));
+        }
+        let bwd_vals = eval_program(&g.program, &bwd_binds).expect("backward eval");
+        let analytic = &bwd_vals[&g.grads[&wrt]];
+
+        // Finite differences.
+        let base = bindings[&wrt].clone();
+        let eps = 1e-2f32;
+        for flat in 0..base.shape().numel() as usize {
+            let mut plus = bindings.clone();
+            let mut t = base.clone();
+            t.data_mut()[flat] += eps;
+            plus.insert(wrt, t);
+            let lp = eval_program(forward, &plus).unwrap()[&loss].data()[0];
+            let mut minus = bindings.clone();
+            let mut t = base.clone();
+            t.data_mut()[flat] -= eps;
+            minus.insert(wrt, t);
+            let lm = eval_program(forward, &minus).unwrap()[&loss].data()[0];
+            let numeric = (lp - lm) / (2.0 * eps);
+            let got = analytic.data()[flat];
+            assert!(
+                (got - numeric).abs() <= tol + tol * numeric.abs(),
+                "grad[{flat}] analytic {got} vs numeric {numeric}"
+            );
+        }
+    }
+
+    /// loss = sum((relu(x W + b) - target)^2) — a one-layer MLP with MSE.
+    fn mlp() -> (TeProgram, TensorId, TensorId, TensorId, TensorId, TensorId) {
+        let mut p = TeProgram::new();
+        let x = p.add_input("x", Shape::new(vec![2, 3]), DType::F32);
+        let w = p.add_input("w", Shape::new(vec![3, 4]), DType::F32);
+        let b = p.add_input("b", Shape::new(vec![4]), DType::F32);
+        let target = p.add_input("t", Shape::new(vec![2, 4]), DType::F32);
+        let h = builders::matmul(&mut p, "mm", x, w);
+        let h = builders::bias_add(&mut p, "bias", h, b);
+        let h = builders::relu(&mut p, "act", h);
+        let diff = builders::binary(&mut p, "diff", BinaryOp::Sub, h, target);
+        let sq = builders::mul(&mut p, "sq", diff, diff);
+        let rows = builders::reduce_last(&mut p, "rows", ReduceOp::Sum, sq);
+        let loss = builders::reduce_last(&mut p, "loss", ReduceOp::Sum, rows);
+        p.mark_output(loss);
+        (p, x, w, b, target, loss)
+    }
+
+    fn mlp_bindings(
+        p: &TeProgram,
+        seed: u64,
+    ) -> HashMap<TensorId, Tensor> {
+        p.free_tensors()
+            .into_iter()
+            .enumerate()
+            .map(|(i, id)| {
+                (
+                    id,
+                    Tensor::random(p.tensor(id).shape.clone(), seed + i as u64),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mlp_weight_gradient_matches_finite_differences() {
+        let (p, _x, w, _b, _t, loss) = mlp();
+        let binds = mlp_bindings(&p, 7);
+        check_gradient(&p, loss, w, &binds, 2e-2);
+    }
+
+    #[test]
+    fn mlp_bias_gradient_matches_finite_differences() {
+        let (p, _x, _w, b, _t, loss) = mlp();
+        let binds = mlp_bindings(&p, 11);
+        check_gradient(&p, loss, b, &binds, 2e-2);
+    }
+
+    #[test]
+    fn mlp_input_gradient_matches_finite_differences() {
+        let (p, x, _w, _b, _t, loss) = mlp();
+        let binds = mlp_bindings(&p, 13);
+        check_gradient(&p, loss, x, &binds, 2e-2);
+    }
+
+    #[test]
+    fn unary_chain_gradients() {
+        // loss = sum(tanh(sigmoid(exp(x))))
+        let mut p = TeProgram::new();
+        let x = p.add_input("x", Shape::new(vec![6]), DType::F32);
+        let e = builders::exp(&mut p, "e", x);
+        let s = builders::sigmoid(&mut p, "s", e);
+        let t = builders::unary(&mut p, "t", UnaryOp::Tanh, s);
+        let loss = builders::reduce_last(&mut p, "loss", ReduceOp::Sum, t);
+        p.mark_output(loss);
+        let binds: HashMap<_, _> =
+            [(x, Tensor::random(Shape::new(vec![6]), 3))].into_iter().collect();
+        check_gradient(&p, loss, x, &binds, 2e-2);
+    }
+
+    #[test]
+    fn division_gradients() {
+        // loss = sum(a / b)
+        let mut p = TeProgram::new();
+        let a = p.add_input("a", Shape::new(vec![5]), DType::F32);
+        let b = p.add_input("b", Shape::new(vec![5]), DType::F32);
+        let d = builders::binary(&mut p, "div", BinaryOp::Div, a, b);
+        let loss = builders::reduce_last(&mut p, "loss", ReduceOp::Sum, d);
+        p.mark_output(loss);
+        let mut binds = HashMap::new();
+        binds.insert(a, Tensor::random(Shape::new(vec![5]), 5));
+        // keep b away from zero
+        binds.insert(
+            b,
+            Tensor::random(Shape::new(vec![5]), 6).map(|v| v + 2.5),
+        );
+        check_gradient(&p, loss, a, &binds, 2e-2);
+        check_gradient(&p, loss, b, &binds, 2e-2);
+    }
+
+    #[test]
+    fn non_scalar_loss_is_rejected() {
+        let mut p = TeProgram::new();
+        let x = p.add_input("x", Shape::new(vec![4]), DType::F32);
+        let y = builders::relu(&mut p, "r", x);
+        p.mark_output(y);
+        assert!(matches!(
+            backward(&p, y, &[x]),
+            Err(GradError::LossNotScalar { .. })
+        ));
+    }
+
+    #[test]
+    fn unsupported_pattern_is_reported() {
+        let mut p = TeProgram::new();
+        let x = p.add_input("x", Shape::new(vec![4, 8]), DType::F32);
+        let s = builders::softmax(&mut p, "sm", x); // max-reduction inside
+        let t = builders::transpose(&mut p, "t", s, &[1, 0]);
+        let r1 = builders::reduce_last(&mut p, "r1", ReduceOp::Sum, t);
+        let loss = builders::reduce_last(&mut p, "loss", ReduceOp::Sum, r1);
+        p.mark_output(loss);
+        let err = backward(&p, loss, &[x]).unwrap_err();
+        assert!(err.to_string().contains("cannot differentiate"), "{err}");
+    }
+
+    #[test]
+    fn saved_activations_are_backward_inputs() {
+        // §9: intermediates must be kept in global memory for training —
+        // every saved tensor enters the backward program as an Input.
+        let (p, _x, w, _b, _t, loss) = mlp();
+        let g = backward(&p, loss, &[w]).unwrap();
+        for &sid in g.saved.values() {
+            assert_eq!(g.program.tensor(sid).kind, TensorKind::Input);
+        }
+        assert!(!g.saved.is_empty());
+    }
+}

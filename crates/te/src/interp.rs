@@ -1,0 +1,283 @@
+//! Reference interpreter for TE programs.
+//!
+//! The interpreter is the semantic ground truth of the reproduction: every
+//! compiler transformation is checked against it (transform a program, run
+//! both versions on random inputs, compare outputs element-wise).
+//!
+//! Evaluation is intentionally naive — loop over the output iteration
+//! space, then over the reduction space, evaluating the scalar body — so
+//! that its correctness is evident by inspection.
+
+use crate::expr::ScalarExpr;
+use crate::program::{TeProgram, TensorId, TensorKind};
+use std::collections::HashMap;
+use std::fmt;
+
+use souffle_tensor::Tensor;
+
+/// Evaluation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// An input or weight tensor was not bound.
+    Unbound {
+        /// The missing tensor.
+        tensor: TensorId,
+        /// Its name.
+        name: String,
+    },
+    /// A bound tensor's shape does not match its declaration.
+    ShapeMismatch {
+        /// The offending tensor.
+        tensor: TensorId,
+        /// Its name.
+        name: String,
+    },
+    /// A taken branch performed an out-of-bounds read.
+    OutOfBounds {
+        /// The TE at fault (by name).
+        te: String,
+        /// The operand read.
+        operand: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Unbound { tensor, name } => {
+                write!(f, "tensor {tensor} (\"{name}\") was not bound")
+            }
+            EvalError::ShapeMismatch { tensor, name } => {
+                write!(f, "tensor {tensor} (\"{name}\") bound with wrong shape")
+            }
+            EvalError::OutOfBounds { te, operand } => {
+                write!(f, "TE \"{te}\": out-of-bounds read of operand {operand}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluates a whole program.
+///
+/// `bindings` must contain a tensor for every input and weight; the result
+/// maps every tensor id produced by a TE (intermediates and outputs) to its
+/// value.
+///
+/// # Errors
+///
+/// Returns an error for missing/mis-shaped bindings or runtime
+/// out-of-bounds accesses (which indicate an invalid program or a broken
+/// transformation).
+pub fn eval_program(
+    program: &TeProgram,
+    bindings: &HashMap<TensorId, Tensor>,
+) -> Result<HashMap<TensorId, Tensor>, EvalError> {
+    let mut values: HashMap<TensorId, Tensor> = HashMap::new();
+    for id in program.free_tensors() {
+        let info = program.tensor(id);
+        let t = bindings.get(&id).ok_or_else(|| EvalError::Unbound {
+            tensor: id,
+            name: info.name.clone(),
+        })?;
+        if t.shape() != &info.shape {
+            return Err(EvalError::ShapeMismatch {
+                tensor: id,
+                name: info.name.clone(),
+            });
+        }
+        values.insert(id, t.clone());
+    }
+    for te_id in program.te_ids() {
+        let te = program.te(te_id);
+        let out_shape = program.output_shape(te_id).clone();
+        let inputs: Vec<&Tensor> = te
+            .inputs
+            .iter()
+            .map(|tid| {
+                values
+                    .get(tid)
+                    .unwrap_or_else(|| panic!("validated program: {tid} must be available"))
+            })
+            .collect();
+        let mut out = Tensor::zeros(out_shape.clone());
+        let n_iter = out_shape.rank();
+        let mut vars = vec![0i64; n_iter + te.reduce.len()];
+        let data = out.data_mut();
+        for (flat, idx) in out_shape.indices().enumerate() {
+            vars[..n_iter].copy_from_slice(&idx);
+            let value = if te.reduce.is_empty() {
+                eval_scalar(&te.body, &vars, &inputs, &te.name)?
+            } else {
+                let op = te.reduce_op.expect("validated reduction");
+                let mut acc = op.init();
+                let mut counter = vec![0i64; te.reduce.len()];
+                'reduce: loop {
+                    vars[n_iter..].copy_from_slice(&counter);
+                    let v = eval_scalar(&te.body, &vars, &inputs, &te.name)?;
+                    acc = op.combine(acc, v);
+                    let mut axis = te.reduce.len();
+                    loop {
+                        if axis == 0 {
+                            break 'reduce;
+                        }
+                        axis -= 1;
+                        counter[axis] += 1;
+                        if counter[axis] < te.reduce[axis] {
+                            break;
+                        }
+                        counter[axis] = 0;
+                    }
+                }
+                acc
+            };
+            data[flat] = value;
+        }
+        values.insert(te.output, out.with_dtype(program.tensor(te.output).dtype));
+    }
+    // Drop the caller's bindings from the result for clarity.
+    for id in program.free_tensors() {
+        if program.tensor(id).kind != TensorKind::Output {
+            values.remove(&id);
+        }
+    }
+    Ok(values)
+}
+
+fn eval_scalar(
+    body: &ScalarExpr,
+    vars: &[i64],
+    inputs: &[&Tensor],
+    te_name: &str,
+) -> Result<f32, EvalError> {
+    Ok(match body {
+        ScalarExpr::Const(c) => *c,
+        ScalarExpr::IndexValue(e) => e.eval(vars) as f32,
+        ScalarExpr::Input { operand, indices } => {
+            let t = inputs[*operand];
+            let idx: Vec<i64> = indices.iter().map(|e| e.eval(vars)).collect();
+            let in_bounds = idx.len() == t.shape().rank()
+                && idx
+                    .iter()
+                    .zip(t.shape().dims())
+                    .all(|(&i, &d)| (0..d).contains(&i));
+            if !in_bounds {
+                return Err(EvalError::OutOfBounds {
+                    te: te_name.to_string(),
+                    operand: *operand,
+                });
+            }
+            t.at(&idx)
+        }
+        ScalarExpr::Unary(op, a) => op.apply(eval_scalar(a, vars, inputs, te_name)?),
+        ScalarExpr::Binary(op, a, b) => op.apply(
+            eval_scalar(a, vars, inputs, te_name)?,
+            eval_scalar(b, vars, inputs, te_name)?,
+        ),
+        ScalarExpr::Select {
+            cond,
+            on_true,
+            on_false,
+        } => {
+            // Lazy evaluation: only the taken branch runs, so guarded
+            // out-of-bounds accesses (padding) are never touched.
+            if cond.eval(vars) {
+                eval_scalar(on_true, vars, inputs, te_name)?
+            } else {
+                eval_scalar(on_false, vars, inputs, te_name)?
+            }
+        }
+    })
+}
+
+/// Convenience: evaluates a program on deterministic random inputs (seeded
+/// per free tensor) and returns only the program outputs. Used pervasively
+/// by semantic-preservation tests.
+///
+/// # Errors
+///
+/// Propagates any [`EvalError`] from [`eval_program`].
+pub fn eval_with_random_inputs(
+    program: &TeProgram,
+    seed: u64,
+) -> Result<HashMap<TensorId, Tensor>, EvalError> {
+    let mut bindings = HashMap::new();
+    for (i, id) in program.free_tensors().into_iter().enumerate() {
+        let info = program.tensor(id);
+        bindings.insert(
+            id,
+            Tensor::random(info.shape.clone(), seed.wrapping_add(i as u64 * 7919)),
+        );
+    }
+    let mut all = eval_program(program, &bindings)?;
+    let outputs = program.outputs();
+    all.retain(|id, _| outputs.contains(id));
+    Ok(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use souffle_tensor::{DType, Shape};
+
+    #[test]
+    fn unbound_input_errors() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![2]), DType::F32);
+        let _ = builders::exp(&mut p, "e", a);
+        let err = eval_program(&p, &HashMap::new()).unwrap_err();
+        assert!(matches!(err, EvalError::Unbound { .. }));
+        assert!(err.to_string().contains("was not bound"));
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![2]), DType::F32);
+        let _ = builders::exp(&mut p, "e", a);
+        let mut b = HashMap::new();
+        b.insert(a, Tensor::zeros(Shape::new(vec![3])));
+        assert!(matches!(
+            eval_program(&p, &b).unwrap_err(),
+            EvalError::ShapeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn eval_with_random_inputs_returns_outputs_only() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4]), DType::F32);
+        let e = builders::exp(&mut p, "e", a);
+        let r = builders::relu(&mut p, "r", e);
+        p.mark_output(r);
+        let out = eval_with_random_inputs(&p, 1).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.contains_key(&r));
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![8]), DType::F32);
+        let e = builders::sigmoid(&mut p, "s", a);
+        p.mark_output(e);
+        let o1 = eval_with_random_inputs(&p, 99).unwrap();
+        let o2 = eval_with_random_inputs(&p, 99).unwrap();
+        assert_eq!(o1[&e], o2[&e]);
+    }
+
+    #[test]
+    fn chain_of_tes_threads_values() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4]), DType::F32);
+        let e = builders::scale(&mut p, "x2", a, 2.0);
+        let f = builders::add_scalar(&mut p, "p1", e, 1.0);
+        p.mark_output(f);
+        let mut b = HashMap::new();
+        b.insert(a, Tensor::from_vec(Shape::new(vec![4]), vec![0.0, 1.0, 2.0, 3.0]));
+        let out = eval_program(&p, &b).unwrap();
+        assert_eq!(out[&f].data(), &[1.0, 3.0, 5.0, 7.0]);
+    }
+}

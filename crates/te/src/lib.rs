@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+//! Tensor expressions (TEs): the intermediate representation of the Souffle
+//! reproduction.
+//!
+//! A [`TensorExpr`] describes how each element of an output tensor is
+//! computed from input tensors, exactly in the spirit of TVM's
+//! `te.compute` (§3 of the paper): iteration variables are implied by the
+//! output shape, reduction axes carry explicit extents, and the body is a
+//! pure scalar expression over quasi-affine accesses into the inputs.
+//!
+//! A [`TeProgram`] is an ordered list of TEs over a tensor table — the
+//! "TE program" the paper's global analysis, partitioning, and
+//! transformations operate on.
+//!
+//! The crate also provides:
+//!
+//! - [`builders`]: convenience constructors for the operator vocabulary the
+//!   paper supports (element-wise, broadcast, reductions including GEMM and
+//!   convolution, reshape/transpose-style memory operators),
+//! - [`interp`]: a reference interpreter used to verify that every compiler
+//!   transformation is semantics-preserving,
+//! - structural [`validate`](TeProgram::validate) checks (shape/rank/bounds
+//!   consistency) run by tests and by the pipeline entry points.
+//!
+//! # Example: the paper's working example, TE0/TE1 (Fig. 2)
+//!
+//! ```
+//! use souffle_te::{builders, TeProgram};
+//! use souffle_tensor::{DType, Shape, Tensor};
+//!
+//! let mut p = TeProgram::new();
+//! let i0 = p.add_input("I0", Shape::new(vec![64, 64]), DType::F16);
+//! let w0 = p.add_weight("W0", Shape::new(vec![64, 64]), DType::F16);
+//! let o0 = builders::matmul(&mut p, "TE0", i0, w0);
+//! let o1 = builders::sigmoid(&mut p, "TE1", o0);
+//! p.mark_output(o1);
+//! p.validate().unwrap();
+//!
+//! let out = souffle_te::interp::eval_program(
+//!     &p,
+//!     &[(i0, Tensor::random(Shape::new(vec![64, 64]), 1)),
+//!       (w0, Tensor::random(Shape::new(vec![64, 64]), 2))].into_iter().collect(),
+//! ).unwrap();
+//! assert_eq!(out[&o1].shape().dims(), &[64, 64]);
+//! ```
+
+pub mod builders;
+mod expr;
+pub mod grad;
+pub mod interp;
+mod program;
+pub mod source;
+mod te;
+
+pub use expr::{BinaryOp, CmpOp, Cond, ScalarExpr, UnaryOp};
+pub use program::{TeProgram, TensorId, TensorInfo, TensorKind, ValidateError};
+pub use te::{ReduceOp, TeId, TensorExpr};

@@ -1,0 +1,222 @@
+//! Pretty-printing TE programs in the paper's `te.compute` notation
+//! (§3, Fig. 2):
+//!
+//! ```text
+//! rk = te.reduce_axis((0, 64))
+//! TE0: O0 = te.compute((64, 64), lambda i, j: te.sum(I0[i, rk] * W0[rk, j], axis=[rk]))
+//! TE1: O1 = te.compute((64, 64), lambda i, j: te.sigmoid(O0[i, j]))
+//! ```
+
+use crate::expr::{BinaryOp, Cond, ScalarExpr, UnaryOp};
+use crate::program::TeProgram;
+use crate::te::ReduceOp;
+use souffle_affine::IndexExpr;
+
+const ITER_NAMES: [&str; 8] = ["i", "j", "k", "l", "m", "n", "o", "p"];
+
+fn var_name(v: usize, rank: usize) -> String {
+    if v < rank {
+        ITER_NAMES
+            .get(v)
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| format!("i{v}"))
+    } else if v == rank {
+        "rk".to_string()
+    } else {
+        format!("rk{}", v - rank)
+    }
+}
+
+fn index_src(e: &IndexExpr, rank: usize) -> String {
+    match e {
+        IndexExpr::Var(v) => var_name(*v, rank),
+        IndexExpr::Const(c) => c.to_string(),
+        IndexExpr::Add(a, b) => format!("{} + {}", index_src(a, rank), index_src(b, rank)),
+        IndexExpr::Sub(a, b) => format!("{} - {}", index_src(a, rank), index_src(b, rank)),
+        IndexExpr::Mul(a, k) => format!("{}*{}", k, paren(a, rank)),
+        IndexExpr::FloorDiv(a, k) => format!("{} // {}", paren(a, rank), k),
+        IndexExpr::Mod(a, k) => format!("{} % {}", paren(a, rank), k),
+    }
+}
+
+fn paren(e: &IndexExpr, rank: usize) -> String {
+    match e {
+        IndexExpr::Var(_) | IndexExpr::Const(_) => index_src(e, rank),
+        _ => format!("({})", index_src(e, rank)),
+    }
+}
+
+fn unary_src(op: UnaryOp) -> &'static str {
+    match op {
+        UnaryOp::Neg => "te.neg",
+        UnaryOp::Exp => "te.exp",
+        UnaryOp::Log => "te.log",
+        UnaryOp::Sqrt => "te.sqrt",
+        UnaryOp::Rsqrt => "te.rsqrt",
+        UnaryOp::Recip => "te.recip",
+        UnaryOp::Sigmoid => "te.sigmoid",
+        UnaryOp::Tanh => "te.tanh",
+        UnaryOp::Relu => "te.relu",
+        UnaryOp::Abs => "te.abs",
+        UnaryOp::Gelu => "te.gelu",
+        UnaryOp::Silu => "te.silu",
+        UnaryOp::Heaviside => "te.heaviside",
+        UnaryOp::Sign => "te.sign",
+    }
+}
+
+fn cond_src(c: &Cond, rank: usize) -> String {
+    match c {
+        Cond::Cmp(op, a, b) => format!("{} {} {}", index_src(a, rank), op, index_src(b, rank)),
+        Cond::And(a, b) => format!("({} and {})", cond_src(a, rank), cond_src(b, rank)),
+        Cond::Or(a, b) => format!("({} or {})", cond_src(a, rank), cond_src(b, rank)),
+        Cond::Not(a) => format!("not ({})", cond_src(a, rank)),
+    }
+}
+
+fn body_src(e: &ScalarExpr, names: &[String], rank: usize) -> String {
+    match e {
+        ScalarExpr::Const(c) => format!("{c}"),
+        ScalarExpr::IndexValue(ix) => format!("float({})", index_src(ix, rank)),
+        ScalarExpr::Input { operand, indices } => {
+            let idx: Vec<String> = indices.iter().map(|i| index_src(i, rank)).collect();
+            format!("{}[{}]", names[*operand], idx.join(", "))
+        }
+        ScalarExpr::Unary(op, a) => format!("{}({})", unary_src(*op), body_src(a, names, rank)),
+        ScalarExpr::Binary(op, a, b) => {
+            let (a, b) = (body_src(a, names, rank), body_src(b, names, rank));
+            match op {
+                BinaryOp::Add => format!("{a} + {b}"),
+                BinaryOp::Sub => format!("{a} - {b}"),
+                BinaryOp::Mul => format!("{a} * {b}"),
+                BinaryOp::Div => format!("{a} / {b}"),
+                BinaryOp::Max => format!("te.max({a}, {b})"),
+                BinaryOp::Min => format!("te.min({a}, {b})"),
+            }
+        }
+        ScalarExpr::Select {
+            cond,
+            on_true,
+            on_false,
+        } => format!(
+            "tir.if_then_else({}, {}, {})",
+            cond_src(cond, rank),
+            body_src(on_true, names, rank),
+            body_src(on_false, names, rank)
+        ),
+    }
+}
+
+/// Renders a whole program in `te.compute` notation.
+pub fn te_source(program: &TeProgram) -> String {
+    let mut out = String::new();
+    for (n, te) in program.tes().iter().enumerate() {
+        let shape = program.output_shape(crate::TeId(n));
+        let rank = shape.rank();
+        let out_name = sanitize(&program.tensor(te.output).name);
+        let operand_names: Vec<String> = te
+            .inputs
+            .iter()
+            .map(|&t| sanitize(&program.tensor(t).name))
+            .collect();
+        let lambda_vars: Vec<String> = (0..rank).map(|v| var_name(v, rank)).collect();
+        if !te.reduce.is_empty() {
+            let axes: Vec<String> = te
+                .reduce
+                .iter()
+                .enumerate()
+                .map(|(r, ext)| {
+                    format!(
+                        "{} = te.reduce_axis((0, {ext}))",
+                        var_name(rank + r, rank)
+                    )
+                })
+                .collect();
+            out.push_str(&format!("      {}\n", axes.join("; ")));
+        }
+        let body = body_src(&te.body, &operand_names, rank);
+        let body = match te.reduce_op {
+            Some(ReduceOp::Sum) => format!(
+                "te.sum({body}, axis=[{}])",
+                reduce_axis_list(rank, te.reduce.len())
+            ),
+            Some(ReduceOp::Max) => format!(
+                "te.max_reduce({body}, axis=[{}])",
+                reduce_axis_list(rank, te.reduce.len())
+            ),
+            Some(ReduceOp::Min) => format!(
+                "te.min_reduce({body}, axis=[{}])",
+                reduce_axis_list(rank, te.reduce.len())
+            ),
+            None => body,
+        };
+        out.push_str(&format!(
+            "TE{n}: {out_name} = te.compute({}, lambda {}: {body})\n",
+            shape,
+            lambda_vars.join(", ")
+        ));
+    }
+    out
+}
+
+fn reduce_axis_list(rank: usize, n: usize) -> String {
+    (0..n)
+        .map(|r| var_name(rank + r, rank))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use souffle_tensor::{DType, Shape};
+
+    #[test]
+    fn fig2_program_prints_in_te_notation() {
+        let mut p = TeProgram::new();
+        let i0 = p.add_input("I0", Shape::new(vec![64, 64]), DType::F16);
+        let w0 = p.add_weight("W0", Shape::new(vec![64, 64]), DType::F16);
+        let o0 = builders::matmul(&mut p, "O0", i0, w0);
+        let _o1 = builders::sigmoid(&mut p, "O1", o0);
+        let src = te_source(&p);
+        assert!(
+            src.contains("rk = te.reduce_axis((0, 64))"),
+            "{src}"
+        );
+        assert!(
+            src.contains("TE0: O0 = te.compute((64, 64), lambda i, j: te.sum(I0[i, rk] * W0[rk, j], axis=[rk]))"),
+            "{src}"
+        );
+        assert!(
+            src.contains("TE1: O1 = te.compute((64, 64), lambda i, j: te.sigmoid(O0[i, j]))"),
+            "{src}"
+        );
+    }
+
+    #[test]
+    fn select_prints_if_then_else() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![2, 2]), DType::F32);
+        let b = p.add_input("B", Shape::new(vec![3, 2]), DType::F32);
+        let _ = builders::concat(&mut p, "C", a, b, 0);
+        let src = te_source(&p);
+        assert!(src.contains("tir.if_then_else(i < 2"), "{src}");
+    }
+
+    #[test]
+    fn quasi_affine_prints_div_mod() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4, 6]), DType::F32);
+        let _ = builders::reshape(&mut p, "R", a, Shape::new(vec![2, 12]));
+        let src = te_source(&p);
+        assert!(src.contains("//"), "{src}");
+        assert!(src.contains('%'), "{src}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Logical element types.
+
+use std::fmt;
+
+/// Logical element type of a tensor.
+///
+/// Storage is always `f32` in this reproduction; the dtype drives the cost
+/// model: bytes-per-element for memory traffic and tensor-core eligibility
+/// for the compute pipelines (the paper runs GEMMs in FP16 on tensor cores
+/// and everything else in FP32, §7.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum DType {
+    /// IEEE 754 half precision (2 bytes). Eligible for tensor-core WMMA.
+    F16,
+    /// IEEE 754 single precision (4 bytes).
+    #[default]
+    F32,
+    /// 32-bit signed integer (4 bytes), used for index-like tensors.
+    I32,
+    /// Boolean stored as one byte, used for masks.
+    Bool,
+}
+
+impl DType {
+    /// Size of one element in bytes, as accounted by the memory model.
+    ///
+    /// ```
+    /// use souffle_tensor::DType;
+    /// assert_eq!(DType::F16.size_bytes(), 2);
+    /// assert_eq!(DType::F32.size_bytes(), 4);
+    /// ```
+    pub const fn size_bytes(self) -> u64 {
+        match self {
+            DType::F16 => 2,
+            DType::F32 | DType::I32 => 4,
+            DType::Bool => 1,
+        }
+    }
+
+    /// Whether GEMM-like reductions of this dtype may run on tensor cores.
+    pub const fn tensor_core_eligible(self) -> bool {
+        matches!(self, DType::F16)
+    }
+
+    /// Whether this is a floating-point type.
+    pub const fn is_float(self) -> bool {
+        matches!(self, DType::F16 | DType::F32)
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::F16 => "f16",
+            DType::F32 => "f32",
+            DType::I32 => "i32",
+            DType::Bool => "bool",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DType::F16.size_bytes(), 2);
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::I32.size_bytes(), 4);
+        assert_eq!(DType::Bool.size_bytes(), 1);
+    }
+
+    #[test]
+    fn tensor_core_eligibility() {
+        assert!(DType::F16.tensor_core_eligible());
+        assert!(!DType::F32.tensor_core_eligible());
+        assert!(!DType::I32.tensor_core_eligible());
+    }
+
+    #[test]
+    fn float_classification() {
+        assert!(DType::F16.is_float());
+        assert!(DType::F32.is_float());
+        assert!(!DType::I32.is_float());
+        assert!(!DType::Bool.is_float());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DType::F16.to_string(), "f16");
+        assert_eq!(DType::Bool.to_string(), "bool");
+    }
+
+    #[test]
+    fn default_is_f32() {
+        assert_eq!(DType::default(), DType::F32);
+    }
+}

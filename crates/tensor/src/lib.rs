@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! Dense tensor support for the Souffle reproduction.
+//!
+//! This crate provides the runtime data plane used by the reference
+//! interpreter in `souffle-te` and by the numeric regression tests: dense,
+//! row-major tensors of `f32` values tagged with a logical [`DType`].
+//!
+//! Half precision ([`DType::F16`]) is modelled logically: values are stored
+//! as `f32` but the dtype participates in the cost model (memory density,
+//! tensor-core eligibility). The paper's evaluation never depends on true
+//! fp16 rounding behaviour, only on its bandwidth/compute implications.
+//!
+//! # Example
+//!
+//! ```
+//! use souffle_tensor::{Shape, Tensor};
+//!
+//! let a = Tensor::from_fn(Shape::new(vec![2, 3]), |idx| (idx[0] * 3 + idx[1]) as f32);
+//! assert_eq!(a.at(&[1, 2]), 5.0);
+//! assert_eq!(a.shape().numel(), 6);
+//! ```
+
+mod dtype;
+mod shape;
+#[allow(clippy::module_inception)]
+mod tensor;
+
+pub use dtype::DType;
+pub use shape::{IndexIter, Shape};
+pub use tensor::Tensor;

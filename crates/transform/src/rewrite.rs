@@ -1,0 +1,218 @@
+//! Shared program-rewriting machinery for the transformations.
+
+use souffle_te::{ScalarExpr, TensorExpr, TensorId, TeProgram};
+use std::collections::{HashMap, HashSet};
+
+/// Statistics of a transformation run, used by the ablation study
+/// (Table 4) and by tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransformStats {
+    /// Number of producer-into-consumer inlinings performed.
+    pub vertical_fused: usize,
+    /// Number of horizontal groups merged.
+    pub horizontal_groups: usize,
+    /// TEs before the transformation.
+    pub tes_before: usize,
+    /// TEs after the transformation.
+    pub tes_after: usize,
+}
+
+/// Rebuilds a program from an edited TE list, keeping the original tensor
+/// table (ids stay stable) and re-sorting TEs topologically (stable in the
+/// original order). New tensors introduced by a rewrite must already be in
+/// `extra_tensors`-extended table of `base`.
+///
+/// # Panics
+///
+/// Panics if the TE list contains a dependence cycle.
+pub fn rebuild_program(base: &TeProgram, tes: Vec<TensorExpr>) -> TeProgram {
+    let mut out = TeProgram::new();
+    for t in base.tensors() {
+        out.add_tensor(&t.name, t.shape.clone(), t.dtype, t.kind);
+    }
+    for te in toposort(base, tes) {
+        out.push_te(te);
+    }
+    out
+}
+
+/// Stable topological sort of a TE list by tensor dependences.
+fn toposort(base: &TeProgram, tes: Vec<TensorExpr>) -> Vec<TensorExpr> {
+    let producer: HashMap<TensorId, usize> = tes
+        .iter()
+        .enumerate()
+        .map(|(i, te)| (te.output, i))
+        .collect();
+    let n = tes.len();
+    let mut indegree = vec![0usize; n];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, te) in tes.iter().enumerate() {
+        let mut preds = HashSet::new();
+        for input in &te.inputs {
+            if let Some(&p) = producer.get(input) {
+                if p != i {
+                    preds.insert(p);
+                }
+            }
+        }
+        indegree[i] = preds.len();
+        for p in preds {
+            succs[p].push(i);
+        }
+    }
+    // Min-heap on original index for stability; a sorted Vec suffices at
+    // these sizes.
+    let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    ready.sort_unstable();
+    let mut order = Vec::with_capacity(n);
+    while let Some(&i) = ready.first() {
+        ready.remove(0);
+        order.push(i);
+        let mut newly = Vec::new();
+        for &s in &succs[i] {
+            indegree[s] -= 1;
+            if indegree[s] == 0 {
+                newly.push(s);
+            }
+        }
+        for s in newly {
+            let pos = ready.partition_point(|&x| x < s);
+            ready.insert(pos, s);
+        }
+    }
+    assert_eq!(order.len(), n, "TE dependence cycle after rewrite");
+    let mut slots: Vec<Option<TensorExpr>> = tes.into_iter().map(Some).collect();
+    let _ = base;
+    order
+        .into_iter()
+        .map(|i| slots[i].take().expect("each TE emitted once"))
+        .collect()
+}
+
+/// Drops input slots a TE body no longer reads and remaps the remaining
+/// operand indices to be dense.
+pub fn compact_inputs(te: &mut TensorExpr) {
+    let used: HashSet<usize> = te.body.accesses().into_iter().map(|(o, _)| o).collect();
+    if used.len() == te.inputs.len() {
+        return;
+    }
+    let mut remap: HashMap<usize, usize> = HashMap::new();
+    let mut new_inputs = Vec::new();
+    for (old, &tensor) in te.inputs.iter().enumerate() {
+        if used.contains(&old) {
+            remap.insert(old, new_inputs.len());
+            new_inputs.push(tensor);
+        }
+    }
+    te.body = te.body.remap_operands(&|o| *remap.get(&o).unwrap_or(&o));
+    te.inputs = new_inputs;
+}
+
+/// Deduplicates repeated tensors in a TE's input list, remapping body
+/// operand slots to the first occurrence.
+pub fn dedup_inputs(te: &mut TensorExpr) {
+    let mut first: HashMap<TensorId, usize> = HashMap::new();
+    let mut remap: HashMap<usize, usize> = HashMap::new();
+    let mut new_inputs = Vec::new();
+    for (old, &tensor) in te.inputs.iter().enumerate() {
+        match first.get(&tensor) {
+            Some(&slot) => {
+                remap.insert(old, slot);
+            }
+            None => {
+                let slot = new_inputs.len();
+                first.insert(tensor, slot);
+                remap.insert(old, slot);
+                new_inputs.push(tensor);
+            }
+        }
+    }
+    te.body = te.body.remap_operands(&|o| remap[&o]);
+    te.inputs = new_inputs;
+}
+
+/// Whether a TE's body is a pure view of one input (no arithmetic): a
+/// memory operator in the paper's vocabulary (reshape, transpose, slice).
+pub fn is_pure_view(te: &TensorExpr) -> bool {
+    !te.is_reduction() && matches!(te.body, ScalarExpr::Input { .. })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use souffle_affine::IndexExpr;
+    use souffle_te::{builders, BinaryOp};
+    use souffle_tensor::{DType, Shape};
+
+    #[test]
+    fn rebuild_preserves_program() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4]), DType::F32);
+        let b = builders::exp(&mut p, "e", a);
+        let _ = builders::relu(&mut p, "r", b);
+        let rebuilt = rebuild_program(&p, p.tes().to_vec());
+        assert_eq!(rebuilt.num_tes(), 2);
+        assert!(rebuilt.validate().is_ok());
+    }
+
+    #[test]
+    fn toposort_fixes_out_of_order_tes() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4]), DType::F32);
+        let b = builders::exp(&mut p, "e", a);
+        let _ = builders::relu(&mut p, "r", b);
+        // Reverse the TE order; rebuild must restore topological order.
+        let mut tes = p.tes().to_vec();
+        tes.reverse();
+        let rebuilt = rebuild_program(&p, tes);
+        assert!(rebuilt.validate().is_ok());
+        assert_eq!(rebuilt.te(souffle_te::TeId(0)).name, "e");
+    }
+
+    #[test]
+    fn compact_inputs_drops_unused() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4]), DType::F32);
+        let b = p.add_input("B", Shape::new(vec![4]), DType::F32);
+        let _ = builders::add(&mut p, "s", a, b);
+        let mut te = p.te(souffle_te::TeId(0)).clone();
+        // Rewrite body to only read operand 1.
+        te.body = ScalarExpr::input(1, vec![IndexExpr::var(0)]);
+        compact_inputs(&mut te);
+        assert_eq!(te.inputs, vec![b]);
+        assert_eq!(te.body.accesses()[0].0, 0);
+    }
+
+    #[test]
+    fn dedup_inputs_merges_repeats() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4]), DType::F32);
+        let mut te = TensorExpr {
+            name: "sq".into(),
+            output: TensorId(99),
+            inputs: vec![a, a],
+            reduce: vec![],
+            reduce_op: None,
+            body: ScalarExpr::binary(
+                BinaryOp::Mul,
+                ScalarExpr::input(0, vec![IndexExpr::var(0)]),
+                ScalarExpr::input(1, vec![IndexExpr::var(0)]),
+            ),
+        };
+        dedup_inputs(&mut te);
+        assert_eq!(te.inputs, vec![a]);
+        for (o, _) in te.body.accesses() {
+            assert_eq!(o, 0);
+        }
+    }
+
+    #[test]
+    fn pure_view_detection() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4, 4]), DType::F32);
+        let t = builders::transpose(&mut p, "t", a, &[1, 0]);
+        let _ = builders::exp(&mut p, "e", t);
+        assert!(is_pure_view(p.te(souffle_te::TeId(0))));
+        assert!(!is_pure_view(p.te(souffle_te::TeId(1))));
+    }
+}

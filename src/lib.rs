@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+//! `souffle-suite`: the workspace façade hosting the runnable examples
+//! (`examples/`) and cross-crate integration tests (`tests/`) of the
+//! Souffle (ASPLOS 2024) reproduction.
+//!
+//! The library surface simply re-exports the component crates; depend on
+//! [`souffle`] directly for the compiler API.
+
+pub use souffle;
+pub use souffle_affine as affine;
+pub use souffle_analysis as analysis;
+pub use souffle_baselines as baselines;
+pub use souffle_frontend as frontend;
+pub use souffle_gpusim as gpusim;
+pub use souffle_kernel as kernel;
+pub use souffle_sched as sched;
+pub use souffle_te as te;
+pub use souffle_tensor as tensor;
+pub use souffle_transform as transform;

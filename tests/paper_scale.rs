@@ -1,0 +1,150 @@
+//! Integration tests at the paper's full model configurations (Table 2).
+//! These run the complete compile pipeline symbolically (no interpreter),
+//! pinning the structural facts the evaluation section relies on.
+
+use souffle::{Souffle, SouffleOptions};
+use souffle_analysis::AnalysisResult;
+use souffle_frontend::{build_model, Model, ModelConfig};
+use souffle_sched::GpuSpec;
+
+#[test]
+fn bert_base_weights_match_known_parameter_count() {
+    let p = build_model(Model::Bert, ModelConfig::Paper);
+    // BERT-base encoder stack: ~85M parameters (without embeddings),
+    // FP16 => ~170 MB.
+    let mb = p.weight_bytes() as f64 / 1e6;
+    assert!((120.0..250.0).contains(&mb), "BERT weights: {mb} MB");
+}
+
+#[test]
+fn bert_qkv_spatial_reuse_is_discovered() {
+    let p = build_model(Model::Bert, ModelConfig::Paper);
+    let analysis = AnalysisResult::analyze(&p, &GpuSpec::a100());
+    // Every layer's Q/K/V share the layer input (§5.1's motivating
+    // pattern). The same tensor also feeds the residual add, which depends
+    // on the GEMMs, so the sharing set is classified temporal — what
+    // matters is that all 12 layer inputs are discovered with the three
+    // QKV GEMMs among their consumers.
+    let qkv_groups = analysis
+        .reuse
+        .spatial
+        .iter()
+        .chain(analysis.reuse.temporal.iter())
+        .filter(|(_, consumers)| {
+            let gemms = consumers
+                .iter()
+                .filter(|&&te| {
+                    p.te(te).is_reduction()
+                        && (p.te(te).name.ends_with(".q")
+                            || p.te(te).name.ends_with(".k")
+                            || p.te(te).name.ends_with(".v"))
+                })
+                .count();
+            gemms == 3
+        })
+        .count();
+    assert!(qkv_groups >= 12, "found {qkv_groups} QKV-style groups");
+}
+
+#[test]
+fn lstm_weights_have_temporal_reuse_across_all_steps() {
+    let p = build_model(Model::Lstm, ModelConfig::Paper);
+    let analysis = AnalysisResult::analyze(&p, &GpuSpec::a100());
+    // Each cell's W and U is consumed by 100 GEMVs (one per step). The
+    // U-GEMVs form a dependence chain through the hidden state (temporal
+    // reuse); the W-GEMVs of one cell are pairwise independent — they
+    // descend from the *previous* cell's chain — so W reuse is spatial.
+    let u_temporal = analysis
+        .reuse
+        .temporal
+        .iter()
+        .filter(|(t, consumers)| p.tensor(*t).name.contains(".U") && consumers.len() == 100)
+        .count();
+    let w_spatial = analysis
+        .reuse
+        .spatial
+        .iter()
+        .filter(|(t, consumers)| p.tensor(*t).name.contains(".W") && consumers.len() == 100)
+        .count();
+    assert_eq!(u_temporal, 10, "each cell's U reused across all steps");
+    assert_eq!(w_spatial, 10, "each cell's W shared by independent GEMVs");
+}
+
+#[test]
+fn bert_compiles_to_about_two_kernels_per_layer() {
+    // §8.3: "TensorRT maps a BERT layer to 10 kernels, while Souffle can
+    // partition one layer into two kernels"; Table 5 reports 24 kernels
+    // for 12 layers.
+    let p = build_model(Model::Bert, ModelConfig::Paper);
+    let (compiled, _) = Souffle::new(SouffleOptions::full()).run(&p);
+    let per_layer = compiled.num_kernels() as f64 / 12.0;
+    assert!(
+        (1.0..=4.0).contains(&per_layer),
+        "{} kernels total ({per_layer:.1}/layer)",
+        compiled.num_kernels()
+    );
+}
+
+#[test]
+fn lstm_compiles_to_a_single_kernel() {
+    // Table 5: Souffle maps the whole LSTM to exactly 1 kernel.
+    let p = build_model(Model::Lstm, ModelConfig::Paper);
+    let (compiled, profile) = Souffle::new(SouffleOptions::full()).run(&p);
+    assert_eq!(compiled.num_kernels(), 1);
+    assert!(compiled.kernels[0].uses_grid_sync());
+    // And the weight working set is read roughly once, not once per step:
+    // total traffic far below 100x the 10.5 MB of weights.
+    let weights_mb = p.weight_bytes() as f64 / 1e6;
+    let traffic_mb = profile.global_transfer_bytes() as f64 / 1e6;
+    assert!(
+        traffic_mb < weights_mb * 5.0,
+        "traffic {traffic_mb:.1} MB vs weights {weights_mb:.1} MB"
+    );
+}
+
+#[test]
+fn mmoe_compiles_to_a_single_kernel() {
+    let p = build_model(Model::Mmoe, ModelConfig::Paper);
+    let (compiled, _) = Souffle::new(SouffleOptions::full()).run(&p);
+    assert_eq!(compiled.num_kernels(), 1);
+}
+
+#[test]
+fn every_paper_model_compiles_and_transform_shrinks_it() {
+    for model in [
+        Model::Bert,
+        Model::ResNext,
+        Model::EfficientNet,
+        Model::SwinTransformer,
+        Model::Mmoe,
+    ] {
+        let p = build_model(model, ModelConfig::Paper);
+        let compiled = Souffle::new(SouffleOptions::full()).compile(&p);
+        assert!(
+            compiled.stats.transform.tes_after < compiled.stats.transform.tes_before,
+            "{model}: {} -> {}",
+            compiled.stats.transform.tes_before,
+            compiled.stats.transform.tes_after
+        );
+        assert!(compiled.num_kernels() < p.num_tes() / 2, "{model}");
+        compiled.program.validate().expect("transformed validates");
+    }
+}
+
+#[test]
+fn swin_window_arithmetic_survives_transformation() {
+    // Swin's window partition/merge are quasi-affine views; after
+    // transformation they must be folded into compute TEs (no pure-view
+    // TEs left except those feeding program outputs).
+    let p = build_model(Model::SwinTransformer, ModelConfig::Paper);
+    let compiled = Souffle::new(SouffleOptions::full()).compile(&p);
+    let views_left = compiled
+        .program
+        .tes()
+        .iter()
+        .filter(|te| {
+            !te.is_reduction() && matches!(te.body, souffle_te::ScalarExpr::Input { .. })
+        })
+        .count();
+    assert_eq!(views_left, 0, "pure memory operators must be eliminated");
+}

@@ -1,0 +1,108 @@
+//! Property-based gradient checking for the training extension: random
+//! differentiable programs, analytic gradients vs. central finite
+//! differences at random coordinates.
+
+use proptest::prelude::*;
+use souffle_te::{builders, grad, ReduceOp, TensorId, TeProgram, UnaryOp};
+use souffle_tensor::{DType, Shape, Tensor};
+use std::collections::HashMap;
+
+/// A random differentiable chain: matmul + bias + activations + ew ops,
+/// closed with a sum-reduction loss.
+fn arb_net() -> impl Strategy<Value = (TeProgram, TensorId, TensorId)> {
+    (
+        proptest::collection::vec(0u8..6, 0..5),
+        2i64..4,
+        2i64..4,
+        2i64..4,
+    )
+        .prop_map(|(ops, m, k, n)| {
+            let mut p = TeProgram::new();
+            let x = p.add_input("x", Shape::new(vec![m, k]), DType::F32);
+            let w = p.add_input("w", Shape::new(vec![k, n]), DType::F32);
+            let b = p.add_input("b", Shape::new(vec![n]), DType::F32);
+            let mut cur = builders::matmul(&mut p, "mm", x, w);
+            cur = builders::bias_add(&mut p, "bias", cur, b);
+            for (i, op) in ops.iter().enumerate() {
+                let name = format!("op{i}");
+                cur = match op {
+                    0 => builders::unary(&mut p, &name, UnaryOp::Tanh, cur),
+                    1 => builders::unary(&mut p, &name, UnaryOp::Sigmoid, cur),
+                    2 => builders::scale(&mut p, &name, cur, 0.5),
+                    3 => builders::add_scalar(&mut p, &name, cur, 0.25),
+                    4 => builders::mul(&mut p, &name, cur, cur),
+                    _ => builders::unary(&mut p, &name, UnaryOp::Exp, cur),
+                };
+            }
+            let rows = builders::reduce_last(&mut p, "rows", ReduceOp::Sum, cur);
+            let loss = builders::reduce_last(&mut p, "loss", ReduceOp::Sum, rows);
+            p.mark_output(loss);
+            (p, w, loss)
+        })
+}
+
+fn bindings(p: &TeProgram, seed: u64) -> HashMap<TensorId, Tensor> {
+    p.free_tensors()
+        .into_iter()
+        .enumerate()
+        .map(|(i, id)| {
+            (
+                id,
+                // Small magnitudes keep exp/tanh chains numerically tame.
+                Tensor::random(p.tensor(id).shape.clone(), seed + 31 * i as u64).map(|v| v * 0.3),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn analytic_gradient_matches_finite_differences(
+        (p, w, loss) in arb_net(),
+        seed in 0u64..500,
+        coord in 0usize..100,
+    ) {
+        let g = grad::backward(&p, loss, &[w]).expect("differentiable by construction");
+        prop_assert!(g.program.validate().is_ok());
+        let binds = bindings(&p, seed);
+        let fwd = souffle_te::interp::eval_program(&p, &binds).unwrap();
+
+        let mut bwd_binds = HashMap::new();
+        for (&fid, &sid) in &g.saved {
+            let v = binds.get(&fid).cloned().unwrap_or_else(|| fwd[&fid].clone());
+            bwd_binds.insert(sid, v);
+        }
+        let grads = souffle_te::interp::eval_program(&g.program, &bwd_binds).unwrap();
+        let analytic_t = &grads[&g.grads[&w]];
+
+        let flat = coord % binds[&w].shape().numel() as usize;
+        let eps = 5e-3f32;
+        let probe = |delta: f32| {
+            let mut b = binds.clone();
+            let mut t = b[&w].clone();
+            t.data_mut()[flat] += delta;
+            b.insert(w, t);
+            souffle_te::interp::eval_program(&p, &b).unwrap()[&loss].data()[0]
+        };
+        let numeric = (probe(eps) - probe(-eps)) / (2.0 * eps);
+        let analytic = analytic_t.data()[flat];
+        // Mixed tolerance: second derivatives of exp chains can be large.
+        prop_assert!(
+            (analytic - numeric).abs() <= 5e-2 + 5e-2 * numeric.abs().max(analytic.abs()),
+            "grad[{flat}]: analytic {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn backward_program_is_itself_compilable(
+        (p, w, loss) in arb_net(),
+    ) {
+        use souffle::{Souffle, SouffleOptions};
+        let g = grad::backward(&p, loss, &[w]).unwrap();
+        let compiled = Souffle::new(SouffleOptions::full()).compile(&g.program);
+        prop_assert!(compiled.num_kernels() >= 1);
+        prop_assert!(compiled.program.validate().is_ok());
+    }
+}
