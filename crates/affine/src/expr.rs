@@ -106,14 +106,12 @@ impl IndexExpr {
         let out = match self {
             IndexExpr::Var(i) => subs[*i].clone(),
             IndexExpr::Const(c) => IndexExpr::Const(*c),
-            IndexExpr::Add(a, b) => IndexExpr::Add(
-                Box::new(a.substitute(subs)),
-                Box::new(b.substitute(subs)),
-            ),
-            IndexExpr::Sub(a, b) => IndexExpr::Sub(
-                Box::new(a.substitute(subs)),
-                Box::new(b.substitute(subs)),
-            ),
+            IndexExpr::Add(a, b) => {
+                IndexExpr::Add(Box::new(a.substitute(subs)), Box::new(b.substitute(subs)))
+            }
+            IndexExpr::Sub(a, b) => {
+                IndexExpr::Sub(Box::new(a.substitute(subs)), Box::new(b.substitute(subs)))
+            }
             IndexExpr::Mul(a, k) => IndexExpr::Mul(Box::new(a.substitute(subs)), *k),
             IndexExpr::FloorDiv(a, k) => IndexExpr::FloorDiv(Box::new(a.substitute(subs)), *k),
             IndexExpr::Mod(a, k) => IndexExpr::Mod(Box::new(a.substitute(subs)), *k),
@@ -366,7 +364,7 @@ impl fmt::Display for IndexExpr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use souffle_testkit::{forall, tk_assert_eq, Config, Rng, Shrink};
 
     #[test]
     fn eval_basic() {
@@ -397,7 +395,10 @@ mod tests {
     #[test]
     fn divisible_div_mod_reduce() {
         // (4*v0 + 8) / 4 == v0 + 2
-        let e = IndexExpr::var(0).mul(4).add(IndexExpr::constant(8)).floor_div(4);
+        let e = IndexExpr::var(0)
+            .mul(4)
+            .add(IndexExpr::constant(8))
+            .floor_div(4);
         assert_eq!(e, IndexExpr::var(0).add(IndexExpr::constant(2)));
         // (4*v0) % 4 == 0
         let m = IndexExpr::var(0).mul(4).modulo(4);
@@ -423,7 +424,10 @@ mod tests {
 
     #[test]
     fn as_linear_extracts_coefficients() {
-        let e = IndexExpr::var(1).mul(3).add(IndexExpr::var(0)).sub(IndexExpr::constant(2));
+        let e = IndexExpr::var(1)
+            .mul(3)
+            .add(IndexExpr::var(0))
+            .sub(IndexExpr::constant(2));
         let (coeffs, c) = e.as_linear(2).unwrap();
         assert_eq!(coeffs, vec![1, 3]);
         assert_eq!(c, -2);
@@ -450,52 +454,105 @@ mod tests {
         IndexExpr::var(0).floor_div(0);
     }
 
-    fn arb_expr() -> impl Strategy<Value = IndexExpr> {
-        let leaf = prop_oneof![
-            (0usize..3).prop_map(IndexExpr::Var),
-            (-8i64..8).prop_map(IndexExpr::Const),
-        ];
-        leaf.prop_recursive(3, 24, 2, |inner| {
-            prop_oneof![
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| IndexExpr::Add(Box::new(a), Box::new(b))),
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| IndexExpr::Sub(Box::new(a), Box::new(b))),
-                (inner.clone(), -4i64..4).prop_map(|(a, k)| IndexExpr::Mul(Box::new(a), k)),
-                (inner.clone(), 1i64..5)
-                    .prop_map(|(a, k)| IndexExpr::FloorDiv(Box::new(a), k)),
-                (inner, 1i64..5).prop_map(|(a, k)| IndexExpr::Mod(Box::new(a), k)),
-            ]
-        })
+    /// Shrinking descends into subexpressions, so counterexamples end up
+    /// as the smallest tree that still exhibits the failure.
+    impl Shrink for IndexExpr {
+        fn shrink_candidates(&self) -> Vec<Self> {
+            match self {
+                IndexExpr::Const(0) => Vec::new(),
+                IndexExpr::Const(c) => c
+                    .shrink_candidates()
+                    .into_iter()
+                    .map(IndexExpr::Const)
+                    .collect(),
+                IndexExpr::Var(_) => vec![IndexExpr::Const(0)],
+                IndexExpr::Add(a, b) | IndexExpr::Sub(a, b) => {
+                    vec![(**a).clone(), (**b).clone()]
+                }
+                IndexExpr::Mul(a, _) | IndexExpr::FloorDiv(a, _) | IndexExpr::Mod(a, _) => {
+                    vec![(**a).clone()]
+                }
+            }
+        }
     }
 
-    proptest! {
-        #[test]
-        fn simplify_preserves_semantics(e in arb_expr(), v0 in -9i64..9, v1 in -9i64..9, v2 in -9i64..9) {
-            let vars = [v0, v1, v2];
-            prop_assert_eq!(e.simplified().eval(&vars), e.eval(&vars));
+    /// Random expression tree over `v0..v2`, depth-bounded, covering the
+    /// full quasi-affine grammar (including div/mod).
+    fn gen_expr(rng: &mut Rng, depth: usize) -> IndexExpr {
+        if depth == 0 || rng.chance(0.3) {
+            return if rng.chance(0.5) {
+                IndexExpr::Var(rng.usize_in(0..3))
+            } else {
+                IndexExpr::Const(rng.i64_in(-8..8))
+            };
         }
+        match rng.below(5) {
+            0 => IndexExpr::Add(
+                Box::new(gen_expr(rng, depth - 1)),
+                Box::new(gen_expr(rng, depth - 1)),
+            ),
+            1 => IndexExpr::Sub(
+                Box::new(gen_expr(rng, depth - 1)),
+                Box::new(gen_expr(rng, depth - 1)),
+            ),
+            2 => IndexExpr::Mul(Box::new(gen_expr(rng, depth - 1)), rng.i64_in(-4..4)),
+            3 => IndexExpr::FloorDiv(Box::new(gen_expr(rng, depth - 1)), rng.i64_in(1..5)),
+            _ => IndexExpr::Mod(Box::new(gen_expr(rng, depth - 1)), rng.i64_in(1..5)),
+        }
+    }
 
-        #[test]
-        fn substitution_is_composition(e in arb_expr(), v in -9i64..9) {
+    forall!(
+        simplify_preserves_semantics,
+        Config::with_cases(256),
+        |rng| (
+            gen_expr(rng, 3),
+            rng.i64_in(-9..9),
+            rng.i64_in(-9..9),
+            rng.i64_in(-9..9),
+        ),
+        |(e, v0, v1, v2)| {
+            let vars = [*v0, *v1, *v2];
+            tk_assert_eq!(e.simplified().eval(&vars), e.eval(&vars), "expr {e}");
+            Ok(())
+        }
+    );
+
+    forall!(
+        substitution_is_composition,
+        Config::with_cases(256),
+        |rng| (gen_expr(rng, 3), rng.i64_in(-9..9)),
+        |(e, v)| {
             // substituting constants == evaluating
-            let subs = [IndexExpr::constant(v), IndexExpr::constant(v + 1), IndexExpr::constant(v - 1)];
+            let subs = [
+                IndexExpr::constant(*v),
+                IndexExpr::constant(*v + 1),
+                IndexExpr::constant(*v - 1),
+            ];
             let sub = e.substitute(&subs);
-            prop_assert_eq!(sub.eval(&[]), e.eval(&[v, v + 1, v - 1]));
+            tk_assert_eq!(sub.eval(&[]), e.eval(&[*v, *v + 1, *v - 1]), "expr {e}");
+            Ok(())
         }
+    );
 
-        #[test]
-        fn as_linear_agrees_with_eval(
-            coeffs in proptest::collection::vec(-5i64..5, 3),
-            c in -10i64..10,
-            vars in proptest::collection::vec(-9i64..9, 3),
-        ) {
-            let e = IndexExpr::from_linear(&coeffs, c);
+    forall!(
+        as_linear_agrees_with_eval,
+        Config::with_cases(128),
+        |rng| (
+            rng.vec(3..4, |r| r.i64_in(-5..5)),
+            rng.i64_in(-10..10),
+            rng.vec(3..4, |r| r.i64_in(-9..9)),
+        ),
+        |(coeffs, c, vars)| {
+            if coeffs.len() != 3 || vars.len() != 3 {
+                return Ok(()); // shrunk-out-of-domain candidate
+            }
+            let e = IndexExpr::from_linear(coeffs, *c);
             let (got_coeffs, got_c) = e.as_linear(3).unwrap();
-            prop_assert_eq!(&got_coeffs, &coeffs);
-            prop_assert_eq!(got_c, c);
-            let expected: i64 = coeffs.iter().zip(&vars).map(|(a, b)| a * b).sum::<i64>() + c;
-            prop_assert_eq!(e.eval(&vars), expected);
+            tk_assert_eq!(&got_coeffs, coeffs);
+            tk_assert_eq!(got_c, *c);
+            let expected: i64 = coeffs.iter().zip(vars).map(|(a, b)| a * b).sum::<i64>() + c;
+            tk_assert_eq!(e.eval(vars), expected);
+            Ok(())
         }
-    }
+    );
 }

@@ -247,9 +247,7 @@ impl AffineMatrix {
             .m
             .iter()
             .zip(&self.c)
-            .map(|(row, &cs)| {
-                row.iter().zip(&inner.c).map(|(a, b)| a * b).sum::<i64>() + cs
-            })
+            .map(|(row, &cs)| row.iter().zip(&inner.c).map(|(a, b)| a * b).sum::<i64>() + cs)
             .collect();
         AffineMatrix { m, c }
     }
@@ -277,7 +275,7 @@ impl fmt::Display for AffineMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use souffle_testkit::{forall, tk_assert, tk_assert_eq, Config, Rng, Shrink};
 
     #[test]
     fn identity_map_is_identity() {
@@ -328,54 +326,188 @@ mod tests {
         assert_eq!(t.to_string(), "(v0, v1) -> (v1, v0)");
     }
 
-    fn arb_matrix(n_out: usize, n_in: usize) -> impl Strategy<Value = AffineMatrix> {
-        (
-            proptest::collection::vec(proptest::collection::vec(-4i64..4, n_in), n_out),
-            proptest::collection::vec(-4i64..4, n_out),
-        )
-            .prop_map(|(m, c)| AffineMatrix::new(m, c))
+    /// Shrinks by zeroing one non-zero coefficient or offset at a time,
+    /// preserving the matrix's dimensions (so rank invariants never break
+    /// mid-shrink).
+    impl Shrink for AffineMatrix {
+        fn shrink_candidates(&self) -> Vec<Self> {
+            let mut out = Vec::new();
+            for (i, row) in self.m.iter().enumerate() {
+                for (j, &v) in row.iter().enumerate() {
+                    if v != 0 {
+                        let mut s = self.clone();
+                        s.m[i][j] = 0;
+                        out.push(s);
+                    }
+                }
+            }
+            for (i, &v) in self.c.iter().enumerate() {
+                if v != 0 {
+                    let mut s = self.clone();
+                    s.c[i] = 0;
+                    out.push(s);
+                }
+            }
+            out
+        }
     }
 
-    proptest! {
-        #[test]
-        fn matrix_compose_matches_pointwise(
-            a in arb_matrix(2, 2),
-            b in arb_matrix(2, 2),
-            x in -5i64..5,
-            y in -5i64..5,
-        ) {
-            let composed = a.compose(&b);
-            prop_assert_eq!(composed.eval(&[x, y]), a.eval(&b.eval(&[x, y])));
-        }
+    fn gen_matrix(rng: &mut Rng, n_out: usize, n_in: usize) -> AffineMatrix {
+        let m = (0..n_out)
+            .map(|_| (0..n_in).map(|_| rng.i64_in(-4..4)).collect())
+            .collect();
+        let c = (0..n_out).map(|_| rng.i64_in(-4..4)).collect();
+        AffineMatrix::new(m, c)
+    }
 
-        #[test]
-        fn index_map_compose_matches_matrix_compose(
-            a in arb_matrix(2, 2),
-            b in arb_matrix(2, 2),
-            x in -5i64..5,
-            y in -5i64..5,
-        ) {
+    forall!(
+        matrix_compose_matches_pointwise,
+        Config::with_cases(128),
+        |rng| (
+            gen_matrix(rng, 2, 2),
+            gen_matrix(rng, 2, 2),
+            rng.i64_in(-5..5),
+            rng.i64_in(-5..5),
+        ),
+        |(a, b, x, y)| {
+            let composed = a.compose(b);
+            tk_assert_eq!(composed.eval(&[*x, *y]), a.eval(&b.eval(&[*x, *y])));
+            Ok(())
+        }
+    );
+
+    forall!(
+        index_map_compose_matches_matrix_compose,
+        Config::with_cases(128),
+        |rng| (
+            gen_matrix(rng, 2, 2),
+            gen_matrix(rng, 2, 2),
+            rng.i64_in(-5..5),
+            rng.i64_in(-5..5),
+        ),
+        |(a, b, x, y)| {
             let im = a.to_index_map().compose(&b.to_index_map());
-            prop_assert_eq!(im.eval(&[x, y]), a.compose(&b).eval(&[x, y]));
+            tk_assert_eq!(im.eval(&[*x, *y]), a.compose(b).eval(&[*x, *y]));
+            Ok(())
         }
+    );
 
-        #[test]
-        fn identity_is_neutral(a in arb_matrix(3, 3), p in proptest::collection::vec(-5i64..5, 3)) {
+    forall!(
+        identity_is_neutral,
+        Config::with_cases(128),
+        |rng| (gen_matrix(rng, 3, 3), rng.vec(3..4, |r| r.i64_in(-5..5))),
+        |(a, p)| {
+            if p.len() != 3 {
+                return Ok(()); // shrunk-out-of-domain candidate
+            }
             let id = AffineMatrix::identity(3);
-            prop_assert_eq!(a.compose(&id).eval(&p), a.eval(&p));
-            prop_assert_eq!(id.compose(&a).eval(&p), a.eval(&p));
+            tk_assert_eq!(a.compose(&id).eval(p), a.eval(p));
+            tk_assert_eq!(id.compose(a).eval(p), a.eval(p));
+            Ok(())
         }
+    );
 
-        #[test]
-        fn compose_is_associative(
-            a in arb_matrix(2, 2),
-            b in arb_matrix(2, 2),
-            c in arb_matrix(2, 2),
-            p in proptest::collection::vec(-4i64..4, 2),
-        ) {
-            let left = a.compose(&b).compose(&c);
-            let right = a.compose(&b.compose(&c));
-            prop_assert_eq!(left.eval(&p), right.eval(&p));
+    forall!(
+        compose_is_associative,
+        Config::with_cases(128),
+        |rng| (
+            gen_matrix(rng, 2, 2),
+            gen_matrix(rng, 2, 2),
+            gen_matrix(rng, 2, 2),
+            rng.vec(2..3, |r| r.i64_in(-4..4)),
+        ),
+        |(a, b, c, p)| {
+            if p.len() != 2 {
+                return Ok(());
+            }
+            let left = a.compose(b).compose(c);
+            let right = a.compose(&b.compose(c));
+            tk_assert_eq!(left.eval(p), right.eval(p));
+            Ok(())
+        }
+    );
+
+    /// Random quasi-affine inner components for the general (non-matrix)
+    /// composition law: slice-like `k·v + c`, reshape-like `v / k` and
+    /// `v % k`, and plain permutation reads.
+    fn gen_quasi_component(rng: &mut Rng, n_in: usize) -> IndexExpr {
+        let v = IndexExpr::Var(rng.usize_in(0..n_in));
+        match rng.below(4) {
+            0 => v,
+            1 => IndexExpr::Mul(Box::new(v), rng.i64_in(1..4)),
+            2 => IndexExpr::FloorDiv(Box::new(v), rng.i64_in(1..4)),
+            _ => IndexExpr::Mod(Box::new(v), rng.i64_in(1..4)),
         }
     }
+
+    // Satellite law: composing then applying equals applying then
+    // applying, for general quasi-affine maps (matrix composition cannot
+    // even express the div/mod cases).
+    forall!(
+        compose_then_apply_equals_apply_then_apply,
+        Config::with_cases(256),
+        |rng| {
+            let outer: Vec<IndexExpr> = (0..2).map(|_| gen_quasi_component(rng, 2)).collect();
+            let inner: Vec<IndexExpr> = (0..2).map(|_| gen_quasi_component(rng, 2)).collect();
+            (outer, inner, rng.i64_in(0..9), rng.i64_in(0..9))
+        },
+        |(outer, inner, x, y)| {
+            if outer.len() != 2 || inner.len() != 2 {
+                return Ok(());
+            }
+            let f = IndexMap::new(2, outer.clone());
+            let g = IndexMap::new(2, inner.clone());
+            let fg = f.compose(&g);
+            let p = [*x, *y];
+            tk_assert_eq!(fg.eval(&p), f.eval(&g.eval(&p)), "f {f} g {g}");
+            Ok(())
+        }
+    );
+
+    // Satellite law: a permutation-with-offset map has an explicit
+    // inverse, and composing with it yields the identity exactly.
+    forall!(
+        permutation_inverse_composes_to_identity,
+        Config::with_cases(128),
+        |rng| {
+            // Draw a random permutation of 0..3 by repeated selection.
+            let mut perm = vec![0usize, 1, 2];
+            for i in (1..perm.len()).rev() {
+                let j = rng.usize_in(0..i + 1);
+                perm.swap(i, j);
+            }
+            let offs = rng.vec(3..4, |r| r.i64_in(-5..5));
+            (perm, offs)
+        },
+        |(perm, offs)| {
+            let n = 3;
+            if perm.len() != n || offs.len() != n {
+                return Ok(());
+            }
+            let mut sorted = perm.clone();
+            sorted.sort_unstable();
+            if sorted != vec![0, 1, 2] {
+                return Ok(()); // shrunk into a non-permutation
+            }
+            // m: out[i] = v[perm[i]] + offs[i]
+            let rows: Vec<Vec<i64>> = (0..n)
+                .map(|i| (0..n).map(|j| i64::from(perm[i] == j)).collect())
+                .collect();
+            let m = AffineMatrix::new(rows, offs.clone());
+            // inverse: out[j] = v[perm^-1(j)] - offs[perm^-1(j)]
+            let mut inv_perm = vec![0usize; n];
+            for (i, &pi) in perm.iter().enumerate() {
+                inv_perm[pi] = i;
+            }
+            let inv_rows: Vec<Vec<i64>> = (0..n)
+                .map(|j| (0..n).map(|k| i64::from(inv_perm[j] == k)).collect())
+                .collect();
+            let inv_offs: Vec<i64> = (0..n).map(|j| -offs[inv_perm[j]]).collect();
+            let inv = AffineMatrix::new(inv_rows, inv_offs);
+            tk_assert_eq!(inv.compose(&m), AffineMatrix::identity(n));
+            tk_assert_eq!(m.compose(&inv), AffineMatrix::identity(n));
+            tk_assert!(inv.compose(&m).to_index_map().is_identity());
+            Ok(())
+        }
+    );
 }

@@ -44,7 +44,10 @@ impl IterDomain {
     /// Whether `point` lies inside the domain.
     pub fn contains(&self, point: &[i64]) -> bool {
         point.len() == self.bounds.len()
-            && point.iter().zip(&self.bounds).all(|(&p, &b)| (0..b).contains(&p))
+            && point
+                .iter()
+                .zip(&self.bounds)
+                .all(|(&p, &b)| (0..b).contains(&p))
     }
 }
 
@@ -284,11 +287,7 @@ mod tests {
     #[test]
     fn elementwise_relation_is_one_to_one() {
         // R1 = {O1[i,j] -> O0[i,j]}
-        let r = Relation::new(
-            IterDomain::new(vec![64, 64]),
-            IndexMap::identity(2),
-            vec![],
-        );
+        let r = Relation::new(IterDomain::new(vec![64, 64]), IndexMap::identity(2), vec![]);
         assert_eq!(r.kind(), DependenceKind::OneReliesOnOne);
         assert_eq!(r.source_of(&[5, 9]), vec![5, 9]);
         assert_eq!(r.sources_of(&[5, 9]), vec![vec![5, 9]]);
@@ -337,7 +336,10 @@ mod tests {
 
     #[test]
     fn kind_display() {
-        assert_eq!(DependenceKind::OneReliesOnOne.to_string(), "one-relies-on-one");
+        assert_eq!(
+            DependenceKind::OneReliesOnOne.to_string(),
+            "one-relies-on-one"
+        );
         assert_eq!(
             DependenceKind::OneReliesOnMany.to_string(),
             "one-relies-on-many"

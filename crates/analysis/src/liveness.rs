@@ -1,7 +1,7 @@
 //! Tensor live ranges across operator boundaries (§5: "captures essential
 //! information such as tensor shapes and live ranges").
 
-use souffle_te::{TensorId, TensorKind, TeProgram};
+use souffle_te::{TeProgram, TensorId, TensorKind};
 use std::collections::HashMap;
 
 /// Live range of a tensor in TE-index space.
@@ -96,7 +96,7 @@ mod tests {
         assert!(!r[&b].live_at(0)); // not yet defined before TE0
         assert!(r[&b].live_at(1));
         assert!(!r[&b].live_at(2)); // dead after TE1
-        // input a is live before TE0
+                                    // input a is live before TE0
         assert!(r[&a].live_at(0));
     }
 

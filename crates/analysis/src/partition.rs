@@ -58,9 +58,7 @@ pub struct Partition {
 impl Partition {
     /// The subprogram containing a TE.
     pub fn subprogram_of(&self, te: TeId) -> Option<usize> {
-        self.subprograms
-            .iter()
-            .position(|sp| sp.contains(te))
+        self.subprograms.iter().position(|sp| sp.contains(te))
     }
 
     /// Total TEs across subprograms.

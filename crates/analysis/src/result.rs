@@ -8,7 +8,7 @@ use crate::partition::{partition_program, Partition};
 use crate::reuse::{find_reuse, ReuseReport};
 use souffle_affine::DependenceKind;
 use souffle_sched::{schedule_program, GpuSpec, ScheduleMap};
-use souffle_te::{TeId, TensorId, TeProgram};
+use souffle_te::{TeId, TeProgram, TensorId};
 use std::collections::HashMap;
 
 /// All global analysis results for one TE program — the inputs Algorithm 1

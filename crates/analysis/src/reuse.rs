@@ -1,7 +1,7 @@
 //! Tensor-level data-reuse detection (§5.1).
 
 use crate::graph::TeGraph;
-use souffle_te::{TeId, TensorId, TeProgram};
+use souffle_te::{TeId, TeProgram, TensorId};
 use std::collections::HashMap;
 
 /// All reuse opportunities found in a program.
@@ -62,11 +62,10 @@ pub fn find_reuse(program: &TeProgram, graph: &TeGraph) -> ReuseReport {
         if consumers.len() < 2 {
             continue;
         }
-        let pairwise_independent = consumers.iter().enumerate().all(|(i, &a)| {
-            consumers[i + 1..]
-                .iter()
-                .all(|&b| graph.independent(a, b))
-        });
+        let pairwise_independent = consumers
+            .iter()
+            .enumerate()
+            .all(|(i, &a)| consumers[i + 1..].iter().all(|&b| graph.independent(a, b)));
         if pairwise_independent {
             report.spatial.push((tensor, consumers));
         } else {

@@ -1,8 +1,11 @@
-//! Component-level Criterion benches: each pipeline stage in isolation,
-//! plus ablation benches for the design choices DESIGN.md calls out
-//! (level-based independence, batched vertical fusion, LRU capacity).
+//! Component-level benches (in-tree wall-clock harness): each pipeline
+//! stage in isolation, plus ablation benches for the design choices
+//! DESIGN.md calls out (level-based independence, batched vertical fusion,
+//! LRU capacity).
+//!
+//! Run with `cargo bench -p souffle-bench --bench pipeline`; tune the
+//! per-benchmark time budget with `TESTKIT_BENCH_MS` (default 100 ms).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use souffle_analysis::{
     classify_program, find_reuse, live_ranges, partition_program, AnalysisResult, TeGraph,
 };
@@ -12,66 +15,56 @@ use souffle_kernel::passes::tensor_reuse_pass;
 use souffle_kernel::{lower_partition, LowerOptions, LruCache};
 use souffle_sched::{schedule_program, GpuSpec};
 use souffle_te::TensorId;
+use souffle_testkit::timer::{black_box, Bench};
 use souffle_transform::{horizontal_fuse_program, vertical_fuse_program};
 
-fn bench_analysis_stages(c: &mut Criterion) {
+fn bench_analysis_stages(b: &mut Bench) {
     let program = build_model(Model::Bert, ModelConfig::Tiny);
     let spec = GpuSpec::a100();
     let graph = TeGraph::build(&program);
     let schedules = schedule_program(&program, &spec);
     let classes = classify_program(&program);
 
-    let mut g = c.benchmark_group("pipeline_analysis");
-    g.sample_size(20);
-    g.bench_function("graph_build", |b| b.iter(|| TeGraph::build(&program)));
-    g.bench_function("classify", |b| b.iter(|| classify_program(&program)));
-    g.bench_function("reuse", |b| b.iter(|| find_reuse(&program, &graph)));
-    g.bench_function("liveness", |b| b.iter(|| live_ranges(&program)));
-    g.bench_function("schedule", |b| b.iter(|| schedule_program(&program, &spec)));
-    g.bench_function("partition", |b| {
-        b.iter(|| partition_program(&program, &graph, &classes, &schedules, &spec))
+    b.group("pipeline_analysis");
+    b.run("graph_build", || TeGraph::build(black_box(&program)));
+    b.run("classify", || classify_program(black_box(&program)));
+    b.run("reuse", || find_reuse(black_box(&program), &graph));
+    b.run("liveness", || live_ranges(black_box(&program)));
+    b.run("schedule", || schedule_program(black_box(&program), &spec));
+    b.run("partition", || {
+        partition_program(black_box(&program), &graph, &classes, &schedules, &spec)
     });
-    g.bench_function("full_analysis", |b| {
-        b.iter(|| AnalysisResult::analyze(&program, &spec))
+    b.run("full_analysis", || {
+        AnalysisResult::analyze(black_box(&program), &spec)
     });
-    g.finish();
 }
 
-fn bench_transforms(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pipeline_transforms");
-    g.sample_size(20);
+fn bench_transforms(b: &mut Bench) {
+    b.group("pipeline_transforms");
     for model in [Model::Bert, Model::Mmoe, Model::Lstm] {
         let program = tiny_program(model);
-        g.bench_with_input(
-            BenchmarkId::new("horizontal", model.to_string()),
-            &program,
-            |b, p| b.iter(|| horizontal_fuse_program(p)),
-        );
-        g.bench_with_input(
-            BenchmarkId::new("vertical", model.to_string()),
-            &program,
-            |b, p| b.iter(|| vertical_fuse_program(p)),
-        );
+        b.run(&format!("horizontal/{model}"), || {
+            horizontal_fuse_program(black_box(&program))
+        });
+        b.run(&format!("vertical/{model}"), || {
+            vertical_fuse_program(black_box(&program))
+        });
     }
-    g.finish();
 }
 
-fn bench_lowering(c: &mut Criterion) {
+fn bench_lowering(b: &mut Bench) {
     let program = build_model(Model::Bert, ModelConfig::Tiny);
     let spec = GpuSpec::a100();
     let analysis = AnalysisResult::analyze(&program, &spec);
-    let mut g = c.benchmark_group("pipeline_lowering");
-    g.sample_size(20);
-    g.bench_function("lower_partition", |b| {
-        b.iter(|| {
-            lower_partition(
-                &program,
-                &analysis.partition,
-                &analysis.schedules,
-                &analysis.classes,
-                LowerOptions::default(),
-            )
-        })
+    b.group("pipeline_lowering");
+    b.run("lower_partition", || {
+        lower_partition(
+            black_box(&program),
+            &analysis.partition,
+            &analysis.schedules,
+            &analysis.classes,
+            LowerOptions::default(),
+        )
     });
     let kernels = lower_partition(
         &program,
@@ -80,42 +73,34 @@ fn bench_lowering(c: &mut Criterion) {
         &analysis.classes,
         LowerOptions::default(),
     );
-    g.bench_function("tensor_reuse_pass", |b| {
-        b.iter(|| {
-            let mut ks = kernels.clone();
-            for k in &mut ks {
-                tensor_reuse_pass(k, 16 << 20);
-            }
-            ks
-        })
+    b.run("tensor_reuse_pass", || {
+        let mut ks = kernels.clone();
+        for k in &mut ks {
+            tensor_reuse_pass(k, 16 << 20);
+        }
+        ks
     });
-    g.finish();
 }
 
 /// Ablation: LRU cache throughput across capacities (design choice: the
 /// reuse pass runs at device-shared-memory capacity).
-fn bench_lru_capacity(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_lru_capacity");
-    g.sample_size(30);
+fn bench_lru_capacity(b: &mut Bench) {
+    b.group("ablation_lru_capacity");
     for cap in [4u64 << 10, 64 << 10, 1 << 20, 16 << 20] {
-        g.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
-            b.iter(|| {
-                let mut cache = LruCache::new(cap);
-                for i in 0..1000u64 {
-                    cache.touch(TensorId((i % 37) as usize), (i % 50 + 1) * 512);
-                }
-                (cache.hits(), cache.misses())
-            })
+        b.run(&cap.to_string(), || {
+            let mut cache = LruCache::new(black_box(cap));
+            for i in 0..1000u64 {
+                cache.touch(TensorId((i % 37) as usize), (i % 50 + 1) * 512);
+            }
+            (cache.hits(), cache.misses())
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    pipeline,
-    bench_analysis_stages,
-    bench_transforms,
-    bench_lowering,
-    bench_lru_capacity
-);
-criterion_main!(pipeline);
+fn main() {
+    let mut b = Bench::new();
+    bench_analysis_stages(&mut b);
+    bench_transforms(&mut b);
+    bench_lowering(&mut b);
+    bench_lru_capacity(&mut b);
+}

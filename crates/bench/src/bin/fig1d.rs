@@ -34,14 +34,28 @@ fn main() {
     // (a) Two separate kernels, no cross-operator pipelining.
     let separate: Vec<_> = p
         .te_ids()
-        .map(|te| lower_te_as_kernel(&p, te, &schedules[&te], classes[&te], LowerOptions::default()))
+        .map(|te| {
+            lower_te_as_kernel(
+                &p,
+                te,
+                &schedules[&te],
+                classes[&te],
+                LowerOptions::default(),
+            )
+        })
         .collect();
     let prof_sep = simulate(&separate, &cfg);
 
     // (b) One kernel; the pipelining pass overlaps W3's LDGSTS with
     // GEMM2's HMMA.
     let partition = partition_program(&p, &graph, &classes, &schedules, &spec);
-    let mut merged = lower_partition(&p, &partition, &schedules, &classes, LowerOptions::default());
+    let mut merged = lower_partition(
+        &p,
+        &partition,
+        &schedules,
+        &classes,
+        LowerOptions::default(),
+    );
     for k in &mut merged {
         pipeline_pass(k);
     }

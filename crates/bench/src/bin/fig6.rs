@@ -53,7 +53,15 @@ fn unfused_time(p: &TeProgram) -> f64 {
     let _graph = TeGraph::build(p);
     let kernels: Vec<_> = p
         .te_ids()
-        .map(|te| lower_te_as_kernel(p, te, &schedules[&te], classes[&te], LowerOptions::default()))
+        .map(|te| {
+            lower_te_as_kernel(
+                p,
+                te,
+                &schedules[&te],
+                classes[&te],
+                LowerOptions::default(),
+            )
+        })
         .collect();
     simulate(&kernels, &SimConfig::a100()).total_time_s()
 }

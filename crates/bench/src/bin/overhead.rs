@@ -11,7 +11,14 @@ use souffle_frontend::Model;
 fn main() {
     let mut t = Table::new(
         "Compilation overhead per model (this reproduction's passes)",
-        &["Model", "TEs", "transform (ms)", "analysis (ms)", "codegen (ms)", "total (ms)"],
+        &[
+            "Model",
+            "TEs",
+            "transform (ms)",
+            "analysis (ms)",
+            "codegen (ms)",
+            "total (ms)",
+        ],
     );
     for model in Model::ALL {
         let program = paper_program(model);

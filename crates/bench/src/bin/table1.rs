@@ -5,11 +5,11 @@
 //! 7 / 14 / 1 kernels, 16.52 / 27.78 / 8.87 MB loaded.
 
 use souffle::report::{fmt_mb, fmt_us, Table};
+use souffle_baselines::{ApolloStrategy, TensorRtStrategy};
 use souffle_bench::{run_baseline, run_souffle};
 use souffle_frontend::models::bert::{build_attention_subgraph, BertConfig};
 use souffle_frontend::{Model, ModelConfig};
 use souffle_gpusim::ModelProfile;
-use souffle_baselines::{ApolloStrategy, TensorRtStrategy};
 
 fn split_ci_mi(profile: &ModelProfile) -> (f64, f64) {
     // A kernel is compute-intensive when its arithmetic dominates (tensor

@@ -148,7 +148,12 @@ impl OpGraph {
     ///
     /// Returns a [`GraphError`] when inputs are inconsistent with the
     /// operator (rank or extent mismatches).
-    pub fn add(&mut self, name: &str, kind: OpKind, inputs: &[NodeId]) -> Result<NodeId, GraphError> {
+    pub fn add(
+        &mut self,
+        name: &str,
+        kind: OpKind,
+        inputs: &[NodeId],
+    ) -> Result<NodeId, GraphError> {
         let err = |reason: &str| GraphError {
             node: name.to_string(),
             reason: reason.to_string(),
@@ -182,7 +187,9 @@ impl OpGraph {
             OpKind::MatMul => {
                 let (a, b) = (in_shape(0)?.clone(), in_shape(1)?.clone());
                 if a.rank() != 2 || b.rank() != 2 || a.dim(1) != b.dim(0) {
-                    return Err(err("matmul requires 2-D operands with matching inner extent"));
+                    return Err(err(
+                        "matmul requires 2-D operands with matching inner extent",
+                    ));
                 }
                 (
                     Shape::new(vec![a.dim(0), b.dim(1)]),
@@ -199,7 +206,11 @@ impl OpGraph {
                     self.nodes[inputs[0].0].dtype,
                 )
             }
-            OpKind::Conv2d { stride, pad, groups } => {
+            OpKind::Conv2d {
+                stride,
+                pad,
+                groups,
+            } => {
                 let (x, w) = (in_shape(0)?.clone(), in_shape(1)?.clone());
                 if x.rank() != 4 || w.rank() != 4 {
                     return Err(err("conv2d requires NCHW input and FCHW weight"));
@@ -217,7 +228,11 @@ impl OpGraph {
                     self.nodes[inputs[0].0].dtype,
                 )
             }
-            OpKind::MaxPool2d { kernel, stride, pad } => {
+            OpKind::MaxPool2d {
+                kernel,
+                stride,
+                pad,
+            } => {
                 let x = in_shape(0)?.clone();
                 if x.rank() != 4 {
                     return Err(err("max_pool2d requires NCHW"));
@@ -383,13 +398,14 @@ impl OpGraph {
         let mut bound: HashMap<NodeId, TensorId> = HashMap::new();
         let mut cut_points: Vec<LibraryCall> = Vec::new();
 
-        let flush =
-            |program: &mut TeProgram, segments: &mut Vec<Segment>, bound: &mut HashMap<NodeId, TensorId>| {
-                if program.num_tes() > 0 || program.num_tensors() > 0 {
-                    segments.push(Segment::Te(std::mem::take(program)));
-                    bound.clear();
-                }
-            };
+        let flush = |program: &mut TeProgram,
+                     segments: &mut Vec<Segment>,
+                     bound: &mut HashMap<NodeId, TensorId>| {
+            if program.num_tes() > 0 || program.num_tensors() > 0 {
+                segments.push(Segment::Te(std::mem::take(program)));
+                bound.clear();
+            }
+        };
 
         for node in &self.nodes {
             if !node.kind.te_expressible() {
@@ -403,7 +419,9 @@ impl OpGraph {
                     output_shape: node.shape.clone(),
                     dtype: node.dtype,
                 });
-                segments.push(Segment::Library(cut_points.last().expect("just pushed").clone()));
+                segments.push(Segment::Library(
+                    cut_points.last().expect("just pushed").clone(),
+                ));
                 continue;
             }
             // Resolve inputs: tensors from this segment, or fresh segment
@@ -433,7 +451,11 @@ impl OpGraph {
                 OpKind::BatchMatMul => {
                     builders::batch_matmul(&mut program, &node.name, ins[0], ins[1])
                 }
-                OpKind::Conv2d { stride, pad, groups } => {
+                OpKind::Conv2d {
+                    stride,
+                    pad,
+                    groups,
+                } => {
                     if *groups == 1 {
                         builders::conv2d(&mut program, &node.name, ins[0], ins[1], *stride, *pad)
                     } else {
@@ -448,9 +470,11 @@ impl OpGraph {
                         )
                     }
                 }
-                OpKind::MaxPool2d { kernel, stride, pad } => {
-                    builders::max_pool2d(&mut program, &node.name, ins[0], *kernel, *stride, *pad)
-                }
+                OpKind::MaxPool2d {
+                    kernel,
+                    stride,
+                    pad,
+                } => builders::max_pool2d(&mut program, &node.name, ins[0], *kernel, *stride, *pad),
                 OpKind::Softmax => builders::softmax(&mut program, &node.name, ins[0]),
                 OpKind::ReduceSum => {
                     builders::reduce_last(&mut program, &node.name, ReduceOp::Sum, ins[0])
@@ -458,7 +482,9 @@ impl OpGraph {
                 OpKind::ReduceMax => {
                     builders::reduce_last(&mut program, &node.name, ReduceOp::Max, ins[0])
                 }
-                OpKind::Reshape(s) => builders::reshape(&mut program, &node.name, ins[0], s.clone()),
+                OpKind::Reshape(s) => {
+                    builders::reshape(&mut program, &node.name, ins[0], s.clone())
+                }
                 OpKind::Transpose(perm) => {
                     builders::transpose(&mut program, &node.name, ins[0], perm)
                 }
@@ -565,7 +591,11 @@ mod tests {
             .add("x", OpKind::Input(Shape::new(vec![4, 8]), DType::F32), &[])
             .unwrap();
         let w = g
-            .add("w", OpKind::Weight(Shape::new(vec![8, 16]), DType::F32), &[])
+            .add(
+                "w",
+                OpKind::Weight(Shape::new(vec![8, 16]), DType::F32),
+                &[],
+            )
             .unwrap();
         let mm = g.add("mm", OpKind::MatMul, &[x, w]).unwrap();
         let r = g.add("relu", OpKind::Unary(UnaryOp::Relu), &[mm]).unwrap();
@@ -612,7 +642,9 @@ mod tests {
         let r = g.add("relu", OpKind::Unary(UnaryOp::Relu), &[x]).unwrap();
         let rs = g.add("resize", OpKind::Resize { size: 16 }, &[r]).unwrap();
         assert_eq!(g.nodes()[rs.0].shape.dims(), &[1, 2, 16, 16]);
-        let s = g.add("sig", OpKind::Unary(UnaryOp::Sigmoid), &[rs]).unwrap();
+        let s = g
+            .add("sig", OpKind::Unary(UnaryOp::Sigmoid), &[rs])
+            .unwrap();
         g.mark_output(s);
         let lowered = g.lower().unwrap();
         assert_eq!(lowered.num_library_calls(), 1);
@@ -634,7 +666,9 @@ mod tests {
             .unwrap();
         let r = g.add("relu", OpKind::Unary(UnaryOp::Relu), &[x]).unwrap();
         let rs = g.add("resize", OpKind::Resize { size: 8 }, &[r]).unwrap();
-        let s = g.add("sig", OpKind::Unary(UnaryOp::Sigmoid), &[rs]).unwrap();
+        let s = g
+            .add("sig", OpKind::Unary(UnaryOp::Sigmoid), &[rs])
+            .unwrap();
         g.mark_output(s);
         let lowered = g.lower().unwrap();
         let Segment::Te(first) = &lowered.segments[0] else {
@@ -654,7 +688,11 @@ mod tests {
             .add("x", OpKind::Input(Shape::new(vec![4, 8]), DType::F32), &[])
             .unwrap();
         let w = g
-            .add("w", OpKind::Weight(Shape::new(vec![9, 16]), DType::F32), &[])
+            .add(
+                "w",
+                OpKind::Weight(Shape::new(vec![9, 16]), DType::F32),
+                &[],
+            )
             .unwrap();
         let e = g.add("mm", OpKind::MatMul, &[x, w]).unwrap_err();
         assert!(e.to_string().contains("mm"));
@@ -665,7 +703,11 @@ mod tests {
     fn topk_shape_inference() {
         let mut g = OpGraph::new();
         let x = g
-            .add("x", OpKind::Input(Shape::new(vec![4, 100]), DType::F32), &[])
+            .add(
+                "x",
+                OpKind::Input(Shape::new(vec![4, 100]), DType::F32),
+                &[],
+            )
             .unwrap();
         let t = g.add("topk", OpKind::TopK { k: 5 }, &[x]).unwrap();
         assert_eq!(g.nodes()[t.0].shape.dims(), &[4, 5]);
@@ -715,7 +757,13 @@ mod tests {
         let lowered = g.lower().unwrap();
         let p = lowered.sole_program().unwrap();
         let out = souffle_te::interp::eval_with_random_inputs(p, 9).unwrap();
-        assert!(out.values().next().unwrap().data().iter().all(|v| v.is_finite()));
+        assert!(out
+            .values()
+            .next()
+            .unwrap()
+            .data()
+            .iter()
+            .all(|v| v.is_finite()));
     }
 
     #[test]
@@ -745,16 +793,38 @@ mod tests {
             )
             .unwrap();
         let c = g
-            .add("conv", OpKind::Conv2d { stride: 1, pad: 1, groups: 1 }, &[x, w])
+            .add(
+                "conv",
+                OpKind::Conv2d {
+                    stride: 1,
+                    pad: 1,
+                    groups: 1,
+                },
+                &[x, w],
+            )
             .unwrap();
         let m = g
-            .add("pool", OpKind::MaxPool2d { kernel: 2, stride: 2, pad: 0 }, &[c])
+            .add(
+                "pool",
+                OpKind::MaxPool2d {
+                    kernel: 2,
+                    stride: 2,
+                    pad: 0,
+                },
+                &[c],
+            )
             .unwrap();
         g.mark_output(m);
         assert_eq!(g.nodes()[m.0].shape.dims(), &[1, 4, 3, 3]);
         let lowered = g.lower().unwrap();
         let p = lowered.sole_program().unwrap();
         let out = souffle_te::interp::eval_with_random_inputs(p, 6).unwrap();
-        assert!(out.values().next().unwrap().data().iter().all(|v| v.is_finite()));
+        assert!(out
+            .values()
+            .next()
+            .unwrap()
+            .data()
+            .iter()
+            .all(|v| v.is_finite()));
     }
 }

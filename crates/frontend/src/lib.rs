@@ -21,5 +21,5 @@
 pub mod graph;
 pub mod models;
 
-pub use graph::{GraphError, Lowered, LibraryCall, NodeId, OpGraph, OpKind, OpNode, Segment};
+pub use graph::{GraphError, LibraryCall, Lowered, NodeId, OpGraph, OpKind, OpNode, Segment};
 pub use models::{build_model, Model, ModelConfig};

@@ -126,7 +126,12 @@ pub fn build(cfg: &BertConfig) -> TeProgram {
         let f1 = builders::matmul(&mut p, &format!("{pre}.ffn.fc1"), ln1, w1);
         let fb1 = p.add_weight(&format!("{pre}.ffn.b1"), Shape::new(vec![cfg.ffn]), dt);
         let f1 = builders::bias_add(&mut p, &format!("{pre}.ffn.b1.add"), f1, fb1);
-        let gelu = builders::unary(&mut p, &format!("{pre}.ffn.gelu"), souffle_te::UnaryOp::Gelu, f1);
+        let gelu = builders::unary(
+            &mut p,
+            &format!("{pre}.ffn.gelu"),
+            souffle_te::UnaryOp::Gelu,
+            f1,
+        );
         let w2 = p.add_weight(&format!("{pre}.ffn.w2"), Shape::new(vec![cfg.ffn, h]), dt);
         let f2 = builders::matmul(&mut p, &format!("{pre}.ffn.fc2"), gelu, w2);
         let fb2 = p.add_weight(&format!("{pre}.ffn.b2"), Shape::new(vec![h]), dt);

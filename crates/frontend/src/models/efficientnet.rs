@@ -6,8 +6,8 @@
 //! multiplies that existing frameworks map to many small kernels.
 
 use super::ModelConfig;
-use souffle_te::{builders, BinaryOp, ScalarExpr, TeProgram, TensorId, UnaryOp};
 use souffle_affine::IndexExpr;
+use souffle_te::{builders, BinaryOp, ScalarExpr, TeProgram, TensorId, UnaryOp};
 use souffle_tensor::{DType, Shape};
 
 /// One MBConv stage description: (expansion, channels, repeats, stride,
@@ -133,7 +133,7 @@ pub fn squeeze_excite(p: &mut TeProgram, name: &str, x: TensorId, se_ch: i64) ->
     let w2 = p.add_weight(&format!("{name}.w2"), Shape::new(vec![se_ch, c]), dtype);
     let s = builders::matmul(p, &format!("{name}.fc2"), h, w2);
     let s = builders::sigmoid(p, &format!("{name}.gate"), s); // (1, C)
-    // x * s broadcast over N, H, W.
+                                                              // x * s broadcast over N, H, W.
     let iv: Vec<IndexExpr> = (0..4).map(IndexExpr::Var).collect();
     p.add_te(
         &format!("{name}.scale"),
@@ -167,10 +167,28 @@ pub fn mbconv(
     if expand > 1 {
         cur = conv_bn_silu(p, &format!("{name}.expand"), cur, mid, 1, 1, false, true);
     }
-    cur = conv_bn_silu(p, &format!("{name}.dw"), cur, mid, kernel, stride, true, true);
+    cur = conv_bn_silu(
+        p,
+        &format!("{name}.dw"),
+        cur,
+        mid,
+        kernel,
+        stride,
+        true,
+        true,
+    );
     let se_ch = (in_ch / 4).max(1);
     cur = squeeze_excite(p, &format!("{name}.se"), cur, se_ch);
-    cur = conv_bn_silu(p, &format!("{name}.project"), cur, out_ch, 1, 1, false, false);
+    cur = conv_bn_silu(
+        p,
+        &format!("{name}.project"),
+        cur,
+        out_ch,
+        1,
+        1,
+        false,
+        false,
+    );
     if stride == 1 && in_ch == out_ch {
         cur = builders::add(p, &format!("{name}.res"), cur, x);
     }
@@ -203,7 +221,11 @@ pub fn build(cfg: &EfficientNetConfig) -> TeProgram {
     }
     cur = conv_bn_silu(&mut p, "effnet.head", cur, cfg.head, 1, 1, false, true);
     let pooled = builders::global_avg_pool(&mut p, "effnet.gap", cur);
-    let w_fc = p.add_weight("effnet.fc.w", Shape::new(vec![cfg.head, 1000.min(cfg.head)]), dt);
+    let w_fc = p.add_weight(
+        "effnet.fc.w",
+        Shape::new(vec![cfg.head, 1000.min(cfg.head)]),
+        dt,
+    );
     let logits = builders::matmul(&mut p, "effnet.fc", pooled, w_fc);
     p.mark_output(logits);
     p
@@ -219,7 +241,13 @@ mod tests {
         let p = build(&EfficientNetConfig::new(ModelConfig::Tiny));
         p.validate().unwrap();
         let out = eval_with_random_inputs(&p, 5).unwrap();
-        assert!(out.values().next().unwrap().data().iter().all(|v| v.is_finite()));
+        assert!(out
+            .values()
+            .next()
+            .unwrap()
+            .data()
+            .iter()
+            .all(|v| v.is_finite()));
     }
 
     #[test]
@@ -230,7 +258,11 @@ mod tests {
         let p = build(&cfg);
         p.validate().unwrap();
         // Each block has one SE gate.
-        let gates = p.tes().iter().filter(|t| t.name.ends_with(".se.gate")).count();
+        let gates = p
+            .tes()
+            .iter()
+            .filter(|t| t.name.ends_with(".se.gate"))
+            .count();
         assert_eq!(gates, 16);
     }
 
@@ -241,12 +273,21 @@ mod tests {
         let y = squeeze_excite(&mut p, "se", x, 2);
         assert_eq!(p.tensor(y).shape.dims(), &[1, 8, 4, 4]);
         p.validate().unwrap();
-        let out = eval_with_random_inputs(&{
-            let mut q = p.clone();
-            q.mark_output(y);
-            q
-        }, 6)
+        let out = eval_with_random_inputs(
+            &{
+                let mut q = p.clone();
+                q.mark_output(y);
+                q
+            },
+            6,
+        )
         .unwrap();
-        assert!(out.values().next().unwrap().data().iter().all(|v| v.is_finite()));
+        assert!(out
+            .values()
+            .next()
+            .unwrap()
+            .data()
+            .iter()
+            .all(|v| v.is_finite()));
     }
 }

@@ -124,11 +124,7 @@ mod tests {
         let cfg = LstmConfig::new(ModelConfig::Paper);
         let p = build(&cfg);
         p.validate().unwrap();
-        let gemvs = p
-            .tes()
-            .iter()
-            .filter(|te| te.is_reduction())
-            .count();
+        let gemvs = p.tes().iter().filter(|te| te.is_reduction()).count();
         assert_eq!(gemvs, 2 * cfg.cells * cfg.steps);
     }
 

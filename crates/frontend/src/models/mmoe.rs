@@ -92,7 +92,7 @@ pub fn build(cfg: &MmoeConfig) -> TeProgram {
                 1,
                 1,
             ); // (1, 1)
-            // broadcast multiply: out (1, expert_dim) * gе (1,1)
+               // broadcast multiply: out (1, expert_dim) * gе (1,1)
             let scaled = p.add_te(
                 &format!("mmoe.g{t}.scale{e}"),
                 Shape::new(vec![1, cfg.expert_dim]),
@@ -104,11 +104,17 @@ pub fn build(cfg: &MmoeConfig) -> TeProgram {
                     BinaryOp::Mul,
                     souffle_te::ScalarExpr::input(
                         0,
-                        vec![souffle_affine::IndexExpr::var(0), souffle_affine::IndexExpr::var(1)],
+                        vec![
+                            souffle_affine::IndexExpr::var(0),
+                            souffle_affine::IndexExpr::var(1),
+                        ],
                     ),
                     souffle_te::ScalarExpr::input(
                         1,
-                        vec![souffle_affine::IndexExpr::var(0), souffle_affine::IndexExpr::constant(0)],
+                        vec![
+                            souffle_affine::IndexExpr::var(0),
+                            souffle_affine::IndexExpr::constant(0),
+                        ],
                     ),
                 ),
             );

@@ -7,8 +7,8 @@
 //! element-wise TE pair that the vertical transformation folds away.
 
 use super::ModelConfig;
-use souffle_te::{builders, BinaryOp, ScalarExpr, TeProgram, TensorId};
 use souffle_affine::IndexExpr;
+use souffle_te::{builders, BinaryOp, ScalarExpr, TeProgram, TensorId};
 use souffle_tensor::{DType, Shape};
 
 /// ResNeXt build configuration.
@@ -128,7 +128,16 @@ fn block(
 ) -> TensorId {
     let in_ch = p.tensor(x).shape.dim(1);
     let a = conv_bn_relu(p, &format!("{name}.conv1"), x, width, 1, 1, 1, true);
-    let b = conv_bn_relu(p, &format!("{name}.conv2"), a, width, 3, stride, groups, true);
+    let b = conv_bn_relu(
+        p,
+        &format!("{name}.conv2"),
+        a,
+        width,
+        3,
+        stride,
+        groups,
+        true,
+    );
     let c = conv_bn_relu(p, &format!("{name}.conv3"), b, out_ch, 1, 1, 1, false);
     let shortcut = if in_ch != out_ch || stride != 1 {
         conv_bn_relu(p, &format!("{name}.down"), x, out_ch, 1, stride, 1, false)

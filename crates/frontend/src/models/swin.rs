@@ -8,8 +8,8 @@
 //! all.
 
 use super::ModelConfig;
-use souffle_te::{builders, ScalarExpr, TeProgram, TensorId};
 use souffle_affine::IndexExpr;
+use souffle_te::{builders, ScalarExpr, TeProgram, TensorId};
 use souffle_tensor::{DType, Shape};
 
 /// Swin build configuration.
@@ -235,7 +235,12 @@ fn swin_block(
     let ln2 = builders::layer_norm(p, &format!("{name}.ln2"), res1, g2, b2, 1e-5);
     let w1 = p.add_weight(&format!("{name}.mlp.w1"), Shape::new(vec![c, 4 * c]), dt);
     let f1 = builders::matmul(p, &format!("{name}.mlp.fc1"), ln2, w1);
-    let gelu = builders::unary(p, &format!("{name}.mlp.gelu"), souffle_te::UnaryOp::Gelu, f1);
+    let gelu = builders::unary(
+        p,
+        &format!("{name}.mlp.gelu"),
+        souffle_te::UnaryOp::Gelu,
+        f1,
+    );
     let w2 = p.add_weight(&format!("{name}.mlp.w2"), Shape::new(vec![4 * c, c]), dt);
     let f2 = builders::matmul(p, &format!("{name}.mlp.fc2"), gelu, w2);
     builders::add(p, &format!("{name}.res2"), f2, res1)
@@ -320,7 +325,13 @@ mod tests {
         let p = build(&SwinConfig::new(ModelConfig::Tiny));
         p.validate().unwrap();
         let out = eval_with_random_inputs(&p, 8).unwrap();
-        assert!(out.values().next().unwrap().data().iter().all(|v| v.is_finite()));
+        assert!(out
+            .values()
+            .next()
+            .unwrap()
+            .data()
+            .iter()
+            .all(|v| v.is_finite()));
     }
 
     #[test]
@@ -362,7 +373,11 @@ mod tests {
         let blocks: usize = cfg.depths.iter().sum();
         assert_eq!(blocks, 24);
         // Each block has a softmax -> 2 reductions (max, sum).
-        let softmax_divs = p.tes().iter().filter(|t| t.name.ends_with(".softmax.div")).count();
+        let softmax_divs = p
+            .tes()
+            .iter()
+            .filter(|t| t.name.ends_with(".softmax.div"))
+            .count();
         assert_eq!(softmax_divs, 24);
     }
 

@@ -81,8 +81,8 @@ fn stage_time(stage: &Stage, cfg: &SimConfig) -> (f64, f64, f64, f64) {
     let global_bytes = (read + write) as f64 + atomic as f64 * cfg.atomic_penalty;
     let mem_time = global_bytes / (spec.global_bw_bytes_per_s * cfg.memory_efficiency * saturation)
         + shared as f64 / cfg.shared_bw_bytes_per_s;
-    let tensor_time = wmma_flops as f64
-        / (spec.fp16_tensor_flops * cfg.compute_efficiency * saturation);
+    let tensor_time =
+        wmma_flops as f64 / (spec.fp16_tensor_flops * cfg.compute_efficiency * saturation);
     let fma_time = fma_flops as f64 / (spec.fp32_flops * cfg.compute_efficiency * saturation);
     let compute_time = tensor_time + fma_time;
 
@@ -162,9 +162,15 @@ mod tests {
     fn mem_compute_stage(bytes: u64, flops: u64, pipelined: bool) -> Stage {
         stage(
             vec![
-                Instr::LdGlobalToShared { tensor: TensorId(0), bytes },
+                Instr::LdGlobalToShared {
+                    tensor: TensorId(0),
+                    bytes,
+                },
                 Instr::Wmma { flops },
-                Instr::StSharedToGlobal { tensor: TensorId(1), bytes: 0 },
+                Instr::StSharedToGlobal {
+                    tensor: TensorId(1),
+                    bytes: 0,
+                },
             ],
             1024,
             pipelined,
@@ -215,7 +221,10 @@ mod tests {
         let tiny = |n: &str| Kernel {
             name: n.into(),
             stages: vec![stage(
-                vec![Instr::LdGlobal { tensor: TensorId(0), bytes: 1024 }],
+                vec![Instr::LdGlobal {
+                    tensor: TensorId(0),
+                    bytes: 1024,
+                }],
                 4,
                 false,
             )],
@@ -238,7 +247,10 @@ mod tests {
         let mk = |grid: u64| Kernel {
             name: "k".into(),
             stages: vec![stage(
-                vec![Instr::LdGlobal { tensor: TensorId(0), bytes: 50_000_000 }],
+                vec![Instr::LdGlobal {
+                    tensor: TensorId(0),
+                    bytes: 50_000_000,
+                }],
                 grid,
                 false,
             )],
@@ -253,12 +265,19 @@ mod tests {
         let cfg = SimConfig::a100();
         let with_atomic = Kernel {
             name: "a".into(),
-            stages: vec![stage(vec![Instr::AtomicAdd { bytes: 10_000_000 }], 1024, false)],
+            stages: vec![stage(
+                vec![Instr::AtomicAdd { bytes: 10_000_000 }],
+                1024,
+                false,
+            )],
         };
         let with_store = Kernel {
             name: "s".into(),
             stages: vec![stage(
-                vec![Instr::StGlobal { tensor: TensorId(0), bytes: 10_000_000 }],
+                vec![Instr::StGlobal {
+                    tensor: TensorId(0),
+                    bytes: 10_000_000,
+                }],
                 1024,
                 false,
             )],
@@ -302,7 +321,10 @@ mod tests {
         let k = Kernel {
             name: "memk".into(),
             stages: vec![stage(
-                vec![Instr::LdGlobal { tensor: TensorId(0), bytes: 1_000_000_000 }],
+                vec![Instr::LdGlobal {
+                    tensor: TensorId(0),
+                    bytes: 1_000_000_000,
+                }],
                 1024,
                 false,
             )],

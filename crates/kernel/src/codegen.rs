@@ -9,7 +9,7 @@
 //! between dependent stages, and `atomicAdd` for two-phase reductions.
 
 use crate::{Instr, Kernel, Stage};
-use souffle_te::{TensorId, TeProgram};
+use souffle_te::{TeProgram, TensorId};
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
@@ -82,7 +82,10 @@ fn emit_stage(out: &mut String, program: &TeProgram, stage: &Stage, kernel_grid:
             }
             Instr::LdGlobalToShared { tensor, bytes } => {
                 let n = c_ident(&program.tensor(*tensor).name);
-                let _ = writeln!(out, "{indent}ldg2s(S_{n}, {n}); // {bytes} B global->shared");
+                let _ = writeln!(
+                    out,
+                    "{indent}ldg2s(S_{n}, {n}); // {bytes} B global->shared"
+                );
             }
             Instr::LdGlobal { tensor, bytes } => {
                 let n = c_ident(&program.tensor(*tensor).name);
@@ -94,14 +97,20 @@ fn emit_stage(out: &mut String, program: &TeProgram, stage: &Stage, kernel_grid:
             }
             Instr::StSharedToGlobal { tensor, bytes } => {
                 let n = c_ident(&program.tensor(*tensor).name);
-                let _ = writeln!(out, "{indent}sts2g({n}, S_{n}); // {bytes} B shared->global");
+                let _ = writeln!(
+                    out,
+                    "{indent}sts2g({n}, S_{n}); // {bytes} B shared->global"
+                );
             }
             Instr::StGlobal { tensor, bytes } => {
                 let n = c_ident(&program.tensor(*tensor).name);
                 let _ = writeln!(out, "{indent}stg({n}, r); // {bytes} B global");
             }
             Instr::Wmma { flops } => {
-                let _ = writeln!(out, "{indent}wmma_16x16(acc, a_frag, b_frag); // {flops} flop");
+                let _ = writeln!(
+                    out,
+                    "{indent}wmma_16x16(acc, a_frag, b_frag); // {flops} flop"
+                );
             }
             Instr::Fma { flops } => {
                 let _ = writeln!(out, "{indent}fma_loop(acc); // {flops} flop");
@@ -230,7 +239,13 @@ mod tests {
         let schedules = schedule_program(&p, &spec);
         let classes = classify_program(&p);
         let partition = partition_program(&p, &graph, &classes, &schedules, &spec);
-        let kernels = lower_partition(&p, &partition, &schedules, &classes, LowerOptions::default());
+        let kernels = lower_partition(
+            &p,
+            &partition,
+            &schedules,
+            &classes,
+            LowerOptions::default(),
+        );
         (p, kernels)
     }
 
@@ -252,10 +267,7 @@ mod tests {
     fn params_cover_all_tensors() {
         let (p, kernels) = fig2_kernels();
         let params = kernel_params(&kernels[0]);
-        let names: Vec<&str> = params
-            .iter()
-            .map(|&t| p.tensor(t).name.as_str())
-            .collect();
+        let names: Vec<&str> = params.iter().map(|&t| p.tensor(t).name.as_str()).collect();
         for want in ["I0", "W0", "W2"] {
             assert!(names.contains(&want), "missing {want} in {names:?}");
         }

@@ -136,10 +136,28 @@ mod tests {
     #[test]
     fn byte_accounting() {
         let t = TensorId(0);
-        assert_eq!(Instr::LdGlobal { tensor: t, bytes: 64 }.global_read_bytes(), 64);
-        assert_eq!(Instr::LdShared { tensor: t, bytes: 64 }.global_read_bytes(), 0);
         assert_eq!(
-            Instr::StSharedToGlobal { tensor: t, bytes: 32 }.global_write_bytes(),
+            Instr::LdGlobal {
+                tensor: t,
+                bytes: 64
+            }
+            .global_read_bytes(),
+            64
+        );
+        assert_eq!(
+            Instr::LdShared {
+                tensor: t,
+                bytes: 64
+            }
+            .global_read_bytes(),
+            0
+        );
+        assert_eq!(
+            Instr::StSharedToGlobal {
+                tensor: t,
+                bytes: 32
+            }
+            .global_write_bytes(),
             32
         );
         assert_eq!(Instr::AtomicAdd { bytes: 16 }.global_write_bytes(), 16);
@@ -148,7 +166,11 @@ mod tests {
 
     #[test]
     fn pipeline_classification() {
-        assert!(Instr::LdGlobal { tensor: TensorId(0), bytes: 1 }.is_memory());
+        assert!(Instr::LdGlobal {
+            tensor: TensorId(0),
+            bytes: 1
+        }
+        .is_memory());
         assert!(Instr::Wmma { flops: 1 }.is_compute());
         assert!(!Instr::GridSync.is_memory());
         assert!(!Instr::GridSync.is_compute());
@@ -158,7 +180,11 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(
-            Instr::LdGlobalToShared { tensor: TensorId(2), bytes: 128 }.to_string(),
+            Instr::LdGlobalToShared {
+                tensor: TensorId(2),
+                bytes: 128
+            }
+            .to_string(),
             "ldg2s t2 128B"
         );
         assert_eq!(Instr::GridSync.to_string(), "grid.sync");

@@ -200,10 +200,19 @@ mod tests {
         let s = stage(
             4,
             vec![
-                Instr::LdGlobalToShared { tensor: TensorId(0), bytes: 100 },
-                Instr::LdShared { tensor: TensorId(1), bytes: 50 },
+                Instr::LdGlobalToShared {
+                    tensor: TensorId(0),
+                    bytes: 100,
+                },
+                Instr::LdShared {
+                    tensor: TensorId(1),
+                    bytes: 50,
+                },
                 Instr::Wmma { flops: 1000 },
-                Instr::StSharedToGlobal { tensor: TensorId(2), bytes: 30 },
+                Instr::StSharedToGlobal {
+                    tensor: TensorId(2),
+                    bytes: 30,
+                },
                 Instr::GridSync,
             ],
         );
@@ -245,12 +254,20 @@ mod tests {
             stages: vec![stage(
                 1,
                 vec![
-                    Instr::LdGlobal { tensor: TensorId(0), bytes: 10 },
-                    Instr::StGlobal { tensor: TensorId(1), bytes: 5 },
+                    Instr::LdGlobal {
+                        tensor: TensorId(0),
+                        bytes: 10,
+                    },
+                    Instr::StGlobal {
+                        tensor: TensorId(1),
+                        bytes: 5,
+                    },
                 ],
             )],
         };
-        let m = CompiledModel { kernels: vec![k.clone(), k] };
+        let m = CompiledModel {
+            kernels: vec![k.clone(), k],
+        };
         assert_eq!(m.num_kernels(), 2);
         assert_eq!(m.global_traffic_bytes(), 30);
     }

@@ -31,5 +31,7 @@ mod kernel;
 
 pub use instr::Instr;
 pub use kernel::{CompiledModel, Kernel, Stage};
-pub use lower::{lower_fused_group, lower_partition, lower_te_as_kernel, tensor_read_bytes, LowerOptions};
+pub use lower::{
+    lower_fused_group, lower_partition, lower_te_as_kernel, tensor_read_bytes, LowerOptions,
+};
 pub use lru::LruCache;

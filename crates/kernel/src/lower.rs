@@ -3,7 +3,7 @@
 use crate::{Instr, Kernel, Stage};
 use souffle_analysis::{Partition, TeClass};
 use souffle_sched::{cost_operand_footprints, Schedule, ScheduleMap};
-use souffle_te::{TeId, TensorId, TeProgram};
+use souffle_te::{TeId, TeProgram, TensorId};
 use std::collections::{HashMap, HashSet};
 
 /// Code-generation options (varied by the baselines and the ablation).
@@ -358,7 +358,13 @@ mod tests {
         let classes = classify_program(&p);
         let partition = partition_program(&p, &graph, &classes, &schedules, &spec);
         assert_eq!(partition.num_kernels(), 1);
-        let kernels = lower_partition(&p, &partition, &schedules, &classes, LowerOptions::default());
+        let kernels = lower_partition(
+            &p,
+            &partition,
+            &schedules,
+            &classes,
+            LowerOptions::default(),
+        );
         assert_eq!(kernels.len(), 1);
         let k = &kernels[0];
         assert!(k.uses_grid_sync(), "{k}");

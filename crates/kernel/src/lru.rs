@@ -119,7 +119,7 @@ impl LruCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use souffle_testkit::{forall, tk_assert, tk_assert_eq, Config};
 
     #[test]
     fn hit_after_insert() {
@@ -163,31 +163,41 @@ mod tests {
         assert_eq!(c.touch(TensorId(2), 50), Access::Miss { evicted_bytes: 0 });
     }
 
-    proptest! {
-        #[test]
-        fn never_exceeds_capacity(
-            ops in proptest::collection::vec((0usize..8, 1u64..60), 1..100)
-        ) {
+    forall!(
+        never_exceeds_capacity,
+        Config::with_cases(100),
+        |rng| rng.vec(1..100, |r| (r.usize_in(0..8), r.u64_in(1..60))),
+        |ops| {
             let mut c = LruCache::new(100);
-            for (id, bytes) in ops {
+            for &(id, bytes) in ops {
+                if bytes == 0 {
+                    continue; // shrunk-out-of-domain candidate
+                }
                 c.touch(TensorId(id), bytes);
-                prop_assert!(c.used() <= c.capacity());
+                tk_assert!(c.used() <= c.capacity());
             }
+            Ok(())
         }
+    );
 
-        #[test]
-        fn accounting_balances(
-            ops in proptest::collection::vec((0usize..4, 1u64..60), 1..100)
-        ) {
+    forall!(
+        accounting_balances,
+        Config::with_cases(100),
+        |rng| rng.vec(1..100, |r| (r.usize_in(0..4), r.u64_in(1..60))),
+        |ops| {
             let mut c = LruCache::new(100);
             let mut touches = 0u64;
-            for (id, bytes) in ops {
+            for &(id, bytes) in ops {
+                if bytes == 0 {
+                    continue;
+                }
                 match c.touch(TensorId(id), bytes) {
                     Access::Hit | Access::Miss { .. } => touches += 1,
                     Access::Bypass => {}
                 }
             }
-            prop_assert_eq!(c.hits() + c.misses(), touches);
+            tk_assert_eq!(c.hits() + c.misses(), touches);
+            Ok(())
         }
-    }
+    );
 }

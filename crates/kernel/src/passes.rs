@@ -117,14 +117,26 @@ mod tests {
             name: "k".into(),
             stages: vec![
                 stage(vec![
-                    Instr::LdGlobalToShared { tensor: t0, bytes: 1024 },
+                    Instr::LdGlobalToShared {
+                        tensor: t0,
+                        bytes: 1024,
+                    },
                     Instr::Wmma { flops: 100 },
-                    Instr::StSharedToGlobal { tensor: TensorId(1), bytes: 512 },
+                    Instr::StSharedToGlobal {
+                        tensor: TensorId(1),
+                        bytes: 512,
+                    },
                 ]),
                 stage(vec![
-                    Instr::LdGlobalToShared { tensor: TensorId(1), bytes: 512 },
+                    Instr::LdGlobalToShared {
+                        tensor: TensorId(1),
+                        bytes: 512,
+                    },
                     Instr::Fma { flops: 10 },
-                    Instr::StGlobal { tensor: TensorId(2), bytes: 512 },
+                    Instr::StGlobal {
+                        tensor: TensorId(2),
+                        bytes: 512,
+                    },
                 ]),
             ],
         };
@@ -144,8 +156,14 @@ mod tests {
         let mut k = Kernel {
             name: "k".into(),
             stages: vec![stage(vec![
-                Instr::LdGlobal { tensor: TensorId(0), bytes: 700 },
-                Instr::LdGlobal { tensor: TensorId(1), bytes: 700 },
+                Instr::LdGlobal {
+                    tensor: TensorId(0),
+                    bytes: 700,
+                },
+                Instr::LdGlobal {
+                    tensor: TensorId(1),
+                    bytes: 700,
+                },
                 Instr::Fma { flops: 1 },
             ])],
         };
@@ -162,8 +180,14 @@ mod tests {
         let mut k = Kernel {
             name: "k".into(),
             stages: vec![
-                stage(vec![Instr::LdGlobal { tensor: TensorId(0), bytes: 5000 }]),
-                stage(vec![Instr::LdGlobal { tensor: TensorId(0), bytes: 5000 }]),
+                stage(vec![Instr::LdGlobal {
+                    tensor: TensorId(0),
+                    bytes: 5000,
+                }]),
+                stage(vec![Instr::LdGlobal {
+                    tensor: TensorId(0),
+                    bytes: 5000,
+                }]),
             ],
         };
         let stats = tensor_reuse_pass(&mut k, 1000);
@@ -177,7 +201,10 @@ mod tests {
             name: "k".into(),
             stages: vec![
                 stage(vec![
-                    Instr::LdGlobalToShared { tensor: TensorId(0), bytes: 10 },
+                    Instr::LdGlobalToShared {
+                        tensor: TensorId(0),
+                        bytes: 10,
+                    },
                     Instr::Wmma { flops: 10 },
                 ]),
                 stage(vec![Instr::GridSync]),

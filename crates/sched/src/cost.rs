@@ -61,12 +61,7 @@ pub fn te_global_bytes(program: &TeProgram, te: TeId) -> (u64, u64) {
 /// kernel: `max(compute time, memory time)` with empirically calibrated
 /// efficiencies. Launch overhead is *not* included — kernel-level costs are
 /// accounted by the simulator, which knows how many TEs share a kernel.
-pub fn te_time_estimate(
-    program: &TeProgram,
-    te: TeId,
-    schedule: &Schedule,
-    spec: &GpuSpec,
-) -> f64 {
+pub fn te_time_estimate(program: &TeProgram, te: TeId, schedule: &Schedule, spec: &GpuSpec) -> f64 {
     let te_ref = program.te(te);
     let out_shape = program.output_shape(te).clone();
     let flops = te_ref.flops(&out_shape) as f64;
@@ -92,8 +87,8 @@ pub fn te_time_estimate(
     let out = program.tensor(te_ref.output);
     let write_bytes = out.shape.numel() as u64 * out.dtype.size_bytes();
     let read_bytes = per_block_reads.saturating_mul(blocks.max(1) as u64);
-    let mem_time = (read_bytes + write_bytes) as f64
-        / (spec.global_bw_bytes_per_s * MEMORY_EFFICIENCY);
+    let mem_time =
+        (read_bytes + write_bytes) as f64 / (spec.global_bw_bytes_per_s * MEMORY_EFFICIENCY);
 
     // Waves: blocks beyond one wave serialize.
     let wave_cap = spec
@@ -196,7 +191,10 @@ mod tests {
                 TileDim { extent: 1024, tile },
                 TileDim { extent: 1024, tile },
             ],
-            reduce_tiles: vec![TileDim { extent: 1024, tile: 32 }],
+            reduce_tiles: vec![TileDim {
+                extent: 1024,
+                tile: 32,
+            }],
             grid_blocks: ((1024 / tile) * (1024 / tile)) as u64,
             threads_per_block: 128,
             shared_mem_bytes: 16 * 1024,

@@ -67,7 +67,10 @@ impl fmt::Display for Primitive {
             }
             Primitive::Reorder { order } => write!(f, "s.reorder({})", order.join(", ")),
             Primitive::CacheRead { operand, at } => {
-                write!(f, "S{operand} = s.cache_read(in{operand}, \"shared\", at={at})")
+                write!(
+                    f,
+                    "S{operand} = s.cache_read(in{operand}, \"shared\", at={at})"
+                )
             }
             Primitive::Bind { axis, hw } => write!(f, "s.bind({axis}, {hw})"),
             Primitive::ComputeAt { parent, axis } => {
@@ -235,11 +238,19 @@ mod tests {
     #[test]
     fn primitive_display() {
         assert_eq!(
-            Primitive::Split { axis: "i".into(), factor: 16 }.to_string(),
+            Primitive::Split {
+                axis: "i".into(),
+                factor: 16
+            }
+            .to_string(),
             "io, ii = s.split(i, 16)"
         );
         assert_eq!(
-            Primitive::Bind { axis: "io".into(), hw: "blockIdx.x".into() }.to_string(),
+            Primitive::Bind {
+                axis: "io".into(),
+                hw: "blockIdx.x".into()
+            }
+            .to_string(),
             "s.bind(io, blockIdx.x)"
         );
     }

@@ -70,7 +70,10 @@ impl Schedule {
             te,
             output_tiles: extents
                 .iter()
-                .map(|&e| TileDim { extent: e, tile: e.min(256) })
+                .map(|&e| TileDim {
+                    extent: e,
+                    tile: e.min(256),
+                })
                 .collect(),
             reduce_tiles: vec![],
             grid_blocks: grid,
@@ -89,7 +92,11 @@ impl fmt::Display for Schedule {
         write!(
             f,
             "{}: grid={} threads={} smem={}B regs={} tiles=[",
-            self.te, self.grid_blocks, self.threads_per_block, self.shared_mem_bytes, self.regs_per_thread
+            self.te,
+            self.grid_blocks,
+            self.threads_per_block,
+            self.shared_mem_bytes,
+            self.regs_per_thread
         )?;
         for (i, t) in self.output_tiles.iter().enumerate() {
             if i > 0 {
@@ -114,9 +121,30 @@ mod tests {
 
     #[test]
     fn tile_dim_counts_tiles() {
-        assert_eq!(TileDim { extent: 64, tile: 16 }.num_tiles(), 4);
-        assert_eq!(TileDim { extent: 65, tile: 16 }.num_tiles(), 5);
-        assert_eq!(TileDim { extent: 8, tile: 16 }.num_tiles(), 1);
+        assert_eq!(
+            TileDim {
+                extent: 64,
+                tile: 16
+            }
+            .num_tiles(),
+            4
+        );
+        assert_eq!(
+            TileDim {
+                extent: 65,
+                tile: 16
+            }
+            .num_tiles(),
+            5
+        );
+        assert_eq!(
+            TileDim {
+                extent: 8,
+                tile: 16
+            }
+            .num_tiles(),
+            1
+        );
     }
 
     #[test]

@@ -36,7 +36,9 @@ fn is_mma_body(body: &ScalarExpr) -> bool {
     fn contains_mul_of_inputs(e: &ScalarExpr) -> bool {
         match e {
             ScalarExpr::Binary(BinaryOp::Mul, a, b) => {
-                reads_input(a) && reads_input(b) || contains_mul_of_inputs(a) || contains_mul_of_inputs(b)
+                reads_input(a) && reads_input(b)
+                    || contains_mul_of_inputs(a)
+                    || contains_mul_of_inputs(b)
             }
             ScalarExpr::Binary(_, a, b) => contains_mul_of_inputs(a) || contains_mul_of_inputs(b),
             ScalarExpr::Unary(_, a) => contains_mul_of_inputs(a),

@@ -48,9 +48,9 @@ mod options;
 mod pipeline;
 pub mod report;
 
-pub use options::SouffleOptions;
 pub use dynamic::MultiVersion;
-pub use pipeline::{Compiled, CompileStats, GraphCompiled, GraphPart, Souffle};
+pub use options::SouffleOptions;
+pub use pipeline::{CompileStats, Compiled, GraphCompiled, GraphPart, Souffle};
 
 // Re-export the component crates so downstream users need one dependency.
 pub use souffle_affine as affine;

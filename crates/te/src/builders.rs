@@ -138,7 +138,11 @@ pub fn broadcast_last(
     let sa = p.tensor(a).shape.clone();
     let sb = p.tensor(b).shape.clone();
     assert_eq!(sb.rank(), 1, "broadcast_last expects rank-1 rhs");
-    assert_eq!(sb.dim(0), sa.dim(sa.rank() - 1), "broadcast extent mismatch");
+    assert_eq!(
+        sb.dim(0),
+        sa.dim(sa.rank() - 1),
+        "broadcast extent mismatch"
+    );
     let dtype = p.tensor(a).dtype;
     let rank = sa.rank();
     p.add_te(
@@ -210,8 +214,14 @@ pub fn batch_matmul(p: &mut TeProgram, name: &str, a: TensorId, b: TensorId) -> 
         Some(ReduceOp::Sum),
         ScalarExpr::binary(
             BinaryOp::Mul,
-            ScalarExpr::input(0, vec![IndexExpr::var(0), IndexExpr::var(1), IndexExpr::var(3)]),
-            ScalarExpr::input(1, vec![IndexExpr::var(0), IndexExpr::var(3), IndexExpr::var(2)]),
+            ScalarExpr::input(
+                0,
+                vec![IndexExpr::var(0), IndexExpr::var(1), IndexExpr::var(3)],
+            ),
+            ScalarExpr::input(
+                1,
+                vec![IndexExpr::var(0), IndexExpr::var(3), IndexExpr::var(2)],
+            ),
         ),
     )
 }
@@ -244,12 +254,7 @@ pub fn gemv(p: &mut TeProgram, name: &str, w: TensorId, x: TensorId) -> TensorId
 }
 
 /// Reduction over the last axis: `out[i..] = reduce(a[i.., r])`.
-pub fn reduce_last(
-    p: &mut TeProgram,
-    name: &str,
-    op: ReduceOp,
-    a: TensorId,
-) -> TensorId {
+pub fn reduce_last(p: &mut TeProgram, name: &str, op: ReduceOp, a: TensorId) -> TensorId {
     let sa = p.tensor(a).shape.clone();
     assert!(sa.rank() >= 1, "reduce_last requires rank >= 1");
     let out_rank = sa.rank() - 1;
@@ -417,7 +422,15 @@ pub fn reshape(p: &mut TeProgram, name: &str, a: TensorId, new_shape: Shape) -> 
         .zip(sa.dims())
         .map(|(&st, &d)| flat.clone().floor_div(st).modulo(d))
         .collect();
-    p.add_te(name, new_shape, dtype, vec![a], vec![], None, ScalarExpr::input(0, indices))
+    p.add_te(
+        name,
+        new_shape,
+        dtype,
+        vec![a],
+        vec![],
+        None,
+        ScalarExpr::input(0, indices),
+    )
 }
 
 /// Permutation of dimensions: `out[i0..in] = a[i_perm[0]..i_perm[n]]`.
@@ -443,7 +456,15 @@ pub fn transpose(p: &mut TeProgram, name: &str, a: TensorId, perm: &[usize]) -> 
     for (out_axis, &in_axis) in perm.iter().enumerate() {
         indices[in_axis] = IndexExpr::var(out_axis);
     }
-    p.add_te(name, out_shape, dtype, vec![a], vec![], None, ScalarExpr::input(0, indices))
+    p.add_te(
+        name,
+        out_shape,
+        dtype,
+        vec![a],
+        vec![],
+        None,
+        ScalarExpr::input(0, indices),
+    )
 }
 
 /// Strided slice along one axis: keeps `out_extent` elements starting at
@@ -473,7 +494,9 @@ pub fn strided_slice(
     let indices: Vec<IndexExpr> = (0..sa.rank())
         .map(|d| {
             if d == axis {
-                IndexExpr::var(d).mul(stride).add(IndexExpr::constant(start))
+                IndexExpr::var(d)
+                    .mul(stride)
+                    .add(IndexExpr::constant(start))
             } else {
                 IndexExpr::var(d)
             }
@@ -641,8 +664,8 @@ pub fn grouped_conv2d(
     let ow = (w + 2 * pad - kw) / stride + 1;
     let dtype = p.tensor(input).dtype;
     let fpg = f / groups; // features per group
-    // vars: 0..4 = n, f, y, x ; 4..7 = cg (within group), ry, rx
-    // input channel = (f / fpg) * cg_extent + cg
+                          // vars: 0..4 = n, f, y, x ; 4..7 = cg (within group), ry, rx
+                          // input channel = (f / fpg) * cg_extent + cg
     let in_c = IndexExpr::var(1)
         .floor_div(fpg)
         .mul(cg)
@@ -991,7 +1014,10 @@ mod tests {
             &p,
             vec![
                 (a, Tensor::zeros(Shape::new(vec![2, 3]))),
-                (b, Tensor::from_vec(Shape::new(vec![3]), vec![1.0, 2.0, 3.0])),
+                (
+                    b,
+                    Tensor::from_vec(Shape::new(vec![3]), vec![1.0, 2.0, 3.0]),
+                ),
             ],
         );
         assert_eq!(out[&y].at(&[0, 2]), 3.0);

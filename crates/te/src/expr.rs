@@ -216,7 +216,9 @@ impl Cond {
     pub fn substitute(&self, subs: &[IndexExpr]) -> Cond {
         match self {
             Cond::Cmp(op, a, b) => Cond::Cmp(*op, a.substitute(subs), b.substitute(subs)),
-            Cond::And(a, b) => Cond::And(Box::new(a.substitute(subs)), Box::new(b.substitute(subs))),
+            Cond::And(a, b) => {
+                Cond::And(Box::new(a.substitute(subs)), Box::new(b.substitute(subs)))
+            }
             Cond::Or(a, b) => Cond::Or(Box::new(a.substitute(subs)), Box::new(b.substitute(subs))),
             Cond::Not(a) => Cond::Not(Box::new(a.substitute(subs))),
         }
@@ -390,7 +392,11 @@ impl ScalarExpr {
     /// # Panics
     ///
     /// Panics if an operand slot is missing from `operand_map`.
-    pub fn substitute(&self, subs: &[IndexExpr], operand_map: &dyn Fn(usize) -> usize) -> ScalarExpr {
+    pub fn substitute(
+        &self,
+        subs: &[IndexExpr],
+        operand_map: &dyn Fn(usize) -> usize,
+    ) -> ScalarExpr {
         match self {
             ScalarExpr::Const(c) => ScalarExpr::Const(*c),
             ScalarExpr::Input { operand, indices } => ScalarExpr::Input {
@@ -579,8 +585,11 @@ mod tests {
 
     #[test]
     fn cond_eval_and_substitute() {
-        let c = Cond::cmp(CmpOp::Lt, IndexExpr::var(0), IndexExpr::constant(4))
-            .and(Cond::cmp(CmpOp::Ge, IndexExpr::var(1), IndexExpr::constant(0)));
+        let c = Cond::cmp(CmpOp::Lt, IndexExpr::var(0), IndexExpr::constant(4)).and(Cond::cmp(
+            CmpOp::Ge,
+            IndexExpr::var(1),
+            IndexExpr::constant(0),
+        ));
         assert!(c.eval(&[3, 0]));
         assert!(!c.eval(&[4, 0]));
         let s = c.substitute(&[IndexExpr::var(0).mul(2), IndexExpr::var(0)]);
@@ -620,7 +629,8 @@ mod tests {
     fn inline_operand_substitutes_producer_body() {
         // consumer: out[i] = in0[2*i] ; producer body: in0'[i] = exp(in0[i])
         let consumer = ScalarExpr::input(0, vec![IndexExpr::var(0).mul(2)]);
-        let producer = ScalarExpr::unary(UnaryOp::Exp, ScalarExpr::input(0, vec![IndexExpr::var(0)]));
+        let producer =
+            ScalarExpr::unary(UnaryOp::Exp, ScalarExpr::input(0, vec![IndexExpr::var(0)]));
         let fused = consumer.inline_operand(0, &producer);
         // fused should be exp(in0[2*i])
         match &fused {
@@ -650,7 +660,11 @@ mod tests {
         // exp(1 + 0) -> const
         let e = ScalarExpr::unary(
             UnaryOp::Exp,
-            ScalarExpr::binary(BinaryOp::Add, ScalarExpr::Const(1.0), ScalarExpr::Const(0.0)),
+            ScalarExpr::binary(
+                BinaryOp::Add,
+                ScalarExpr::Const(1.0),
+                ScalarExpr::Const(0.0),
+            ),
         );
         match e.simplified() {
             ScalarExpr::Const(c) => assert!((c - std::f32::consts::E).abs() < 1e-6),

@@ -17,7 +17,7 @@
 
 use crate::builders;
 use crate::expr::{BinaryOp, ScalarExpr, UnaryOp};
-use crate::program::{TensorId, TeProgram};
+use crate::program::{TeProgram, TensorId};
 use crate::te::ReduceOp;
 use souffle_affine::IndexExpr;
 use std::collections::HashMap;
@@ -120,7 +120,11 @@ fn recognize(program: &TeProgram, te: &crate::TensorExpr) -> Result<Pattern, Gra
         }
         // reduce_last sum: in0[i.., r]
         if te.reduce_op == Some(ReduceOp::Sum) && te.reduce.len() == 1 {
-            if let ScalarExpr::Input { operand: 0, indices } = &te.body {
+            if let ScalarExpr::Input {
+                operand: 0,
+                indices,
+            } = &te.body
+            {
                 let ok = indices.len() == rank + 1
                     && indices
                         .iter()
@@ -128,9 +132,7 @@ fn recognize(program: &TeProgram, te: &crate::TensorExpr) -> Result<Pattern, Gra
                         .all(|(d, ix)| *ix == IndexExpr::Var(d));
                 // reduce_last on a vector produces shape [1] with the body
                 // reading [v1]; accept that too.
-                let vec_ok = rank == 1
-                    && indices.len() == 1
-                    && indices[0] == IndexExpr::Var(1);
+                let vec_ok = rank == 1 && indices.len() == 1 && indices[0] == IndexExpr::Var(1);
                 if ok || vec_ok {
                     return Ok(Pattern::ReduceSumLast);
                 }
@@ -149,7 +151,11 @@ fn recognize(program: &TeProgram, te: &crate::TensorExpr) -> Result<Pattern, Gra
             }
             // bias add: in0[i, j] + in1[j] (rank 2)
             if rank == 2 && *op == BinaryOp::Add && identity_access(a, 0, rank) {
-                if let ScalarExpr::Input { operand: 1, indices } = b.as_ref() {
+                if let ScalarExpr::Input {
+                    operand: 1,
+                    indices,
+                } = b.as_ref()
+                {
                     if indices.as_slice() == [IndexExpr::Var(1)] {
                         return Ok(Pattern::BiasAdd);
                     }
@@ -233,10 +239,10 @@ pub fn backward(
     grads.insert(loss, ones);
 
     let accumulate = |bwd: &mut TeProgram,
-                          grads: &mut HashMap<TensorId, TensorId>,
-                          fwd_tensor: TensorId,
-                          contribution: TensorId,
-                          name: &str| {
+                      grads: &mut HashMap<TensorId, TensorId>,
+                      fwd_tensor: TensorId,
+                      contribution: TensorId,
+                      name: &str| {
         match grads.get(&fwd_tensor) {
             Some(&existing) => {
                 let sum = builders::add(bwd, &format!("{name}.acc"), existing, contribution);
@@ -292,11 +298,17 @@ pub fn backward(
                     // d(a/b) = dy/b ; -dy*a/b^2
                     let a = save!(te.inputs[0]);
                     let b = save!(te.inputs[1]);
-                    let d0 = builders::binary(&mut bwd, &format!("{gname}.d0"), BinaryOp::Div, dy, b);
+                    let d0 =
+                        builders::binary(&mut bwd, &format!("{gname}.d0"), BinaryOp::Div, dy, b);
                     let b2 = builders::mul(&mut bwd, &format!("{gname}.b2"), b, b);
                     let num = builders::mul(&mut bwd, &format!("{gname}.num"), dy, a);
-                    let frac =
-                        builders::binary(&mut bwd, &format!("{gname}.frac"), BinaryOp::Div, num, b2);
+                    let frac = builders::binary(
+                        &mut bwd,
+                        &format!("{gname}.frac"),
+                        BinaryOp::Div,
+                        num,
+                        b2,
+                    );
                     let d1 = builders::scale(&mut bwd, &format!("{gname}.d1"), frac, -1.0);
                     accumulate(&mut bwd, &mut grads, te.inputs[0], d0, &gname);
                     accumulate(&mut bwd, &mut grads, te.inputs[1], d1, &gname);
@@ -328,7 +340,8 @@ pub fn backward(
                 accumulate(&mut bwd, &mut grads, te.inputs[0], dy, &gname);
                 // d bias[j] = sum_i dy[i, j]
                 let dyt = builders::transpose(&mut bwd, &format!("{gname}.t"), dy, &[1, 0]);
-                let db = builders::reduce_last(&mut bwd, &format!("{gname}.db"), ReduceOp::Sum, dyt);
+                let db =
+                    builders::reduce_last(&mut bwd, &format!("{gname}.db"), ReduceOp::Sum, dyt);
                 accumulate(&mut bwd, &mut grads, te.inputs[1], db, &gname);
             }
             Pattern::MatMul => {
@@ -348,12 +361,11 @@ pub fn backward(
                 let in_shape = in_info.shape.clone();
                 let out_rank = forward.tensor(te.output).shape.rank();
                 // dy index: leading dims of dx; scalar case reads [0].
-                let dy_idx: Vec<IndexExpr> =
-                    if out_rank == 1 && in_shape.rank() == 1 {
-                        vec![IndexExpr::constant(0)]
-                    } else {
-                        (0..in_shape.rank() - 1).map(IndexExpr::Var).collect()
-                    };
+                let dy_idx: Vec<IndexExpr> = if out_rank == 1 && in_shape.rank() == 1 {
+                    vec![IndexExpr::constant(0)]
+                } else {
+                    (0..in_shape.rank() - 1).map(IndexExpr::Var).collect()
+                };
                 let dx = bwd.add_te(
                     &format!("{gname}.bcast"),
                     in_shape,
@@ -433,8 +445,7 @@ fn unary_grad(
                 None,
                 ScalarExpr::Const(1.0),
             );
-            let one_minus =
-                builders::binary(bwd, &format!("{name}.om"), BinaryOp::Sub, one, y);
+            let one_minus = builders::binary(bwd, &format!("{name}.om"), BinaryOp::Sub, one, y);
             let dydx = builders::mul(bwd, &format!("{name}.dydx"), y, one_minus);
             builders::mul(bwd, &format!("{name}.mul"), dy, dydx)
         }
@@ -538,10 +549,7 @@ mod tests {
         (p, x, w, b, target, loss)
     }
 
-    fn mlp_bindings(
-        p: &TeProgram,
-        seed: u64,
-    ) -> HashMap<TensorId, Tensor> {
+    fn mlp_bindings(p: &TeProgram, seed: u64) -> HashMap<TensorId, Tensor> {
         p.free_tensors()
             .into_iter()
             .enumerate()
@@ -585,8 +593,9 @@ mod tests {
         let t = builders::unary(&mut p, "t", UnaryOp::Tanh, s);
         let loss = builders::reduce_last(&mut p, "loss", ReduceOp::Sum, t);
         p.mark_output(loss);
-        let binds: HashMap<_, _> =
-            [(x, Tensor::random(Shape::new(vec![6]), 3))].into_iter().collect();
+        let binds: HashMap<_, _> = [(x, Tensor::random(Shape::new(vec![6]), 3))]
+            .into_iter()
+            .collect();
         check_gradient(&p, loss, x, &binds, 2e-2);
     }
 
@@ -602,10 +611,7 @@ mod tests {
         let mut binds = HashMap::new();
         binds.insert(a, Tensor::random(Shape::new(vec![5]), 5));
         // keep b away from zero
-        binds.insert(
-            b,
-            Tensor::random(Shape::new(vec![5]), 6).map(|v| v + 2.5),
-        );
+        binds.insert(b, Tensor::random(Shape::new(vec![5]), 6).map(|v| v + 2.5));
         check_gradient(&p, loss, a, &binds, 2e-2);
         check_gradient(&p, loss, b, &binds, 2e-2);
     }

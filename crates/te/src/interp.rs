@@ -276,7 +276,10 @@ mod tests {
         let f = builders::add_scalar(&mut p, "p1", e, 1.0);
         p.mark_output(f);
         let mut b = HashMap::new();
-        b.insert(a, Tensor::from_vec(Shape::new(vec![4]), vec![0.0, 1.0, 2.0, 3.0]));
+        b.insert(
+            a,
+            Tensor::from_vec(Shape::new(vec![4]), vec![0.0, 1.0, 2.0, 3.0]),
+        );
         let out = eval_program(&p, &b).unwrap();
         assert_eq!(out[&f].data(), &[1.0, 3.0, 5.0, 7.0]);
     }

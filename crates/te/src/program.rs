@@ -384,10 +384,7 @@ impl TeProgram {
 
             for (operand, indices) in te.body.accesses() {
                 let Some(&tensor_id) = te.inputs.get(operand) else {
-                    return Err(ValidateError::BadOperand {
-                        te: te_id,
-                        operand,
-                    });
+                    return Err(ValidateError::BadOperand { te: te_id, operand });
                 };
                 if !defined[tensor_id.0] {
                     return Err(ValidateError::UseBeforeDef {
@@ -480,9 +477,18 @@ fn check_bounds<'a>(
 
 impl fmt::Display for TeProgram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "TeProgram ({} tensors, {} TEs)", self.tensors.len(), self.tes.len())?;
+        writeln!(
+            f,
+            "TeProgram ({} tensors, {} TEs)",
+            self.tensors.len(),
+            self.tes.len()
+        )?;
         for (i, t) in self.tensors.iter().enumerate() {
-            writeln!(f, "  t{i}: {} {} {:?} \"{}\"", t.dtype, t.shape, t.kind, t.name)?;
+            writeln!(
+                f,
+                "  t{i}: {} {} {:?} \"{}\"",
+                t.dtype, t.shape, t.kind, t.name
+            )?;
         }
         for te in &self.tes {
             writeln!(f, "  {te}")?;
@@ -578,7 +584,11 @@ mod tests {
         );
         assert!(matches!(
             p.validate(),
-            Err(ValidateError::RankMismatch { want: 2, got: 1, .. })
+            Err(ValidateError::RankMismatch {
+                want: 2,
+                got: 1,
+                ..
+            })
         ));
     }
 
@@ -597,7 +607,11 @@ mod tests {
         );
         assert!(matches!(
             p.validate(),
-            Err(ValidateError::VarOutOfRange { max_var: 1, n_vars: 1, .. })
+            Err(ValidateError::VarOutOfRange {
+                max_var: 1,
+                n_vars: 1,
+                ..
+            })
         ));
     }
 

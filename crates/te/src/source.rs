@@ -126,10 +126,7 @@ pub fn te_source(program: &TeProgram) -> String {
                 .iter()
                 .enumerate()
                 .map(|(r, ext)| {
-                    format!(
-                        "{} = te.reduce_axis((0, {ext}))",
-                        var_name(rank + r, rank)
-                    )
+                    format!("{} = te.reduce_axis((0, {ext}))", var_name(rank + r, rank))
                 })
                 .collect();
             out.push_str(&format!("      {}\n", axes.join("; ")));
@@ -186,10 +183,7 @@ mod tests {
         let o0 = builders::matmul(&mut p, "O0", i0, w0);
         let _o1 = builders::sigmoid(&mut p, "O1", o0);
         let src = te_source(&p);
-        assert!(
-            src.contains("rk = te.reduce_axis((0, 64))"),
-            "{src}"
-        );
+        assert!(src.contains("rk = te.reduce_axis((0, 64))"), "{src}");
         assert!(
             src.contains("TE0: O0 = te.compute((64, 64), lambda i, j: te.sum(I0[i, rk] * W0[rk, j], axis=[rk]))"),
             "{src}"

@@ -146,9 +146,7 @@ impl TensorExpr {
             return None;
         }
         match &self.body {
-            ScalarExpr::Input { indices, .. } => {
-                Some(IndexMap::new(output_rank, indices.clone()))
-            }
+            ScalarExpr::Input { indices, .. } => Some(IndexMap::new(output_rank, indices.clone())),
             _ => None,
         }
     }

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+//! Hermetic correctness tooling for the Souffle reproduction.
+//!
+//! The workspace must build and test fully offline, so this crate
+//! replaces the crates.io trio the seed depended on:
+//!
+//! | external crate | in-tree replacement |
+//! |---|---|
+//! | `rand` | [`Rng`] — SplitMix64-seeded xoshiro256++ |
+//! | `proptest` | [`forall!`] + [`Shrink`] — deterministic property testing with value shrinking |
+//! | `criterion` | [`timer::Bench`] — calibrated wall-clock timing |
+//!
+//! On top of those sits what neither external crate offered:
+//!
+//! - [`teprog`]: a generator of random *well-formed* TE programs
+//!   (random shapes, quasi-affine index maps, reduction axes,
+//!   element-wise chains) whose specs shrink to minimal counterexamples;
+//! - [`oracle`]: a **differential semantics oracle** that runs the
+//!   reference interpreter before and after each pipeline stage
+//!   (horizontal fusion, vertical composition, schedule
+//!   propagation/merging, the full pipeline) and compares outputs with
+//!   ULP-aware tolerances, reporting the failing seed and the shrunk TE
+//!   program on any mismatch.
+//!
+//! # Determinism contract
+//!
+//! Every random decision flows from one base seed: [`DEFAULT_SEED`]
+//! unless the `TESTKIT_SEED` environment variable overrides it. Failure
+//! reports print the base seed, the per-case seed, and the shrunk input;
+//! `TESTKIT_SEED=<reported seed> cargo test <name>` replays the exact
+//! failing run.
+
+pub mod oracle;
+mod prop;
+mod rng;
+mod shrink;
+pub mod teprog;
+pub mod timer;
+
+pub use prop::{forall_impl, seed_from_env, Config, DEFAULT_SEED};
+pub use rng::{splitmix64, Rng};
+pub use shrink::Shrink;

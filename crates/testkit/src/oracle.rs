@@ -1,0 +1,425 @@
+//! The differential semantics oracle.
+//!
+//! Souffle's central claim (§6 of the paper) is that its TE
+//! transformations are semantic-preserving. The oracle checks that claim
+//! mechanically: a program is evaluated with the reference interpreter
+//! *before* and *after* each pipeline stage on identical seeded random
+//! inputs, and every program output is compared element-wise with an
+//! ULP-aware tolerance. A mismatch produces a report carrying the stage,
+//! the seed, the worst element, and both programs pretty-printed in
+//! `te.compute` notation — everything needed to reproduce and debug the
+//! broken rewrite.
+
+use souffle::{Souffle, SouffleOptions};
+use souffle_te::interp::{eval_with_random_inputs, EvalError};
+use souffle_te::{source::te_source, TeProgram};
+use souffle_transform::{horizontal_fuse_program, transform_program, vertical_fuse_program};
+use std::fmt;
+
+/// A pipeline stage under differential test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Horizontal TE fusion alone (§6.1).
+    Horizontal,
+    /// Vertical quasi-affine composition alone (§6.2).
+    Vertical,
+    /// Horizontal + vertical to fixpoint (`transform_program`).
+    Transform,
+    /// The V3 pipeline: transforms plus schedule propagation, resource
+    /// partitioning and kernel merging (§6.3–6.4). The lowered kernels are
+    /// not interpretable, but the TE program the pipeline lowers *is* —
+    /// this checks that everything scheduling did to the program kept it
+    /// equivalent.
+    ScheduleMerge,
+    /// The full V4 pipeline including subprogram optimization (§6.5).
+    FullPipeline,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 5] = [
+        Stage::Horizontal,
+        Stage::Vertical,
+        Stage::Transform,
+        Stage::ScheduleMerge,
+        Stage::FullPipeline,
+    ];
+
+    /// Short stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Horizontal => "horizontal",
+            Stage::Vertical => "vertical",
+            Stage::Transform => "transform",
+            Stage::ScheduleMerge => "schedule-merge",
+            Stage::FullPipeline => "full-pipeline",
+        }
+    }
+
+    /// Applies the stage, returning the program whose semantics must match
+    /// the input's.
+    pub fn apply(self, program: &TeProgram) -> TeProgram {
+        match self {
+            Stage::Horizontal => horizontal_fuse_program(program).0,
+            Stage::Vertical => vertical_fuse_program(program).0,
+            Stage::Transform => transform_program(program).0,
+            Stage::ScheduleMerge => Souffle::new(SouffleOptions::v3()).compile(program).program,
+            Stage::FullPipeline => {
+                Souffle::new(SouffleOptions::full())
+                    .compile(program)
+                    .program
+            }
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Closeness criterion: two values agree when they are within
+/// `atol + rtol·max(|a|,|b|)` **or** within `max_ulps` representable
+/// floats of each other (which adapts to magnitude where fixed tolerances
+/// cannot), with `NaN ≡ NaN`.
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerance {
+    /// Absolute tolerance.
+    pub atol: f32,
+    /// Relative tolerance.
+    pub rtol: f32,
+    /// Maximum units-in-the-last-place distance.
+    pub max_ulps: u64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        // Transforms reassociate at most a handful of f32 operations, so
+        // the bar is deliberately tight.
+        Tolerance {
+            atol: 1e-4,
+            rtol: 1e-4,
+            max_ulps: 64,
+        }
+    }
+}
+
+impl Tolerance {
+    /// Whether `a` and `b` agree under this tolerance.
+    pub fn close(&self, a: f32, b: f32) -> bool {
+        if a == b || (a.is_nan() && b.is_nan()) {
+            return true;
+        }
+        if a.is_nan() || b.is_nan() {
+            return false;
+        }
+        let diff = (a - b).abs();
+        if diff <= self.atol + self.rtol * a.abs().max(b.abs()) {
+            return true;
+        }
+        ulp_distance(a, b) <= self.max_ulps
+    }
+}
+
+/// Distance between two floats in representable steps. Adjacent floats are
+/// 1 apart, `-0.0` and `+0.0` are 0 apart, and any non-NaN is `u64::MAX`
+/// from NaN.
+pub fn ulp_distance(a: f32, b: f32) -> u64 {
+    if a.is_nan() || b.is_nan() {
+        return if a.is_nan() && b.is_nan() {
+            0
+        } else {
+            u64::MAX
+        };
+    }
+    // Map bit patterns to a monotone integer line: negatives become the
+    // negation of their magnitude ordinal.
+    fn monotone(x: f32) -> i64 {
+        let bits = x.to_bits();
+        if bits >> 31 == 1 {
+            -i64::from(bits & 0x7FFF_FFFF)
+        } else {
+            i64::from(bits)
+        }
+    }
+    monotone(a).abs_diff(monotone(b))
+}
+
+/// Everything known about one failed comparison.
+#[derive(Debug, Clone)]
+pub struct Mismatch {
+    /// The stage that broke semantics.
+    pub stage: Stage,
+    /// Input seed the programs were evaluated with.
+    pub seed: u64,
+    /// Name of the diverging output tensor.
+    pub tensor: String,
+    /// Flat (row-major) index of the worst element.
+    pub flat_index: usize,
+    /// Reference value at that element.
+    pub expected: f32,
+    /// Transformed-program value at that element.
+    pub got: f32,
+    /// Worst absolute difference across the tensor.
+    pub max_abs_diff: f32,
+    /// Worst ULP distance across the tensor.
+    pub max_ulps: u64,
+    /// The program before the stage, in `te.compute` notation.
+    pub before_src: String,
+    /// The program after the stage, in `te.compute` notation.
+    pub after_src: String,
+}
+
+impl fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "stage '{}' is not semantic-preserving (seed {:#018x}):",
+            self.stage, self.seed
+        )?;
+        writeln!(
+            f,
+            "  output \"{}\"[{}]: expected {} got {} (tensor max |diff| {}, max {} ulps)",
+            self.tensor, self.flat_index, self.expected, self.got, self.max_abs_diff, self.max_ulps
+        )?;
+        writeln!(f, "  program before:\n{}", indent(&self.before_src))?;
+        write!(f, "  program after:\n{}", indent(&self.after_src))
+    }
+}
+
+fn indent(s: &str) -> String {
+    s.lines()
+        .map(|l| format!("    {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Oracle failure: either a program failed to run at all, or outputs
+/// diverged.
+#[derive(Debug)]
+pub enum OracleError {
+    /// A stage produced a structurally invalid program.
+    Invalid {
+        /// The offending stage.
+        stage: Stage,
+        /// `validate()`'s complaint.
+        detail: String,
+        /// The invalid program, pretty-printed.
+        program: String,
+    },
+    /// The interpreter rejected the program before or after the stage.
+    Eval {
+        /// The offending stage.
+        stage: Stage,
+        /// `"before"` or `"after"`.
+        which: &'static str,
+        /// The interpreter error.
+        error: EvalError,
+    },
+    /// Outputs diverged beyond tolerance.
+    Mismatch(Box<Mismatch>),
+    /// The transformed program dropped one of the original outputs.
+    MissingOutput {
+        /// The offending stage.
+        stage: Stage,
+        /// Name of the output that vanished.
+        tensor: String,
+    },
+}
+
+impl fmt::Display for OracleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleError::Invalid {
+                stage,
+                detail,
+                program,
+            } => write!(
+                f,
+                "stage '{stage}' produced an invalid program: {detail}\n{}",
+                indent(program)
+            ),
+            OracleError::Eval {
+                stage,
+                which,
+                error,
+            } => write!(f, "stage '{stage}': interpreter failed {which}: {error}"),
+            OracleError::Mismatch(m) => m.fmt(f),
+            OracleError::MissingOutput { stage, tensor } => {
+                write!(f, "stage '{stage}' lost output tensor \"{tensor}\"")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+/// Differentially checks one stage on one seed.
+///
+/// # Errors
+///
+/// Returns an [`OracleError`] when the transformed program is invalid,
+/// uninterpretable, drops an output, or diverges from the reference.
+pub fn check_stage(
+    program: &TeProgram,
+    stage: Stage,
+    seed: u64,
+    tol: &Tolerance,
+) -> Result<(), OracleError> {
+    let transformed = stage.apply(program);
+    if let Err(e) = transformed.validate() {
+        return Err(OracleError::Invalid {
+            stage,
+            detail: format!("{e:?}"),
+            program: te_source(&transformed),
+        });
+    }
+    let want = eval_with_random_inputs(program, seed).map_err(|error| OracleError::Eval {
+        stage,
+        which: "before",
+        error,
+    })?;
+    let got = eval_with_random_inputs(&transformed, seed).map_err(|error| OracleError::Eval {
+        stage,
+        which: "after",
+        error,
+    })?;
+    for (id, w) in &want {
+        let name = program.tensor(*id).name.clone();
+        let g = match got.get(id) {
+            Some(g) => g,
+            None => {
+                return Err(OracleError::MissingOutput {
+                    stage,
+                    tensor: name,
+                })
+            }
+        };
+        let mut worst: Option<(usize, f32, f32, f32)> = None;
+        let mut max_abs = 0.0f32;
+        let mut max_ulps = 0u64;
+        for (i, (&a, &b)) in w.data().iter().zip(g.data().iter()).enumerate() {
+            let d = (a - b).abs();
+            if d.is_nan() && !(a.is_nan() && b.is_nan()) {
+                max_abs = f32::INFINITY;
+            } else if d > max_abs {
+                max_abs = d;
+            }
+            max_ulps = max_ulps.max(ulp_distance(a, b));
+            if !tol.close(a, b) && worst.map_or(true, |(_, _, _, wd)| d > wd || d.is_nan()) {
+                worst = Some((i, a, b, d));
+            }
+        }
+        if g.shape() != w.shape() {
+            worst = Some((0, 0.0, 0.0, f32::INFINITY));
+        }
+        if let Some((flat_index, expected, got_v, _)) = worst {
+            return Err(OracleError::Mismatch(Box::new(Mismatch {
+                stage,
+                seed,
+                tensor: name,
+                flat_index,
+                expected,
+                got: got_v,
+                max_abs_diff: max_abs,
+                max_ulps,
+                before_src: te_source(program),
+                after_src: te_source(&transformed),
+            })));
+        }
+    }
+    Ok(())
+}
+
+/// Runs [`check_stage`] for every [`Stage`] in pipeline order, stopping at
+/// the first failure.
+///
+/// # Errors
+///
+/// Propagates the first stage's [`OracleError`].
+pub fn check_all_stages(
+    program: &TeProgram,
+    seed: u64,
+    tol: &Tolerance,
+) -> Result<(), OracleError> {
+    for stage in Stage::ALL {
+        check_stage(program, stage, seed, tol)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use souffle_te::builders;
+    use souffle_tensor::{DType, Shape};
+
+    fn sample_program() -> TeProgram {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4, 6]), DType::F32);
+        let w = p.add_weight("W", Shape::new(vec![6, 3]), DType::F32);
+        let mm = builders::matmul(&mut p, "mm", a, w);
+        let s = builders::sigmoid(&mut p, "sig", mm);
+        let t = builders::transpose(&mut p, "t", s, &[1, 0]);
+        p.mark_output(t);
+        p
+    }
+
+    #[test]
+    fn all_stages_preserve_sample_program() {
+        let p = sample_program();
+        for seed in [1, 77, 4242] {
+            check_all_stages(&p, seed, &Tolerance::default()).unwrap();
+        }
+    }
+
+    #[test]
+    fn ulp_distance_basics() {
+        assert_eq!(ulp_distance(1.0, 1.0), 0);
+        assert_eq!(ulp_distance(0.0, -0.0), 0);
+        assert_eq!(ulp_distance(1.0, f32::from_bits(1.0f32.to_bits() + 1)), 1);
+        assert_eq!(ulp_distance(f32::NAN, f32::NAN), 0);
+        assert_eq!(ulp_distance(1.0, f32::NAN), u64::MAX);
+        // Distance is symmetric across zero.
+        assert_eq!(
+            ulp_distance(-f32::MIN_POSITIVE, f32::MIN_POSITIVE),
+            2 * u64::from(f32::MIN_POSITIVE.to_bits())
+        );
+    }
+
+    #[test]
+    fn mismatch_report_names_seed_and_programs() {
+        // Force a mismatch by comparing a program against a deliberately
+        // different one through the Mismatch display path.
+        let p = sample_program();
+        let m = Mismatch {
+            stage: Stage::Vertical,
+            seed: 0xDEAD,
+            tensor: "t".into(),
+            flat_index: 3,
+            expected: 1.0,
+            got: 2.0,
+            max_abs_diff: 1.0,
+            max_ulps: 1 << 23,
+            before_src: te_source(&p),
+            after_src: te_source(&p),
+        };
+        let text = m.to_string();
+        assert!(text.contains("0x000000000000dead"), "{text}");
+        assert!(text.contains("te.compute"), "{text}");
+        assert!(text.contains("vertical"), "{text}");
+    }
+
+    #[test]
+    fn oracle_detects_a_broken_rewrite() {
+        // Simulate a broken transform: compare the program against itself
+        // with a perturbed constant. check_stage can't be used directly
+        // (its stages are the real ones), so exercise the comparison core
+        // through a scale-off-by-epsilon program pair via Tolerance.
+        let tol = Tolerance::default();
+        assert!(!tol.close(1.0, 1.01));
+        assert!(tol.close(1.0, 1.0 + 1e-6));
+        assert!(tol.close(1e30, 1.0000001e30)); // rtol/ulps regime
+    }
+}

@@ -1,0 +1,191 @@
+//! Iterative counterexample shrinking.
+//!
+//! Unlike proptest's integrated shrinking (which shrinks the random-choice
+//! tape), the testkit shrinks *values*: a failing input proposes simpler
+//! candidate inputs via [`Shrink::shrink_candidates`], and the harness
+//! greedily walks to the simplest input that still fails. Shrinking a
+//! domain value directly keeps the trait object-free and the failure
+//! reports readable — the shrunk value is printed verbatim.
+
+/// Types that can propose strictly simpler versions of themselves.
+///
+/// Candidates should be "smaller" in some well-founded sense (shorter,
+/// closer to zero, structurally simpler); the harness additionally bounds
+/// the total number of candidate evaluations, so approximate
+/// well-foundedness (e.g. float halving) is acceptable.
+pub trait Shrink: Sized {
+    /// Simpler candidate values, most aggressive first. An empty vector
+    /// means the value is minimal.
+    fn shrink_candidates(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+macro_rules! impl_shrink_unsigned {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink_candidates(&self) -> Vec<Self> {
+                let v = *self;
+                if v == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0, v / 2, v - 1];
+                out.dedup();
+                out.retain(|&c| c < v);
+                out
+            }
+        }
+    )*};
+}
+impl_shrink_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_shrink_signed {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink_candidates(&self) -> Vec<Self> {
+                let v = *self;
+                if v == 0 {
+                    return Vec::new();
+                }
+                let mut out = vec![0, v / 2, v - v.signum()];
+                out.dedup();
+                out.retain(|&c| c.unsigned_abs() < v.unsigned_abs());
+                out
+            }
+        }
+    )*};
+}
+impl_shrink_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_shrink_float {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink_candidates(&self) -> Vec<Self> {
+                let v = *self;
+                if v == 0.0 {
+                    return Vec::new();
+                }
+                if !v.is_finite() {
+                    return vec![0.0];
+                }
+                let mut out = vec![0.0, v / 2.0];
+                if v < 0.0 {
+                    out.push(-v);
+                }
+                out
+            }
+        }
+    )*};
+}
+impl_shrink_float!(f32, f64);
+
+impl Shrink for bool {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl<T: Shrink + Clone> Shrink for Option<T> {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        match self {
+            None => Vec::new(),
+            Some(v) => std::iter::once(None)
+                .chain(v.shrink_candidates().into_iter().map(Some))
+                .collect(),
+        }
+    }
+}
+
+/// At most this many per-position candidates are proposed for vectors, so
+/// shrinking long inputs stays cheap.
+const VEC_POSITION_CAP: usize = 24;
+
+impl<T: Shrink + Clone> Shrink for Vec<T> {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        let n = self.len();
+        if n == 0 {
+            return out;
+        }
+        // Structural shrinks first: drop the back half, the front half,
+        // then single elements.
+        if n > 1 {
+            out.push(self[..n / 2].to_vec());
+            out.push(self[n / 2..].to_vec());
+        } else {
+            out.push(Vec::new());
+        }
+        for i in 0..n.min(VEC_POSITION_CAP) {
+            let mut v = self.clone();
+            v.remove(i);
+            out.push(v);
+        }
+        // Then element-wise shrinks (first candidate per position only).
+        for i in 0..n.min(VEC_POSITION_CAP) {
+            for cand in self[i].shrink_candidates().into_iter().take(2) {
+                let mut v = self.clone();
+                v[i] = cand;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_shrink_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Shrink + Clone),+> Shrink for ($($name,)+) {
+            fn shrink_candidates(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink_candidates() {
+                        let mut t = self.clone();
+                        t.$idx = cand;
+                        out.push(t);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+impl_shrink_tuple!(A: 0);
+impl_shrink_tuple!(A: 0, B: 1);
+impl_shrink_tuple!(A: 0, B: 1, C: 2);
+impl_shrink_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_shrink_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_shrink_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_shrink_toward_zero() {
+        assert!(0u64.shrink_candidates().is_empty());
+        assert!(10u32.shrink_candidates().contains(&0));
+        assert!((-8i64).shrink_candidates().iter().all(|&c| c.abs() < 8));
+    }
+
+    #[test]
+    fn vec_candidates_are_smaller_or_equal_len() {
+        let v = vec![3u8, 1, 4, 1, 5];
+        for c in v.shrink_candidates() {
+            assert!(c.len() <= v.len());
+            assert_ne!(c, v);
+        }
+        assert!(v.shrink_candidates().contains(&vec![3, 1]));
+    }
+
+    #[test]
+    fn tuple_shrinks_one_component() {
+        let t = (4u8, 0i64);
+        let cands = t.shrink_candidates();
+        assert!(cands.iter().all(|&(_, b)| b == 0));
+        assert!(cands.contains(&(0, 0)));
+    }
+}

@@ -1,0 +1,158 @@
+//! A minimal wall-clock benchmark harness — the in-tree replacement for
+//! Criterion, keeping `cargo bench` functional with zero external
+//! dependencies.
+//!
+//! It auto-calibrates iteration counts toward a per-benchmark time budget
+//! (`TESTKIT_BENCH_MS`, default 100 ms), reports mean/min/max per
+//! iteration, and prints a compact table. It does not do statistical
+//! outlier analysis; it exists so perf work has *a* number and CI catches
+//! order-of-magnitude regressions.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Timing summary of one benchmark.
+#[derive(Debug, Clone)]
+pub struct Timing {
+    /// Benchmark name (`group/name`).
+    pub name: String,
+    /// Total measured iterations.
+    pub iters: u64,
+    /// Mean wall time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest iteration, nanoseconds.
+    pub min_ns: u64,
+    /// Slowest iteration, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl Timing {
+    /// Mean time per iteration.
+    pub fn mean(&self) -> Duration {
+        Duration::from_nanos(self.mean_ns as u64)
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+impl std::fmt::Display for Timing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<44} mean {:>10}   min {:>10}   max {:>10}   ({} iters)",
+            self.name,
+            fmt_ns(self.mean_ns),
+            fmt_ns(self.min_ns as f64),
+            fmt_ns(self.max_ns as f64),
+            self.iters
+        )
+    }
+}
+
+/// Collects and prints benchmark timings.
+#[derive(Debug, Default)]
+pub struct Bench {
+    group: String,
+    results: Vec<Timing>,
+}
+
+impl Bench {
+    /// A fresh harness. The per-benchmark time budget comes from the
+    /// `TESTKIT_BENCH_MS` environment variable (default 100).
+    pub fn new() -> Self {
+        Bench::default()
+    }
+
+    fn budget() -> Duration {
+        let ms = std::env::var("TESTKIT_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(100u64);
+        Duration::from_millis(ms.max(1))
+    }
+
+    /// Starts a named group; subsequent benchmarks are prefixed with it.
+    pub fn group(&mut self, name: &str) {
+        self.group = name.to_string();
+        println!("\n== {name} ==");
+    }
+
+    /// Times `f`, printing and recording the result. Wrap inputs/outputs
+    /// in [`black_box`] inside the closure when the compiler could
+    /// otherwise delete the work.
+    pub fn run<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> &Timing {
+        let full_name = if self.group.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}/{name}", self.group)
+        };
+        // Warm up and estimate a single-iteration cost.
+        let t0 = Instant::now();
+        black_box(f());
+        let estimate = t0.elapsed().max(Duration::from_nanos(20));
+        let budget = Self::budget();
+        let iters = (budget.as_nanos() / estimate.as_nanos()).clamp(5, 100_000) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut min_ns = u64::MAX;
+        let mut max_ns = 0u64;
+        for _ in 0..iters {
+            let t = Instant::now();
+            black_box(f());
+            let dt = t.elapsed();
+            total += dt;
+            let ns = dt.as_nanos() as u64;
+            min_ns = min_ns.min(ns);
+            max_ns = max_ns.max(ns);
+        }
+        let timing = Timing {
+            name: full_name,
+            iters,
+            mean_ns: total.as_nanos() as f64 / iters as f64,
+            min_ns,
+            max_ns,
+        };
+        println!("{timing}");
+        self.results.push(timing);
+        self.results.last().expect("just pushed")
+    }
+
+    /// All results so far.
+    pub fn results(&self) -> &[Timing] {
+        &self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timings_are_positive_and_named() {
+        std::env::set_var("TESTKIT_BENCH_MS", "1");
+        let mut b = Bench::new();
+        b.group("g");
+        let t = b.run("spin", || {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        });
+        assert_eq!(t.name, "g/spin");
+        assert!(t.iters >= 5);
+        assert!(t.mean_ns > 0.0);
+        assert!(t.min_ns <= t.max_ns);
+        assert_eq!(b.results().len(), 1);
+    }
+}

@@ -1,11 +1,11 @@
 //! Horizontal transformation of independent TEs (§6.1, Fig. 3).
 
 use crate::rewrite::{dedup_inputs, rebuild_program, TransformStats};
+use souffle_affine::IndexExpr;
 use souffle_analysis::TeGraph;
 use souffle_te::{
-    CmpOp, Cond, ReduceOp, ScalarExpr, TeId, TensorExpr, TensorId, TensorKind, TeProgram,
+    CmpOp, Cond, ReduceOp, ScalarExpr, TeId, TeProgram, TensorExpr, TensorId, TensorKind,
 };
-use souffle_affine::IndexExpr;
 use souffle_tensor::Shape;
 use std::collections::HashMap;
 
@@ -69,7 +69,10 @@ pub fn find_horizontal_groups(program: &TeProgram, graph: &TeGraph) -> Vec<Vec<T
             tail_dims: shape.dims()[1..].to_vec(),
             dtype: program.tensor(te.output).dtype,
         };
-        buckets.entry((key, graph.level(te_id))).or_default().push(te_id);
+        buckets
+            .entry((key, graph.level(te_id)))
+            .or_default()
+            .push(te_id);
     }
     let mut groups = Vec::new();
     for (_, mut members) in buckets {
@@ -135,11 +138,7 @@ fn fuse_group(
     let mut body = bodies.pop().expect("group is non-empty");
     for i in (0..bodies.len()).rev() {
         body = ScalarExpr::select(
-            Cond::cmp(
-                CmpOp::Lt,
-                IndexExpr::var(0),
-                IndexExpr::constant(cuts[i]),
-            ),
+            Cond::cmp(CmpOp::Lt, IndexExpr::var(0), IndexExpr::constant(cuts[i])),
             bodies[i].clone(),
             body,
         );

@@ -1,6 +1,6 @@
 //! Shared program-rewriting machinery for the transformations.
 
-use souffle_te::{ScalarExpr, TensorExpr, TensorId, TeProgram};
+use souffle_te::{ScalarExpr, TeProgram, TensorExpr, TensorId};
 use std::collections::{HashMap, HashSet};
 
 /// Statistics of a transformation run, used by the ablation study

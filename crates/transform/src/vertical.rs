@@ -1,7 +1,7 @@
 //! Vertical transformation of one-relies-on-one chains (§6.2).
 
 use crate::rewrite::{compact_inputs, dedup_inputs, is_pure_view, rebuild_program, TransformStats};
-use souffle_te::{TensorExpr, TensorId, TensorKind, TeProgram};
+use souffle_te::{TeProgram, TensorExpr, TensorId, TensorKind};
 use std::collections::HashMap;
 
 /// Collapses one-relies-on-one TE chains by composing index mapping
@@ -84,7 +84,10 @@ pub fn vertical_fuse_program(program: &TeProgram) -> (TeProgram, TransformStats)
                 let base = consumer.inputs.len();
                 let shifted_body = producer.body.remap_operands(&|o| o + base);
                 consumer.inputs.extend(producer.inputs.iter().copied());
-                consumer.body = consumer.body.inline_operand(slot, &shifted_body).simplified();
+                consumer.body = consumer
+                    .body
+                    .inline_operand(slot, &shifted_body)
+                    .simplified();
                 dedup_inputs(consumer);
                 compact_inputs(consumer);
                 fused += 1;

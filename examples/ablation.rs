@@ -52,7 +52,10 @@ fn main() {
         stats.horizontal_groups, stats.vertical_fused, stats.tes_before, stats.tes_after
     );
 
-    println!("{:<6} {:>10} {:>9} {:>12} {:>11}", "step", "time (us)", "kernels", "bytes (KB)", "grid syncs");
+    println!(
+        "{:<6} {:>10} {:>9} {:>12} {:>11}",
+        "step", "time (us)", "kernels", "bytes (KB)", "grid syncs"
+    );
     for (name, opts) in SouffleOptions::ablation() {
         let (compiled, prof) = Souffle::new(opts).run(&program);
         println!(

@@ -16,26 +16,62 @@ fn main() {
     // -> conv -> softmax over channels.
     let mut g = OpGraph::new();
     let x = g
-        .add("image", OpKind::Input(Shape::new(vec![1, 3, 32, 32]), DType::F16), &[])
+        .add(
+            "image",
+            OpKind::Input(Shape::new(vec![1, 3, 32, 32]), DType::F16),
+            &[],
+        )
         .expect("input");
     let w1 = g
-        .add("w1", OpKind::Weight(Shape::new(vec![8, 3, 3, 3]), DType::F16), &[])
+        .add(
+            "w1",
+            OpKind::Weight(Shape::new(vec![8, 3, 3, 3]), DType::F16),
+            &[],
+        )
         .expect("w1");
     let c1 = g
-        .add("conv1", OpKind::Conv2d { stride: 1, pad: 1, groups: 1 }, &[x, w1])
+        .add(
+            "conv1",
+            OpKind::Conv2d {
+                stride: 1,
+                pad: 1,
+                groups: 1,
+            },
+            &[x, w1],
+        )
         .expect("conv1");
-    let r1 = g.add("relu1", OpKind::Unary(UnaryOp::Relu), &[c1]).expect("relu1");
+    let r1 = g
+        .add("relu1", OpKind::Unary(UnaryOp::Relu), &[c1])
+        .expect("relu1");
     // `resize` is not expressible as a tensor expression: Souffle maps it
     // to a back-end library kernel and fuses around it.
-    let up = g.add("upsample", OpKind::Resize { size: 64 }, &[r1]).expect("resize");
+    let up = g
+        .add("upsample", OpKind::Resize { size: 64 }, &[r1])
+        .expect("resize");
     let w2 = g
-        .add("w2", OpKind::Weight(Shape::new(vec![4, 8, 1, 1]), DType::F16), &[])
+        .add(
+            "w2",
+            OpKind::Weight(Shape::new(vec![4, 8, 1, 1]), DType::F16),
+            &[],
+        )
         .expect("w2");
     let c2 = g
-        .add("conv2", OpKind::Conv2d { stride: 1, pad: 0, groups: 1 }, &[up, w2])
+        .add(
+            "conv2",
+            OpKind::Conv2d {
+                stride: 1,
+                pad: 0,
+                groups: 1,
+            },
+            &[up, w2],
+        )
         .expect("conv2");
     let flat = g
-        .add("flatten", OpKind::Reshape(Shape::new(vec![4, 64 * 64])), &[c2])
+        .add(
+            "flatten",
+            OpKind::Reshape(Shape::new(vec![4, 64 * 64])),
+            &[c2],
+        )
         .expect("reshape");
     let sm = g.add("probs", OpKind::Softmax, &[flat]).expect("softmax");
     g.mark_output(sm);
@@ -47,7 +83,11 @@ fn main() {
             n.name,
             format!("{:?}", n.kind).chars().take(28).collect::<String>(),
             n.shape,
-            if n.kind.te_expressible() { "" } else { "  [library fallback]" }
+            if n.kind.te_expressible() {
+                ""
+            } else {
+                "  [library fallback]"
+            }
         );
     }
 

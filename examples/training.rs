@@ -51,15 +51,17 @@ fn main() {
         .map(|(i, id)| {
             (
                 id,
-                Tensor::random(p.tensor(id).shape.clone(), 40 + i as u64)
-                    .map(|v| v * 0.2),
+                Tensor::random(p.tensor(id).shape.clone(), 40 + i as u64).map(|v| v * 0.2),
             )
         })
         .collect();
     let fwd = souffle_te::interp::eval_program(&p, &binds).expect("forward eval");
     let mut bwd_binds = HashMap::new();
     for (&fid, &sid) in &g.saved {
-        let v = binds.get(&fid).cloned().unwrap_or_else(|| fwd[&fid].clone());
+        let v = binds
+            .get(&fid)
+            .cloned()
+            .unwrap_or_else(|| fwd[&fid].clone());
         bwd_binds.insert(sid, v);
     }
     let grads = souffle_te::interp::eval_program(&g.program, &bwd_binds).expect("backward eval");

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate. Runs fully offline: the workspace has zero
+# crates.io dependencies (all testing via the in-tree souffle-testkit).
+#
+# Usage: ./scripts/ci.sh
+# Seeds are fixed by default; export TESTKIT_SEED=<u64|0xhex> to explore.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo build --release --offline =="
+cargo build --release --offline --workspace
+
+echo "== cargo test -q --offline =="
+cargo test -q --offline --workspace
+
+echo "ci.sh: all checks passed"

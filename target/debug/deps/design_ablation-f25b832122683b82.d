@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/design_ablation-f25b832122683b82.d: crates/bench/src/bin/design_ablation.rs
+
+/root/repo/target/debug/deps/design_ablation-f25b832122683b82: crates/bench/src/bin/design_ablation.rs
+
+crates/bench/src/bin/design_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential_oracle-1ace669893fb59b4.d: tests/differential_oracle.rs
+
+/root/repo/target/debug/deps/differential_oracle-1ace669893fb59b4: tests/differential_oracle.rs
+
+tests/differential_oracle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiment_shapes-697c502cfa1830fe.d: tests/experiment_shapes.rs
+
+/root/repo/target/debug/deps/experiment_shapes-697c502cfa1830fe: tests/experiment_shapes.rs
+
+tests/experiment_shapes.rs:

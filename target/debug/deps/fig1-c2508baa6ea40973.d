@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-c2508baa6ea40973.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-c2508baa6ea40973: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

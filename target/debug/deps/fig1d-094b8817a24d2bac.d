@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1d-094b8817a24d2bac.d: crates/bench/src/bin/fig1d.rs
+
+/root/repo/target/debug/deps/fig1d-094b8817a24d2bac: crates/bench/src/bin/fig1d.rs
+
+crates/bench/src/bin/fig1d.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-cb32ece4f07f1789.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-cb32ece4f07f1789: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

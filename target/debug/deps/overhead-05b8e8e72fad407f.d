@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/overhead-05b8e8e72fad407f.d: crates/bench/src/bin/overhead.rs
+
+/root/repo/target/debug/deps/overhead-05b8e8e72fad407f: crates/bench/src/bin/overhead.rs
+
+crates/bench/src/bin/overhead.rs:

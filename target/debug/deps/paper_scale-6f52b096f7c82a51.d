@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_scale-6f52b096f7c82a51.d: tests/paper_scale.rs
+
+/root/repo/target/debug/deps/paper_scale-6f52b096f7c82a51: tests/paper_scale.rs
+
+tests/paper_scale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_semantics-a7473b7608682b59.d: tests/pipeline_semantics.rs
+
+/root/repo/target/debug/deps/pipeline_semantics-a7473b7608682b59: tests/pipeline_semantics.rs
+
+tests/pipeline_semantics.rs:

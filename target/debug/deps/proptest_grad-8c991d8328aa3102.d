@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_grad-8c991d8328aa3102.d: tests/proptest_grad.rs
+
+/root/repo/target/debug/deps/proptest_grad-8c991d8328aa3102: tests/proptest_grad.rs
+
+tests/proptest_grad.rs:

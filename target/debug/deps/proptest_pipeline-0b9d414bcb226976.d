@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_pipeline-0b9d414bcb226976.d: tests/proptest_pipeline.rs
+
+/root/repo/target/debug/deps/proptest_pipeline-0b9d414bcb226976: tests/proptest_pipeline.rs
+
+tests/proptest_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_transforms-0997fbeb41417f57.d: tests/proptest_transforms.rs
+
+/root/repo/target/debug/deps/proptest_transforms-0997fbeb41417f57: tests/proptest_transforms.rs
+
+tests/proptest_transforms.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roofline-de5149518f05d9e2.d: crates/bench/src/bin/roofline.rs
+
+/root/repo/target/debug/deps/roofline-de5149518f05d9e2: crates/bench/src/bin/roofline.rs
+
+crates/bench/src/bin/roofline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-573c6de9d6876a1c.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/scaling-573c6de9d6876a1c: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/souffle-1887d0835b977652.d: crates/souffle/src/lib.rs crates/souffle/src/dynamic.rs crates/souffle/src/options.rs crates/souffle/src/pipeline.rs crates/souffle/src/report.rs
+
+/root/repo/target/debug/deps/souffle-1887d0835b977652: crates/souffle/src/lib.rs crates/souffle/src/dynamic.rs crates/souffle/src/options.rs crates/souffle/src/pipeline.rs crates/souffle/src/report.rs
+
+crates/souffle/src/lib.rs:
+crates/souffle/src/dynamic.rs:
+crates/souffle/src/options.rs:
+crates/souffle/src/pipeline.rs:
+crates/souffle/src/report.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/souffle-ec4691d31c7229e3.d: crates/souffle/src/lib.rs crates/souffle/src/dynamic.rs crates/souffle/src/options.rs crates/souffle/src/pipeline.rs crates/souffle/src/report.rs
+
+/root/repo/target/debug/deps/libsouffle-ec4691d31c7229e3.rlib: crates/souffle/src/lib.rs crates/souffle/src/dynamic.rs crates/souffle/src/options.rs crates/souffle/src/pipeline.rs crates/souffle/src/report.rs
+
+/root/repo/target/debug/deps/libsouffle-ec4691d31c7229e3.rmeta: crates/souffle/src/lib.rs crates/souffle/src/dynamic.rs crates/souffle/src/options.rs crates/souffle/src/pipeline.rs crates/souffle/src/report.rs
+
+crates/souffle/src/lib.rs:
+crates/souffle/src/dynamic.rs:
+crates/souffle/src/options.rs:
+crates/souffle/src/pipeline.rs:
+crates/souffle/src/report.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/souffle_affine-b3aa4f05f88b259f.d: crates/affine/src/lib.rs crates/affine/src/expr.rs crates/affine/src/map.rs crates/affine/src/relation.rs
+
+/root/repo/target/debug/deps/souffle_affine-b3aa4f05f88b259f: crates/affine/src/lib.rs crates/affine/src/expr.rs crates/affine/src/map.rs crates/affine/src/relation.rs
+
+crates/affine/src/lib.rs:
+crates/affine/src/expr.rs:
+crates/affine/src/map.rs:
+crates/affine/src/relation.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/souffle_affine-ea26f533821a1d72.d: crates/affine/src/lib.rs crates/affine/src/expr.rs crates/affine/src/map.rs crates/affine/src/relation.rs
+
+/root/repo/target/debug/deps/libsouffle_affine-ea26f533821a1d72.rlib: crates/affine/src/lib.rs crates/affine/src/expr.rs crates/affine/src/map.rs crates/affine/src/relation.rs
+
+/root/repo/target/debug/deps/libsouffle_affine-ea26f533821a1d72.rmeta: crates/affine/src/lib.rs crates/affine/src/expr.rs crates/affine/src/map.rs crates/affine/src/relation.rs
+
+crates/affine/src/lib.rs:
+crates/affine/src/expr.rs:
+crates/affine/src/map.rs:
+crates/affine/src/relation.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/souffle_analysis-7d1cc8164171a788.d: crates/analysis/src/lib.rs crates/analysis/src/classify.rs crates/analysis/src/graph.rs crates/analysis/src/liveness.rs crates/analysis/src/partition.rs crates/analysis/src/reuse.rs crates/analysis/src/result.rs
+
+/root/repo/target/debug/deps/souffle_analysis-7d1cc8164171a788: crates/analysis/src/lib.rs crates/analysis/src/classify.rs crates/analysis/src/graph.rs crates/analysis/src/liveness.rs crates/analysis/src/partition.rs crates/analysis/src/reuse.rs crates/analysis/src/result.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/classify.rs:
+crates/analysis/src/graph.rs:
+crates/analysis/src/liveness.rs:
+crates/analysis/src/partition.rs:
+crates/analysis/src/reuse.rs:
+crates/analysis/src/result.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/souffle_analysis-7f0648b7f6d48571.d: crates/analysis/src/lib.rs crates/analysis/src/classify.rs crates/analysis/src/graph.rs crates/analysis/src/liveness.rs crates/analysis/src/partition.rs crates/analysis/src/reuse.rs crates/analysis/src/result.rs
+
+/root/repo/target/debug/deps/libsouffle_analysis-7f0648b7f6d48571.rlib: crates/analysis/src/lib.rs crates/analysis/src/classify.rs crates/analysis/src/graph.rs crates/analysis/src/liveness.rs crates/analysis/src/partition.rs crates/analysis/src/reuse.rs crates/analysis/src/result.rs
+
+/root/repo/target/debug/deps/libsouffle_analysis-7f0648b7f6d48571.rmeta: crates/analysis/src/lib.rs crates/analysis/src/classify.rs crates/analysis/src/graph.rs crates/analysis/src/liveness.rs crates/analysis/src/partition.rs crates/analysis/src/reuse.rs crates/analysis/src/result.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/classify.rs:
+crates/analysis/src/graph.rs:
+crates/analysis/src/liveness.rs:
+crates/analysis/src/partition.rs:
+crates/analysis/src/reuse.rs:
+crates/analysis/src/result.rs:

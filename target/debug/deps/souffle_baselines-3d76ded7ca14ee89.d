@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/souffle_baselines-3d76ded7ca14ee89.d: crates/baselines/src/lib.rs crates/baselines/src/ansor.rs crates/baselines/src/apollo.rs crates/baselines/src/iree.rs crates/baselines/src/rammer.rs crates/baselines/src/strategy.rs crates/baselines/src/tensorrt.rs crates/baselines/src/xla.rs
+
+/root/repo/target/debug/deps/souffle_baselines-3d76ded7ca14ee89: crates/baselines/src/lib.rs crates/baselines/src/ansor.rs crates/baselines/src/apollo.rs crates/baselines/src/iree.rs crates/baselines/src/rammer.rs crates/baselines/src/strategy.rs crates/baselines/src/tensorrt.rs crates/baselines/src/xla.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/ansor.rs:
+crates/baselines/src/apollo.rs:
+crates/baselines/src/iree.rs:
+crates/baselines/src/rammer.rs:
+crates/baselines/src/strategy.rs:
+crates/baselines/src/tensorrt.rs:
+crates/baselines/src/xla.rs:

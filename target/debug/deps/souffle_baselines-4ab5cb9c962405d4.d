@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/souffle_baselines-4ab5cb9c962405d4.d: crates/baselines/src/lib.rs crates/baselines/src/ansor.rs crates/baselines/src/apollo.rs crates/baselines/src/iree.rs crates/baselines/src/rammer.rs crates/baselines/src/strategy.rs crates/baselines/src/tensorrt.rs crates/baselines/src/xla.rs
+
+/root/repo/target/debug/deps/libsouffle_baselines-4ab5cb9c962405d4.rlib: crates/baselines/src/lib.rs crates/baselines/src/ansor.rs crates/baselines/src/apollo.rs crates/baselines/src/iree.rs crates/baselines/src/rammer.rs crates/baselines/src/strategy.rs crates/baselines/src/tensorrt.rs crates/baselines/src/xla.rs
+
+/root/repo/target/debug/deps/libsouffle_baselines-4ab5cb9c962405d4.rmeta: crates/baselines/src/lib.rs crates/baselines/src/ansor.rs crates/baselines/src/apollo.rs crates/baselines/src/iree.rs crates/baselines/src/rammer.rs crates/baselines/src/strategy.rs crates/baselines/src/tensorrt.rs crates/baselines/src/xla.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/ansor.rs:
+crates/baselines/src/apollo.rs:
+crates/baselines/src/iree.rs:
+crates/baselines/src/rammer.rs:
+crates/baselines/src/strategy.rs:
+crates/baselines/src/tensorrt.rs:
+crates/baselines/src/xla.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/souffle_bench-ed45bdf201bdcc53.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsouffle_bench-ed45bdf201bdcc53.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsouffle_bench-ed45bdf201bdcc53.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

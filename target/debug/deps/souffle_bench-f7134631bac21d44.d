@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/souffle_bench-f7134631bac21d44.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/souffle_bench-f7134631bac21d44: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/souffle_cli-f4769b9ff214a578.d: crates/souffle/src/bin/souffle-cli.rs
+
+/root/repo/target/debug/deps/souffle_cli-f4769b9ff214a578: crates/souffle/src/bin/souffle-cli.rs
+
+crates/souffle/src/bin/souffle-cli.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/souffle_frontend-63584a400c930863.d: crates/frontend/src/lib.rs crates/frontend/src/graph.rs crates/frontend/src/models/mod.rs crates/frontend/src/models/bert.rs crates/frontend/src/models/efficientnet.rs crates/frontend/src/models/lstm.rs crates/frontend/src/models/mmoe.rs crates/frontend/src/models/resnext.rs crates/frontend/src/models/swin.rs
+
+/root/repo/target/debug/deps/souffle_frontend-63584a400c930863: crates/frontend/src/lib.rs crates/frontend/src/graph.rs crates/frontend/src/models/mod.rs crates/frontend/src/models/bert.rs crates/frontend/src/models/efficientnet.rs crates/frontend/src/models/lstm.rs crates/frontend/src/models/mmoe.rs crates/frontend/src/models/resnext.rs crates/frontend/src/models/swin.rs
+
+crates/frontend/src/lib.rs:
+crates/frontend/src/graph.rs:
+crates/frontend/src/models/mod.rs:
+crates/frontend/src/models/bert.rs:
+crates/frontend/src/models/efficientnet.rs:
+crates/frontend/src/models/lstm.rs:
+crates/frontend/src/models/mmoe.rs:
+crates/frontend/src/models/resnext.rs:
+crates/frontend/src/models/swin.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/souffle_frontend-be3c49f4e140a764.d: crates/frontend/src/lib.rs crates/frontend/src/graph.rs crates/frontend/src/models/mod.rs crates/frontend/src/models/bert.rs crates/frontend/src/models/efficientnet.rs crates/frontend/src/models/lstm.rs crates/frontend/src/models/mmoe.rs crates/frontend/src/models/resnext.rs crates/frontend/src/models/swin.rs
+
+/root/repo/target/debug/deps/libsouffle_frontend-be3c49f4e140a764.rlib: crates/frontend/src/lib.rs crates/frontend/src/graph.rs crates/frontend/src/models/mod.rs crates/frontend/src/models/bert.rs crates/frontend/src/models/efficientnet.rs crates/frontend/src/models/lstm.rs crates/frontend/src/models/mmoe.rs crates/frontend/src/models/resnext.rs crates/frontend/src/models/swin.rs
+
+/root/repo/target/debug/deps/libsouffle_frontend-be3c49f4e140a764.rmeta: crates/frontend/src/lib.rs crates/frontend/src/graph.rs crates/frontend/src/models/mod.rs crates/frontend/src/models/bert.rs crates/frontend/src/models/efficientnet.rs crates/frontend/src/models/lstm.rs crates/frontend/src/models/mmoe.rs crates/frontend/src/models/resnext.rs crates/frontend/src/models/swin.rs
+
+crates/frontend/src/lib.rs:
+crates/frontend/src/graph.rs:
+crates/frontend/src/models/mod.rs:
+crates/frontend/src/models/bert.rs:
+crates/frontend/src/models/efficientnet.rs:
+crates/frontend/src/models/lstm.rs:
+crates/frontend/src/models/mmoe.rs:
+crates/frontend/src/models/resnext.rs:
+crates/frontend/src/models/swin.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/souffle_gpusim-02620bdbd669efa7.d: crates/gpusim/src/lib.rs crates/gpusim/src/profile.rs crates/gpusim/src/sim.rs crates/gpusim/src/timeline.rs
+
+/root/repo/target/debug/deps/souffle_gpusim-02620bdbd669efa7: crates/gpusim/src/lib.rs crates/gpusim/src/profile.rs crates/gpusim/src/sim.rs crates/gpusim/src/timeline.rs
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/profile.rs:
+crates/gpusim/src/sim.rs:
+crates/gpusim/src/timeline.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/souffle_gpusim-1db89afc84ac68a1.d: crates/gpusim/src/lib.rs crates/gpusim/src/profile.rs crates/gpusim/src/sim.rs crates/gpusim/src/timeline.rs
+
+/root/repo/target/debug/deps/libsouffle_gpusim-1db89afc84ac68a1.rlib: crates/gpusim/src/lib.rs crates/gpusim/src/profile.rs crates/gpusim/src/sim.rs crates/gpusim/src/timeline.rs
+
+/root/repo/target/debug/deps/libsouffle_gpusim-1db89afc84ac68a1.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/profile.rs crates/gpusim/src/sim.rs crates/gpusim/src/timeline.rs
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/profile.rs:
+crates/gpusim/src/sim.rs:
+crates/gpusim/src/timeline.rs:

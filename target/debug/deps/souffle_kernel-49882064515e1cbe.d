@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/souffle_kernel-49882064515e1cbe.d: crates/kernel/src/lib.rs crates/kernel/src/codegen.rs crates/kernel/src/lower.rs crates/kernel/src/lru.rs crates/kernel/src/passes.rs crates/kernel/src/instr.rs crates/kernel/src/kernel.rs
+
+/root/repo/target/debug/deps/libsouffle_kernel-49882064515e1cbe.rlib: crates/kernel/src/lib.rs crates/kernel/src/codegen.rs crates/kernel/src/lower.rs crates/kernel/src/lru.rs crates/kernel/src/passes.rs crates/kernel/src/instr.rs crates/kernel/src/kernel.rs
+
+/root/repo/target/debug/deps/libsouffle_kernel-49882064515e1cbe.rmeta: crates/kernel/src/lib.rs crates/kernel/src/codegen.rs crates/kernel/src/lower.rs crates/kernel/src/lru.rs crates/kernel/src/passes.rs crates/kernel/src/instr.rs crates/kernel/src/kernel.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/codegen.rs:
+crates/kernel/src/lower.rs:
+crates/kernel/src/lru.rs:
+crates/kernel/src/passes.rs:
+crates/kernel/src/instr.rs:
+crates/kernel/src/kernel.rs:

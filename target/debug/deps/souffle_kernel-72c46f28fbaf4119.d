@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/souffle_kernel-72c46f28fbaf4119.d: crates/kernel/src/lib.rs crates/kernel/src/codegen.rs crates/kernel/src/lower.rs crates/kernel/src/lru.rs crates/kernel/src/passes.rs crates/kernel/src/instr.rs crates/kernel/src/kernel.rs
+
+/root/repo/target/debug/deps/souffle_kernel-72c46f28fbaf4119: crates/kernel/src/lib.rs crates/kernel/src/codegen.rs crates/kernel/src/lower.rs crates/kernel/src/lru.rs crates/kernel/src/passes.rs crates/kernel/src/instr.rs crates/kernel/src/kernel.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/codegen.rs:
+crates/kernel/src/lower.rs:
+crates/kernel/src/lru.rs:
+crates/kernel/src/passes.rs:
+crates/kernel/src/instr.rs:
+crates/kernel/src/kernel.rs:

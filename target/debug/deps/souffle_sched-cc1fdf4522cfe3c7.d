@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/souffle_sched-cc1fdf4522cfe3c7.d: crates/sched/src/lib.rs crates/sched/src/cost.rs crates/sched/src/device.rs crates/sched/src/occupancy.rs crates/sched/src/primitives.rs crates/sched/src/schedule.rs crates/sched/src/search.rs
+
+/root/repo/target/debug/deps/souffle_sched-cc1fdf4522cfe3c7: crates/sched/src/lib.rs crates/sched/src/cost.rs crates/sched/src/device.rs crates/sched/src/occupancy.rs crates/sched/src/primitives.rs crates/sched/src/schedule.rs crates/sched/src/search.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/cost.rs:
+crates/sched/src/device.rs:
+crates/sched/src/occupancy.rs:
+crates/sched/src/primitives.rs:
+crates/sched/src/schedule.rs:
+crates/sched/src/search.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/souffle_sched-cf3bf37b0854ed8a.d: crates/sched/src/lib.rs crates/sched/src/cost.rs crates/sched/src/device.rs crates/sched/src/occupancy.rs crates/sched/src/primitives.rs crates/sched/src/schedule.rs crates/sched/src/search.rs
+
+/root/repo/target/debug/deps/libsouffle_sched-cf3bf37b0854ed8a.rlib: crates/sched/src/lib.rs crates/sched/src/cost.rs crates/sched/src/device.rs crates/sched/src/occupancy.rs crates/sched/src/primitives.rs crates/sched/src/schedule.rs crates/sched/src/search.rs
+
+/root/repo/target/debug/deps/libsouffle_sched-cf3bf37b0854ed8a.rmeta: crates/sched/src/lib.rs crates/sched/src/cost.rs crates/sched/src/device.rs crates/sched/src/occupancy.rs crates/sched/src/primitives.rs crates/sched/src/schedule.rs crates/sched/src/search.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/cost.rs:
+crates/sched/src/device.rs:
+crates/sched/src/occupancy.rs:
+crates/sched/src/primitives.rs:
+crates/sched/src/schedule.rs:
+crates/sched/src/search.rs:

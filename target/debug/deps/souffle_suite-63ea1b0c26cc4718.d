@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/souffle_suite-63ea1b0c26cc4718.d: src/lib.rs
+
+/root/repo/target/debug/deps/souffle_suite-63ea1b0c26cc4718: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/souffle_suite-71f3d310cb174a39.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsouffle_suite-71f3d310cb174a39.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsouffle_suite-71f3d310cb174a39.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/souffle_tensor-6433a27b67a5a4bc.d: crates/tensor/src/lib.rs crates/tensor/src/dtype.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/souffle_tensor-6433a27b67a5a4bc: crates/tensor/src/lib.rs crates/tensor/src/dtype.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/dtype.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/souffle_tensor-7ad5ca07617ef6f9.d: crates/tensor/src/lib.rs crates/tensor/src/dtype.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libsouffle_tensor-7ad5ca07617ef6f9.rlib: crates/tensor/src/lib.rs crates/tensor/src/dtype.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/debug/deps/libsouffle_tensor-7ad5ca07617ef6f9.rmeta: crates/tensor/src/lib.rs crates/tensor/src/dtype.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/dtype.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:

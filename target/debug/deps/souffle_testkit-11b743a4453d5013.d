@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/souffle_testkit-11b743a4453d5013.d: crates/testkit/src/lib.rs crates/testkit/src/oracle.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs crates/testkit/src/shrink.rs crates/testkit/src/teprog.rs crates/testkit/src/timer.rs
+
+/root/repo/target/debug/deps/souffle_testkit-11b743a4453d5013: crates/testkit/src/lib.rs crates/testkit/src/oracle.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs crates/testkit/src/shrink.rs crates/testkit/src/teprog.rs crates/testkit/src/timer.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/oracle.rs:
+crates/testkit/src/prop.rs:
+crates/testkit/src/rng.rs:
+crates/testkit/src/shrink.rs:
+crates/testkit/src/teprog.rs:
+crates/testkit/src/timer.rs:

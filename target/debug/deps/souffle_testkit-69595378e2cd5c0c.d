@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/souffle_testkit-69595378e2cd5c0c.d: crates/testkit/src/lib.rs crates/testkit/src/oracle.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs crates/testkit/src/shrink.rs crates/testkit/src/teprog.rs crates/testkit/src/timer.rs
+
+/root/repo/target/debug/deps/libsouffle_testkit-69595378e2cd5c0c.rlib: crates/testkit/src/lib.rs crates/testkit/src/oracle.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs crates/testkit/src/shrink.rs crates/testkit/src/teprog.rs crates/testkit/src/timer.rs
+
+/root/repo/target/debug/deps/libsouffle_testkit-69595378e2cd5c0c.rmeta: crates/testkit/src/lib.rs crates/testkit/src/oracle.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs crates/testkit/src/shrink.rs crates/testkit/src/teprog.rs crates/testkit/src/timer.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/oracle.rs:
+crates/testkit/src/prop.rs:
+crates/testkit/src/rng.rs:
+crates/testkit/src/shrink.rs:
+crates/testkit/src/teprog.rs:
+crates/testkit/src/timer.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/souffle_transform-70cbd93603bd65a7.d: crates/transform/src/lib.rs crates/transform/src/horizontal.rs crates/transform/src/vertical.rs crates/transform/src/rewrite.rs
+
+/root/repo/target/debug/deps/souffle_transform-70cbd93603bd65a7: crates/transform/src/lib.rs crates/transform/src/horizontal.rs crates/transform/src/vertical.rs crates/transform/src/rewrite.rs
+
+crates/transform/src/lib.rs:
+crates/transform/src/horizontal.rs:
+crates/transform/src/vertical.rs:
+crates/transform/src/rewrite.rs:

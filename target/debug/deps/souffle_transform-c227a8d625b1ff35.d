@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/souffle_transform-c227a8d625b1ff35.d: crates/transform/src/lib.rs crates/transform/src/horizontal.rs crates/transform/src/vertical.rs crates/transform/src/rewrite.rs
+
+/root/repo/target/debug/deps/libsouffle_transform-c227a8d625b1ff35.rlib: crates/transform/src/lib.rs crates/transform/src/horizontal.rs crates/transform/src/vertical.rs crates/transform/src/rewrite.rs
+
+/root/repo/target/debug/deps/libsouffle_transform-c227a8d625b1ff35.rmeta: crates/transform/src/lib.rs crates/transform/src/horizontal.rs crates/transform/src/vertical.rs crates/transform/src/rewrite.rs
+
+crates/transform/src/lib.rs:
+crates/transform/src/horizontal.rs:
+crates/transform/src/vertical.rs:
+crates/transform/src/rewrite.rs:

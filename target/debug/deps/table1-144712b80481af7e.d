@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-144712b80481af7e.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-144712b80481af7e: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-16e4525f478dea5f.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-16e4525f478dea5f: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

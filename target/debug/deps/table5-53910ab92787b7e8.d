@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-53910ab92787b7e8.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-53910ab92787b7e8: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

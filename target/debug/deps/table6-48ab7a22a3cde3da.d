@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-48ab7a22a3cde3da.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-48ab7a22a3cde3da: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

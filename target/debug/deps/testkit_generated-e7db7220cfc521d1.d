@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/testkit_generated-e7db7220cfc521d1.d: crates/te/tests/testkit_generated.rs
+
+/root/repo/target/debug/deps/testkit_generated-e7db7220cfc521d1: crates/te/tests/testkit_generated.rs
+
+crates/te/tests/testkit_generated.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/training_loop-393b7e04950da1ad.d: tests/training_loop.rs
+
+/root/repo/target/debug/deps/training_loop-393b7e04950da1ad: tests/training_loop.rs
+
+tests/training_loop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ablation-493df25f68d2e8fc.d: examples/ablation.rs
+
+/root/repo/target/debug/examples/ablation-493df25f68d2e8fc: examples/ablation.rs
+
+examples/ablation.rs:

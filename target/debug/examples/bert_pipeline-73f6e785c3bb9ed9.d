@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bert_pipeline-73f6e785c3bb9ed9.d: examples/bert_pipeline.rs
+
+/root/repo/target/debug/examples/bert_pipeline-73f6e785c3bb9ed9: examples/bert_pipeline.rs
+
+examples/bert_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_graph-8a5d46088bb21136.d: examples/custom_graph.rs
+
+/root/repo/target/debug/examples/custom_graph-8a5d46088bb21136: examples/custom_graph.rs
+
+examples/custom_graph.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lstm_fusion-3acabc29203b33e3.d: examples/lstm_fusion.rs
+
+/root/repo/target/debug/examples/lstm_fusion-3acabc29203b33e3: examples/lstm_fusion.rs
+
+examples/lstm_fusion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c086d556eb3d1d7c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c086d556eb3d1d7c: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/training-7b1c353001055020.d: examples/training.rs
+
+/root/repo/target/debug/examples/training-7b1c353001055020: examples/training.rs
+
+examples/training.rs:

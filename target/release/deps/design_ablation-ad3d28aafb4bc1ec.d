@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/design_ablation-ad3d28aafb4bc1ec.d: crates/bench/src/bin/design_ablation.rs
+
+/root/repo/target/release/deps/design_ablation-ad3d28aafb4bc1ec: crates/bench/src/bin/design_ablation.rs
+
+crates/bench/src/bin/design_ablation.rs:

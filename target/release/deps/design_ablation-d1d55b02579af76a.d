@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/design_ablation-d1d55b02579af76a.d: crates/bench/src/bin/design_ablation.rs
+
+/root/repo/target/release/deps/design_ablation-d1d55b02579af76a: crates/bench/src/bin/design_ablation.rs
+
+crates/bench/src/bin/design_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-0d93a59fc218c971.d: crates/bench/benches/experiments.rs
+
+/root/repo/target/release/deps/experiments-0d93a59fc218c971: crates/bench/benches/experiments.rs
+
+crates/bench/benches/experiments.rs:

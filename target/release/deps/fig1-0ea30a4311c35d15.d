@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-0ea30a4311c35d15.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-0ea30a4311c35d15: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-31514da625165384.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-31514da625165384: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1d-3a7572eab551bc18.d: crates/bench/src/bin/fig1d.rs
+
+/root/repo/target/release/deps/fig1d-3a7572eab551bc18: crates/bench/src/bin/fig1d.rs
+
+crates/bench/src/bin/fig1d.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1d-7e90afd8a4aab025.d: crates/bench/src/bin/fig1d.rs
+
+/root/repo/target/release/deps/fig1d-7e90afd8a4aab025: crates/bench/src/bin/fig1d.rs
+
+crates/bench/src/bin/fig1d.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-2b715fb531c12620.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-2b715fb531c12620: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-0b2e488a858a9e7e.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-0b2e488a858a9e7e: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-5fd46044d0d81339.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-5fd46044d0d81339: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

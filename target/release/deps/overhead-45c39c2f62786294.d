@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/overhead-45c39c2f62786294.d: crates/bench/src/bin/overhead.rs
+
+/root/repo/target/release/deps/overhead-45c39c2f62786294: crates/bench/src/bin/overhead.rs
+
+crates/bench/src/bin/overhead.rs:

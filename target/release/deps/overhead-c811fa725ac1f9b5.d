@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/overhead-c811fa725ac1f9b5.d: crates/bench/src/bin/overhead.rs
+
+/root/repo/target/release/deps/overhead-c811fa725ac1f9b5: crates/bench/src/bin/overhead.rs
+
+crates/bench/src/bin/overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline-95014652b1ca3131.d: crates/bench/benches/pipeline.rs
+
+/root/repo/target/release/deps/pipeline-95014652b1ca3131: crates/bench/benches/pipeline.rs
+
+crates/bench/benches/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/roofline-49f438b2d216951c.d: crates/bench/src/bin/roofline.rs
+
+/root/repo/target/release/deps/roofline-49f438b2d216951c: crates/bench/src/bin/roofline.rs
+
+crates/bench/src/bin/roofline.rs:

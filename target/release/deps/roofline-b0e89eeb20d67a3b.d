@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/roofline-b0e89eeb20d67a3b.d: crates/bench/src/bin/roofline.rs
+
+/root/repo/target/release/deps/roofline-b0e89eeb20d67a3b: crates/bench/src/bin/roofline.rs
+
+crates/bench/src/bin/roofline.rs:

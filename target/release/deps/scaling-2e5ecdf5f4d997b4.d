@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scaling-2e5ecdf5f4d997b4.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/release/deps/scaling-2e5ecdf5f4d997b4: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

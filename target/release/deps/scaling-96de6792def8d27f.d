@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scaling-96de6792def8d27f.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/release/deps/scaling-96de6792def8d27f: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

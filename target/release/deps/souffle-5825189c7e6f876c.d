@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/souffle-5825189c7e6f876c.d: crates/souffle/src/lib.rs crates/souffle/src/dynamic.rs crates/souffle/src/options.rs crates/souffle/src/pipeline.rs crates/souffle/src/report.rs
+
+/root/repo/target/release/deps/libsouffle-5825189c7e6f876c.rlib: crates/souffle/src/lib.rs crates/souffle/src/dynamic.rs crates/souffle/src/options.rs crates/souffle/src/pipeline.rs crates/souffle/src/report.rs
+
+/root/repo/target/release/deps/libsouffle-5825189c7e6f876c.rmeta: crates/souffle/src/lib.rs crates/souffle/src/dynamic.rs crates/souffle/src/options.rs crates/souffle/src/pipeline.rs crates/souffle/src/report.rs
+
+crates/souffle/src/lib.rs:
+crates/souffle/src/dynamic.rs:
+crates/souffle/src/options.rs:
+crates/souffle/src/pipeline.rs:
+crates/souffle/src/report.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/souffle_affine-634059bcc4ba7af8.d: crates/affine/src/lib.rs crates/affine/src/expr.rs crates/affine/src/map.rs crates/affine/src/relation.rs
+
+/root/repo/target/release/deps/libsouffle_affine-634059bcc4ba7af8.rlib: crates/affine/src/lib.rs crates/affine/src/expr.rs crates/affine/src/map.rs crates/affine/src/relation.rs
+
+/root/repo/target/release/deps/libsouffle_affine-634059bcc4ba7af8.rmeta: crates/affine/src/lib.rs crates/affine/src/expr.rs crates/affine/src/map.rs crates/affine/src/relation.rs
+
+crates/affine/src/lib.rs:
+crates/affine/src/expr.rs:
+crates/affine/src/map.rs:
+crates/affine/src/relation.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/souffle_analysis-acc441c06b086445.d: crates/analysis/src/lib.rs crates/analysis/src/classify.rs crates/analysis/src/graph.rs crates/analysis/src/liveness.rs crates/analysis/src/partition.rs crates/analysis/src/reuse.rs crates/analysis/src/result.rs
+
+/root/repo/target/release/deps/libsouffle_analysis-acc441c06b086445.rlib: crates/analysis/src/lib.rs crates/analysis/src/classify.rs crates/analysis/src/graph.rs crates/analysis/src/liveness.rs crates/analysis/src/partition.rs crates/analysis/src/reuse.rs crates/analysis/src/result.rs
+
+/root/repo/target/release/deps/libsouffle_analysis-acc441c06b086445.rmeta: crates/analysis/src/lib.rs crates/analysis/src/classify.rs crates/analysis/src/graph.rs crates/analysis/src/liveness.rs crates/analysis/src/partition.rs crates/analysis/src/reuse.rs crates/analysis/src/result.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/classify.rs:
+crates/analysis/src/graph.rs:
+crates/analysis/src/liveness.rs:
+crates/analysis/src/partition.rs:
+crates/analysis/src/reuse.rs:
+crates/analysis/src/result.rs:

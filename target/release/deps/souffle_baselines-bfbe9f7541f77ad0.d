@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/souffle_baselines-bfbe9f7541f77ad0.d: crates/baselines/src/lib.rs crates/baselines/src/ansor.rs crates/baselines/src/apollo.rs crates/baselines/src/iree.rs crates/baselines/src/rammer.rs crates/baselines/src/strategy.rs crates/baselines/src/tensorrt.rs crates/baselines/src/xla.rs
+
+/root/repo/target/release/deps/libsouffle_baselines-bfbe9f7541f77ad0.rlib: crates/baselines/src/lib.rs crates/baselines/src/ansor.rs crates/baselines/src/apollo.rs crates/baselines/src/iree.rs crates/baselines/src/rammer.rs crates/baselines/src/strategy.rs crates/baselines/src/tensorrt.rs crates/baselines/src/xla.rs
+
+/root/repo/target/release/deps/libsouffle_baselines-bfbe9f7541f77ad0.rmeta: crates/baselines/src/lib.rs crates/baselines/src/ansor.rs crates/baselines/src/apollo.rs crates/baselines/src/iree.rs crates/baselines/src/rammer.rs crates/baselines/src/strategy.rs crates/baselines/src/tensorrt.rs crates/baselines/src/xla.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/ansor.rs:
+crates/baselines/src/apollo.rs:
+crates/baselines/src/iree.rs:
+crates/baselines/src/rammer.rs:
+crates/baselines/src/strategy.rs:
+crates/baselines/src/tensorrt.rs:
+crates/baselines/src/xla.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/souffle_bench-6de41d051b0e2b2d.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsouffle_bench-6de41d051b0e2b2d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsouffle_bench-6de41d051b0e2b2d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/souffle_bench-aa873faf0007f590.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/souffle_bench-aa873faf0007f590: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/souffle_cli-5485d1078d6b7363.d: crates/souffle/src/bin/souffle-cli.rs
+
+/root/repo/target/release/deps/souffle_cli-5485d1078d6b7363: crates/souffle/src/bin/souffle-cli.rs
+
+crates/souffle/src/bin/souffle-cli.rs:

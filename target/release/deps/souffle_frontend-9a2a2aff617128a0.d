@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/souffle_frontend-9a2a2aff617128a0.d: crates/frontend/src/lib.rs crates/frontend/src/graph.rs crates/frontend/src/models/mod.rs crates/frontend/src/models/bert.rs crates/frontend/src/models/efficientnet.rs crates/frontend/src/models/lstm.rs crates/frontend/src/models/mmoe.rs crates/frontend/src/models/resnext.rs crates/frontend/src/models/swin.rs
+
+/root/repo/target/release/deps/libsouffle_frontend-9a2a2aff617128a0.rlib: crates/frontend/src/lib.rs crates/frontend/src/graph.rs crates/frontend/src/models/mod.rs crates/frontend/src/models/bert.rs crates/frontend/src/models/efficientnet.rs crates/frontend/src/models/lstm.rs crates/frontend/src/models/mmoe.rs crates/frontend/src/models/resnext.rs crates/frontend/src/models/swin.rs
+
+/root/repo/target/release/deps/libsouffle_frontend-9a2a2aff617128a0.rmeta: crates/frontend/src/lib.rs crates/frontend/src/graph.rs crates/frontend/src/models/mod.rs crates/frontend/src/models/bert.rs crates/frontend/src/models/efficientnet.rs crates/frontend/src/models/lstm.rs crates/frontend/src/models/mmoe.rs crates/frontend/src/models/resnext.rs crates/frontend/src/models/swin.rs
+
+crates/frontend/src/lib.rs:
+crates/frontend/src/graph.rs:
+crates/frontend/src/models/mod.rs:
+crates/frontend/src/models/bert.rs:
+crates/frontend/src/models/efficientnet.rs:
+crates/frontend/src/models/lstm.rs:
+crates/frontend/src/models/mmoe.rs:
+crates/frontend/src/models/resnext.rs:
+crates/frontend/src/models/swin.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/souffle_gpusim-1fde2557741e3bc1.d: crates/gpusim/src/lib.rs crates/gpusim/src/profile.rs crates/gpusim/src/sim.rs crates/gpusim/src/timeline.rs
+
+/root/repo/target/release/deps/libsouffle_gpusim-1fde2557741e3bc1.rlib: crates/gpusim/src/lib.rs crates/gpusim/src/profile.rs crates/gpusim/src/sim.rs crates/gpusim/src/timeline.rs
+
+/root/repo/target/release/deps/libsouffle_gpusim-1fde2557741e3bc1.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/profile.rs crates/gpusim/src/sim.rs crates/gpusim/src/timeline.rs
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/profile.rs:
+crates/gpusim/src/sim.rs:
+crates/gpusim/src/timeline.rs:

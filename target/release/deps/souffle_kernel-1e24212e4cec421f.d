@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/souffle_kernel-1e24212e4cec421f.d: crates/kernel/src/lib.rs crates/kernel/src/codegen.rs crates/kernel/src/lower.rs crates/kernel/src/lru.rs crates/kernel/src/passes.rs crates/kernel/src/instr.rs crates/kernel/src/kernel.rs
+
+/root/repo/target/release/deps/libsouffle_kernel-1e24212e4cec421f.rlib: crates/kernel/src/lib.rs crates/kernel/src/codegen.rs crates/kernel/src/lower.rs crates/kernel/src/lru.rs crates/kernel/src/passes.rs crates/kernel/src/instr.rs crates/kernel/src/kernel.rs
+
+/root/repo/target/release/deps/libsouffle_kernel-1e24212e4cec421f.rmeta: crates/kernel/src/lib.rs crates/kernel/src/codegen.rs crates/kernel/src/lower.rs crates/kernel/src/lru.rs crates/kernel/src/passes.rs crates/kernel/src/instr.rs crates/kernel/src/kernel.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/codegen.rs:
+crates/kernel/src/lower.rs:
+crates/kernel/src/lru.rs:
+crates/kernel/src/passes.rs:
+crates/kernel/src/instr.rs:
+crates/kernel/src/kernel.rs:

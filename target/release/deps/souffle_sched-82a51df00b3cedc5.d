@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/souffle_sched-82a51df00b3cedc5.d: crates/sched/src/lib.rs crates/sched/src/cost.rs crates/sched/src/device.rs crates/sched/src/occupancy.rs crates/sched/src/primitives.rs crates/sched/src/schedule.rs crates/sched/src/search.rs
+
+/root/repo/target/release/deps/libsouffle_sched-82a51df00b3cedc5.rlib: crates/sched/src/lib.rs crates/sched/src/cost.rs crates/sched/src/device.rs crates/sched/src/occupancy.rs crates/sched/src/primitives.rs crates/sched/src/schedule.rs crates/sched/src/search.rs
+
+/root/repo/target/release/deps/libsouffle_sched-82a51df00b3cedc5.rmeta: crates/sched/src/lib.rs crates/sched/src/cost.rs crates/sched/src/device.rs crates/sched/src/occupancy.rs crates/sched/src/primitives.rs crates/sched/src/schedule.rs crates/sched/src/search.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/cost.rs:
+crates/sched/src/device.rs:
+crates/sched/src/occupancy.rs:
+crates/sched/src/primitives.rs:
+crates/sched/src/schedule.rs:
+crates/sched/src/search.rs:

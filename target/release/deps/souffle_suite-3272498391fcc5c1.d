@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/souffle_suite-3272498391fcc5c1.d: src/lib.rs
+
+/root/repo/target/release/deps/souffle_suite-3272498391fcc5c1: src/lib.rs
+
+src/lib.rs:

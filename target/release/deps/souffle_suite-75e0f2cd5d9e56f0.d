@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/souffle_suite-75e0f2cd5d9e56f0.d: src/lib.rs
+
+/root/repo/target/release/deps/libsouffle_suite-75e0f2cd5d9e56f0.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsouffle_suite-75e0f2cd5d9e56f0.rmeta: src/lib.rs
+
+src/lib.rs:

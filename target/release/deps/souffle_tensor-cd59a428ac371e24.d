@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/souffle_tensor-cd59a428ac371e24.d: crates/tensor/src/lib.rs crates/tensor/src/dtype.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libsouffle_tensor-cd59a428ac371e24.rlib: crates/tensor/src/lib.rs crates/tensor/src/dtype.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+/root/repo/target/release/deps/libsouffle_tensor-cd59a428ac371e24.rmeta: crates/tensor/src/lib.rs crates/tensor/src/dtype.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/dtype.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/souffle_testkit-b64353ae368b6028.d: crates/testkit/src/lib.rs crates/testkit/src/oracle.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs crates/testkit/src/shrink.rs crates/testkit/src/teprog.rs crates/testkit/src/timer.rs
+
+/root/repo/target/release/deps/libsouffle_testkit-b64353ae368b6028.rlib: crates/testkit/src/lib.rs crates/testkit/src/oracle.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs crates/testkit/src/shrink.rs crates/testkit/src/teprog.rs crates/testkit/src/timer.rs
+
+/root/repo/target/release/deps/libsouffle_testkit-b64353ae368b6028.rmeta: crates/testkit/src/lib.rs crates/testkit/src/oracle.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs crates/testkit/src/shrink.rs crates/testkit/src/teprog.rs crates/testkit/src/timer.rs
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/oracle.rs:
+crates/testkit/src/prop.rs:
+crates/testkit/src/rng.rs:
+crates/testkit/src/shrink.rs:
+crates/testkit/src/teprog.rs:
+crates/testkit/src/timer.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/souffle_transform-4e29d56fba8a5eee.d: crates/transform/src/lib.rs crates/transform/src/horizontal.rs crates/transform/src/vertical.rs crates/transform/src/rewrite.rs
+
+/root/repo/target/release/deps/libsouffle_transform-4e29d56fba8a5eee.rlib: crates/transform/src/lib.rs crates/transform/src/horizontal.rs crates/transform/src/vertical.rs crates/transform/src/rewrite.rs
+
+/root/repo/target/release/deps/libsouffle_transform-4e29d56fba8a5eee.rmeta: crates/transform/src/lib.rs crates/transform/src/horizontal.rs crates/transform/src/vertical.rs crates/transform/src/rewrite.rs
+
+crates/transform/src/lib.rs:
+crates/transform/src/horizontal.rs:
+crates/transform/src/vertical.rs:
+crates/transform/src/rewrite.rs:

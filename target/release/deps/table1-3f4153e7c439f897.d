@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-3f4153e7c439f897.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-3f4153e7c439f897: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

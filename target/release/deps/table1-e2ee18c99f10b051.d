@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-e2ee18c99f10b051.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-e2ee18c99f10b051: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-8740019276e962e8.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-8740019276e962e8: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

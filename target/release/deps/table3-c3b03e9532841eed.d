@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-c3b03e9532841eed.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-c3b03e9532841eed: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

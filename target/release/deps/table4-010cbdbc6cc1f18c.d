@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-010cbdbc6cc1f18c.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-010cbdbc6cc1f18c: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

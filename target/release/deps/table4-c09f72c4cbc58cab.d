@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-c09f72c4cbc58cab.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-c09f72c4cbc58cab: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-506d677f84de1490.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-506d677f84de1490: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-5e77ec78b0f7b619.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-5e77ec78b0f7b619: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libsouffle_affine.rlib: /root/repo/crates/affine/src/expr.rs /root/repo/crates/affine/src/lib.rs /root/repo/crates/affine/src/map.rs /root/repo/crates/affine/src/relation.rs

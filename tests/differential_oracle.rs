@@ -1,0 +1,89 @@
+//! The differential semantics oracle run end-to-end: random well-formed TE
+//! programs from the testkit generator must survive every pipeline stage —
+//! horizontal fusion, vertical fusion, the combined fixpoint, schedule
+//! propagation + kernel merging (v3), and the full v4 pipeline — with
+//! outputs matching the reference interpreter under an ULP-aware tolerance.
+//!
+//! A failure panics with the stage name, the input seed, the worst
+//! diverging element, and both programs pretty-printed in `te.compute`
+//! notation, plus the testkit's own base-seed / shrunk-spec report.
+
+use souffle_frontend::{build_model, Model, ModelConfig};
+use souffle_testkit::oracle::{check_all_stages, check_stage, Stage, Tolerance};
+use souffle_testkit::teprog::gen_spec;
+use souffle_testkit::{forall, Config};
+
+forall!(
+    oracle_passes_all_stages_on_random_programs,
+    Config::with_cases(24),
+    |rng| (gen_spec(rng, 8), rng.u64_in(0..1000)),
+    |(spec, seed)| {
+        if spec.ops.is_empty() {
+            return Ok(()); // shrunk-out-of-domain candidate
+        }
+        let program = spec.build();
+        check_all_stages(&program, *seed, &Tolerance::default()).map_err(|e| e.to_string())
+    }
+);
+
+forall!(
+    oracle_passes_each_stage_independently,
+    Config::with_cases(12),
+    |rng| (gen_spec(rng, 6), rng.u64_in(0..1000)),
+    |(spec, seed)| {
+        if spec.ops.is_empty() {
+            return Ok(());
+        }
+        let program = spec.build();
+        for stage in Stage::ALL {
+            check_stage(&program, stage, *seed, &Tolerance::default())
+                .map_err(|e| format!("stage {stage} alone: {e}"))?;
+        }
+        Ok(())
+    }
+);
+
+/// The frontend's model zoo, through the oracle at tiny configs (the only
+/// sizes the reference interpreter can evaluate in test time).
+#[test]
+fn oracle_passes_all_stages_on_tiny_models() {
+    for (model, seed) in [(Model::Bert, 11), (Model::Lstm, 33), (Model::Mmoe, 66)] {
+        let program = build_model(model, ModelConfig::Tiny);
+        check_all_stages(&program, seed, &Tolerance::default())
+            .unwrap_or_else(|e| panic!("{model}: {e}"));
+    }
+}
+
+/// A deliberately mismatched comparison must produce a report naming the
+/// stage, the seed, and both programs — the acceptance contract of the
+/// oracle ("reports the failing seed + shrunk TE program on mismatch").
+#[test]
+fn oracle_mismatch_report_is_actionable() {
+    use souffle_te::{builders, source::te_source, TeProgram};
+    use souffle_tensor::{DType, Shape};
+    use souffle_testkit::oracle::{Mismatch, OracleError};
+
+    let mut p = TeProgram::new();
+    let a = p.add_input("A", Shape::new(vec![2, 3]), DType::F32);
+    let r = builders::relu(&mut p, "r", a);
+    p.mark_output(r);
+
+    let err = OracleError::Mismatch(Box::new(Mismatch {
+        stage: Stage::FullPipeline,
+        seed: 0xABCD,
+        tensor: "r".into(),
+        flat_index: 4,
+        expected: 0.5,
+        got: -0.5,
+        max_abs_diff: 1.0,
+        max_ulps: u64::from(u32::MAX),
+        before_src: te_source(&p),
+        after_src: te_source(&p),
+    }));
+    let text = err.to_string();
+    assert!(text.contains("full-pipeline"), "{text}");
+    assert!(text.contains("0x000000000000abcd"), "{text}");
+    assert!(text.contains("te.compute"), "{text}");
+    assert!(text.contains("program before"), "{text}");
+    assert!(text.contains("program after"), "{text}");
+}

@@ -142,9 +142,7 @@ fn swin_window_arithmetic_survives_transformation() {
         .program
         .tes()
         .iter()
-        .filter(|te| {
-            !te.is_reduction() && matches!(te.body, souffle_te::ScalarExpr::Input { .. })
-        })
+        .filter(|te| !te.is_reduction() && matches!(te.body, souffle_te::ScalarExpr::Input { .. }))
         .count();
     assert_eq!(views_left, 0, "pure memory operators must be eliminated");
 }

@@ -1,7 +1,10 @@
 //! Property-based invariants of the scheduler, partitioner, lowering,
 //! optimization passes and simulator, over randomly generated TE programs.
+//!
+//! The generated value is a spec tuple (op codes + base dims); the F16
+//! chain-with-branches program is materialized inside each property so the
+//! testkit shrinker can minimize failing op sequences.
 
-use proptest::prelude::*;
 use souffle_analysis::{classify_program, partition_program, TeGraph};
 use souffle_gpusim::{simulate, SimConfig};
 use souffle_kernel::passes::{pipeline_pass, tensor_reuse_pass};
@@ -9,97 +12,133 @@ use souffle_kernel::{lower_partition, LowerOptions};
 use souffle_sched::{auto_schedule, schedule_program, GpuSpec};
 use souffle_te::{builders, ReduceOp, TeId, TeProgram};
 use souffle_tensor::{DType, Shape};
+use souffle_testkit::{forall, tk_assert, tk_assert_eq, Config, Rng};
 
-/// Random chain-with-branches program over mixed op kinds.
-fn arb_program() -> impl Strategy<Value = TeProgram> {
+/// Spec for a random chain-with-branches program over mixed op kinds.
+type PipeSpec = (Vec<u8>, i64, i64);
+
+fn gen_pipe(rng: &mut Rng) -> PipeSpec {
     (
-        proptest::collection::vec(0u8..6, 1..12),
-        2i64..6,
-        2i64..6,
+        rng.vec(1..12, |r| r.u8_in(0..6)),
+        rng.i64_in(2..6),
+        rng.i64_in(2..6),
     )
-        .prop_map(|(ops, d0, d1)| {
-            let mut p = TeProgram::new();
-            let mut cur = p.add_input("in", Shape::new(vec![d0 * 2, d1 * 3]), DType::F16);
-            let mut branch = None;
-            for (i, op) in ops.iter().enumerate() {
-                let name = format!("op{i}");
-                cur = match op {
-                    0 => builders::relu(&mut p, &name, cur),
-                    1 => builders::exp(&mut p, &name, cur),
-                    2 => {
-                        let shape = p.tensor(cur).shape.clone();
-                        let w = p.add_weight(
-                            &format!("w{i}"),
-                            Shape::new(vec![shape.dim(1), 4]),
-                            DType::F16,
-                        );
-                        builders::matmul(&mut p, &name, cur, w)
-                    }
-                    3 => builders::transpose(&mut p, &name, cur, &[1, 0]),
-                    4 => {
-                        let r = builders::reduce_last(&mut p, &name, ReduceOp::Sum, cur);
-                        let d = p.tensor(r).shape.dim(0);
-                        builders::reshape(&mut p, &format!("{name}.r"), r, Shape::new(vec![d, 1]))
-                    }
-                    _ => {
-                        // Save a branch point or join it back.
-                        match branch.take() {
-                            Some(b) if p.tensor(b).shape == p.tensor(cur).shape => {
-                                builders::add(&mut p, &name, cur, b)
-                            }
-                            _ => {
-                                branch = Some(cur);
-                                builders::sigmoid(&mut p, &name, cur)
-                            }
-                        }
-                    }
-                };
-            }
-            p.mark_output(cur);
-            p
-        })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+fn spec_in_domain((ops, d0, d1): &PipeSpec) -> bool {
+    !ops.is_empty() && [*d0, *d1].iter().all(|&d| (2..6).contains(&d))
+}
 
-    #[test]
-    fn schedules_respect_device_limits(p in arb_program()) {
-        let spec = GpuSpec::a100();
+fn build_program((ops, d0, d1): &PipeSpec) -> TeProgram {
+    let mut p = TeProgram::new();
+    let mut cur = p.add_input("in", Shape::new(vec![d0 * 2, d1 * 3]), DType::F16);
+    let mut branch = None;
+    for (i, op) in ops.iter().enumerate() {
+        let name = format!("op{i}");
+        cur = match op {
+            0 => builders::relu(&mut p, &name, cur),
+            1 => builders::exp(&mut p, &name, cur),
+            2 => {
+                let shape = p.tensor(cur).shape.clone();
+                let w = p.add_weight(
+                    &format!("w{i}"),
+                    Shape::new(vec![shape.dim(1), 4]),
+                    DType::F16,
+                );
+                builders::matmul(&mut p, &name, cur, w)
+            }
+            3 => builders::transpose(&mut p, &name, cur, &[1, 0]),
+            4 => {
+                let r = builders::reduce_last(&mut p, &name, ReduceOp::Sum, cur);
+                let d = p.tensor(r).shape.dim(0);
+                builders::reshape(&mut p, &format!("{name}.r"), r, Shape::new(vec![d, 1]))
+            }
+            _ => {
+                // Save a branch point or join it back.
+                match branch.take() {
+                    Some(b) if p.tensor(b).shape == p.tensor(cur).shape => {
+                        builders::add(&mut p, &name, cur, b)
+                    }
+                    _ => {
+                        branch = Some(cur);
+                        builders::sigmoid(&mut p, &name, cur)
+                    }
+                }
+            }
+        };
+    }
+    p.mark_output(cur);
+    p
+}
+
+forall!(
+    schedules_respect_device_limits,
+    Config::with_cases(40),
+    |rng| gen_pipe(rng),
+    |spec| {
+        if !spec_in_domain(spec) {
+            return Ok(()); // shrunk-out-of-domain candidate
+        }
+        let p = build_program(spec);
+        let gpu = GpuSpec::a100();
         for te in p.te_ids() {
-            let s = auto_schedule(&p, te, &spec);
-            prop_assert!(s.grid_blocks >= 1);
-            prop_assert!(s.threads_per_block >= 1);
-            prop_assert!(s.shared_mem_bytes <= spec.shared_mem_per_block_max);
+            let s = auto_schedule(&p, te, &gpu);
+            tk_assert!(s.grid_blocks >= 1);
+            tk_assert!(s.threads_per_block >= 1);
+            tk_assert!(s.shared_mem_bytes <= gpu.shared_mem_per_block_max);
             // Tiles cover the output space.
             let covered: i64 = s
                 .output_tiles
                 .iter()
                 .map(|t| t.num_tiles() * t.tile)
                 .product();
-            prop_assert!(covered >= s.output_elems());
+            tk_assert!(covered >= s.output_elems());
         }
+        Ok(())
     }
+);
 
-    #[test]
-    fn partition_invariants_hold(p in arb_program()) {
-        let spec = GpuSpec::a100();
+forall!(
+    partition_invariants_hold,
+    Config::with_cases(40),
+    |rng| gen_pipe(rng),
+    |spec| {
+        if !spec_in_domain(spec) {
+            return Ok(());
+        }
+        let p = build_program(spec);
+        let gpu = GpuSpec::a100();
         let graph = TeGraph::build(&p);
         let classes = classify_program(&p);
-        let schedules = schedule_program(&p, &spec);
-        let partition = partition_program(&p, &graph, &classes, &schedules, &spec);
-        prop_assert!(partition.check_invariants(&p, &graph));
-        prop_assert_eq!(partition.num_tes(), p.num_tes());
+        let schedules = schedule_program(&p, &gpu);
+        let partition = partition_program(&p, &graph, &classes, &schedules, &gpu);
+        tk_assert!(partition.check_invariants(&p, &graph));
+        tk_assert_eq!(partition.num_tes(), p.num_tes());
+        Ok(())
     }
+);
 
-    #[test]
-    fn grid_synced_kernels_fit_one_wave(p in arb_program()) {
-        let spec = GpuSpec::a100();
+forall!(
+    grid_synced_kernels_fit_one_wave,
+    Config::with_cases(40),
+    |rng| gen_pipe(rng),
+    |spec| {
+        if !spec_in_domain(spec) {
+            return Ok(());
+        }
+        let p = build_program(spec);
+        let gpu = GpuSpec::a100();
         let graph = TeGraph::build(&p);
         let classes = classify_program(&p);
-        let schedules = schedule_program(&p, &spec);
-        let partition = partition_program(&p, &graph, &classes, &schedules, &spec);
-        let kernels = lower_partition(&p, &partition, &schedules, &classes, LowerOptions::default());
+        let schedules = schedule_program(&p, &gpu);
+        let partition = partition_program(&p, &graph, &classes, &schedules, &gpu);
+        let kernels = lower_partition(
+            &p,
+            &partition,
+            &schedules,
+            &classes,
+            LowerOptions::default(),
+        );
         for k in &kernels {
             if !k.uses_grid_sync() {
                 continue;
@@ -107,7 +146,7 @@ proptest! {
             // Compute-intensive stages must fit one wave (the §5.4
             // constraint). Memory-intensive stages inherit producer
             // schedules and are predicated, so only CI grids matter.
-            let wave = spec.max_blocks_per_wave(
+            let wave = gpu.max_blocks_per_wave(
                 k.threads_per_block(),
                 k.shared_mem_bytes(),
                 k.regs_per_thread(),
@@ -120,50 +159,88 @@ proptest! {
                 .max()
                 .unwrap_or(0);
             let _ = (wave, ci_grid); // CI grids may legitimately exceed the
-            // wave only in kernels without grid sync; here sync exists:
-            prop_assert!(k.grid_blocks() >= 1);
+                                     // wave only in kernels without grid sync; here sync exists:
+            tk_assert!(k.grid_blocks() >= 1);
         }
+        Ok(())
     }
+);
 
-    #[test]
-    fn reuse_pass_only_removes_traffic(p in arb_program()) {
-        let spec = GpuSpec::a100();
+forall!(
+    reuse_pass_only_removes_traffic,
+    Config::with_cases(40),
+    |rng| gen_pipe(rng),
+    |spec| {
+        if !spec_in_domain(spec) {
+            return Ok(());
+        }
+        let p = build_program(spec);
+        let gpu = GpuSpec::a100();
         let graph = TeGraph::build(&p);
         let classes = classify_program(&p);
-        let schedules = schedule_program(&p, &spec);
-        let partition = partition_program(&p, &graph, &classes, &schedules, &spec);
-        let kernels = lower_partition(&p, &partition, &schedules, &classes, LowerOptions::default());
+        let schedules = schedule_program(&p, &gpu);
+        let partition = partition_program(&p, &graph, &classes, &schedules, &gpu);
+        let kernels = lower_partition(
+            &p,
+            &partition,
+            &schedules,
+            &classes,
+            LowerOptions::default(),
+        );
         for mut k in kernels {
             let reads_before = k.global_read_bytes();
             let flops_before = k.flops();
             let writes_before = k.global_write_bytes();
             let stats = tensor_reuse_pass(&mut k, 1 << 20);
-            prop_assert_eq!(k.global_read_bytes() + stats.bytes_saved, reads_before);
-            prop_assert_eq!(k.flops(), flops_before);
-            prop_assert_eq!(k.global_write_bytes(), writes_before);
+            tk_assert_eq!(k.global_read_bytes() + stats.bytes_saved, reads_before);
+            tk_assert_eq!(k.flops(), flops_before);
+            tk_assert_eq!(k.global_write_bytes(), writes_before);
         }
+        Ok(())
     }
+);
 
-    #[test]
-    fn pipelining_never_slows_a_kernel(p in arb_program()) {
-        let spec = GpuSpec::a100();
+forall!(
+    pipelining_never_slows_a_kernel,
+    Config::with_cases(40),
+    |rng| gen_pipe(rng),
+    |spec| {
+        if !spec_in_domain(spec) {
+            return Ok(());
+        }
+        let p = build_program(spec);
+        let gpu = GpuSpec::a100();
         let cfg = SimConfig::a100();
         let graph = TeGraph::build(&p);
         let classes = classify_program(&p);
-        let schedules = schedule_program(&p, &spec);
-        let partition = partition_program(&p, &graph, &classes, &schedules, &spec);
-        let kernels = lower_partition(&p, &partition, &schedules, &classes, LowerOptions::default());
+        let schedules = schedule_program(&p, &gpu);
+        let partition = partition_program(&p, &graph, &classes, &schedules, &gpu);
+        let kernels = lower_partition(
+            &p,
+            &partition,
+            &schedules,
+            &classes,
+            LowerOptions::default(),
+        );
         let before = simulate(&kernels, &cfg).total_time_s();
         let mut piped = kernels.clone();
         for k in &mut piped {
             pipeline_pass(k);
         }
         let after = simulate(&piped, &cfg).total_time_s();
-        prop_assert!(after <= before * (1.0 + 1e-9), "{after} > {before}");
+        tk_assert!(after <= before * (1.0 + 1e-9), "{after} > {before}");
+        Ok(())
     }
+);
 
-    #[test]
-    fn simulator_time_scales_with_work(extra in 1u64..100) {
+forall!(
+    simulator_time_scales_with_work,
+    Config::with_cases(40),
+    |rng| rng.u64_in(1..100),
+    |extra| {
+        if *extra == 0 {
+            return Ok(());
+        }
         use souffle_kernel::{Instr, Kernel, Stage};
         use souffle_te::TensorId;
         let mk = |bytes: u64| Kernel {
@@ -175,24 +252,42 @@ proptest! {
                 threads_per_block: 256,
                 shared_mem_bytes: 0,
                 regs_per_thread: 32,
-                instrs: vec![Instr::LdGlobal { tensor: TensorId(0), bytes }],
+                instrs: vec![Instr::LdGlobal {
+                    tensor: TensorId(0),
+                    bytes,
+                }],
                 pipelined: false,
             }],
         };
         let cfg = SimConfig::a100();
         let t1 = simulate(&[mk(1_000_000)], &cfg).total_time_s();
         let t2 = simulate(&[mk(1_000_000 + extra * 1_000_000)], &cfg).total_time_s();
-        prop_assert!(t2 > t1);
+        tk_assert!(t2 > t1);
+        Ok(())
     }
+);
 
-    #[test]
-    fn every_te_reaches_exactly_one_kernel_stage(p in arb_program()) {
-        let spec = GpuSpec::a100();
+forall!(
+    every_te_reaches_exactly_one_kernel_stage,
+    Config::with_cases(40),
+    |rng| gen_pipe(rng),
+    |spec| {
+        if !spec_in_domain(spec) {
+            return Ok(());
+        }
+        let p = build_program(spec);
+        let gpu = GpuSpec::a100();
         let graph = TeGraph::build(&p);
         let classes = classify_program(&p);
-        let schedules = schedule_program(&p, &spec);
-        let partition = partition_program(&p, &graph, &classes, &schedules, &spec);
-        let kernels = lower_partition(&p, &partition, &schedules, &classes, LowerOptions::default());
+        let schedules = schedule_program(&p, &gpu);
+        let partition = partition_program(&p, &graph, &classes, &schedules, &gpu);
+        let kernels = lower_partition(
+            &p,
+            &partition,
+            &schedules,
+            &classes,
+            LowerOptions::default(),
+        );
         // Stage grouping never drops or duplicates output writes of
         // escaping tensors: each program output is written exactly once.
         let mut written: Vec<souffle_te::TensorId> = Vec::new();
@@ -209,8 +304,9 @@ proptest! {
         }
         for out in p.outputs() {
             let n = written.iter().filter(|&&t| t == out).count();
-            prop_assert_eq!(n, 1, "output {} written {} times", out, n);
+            tk_assert_eq!(n, 1, "output {} written {} times", out, n);
         }
         let _ = TeId(0);
+        Ok(())
     }
-}
+);

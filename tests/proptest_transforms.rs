@@ -1,157 +1,78 @@
 //! Property-based semantic-preservation tests: random TE programs are
-//! generated from the operator vocabulary, transformed, and checked
-//! element-wise against the reference interpreter.
+//! generated from the testkit operator vocabulary, transformed, and checked
+//! element-wise against the reference interpreter through the differential
+//! oracle.
+//!
+//! Failures report the base seed and a shrunk [`ProgSpec`]; rerun with
+//! `TESTKIT_SEED=<seed> cargo test <name>` to reproduce.
 
-use proptest::prelude::*;
-use souffle_te::{builders, interp::eval_with_random_inputs, ReduceOp, TeProgram, TensorId};
-use souffle_tensor::{DType, Shape};
-use souffle_transform::{horizontal_fuse_program, transform_program, vertical_fuse_program};
+use souffle_testkit::oracle::{check_stage, Stage, Tolerance};
+use souffle_testkit::teprog::{gen_spec, ProgSpec};
+use souffle_testkit::{forall, tk_assert, tk_assert_eq, Config, Rng};
+use souffle_transform::{transform_program, vertical_fuse_program};
 
-/// One random operator appended to a growing program.
-#[derive(Debug, Clone)]
-enum Op {
-    Unary(u8),
-    AddPrev,
-    Scale(i8),
-    Slice,
-    Transpose,
-    Reshape,
-    Matmul,
-    ReduceSum,
-    Softmax,
+fn gen_case(rng: &mut Rng, max_ops: usize) -> (ProgSpec, u64) {
+    (gen_spec(rng, max_ops), rng.u64_in(0..1000))
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..4).prop_map(Op::Unary),
-        Just(Op::AddPrev),
-        (-3i8..4).prop_map(Op::Scale),
-        Just(Op::Slice),
-        Just(Op::Transpose),
-        Just(Op::Reshape),
-        Just(Op::Matmul),
-        Just(Op::ReduceSum),
-        Just(Op::Softmax),
-    ]
-}
-
-/// Builds a random (but always valid) program from an op sequence. All
-/// tensors stay rank-2 so every op applies; `AddPrev` reuses an earlier
-/// same-shaped tensor when one exists, creating reuse patterns.
-fn build_program(ops: &[Op]) -> TeProgram {
-    let mut p = TeProgram::new();
-    let mut cur = p.add_input("in", Shape::new(vec![4, 6]), DType::F32);
-    let mut history: Vec<TensorId> = vec![cur];
-    for (i, op) in ops.iter().enumerate() {
-        let name = format!("op{i}");
-        let shape = p.tensor(cur).shape.clone();
-        cur = match op {
-            Op::Unary(k) => {
-                let u = [
-                    souffle_te::UnaryOp::Relu,
-                    souffle_te::UnaryOp::Sigmoid,
-                    souffle_te::UnaryOp::Exp,
-                    souffle_te::UnaryOp::Abs,
-                ][*k as usize % 4];
-                builders::unary(&mut p, &name, u, cur)
-            }
-            Op::AddPrev => {
-                let same: Vec<TensorId> = history
-                    .iter()
-                    .copied()
-                    .filter(|&t| p.tensor(t).shape == shape)
-                    .collect();
-                let other = same[same.len() / 2];
-                builders::add(&mut p, &name, cur, other)
-            }
-            Op::Scale(k) => builders::scale(&mut p, &name, cur, *k as f32 * 0.5 + 0.25),
-            Op::Slice => {
-                let d0 = shape.dim(0);
-                if d0 >= 2 {
-                    builders::strided_slice(&mut p, &name, cur, 0, 0, 2, d0 / 2)
-                } else {
-                    builders::relu(&mut p, &name, cur)
-                }
-            }
-            Op::Transpose => builders::transpose(&mut p, &name, cur, &[1, 0]),
-            Op::Reshape => {
-                let n = shape.numel();
-                // pick a different rank-2 factorization
-                let d0 = if n % 3 == 0 { 3 } else if n % 2 == 0 { 2 } else { 1 };
-                builders::reshape(&mut p, &name, cur, Shape::new(vec![d0, n / d0]))
-            }
-            Op::Matmul => {
-                let k = shape.dim(1);
-                let w = p.add_weight(&format!("w{i}"), Shape::new(vec![k, 5]), DType::F32);
-                builders::matmul(&mut p, &name, cur, w)
-            }
-            Op::ReduceSum => {
-                let r = builders::reduce_last(&mut p, &name, ReduceOp::Sum, cur);
-                // keep rank 2: reshape (d,) -> (d, 1)
-                let d = p.tensor(r).shape.dim(0);
-                builders::reshape(&mut p, &format!("{name}.r2"), r, Shape::new(vec![d, 1]))
-            }
-            Op::Softmax => builders::softmax(&mut p, &name, cur),
-        };
-        history.push(cur);
-    }
-    p.mark_output(cur);
-    p
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn combined_transform_preserves_semantics(
-        ops in proptest::collection::vec(arb_op(), 1..10),
-        seed in 0u64..1000,
-    ) {
-        let program = build_program(&ops);
-        prop_assert!(program.validate().is_ok(), "generated program invalid");
-        let (transformed, _) = transform_program(&program);
-        prop_assert!(transformed.validate().is_ok(), "transformed invalid");
-        let want = eval_with_random_inputs(&program, seed).expect("reference");
-        let got = eval_with_random_inputs(&transformed, seed).expect("transformed");
-        for (id, w) in &want {
-            let g = &got[id];
-            prop_assert!(
-                w.allclose(g, 1e-3, 1e-3),
-                "output {} diverged by {:?} for ops {:?}",
-                id, w.max_abs_diff(g), ops
-            );
+forall!(
+    combined_transform_preserves_semantics,
+    Config::with_cases(48),
+    |rng| gen_case(rng, 10),
+    |(spec, seed)| {
+        if spec.ops.is_empty() {
+            return Ok(()); // shrunk-out-of-domain candidate
         }
+        let program = spec.build();
+        tk_assert!(program.validate().is_ok(), "generated program invalid");
+        check_stage(&program, Stage::Transform, *seed, &Tolerance::default())
+            .map_err(|e| e.to_string())
     }
+);
 
-    #[test]
-    fn vertical_never_grows_te_count(ops in proptest::collection::vec(arb_op(), 1..10)) {
-        let program = build_program(&ops);
+forall!(
+    vertical_never_grows_te_count,
+    Config::with_cases(48),
+    |rng| gen_spec(rng, 10),
+    |spec| {
+        if spec.ops.is_empty() {
+            return Ok(());
+        }
+        let program = spec.build();
         let (transformed, stats) = vertical_fuse_program(&program);
-        prop_assert!(transformed.num_tes() <= program.num_tes());
-        prop_assert_eq!(stats.tes_after, transformed.num_tes());
+        tk_assert!(transformed.num_tes() <= program.num_tes());
+        tk_assert_eq!(stats.tes_after, transformed.num_tes());
+        Ok(())
     }
+);
 
-    #[test]
-    fn horizontal_is_semantics_preserving_alone(
-        ops in proptest::collection::vec(arb_op(), 1..8),
-        seed in 0u64..1000,
-    ) {
-        let program = build_program(&ops);
-        let (transformed, _) = horizontal_fuse_program(&program);
-        prop_assert!(transformed.validate().is_ok());
-        let want = eval_with_random_inputs(&program, seed).expect("reference");
-        let got = eval_with_random_inputs(&transformed, seed).expect("transformed");
-        for (id, w) in &want {
-            prop_assert!(w.allclose(&got[id], 1e-3, 1e-3));
+forall!(
+    horizontal_is_semantics_preserving_alone,
+    Config::with_cases(48),
+    |rng| gen_case(rng, 8),
+    |(spec, seed)| {
+        if spec.ops.is_empty() {
+            return Ok(());
         }
+        let program = spec.build();
+        check_stage(&program, Stage::Horizontal, *seed, &Tolerance::default())
+            .map_err(|e| e.to_string())
     }
+);
 
-    #[test]
-    fn transform_is_deterministic(ops in proptest::collection::vec(arb_op(), 1..8)) {
-        let program = build_program(&ops);
+forall!(
+    transform_is_deterministic,
+    Config::with_cases(48),
+    |rng| gen_spec(rng, 8),
+    |spec| {
+        if spec.ops.is_empty() {
+            return Ok(());
+        }
+        let program = spec.build();
         let (t1, s1) = transform_program(&program);
         let (t2, s2) = transform_program(&program);
-        prop_assert_eq!(s1, s2);
-        prop_assert_eq!(t1.num_tes(), t2.num_tes());
+        tk_assert_eq!(s1, s2);
+        tk_assert_eq!(t1.num_tes(), t2.num_tes());
+        Ok(())
     }
-}
+);

@@ -2,7 +2,7 @@
 //! on a tiny MLP regression task using autodiff gradients evaluated by
 //! the reference interpreter, and require the loss to drop substantially.
 
-use souffle_te::{builders, grad, BinaryOp, ReduceOp, TensorId, TeProgram};
+use souffle_te::{builders, grad, BinaryOp, ReduceOp, TeProgram, TensorId};
 use souffle_tensor::{DType, Shape, Tensor};
 use std::collections::HashMap;
 
@@ -46,16 +46,22 @@ fn build_net() -> Net {
 #[test]
 fn sgd_reduces_the_loss_by_10x() {
     let net = build_net();
-    let g = grad::backward(&net.program, net.loss, &[net.w1, net.b1, net.w2])
-        .expect("differentiable");
+    let g =
+        grad::backward(&net.program, net.loss, &[net.w1, net.b1, net.w2]).expect("differentiable");
 
     // Fixed data; learnable parameters start random.
     let data_x = Tensor::random(Shape::new(vec![8, 4]), 1);
     let data_t = Tensor::random(Shape::new(vec![8, 2]), 2);
     let mut params: HashMap<TensorId, Tensor> = HashMap::new();
-    params.insert(net.w1, Tensor::random(Shape::new(vec![4, 16]), 3).map(|v| v * 0.5));
+    params.insert(
+        net.w1,
+        Tensor::random(Shape::new(vec![4, 16]), 3).map(|v| v * 0.5),
+    );
     params.insert(net.b1, Tensor::zeros(Shape::new(vec![16])));
-    params.insert(net.w2, Tensor::random(Shape::new(vec![16, 2]), 4).map(|v| v * 0.5));
+    params.insert(
+        net.w2,
+        Tensor::random(Shape::new(vec![16, 2]), 4).map(|v| v * 0.5),
+    );
 
     let lr = 0.05f32;
     let mut losses = Vec::new();
@@ -68,7 +74,10 @@ fn sgd_reduces_the_loss_by_10x() {
 
         let mut bwd_binds = HashMap::new();
         for (&fid, &sid) in &g.saved {
-            let v = binds.get(&fid).cloned().unwrap_or_else(|| fwd[&fid].clone());
+            let v = binds
+                .get(&fid)
+                .cloned()
+                .unwrap_or_else(|| fwd[&fid].clone());
             bwd_binds.insert(sid, v);
         }
         let grads = souffle_te::interp::eval_program(&g.program, &bwd_binds).expect("bwd");
