@@ -1,21 +1,26 @@
 //! Component-level benches (in-tree wall-clock harness): each pipeline
-//! stage in isolation, plus ablation benches for the design choices
+//! stage in isolation, the naive-vs-compiled evaluator comparison on a
+//! BERT-sized TE program, plus ablation benches for the design choices
 //! DESIGN.md calls out (level-based independence, batched vertical fusion,
 //! LRU capacity).
 //!
 //! Run with `cargo bench -p souffle-bench --bench pipeline`; tune the
 //! per-benchmark time budget with `TESTKIT_BENCH_MS` (default 100 ms).
+//! Besides the console table, results are written machine-readably to
+//! `results/bench_pipeline.json`.
 
 use souffle_analysis::{
     classify_program, find_reuse, live_ranges, partition_program, AnalysisResult, TeGraph,
 };
 use souffle_bench::tiny_program;
+use souffle_frontend::models::bert::{build as build_bert, BertConfig};
 use souffle_frontend::{build_model, Model, ModelConfig};
 use souffle_kernel::passes::tensor_reuse_pass;
 use souffle_kernel::{lower_partition, LowerOptions, LruCache};
 use souffle_sched::{schedule_program, GpuSpec};
-use souffle_te::TensorId;
-use souffle_testkit::timer::{black_box, Bench};
+use souffle_te::interp::{eval_program, random_bindings};
+use souffle_te::{compile_program, thread_count, TensorId, THREADS_ENV};
+use souffle_testkit::timer::{black_box, Bench, Timing};
 use souffle_transform::{horizontal_fuse_program, vertical_fuse_program};
 
 fn bench_analysis_stages(b: &mut Bench) {
@@ -82,6 +87,103 @@ fn bench_lowering(b: &mut Bench) {
     });
 }
 
+/// Speedup summary of the naive-vs-compiled evaluator comparison, for the
+/// JSON report.
+struct EvaluatorSummary {
+    workload: String,
+    naive_mean_ns: f64,
+    compiled_1t_mean_ns: f64,
+    compiled_mt_mean_ns: f64,
+    threads: usize,
+}
+
+/// Naive interpreter vs compiled VM on a BERT-sized TE program: 2
+/// transformer layers at sequence length 64, hidden 64 — large enough
+/// that evaluation is dominated by the attention/FFN matmuls, small
+/// enough that the naive interpreter still finishes within the bench
+/// budget. `compiled_1t` pins one thread (the honest single-thread
+/// speedup); `compiled_mt` uses the machine default.
+fn bench_evaluators(b: &mut Bench) -> EvaluatorSummary {
+    let cfg = BertConfig {
+        layers: 2,
+        hidden: 64,
+        heads: 4,
+        seq: 64,
+        ffn: 256,
+    };
+    let program = build_bert(&cfg);
+    let bindings = random_bindings(&program, 7);
+    let compiled = compile_program(&program);
+
+    b.group("evaluator_bert");
+    let naive_mean_ns = b
+        .run("naive", || eval_program(black_box(&program), &bindings))
+        .mean_ns;
+    std::env::set_var(THREADS_ENV, "1");
+    let compiled_1t_mean_ns = b
+        .run("compiled_1t", || black_box(&compiled).eval(&bindings))
+        .mean_ns;
+    std::env::remove_var(THREADS_ENV);
+    let compiled_mt_mean_ns = b
+        .run("compiled_mt", || black_box(&compiled).eval(&bindings))
+        .mean_ns;
+    EvaluatorSummary {
+        workload: format!(
+            "bert(layers={}, hidden={}, heads={}, seq={}, ffn={})",
+            cfg.layers, cfg.hidden, cfg.heads, cfg.seq, cfg.ffn
+        ),
+        naive_mean_ns,
+        compiled_1t_mean_ns,
+        compiled_mt_mean_ns,
+        threads: thread_count(),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Serializes every stage timing plus the evaluator comparison to
+/// `results/bench_pipeline.json` (hand-rolled writer: the workspace is
+/// dependency-free by design, so no serde).
+fn write_report(timings: &[Timing], ev: &EvaluatorSummary) -> std::io::Result<()> {
+    let mut out = String::from("{\n  \"schema\": \"souffle-bench-pipeline/1\",\n  \"stages\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        let sep = if i + 1 == timings.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"iters\": {}, \"mean_ns\": {:.1}, \"min_ns\": {}, \"max_ns\": {}}}{sep}\n",
+            json_escape(&t.name),
+            t.iters,
+            t.mean_ns,
+            t.min_ns,
+            t.max_ns
+        ));
+    }
+    out.push_str("  ],\n  \"evaluator\": {\n");
+    out.push_str(&format!(
+        "    \"workload\": \"{}\",\n",
+        json_escape(&ev.workload)
+    ));
+    out.push_str(&format!(
+        "    \"naive_mean_ns\": {:.1},\n    \"compiled_1t_mean_ns\": {:.1},\n    \"compiled_mt_mean_ns\": {:.1},\n",
+        ev.naive_mean_ns, ev.compiled_1t_mean_ns, ev.compiled_mt_mean_ns
+    ));
+    out.push_str(&format!(
+        "    \"speedup_compiled_1t\": {:.2},\n    \"speedup_compiled_mt\": {:.2},\n    \"threads\": {}\n",
+        ev.naive_mean_ns / ev.compiled_1t_mean_ns,
+        ev.naive_mean_ns / ev.compiled_mt_mean_ns,
+        ev.threads
+    ));
+    out.push_str("  }\n}\n");
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/bench_pipeline.json"
+    );
+    std::fs::write(path, out)?;
+    println!("\nwrote {path}");
+    Ok(())
+}
+
 /// Ablation: LRU cache throughput across capacities (design choice: the
 /// reuse pass runs at device-shared-memory capacity).
 fn bench_lru_capacity(b: &mut Bench) {
@@ -103,4 +205,15 @@ fn main() {
     bench_transforms(&mut b);
     bench_lowering(&mut b);
     bench_lru_capacity(&mut b);
+    let ev = bench_evaluators(&mut b);
+    println!(
+        "\nevaluator speedup on {}: {:.1}x single-thread, {:.1}x with {} thread(s)",
+        ev.workload,
+        ev.naive_mean_ns / ev.compiled_1t_mean_ns,
+        ev.naive_mean_ns / ev.compiled_mt_mean_ns,
+        ev.threads
+    );
+    if let Err(e) = write_report(b.results(), &ev) {
+        eprintln!("could not write results/bench_pipeline.json: {e}");
+    }
 }

@@ -62,14 +62,18 @@ fn is_mma_body(body: &ScalarExpr) -> bool {
     contains_mul_of_inputs(body)
 }
 
+/// Tile sizes worth trying for one axis: the fixed power-of-two ladder
+/// below the extent, plus the extent itself as an exact fit (capped at
+/// 128, the largest tile the ladder considers). Sorted and duplicate-free
+/// so extents sitting between ladder rungs (e.g. 48) are explored exactly
+/// once instead of producing repeated clamped candidates.
 fn tile_candidates(extent: i64) -> Vec<i64> {
-    let mut out = vec![];
-    for t in [1i64, 4, 8, 16, 32, 64, 128] {
-        let t = t.min(extent);
-        if !out.contains(&t) {
-            out.push(t);
-        }
-    }
+    let mut out: Vec<i64> = [1i64, 4, 8, 16, 32, 64, 128]
+        .into_iter()
+        .filter(|&t| t < extent)
+        .collect();
+    out.push(extent.min(128));
+    out.dedup();
     out
 }
 
@@ -92,7 +96,12 @@ fn search_reduction(program: &TeProgram, te: TeId, spec: &GpuSpec) -> Schedule {
     let out_elems: i64 = dims.iter().product();
 
     let mut best: Option<Schedule> = None;
-    let cands_a = tile_candidates(dims[tiled_dims[0]]);
+    // Rank-0 (scalar) outputs — e.g. a full reduction — have nothing to
+    // tile: search only over the reduction split.
+    let cands_a: Vec<i64> = match tiled_dims.first() {
+        Some(&d) => tile_candidates(dims[d]),
+        None => vec![1],
+    };
     let cands_b: Vec<i64> = if tiled_dims.len() > 1 {
         tile_candidates(dims[tiled_dims[1]])
     } else {
@@ -114,7 +123,9 @@ fn search_reduction(program: &TeProgram, te: TeId, spec: &GpuSpec) -> Schedule {
                     .iter()
                     .map(|&e| TileDim { extent: e, tile: 1 })
                     .collect();
-                tiles[tiled_dims[0]].tile = ta;
+                if let Some(&d) = tiled_dims.first() {
+                    tiles[d].tile = ta;
+                }
                 if tiled_dims.len() > 1 {
                     tiles[tiled_dims[1]].tile = tb;
                 }
@@ -237,6 +248,53 @@ mod tests {
             s.cross_block_reduction,
             "expected two-phase reduction, got {s}"
         );
+    }
+
+    #[test]
+    fn full_reduction_to_scalar_schedules_without_panicking() {
+        use souffle_affine::IndexExpr;
+        use souffle_te::ScalarExpr;
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![64, 4096]), DType::F32);
+        let s = p.add_te(
+            "sum_all",
+            Shape::scalar(),
+            DType::F32,
+            vec![a],
+            vec![64, 4096],
+            Some(souffle_te::ReduceOp::Sum),
+            ScalarExpr::input(0, vec![IndexExpr::var(0), IndexExpr::var(1)]),
+        );
+        p.mark_output(s);
+        p.validate().unwrap();
+        let sch = auto_schedule(&p, TeId(0), &spec());
+        assert!(sch.grid_blocks >= 1);
+        assert!(sch.output_tiles.is_empty());
+        assert!(sch.estimated_time_s > 0.0);
+        // A huge reduction feeding one output element should go two-phase.
+        assert!(sch.cross_block_reduction, "expected split reduction: {sch}");
+    }
+
+    #[test]
+    fn tile_candidates_are_sorted_unique_and_exact_fit() {
+        // 48 sits between ladder rungs 32 and 64: it must appear as an
+        // exact-fit candidate, once.
+        assert_eq!(tile_candidates(48), vec![1, 4, 8, 16, 32, 48]);
+        // Exact rung: no duplicate.
+        assert_eq!(tile_candidates(64), vec![1, 4, 8, 16, 32, 64]);
+        // Above the ladder: capped at 128.
+        assert_eq!(tile_candidates(4096), vec![1, 4, 8, 16, 32, 64, 128]);
+        // Degenerate extents.
+        assert_eq!(tile_candidates(1), vec![1]);
+        assert_eq!(tile_candidates(3), vec![1, 3]);
+        for e in 1..200 {
+            let c = tile_candidates(e);
+            let mut sorted = c.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(c, sorted, "extent {e} candidates not sorted/unique");
+            assert!(c.iter().all(|&t| t >= 1 && t <= e.min(128)));
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Pipeline configuration, including the ablation points of Table 4.
 
 use souffle_sched::GpuSpec;
+use souffle_te::Evaluator;
 
 /// Which optimization stages run — the knobs of the paper's ablation
 /// study (§8.2): V0 is plain TVM+Ansor codegen; each step adds one
@@ -23,6 +24,10 @@ pub struct SouffleOptions {
     /// (each block caches its tile); the design-ablation bench sweeps
     /// this.
     pub reuse_cache_bytes: Option<u64>,
+    /// Which reference evaluator [`crate::Souffle::eval_reference`] runs
+    /// the (transformed) TE program with: the naive interpreter (ground
+    /// truth) or the compiled bytecode VM (bit-identical, much faster).
+    pub evaluator: Evaluator,
     /// The target device.
     pub spec: GpuSpec,
 }
@@ -36,6 +41,7 @@ impl SouffleOptions {
             global_sync: false,
             subprogram_opts: false,
             reuse_cache_bytes: None,
+            evaluator: Evaluator::default(),
             spec: GpuSpec::a100(),
         }
     }

@@ -6,8 +6,11 @@ use souffle_baselines::{AnsorStrategy, Strategy, StrategyContext};
 use souffle_gpusim::{simulate, ModelProfile, SimConfig};
 use souffle_kernel::passes::{pipeline_pass, tensor_reuse_pass, PipelineStats, ReuseStats};
 use souffle_kernel::{lower_partition, Kernel, LowerOptions};
-use souffle_te::TeProgram;
+use souffle_te::interp::{eval_program, EvalError};
+use souffle_te::{compile_program, Evaluator, TeProgram, TensorId};
+use souffle_tensor::Tensor;
 use souffle_transform::{horizontal_fuse_program, vertical_fuse_program, TransformStats};
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 /// Timing and statistics of one compilation (§8.5's overhead study).
@@ -150,6 +153,27 @@ impl Souffle {
     /// Executes a compiled model on the simulated A100.
     pub fn simulate(&self, compiled: &Compiled) -> ModelProfile {
         simulate(&compiled.kernels, &self.sim_config())
+    }
+
+    /// Numerically evaluates the compiled (transformed) TE program on
+    /// `bindings` with the evaluator selected in the options — the naive
+    /// interpreter for inspectable ground truth, or the compiled bytecode
+    /// VM for speed. This is the reference semantics of the generated
+    /// kernels: what the lowered code must compute.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EvalError`] for missing/mis-shaped bindings or
+    /// out-of-bounds reads.
+    pub fn eval_reference(
+        &self,
+        compiled: &Compiled,
+        bindings: &HashMap<TensorId, Tensor>,
+    ) -> Result<HashMap<TensorId, Tensor>, EvalError> {
+        match self.options.evaluator {
+            Evaluator::Naive => eval_program(&compiled.program, bindings),
+            Evaluator::Compiled => compile_program(&compiled.program).eval(bindings),
+        }
     }
 
     /// The simulator configuration Souffle-generated code runs under.
@@ -384,6 +408,29 @@ mod tests {
         let compiled = souffle.compile_graph(&g).unwrap();
         assert_eq!(compiled.num_library_kernels(), 0);
         assert_eq!(compiled.parts.len(), 1);
+    }
+
+    #[test]
+    fn eval_reference_agrees_across_evaluators() {
+        use souffle_te::interp::random_bindings;
+        let p = fig2_program();
+        let bindings = random_bindings(&p, 7);
+        let naive = Souffle::new(SouffleOptions {
+            evaluator: souffle_te::Evaluator::Naive,
+            ..SouffleOptions::full()
+        });
+        let fast = Souffle::new(SouffleOptions::full());
+        let cn = naive.compile(&p);
+        let cf = fast.compile(&p);
+        let want = naive.eval_reference(&cn, &bindings).unwrap();
+        let got = fast.eval_reference(&cf, &bindings).unwrap();
+        for id in p.outputs() {
+            let (w, g) = (&want[&id], &got[&id]);
+            assert_eq!(w.shape(), g.shape());
+            for (a, b) in w.data().iter().zip(g.data()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,572 @@
+//! Compilation of TE programs into flat register bytecode.
+//!
+//! The naive interpreter in [`crate::interp`] re-walks the `ScalarExpr`
+//! tree and re-evaluates every quasi-affine index expression for every
+//! output (and reduction) point. This module lowers each TE body **once**
+//! into:
+//!
+//! - a flat, register-based instruction sequence ([`Instr`]) with explicit
+//!   jumps for lazily-evaluated `Select` branches (so guarded out-of-bounds
+//!   accesses — padding — are never touched, exactly like the naive
+//!   interpreter), and
+//! - a table of operand accesses, split into **affine** accesses that are
+//!   strength-reduced to a base offset plus one flat stride per loop
+//!   variable (the paper's §5.2 observation that one-relies-on-one
+//!   dependences are quasi-affine maps), and **generic** accesses that
+//!   fall back to per-axis index evaluation with the naive interpreter's
+//!   bounds checks.
+//!
+//! An access qualifies for the affine fast path only when every index
+//! expression is purely affine *and* interval analysis over the iteration
+//! box proves it in-bounds on every axis; everything else (div/mod
+//! linearizations, guarded padding reads) takes the generic path, which
+//! preserves the taken-branch-only out-of-bounds semantics bit for bit.
+//!
+//! Evaluation of the compiled form lives in [`crate::vm`].
+
+use crate::expr::{BinaryOp, Cond, ScalarExpr, UnaryOp};
+use crate::program::{TeProgram, TensorId, TensorInfo};
+use crate::te::ReduceOp;
+use souffle_affine::IndexExpr;
+use souffle_tensor::Shape;
+
+/// One bytecode instruction. Register indices address a flat `f32`
+/// register file; `access`, `cond`, and `expr` index the side tables on
+/// [`CompiledTe`].
+#[derive(Debug, Clone)]
+pub(crate) enum Instr {
+    /// `regs[dst] = value`.
+    Const { dst: u32, value: f32 },
+    /// `regs[dst] = operand_data[access][precomputed_offset[access]]`.
+    LoadAffine { dst: u32, access: u32 },
+    /// Evaluate the access's index expressions, bounds-check each axis,
+    /// and load (or fail with the interpreter's `OutOfBounds` error).
+    LoadGeneric { dst: u32, access: u32 },
+    /// `regs[dst] = index_exprs[expr].eval(vars) as f32`.
+    Index { dst: u32, expr: u32 },
+    /// `regs[dst] = op.apply(regs[src])`.
+    Unary { dst: u32, op: UnaryOp, src: u32 },
+    /// `regs[dst] = op.apply(regs[lhs], regs[rhs])`.
+    Binary {
+        dst: u32,
+        op: BinaryOp,
+        lhs: u32,
+        rhs: u32,
+    },
+    /// Jump to `target` when `conds[cond]` is false (enters the `Select`
+    /// else-branch); fall through into the then-branch otherwise.
+    JumpIfNot { cond: u32, target: u32 },
+    /// Unconditional jump (skips the untaken `Select` branch).
+    Jump { target: u32 },
+}
+
+/// A strength-reduced operand access: the flat row-major offset into the
+/// operand is `base + Σ coeffs[v] · vars[v]`, maintained incrementally by
+/// the VM as the loop odometer advances (one add per step instead of a
+/// full index-expression re-evaluation).
+#[derive(Debug, Clone)]
+pub(crate) struct AffineAccess {
+    /// Position in the TE's input list.
+    pub operand: usize,
+    /// Flat offset at `vars = 0`.
+    pub base: i64,
+    /// Flat stride per loop variable (iteration then reduction vars).
+    pub coeffs: Vec<i64>,
+}
+
+/// Shape of a TE body recognized at compile time, letting the VM bypass
+/// per-instruction dispatch for the bodies that dominate inference
+/// workloads (matmul/conv inner products and plain data movement). The
+/// specialized paths perform the *same* loads and float ops in the same
+/// order as the bytecode would, so results stay bit-identical.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum BodyKind {
+    /// Anything else: run the bytecode interpreter loop.
+    Generic,
+    /// Body is a single in-bounds affine load (copy/transpose/slice,
+    /// or a single-operand reduction like sum/max over an axis).
+    AffineLoad {
+        /// Index into the TE's affine access table.
+        access: usize,
+    },
+    /// Body is `load(a) * load(b)` with both loads affine — the
+    /// matmul / conv2d (unpadded) inner body.
+    MulAffine {
+        /// Affine access id of the left factor.
+        a: usize,
+        /// Affine access id of the right factor.
+        b: usize,
+    },
+}
+
+/// A generic (non-affine or not provably in-bounds) operand access,
+/// evaluated per-axis with runtime bounds checks like the naive
+/// interpreter.
+#[derive(Debug, Clone)]
+pub(crate) struct GenericAccess {
+    /// Position in the TE's input list.
+    pub operand: usize,
+    /// One index expression per operand axis.
+    pub indices: Vec<IndexExpr>,
+    /// Operand extents, for the per-axis bounds check.
+    pub dims: Vec<i64>,
+}
+
+/// One TE lowered to bytecode plus its access/condition/index tables.
+#[derive(Debug, Clone)]
+pub struct CompiledTe {
+    pub(crate) name: String,
+    pub(crate) output: TensorId,
+    pub(crate) out_shape: Shape,
+    pub(crate) inputs: Vec<TensorId>,
+    pub(crate) reduce: Vec<i64>,
+    pub(crate) reduce_op: Option<ReduceOp>,
+    pub(crate) code: Vec<Instr>,
+    /// Register holding the body value after one execution of `code`.
+    pub(crate) result: u32,
+    pub(crate) n_regs: usize,
+    pub(crate) affine: Vec<AffineAccess>,
+    pub(crate) generic: Vec<GenericAccess>,
+    pub(crate) conds: Vec<Cond>,
+    pub(crate) index_exprs: Vec<IndexExpr>,
+    /// Iteration vars (output rank) + reduction vars.
+    pub(crate) n_vars: usize,
+    /// Recognized body shape for the VM's specialized fast paths.
+    pub(crate) kind: BodyKind,
+}
+
+impl CompiledTe {
+    /// Number of accesses on the strength-reduced affine fast path.
+    pub fn num_affine_accesses(&self) -> usize {
+        self.affine.len()
+    }
+
+    /// Number of accesses on the generic (checked) fallback path.
+    pub fn num_generic_accesses(&self) -> usize {
+        self.generic.len()
+    }
+
+    /// Bytecode length (a proxy for body size after fusion).
+    pub fn code_len(&self) -> usize {
+        self.code.len()
+    }
+}
+
+/// A whole TE program lowered to bytecode, ready for repeated evaluation.
+///
+/// Compile once with [`compile_program`], evaluate many times with
+/// [`CompiledProgram::eval`]; the result is bit-identical to
+/// [`crate::interp::eval_program`] on the same bindings (enforced by the
+/// `evaluator_equivalence` differential suite).
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    pub(crate) tensors: Vec<TensorInfo>,
+    pub(crate) free: Vec<TensorId>,
+    pub(crate) tes: Vec<CompiledTe>,
+}
+
+impl CompiledProgram {
+    /// The compiled TEs, in definition order.
+    pub fn tes(&self) -> &[CompiledTe] {
+        &self.tes
+    }
+
+    /// Tensors the caller must bind (inputs and weights).
+    pub fn free_tensors(&self) -> &[TensorId] {
+        &self.free
+    }
+
+    pub(crate) fn tensor(&self, id: TensorId) -> &TensorInfo {
+        &self.tensors[id.0]
+    }
+}
+
+/// Which evaluator executes a TE program.
+///
+/// [`Evaluator::Naive`] is the inspectable tree-walking interpreter — the
+/// semantic ground truth. [`Evaluator::Compiled`] is the bytecode VM with
+/// strength-reduced affine indexing and chunked threading; it produces
+/// bit-identical results (enforced by the `evaluator_equivalence` suite)
+/// and is the default everywhere results are only consumed, not inspected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Evaluator {
+    /// Tree-walking reference interpreter ([`crate::interp::eval_program`]).
+    Naive,
+    /// Bytecode VM over [`compile_program`] output (the fast path).
+    #[default]
+    Compiled,
+}
+
+/// Lowers every TE of `program` to bytecode with strength-reduced affine
+/// accesses.
+///
+/// # Panics
+///
+/// Panics if a body references an operand slot with no backing tensor
+/// (the same programs on which the naive interpreter panics; run
+/// [`TeProgram::validate`] first to get a structured error instead).
+pub fn compile_program(program: &TeProgram) -> CompiledProgram {
+    let tes = program
+        .te_ids()
+        .map(|id| {
+            let te = program.te(id);
+            let out_shape = program.output_shape(id).clone();
+            let operand_shapes: Vec<Shape> = te
+                .inputs
+                .iter()
+                .map(|tid| program.tensor(*tid).shape.clone())
+                .collect();
+            compile_te(
+                &te.name,
+                te.output,
+                out_shape,
+                te.inputs.clone(),
+                te.reduce.clone(),
+                te.reduce_op,
+                &te.body,
+                &operand_shapes,
+            )
+        })
+        .collect();
+    CompiledProgram {
+        tensors: program.tensors().to_vec(),
+        free: program.free_tensors(),
+        tes,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn compile_te(
+    name: &str,
+    output: TensorId,
+    out_shape: Shape,
+    inputs: Vec<TensorId>,
+    reduce: Vec<i64>,
+    reduce_op: Option<ReduceOp>,
+    body: &ScalarExpr,
+    operand_shapes: &[Shape],
+) -> CompiledTe {
+    let n_vars = out_shape.rank() + reduce.len();
+    let mut var_bounds: Vec<i64> = out_shape.dims().to_vec();
+    var_bounds.extend_from_slice(&reduce);
+    let mut c = BodyCompiler {
+        operand_shapes,
+        n_vars,
+        var_bounds,
+        code: Vec::new(),
+        next_reg: 0,
+        affine: Vec::new(),
+        generic: Vec::new(),
+        affine_keys: Vec::new(),
+        generic_keys: Vec::new(),
+        conds: Vec::new(),
+        index_exprs: Vec::new(),
+    };
+    let result = c.fresh();
+    c.compile_into(body, result);
+    let kind = classify_body(&c.code, result);
+    CompiledTe {
+        name: name.to_string(),
+        output,
+        out_shape,
+        inputs,
+        reduce,
+        reduce_op,
+        code: c.code,
+        result,
+        n_regs: c.next_reg as usize,
+        affine: c.affine,
+        generic: c.generic,
+        conds: c.conds,
+        index_exprs: c.index_exprs,
+        n_vars,
+        kind,
+    }
+}
+
+/// Pattern-matches the emitted bytecode against the shapes the VM
+/// specializes. Matching on the *code* (not the source tree) means the
+/// recognized form is exactly what the interpreter loop would execute.
+fn classify_body(code: &[Instr], result: u32) -> BodyKind {
+    match code {
+        [Instr::LoadAffine { dst, access }] if *dst == result => BodyKind::AffineLoad {
+            access: *access as usize,
+        },
+        [Instr::LoadAffine { dst: d1, access: a }, Instr::LoadAffine { dst: d2, access: b }, Instr::Binary {
+            dst,
+            op: BinaryOp::Mul,
+            lhs,
+            rhs,
+        }] if *dst == result && *lhs == *d1 && *rhs == *d2 => BodyKind::MulAffine {
+            a: *a as usize,
+            b: *b as usize,
+        },
+        _ => BodyKind::Generic,
+    }
+}
+
+struct BodyCompiler<'a> {
+    operand_shapes: &'a [Shape],
+    n_vars: usize,
+    var_bounds: Vec<i64>,
+    code: Vec<Instr>,
+    next_reg: u32,
+    affine: Vec<AffineAccess>,
+    generic: Vec<GenericAccess>,
+    affine_keys: Vec<(usize, Vec<IndexExpr>)>,
+    generic_keys: Vec<(usize, Vec<IndexExpr>)>,
+    conds: Vec<Cond>,
+    index_exprs: Vec<IndexExpr>,
+}
+
+impl BodyCompiler<'_> {
+    fn fresh(&mut self) -> u32 {
+        let r = self.next_reg;
+        self.next_reg += 1;
+        r
+    }
+
+    /// Emits code leaving the value of `e` in register `dst`. The emission
+    /// order mirrors the naive interpreter's evaluation order exactly, so
+    /// floating-point results are bit-identical.
+    fn compile_into(&mut self, e: &ScalarExpr, dst: u32) {
+        match e {
+            ScalarExpr::Const(value) => self.code.push(Instr::Const { dst, value: *value }),
+            ScalarExpr::IndexValue(expr) => {
+                let id = self.index_exprs.len() as u32;
+                self.index_exprs.push(expr.clone());
+                self.code.push(Instr::Index { dst, expr: id });
+            }
+            ScalarExpr::Input { operand, indices } => self.compile_load(*operand, indices, dst),
+            ScalarExpr::Unary(op, a) => {
+                let src = self.fresh();
+                self.compile_into(a, src);
+                self.code.push(Instr::Unary { dst, op: *op, src });
+            }
+            ScalarExpr::Binary(op, a, b) => {
+                let lhs = self.fresh();
+                self.compile_into(a, lhs);
+                let rhs = self.fresh();
+                self.compile_into(b, rhs);
+                self.code.push(Instr::Binary {
+                    dst,
+                    op: *op,
+                    lhs,
+                    rhs,
+                });
+            }
+            ScalarExpr::Select {
+                cond,
+                on_true,
+                on_false,
+            } => {
+                let cid = self.conds.len() as u32;
+                self.conds.push(cond.clone());
+                let jump_to_else = self.code.len();
+                self.code.push(Instr::JumpIfNot {
+                    cond: cid,
+                    target: 0, // patched below
+                });
+                self.compile_into(on_true, dst);
+                let jump_to_end = self.code.len();
+                self.code.push(Instr::Jump { target: 0 }); // patched below
+                let else_start = self.code.len() as u32;
+                if let Instr::JumpIfNot { target, .. } = &mut self.code[jump_to_else] {
+                    *target = else_start;
+                }
+                self.compile_into(on_false, dst);
+                let end = self.code.len() as u32;
+                if let Instr::Jump { target } = &mut self.code[jump_to_end] {
+                    *target = end;
+                }
+            }
+        }
+    }
+
+    fn compile_load(&mut self, operand: usize, indices: &[IndexExpr], dst: u32) {
+        if let Some(access) = self.try_affine(operand, indices) {
+            self.code.push(Instr::LoadAffine { dst, access });
+        } else {
+            let access = self.intern_generic(operand, indices);
+            self.code.push(Instr::LoadGeneric { dst, access });
+        }
+    }
+
+    /// Strength-reduces the access if every index expression is purely
+    /// affine and interval analysis over the iteration box proves it
+    /// in-bounds on every axis; returns the interned access id.
+    fn try_affine(&mut self, operand: usize, indices: &[IndexExpr]) -> Option<u32> {
+        let shape = self
+            .operand_shapes
+            .get(operand)
+            .unwrap_or_else(|| panic!("operand slot {operand} has no backing tensor"));
+        if indices.len() != shape.rank() {
+            return None; // rank mismatch: fail at runtime like the interpreter
+        }
+        let box_bounds: Vec<(i64, i64)> = self.var_bounds.iter().map(|&b| (0, b - 1)).collect();
+        let mut linear: Vec<(Vec<i64>, i64)> = Vec::with_capacity(indices.len());
+        for (axis, idx) in indices.iter().enumerate() {
+            let lin = idx.as_linear(self.n_vars)?;
+            let (lo, hi) = idx.interval(&box_bounds);
+            if lo < 0 || hi >= shape.dim(axis) {
+                return None; // possibly out of bounds: keep the checked path
+            }
+            linear.push(lin);
+        }
+        if let Some(id) = self
+            .affine_keys
+            .iter()
+            .position(|(op, ix)| *op == operand && ix == indices)
+        {
+            return Some(id as u32);
+        }
+        let strides = shape.strides();
+        let mut base = 0i64;
+        let mut coeffs = vec![0i64; self.n_vars];
+        for (axis, (axis_coeffs, axis_const)) in linear.iter().enumerate() {
+            base += strides[axis] * axis_const;
+            for (v, c) in axis_coeffs.iter().enumerate() {
+                coeffs[v] += strides[axis] * c;
+            }
+        }
+        let id = self.affine.len() as u32;
+        self.affine.push(AffineAccess {
+            operand,
+            base,
+            coeffs,
+        });
+        self.affine_keys.push((operand, indices.to_vec()));
+        Some(id)
+    }
+
+    fn intern_generic(&mut self, operand: usize, indices: &[IndexExpr]) -> u32 {
+        if let Some(id) = self
+            .generic_keys
+            .iter()
+            .position(|(op, ix)| *op == operand && ix == indices)
+        {
+            return id as u32;
+        }
+        let dims = self
+            .operand_shapes
+            .get(operand)
+            .map(|s| s.dims().to_vec())
+            .unwrap_or_else(|| panic!("operand slot {operand} has no backing tensor"));
+        let id = self.generic.len() as u32;
+        self.generic.push(GenericAccess {
+            operand,
+            indices: indices.to_vec(),
+            dims,
+        });
+        self.generic_keys.push((operand, indices.to_vec()));
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use crate::expr::{CmpOp, Cond};
+    use souffle_tensor::DType;
+
+    #[test]
+    fn matmul_accesses_are_affine() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4, 8]), DType::F32);
+        let b = p.add_weight("B", Shape::new(vec![8, 3]), DType::F32);
+        let c = builders::matmul(&mut p, "mm", a, b);
+        p.mark_output(c);
+        let cp = compile_program(&p);
+        let te = &cp.tes()[0];
+        assert_eq!(te.num_affine_accesses(), 2);
+        assert_eq!(te.num_generic_accesses(), 0);
+        // A[i, k]: strides (8, 1), so flat = 8*v0 + v2.
+        assert_eq!(te.affine[0].base, 0);
+        assert_eq!(te.affine[0].coeffs, vec![8, 0, 1]);
+        // B[k, j]: strides (3, 1), so flat = 3*v2 + v1.
+        assert_eq!(te.affine[1].coeffs, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn reshape_access_falls_back_to_generic() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4, 6]), DType::F32);
+        let r = builders::reshape(&mut p, "r", a, Shape::new(vec![3, 8]));
+        p.mark_output(r);
+        let cp = compile_program(&p);
+        let te = &cp.tes()[0];
+        assert_eq!(te.num_affine_accesses(), 0);
+        assert_eq!(te.num_generic_accesses(), 1, "div/mod must not be affine");
+    }
+
+    #[test]
+    fn guarded_oob_access_falls_back_to_generic() {
+        // padded read: in bounds only on the taken branch.
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4]), DType::F32);
+        let t = p.add_te(
+            "padded",
+            Shape::new(vec![8]),
+            DType::F32,
+            vec![a],
+            vec![],
+            None,
+            ScalarExpr::select(
+                Cond::cmp(CmpOp::Lt, IndexExpr::var(0), IndexExpr::constant(4)),
+                ScalarExpr::input(0, vec![IndexExpr::var(0)]),
+                ScalarExpr::Const(0.0),
+            ),
+        );
+        p.mark_output(t);
+        let cp = compile_program(&p);
+        let te = &cp.tes()[0];
+        assert_eq!(te.num_affine_accesses(), 0);
+        assert_eq!(te.num_generic_accesses(), 1);
+        // Select lowers to a conditional jump over the untaken branch.
+        assert!(te.code.iter().any(|i| matches!(i, Instr::JumpIfNot { .. })));
+        assert!(te.code.iter().any(|i| matches!(i, Instr::Jump { .. })));
+    }
+
+    #[test]
+    fn body_kinds_are_classified() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4, 8]), DType::F32);
+        let b = p.add_weight("B", Shape::new(vec![8, 3]), DType::F32);
+        let mm = builders::matmul(&mut p, "mm", a, b);
+        let t = builders::transpose(&mut p, "t", mm, &[1, 0]);
+        let r = builders::relu(&mut p, "act", t);
+        p.mark_output(r);
+        let cp = compile_program(&p);
+        assert!(matches!(
+            cp.tes()[0].kind,
+            BodyKind::MulAffine { a: 0, b: 1 }
+        ));
+        assert!(matches!(
+            cp.tes()[1].kind,
+            BodyKind::AffineLoad { access: 0 }
+        ));
+        assert!(matches!(cp.tes()[2].kind, BodyKind::Generic));
+    }
+
+    #[test]
+    fn repeated_accesses_are_interned_once() {
+        // x * x: the same access appears twice in the body but once in the
+        // access table.
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4]), DType::F32);
+        let x = ScalarExpr::input(0, vec![IndexExpr::var(0)]);
+        let t = p.add_te(
+            "sq",
+            Shape::new(vec![4]),
+            DType::F32,
+            vec![a],
+            vec![],
+            None,
+            ScalarExpr::binary(BinaryOp::Mul, x.clone(), x),
+        );
+        p.mark_output(t);
+        let cp = compile_program(&p);
+        assert_eq!(cp.tes()[0].num_affine_accesses(), 1);
+    }
+}

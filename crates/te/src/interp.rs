@@ -8,6 +8,7 @@
 //! space, then over the reduction space, evaluating the scalar body — so
 //! that its correctness is evident by inspection.
 
+use crate::compile::{compile_program, Evaluator};
 use crate::expr::ScalarExpr;
 use crate::program::{TeProgram, TensorId, TensorKind};
 use std::collections::HashMap;
@@ -191,17 +192,11 @@ fn eval_scalar(
     })
 }
 
-/// Convenience: evaluates a program on deterministic random inputs (seeded
-/// per free tensor) and returns only the program outputs. Used pervasively
-/// by semantic-preservation tests.
-///
-/// # Errors
-///
-/// Propagates any [`EvalError`] from [`eval_program`].
-pub fn eval_with_random_inputs(
-    program: &TeProgram,
-    seed: u64,
-) -> Result<HashMap<TensorId, Tensor>, EvalError> {
+/// Deterministic random bindings for every free tensor of `program`,
+/// seeded per tensor. This is the input distribution shared by both
+/// evaluators' convenience entry points, so differential comparisons see
+/// identical data.
+pub fn random_bindings(program: &TeProgram, seed: u64) -> HashMap<TensorId, Tensor> {
     let mut bindings = HashMap::new();
     for (i, id) in program.free_tensors().into_iter().enumerate() {
         let info = program.tensor(id);
@@ -210,7 +205,41 @@ pub fn eval_with_random_inputs(
             Tensor::random(info.shape.clone(), seed.wrapping_add(i as u64 * 7919)),
         );
     }
-    let mut all = eval_program(program, &bindings)?;
+    bindings
+}
+
+/// Convenience: evaluates a program on deterministic random inputs (seeded
+/// per free tensor) and returns only the program outputs. Used pervasively
+/// by semantic-preservation tests.
+///
+/// Runs the compiled evaluator (bit-identical to the interpreter, much
+/// faster); use [`eval_with_random_inputs_using`] to pick explicitly.
+///
+/// # Errors
+///
+/// Propagates any [`EvalError`] from evaluation.
+pub fn eval_with_random_inputs(
+    program: &TeProgram,
+    seed: u64,
+) -> Result<HashMap<TensorId, Tensor>, EvalError> {
+    eval_with_random_inputs_using(program, seed, Evaluator::Compiled)
+}
+
+/// Like [`eval_with_random_inputs`], with an explicit evaluator choice.
+///
+/// # Errors
+///
+/// Propagates any [`EvalError`] from evaluation.
+pub fn eval_with_random_inputs_using(
+    program: &TeProgram,
+    seed: u64,
+    evaluator: Evaluator,
+) -> Result<HashMap<TensorId, Tensor>, EvalError> {
+    let bindings = random_bindings(program, seed);
+    let mut all = match evaluator {
+        Evaluator::Naive => eval_program(program, &bindings)?,
+        Evaluator::Compiled => compile_program(program).eval(&bindings)?,
+    };
     let outputs = program.outputs();
     all.retain(|id, _| outputs.contains(id));
     Ok(all)

@@ -1,0 +1,490 @@
+//! Execution of compiled TE programs.
+//!
+//! The VM runs each TE's bytecode once per point of the output iteration
+//! space. Two things make it fast relative to the naive interpreter while
+//! keeping results bit-identical:
+//!
+//! - **Strength-reduced indexing.** Every affine operand access carries a
+//!   flat offset that the odometer loops update incrementally (one add per
+//!   loop step, one subtract per wrap) instead of re-evaluating index
+//!   expressions per element. The arithmetic is exact integer math, so the
+//!   element loaded is exactly the one the interpreter loads.
+//! - **Specialized body shapes.** Bodies the compiler recognizes (a lone
+//!   affine load, or the `a * b` inner-product body of matmul and unpadded
+//!   conv) skip instruction dispatch entirely and run as tight loops over
+//!   local offset accumulators — the same loads and float ops in the same
+//!   order, so no result bit changes.
+//! - **Chunked threading.** The flat output range is split into contiguous
+//!   chunks, one scoped thread per chunk, each writing a disjoint
+//!   `&mut [f32]` slice. Elements are computed independently in both
+//!   evaluators, so the split cannot change any result bit. The thread
+//!   count comes from `SOUFFLE_EVAL_THREADS` when set, otherwise from
+//!   [`std::thread::available_parallelism`]; tiny iteration spaces run
+//!   serially to avoid spawn overhead.
+//!
+//! Floating-point evaluation order inside one element — including the
+//! reduction combine order — is byte-for-byte the interpreter's, which is
+//! what the `evaluator_equivalence` differential suite locks down.
+
+use crate::compile::{BodyKind, CompiledProgram, CompiledTe, Instr};
+use crate::interp::EvalError;
+use crate::program::{TensorId, TensorKind};
+use souffle_tensor::Tensor;
+use std::collections::HashMap;
+
+/// Environment variable overriding the evaluation thread count.
+pub const THREADS_ENV: &str = "SOUFFLE_EVAL_THREADS";
+
+/// Below this many body evaluations a TE is run serially: spawn cost would
+/// dominate.
+const SERIAL_THRESHOLD: usize = 8192;
+
+impl CompiledProgram {
+    /// Evaluates the compiled program, mirroring
+    /// [`crate::interp::eval_program`]: `bindings` must cover every free
+    /// tensor, and the result maps each TE-produced tensor to its value
+    /// (with the caller's non-output bindings dropped).
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`EvalError`]s as the interpreter: missing or
+    /// mis-shaped bindings, and out-of-bounds reads on taken branches.
+    pub fn eval(
+        &self,
+        bindings: &HashMap<TensorId, Tensor>,
+    ) -> Result<HashMap<TensorId, Tensor>, EvalError> {
+        let mut values: HashMap<TensorId, Tensor> = HashMap::new();
+        for &id in self.free_tensors() {
+            let info = self.tensor(id);
+            let t = bindings.get(&id).ok_or_else(|| EvalError::Unbound {
+                tensor: id,
+                name: info.name.clone(),
+            })?;
+            if t.shape() != &info.shape {
+                return Err(EvalError::ShapeMismatch {
+                    tensor: id,
+                    name: info.name.clone(),
+                });
+            }
+            values.insert(id, t.clone());
+        }
+        let threads = thread_count();
+        for te in self.tes() {
+            let operands: Vec<&[f32]> = te
+                .inputs
+                .iter()
+                .map(|tid| {
+                    values
+                        .get(tid)
+                        .unwrap_or_else(|| panic!("validated program: {tid} must be available"))
+                        .data()
+                })
+                .collect();
+            let data = eval_te(te, &operands, threads)?;
+            let dtype = self.tensor(te.output).dtype;
+            values.insert(
+                te.output,
+                Tensor::from_parts(te.out_shape.clone(), dtype, data),
+            );
+        }
+        for &id in self.free_tensors() {
+            if self.tensor(id).kind != TensorKind::Output {
+                values.remove(&id);
+            }
+        }
+        Ok(values)
+    }
+}
+
+/// Resolves the thread count: `SOUFFLE_EVAL_THREADS` if set (clamped to at
+/// least 1), otherwise the machine's available parallelism.
+pub fn thread_count() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+fn eval_te(te: &CompiledTe, operands: &[&[f32]], threads: usize) -> Result<Vec<f32>, EvalError> {
+    let n_points = te.out_shape.numel() as usize;
+    let mut data = vec![0.0f32; n_points];
+    let reduce_points: usize = te.reduce.iter().product::<i64>().max(1) as usize;
+    let threads = threads.min(n_points.max(1));
+    if threads <= 1 || n_points.saturating_mul(reduce_points) < SERIAL_THRESHOLD {
+        run_chunk(te, 0, &mut data, operands)?;
+        return Ok(data);
+    }
+    let chunk_size = n_points.div_ceil(threads);
+    let operands_ref = &operands;
+    let results: Vec<Result<(), EvalError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = data
+            .chunks_mut(chunk_size)
+            .enumerate()
+            .map(|(ci, chunk)| s.spawn(move || run_chunk(te, ci * chunk_size, chunk, operands_ref)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("evaluator worker thread panicked"))
+            .collect()
+    });
+    // Chunks cover ascending flat ranges and each stops at its first
+    // failing element, so the first error in chunk order is exactly the
+    // error the serial interpreter would report.
+    for r in results {
+        r?;
+    }
+    Ok(data)
+}
+
+/// Evaluates output elements `start .. start + out.len()` (flat row-major
+/// order) into `out`.
+fn run_chunk(
+    te: &CompiledTe,
+    start: usize,
+    out: &mut [f32],
+    operands: &[&[f32]],
+) -> Result<(), EvalError> {
+    let n_iter = te.out_shape.rank();
+    let dims = te.out_shape.dims();
+    let mut vars = vec![0i64; te.n_vars];
+    let mut rem = start as i64;
+    for axis in (0..n_iter).rev() {
+        vars[axis] = rem % dims[axis];
+        rem /= dims[axis];
+    }
+    let mut offsets: Vec<i64> = te
+        .affine
+        .iter()
+        .map(|a| a.base + a.coeffs.iter().zip(&vars).map(|(c, v)| c * v).sum::<i64>())
+        .collect();
+    let mut regs = vec![0.0f32; te.n_regs];
+    for slot in out.iter_mut() {
+        let value = if te.reduce.is_empty() {
+            match te.kind {
+                // Specialized bodies do the exact loads and float ops the
+                // bytecode would, in the same order — only the dispatch is
+                // gone — so every result bit is unchanged.
+                BodyKind::AffineLoad { access } => {
+                    operands[te.affine[access].operand][offsets[access] as usize]
+                }
+                BodyKind::MulAffine { a, b } => {
+                    operands[te.affine[a].operand][offsets[a] as usize]
+                        * operands[te.affine[b].operand][offsets[b] as usize]
+                }
+                BodyKind::Generic => run_body(te, &mut regs, &vars, &offsets, operands)?,
+            }
+        } else {
+            let op = te.reduce_op.expect("validated reduction");
+            match (te.reduce.as_slice(), &te.kind) {
+                // Single-axis inner product (matmul / unpadded conv): a
+                // tight multiply-accumulate over local offset copies. The
+                // loop visits the same elements in the same order as the
+                // odometer below, and `op.init()` + `combine` give the
+                // identical float sequence.
+                (&[ext], &BodyKind::MulAffine { a, b }) => {
+                    let (aa, ab) = (&te.affine[a], &te.affine[b]);
+                    let (da, db) = (operands[aa.operand], operands[ab.operand]);
+                    let (mut oa, mut ob) = (offsets[a], offsets[b]);
+                    let (ca, cb) = (aa.coeffs[n_iter], ab.coeffs[n_iter]);
+                    match op {
+                        crate::te::ReduceOp::Sum => {
+                            let mut acc = op.init();
+                            for _ in 0..ext {
+                                acc += da[oa as usize] * db[ob as usize];
+                                oa += ca;
+                                ob += cb;
+                            }
+                            acc
+                        }
+                        _ => {
+                            let mut acc = op.init();
+                            for _ in 0..ext {
+                                acc = op.combine(acc, da[oa as usize] * db[ob as usize]);
+                                oa += ca;
+                                ob += cb;
+                            }
+                            acc
+                        }
+                    }
+                }
+                // Single-axis single-load reduction (sum/max/min over an
+                // axis, e.g. softmax's row max and row sum).
+                (&[ext], &BodyKind::AffineLoad { access }) => {
+                    let aa = &te.affine[access];
+                    let da = operands[aa.operand];
+                    let mut oa = offsets[access];
+                    let ca = aa.coeffs[n_iter];
+                    let mut acc = op.init();
+                    for _ in 0..ext {
+                        acc = op.combine(acc, da[oa as usize]);
+                        oa += ca;
+                    }
+                    acc
+                }
+                _ => {
+                    let mut acc = op.init();
+                    'reduce: loop {
+                        let v = match te.kind {
+                            BodyKind::AffineLoad { access } => {
+                                operands[te.affine[access].operand][offsets[access] as usize]
+                            }
+                            BodyKind::MulAffine { a, b } => {
+                                operands[te.affine[a].operand][offsets[a] as usize]
+                                    * operands[te.affine[b].operand][offsets[b] as usize]
+                            }
+                            BodyKind::Generic => {
+                                run_body(te, &mut regs, &vars, &offsets, operands)?
+                            }
+                        };
+                        acc = op.combine(acc, v);
+                        let mut axis = te.reduce.len();
+                        loop {
+                            if axis == 0 {
+                                break 'reduce; // reduction vars back at 0, offsets restored
+                            }
+                            axis -= 1;
+                            let vi = n_iter + axis;
+                            vars[vi] += 1;
+                            if vars[vi] < te.reduce[axis] {
+                                for (off, a) in offsets.iter_mut().zip(&te.affine) {
+                                    *off += a.coeffs[vi];
+                                }
+                                break;
+                            }
+                            vars[vi] = 0;
+                            for (off, a) in offsets.iter_mut().zip(&te.affine) {
+                                *off -= a.coeffs[vi] * (te.reduce[axis] - 1);
+                            }
+                        }
+                    }
+                    acc
+                }
+            }
+        };
+        *slot = value;
+        // Advance the iteration odometer, keeping affine offsets in step.
+        let mut axis = n_iter;
+        loop {
+            if axis == 0 {
+                break; // iteration space exhausted (last element of last chunk)
+            }
+            axis -= 1;
+            vars[axis] += 1;
+            if vars[axis] < dims[axis] {
+                for (off, a) in offsets.iter_mut().zip(&te.affine) {
+                    *off += a.coeffs[axis];
+                }
+                break;
+            }
+            vars[axis] = 0;
+            for (off, a) in offsets.iter_mut().zip(&te.affine) {
+                *off -= a.coeffs[axis] * (dims[axis] - 1);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// One execution of the body bytecode at the current loop point. Returns
+/// the value of the result register.
+#[inline]
+fn run_body(
+    te: &CompiledTe,
+    regs: &mut [f32],
+    vars: &[i64],
+    offsets: &[i64],
+    operands: &[&[f32]],
+) -> Result<f32, EvalError> {
+    let code = &te.code;
+    let mut pc = 0usize;
+    while pc < code.len() {
+        match &code[pc] {
+            Instr::Const { dst, value } => {
+                regs[*dst as usize] = *value;
+                pc += 1;
+            }
+            Instr::LoadAffine { dst, access } => {
+                let a = &te.affine[*access as usize];
+                regs[*dst as usize] = operands[a.operand][offsets[*access as usize] as usize];
+                pc += 1;
+            }
+            Instr::LoadGeneric { dst, access } => {
+                let g = &te.generic[*access as usize];
+                if g.indices.len() != g.dims.len() {
+                    return Err(oob(te, g.operand));
+                }
+                let mut flat = 0i64;
+                for (idx, &d) in g.indices.iter().zip(&g.dims) {
+                    let i = idx.eval(vars);
+                    if !(0..d).contains(&i) {
+                        return Err(oob(te, g.operand));
+                    }
+                    flat = flat * d + i;
+                }
+                regs[*dst as usize] = operands[g.operand][flat as usize];
+                pc += 1;
+            }
+            Instr::Index { dst, expr } => {
+                regs[*dst as usize] = te.index_exprs[*expr as usize].eval(vars) as f32;
+                pc += 1;
+            }
+            Instr::Unary { dst, op, src } => {
+                regs[*dst as usize] = op.apply(regs[*src as usize]);
+                pc += 1;
+            }
+            Instr::Binary { dst, op, lhs, rhs } => {
+                regs[*dst as usize] = op.apply(regs[*lhs as usize], regs[*rhs as usize]);
+                pc += 1;
+            }
+            Instr::JumpIfNot { cond, target } => {
+                if te.conds[*cond as usize].eval(vars) {
+                    pc += 1;
+                } else {
+                    pc = *target as usize;
+                }
+            }
+            Instr::Jump { target } => pc = *target as usize,
+        }
+    }
+    Ok(regs[te.result as usize])
+}
+
+fn oob(te: &CompiledTe, operand: usize) -> EvalError {
+    EvalError::OutOfBounds {
+        te: te.name.clone(),
+        operand,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use crate::compile::compile_program;
+    use crate::interp::{eval_program, random_bindings};
+    use crate::program::TeProgram;
+    use souffle_tensor::{DType, Shape};
+
+    fn assert_bit_equal(p: &TeProgram, seed: u64) {
+        let bindings = random_bindings(p, seed);
+        let want = eval_program(p, &bindings).unwrap();
+        let got = compile_program(p).eval(&bindings).unwrap();
+        assert_eq!(want.len(), got.len());
+        for (id, w) in &want {
+            let g = &got[id];
+            assert_eq!(w.shape(), g.shape());
+            for (a, b) in w.data().iter().zip(g.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{id} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_matches_interpreter() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![5, 7]), DType::F32);
+        let b = p.add_weight("B", Shape::new(vec![7, 3]), DType::F32);
+        let c = builders::matmul(&mut p, "mm", a, b);
+        p.mark_output(c);
+        assert_bit_equal(&p, 11);
+    }
+
+    #[test]
+    fn padded_conv_matches_interpreter() {
+        // conv2d with padding exercises the guarded (generic) load path:
+        // the untaken Select branch reads out of bounds and must be skipped.
+        let mut p = TeProgram::new();
+        let x = p.add_input("X", Shape::new(vec![1, 2, 6, 6]), DType::F32);
+        let w = p.add_weight("W", Shape::new(vec![3, 2, 3, 3]), DType::F32);
+        let y = builders::conv2d(&mut p, "conv", x, w, 1, 1);
+        p.mark_output(y);
+        p.validate().unwrap();
+        assert_bit_equal(&p, 5);
+    }
+
+    #[test]
+    fn reshape_matches_interpreter() {
+        // div/mod access: exercises the non-affine fallback.
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![6, 4]), DType::F32);
+        let r = builders::reshape(&mut p, "r", a, Shape::new(vec![8, 3]));
+        p.mark_output(r);
+        assert_bit_equal(&p, 3);
+    }
+
+    #[test]
+    fn scalar_output_matches_interpreter() {
+        use crate::expr::ScalarExpr;
+        use crate::te::ReduceOp;
+        use souffle_affine::IndexExpr;
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4, 5]), DType::F32);
+        let s = p.add_te(
+            "sum_all",
+            Shape::scalar(),
+            DType::F32,
+            vec![a],
+            vec![4, 5],
+            Some(ReduceOp::Sum),
+            ScalarExpr::input(0, vec![IndexExpr::var(0), IndexExpr::var(1)]),
+        );
+        p.mark_output(s);
+        p.validate().unwrap();
+        assert_bit_equal(&p, 17);
+    }
+
+    #[test]
+    fn large_space_threads_match_serial_result() {
+        // Big enough to cross SERIAL_THRESHOLD so the scoped-thread path
+        // actually runs (under the default thread count).
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![128, 96]), DType::F32);
+        let b = p.add_weight("B", Shape::new(vec![96, 32]), DType::F32);
+        let c = builders::matmul(&mut p, "mm", a, b);
+        p.mark_output(c);
+        assert_bit_equal(&p, 23);
+    }
+
+    #[test]
+    fn unbound_and_mismatch_errors_match_interpreter() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![2]), DType::F32);
+        let e = builders::exp(&mut p, "e", a);
+        p.mark_output(e);
+        let cp = compile_program(&p);
+        assert!(matches!(
+            cp.eval(&HashMap::new()).unwrap_err(),
+            EvalError::Unbound { .. }
+        ));
+        let mut b = HashMap::new();
+        b.insert(a, Tensor::zeros(Shape::new(vec![3])));
+        assert!(matches!(
+            cp.eval(&b).unwrap_err(),
+            EvalError::ShapeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn oob_error_matches_interpreter() {
+        use crate::expr::ScalarExpr;
+        use souffle_affine::IndexExpr;
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4]), DType::F32);
+        let t = p.add_te(
+            "bad",
+            Shape::new(vec![8]),
+            DType::F32,
+            vec![a],
+            vec![],
+            None,
+            ScalarExpr::input(0, vec![IndexExpr::var(0)]),
+        );
+        p.mark_output(t);
+        let bindings = random_bindings(&p, 1);
+        let want = eval_program(&p, &bindings).unwrap_err();
+        let got = compile_program(&p).eval(&bindings).unwrap_err();
+        assert_eq!(want, got);
+    }
+}

@@ -89,6 +89,29 @@ impl Tensor {
         })
     }
 
+    /// Assembles a tensor from its raw parts: shape, logical dtype, and
+    /// row-major element data. This is the zero-copy constructor used by
+    /// the compiled TE evaluator, which fills a flat buffer directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match `shape.numel()`.
+    pub fn from_parts(shape: Shape, dtype: DType, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len() as i64,
+            shape.numel(),
+            "data length {} does not match shape {}",
+            data.len(),
+            shape
+        );
+        Tensor { shape, dtype, data }
+    }
+
+    /// Consumes the tensor, returning its row-major data buffer.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
     /// Returns this tensor re-tagged with `dtype` (storage is unchanged).
     pub fn with_dtype(mut self, dtype: DType) -> Self {
         self.dtype = dtype;
@@ -233,6 +256,20 @@ mod tests {
         let b = Tensor::zeros(Shape::new(vec![2, 1]));
         assert!(!a.allclose(&b, 1e-5, 1e-5));
         assert_eq!(a.max_abs_diff(&b), None);
+    }
+
+    #[test]
+    fn from_parts_roundtrips_through_into_data() {
+        let t = Tensor::from_parts(Shape::new(vec![2, 2]), DType::F16, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.dtype(), DType::F16);
+        assert_eq!(t.at(&[1, 0]), 3.0);
+        assert_eq!(t.into_data(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_parts_length_mismatch_panics() {
+        Tensor::from_parts(Shape::new(vec![3]), DType::F32, vec![0.0; 2]);
     }
 
     #[test]

@@ -2,17 +2,21 @@
 //!
 //! Souffle's central claim (§6 of the paper) is that its TE
 //! transformations are semantic-preserving. The oracle checks that claim
-//! mechanically: a program is evaluated with the reference interpreter
-//! *before* and *after* each pipeline stage on identical seeded random
-//! inputs, and every program output is compared element-wise with an
-//! ULP-aware tolerance. A mismatch produces a report carrying the stage,
+//! mechanically: a program is evaluated *before* and *after* each pipeline
+//! stage on identical seeded random inputs, and every program output is
+//! compared element-wise with an ULP-aware tolerance. By default both
+//! sides run on the compiled bytecode evaluator (bit-identical to the
+//! naive interpreter but much faster, so the oracle covers more programs
+//! per CI run); [`check_stage_with`] selects the evaluator explicitly, and
+//! the dedicated [`Stage::CrossEvaluator`] stage pits the two evaluators
+//! against each other bit-exactly. A mismatch produces a report carrying the stage,
 //! the seed, the worst element, and both programs pretty-printed in
 //! `te.compute` notation — everything needed to reproduce and debug the
 //! broken rewrite.
 
 use souffle::{Souffle, SouffleOptions};
-use souffle_te::interp::{eval_with_random_inputs, EvalError};
-use souffle_te::{source::te_source, TeProgram};
+use souffle_te::interp::{eval_with_random_inputs_using, EvalError};
+use souffle_te::{source::te_source, Evaluator, TeProgram};
 use souffle_transform::{horizontal_fuse_program, transform_program, vertical_fuse_program};
 use std::fmt;
 
@@ -33,16 +37,23 @@ pub enum Stage {
     ScheduleMerge,
     /// The full V4 pipeline including subprogram optimization (§6.5).
     FullPipeline,
+    /// No transformation at all: the *evaluators* are the system under
+    /// test. The naive interpreter evaluates the program as ground truth
+    /// and the compiled bytecode VM must reproduce it **bit-exactly**
+    /// (tolerance is ignored for this stage).
+    CrossEvaluator,
 }
 
 impl Stage {
-    /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 5] = [
+    /// Every stage, in pipeline order (the evaluator cross-check runs
+    /// last).
+    pub const ALL: [Stage; 6] = [
         Stage::Horizontal,
         Stage::Vertical,
         Stage::Transform,
         Stage::ScheduleMerge,
         Stage::FullPipeline,
+        Stage::CrossEvaluator,
     ];
 
     /// Short stable name for reports.
@@ -53,6 +64,7 @@ impl Stage {
             Stage::Transform => "transform",
             Stage::ScheduleMerge => "schedule-merge",
             Stage::FullPipeline => "full-pipeline",
+            Stage::CrossEvaluator => "cross-evaluator",
         }
     }
 
@@ -69,6 +81,7 @@ impl Stage {
                     .compile(program)
                     .program
             }
+            Stage::CrossEvaluator => program.clone(),
         }
     }
 }
@@ -255,7 +268,9 @@ impl fmt::Display for OracleError {
 
 impl std::error::Error for OracleError {}
 
-/// Differentially checks one stage on one seed.
+/// Differentially checks one stage on one seed, evaluating both program
+/// versions with the (fast) compiled evaluator. See [`check_stage_with`]
+/// to choose the evaluator explicitly.
 ///
 /// # Errors
 ///
@@ -267,6 +282,27 @@ pub fn check_stage(
     seed: u64,
     tol: &Tolerance,
 ) -> Result<(), OracleError> {
+    check_stage_with(program, stage, seed, tol, Evaluator::Compiled)
+}
+
+/// [`check_stage`] with an explicit evaluator for both sides of the
+/// comparison.
+///
+/// [`Stage::CrossEvaluator`] ignores `evaluator`: that stage *is* the
+/// evaluator comparison — naive interpreter as `want`, compiled VM as
+/// `got`, compared bit-exactly with `tol` ignored.
+///
+/// # Errors
+///
+/// Returns an [`OracleError`] when the transformed program is invalid,
+/// uninterpretable, drops an output, or diverges from the reference.
+pub fn check_stage_with(
+    program: &TeProgram,
+    stage: Stage,
+    seed: u64,
+    tol: &Tolerance,
+    evaluator: Evaluator,
+) -> Result<(), OracleError> {
     let transformed = stage.apply(program);
     if let Err(e) = transformed.validate() {
         return Err(OracleError::Invalid {
@@ -275,15 +311,23 @@ pub fn check_stage(
             program: te_source(&transformed),
         });
     }
-    let want = eval_with_random_inputs(program, seed).map_err(|error| OracleError::Eval {
-        stage,
-        which: "before",
-        error,
+    let (want_eval, got_eval, bit_exact) = match stage {
+        Stage::CrossEvaluator => (Evaluator::Naive, Evaluator::Compiled, true),
+        _ => (evaluator, evaluator, false),
+    };
+    let want = eval_with_random_inputs_using(program, seed, want_eval).map_err(|error| {
+        OracleError::Eval {
+            stage,
+            which: "before",
+            error,
+        }
     })?;
-    let got = eval_with_random_inputs(&transformed, seed).map_err(|error| OracleError::Eval {
-        stage,
-        which: "after",
-        error,
+    let got = eval_with_random_inputs_using(&transformed, seed, got_eval).map_err(|error| {
+        OracleError::Eval {
+            stage,
+            which: "after",
+            error,
+        }
     })?;
     for (id, w) in &want {
         let name = program.tensor(*id).name.clone();
@@ -307,7 +351,12 @@ pub fn check_stage(
                 max_abs = d;
             }
             max_ulps = max_ulps.max(ulp_distance(a, b));
-            if !tol.close(a, b) && worst.map_or(true, |(_, _, _, wd)| d > wd || d.is_nan()) {
+            let agree = if bit_exact {
+                a.to_bits() == b.to_bits()
+            } else {
+                tol.close(a, b)
+            };
+            if !agree && worst.is_none_or(|(_, _, _, wd)| d > wd || d.is_nan()) {
                 worst = Some((i, a, b, d));
             }
         }

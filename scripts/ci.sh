@@ -10,6 +10,9 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check =="
 cargo fmt --check
 
+echo "== cargo clippy -D warnings =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
 echo "== cargo build --release --offline =="
 cargo build --release --offline --workspace
 

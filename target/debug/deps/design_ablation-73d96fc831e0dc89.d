@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/design_ablation-73d96fc831e0dc89.d: crates/bench/src/bin/design_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdesign_ablation-73d96fc831e0dc89.rmeta: crates/bench/src/bin/design_ablation.rs Cargo.toml
+
+crates/bench/src/bin/design_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/evaluator_equivalence-2727cd026e482935.d: tests/evaluator_equivalence.rs
+
+/root/repo/target/debug/deps/evaluator_equivalence-2727cd026e482935: tests/evaluator_equivalence.rs
+
+tests/evaluator_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/evaluator_equivalence-2cc4bfa14c3b8b4a.d: tests/evaluator_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libevaluator_equivalence-2cc4bfa14c3b8b4a.rmeta: tests/evaluator_equivalence.rs Cargo.toml
+
+tests/evaluator_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1d-24db491e83fe70d1.d: crates/bench/src/bin/fig1d.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1d-24db491e83fe70d1.rmeta: crates/bench/src/bin/fig1d.rs Cargo.toml
+
+crates/bench/src/bin/fig1d.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1d-d5dc9e22bec5cb7d.d: crates/bench/src/bin/fig1d.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1d-d5dc9e22bec5cb7d.rmeta: crates/bench/src/bin/fig1d.rs Cargo.toml
+
+crates/bench/src/bin/fig1d.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

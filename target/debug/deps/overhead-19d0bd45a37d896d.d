@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/overhead-19d0bd45a37d896d.d: crates/bench/src/bin/overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboverhead-19d0bd45a37d896d.rmeta: crates/bench/src/bin/overhead.rs Cargo.toml
+
+crates/bench/src/bin/overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_semantics-49c1d6907f9eeef4.d: tests/pipeline_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_semantics-49c1d6907f9eeef4.rmeta: tests/pipeline_semantics.rs Cargo.toml
+
+tests/pipeline_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_grad-641c8057a32a9b37.d: tests/proptest_grad.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_grad-641c8057a32a9b37.rmeta: tests/proptest_grad.rs Cargo.toml
+
+tests/proptest_grad.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_transforms-896d0a033a5c0482.d: tests/proptest_transforms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_transforms-896d0a033a5c0482.rmeta: tests/proptest_transforms.rs Cargo.toml
+
+tests/proptest_transforms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

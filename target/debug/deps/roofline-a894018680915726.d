@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/roofline-a894018680915726.d: crates/bench/src/bin/roofline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libroofline-a894018680915726.rmeta: crates/bench/src/bin/roofline.rs Cargo.toml
+
+crates/bench/src/bin/roofline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

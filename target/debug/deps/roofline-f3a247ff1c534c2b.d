@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/roofline-f3a247ff1c534c2b.d: crates/bench/src/bin/roofline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libroofline-f3a247ff1c534c2b.rmeta: crates/bench/src/bin/roofline.rs Cargo.toml
+
+crates/bench/src/bin/roofline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

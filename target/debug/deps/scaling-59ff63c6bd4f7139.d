@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scaling-59ff63c6bd4f7139.d: crates/bench/src/bin/scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscaling-59ff63c6bd4f7139.rmeta: crates/bench/src/bin/scaling.rs Cargo.toml
+
+crates/bench/src/bin/scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

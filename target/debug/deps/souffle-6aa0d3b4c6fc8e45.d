@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/souffle-6aa0d3b4c6fc8e45.d: crates/souffle/src/lib.rs crates/souffle/src/dynamic.rs crates/souffle/src/options.rs crates/souffle/src/pipeline.rs crates/souffle/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsouffle-6aa0d3b4c6fc8e45.rmeta: crates/souffle/src/lib.rs crates/souffle/src/dynamic.rs crates/souffle/src/options.rs crates/souffle/src/pipeline.rs crates/souffle/src/report.rs Cargo.toml
+
+crates/souffle/src/lib.rs:
+crates/souffle/src/dynamic.rs:
+crates/souffle/src/options.rs:
+crates/souffle/src/pipeline.rs:
+crates/souffle/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

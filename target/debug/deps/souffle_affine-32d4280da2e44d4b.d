@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/souffle_affine-32d4280da2e44d4b.d: crates/affine/src/lib.rs crates/affine/src/expr.rs crates/affine/src/map.rs crates/affine/src/relation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsouffle_affine-32d4280da2e44d4b.rmeta: crates/affine/src/lib.rs crates/affine/src/expr.rs crates/affine/src/map.rs crates/affine/src/relation.rs Cargo.toml
+
+crates/affine/src/lib.rs:
+crates/affine/src/expr.rs:
+crates/affine/src/map.rs:
+crates/affine/src/relation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/souffle_analysis-b323fb2407462b76.d: crates/analysis/src/lib.rs crates/analysis/src/classify.rs crates/analysis/src/graph.rs crates/analysis/src/liveness.rs crates/analysis/src/partition.rs crates/analysis/src/reuse.rs crates/analysis/src/result.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsouffle_analysis-b323fb2407462b76.rmeta: crates/analysis/src/lib.rs crates/analysis/src/classify.rs crates/analysis/src/graph.rs crates/analysis/src/liveness.rs crates/analysis/src/partition.rs crates/analysis/src/reuse.rs crates/analysis/src/result.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/classify.rs:
+crates/analysis/src/graph.rs:
+crates/analysis/src/liveness.rs:
+crates/analysis/src/partition.rs:
+crates/analysis/src/reuse.rs:
+crates/analysis/src/result.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/souffle_baselines-18565235d4a924ff.d: crates/baselines/src/lib.rs crates/baselines/src/ansor.rs crates/baselines/src/apollo.rs crates/baselines/src/iree.rs crates/baselines/src/rammer.rs crates/baselines/src/strategy.rs crates/baselines/src/tensorrt.rs crates/baselines/src/xla.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsouffle_baselines-18565235d4a924ff.rmeta: crates/baselines/src/lib.rs crates/baselines/src/ansor.rs crates/baselines/src/apollo.rs crates/baselines/src/iree.rs crates/baselines/src/rammer.rs crates/baselines/src/strategy.rs crates/baselines/src/tensorrt.rs crates/baselines/src/xla.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/ansor.rs:
+crates/baselines/src/apollo.rs:
+crates/baselines/src/iree.rs:
+crates/baselines/src/rammer.rs:
+crates/baselines/src/strategy.rs:
+crates/baselines/src/tensorrt.rs:
+crates/baselines/src/xla.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

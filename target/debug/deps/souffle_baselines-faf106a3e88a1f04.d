@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/souffle_baselines-faf106a3e88a1f04.d: crates/baselines/src/lib.rs crates/baselines/src/ansor.rs crates/baselines/src/apollo.rs crates/baselines/src/iree.rs crates/baselines/src/rammer.rs crates/baselines/src/strategy.rs crates/baselines/src/tensorrt.rs crates/baselines/src/xla.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsouffle_baselines-faf106a3e88a1f04.rmeta: crates/baselines/src/lib.rs crates/baselines/src/ansor.rs crates/baselines/src/apollo.rs crates/baselines/src/iree.rs crates/baselines/src/rammer.rs crates/baselines/src/strategy.rs crates/baselines/src/tensorrt.rs crates/baselines/src/xla.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/ansor.rs:
+crates/baselines/src/apollo.rs:
+crates/baselines/src/iree.rs:
+crates/baselines/src/rammer.rs:
+crates/baselines/src/strategy.rs:
+crates/baselines/src/tensorrt.rs:
+crates/baselines/src/xla.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

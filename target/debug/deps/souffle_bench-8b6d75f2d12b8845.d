@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/souffle_bench-8b6d75f2d12b8845.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsouffle_bench-8b6d75f2d12b8845.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/souffle_cli-45a94fd63033d196.d: crates/souffle/src/bin/souffle-cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsouffle_cli-45a94fd63033d196.rmeta: crates/souffle/src/bin/souffle-cli.rs Cargo.toml
+
+crates/souffle/src/bin/souffle-cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/souffle_frontend-c1e92cb0b9a7f390.d: crates/frontend/src/lib.rs crates/frontend/src/graph.rs crates/frontend/src/models/mod.rs crates/frontend/src/models/bert.rs crates/frontend/src/models/efficientnet.rs crates/frontend/src/models/lstm.rs crates/frontend/src/models/mmoe.rs crates/frontend/src/models/resnext.rs crates/frontend/src/models/swin.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsouffle_frontend-c1e92cb0b9a7f390.rmeta: crates/frontend/src/lib.rs crates/frontend/src/graph.rs crates/frontend/src/models/mod.rs crates/frontend/src/models/bert.rs crates/frontend/src/models/efficientnet.rs crates/frontend/src/models/lstm.rs crates/frontend/src/models/mmoe.rs crates/frontend/src/models/resnext.rs crates/frontend/src/models/swin.rs Cargo.toml
+
+crates/frontend/src/lib.rs:
+crates/frontend/src/graph.rs:
+crates/frontend/src/models/mod.rs:
+crates/frontend/src/models/bert.rs:
+crates/frontend/src/models/efficientnet.rs:
+crates/frontend/src/models/lstm.rs:
+crates/frontend/src/models/mmoe.rs:
+crates/frontend/src/models/resnext.rs:
+crates/frontend/src/models/swin.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/souffle_gpusim-6f8c091d112e9cbf.d: crates/gpusim/src/lib.rs crates/gpusim/src/profile.rs crates/gpusim/src/sim.rs crates/gpusim/src/timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsouffle_gpusim-6f8c091d112e9cbf.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/profile.rs crates/gpusim/src/sim.rs crates/gpusim/src/timeline.rs Cargo.toml
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/profile.rs:
+crates/gpusim/src/sim.rs:
+crates/gpusim/src/timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/souffle_kernel-4a077236abeee064.d: crates/kernel/src/lib.rs crates/kernel/src/codegen.rs crates/kernel/src/lower.rs crates/kernel/src/lru.rs crates/kernel/src/passes.rs crates/kernel/src/instr.rs crates/kernel/src/kernel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsouffle_kernel-4a077236abeee064.rmeta: crates/kernel/src/lib.rs crates/kernel/src/codegen.rs crates/kernel/src/lower.rs crates/kernel/src/lru.rs crates/kernel/src/passes.rs crates/kernel/src/instr.rs crates/kernel/src/kernel.rs Cargo.toml
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/codegen.rs:
+crates/kernel/src/lower.rs:
+crates/kernel/src/lru.rs:
+crates/kernel/src/passes.rs:
+crates/kernel/src/instr.rs:
+crates/kernel/src/kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

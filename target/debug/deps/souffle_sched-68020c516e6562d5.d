@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/souffle_sched-68020c516e6562d5.d: crates/sched/src/lib.rs crates/sched/src/cost.rs crates/sched/src/device.rs crates/sched/src/occupancy.rs crates/sched/src/primitives.rs crates/sched/src/schedule.rs crates/sched/src/search.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsouffle_sched-68020c516e6562d5.rmeta: crates/sched/src/lib.rs crates/sched/src/cost.rs crates/sched/src/device.rs crates/sched/src/occupancy.rs crates/sched/src/primitives.rs crates/sched/src/schedule.rs crates/sched/src/search.rs Cargo.toml
+
+crates/sched/src/lib.rs:
+crates/sched/src/cost.rs:
+crates/sched/src/device.rs:
+crates/sched/src/occupancy.rs:
+crates/sched/src/primitives.rs:
+crates/sched/src/schedule.rs:
+crates/sched/src/search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

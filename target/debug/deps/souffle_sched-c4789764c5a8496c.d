@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/souffle_sched-c4789764c5a8496c.d: crates/sched/src/lib.rs crates/sched/src/cost.rs crates/sched/src/device.rs crates/sched/src/occupancy.rs crates/sched/src/primitives.rs crates/sched/src/schedule.rs crates/sched/src/search.rs
+
+/root/repo/target/debug/deps/souffle_sched-c4789764c5a8496c: crates/sched/src/lib.rs crates/sched/src/cost.rs crates/sched/src/device.rs crates/sched/src/occupancy.rs crates/sched/src/primitives.rs crates/sched/src/schedule.rs crates/sched/src/search.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/cost.rs:
+crates/sched/src/device.rs:
+crates/sched/src/occupancy.rs:
+crates/sched/src/primitives.rs:
+crates/sched/src/schedule.rs:
+crates/sched/src/search.rs:

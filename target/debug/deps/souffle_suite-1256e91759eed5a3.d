@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/souffle_suite-1256e91759eed5a3.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsouffle_suite-1256e91759eed5a3.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

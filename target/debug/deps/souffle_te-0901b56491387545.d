@@ -1,12 +1,14 @@
-/root/repo/target/debug/deps/souffle_te-0901b56491387545.d: crates/te/src/lib.rs crates/te/src/builders.rs crates/te/src/expr.rs crates/te/src/grad.rs crates/te/src/interp.rs crates/te/src/program.rs crates/te/src/source.rs crates/te/src/te.rs
+/root/repo/target/debug/deps/souffle_te-0901b56491387545.d: crates/te/src/lib.rs crates/te/src/builders.rs crates/te/src/compile.rs crates/te/src/expr.rs crates/te/src/grad.rs crates/te/src/interp.rs crates/te/src/program.rs crates/te/src/source.rs crates/te/src/te.rs crates/te/src/vm.rs
 
-/root/repo/target/debug/deps/souffle_te-0901b56491387545: crates/te/src/lib.rs crates/te/src/builders.rs crates/te/src/expr.rs crates/te/src/grad.rs crates/te/src/interp.rs crates/te/src/program.rs crates/te/src/source.rs crates/te/src/te.rs
+/root/repo/target/debug/deps/souffle_te-0901b56491387545: crates/te/src/lib.rs crates/te/src/builders.rs crates/te/src/compile.rs crates/te/src/expr.rs crates/te/src/grad.rs crates/te/src/interp.rs crates/te/src/program.rs crates/te/src/source.rs crates/te/src/te.rs crates/te/src/vm.rs
 
 crates/te/src/lib.rs:
 crates/te/src/builders.rs:
+crates/te/src/compile.rs:
 crates/te/src/expr.rs:
 crates/te/src/grad.rs:
 crates/te/src/interp.rs:
 crates/te/src/program.rs:
 crates/te/src/source.rs:
 crates/te/src/te.rs:
+crates/te/src/vm.rs:

@@ -1,14 +1,16 @@
-/root/repo/target/debug/deps/souffle_te-46df44adee341059.d: crates/te/src/lib.rs crates/te/src/builders.rs crates/te/src/expr.rs crates/te/src/grad.rs crates/te/src/interp.rs crates/te/src/program.rs crates/te/src/source.rs crates/te/src/te.rs
+/root/repo/target/debug/deps/souffle_te-46df44adee341059.d: crates/te/src/lib.rs crates/te/src/builders.rs crates/te/src/compile.rs crates/te/src/expr.rs crates/te/src/grad.rs crates/te/src/interp.rs crates/te/src/program.rs crates/te/src/source.rs crates/te/src/te.rs crates/te/src/vm.rs
 
-/root/repo/target/debug/deps/libsouffle_te-46df44adee341059.rlib: crates/te/src/lib.rs crates/te/src/builders.rs crates/te/src/expr.rs crates/te/src/grad.rs crates/te/src/interp.rs crates/te/src/program.rs crates/te/src/source.rs crates/te/src/te.rs
+/root/repo/target/debug/deps/libsouffle_te-46df44adee341059.rlib: crates/te/src/lib.rs crates/te/src/builders.rs crates/te/src/compile.rs crates/te/src/expr.rs crates/te/src/grad.rs crates/te/src/interp.rs crates/te/src/program.rs crates/te/src/source.rs crates/te/src/te.rs crates/te/src/vm.rs
 
-/root/repo/target/debug/deps/libsouffle_te-46df44adee341059.rmeta: crates/te/src/lib.rs crates/te/src/builders.rs crates/te/src/expr.rs crates/te/src/grad.rs crates/te/src/interp.rs crates/te/src/program.rs crates/te/src/source.rs crates/te/src/te.rs
+/root/repo/target/debug/deps/libsouffle_te-46df44adee341059.rmeta: crates/te/src/lib.rs crates/te/src/builders.rs crates/te/src/compile.rs crates/te/src/expr.rs crates/te/src/grad.rs crates/te/src/interp.rs crates/te/src/program.rs crates/te/src/source.rs crates/te/src/te.rs crates/te/src/vm.rs
 
 crates/te/src/lib.rs:
 crates/te/src/builders.rs:
+crates/te/src/compile.rs:
 crates/te/src/expr.rs:
 crates/te/src/grad.rs:
 crates/te/src/interp.rs:
 crates/te/src/program.rs:
 crates/te/src/source.rs:
 crates/te/src/te.rs:
+crates/te/src/vm.rs:

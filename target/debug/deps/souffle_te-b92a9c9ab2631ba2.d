@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/souffle_te-b92a9c9ab2631ba2.d: crates/te/src/lib.rs crates/te/src/builders.rs crates/te/src/compile.rs crates/te/src/expr.rs crates/te/src/grad.rs crates/te/src/interp.rs crates/te/src/program.rs crates/te/src/source.rs crates/te/src/te.rs crates/te/src/vm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsouffle_te-b92a9c9ab2631ba2.rmeta: crates/te/src/lib.rs crates/te/src/builders.rs crates/te/src/compile.rs crates/te/src/expr.rs crates/te/src/grad.rs crates/te/src/interp.rs crates/te/src/program.rs crates/te/src/source.rs crates/te/src/te.rs crates/te/src/vm.rs Cargo.toml
+
+crates/te/src/lib.rs:
+crates/te/src/builders.rs:
+crates/te/src/compile.rs:
+crates/te/src/expr.rs:
+crates/te/src/grad.rs:
+crates/te/src/interp.rs:
+crates/te/src/program.rs:
+crates/te/src/source.rs:
+crates/te/src/te.rs:
+crates/te/src/vm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

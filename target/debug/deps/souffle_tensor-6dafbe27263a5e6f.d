@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/souffle_tensor-6dafbe27263a5e6f.d: crates/tensor/src/lib.rs crates/tensor/src/dtype.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsouffle_tensor-6dafbe27263a5e6f.rmeta: crates/tensor/src/lib.rs crates/tensor/src/dtype.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/dtype.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

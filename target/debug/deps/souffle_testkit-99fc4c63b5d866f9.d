@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/souffle_testkit-99fc4c63b5d866f9.d: crates/testkit/src/lib.rs crates/testkit/src/oracle.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs crates/testkit/src/shrink.rs crates/testkit/src/teprog.rs crates/testkit/src/timer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsouffle_testkit-99fc4c63b5d866f9.rmeta: crates/testkit/src/lib.rs crates/testkit/src/oracle.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs crates/testkit/src/shrink.rs crates/testkit/src/teprog.rs crates/testkit/src/timer.rs Cargo.toml
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/oracle.rs:
+crates/testkit/src/prop.rs:
+crates/testkit/src/rng.rs:
+crates/testkit/src/shrink.rs:
+crates/testkit/src/teprog.rs:
+crates/testkit/src/timer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

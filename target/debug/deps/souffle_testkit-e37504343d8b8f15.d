@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/souffle_testkit-e37504343d8b8f15.d: crates/testkit/src/lib.rs crates/testkit/src/oracle.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs crates/testkit/src/shrink.rs crates/testkit/src/teprog.rs crates/testkit/src/timer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsouffle_testkit-e37504343d8b8f15.rmeta: crates/testkit/src/lib.rs crates/testkit/src/oracle.rs crates/testkit/src/prop.rs crates/testkit/src/rng.rs crates/testkit/src/shrink.rs crates/testkit/src/teprog.rs crates/testkit/src/timer.rs Cargo.toml
+
+crates/testkit/src/lib.rs:
+crates/testkit/src/oracle.rs:
+crates/testkit/src/prop.rs:
+crates/testkit/src/rng.rs:
+crates/testkit/src/shrink.rs:
+crates/testkit/src/teprog.rs:
+crates/testkit/src/timer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/souffle_transform-c20bc09b54088ccd.d: crates/transform/src/lib.rs crates/transform/src/horizontal.rs crates/transform/src/vertical.rs crates/transform/src/rewrite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsouffle_transform-c20bc09b54088ccd.rmeta: crates/transform/src/lib.rs crates/transform/src/horizontal.rs crates/transform/src/vertical.rs crates/transform/src/rewrite.rs Cargo.toml
+
+crates/transform/src/lib.rs:
+crates/transform/src/horizontal.rs:
+crates/transform/src/vertical.rs:
+crates/transform/src/rewrite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

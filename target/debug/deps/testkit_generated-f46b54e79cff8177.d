@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/testkit_generated-f46b54e79cff8177.d: crates/te/tests/testkit_generated.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtestkit_generated-f46b54e79cff8177.rmeta: crates/te/tests/testkit_generated.rs Cargo.toml
+
+crates/te/tests/testkit_generated.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/training_loop-d5339b56a15eb7aa.d: tests/training_loop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtraining_loop-d5339b56a15eb7aa.rmeta: tests/training_loop.rs Cargo.toml
+
+tests/training_loop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

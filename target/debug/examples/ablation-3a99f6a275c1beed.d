@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ablation-3a99f6a275c1beed.d: examples/ablation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libablation-3a99f6a275c1beed.rmeta: examples/ablation.rs Cargo.toml
+
+examples/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bert_pipeline-fc1b004acec4c92d.d: examples/bert_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbert_pipeline-fc1b004acec4c92d.rmeta: examples/bert_pipeline.rs Cargo.toml
+
+examples/bert_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_graph-0c2add89b7fcffa1.d: examples/custom_graph.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_graph-0c2add89b7fcffa1.rmeta: examples/custom_graph.rs Cargo.toml
+
+examples/custom_graph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

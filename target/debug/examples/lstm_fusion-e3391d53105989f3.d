@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lstm_fusion-e3391d53105989f3.d: examples/lstm_fusion.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblstm_fusion-e3391d53105989f3.rmeta: examples/lstm_fusion.rs Cargo.toml
+
+examples/lstm_fusion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

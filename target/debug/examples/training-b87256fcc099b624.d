@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/training-b87256fcc099b624.d: examples/training.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtraining-b87256fcc099b624.rmeta: examples/training.rs Cargo.toml
+
+examples/training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

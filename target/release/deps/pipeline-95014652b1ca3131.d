@@ -3,3 +3,5 @@
 /root/repo/target/release/deps/pipeline-95014652b1ca3131: crates/bench/benches/pipeline.rs
 
 crates/bench/benches/pipeline.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/souffle_te-99e8999eced0c64f.d: crates/te/src/lib.rs crates/te/src/builders.rs crates/te/src/compile.rs crates/te/src/expr.rs crates/te/src/grad.rs crates/te/src/interp.rs crates/te/src/program.rs crates/te/src/source.rs crates/te/src/te.rs crates/te/src/vm.rs
+
+/root/repo/target/release/deps/souffle_te-99e8999eced0c64f: crates/te/src/lib.rs crates/te/src/builders.rs crates/te/src/compile.rs crates/te/src/expr.rs crates/te/src/grad.rs crates/te/src/interp.rs crates/te/src/program.rs crates/te/src/source.rs crates/te/src/te.rs crates/te/src/vm.rs
+
+crates/te/src/lib.rs:
+crates/te/src/builders.rs:
+crates/te/src/compile.rs:
+crates/te/src/expr.rs:
+crates/te/src/grad.rs:
+crates/te/src/interp.rs:
+crates/te/src/program.rs:
+crates/te/src/source.rs:
+crates/te/src/te.rs:
+crates/te/src/vm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/testkit_generated-a72d35eeefa71bb9.d: crates/te/tests/testkit_generated.rs
+
+/root/repo/target/release/deps/testkit_generated-a72d35eeefa71bb9: crates/te/tests/testkit_generated.rs
+
+crates/te/tests/testkit_generated.rs:

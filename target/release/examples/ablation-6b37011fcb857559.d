@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ablation-6b37011fcb857559.d: examples/ablation.rs
+
+/root/repo/target/release/examples/ablation-6b37011fcb857559: examples/ablation.rs
+
+examples/ablation.rs:

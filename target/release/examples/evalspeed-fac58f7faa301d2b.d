@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/evalspeed-fac58f7faa301d2b.d: crates/bench/examples/evalspeed.rs
+
+/root/repo/target/release/examples/evalspeed-fac58f7faa301d2b: crates/bench/examples/evalspeed.rs
+
+crates/bench/examples/evalspeed.rs:

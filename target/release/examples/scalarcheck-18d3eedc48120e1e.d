@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scalarcheck-18d3eedc48120e1e.d: examples/scalarcheck.rs
+
+/root/repo/target/release/examples/scalarcheck-18d3eedc48120e1e: examples/scalarcheck.rs
+
+examples/scalarcheck.rs:

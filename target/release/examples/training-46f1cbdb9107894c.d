@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/training-46f1cbdb9107894c.d: examples/training.rs
+
+/root/repo/target/release/examples/training-46f1cbdb9107894c: examples/training.rs
+
+examples/training.rs:

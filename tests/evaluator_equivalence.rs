@@ -1,0 +1,219 @@
+//! Bit-exact differential testing of the two TE evaluators.
+//!
+//! The naive tree-walking interpreter (`souffle_te::interp`) is the
+//! semantic ground truth; the compiled bytecode VM
+//! (`souffle_te::compile` + its `eval`) is the fast path used by the
+//! oracle and the benches. The contract between them is *bit equality*:
+//! every element of every produced tensor (intermediates included) must
+//! have the same `f32` bit pattern, and failing programs must fail with
+//! the same error. This suite enforces that contract over hundreds of
+//! generated programs plus handcrafted cases targeting the compiled
+//! evaluator's two tricky paths: guarded (padding) accesses whose untaken
+//! branch is out of bounds, and non-affine (div/mod) index fallbacks.
+
+use souffle_te::interp::{eval_program, random_bindings};
+use souffle_te::{builders, compile_program, TeProgram};
+use souffle_tensor::{DType, Shape};
+use souffle_testkit::teprog::gen_spec;
+use souffle_testkit::{forall, Config};
+
+/// Evaluates `program` with both evaluators on identical bindings and
+/// requires bit-identical results (or identical errors).
+fn assert_evaluators_agree(program: &TeProgram, seed: u64) -> Result<(), String> {
+    let bindings = random_bindings(program, seed);
+    let want = eval_program(program, &bindings);
+    let got = compile_program(program).eval(&bindings);
+    match (want, got) {
+        (Err(we), Err(ge)) => {
+            if we == ge {
+                Ok(())
+            } else {
+                Err(format!("errors differ: naive {we:?}, compiled {ge:?}"))
+            }
+        }
+        (Err(we), Ok(_)) => Err(format!("naive failed ({we:?}) but compiled succeeded")),
+        (Ok(_), Err(ge)) => Err(format!("compiled failed ({ge:?}) but naive succeeded")),
+        (Ok(want), Ok(got)) => {
+            if want.len() != got.len() {
+                return Err(format!(
+                    "result counts differ: naive {} tensors, compiled {}",
+                    want.len(),
+                    got.len()
+                ));
+            }
+            for (id, w) in &want {
+                let name = &program.tensor(*id).name;
+                let g = got
+                    .get(id)
+                    .ok_or_else(|| format!("compiled result lost tensor \"{name}\""))?;
+                if w.shape() != g.shape() {
+                    return Err(format!(
+                        "\"{name}\" shape: naive {} vs compiled {}",
+                        w.shape(),
+                        g.shape()
+                    ));
+                }
+                if w.dtype() != g.dtype() {
+                    return Err(format!("\"{name}\" dtype differs"));
+                }
+                for (i, (a, b)) in w.data().iter().zip(g.data()).enumerate() {
+                    if a.to_bits() != b.to_bits() {
+                        return Err(format!(
+                            "\"{name}\"[{i}]: naive {a} ({:#010x}) vs compiled {b} ({:#010x}), seed {seed}",
+                            a.to_bits(),
+                            b.to_bits()
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+forall!(
+    compiled_evaluator_is_bit_exact_on_random_programs,
+    Config::with_cases(220),
+    |rng| (gen_spec(rng, 10), rng.u64_in(0..1_000_000)),
+    |(spec, seed)| {
+        if spec.ops.is_empty() {
+            return Ok(()); // shrunk-out-of-domain candidate
+        }
+        assert_evaluators_agree(&spec.build(), *seed)
+    }
+);
+
+/// Padding guards: conv2d and max_pool2d with `pad > 0` wrap their input
+/// reads in `Select`s whose untaken branch indexes out of bounds. The
+/// compiled evaluator must take the generic (checked, lazily-jumped) path
+/// and never touch the guarded element.
+#[test]
+fn padded_conv_and_pool_are_bit_exact() {
+    for pad in [1, 2] {
+        let mut p = TeProgram::new();
+        let x = p.add_input("X", Shape::new(vec![1, 3, 8, 8]), DType::F32);
+        let w = p.add_weight("W", Shape::new(vec![4, 3, 3, 3]), DType::F32);
+        let c = builders::conv2d(&mut p, "conv", x, w, 1, pad);
+        let r = builders::relu(&mut p, "act", c);
+        let q = builders::max_pool2d(&mut p, "pool", r, 2, 2, pad.min(1));
+        p.mark_output(q);
+        p.validate().unwrap();
+        for seed in [1, 99, 31337] {
+            assert_evaluators_agree(&p, seed).unwrap();
+        }
+    }
+}
+
+/// Non-affine fallback: reshape's div/mod linearization cannot be
+/// strength-reduced, and the generic path must still agree bit for bit —
+/// also when composed with affine ops on either side.
+#[test]
+fn non_affine_reshape_chains_are_bit_exact() {
+    let mut p = TeProgram::new();
+    let a = p.add_input("A", Shape::new(vec![6, 8]), DType::F32);
+    let t = builders::transpose(&mut p, "t", a, &[1, 0]);
+    let r = builders::reshape(&mut p, "r", t, Shape::new(vec![4, 12]));
+    let s = builders::strided_slice(&mut p, "s", r, 1, 1, 2, 5);
+    let r2 = builders::reshape(&mut p, "r2", s, Shape::new(vec![10, 2]));
+    let sm = builders::softmax(&mut p, "sm", r2);
+    p.mark_output(sm);
+    p.validate().unwrap();
+    for seed in [3, 17, 4242] {
+        assert_evaluators_agree(&p, seed).unwrap();
+    }
+}
+
+/// Reductions of every flavour, including a rank-0 (scalar) output.
+#[test]
+fn reductions_are_bit_exact() {
+    use souffle_affine::IndexExpr;
+    use souffle_te::{ReduceOp, ScalarExpr};
+    let mut p = TeProgram::new();
+    let a = p.add_input("A", Shape::new(vec![5, 7]), DType::F32);
+    let w = p.add_weight("W", Shape::new(vec![7, 6]), DType::F32);
+    let mm = builders::matmul(&mut p, "mm", a, w);
+    let mx = builders::reduce_last(&mut p, "mx", ReduceOp::Max, mm);
+    let total = p.add_te(
+        "sum_all",
+        Shape::scalar(),
+        DType::F32,
+        vec![mm],
+        vec![5, 6],
+        Some(ReduceOp::Sum),
+        ScalarExpr::input(0, vec![IndexExpr::var(0), IndexExpr::var(1)]),
+    );
+    p.mark_output(mx);
+    p.mark_output(total);
+    p.validate().unwrap();
+    for seed in [2, 64, 1000] {
+        assert_evaluators_agree(&p, seed).unwrap();
+    }
+}
+
+/// Thread-count independence: the same program must produce the same bits
+/// under `SOUFFLE_EVAL_THREADS` = 1, 3, and the machine default. This is
+/// the only test mutating the env var, so there is no cross-test race; the
+/// other tests are bit-exact under *any* ambient thread count by design.
+#[test]
+fn results_are_identical_across_thread_counts() {
+    // Big enough to cross the VM's serial threshold so threads really run.
+    let mut p = TeProgram::new();
+    let a = p.add_input("A", Shape::new(vec![96, 80]), DType::F32);
+    let w = p.add_weight("W", Shape::new(vec![80, 33]), DType::F32);
+    let mm = builders::matmul(&mut p, "mm", a, w);
+    let s = builders::softmax(&mut p, "sm", mm);
+    p.mark_output(s);
+    let bindings = random_bindings(&p, 11);
+    let cp = compile_program(&p);
+
+    let prev = std::env::var(souffle_te::THREADS_ENV).ok();
+    let mut results = Vec::new();
+    for threads in ["1", "3"] {
+        std::env::set_var(souffle_te::THREADS_ENV, threads);
+        assert_eq!(
+            souffle_te::thread_count(),
+            threads.parse::<usize>().unwrap()
+        );
+        results.push(cp.eval(&bindings).unwrap());
+    }
+    match prev {
+        Some(v) => std::env::set_var(souffle_te::THREADS_ENV, v),
+        None => std::env::remove_var(souffle_te::THREADS_ENV),
+    }
+    results.push(cp.eval(&bindings).unwrap());
+
+    let naive = eval_program(&p, &bindings).unwrap();
+    for got in &results {
+        for (id, w) in &naive {
+            let g = &got[id];
+            for (x, y) in w.data().iter().zip(g.data()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+}
+
+/// Out-of-bounds on a *taken* branch must fail identically in both
+/// evaluators — including which element reports first under threading
+/// (chunks stop at their first failure, in flat order).
+#[test]
+fn taken_branch_oob_fails_identically() {
+    use souffle_affine::IndexExpr;
+    use souffle_te::ScalarExpr;
+    let mut p = TeProgram::new();
+    let a = p.add_input("A", Shape::new(vec![4]), DType::F32);
+    let t = p.add_te(
+        "bad",
+        Shape::new(vec![8]),
+        DType::F32,
+        vec![a],
+        vec![],
+        None,
+        ScalarExpr::input(0, vec![IndexExpr::var(0).mul(3)]),
+    );
+    p.mark_output(t);
+    let bindings = random_bindings(&p, 1);
+    let we = eval_program(&p, &bindings).unwrap_err();
+    let ge = compile_program(&p).eval(&bindings).unwrap_err();
+    assert_eq!(we, ge);
+}

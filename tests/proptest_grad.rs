@@ -116,7 +116,7 @@ forall!(
 forall!(
     backward_program_is_itself_compilable,
     Config::with_cases(32),
-    |rng| gen_net(rng),
+    gen_net,
     |spec| {
         if !spec_in_domain(spec) {
             return Ok(());

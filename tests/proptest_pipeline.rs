@@ -74,7 +74,7 @@ fn build_program((ops, d0, d1): &PipeSpec) -> TeProgram {
 forall!(
     schedules_respect_device_limits,
     Config::with_cases(40),
-    |rng| gen_pipe(rng),
+    gen_pipe,
     |spec| {
         if !spec_in_domain(spec) {
             return Ok(()); // shrunk-out-of-domain candidate
@@ -101,7 +101,7 @@ forall!(
 forall!(
     partition_invariants_hold,
     Config::with_cases(40),
-    |rng| gen_pipe(rng),
+    gen_pipe,
     |spec| {
         if !spec_in_domain(spec) {
             return Ok(());
@@ -121,7 +121,7 @@ forall!(
 forall!(
     grid_synced_kernels_fit_one_wave,
     Config::with_cases(40),
-    |rng| gen_pipe(rng),
+    gen_pipe,
     |spec| {
         if !spec_in_domain(spec) {
             return Ok(());
@@ -169,7 +169,7 @@ forall!(
 forall!(
     reuse_pass_only_removes_traffic,
     Config::with_cases(40),
-    |rng| gen_pipe(rng),
+    gen_pipe,
     |spec| {
         if !spec_in_domain(spec) {
             return Ok(());
@@ -203,7 +203,7 @@ forall!(
 forall!(
     pipelining_never_slows_a_kernel,
     Config::with_cases(40),
-    |rng| gen_pipe(rng),
+    gen_pipe,
     |spec| {
         if !spec_in_domain(spec) {
             return Ok(());
@@ -270,7 +270,7 @@ forall!(
 forall!(
     every_te_reaches_exactly_one_kernel_stage,
     Config::with_cases(40),
-    |rng| gen_pipe(rng),
+    gen_pipe,
     |spec| {
         if !spec_in_domain(spec) {
             return Ok(());
