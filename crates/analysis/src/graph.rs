@@ -53,6 +53,21 @@ impl TeGraph {
         self.levels[te.0]
     }
 
+    /// The wavefront decomposition: TEs grouped by level, in id order
+    /// within each level. Since dataflow edges strictly increase the
+    /// level, every TE in a wavefront is independent of the others, and a
+    /// runtime may execute each wavefront's TEs concurrently once the
+    /// previous wavefront has completed — this is what the compiled
+    /// evaluator's wavefront runtime (`souffle_te::runtime`) consumes.
+    pub fn wavefronts(&self) -> Vec<Vec<TeId>> {
+        let n_levels = self.levels.iter().map(|l| l + 1).max().unwrap_or(0);
+        let mut waves = vec![Vec::new(); n_levels];
+        for (i, &lvl) in self.levels.iter().enumerate() {
+            waves[lvl].push(TeId(i));
+        }
+        waves
+    }
+
     /// Number of TEs.
     pub fn len(&self) -> usize {
         self.successors.len()
@@ -210,6 +225,25 @@ mod tests {
         assert!(!g.reaches(TeId(3), TeId(0)));
         assert!(g.reaches(TeId(1), TeId(3)));
         assert!(!g.reaches(TeId(1), TeId(2)));
+    }
+
+    #[test]
+    fn wavefronts_group_independent_tes() {
+        let (_, g) = diamond();
+        assert_eq!(
+            g.wavefronts(),
+            vec![vec![TeId(0)], vec![TeId(1), TeId(2)], vec![TeId(3)]]
+        );
+        // Every pair within a wavefront is independent.
+        for wave in g.wavefronts() {
+            for &a in &wave {
+                for &b in &wave {
+                    assert!(a == b || g.independent(a, b));
+                }
+            }
+        }
+        let p = TeProgram::new();
+        assert!(TeGraph::build(&p).wavefronts().is_empty());
     }
 
     #[test]

@@ -29,6 +29,9 @@ pub struct AnalysisResult {
     pub schedules: ScheduleMap,
     /// Resource-aware partition (§5.4).
     pub partition: Partition,
+    /// Dependency-graph wavefronts ([`TeGraph::wavefronts`]): TEs grouped
+    /// by level so the runtime can execute each level concurrently.
+    pub wavefronts: Vec<Vec<TeId>>,
 }
 
 impl AnalysisResult {
@@ -44,6 +47,7 @@ impl AnalysisResult {
         let liveness = live_ranges(program);
         let schedules = schedule_program(program, spec);
         let partition = partition_program(program, &graph, &classes, &schedules, spec);
+        let wavefronts = graph.wavefronts();
         AnalysisResult {
             dependence,
             classes,
@@ -51,6 +55,7 @@ impl AnalysisResult {
             liveness,
             schedules,
             partition,
+            wavefronts,
         }
     }
 
@@ -141,5 +146,16 @@ mod tests {
         // O0 live from TE0 to TE3.
         assert_eq!(r.liveness[&o0].def, Some(0));
         assert_eq!(r.liveness[&o0].last_use, Some(3));
+        // Wavefronts follow the dependency levels: TE0 | TE1 | TE2 | TE3 | TE4.
+        assert_eq!(
+            r.wavefronts,
+            vec![
+                vec![TeId(0)],
+                vec![TeId(1)],
+                vec![TeId(2)],
+                vec![TeId(3)],
+                vec![TeId(4)]
+            ]
+        );
     }
 }

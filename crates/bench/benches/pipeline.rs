@@ -19,7 +19,7 @@ use souffle_kernel::passes::tensor_reuse_pass;
 use souffle_kernel::{lower_partition, LowerOptions, LruCache};
 use souffle_sched::{schedule_program, GpuSpec};
 use souffle_te::interp::{eval_program, random_bindings};
-use souffle_te::{compile_program, thread_count, TensorId, THREADS_ENV};
+use souffle_te::{compile_program, thread_count, ExecPlan, Runtime, RuntimeOptions, TensorId};
 use souffle_testkit::timer::{black_box, Bench, Timing};
 use souffle_transform::{horizontal_fuse_program, vertical_fuse_program};
 
@@ -88,21 +88,33 @@ fn bench_lowering(b: &mut Bench) {
 }
 
 /// Speedup summary of the naive-vs-compiled evaluator comparison, for the
-/// JSON report.
+/// JSON report. Thread counts are recorded **per row** — the actual pool
+/// size each row ran with, not a process-wide guess.
 struct EvaluatorSummary {
     workload: String,
     naive_mean_ns: f64,
     compiled_1t_mean_ns: f64,
     compiled_mt_mean_ns: f64,
-    threads: usize,
+    compiled_mt_arena_mean_ns: f64,
+    threads_1t: usize,
+    threads_mt: usize,
+    arena: souffle_te::ArenaStats,
 }
 
 /// Naive interpreter vs compiled VM on a BERT-sized TE program: 2
 /// transformer layers at sequence length 64, hidden 64 — large enough
 /// that evaluation is dominated by the attention/FFN matmuls, small
 /// enough that the naive interpreter still finishes within the bench
-/// budget. `compiled_1t` pins one thread (the honest single-thread
-/// speedup); `compiled_mt` uses the machine default.
+/// budget.
+///
+/// Each compiled row builds its own persistent [`Runtime`] so the recorded
+/// thread count is exactly the pool size that row used: `compiled_1t`
+/// pins one execution stream (the honest single-thread speedup);
+/// `compiled_mt` uses the machine parallelism (or `SOUFFLE_EVAL_THREADS`),
+/// floored at 2 so the wavefront pool genuinely runs even on small
+/// machines. Both keep intermediates, matching what the naive interpreter
+/// returns; `compiled_mt_arena` is the outputs-only hot path where the
+/// arena recycles every intermediate buffer across TEs and calls.
 fn bench_evaluators(b: &mut Bench) -> EvaluatorSummary {
     let cfg = BertConfig {
         layers: 2,
@@ -114,18 +126,36 @@ fn bench_evaluators(b: &mut Bench) -> EvaluatorSummary {
     let program = build_bert(&cfg);
     let bindings = random_bindings(&program, 7);
     let compiled = compile_program(&program);
+    let plan = ExecPlan::from_compiled(&compiled);
+
+    let rt_1t = Runtime::with_options(RuntimeOptions {
+        threads: Some(1),
+        arena: true,
+    });
+    let mt_threads = thread_count().max(2);
+    let rt_mt = Runtime::with_options(RuntimeOptions {
+        threads: Some(mt_threads),
+        arena: true,
+    });
 
     b.group("evaluator_bert");
     let naive_mean_ns = b
         .run("naive", || eval_program(black_box(&program), &bindings))
         .mean_ns;
-    std::env::set_var(THREADS_ENV, "1");
     let compiled_1t_mean_ns = b
-        .run("compiled_1t", || black_box(&compiled).eval(&bindings))
+        .run("compiled_1t", || {
+            rt_1t.eval_keeping_intermediates_with_plan(black_box(&compiled), &plan, &bindings)
+        })
         .mean_ns;
-    std::env::remove_var(THREADS_ENV);
     let compiled_mt_mean_ns = b
-        .run("compiled_mt", || black_box(&compiled).eval(&bindings))
+        .run("compiled_mt", || {
+            rt_mt.eval_keeping_intermediates_with_plan(black_box(&compiled), &plan, &bindings)
+        })
+        .mean_ns;
+    let compiled_mt_arena_mean_ns = b
+        .run("compiled_mt_arena", || {
+            rt_mt.eval_with_plan(black_box(&compiled), &plan, &bindings)
+        })
         .mean_ns;
     EvaluatorSummary {
         workload: format!(
@@ -135,7 +165,10 @@ fn bench_evaluators(b: &mut Bench) -> EvaluatorSummary {
         naive_mean_ns,
         compiled_1t_mean_ns,
         compiled_mt_mean_ns,
-        threads: thread_count(),
+        compiled_mt_arena_mean_ns,
+        threads_1t: rt_1t.threads(),
+        threads_mt: rt_mt.threads(),
+        arena: rt_mt.arena_stats(),
     }
 }
 
@@ -147,7 +180,7 @@ fn json_escape(s: &str) -> String {
 /// `results/bench_pipeline.json` (hand-rolled writer: the workspace is
 /// dependency-free by design, so no serde).
 fn write_report(timings: &[Timing], ev: &EvaluatorSummary) -> std::io::Result<()> {
-    let mut out = String::from("{\n  \"schema\": \"souffle-bench-pipeline/1\",\n  \"stages\": [\n");
+    let mut out = String::from("{\n  \"schema\": \"souffle-bench-pipeline/2\",\n  \"stages\": [\n");
     for (i, t) in timings.iter().enumerate() {
         let sep = if i + 1 == timings.len() { "" } else { "," };
         out.push_str(&format!(
@@ -165,14 +198,18 @@ fn write_report(timings: &[Timing], ev: &EvaluatorSummary) -> std::io::Result<()
         json_escape(&ev.workload)
     ));
     out.push_str(&format!(
-        "    \"naive_mean_ns\": {:.1},\n    \"compiled_1t_mean_ns\": {:.1},\n    \"compiled_mt_mean_ns\": {:.1},\n",
-        ev.naive_mean_ns, ev.compiled_1t_mean_ns, ev.compiled_mt_mean_ns
+        "    \"naive_mean_ns\": {:.1},\n    \"compiled_1t_mean_ns\": {:.1},\n    \"compiled_mt_mean_ns\": {:.1},\n    \"compiled_mt_arena_mean_ns\": {:.1},\n",
+        ev.naive_mean_ns, ev.compiled_1t_mean_ns, ev.compiled_mt_mean_ns, ev.compiled_mt_arena_mean_ns
     ));
     out.push_str(&format!(
-        "    \"speedup_compiled_1t\": {:.2},\n    \"speedup_compiled_mt\": {:.2},\n    \"threads\": {}\n",
+        "    \"speedup_compiled_1t\": {:.2},\n    \"speedup_compiled_mt\": {:.2},\n    \"speedup_compiled_mt_arena\": {:.2},\n",
         ev.naive_mean_ns / ev.compiled_1t_mean_ns,
         ev.naive_mean_ns / ev.compiled_mt_mean_ns,
-        ev.threads
+        ev.naive_mean_ns / ev.compiled_mt_arena_mean_ns,
+    ));
+    out.push_str(&format!(
+        "    \"threads_compiled_1t\": {},\n    \"threads_compiled_mt\": {},\n    \"arena_buffers_reused\": {},\n    \"arena_buffers_allocated\": {}\n",
+        ev.threads_1t, ev.threads_mt, ev.arena.reused, ev.arena.allocated
     ));
     out.push_str("  }\n}\n");
     let path = concat!(
@@ -207,11 +244,15 @@ fn main() {
     bench_lru_capacity(&mut b);
     let ev = bench_evaluators(&mut b);
     println!(
-        "\nevaluator speedup on {}: {:.1}x single-thread, {:.1}x with {} thread(s)",
+        "\nevaluator speedup on {}: {:.1}x with {} stream(s), {:.1}x with {} stream(s) \
+         ({:.1}x outputs-only with arena reuse: {} buffers recycled)",
         ev.workload,
         ev.naive_mean_ns / ev.compiled_1t_mean_ns,
+        ev.threads_1t,
         ev.naive_mean_ns / ev.compiled_mt_mean_ns,
-        ev.threads
+        ev.threads_mt,
+        ev.naive_mean_ns / ev.compiled_mt_arena_mean_ns,
+        ev.arena.reused
     );
     if let Err(e) = write_report(b.results(), &ev) {
         eprintln!("could not write results/bench_pipeline.json: {e}");

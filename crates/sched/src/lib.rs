@@ -41,4 +41,6 @@ pub use cost::{operand_footprints as cost_operand_footprints, te_global_bytes, t
 pub use device::GpuSpec;
 pub use occupancy::{estimate_occupancy, OccupancyEstimate};
 pub use schedule::{Schedule, TileDim};
-pub use search::{auto_schedule, schedule_program, ScheduleMap};
+pub use search::{
+    auto_schedule, schedule_program, schedule_program_with_stats, ScheduleCacheStats, ScheduleMap,
+};

@@ -22,12 +22,77 @@ pub fn auto_schedule(program: &TeProgram, te: TeId, spec: &GpuSpec) -> Schedule 
     search_reduction(program, te, spec)
 }
 
-/// Schedules every TE of a program.
+/// Schedules every TE of a program, memoizing the search on a structural
+/// TE signature: the many shape-identical TEs of layered models (every
+/// BERT/LSTM layer repeats the same matmuls and element-wise ops) run the
+/// tile search once and share the result.
 pub fn schedule_program(program: &TeProgram, spec: &GpuSpec) -> ScheduleMap {
-    program
+    schedule_program_with_stats(program, spec).0
+}
+
+/// Memoization counters of one [`schedule_program`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScheduleCacheStats {
+    /// TEs whose schedule was copied from a structurally identical TE.
+    pub hits: usize,
+    /// TEs that ran the full search.
+    pub misses: usize,
+}
+
+/// [`schedule_program`] returning the cache counters alongside the map.
+pub fn schedule_program_with_stats(
+    program: &TeProgram,
+    spec: &GpuSpec,
+) -> (ScheduleMap, ScheduleCacheStats) {
+    let mut cache: HashMap<String, Schedule> = HashMap::new();
+    let mut stats = ScheduleCacheStats::default();
+    let map = program
         .te_ids()
-        .map(|id| (id, auto_schedule(program, id, spec)))
-        .collect()
+        .map(|id| {
+            let sig = te_signature(program, id);
+            let schedule = match cache.get(&sig) {
+                Some(hit) => {
+                    stats.hits += 1;
+                    let mut s = hit.clone();
+                    s.te = id;
+                    s
+                }
+                None => {
+                    stats.misses += 1;
+                    let s = auto_schedule(program, id, spec);
+                    cache.insert(sig, s.clone());
+                    s
+                }
+            };
+            (id, schedule)
+        })
+        .collect();
+    (map, stats)
+}
+
+/// Structural signature of a TE: everything [`auto_schedule`] and the cost
+/// model read — output dims and dtype, reduction extents and op, operand
+/// shapes and dtypes, and the body (rendered, which covers every access
+/// pattern) — and nothing they don't (the TE *name* is excluded, since
+/// repeated layers differ only by name).
+fn te_signature(program: &TeProgram, te: TeId) -> String {
+    use std::fmt::Write;
+    let t = program.te(te);
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "out={:?}/{:?};red={:?}/{:?}",
+        program.output_shape(te).dims(),
+        program.tensor(t.output).dtype,
+        t.reduce,
+        t.reduce_op,
+    );
+    for &inp in &t.inputs {
+        let info = program.tensor(inp);
+        let _ = write!(s, ";in={:?}/{:?}", info.shape.dims(), info.dtype);
+    }
+    let _ = write!(s, ";body={}", t.body);
+    s
 }
 
 /// Whether the TE's body is a multiply-accumulate of two distinct operands
@@ -321,6 +386,39 @@ mod tests {
         for id in p.te_ids() {
             assert!(map.contains_key(&id));
         }
+    }
+
+    #[test]
+    fn schedule_search_is_memoized_across_identical_layers() {
+        // Four structurally identical f16 GEMMs (different names, like
+        // repeated transformer layers), one differently-shaped GEMM, and
+        // two identical element-wise TEs.
+        let mut p = TeProgram::new();
+        let mut x = p.add_input("X", Shape::new(vec![128, 128]), DType::F16);
+        for layer in 0..4 {
+            let w = p.add_weight(&format!("W{layer}"), Shape::new(vec![128, 128]), DType::F16);
+            x = builders::matmul(&mut p, &format!("mm{layer}"), x, w);
+        }
+        let wodd = p.add_weight("Wodd", Shape::new(vec![128, 64]), DType::F16);
+        let y = builders::matmul(&mut p, "mm_odd", x, wodd);
+        let s1 = builders::sigmoid(&mut p, "sig1", y);
+        let _ = builders::sigmoid(&mut p, "sig2", s1);
+
+        let (map, stats) = schedule_program_with_stats(&p, &spec());
+        assert_eq!(map.len(), 7);
+        // mm1..mm3 hit mm0's entry; sig2 hits sig1's. mm_odd must miss.
+        assert_eq!(stats.hits, 4, "{stats:?}");
+        assert_eq!(stats.misses, 3, "{stats:?}");
+
+        // Memoized schedules are identical to a fresh per-TE search
+        // (modulo the `te` field, which is re-pointed on a hit).
+        for id in p.te_ids() {
+            let mut fresh = auto_schedule(&p, id, &spec());
+            fresh.te = id;
+            assert_eq!(map[&id], fresh, "schedule for {id} diverged");
+        }
+        // And schedule_program agrees with the stats-returning variant.
+        assert_eq!(schedule_program(&p, &spec()), map);
     }
 
     #[test]

@@ -28,6 +28,14 @@ pub struct SouffleOptions {
     /// the (transformed) TE program with: the naive interpreter (ground
     /// truth) or the compiled bytecode VM (bit-identical, much faster).
     pub evaluator: Evaluator,
+    /// Execution streams for the compiled evaluator's wavefront runtime
+    /// (pool workers + calling thread). `None` resolves via
+    /// `SOUFFLE_EVAL_THREADS`, else the machine parallelism. Results are
+    /// bit-identical for every value.
+    pub eval_threads: Option<usize>,
+    /// Recycle intermediate tensor buffers through the runtime's arena
+    /// across TEs and across repeated `eval_reference` calls.
+    pub eval_arena: bool,
     /// The target device.
     pub spec: GpuSpec,
 }
@@ -42,6 +50,8 @@ impl SouffleOptions {
             subprogram_opts: false,
             reuse_cache_bytes: None,
             evaluator: Evaluator::default(),
+            eval_threads: None,
+            eval_arena: true,
             spec: GpuSpec::a100(),
         }
     }

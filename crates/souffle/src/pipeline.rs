@@ -7,10 +7,14 @@ use souffle_gpusim::{simulate, ModelProfile, SimConfig};
 use souffle_kernel::passes::{pipeline_pass, tensor_reuse_pass, PipelineStats, ReuseStats};
 use souffle_kernel::{lower_partition, Kernel, LowerOptions};
 use souffle_te::interp::{eval_program, EvalError};
-use souffle_te::{compile_program, Evaluator, TeProgram, TensorId};
+use souffle_te::{
+    compile_program, CompiledProgram, Evaluator, ExecPlan, Runtime, RuntimeOptions, TeProgram,
+    TensorId,
+};
 use souffle_tensor::Tensor;
 use souffle_transform::{horizontal_fuse_program, vertical_fuse_program, TransformStats};
 use std::collections::HashMap;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 /// Timing and statistics of one compilation (§8.5's overhead study).
@@ -65,20 +69,75 @@ impl Compiled {
 }
 
 /// The Souffle compiler.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Souffle {
     options: SouffleOptions,
+    /// Lazily created evaluation runtime (persistent work-stealing pool +
+    /// buffer arena), shared by every `eval_reference` call on this
+    /// compiler so pool threads and arena buffers are reused across
+    /// inferences.
+    runtime: OnceLock<Runtime>,
+}
+
+impl Clone for Souffle {
+    fn clone(&self) -> Self {
+        // The runtime is per-instance state (pool threads, arena
+        // buffers); a clone starts fresh and builds its own on first use.
+        Souffle {
+            options: self.options.clone(),
+            runtime: OnceLock::new(),
+        }
+    }
 }
 
 impl Souffle {
     /// Creates a compiler with the given options.
     pub fn new(options: SouffleOptions) -> Self {
-        Souffle { options }
+        Souffle {
+            options,
+            runtime: OnceLock::new(),
+        }
     }
 
     /// The active options.
     pub fn options(&self) -> &SouffleOptions {
         &self.options
+    }
+
+    /// The evaluation runtime, created on first use from
+    /// [`SouffleOptions::eval_threads`] / [`SouffleOptions::eval_arena`]
+    /// and then persistent for the lifetime of this compiler.
+    pub fn runtime(&self) -> &Runtime {
+        self.runtime.get_or_init(|| {
+            Runtime::with_options(RuntimeOptions {
+                threads: self.options.eval_threads,
+                arena: self.options.eval_arena,
+            })
+        })
+    }
+
+    /// Builds the wavefront execution plan for a compiled model from the
+    /// global analysis: dependence-graph wavefronts give the levels, and
+    /// the liveness pass gives each intermediate's last use (which keys
+    /// the arena's buffer recycling). The plan constructor revalidates
+    /// both against the program's def-use edges.
+    fn exec_plan(compiled: &Compiled, cp: &CompiledProgram) -> ExecPlan {
+        let mut level_of = vec![0usize; cp.tes().len()];
+        for (lvl, wave) in compiled.analysis.wavefronts.iter().enumerate() {
+            for te in wave {
+                level_of[te.0] = lvl;
+            }
+        }
+        let last_use: Vec<Option<usize>> = (0..compiled.program.num_tensors())
+            .map(|i| {
+                compiled
+                    .analysis
+                    .liveness
+                    .get(&TensorId(i))
+                    .and_then(|r| r.last_use)
+            })
+            .collect();
+        ExecPlan::with_levels_and_last_use(cp, &level_of, &last_use)
     }
 
     /// Runs the full pipeline on a TE program.
@@ -172,8 +231,34 @@ impl Souffle {
     ) -> Result<HashMap<TensorId, Tensor>, EvalError> {
         match self.options.evaluator {
             Evaluator::Naive => eval_program(&compiled.program, bindings),
-            Evaluator::Compiled => compile_program(&compiled.program).eval(bindings),
+            Evaluator::Compiled => {
+                let cp = compile_program(&compiled.program);
+                let plan = Self::exec_plan(compiled, &cp);
+                self.runtime()
+                    .eval_keeping_intermediates_with_plan(&cp, &plan, bindings)
+            }
         }
+    }
+
+    /// The inference hot path: evaluates the compiled (transformed) TE
+    /// program with the wavefront runtime and returns **output tensors
+    /// only**. Intermediates are recycled through the runtime's buffer
+    /// arena (keyed by the analysis liveness results), so repeated calls
+    /// perform no per-inference allocation for them. Output values are
+    /// bit-identical to [`Souffle::eval_reference`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EvalError`] for missing/mis-shaped bindings or
+    /// out-of-bounds reads, in the interpreter's order.
+    pub fn eval_outputs(
+        &self,
+        compiled: &Compiled,
+        bindings: &HashMap<TensorId, Tensor>,
+    ) -> Result<HashMap<TensorId, Tensor>, EvalError> {
+        let cp = compile_program(&compiled.program);
+        let plan = Self::exec_plan(compiled, &cp);
+        self.runtime().eval_with_plan(&cp, &plan, bindings)
     }
 
     /// The simulator configuration Souffle-generated code runs under.
@@ -431,6 +516,44 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn pooled_eval_reference_is_bit_identical_and_reuses_buffers() {
+        use souffle_te::interp::random_bindings;
+        let p = fig2_program();
+        let bindings = random_bindings(&p, 21);
+        let naive = Souffle::new(SouffleOptions {
+            evaluator: souffle_te::Evaluator::Naive,
+            ..SouffleOptions::full()
+        });
+        let pooled = Souffle::new(SouffleOptions {
+            eval_threads: Some(2),
+            eval_arena: true,
+            ..SouffleOptions::full()
+        });
+        assert_eq!(pooled.runtime().threads(), 2);
+        let cn = naive.compile(&p);
+        let cf = pooled.compile(&p);
+        let want = naive.eval_reference(&cn, &bindings).unwrap();
+        // Repeated evals through one Souffle instance recycle the arena;
+        // results must stay bit-identical every time.
+        for round in 0..5 {
+            let got = if round % 2 == 0 {
+                pooled.eval_reference(&cf, &bindings).unwrap()
+            } else {
+                pooled.eval_outputs(&cf, &bindings).unwrap()
+            };
+            for id in p.outputs() {
+                let (w, g) = (&want[&id], &got[&id]);
+                assert_eq!(w.shape(), g.shape());
+                for (a, b) in w.data().iter().zip(g.data()) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+        let stats = pooled.runtime().arena_stats();
+        assert!(stats.reused > 0, "arena must recycle buffers: {stats:?}");
     }
 
     #[test]

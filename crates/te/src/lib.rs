@@ -47,18 +47,24 @@
 //! assert_eq!(out[&o1].shape().dims(), &[64, 64]);
 //! ```
 
+pub mod arena;
 pub mod builders;
 pub mod compile;
 mod expr;
 pub mod grad;
 pub mod interp;
+pub mod pool;
 mod program;
+pub mod runtime;
 pub mod source;
 mod te;
 mod vm;
 
+pub use arena::{ArenaStats, BufferArena};
 pub use compile::{compile_program, CompiledProgram, CompiledTe, Evaluator};
 pub use expr::{BinaryOp, CmpOp, Cond, ScalarExpr, UnaryOp};
+pub use pool::ThreadPool;
 pub use program::{TeProgram, TensorId, TensorInfo, TensorKind, ValidateError};
+pub use runtime::{ExecPlan, Runtime, RuntimeOptions};
 pub use te::{ReduceOp, TeId, TensorExpr};
 pub use vm::{thread_count, THREADS_ENV};

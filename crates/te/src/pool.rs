@@ -1,0 +1,439 @@
+//! A persistent work-stealing thread pool (std-only: `Mutex`/`Condvar`
+//! deques, no crates.io dependencies).
+//!
+//! The compiled evaluator used to spawn fresh scoped threads for every TE
+//! it parallelized; on programs with hundreds of TEs that is hundreds of
+//! `clone(2)` calls per inference. [`ThreadPool`] amortizes that cost:
+//! workers are spawned once (per [`crate::runtime::Runtime`]) and sleep on
+//! a condvar between evaluations.
+//!
+//! Scheduling is work-stealing over per-worker deques: submitted tasks are
+//! distributed round-robin, each worker pops its own deque from the front
+//! and steals from the *back* of other workers' deques when it runs dry.
+//! The thread that opened a [`ThreadPool::scope`] also helps execute
+//! queued tasks while it waits, so a pool with `n` workers plus the
+//! caller provides `n + 1` execution streams and a zero-worker pool
+//! degenerates to inline serial execution.
+//!
+//! Tasks submitted through a [`Scope`] may borrow stack data: the scope
+//! joins every spawned task before returning (and propagates the first
+//! task panic), which is what makes the internal lifetime erasure sound.
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A lifetime-erased unit of work.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    /// One deque per worker. Owners pop from the front, thieves steal from
+    /// the back — both under the deque's mutex, which keeps the
+    /// implementation hermetic (no lock-free deque dependency).
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    /// Workers sleep on this condvar when every deque is empty. Pushers
+    /// notify under `sleep`, and sleepers re-scan under `sleep` before
+    /// waiting, so wakeups cannot be lost.
+    sleep: Mutex<()>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    /// Round-robin cursor for task distribution.
+    rr: AtomicUsize,
+}
+
+impl Shared {
+    /// Pops a task: own deque first (front), then the other deques from
+    /// the back (stealing order starts after `me` so thieves spread out).
+    fn grab(&self, me: usize) -> Option<Task> {
+        let n = self.deques.len();
+        if let Some(t) = self.deques[me]
+            .lock()
+            .expect("pool deque poisoned")
+            .pop_front()
+        {
+            return Some(t);
+        }
+        for off in 1..n {
+            let victim = (me + off) % n;
+            if let Some(t) = self.deques[victim]
+                .lock()
+                .expect("pool deque poisoned")
+                .pop_back()
+            {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Steals a task from any deque (used by the scope-waiting helper,
+    /// which has no deque of its own).
+    fn grab_any(&self) -> Option<Task> {
+        for d in &self.deques {
+            if let Some(t) = d.lock().expect("pool deque poisoned").pop_back() {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn has_work(&self) -> bool {
+        self.deques
+            .iter()
+            .any(|d| !d.lock().expect("pool deque poisoned").is_empty())
+    }
+
+    fn worker(&self, me: usize) {
+        loop {
+            if let Some(task) = self.grab(me) {
+                task();
+                continue;
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let guard = self.sleep.lock().expect("pool sleep lock poisoned");
+            // Re-check under the sleep lock: pushers notify while holding
+            // it, so a task pushed after our scan is visible here.
+            if self.has_work() {
+                continue;
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            // The timeout is belt-and-braces only; the notify protocol
+            // above already prevents lost wakeups.
+            let _ = self
+                .wake
+                .wait_timeout(guard, Duration::from_millis(50))
+                .expect("pool sleep lock poisoned");
+        }
+    }
+}
+
+/// Join/panic bookkeeping for one [`Scope`].
+struct ScopeState {
+    /// Tasks spawned but not yet finished.
+    pending: Mutex<usize>,
+    done: Condvar,
+    /// First panic payload raised by a task, re-thrown by the scope owner.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+}
+
+impl ScopeState {
+    fn new() -> Self {
+        ScopeState {
+            pending: Mutex::new(0),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+}
+
+/// A persistent pool of worker threads with work-stealing deques.
+///
+/// Create once, submit many batches of borrowed-data tasks through
+/// [`ThreadPool::scope`]. Dropping the pool shuts the workers down.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Creates a pool with `workers` worker threads (0 is allowed: the
+    /// scope-owning thread then executes every task inline).
+    pub fn new(workers: usize) -> ThreadPool {
+        let shared = Arc::new(Shared {
+            deques: (0..workers.max(1))
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            rr: AtomicUsize::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let s = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("souffle-eval-{i}"))
+                    .spawn(move || s.worker(i))
+                    .expect("spawning evaluator worker thread")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads (excluding scope-owning helpers).
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn push(&self, task: Task) {
+        let i = self.shared.rr.fetch_add(1, Ordering::Relaxed) % self.shared.deques.len();
+        self.shared.deques[i]
+            .lock()
+            .expect("pool deque poisoned")
+            .push_back(task);
+        // Notify under the sleep lock so a worker between "scan found
+        // nothing" and "wait" cannot miss this task.
+        let _g = self.shared.sleep.lock().expect("pool sleep lock poisoned");
+        self.shared.wake.notify_one();
+    }
+
+    /// Runs `f` with a [`Scope`] through which tasks borrowing data alive
+    /// for `'env` can be spawned. Every spawned task completes before
+    /// `scope` returns; the first task panic (if any) is resumed on the
+    /// calling thread after all tasks have settled.
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'env, '_>) -> R,
+    {
+        let state = Arc::new(ScopeState::new());
+        let scope = Scope {
+            pool: self,
+            state: Arc::clone(&state),
+            _env: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        // Join: help drain the queues, then wait for in-flight tasks.
+        // This runs even when `f` panicked, so no spawned task can outlive
+        // the borrows it captured.
+        self.wait_scope(&state);
+        if let Some(p) = state
+            .panic
+            .lock()
+            .expect("scope panic lock poisoned")
+            .take()
+        {
+            resume_unwind(p);
+        }
+        match result {
+            Ok(r) => r,
+            Err(p) => resume_unwind(p),
+        }
+    }
+
+    fn wait_scope(&self, state: &ScopeState) {
+        loop {
+            if *state.pending.lock().expect("scope pending lock poisoned") == 0 {
+                return;
+            }
+            if let Some(task) = self.shared.grab_any() {
+                task();
+                continue;
+            }
+            // Queues are empty: the remaining tasks are running on
+            // workers. Wait for the last one to signal completion (tasks
+            // decrement and notify under `pending`, so this cannot miss).
+            let mut pending = state.pending.lock().expect("scope pending lock poisoned");
+            while *pending > 0 {
+                let (g, timeout) = state
+                    .done
+                    .wait_timeout(pending, Duration::from_millis(10))
+                    .expect("scope pending lock poisoned");
+                pending = g;
+                if timeout.timed_out() {
+                    break; // re-scan the queues, then wait again
+                }
+            }
+            if *pending == 0 {
+                return;
+            }
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _g = self.shared.sleep.lock().expect("pool sleep lock poisoned");
+            self.shared.wake.notify_all();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Spawn handle passed to the closure of [`ThreadPool::scope`]; tasks may
+/// borrow anything that lives for `'env`.
+pub struct Scope<'env, 'pool> {
+    pool: &'pool ThreadPool,
+    state: Arc<ScopeState>,
+    /// Invariant over `'env` (mirrors `crossbeam::scope`) so the borrow
+    /// checker cannot shrink the environment lifetime under the tasks.
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'env, '_> {
+    /// Submits a task to the pool. The task runs at most once, on any
+    /// worker (or on the scope-owning thread while it waits), and is
+    /// joined before the enclosing [`ThreadPool::scope`] call returns.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        *self
+            .state
+            .pending
+            .lock()
+            .expect("scope pending lock poisoned") += 1;
+        let state = Arc::clone(&self.state);
+        let wrapped = move || {
+            if let Err(p) = catch_unwind(AssertUnwindSafe(f)) {
+                let mut slot = state.panic.lock().expect("scope panic lock poisoned");
+                if slot.is_none() {
+                    *slot = Some(p);
+                }
+            }
+            let mut pending = state.pending.lock().expect("scope pending lock poisoned");
+            *pending -= 1;
+            if *pending == 0 {
+                state.done.notify_all();
+            }
+        };
+        let boxed: Box<dyn FnOnce() + Send + 'env> = Box::new(wrapped);
+        // SAFETY: `scope` joins every spawned task (even on panic) before
+        // returning, so no task runs after `'env` borrows expire; the
+        // transmute only erases that lifetime, the vtable and layout are
+        // unchanged.
+        let boxed: Task = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(boxed)
+        };
+        self.pool.push(boxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_all_tasks_and_borrows_stack_data() {
+        let pool = ThreadPool::new(3);
+        let data: Vec<u64> = (0..100).collect();
+        let sum = AtomicU64::new(0);
+        pool.scope(|s| {
+            for chunk in data.chunks(7) {
+                let sum = &sum;
+                s.spawn(move || {
+                    sum.fetch_add(chunk.iter().sum::<u64>(), Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 100 * 99 / 2);
+    }
+
+    #[test]
+    fn zero_worker_pool_runs_inline() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.workers(), 0);
+        let mut out = vec![0u32; 4];
+        pool.scope(|s| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                s.spawn(move || *slot = i as u32 + 1);
+            }
+        });
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn disjoint_mut_chunks_are_written() {
+        let pool = ThreadPool::new(2);
+        let mut buf = vec![0.0f32; 1000];
+        pool.scope(|s| {
+            for (ci, chunk) in buf.chunks_mut(64).enumerate() {
+                s.spawn(move || {
+                    for (i, x) in chunk.iter_mut().enumerate() {
+                        *x = (ci * 64 + i) as f32;
+                    }
+                });
+            }
+        });
+        for (i, x) in buf.iter().enumerate() {
+            assert_eq!(*x, i as f32);
+        }
+    }
+
+    #[test]
+    fn scope_is_reusable_and_pool_is_persistent() {
+        let pool = ThreadPool::new(2);
+        for round in 0..50u64 {
+            let total = AtomicU64::new(0);
+            pool.scope(|s| {
+                for _ in 0..8 {
+                    let total = &total;
+                    s.spawn(move || {
+                        total.fetch_add(round, Ordering::Relaxed);
+                    });
+                }
+            });
+            assert_eq!(total.load(Ordering::Relaxed), 8 * round);
+        }
+    }
+
+    #[test]
+    fn task_panic_propagates_after_join() {
+        let pool = ThreadPool::new(2);
+        let finished = AtomicU64::new(0);
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                let finished = &finished;
+                s.spawn(|| panic!("boom"));
+                for _ in 0..10 {
+                    s.spawn(move || {
+                        finished.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(res.is_err(), "task panic must surface");
+        // The panic must not have torn down the other tasks.
+        assert_eq!(finished.load(Ordering::Relaxed), 10);
+        // The pool survives a panicked scope.
+        let ok = AtomicU64::new(0);
+        pool.scope(|s| {
+            let ok = &ok;
+            s.spawn(move || {
+                ok.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn many_tasks_distribute_across_workers() {
+        // With more tasks than workers, stealing must still complete all
+        // of them (exercises the cross-deque path deterministically by
+        // sheer volume).
+        let pool = ThreadPool::new(4);
+        let count = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..500 {
+                let count = &count;
+                s.spawn(move || {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 500);
+    }
+}

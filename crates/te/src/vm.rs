@@ -14,13 +14,16 @@
 //!   conv) skip instruction dispatch entirely and run as tight loops over
 //!   local offset accumulators — the same loads and float ops in the same
 //!   order, so no result bit changes.
-//! - **Chunked threading.** The flat output range is split into contiguous
-//!   chunks, one scoped thread per chunk, each writing a disjoint
-//!   `&mut [f32]` slice. Elements are computed independently in both
-//!   evaluators, so the split cannot change any result bit. The thread
-//!   count comes from `SOUFFLE_EVAL_THREADS` when set, otherwise from
+//! - **Wavefront threading.** Execution is handled by
+//!   [`crate::runtime`]: independent TEs (same dependency level) run
+//!   concurrently, and each TE's flat output range is split into
+//!   contiguous chunks submitted as stealable tasks to a persistent
+//!   work-stealing pool, each task writing a disjoint `&mut [f32]` slice.
+//!   Elements are computed independently in both evaluators, so the split
+//!   cannot change any result bit. The thread count comes from
+//!   `SOUFFLE_EVAL_THREADS` when set, otherwise from
 //!   [`std::thread::available_parallelism`]; tiny iteration spaces run
-//!   serially to avoid spawn overhead.
+//!   serially to avoid dispatch overhead.
 //!
 //! Floating-point evaluation order inside one element — including the
 //! reduction combine order — is byte-for-byte the interpreter's, which is
@@ -28,16 +31,16 @@
 
 use crate::compile::{BodyKind, CompiledProgram, CompiledTe, Instr};
 use crate::interp::EvalError;
-use crate::program::{TensorId, TensorKind};
+use crate::program::TensorId;
 use souffle_tensor::Tensor;
 use std::collections::HashMap;
 
 /// Environment variable overriding the evaluation thread count.
 pub const THREADS_ENV: &str = "SOUFFLE_EVAL_THREADS";
 
-/// Below this many body evaluations a TE is run serially: spawn cost would
-/// dominate.
-const SERIAL_THRESHOLD: usize = 8192;
+/// Below this many body evaluations a TE (or chunk) is run serially:
+/// dispatch cost would dominate.
+pub(crate) const SERIAL_THRESHOLD: usize = 8192;
 
 impl CompiledProgram {
     /// Evaluates the compiled program, mirroring
@@ -49,50 +52,16 @@ impl CompiledProgram {
     ///
     /// Returns the same [`EvalError`]s as the interpreter: missing or
     /// mis-shaped bindings, and out-of-bounds reads on taken branches.
+    ///
+    /// Execution goes through the process-global wavefront
+    /// [`crate::runtime::Runtime`] (persistent work-stealing pool); use an
+    /// explicitly configured [`crate::runtime::Runtime`] for control over
+    /// pool size and arena behavior plus an outputs-only result.
     pub fn eval(
         &self,
         bindings: &HashMap<TensorId, Tensor>,
     ) -> Result<HashMap<TensorId, Tensor>, EvalError> {
-        let mut values: HashMap<TensorId, Tensor> = HashMap::new();
-        for &id in self.free_tensors() {
-            let info = self.tensor(id);
-            let t = bindings.get(&id).ok_or_else(|| EvalError::Unbound {
-                tensor: id,
-                name: info.name.clone(),
-            })?;
-            if t.shape() != &info.shape {
-                return Err(EvalError::ShapeMismatch {
-                    tensor: id,
-                    name: info.name.clone(),
-                });
-            }
-            values.insert(id, t.clone());
-        }
-        let threads = thread_count();
-        for te in self.tes() {
-            let operands: Vec<&[f32]> = te
-                .inputs
-                .iter()
-                .map(|tid| {
-                    values
-                        .get(tid)
-                        .unwrap_or_else(|| panic!("validated program: {tid} must be available"))
-                        .data()
-                })
-                .collect();
-            let data = eval_te(te, &operands, threads)?;
-            let dtype = self.tensor(te.output).dtype;
-            values.insert(
-                te.output,
-                Tensor::from_parts(te.out_shape.clone(), dtype, data),
-            );
-        }
-        for &id in self.free_tensors() {
-            if self.tensor(id).kind != TensorKind::Output {
-                values.remove(&id);
-            }
-        }
-        Ok(values)
+        crate::runtime::global().eval_keeping_intermediates(self, bindings)
     }
 }
 
@@ -107,40 +76,9 @@ pub fn thread_count() -> usize {
     std::thread::available_parallelism().map_or(1, usize::from)
 }
 
-fn eval_te(te: &CompiledTe, operands: &[&[f32]], threads: usize) -> Result<Vec<f32>, EvalError> {
-    let n_points = te.out_shape.numel() as usize;
-    let mut data = vec![0.0f32; n_points];
-    let reduce_points: usize = te.reduce.iter().product::<i64>().max(1) as usize;
-    let threads = threads.min(n_points.max(1));
-    if threads <= 1 || n_points.saturating_mul(reduce_points) < SERIAL_THRESHOLD {
-        run_chunk(te, 0, &mut data, operands)?;
-        return Ok(data);
-    }
-    let chunk_size = n_points.div_ceil(threads);
-    let operands_ref = &operands;
-    let results: Vec<Result<(), EvalError>> = std::thread::scope(|s| {
-        let handles: Vec<_> = data
-            .chunks_mut(chunk_size)
-            .enumerate()
-            .map(|(ci, chunk)| s.spawn(move || run_chunk(te, ci * chunk_size, chunk, operands_ref)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("evaluator worker thread panicked"))
-            .collect()
-    });
-    // Chunks cover ascending flat ranges and each stops at its first
-    // failing element, so the first error in chunk order is exactly the
-    // error the serial interpreter would report.
-    for r in results {
-        r?;
-    }
-    Ok(data)
-}
-
 /// Evaluates output elements `start .. start + out.len()` (flat row-major
 /// order) into `out`.
-fn run_chunk(
+pub(crate) fn run_chunk(
     te: &CompiledTe,
     start: usize,
     out: &mut [f32],

@@ -15,10 +15,15 @@
 //! broken rewrite.
 
 use souffle::{Souffle, SouffleOptions};
-use souffle_te::interp::{eval_with_random_inputs_using, EvalError};
-use souffle_te::{source::te_source, Evaluator, TeProgram};
+use souffle_te::interp::{eval_with_random_inputs_using, random_bindings, EvalError};
+use souffle_te::{
+    compile_program, source::te_source, Evaluator, Runtime, RuntimeOptions, TeProgram, TensorId,
+};
+use souffle_tensor::Tensor;
 use souffle_transform::{horizontal_fuse_program, transform_program, vertical_fuse_program};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// A pipeline stage under differential test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -289,8 +294,11 @@ pub fn check_stage(
 /// comparison.
 ///
 /// [`Stage::CrossEvaluator`] ignores `evaluator`: that stage *is* the
-/// evaluator comparison — naive interpreter as `want`, compiled VM as
-/// `got`, compared bit-exactly with `tol` ignored.
+/// evaluator comparison — naive interpreter as `want`, compared
+/// bit-exactly (with `tol` ignored) against **both** compiled paths: the
+/// process-global VM entry point and a pooled wavefront
+/// [`Runtime`] (4 execution streams, buffer arena on, persistent across
+/// oracle calls so arena recycling is exercised too).
 ///
 /// # Errors
 ///
@@ -329,7 +337,66 @@ pub fn check_stage_with(
             error,
         }
     })?;
-    for (id, w) in &want {
+    compare_outputs(
+        program,
+        &transformed,
+        stage,
+        seed,
+        tol,
+        bit_exact,
+        &want,
+        &got,
+    )?;
+    if stage == Stage::CrossEvaluator {
+        // Second compiled path: the pooled wavefront runtime (outputs
+        // only). Same bindings, same bit-exactness bar as the VM above.
+        let bindings = random_bindings(&transformed, seed);
+        let pooled = pooled_runtime()
+            .eval(&compile_program(&transformed), &bindings)
+            .map_err(|error| OracleError::Eval {
+                stage,
+                which: "after",
+                error,
+            })?;
+        compare_outputs(
+            program,
+            &transformed,
+            stage,
+            seed,
+            tol,
+            bit_exact,
+            &want,
+            &pooled,
+        )?;
+    }
+    Ok(())
+}
+
+/// The persistent runtime backing the oracle's pooled cross-check: kept
+/// alive across calls so successive programs recycle each other's arena
+/// buffers — exactly the reuse pattern that would expose stale-data bugs.
+fn pooled_runtime() -> &'static Runtime {
+    static POOLED: OnceLock<Runtime> = OnceLock::new();
+    POOLED.get_or_init(|| {
+        Runtime::with_options(RuntimeOptions {
+            threads: Some(4),
+            arena: true,
+        })
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn compare_outputs(
+    program: &TeProgram,
+    transformed: &TeProgram,
+    stage: Stage,
+    seed: u64,
+    tol: &Tolerance,
+    bit_exact: bool,
+    want: &HashMap<TensorId, Tensor>,
+    got: &HashMap<TensorId, Tensor>,
+) -> Result<(), OracleError> {
+    for (id, w) in want {
         let name = program.tensor(*id).name.clone();
         let g = match got.get(id) {
             Some(g) => g,
@@ -374,7 +441,7 @@ pub fn check_stage_with(
                 max_abs_diff: max_abs,
                 max_ulps,
                 before_src: te_source(program),
-                after_src: te_source(&transformed),
+                after_src: te_source(transformed),
             })));
         }
     }

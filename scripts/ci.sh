@@ -7,6 +7,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== no committed build artifacts =="
+if git ls-files | grep -q '^target/'; then
+  echo "ci.sh: target/ build artifacts are committed; run 'git rm -r --cached target'" >&2
+  exit 1
+fi
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 
@@ -18,5 +24,13 @@ cargo build --release --offline --workspace
 
 echo "== cargo test -q --offline =="
 cargo test -q --offline --workspace
+
+# Re-run the evaluator-facing suites with a pinned 2-stream wavefront pool:
+# results must be bit-identical under any SOUFFLE_EVAL_THREADS, and this
+# catches pool-size-dependent bugs that the ambient default would hide.
+echo "== cargo test (SOUFFLE_EVAL_THREADS=2) =="
+SOUFFLE_EVAL_THREADS=2 cargo test -q --offline -p souffle-te -p souffle
+SOUFFLE_EVAL_THREADS=2 cargo test -q --offline \
+  --test evaluator_equivalence --test runtime_determinism
 
 echo "ci.sh: all checks passed"
