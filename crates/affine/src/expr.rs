@@ -282,6 +282,11 @@ impl IndexExpr {
     /// ranges over `bounds[i] = (lo, hi)` inclusive. Used for static bounds
     /// checking and for tile-footprint estimation in the scheduler.
     ///
+    /// All arithmetic saturates at `i64::MIN`/`i64::MAX`, so adversarial
+    /// coefficients cannot overflow the bound computation into a spuriously
+    /// in-bounds interval — a saturated bound is still an over-approximation
+    /// of the true range, which is the safe direction for a verifier.
+    ///
     /// # Panics
     ///
     /// Panics if a variable index is out of range of `bounds`.
@@ -292,19 +297,19 @@ impl IndexExpr {
             IndexExpr::Add(a, b) => {
                 let (al, ah) = a.interval(bounds);
                 let (bl, bh) = b.interval(bounds);
-                (al + bl, ah + bh)
+                (al.saturating_add(bl), ah.saturating_add(bh))
             }
             IndexExpr::Sub(a, b) => {
                 let (al, ah) = a.interval(bounds);
                 let (bl, bh) = b.interval(bounds);
-                (al - bh, ah - bl)
+                (al.saturating_sub(bh), ah.saturating_sub(bl))
             }
             IndexExpr::Mul(a, k) => {
                 let (al, ah) = a.interval(bounds);
                 if *k >= 0 {
-                    (al * k, ah * k)
+                    (al.saturating_mul(*k), ah.saturating_mul(*k))
                 } else {
-                    (ah * k, al * k)
+                    (ah.saturating_mul(*k), al.saturating_mul(*k))
                 }
             }
             IndexExpr::FloorDiv(a, k) => {
@@ -452,6 +457,36 @@ mod tests {
     #[should_panic(expected = "positive divisor")]
     fn floor_div_nonpositive_panics() {
         IndexExpr::var(0).floor_div(0);
+    }
+
+    #[test]
+    fn interval_negative_stride_orders_min_max() {
+        // e = -3*v0 + 5 over v0 in [0, 9]: min at v0=9, max at v0=0.
+        let e = IndexExpr::var(0).mul(-3).add(IndexExpr::constant(5));
+        assert_eq!(e.interval(&[(0, 9)]), (-22, 5));
+        // Pure negative stride: -2*v0 over [1, 4].
+        let n = IndexExpr::var(0).mul(-2);
+        assert_eq!(n.interval(&[(1, 4)]), (-8, -2));
+        // Subtraction flips the operand interval: v0 - v1 over boxes.
+        let s = IndexExpr::Sub(Box::new(IndexExpr::var(0)), Box::new(IndexExpr::var(1)));
+        assert_eq!(s.interval(&[(0, 3), (2, 5)]), (-5, 1));
+    }
+
+    #[test]
+    fn interval_saturates_instead_of_overflowing() {
+        // Mul is built raw (the fluent builder would constant-fold).
+        let big = IndexExpr::Mul(Box::new(IndexExpr::Var(0)), i64::MAX);
+        assert_eq!(big.interval(&[(2, 4)]), (i64::MAX, i64::MAX));
+        let neg = IndexExpr::Mul(Box::new(IndexExpr::Var(0)), i64::MIN);
+        assert_eq!(neg.interval(&[(1, 2)]), (i64::MIN, i64::MIN));
+        // Saturated sums stay pinned rather than wrapping back in-bounds.
+        let sum = IndexExpr::Add(Box::new(big.clone()), Box::new(big));
+        assert_eq!(sum.interval(&[(1, 1)]), (i64::MAX, i64::MAX));
+        let diff = IndexExpr::Sub(
+            Box::new(IndexExpr::Const(i64::MIN)),
+            Box::new(IndexExpr::Const(i64::MAX)),
+        );
+        assert_eq!(diff.interval(&[]), (i64::MIN, i64::MIN));
     }
 
     /// Shrinking descends into subexpressions, so counterexamples end up

@@ -99,6 +99,20 @@ impl IndexMap {
         }
     }
 
+    /// Conservative interval of each output coordinate when input `v_i`
+    /// ranges over `bounds[i] = (lo, hi)` inclusive — the image box of the
+    /// map over a box domain. Uses the saturating interval evaluation of
+    /// [`IndexExpr::interval`], so it never overflows silently; the static
+    /// bounds verifier uses this to prove every composed access (Eq. 2)
+    /// stays inside its buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a component references a variable outside `bounds`.
+    pub fn domain(&self, bounds: &[(i64, i64)]) -> Vec<(i64, i64)> {
+        self.exprs.iter().map(|e| e.interval(bounds)).collect()
+    }
+
     /// Whether every component is purely affine.
     pub fn is_affine(&self) -> bool {
         self.exprs.iter().all(IndexExpr::is_affine)
@@ -318,6 +332,23 @@ mod tests {
         let im = IndexMap::new(1, vec![IndexExpr::var(0).floor_div(2)]);
         assert!(!im.is_affine());
         assert!(im.as_matrix().is_none());
+    }
+
+    #[test]
+    fn domain_boxes_each_component() {
+        // (i, j) -> (2*i, -1*j + 3) over i in [0,4], j in [0,5].
+        let m = IndexMap::new(
+            2,
+            vec![
+                IndexExpr::var(0).mul(2),
+                IndexExpr::var(1).mul(-1).add(IndexExpr::constant(3)),
+            ],
+        );
+        assert_eq!(m.domain(&[(0, 4), (0, 5)]), vec![(0, 8), (-2, 3)]);
+        // Composition first (Eq. 2), then domain: image of the composed map.
+        let inner = IndexMap::new(1, vec![IndexExpr::var(0), IndexExpr::var(0)]);
+        let composed = m.compose(&inner);
+        assert_eq!(composed.domain(&[(0, 3)]), vec![(0, 6), (0, 3)]);
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! `souffle-verify`: run the static IR verifier over the paper's models
+//! at every pipeline stage and report the findings.
+//!
+//! ```sh
+//! souffle-verify [model ...] [--variant V0..V4] [--tiny] [--quiet]
+//! ```
+//!
+//! With no model arguments, all six frontend models are checked at paper
+//! scale. The exit code is non-zero iff any model produced an
+//! error-severity diagnostic, which makes this the CI gate for the
+//! verifier: every transformation stage of every model must prove clean.
+
+use souffle::{Souffle, SouffleOptions};
+use souffle_frontend::{build_model, Model, ModelConfig};
+use std::process::ExitCode;
+
+fn parse_model(name: &str) -> Option<Model> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "bert" => Model::Bert,
+        "resnext" => Model::ResNext,
+        "lstm" => Model::Lstm,
+        "efficientnet" | "effnet" => Model::EfficientNet,
+        "swin" => Model::SwinTransformer,
+        "mmoe" => Model::Mmoe,
+        _ => return None,
+    })
+}
+
+fn parse_variant(name: &str) -> Option<SouffleOptions> {
+    SouffleOptions::ablation()
+        .into_iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case(name))
+        .map(|(_, o)| o)
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: souffle-verify [bert|resnext|lstm|efficientnet|swin|mmoe ...] \
+         [--variant V0..V4] [--tiny] [--quiet]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut models: Vec<Model> = Vec::new();
+    let mut options = SouffleOptions::full();
+    let mut config = ModelConfig::Paper;
+    let mut quiet = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--variant" => {
+                i += 1;
+                let Some(v) = args.get(i).and_then(|v| parse_variant(v)) else {
+                    eprintln!("--variant expects V0..V4");
+                    return usage();
+                };
+                options = v;
+            }
+            "--tiny" => config = ModelConfig::Tiny,
+            "--quiet" => quiet = true,
+            arg => {
+                let Some(m) = parse_model(arg) else {
+                    eprintln!("unknown model: {arg}");
+                    return usage();
+                };
+                models.push(m);
+            }
+        }
+        i += 1;
+    }
+    if models.is_empty() {
+        models = Model::ALL.to_vec();
+    }
+    options.verify = true;
+    let souffle = Souffle::new(options);
+
+    let mut failed = false;
+    for model in models {
+        let program = build_model(model, config);
+        match souffle.compile_checked(&program) {
+            Ok(compiled) => {
+                let w = compiled.diagnostics.num_warnings();
+                println!(
+                    "{model}: ok — {} TEs, {} kernels, {w} warning(s), verify {:.1?}",
+                    compiled.program.num_tes(),
+                    compiled.num_kernels(),
+                    compiled.stats.verify_time,
+                );
+                if !quiet && w > 0 {
+                    print!("{}", souffle.report(&compiled));
+                }
+            }
+            Err(diags) => {
+                failed = true;
+                println!(
+                    "{model}: FAILED — {} error(s), {} warning(s)",
+                    diags.num_errors(),
+                    diags.num_warnings()
+                );
+                if !quiet {
+                    print!("{diags}");
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -63,3 +63,4 @@ pub use souffle_sched as sched;
 pub use souffle_te as te;
 pub use souffle_tensor as tensor;
 pub use souffle_transform as transform;
+pub use souffle_verify as verify;

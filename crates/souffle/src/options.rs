@@ -36,6 +36,14 @@ pub struct SouffleOptions {
     /// Recycle intermediate tensor buffers through the runtime's arena
     /// across TEs and across repeated `eval_reference` calls.
     pub eval_arena: bool,
+    /// Run the static verifier (`souffle-verify`) after every pipeline
+    /// stage: the frontend program, each TE transformation, and the
+    /// lowered kernels. Errors abort compilation
+    /// ([`crate::Souffle::compile_checked`] returns them; `compile`
+    /// panics with the rendered diagnostics); warnings are collected on
+    /// [`crate::Compiled::diagnostics`]. Defaults to on in debug builds
+    /// (and thus under `cargo test`), off in release builds.
+    pub verify: bool,
     /// The target device.
     pub spec: GpuSpec,
 }
@@ -52,6 +60,7 @@ impl SouffleOptions {
             evaluator: Evaluator::default(),
             eval_threads: None,
             eval_arena: true,
+            verify: cfg!(debug_assertions),
             spec: GpuSpec::a100(),
         }
     }

@@ -13,7 +13,9 @@ use souffle_te::{
 };
 use souffle_tensor::Tensor;
 use souffle_transform::{horizontal_fuse_program, vertical_fuse_program, TransformStats};
+use souffle_verify::Diagnostics;
 use std::collections::HashMap;
+use std::collections::HashSet;
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
@@ -33,12 +35,15 @@ pub struct CompileStats {
     pub transform_time: Duration,
     /// Wall time of lowering + subprogram optimization.
     pub codegen_time: Duration,
+    /// Wall time of the static verifier across all pipeline stages
+    /// (zero when [`crate::SouffleOptions::verify`] is off).
+    pub verify_time: Duration,
 }
 
 impl CompileStats {
     /// Total compilation wall time.
     pub fn total_time(&self) -> Duration {
-        self.analysis_time + self.transform_time + self.codegen_time
+        self.analysis_time + self.transform_time + self.codegen_time + self.verify_time
     }
 }
 
@@ -53,6 +58,10 @@ pub struct Compiled {
     pub kernels: Vec<Kernel>,
     /// Compilation statistics.
     pub stats: CompileStats,
+    /// Warning-severity verifier findings accumulated across pipeline
+    /// stages (empty when verification is off). Errors never land here —
+    /// they abort compilation.
+    pub diagnostics: Diagnostics,
 }
 
 impl Compiled {
@@ -140,10 +149,59 @@ impl Souffle {
         ExecPlan::with_levels_and_last_use(cp, &level_of, &last_use)
     }
 
-    /// Runs the full pipeline on a TE program.
+    /// Runs one verifier stage: times it, accumulates warnings into
+    /// `diags`, and fails with everything collected so far if the stage
+    /// found errors. No-op when verification is disabled.
+    fn verify_stage(
+        &self,
+        diags: &mut Diagnostics,
+        verify_time: &mut Duration,
+        run: impl FnOnce() -> Diagnostics,
+    ) -> Result<(), Diagnostics> {
+        if !self.options.verify {
+            return Ok(());
+        }
+        let t = Instant::now();
+        let found = run();
+        *verify_time += t.elapsed();
+        let fail = found.has_errors();
+        diags.merge(found);
+        if fail {
+            Err(std::mem::take(diags))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Runs the full pipeline on a TE program, panicking if the static
+    /// verifier rejects any stage's output. Use
+    /// [`Souffle::compile_checked`] to receive the diagnostics instead.
     pub fn compile(&self, program: &TeProgram) -> Compiled {
+        match self.compile_checked(program) {
+            Ok(compiled) => compiled,
+            Err(diags) => panic!("souffle-verify rejected the pipeline:\n{diags}"),
+        }
+    }
+
+    /// Runs the full pipeline on a TE program, re-verifying the IR after
+    /// every stage (frontend input, horizontal fusion, vertical fusion,
+    /// schedule merging, kernel lowering) when
+    /// [`crate::SouffleOptions::verify`] is set.
+    ///
+    /// # Errors
+    ///
+    /// Returns all diagnostics collected up to and including the first
+    /// stage with an error-severity finding. Warnings alone never fail;
+    /// they end up on [`Compiled::diagnostics`].
+    pub fn compile_checked(&self, program: &TeProgram) -> Result<Compiled, Diagnostics> {
         let mut stats = CompileStats::default();
+        let mut diags = Diagnostics::new();
+        let mut vt = Duration::ZERO;
         let spec = &self.options.spec;
+
+        self.verify_stage(&mut diags, &mut vt, || {
+            souffle_verify::verify_program_stage(program, "frontend")
+        })?;
 
         // --- Semantic-preserving TE transformations (§6.1, §6.2) ---
         let t0 = Instant::now();
@@ -152,11 +210,17 @@ impl Souffle {
             let (p, s) = horizontal_fuse_program(&transformed);
             transformed = p;
             stats.transform.horizontal_groups = s.horizontal_groups;
+            self.verify_stage(&mut diags, &mut vt, || {
+                souffle_verify::verify_program_stage(&transformed, "horizontal")
+            })?;
         }
         if self.options.vertical {
             let (p, s) = vertical_fuse_program(&transformed);
             transformed = p;
             stats.transform.vertical_fused = s.vertical_fused;
+            self.verify_stage(&mut diags, &mut vt, || {
+                souffle_verify::verify_program_stage(&transformed, "vertical")
+            })?;
         }
         stats.transform.tes_before = program.num_tes();
         stats.transform.tes_after = transformed.num_tes();
@@ -183,6 +247,9 @@ impl Souffle {
             let ctx = StrategyContext::new(&transformed, spec);
             AnsorStrategy.compile(&ctx).kernels
         };
+        self.verify_stage(&mut diags, &mut vt, || {
+            souffle_verify::verify_kernels_stage(&transformed, &kernels, "schedule-merge")
+        })?;
         if self.options.subprogram_opts {
             // Each block caches its tile of reused buffers; capacity
             // defaults to the device-wide shared memory.
@@ -198,15 +265,59 @@ impl Souffle {
                 let p = pipeline_pass(k);
                 stats.pipeline.stages_pipelined += p.stages_pipelined;
             }
+            self.verify_stage(&mut diags, &mut vt, || {
+                souffle_verify::verify_kernels_stage(&transformed, &kernels, "kernel-lowering")
+            })?;
         }
         stats.codegen_time = t2.elapsed();
+        stats.verify_time = vt;
 
-        Compiled {
+        Ok(Compiled {
             program: transformed,
             analysis,
             kernels,
             stats,
+            diagnostics: diags,
+        })
+    }
+
+    /// Renders a human-readable compilation report: kernel/TE counts,
+    /// per-stage timing (including verifier overhead), and the verifier's
+    /// warnings deduplicated across stages (the same dead TE re-appears at
+    /// every stage it survives).
+    pub fn report(&self, compiled: &Compiled) -> String {
+        use std::fmt::Write as _;
+        let s = &compiled.stats;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "compiled {} TEs -> {} kernels",
+            compiled.program.num_tes(),
+            compiled.num_kernels()
+        );
+        let _ = writeln!(
+            out,
+            "  transform {:?}  analysis {:?}  codegen {:?}  verify {:?}  (total {:?})",
+            s.transform_time,
+            s.analysis_time,
+            s.codegen_time,
+            s.verify_time,
+            s.total_time()
+        );
+        let mut seen = HashSet::new();
+        for d in compiled.diagnostics.warnings() {
+            if seen.insert((d.code, d.loc.clone(), d.message.clone())) {
+                let _ = writeln!(
+                    out,
+                    "  {}[{}] {}: {}",
+                    d.severity(),
+                    d.code,
+                    d.loc,
+                    d.message
+                );
+            }
         }
+        out
     }
 
     /// Executes a compiled model on the simulated A100.
@@ -554,6 +665,78 @@ mod tests {
         }
         let stats = pooled.runtime().arena_stats();
         assert!(stats.reused > 0, "arena must recycle buffers: {stats:?}");
+    }
+
+    #[test]
+    fn verifier_is_clean_on_fig2_at_every_stage() {
+        let p = fig2_program();
+        for (name, mut opts) in SouffleOptions::ablation() {
+            opts.verify = true;
+            let compiled = Souffle::new(opts).compile_checked(&p).unwrap();
+            assert!(
+                !compiled.diagnostics.has_errors(),
+                "{name}: {}",
+                compiled.diagnostics
+            );
+            assert_eq!(compiled.diagnostics.num_warnings(), 0, "{name}");
+            assert!(compiled.stats.verify_time > Duration::ZERO, "{name}");
+        }
+    }
+
+    #[test]
+    fn compile_checked_rejects_oob_program_at_frontend() {
+        use souffle_te::ScalarExpr;
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4]), DType::F32);
+        let out = p.add_tensor(
+            "o",
+            Shape::new(vec![4]),
+            DType::F32,
+            souffle_te::TensorKind::Output,
+        );
+        p.push_te(souffle_te::TensorExpr {
+            name: "o".into(),
+            output: out,
+            inputs: vec![a],
+            reduce: vec![],
+            reduce_op: None,
+            body: ScalarExpr::input(
+                0,
+                vec![souffle_affine::IndexExpr::var(0).add(souffle_affine::IndexExpr::constant(4))],
+            ),
+        });
+        let mut opts = SouffleOptions::full();
+        opts.verify = true;
+        let err = Souffle::new(opts).compile_checked(&p).unwrap_err();
+        assert!(err.has_code(souffle_verify::Code::OobAccess), "{err}");
+        assert!(err.iter().any(|d| d.stage.as_deref() == Some("frontend")));
+    }
+
+    #[test]
+    fn report_surfaces_lint_warnings_once() {
+        let mut p = fig2_program();
+        let dead_src = p.add_input("X", Shape::new(vec![8]), DType::F32);
+        let _dead = builders::exp(&mut p, "dead", dead_src);
+        let mut opts = SouffleOptions::full();
+        opts.verify = true;
+        let souffle = Souffle::new(opts);
+        let compiled = souffle.compile(&p);
+        assert!(compiled.diagnostics.has_code(souffle_verify::Code::DeadTe));
+        let report = souffle.report(&compiled);
+        assert!(report.contains("warning[SV201]"), "{report}");
+        // The same dead TE survives every stage, but the report
+        // deduplicates it to one line.
+        assert_eq!(report.matches("SV201").count(), 1, "{report}");
+        assert!(report.contains("kernels"), "{report}");
+    }
+
+    #[test]
+    fn verify_off_skips_verification() {
+        let mut opts = SouffleOptions::full();
+        opts.verify = false;
+        let compiled = Souffle::new(opts).compile(&fig2_program());
+        assert_eq!(compiled.stats.verify_time, Duration::ZERO);
+        assert!(compiled.diagnostics.is_empty());
     }
 
     #[test]

@@ -34,11 +34,19 @@ pub enum EvalError {
         name: String,
     },
     /// A taken branch performed an out-of-bounds read.
+    ///
+    /// Carries the evaluated index vector and the buffer shape so dynamic
+    /// failures pinpoint the escaping access exactly like the static
+    /// verifier's diagnostics do.
     OutOfBounds {
         /// The TE at fault (by name).
         te: String,
         /// The operand read.
         operand: usize,
+        /// The evaluated index vector of the failing access.
+        index: Vec<i64>,
+        /// The shape of the buffer the access escaped.
+        shape: Vec<i64>,
     },
 }
 
@@ -51,8 +59,16 @@ impl fmt::Display for EvalError {
             EvalError::ShapeMismatch { tensor, name } => {
                 write!(f, "tensor {tensor} (\"{name}\") bound with wrong shape")
             }
-            EvalError::OutOfBounds { te, operand } => {
-                write!(f, "TE \"{te}\": out-of-bounds read of operand {operand}")
+            EvalError::OutOfBounds {
+                te,
+                operand,
+                index,
+                shape,
+            } => {
+                write!(
+                    f,
+                    "TE \"{te}\": out-of-bounds read of operand {operand} at index {index:?}, shape {shape:?}"
+                )
             }
         }
     }
@@ -167,6 +183,8 @@ fn eval_scalar(
                 return Err(EvalError::OutOfBounds {
                     te: te_name.to_string(),
                     operand: *operand,
+                    index: idx,
+                    shape: t.shape().dims().to_vec(),
                 });
             }
             t.at(&idx)

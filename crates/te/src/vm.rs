@@ -251,13 +251,13 @@ fn run_body(
             Instr::LoadGeneric { dst, access } => {
                 let g = &te.generic[*access as usize];
                 if g.indices.len() != g.dims.len() {
-                    return Err(oob(te, g.operand));
+                    return Err(oob(te, g, vars));
                 }
                 let mut flat = 0i64;
                 for (idx, &d) in g.indices.iter().zip(&g.dims) {
                     let i = idx.eval(vars);
                     if !(0..d).contains(&i) {
-                        return Err(oob(te, g.operand));
+                        return Err(oob(te, g, vars));
                     }
                     flat = flat * d + i;
                 }
@@ -289,10 +289,15 @@ fn run_body(
     Ok(regs[te.result as usize])
 }
 
-fn oob(te: &CompiledTe, operand: usize) -> EvalError {
+/// Builds the structured out-of-bounds error for a failing generic access:
+/// the full evaluated index vector plus the buffer shape, matching the
+/// naive interpreter's error bit for bit.
+fn oob(te: &CompiledTe, g: &crate::compile::GenericAccess, vars: &[i64]) -> EvalError {
     EvalError::OutOfBounds {
         te: te.name.clone(),
-        operand,
+        operand: g.operand,
+        index: g.indices.iter().map(|e| e.eval(vars)).collect(),
+        shape: g.dims.clone(),
     }
 }
 

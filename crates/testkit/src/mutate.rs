@@ -1,0 +1,265 @@
+//! Fault injection for verifier testing.
+//!
+//! A verifier is only trustworthy if it provably *rejects* broken IR, so
+//! this module manufactures known-bad variants of well-formed programs and
+//! kernels — each [`Fault`] maps to the exact diagnostic code
+//! (`souffle_verify::Code`) the verifier must emit for it. Property tests
+//! inject a fault into a randomly generated program and assert the
+//! expected code comes back; if the verifier ever goes blind to a fault
+//! class, the differential pair (clean passes / mutant fails) catches it.
+
+use souffle_affine::IndexExpr;
+use souffle_kernel::{Instr, Kernel};
+use souffle_te::{ScalarExpr, TeProgram, TensorExpr, TensorId};
+use souffle_verify::Code;
+
+/// One class of injected defect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Offsets an unguarded affine access by the operand's axis-0 extent,
+    /// pushing its interval past the buffer.
+    OobOffset,
+    /// Swaps a producer TE after one of its consumers, breaking
+    /// topological order.
+    SwapDependentTes,
+    /// Removes the first grid-wide sync from a lowered kernel, leaving a
+    /// cross-stage producer→consumer pair unordered.
+    DropGridSync,
+}
+
+impl Fault {
+    /// Every program-level fault (injectable via [`inject_program_fault`]).
+    pub const PROGRAM: [Fault; 2] = [Fault::OobOffset, Fault::SwapDependentTes];
+
+    /// The diagnostic code the verifier must report for this fault.
+    pub fn expected_code(self) -> Code {
+        match self {
+            Fault::OobOffset => Code::OobAccess,
+            Fault::SwapDependentTes => Code::UseBeforeDef,
+            Fault::DropGridSync => Code::MissingGridSync,
+        }
+    }
+}
+
+/// Rebuilds `program`'s tensor table with a replacement TE list (the TE
+/// list itself is immutable through the public API).
+fn rebuild(program: &TeProgram, tes: Vec<TensorExpr>) -> TeProgram {
+    let mut p = TeProgram::new();
+    for t in program.tensors() {
+        p.add_tensor(&t.name, t.shape.clone(), t.dtype, t.kind);
+    }
+    for te in tes {
+        p.push_te(te);
+    }
+    p
+}
+
+/// Injects `fault` into a copy of `program`. Returns `None` when the
+/// program has no site for the fault (e.g. no unguarded access, no
+/// dependent TE pair) — callers skip such programs.
+pub fn inject_program_fault(program: &TeProgram, fault: Fault) -> Option<TeProgram> {
+    match fault {
+        Fault::OobOffset => inject_oob_offset(program),
+        Fault::SwapDependentTes => swap_dependent_tes(program),
+        Fault::DropGridSync => None, // kernel-level: use [`drop_grid_sync`]
+    }
+}
+
+fn inject_oob_offset(program: &TeProgram) -> Option<TeProgram> {
+    let mut tes: Vec<TensorExpr> = program.tes().to_vec();
+    for te in &mut tes {
+        let mut done = false;
+        let body = bump_first_access(&te.body, &te.inputs, program, false, &mut done);
+        if done {
+            te.body = body;
+            return Some(rebuild(program, tes));
+        }
+    }
+    None
+}
+
+/// Rewrites the first unguarded `Input` access, adding the operand's
+/// axis-0 extent to its first index so the interval escapes the buffer.
+/// Select subtrees are left alone: guarded accesses are legal padding and
+/// the static checker deliberately skips them.
+fn bump_first_access(
+    body: &ScalarExpr,
+    inputs: &[TensorId],
+    program: &TeProgram,
+    guarded: bool,
+    done: &mut bool,
+) -> ScalarExpr {
+    if *done {
+        return body.clone();
+    }
+    match body {
+        ScalarExpr::Input { operand, indices } if !guarded && !indices.is_empty() => {
+            let Some(&tid) = inputs.get(*operand) else {
+                return body.clone();
+            };
+            let extent = program.tensor(tid).shape.dim(0);
+            *done = true;
+            let mut idx = indices.clone();
+            idx[0] = idx[0].clone().add(IndexExpr::constant(extent));
+            ScalarExpr::Input {
+                operand: *operand,
+                indices: idx,
+            }
+        }
+        ScalarExpr::Unary(op, a) => ScalarExpr::Unary(
+            *op,
+            Box::new(bump_first_access(a, inputs, program, guarded, done)),
+        ),
+        ScalarExpr::Binary(op, a, b) => {
+            let a = bump_first_access(a, inputs, program, guarded, done);
+            let b = bump_first_access(b, inputs, program, guarded, done);
+            ScalarExpr::Binary(*op, Box::new(a), Box::new(b))
+        }
+        _ => body.clone(),
+    }
+}
+
+fn swap_dependent_tes(program: &TeProgram) -> Option<TeProgram> {
+    let tes = program.tes();
+    for i in 0..tes.len() {
+        for j in i + 1..tes.len() {
+            if tes[j].inputs.contains(&tes[i].output) {
+                let mut swapped = tes.to_vec();
+                swapped.swap(i, j);
+                return Some(rebuild(program, swapped));
+            }
+        }
+    }
+    None
+}
+
+/// Removes the first `GridSync` instruction from `kernels`. Returns `None`
+/// when no kernel synchronizes (nothing to break).
+pub fn drop_grid_sync(kernels: &[Kernel]) -> Option<Vec<Kernel>> {
+    let mut out = kernels.to_vec();
+    for k in &mut out {
+        for s in &mut k.stages {
+            if let Some(pos) = s.instrs.iter().position(|i| matches!(i, Instr::GridSync)) {
+                s.instrs.remove(pos);
+                return Some(out);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::teprog::gen_spec;
+    use crate::Rng;
+    use souffle_te::builders;
+    use souffle_tensor::{DType, Shape};
+    use souffle_verify::{verify_kernels, verify_program};
+
+    fn chain() -> TeProgram {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![8, 8]), DType::F32);
+        let e = builders::exp(&mut p, "e", a);
+        let r = builders::relu(&mut p, "r", e);
+        p.mark_output(r);
+        p
+    }
+
+    #[test]
+    fn oob_offset_trips_sv010_and_only_on_the_mutant() {
+        let p = chain();
+        assert!(!verify_program(&p).has_errors());
+        let bad = inject_program_fault(&p, Fault::OobOffset).unwrap();
+        let d = verify_program(&bad);
+        assert!(d.has_code(Code::OobAccess), "{d}");
+    }
+
+    #[test]
+    fn swap_trips_sv001() {
+        let p = chain();
+        let bad = inject_program_fault(&p, Fault::SwapDependentTes).unwrap();
+        let d = verify_program(&bad);
+        assert!(d.has_code(Code::UseBeforeDef), "{d}");
+    }
+
+    #[test]
+    fn swap_needs_a_dependent_pair() {
+        // Two independent TEs: no producer→consumer pair to swap.
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4]), DType::F32);
+        let b = p.add_input("B", Shape::new(vec![4]), DType::F32);
+        let x = builders::exp(&mut p, "x", a);
+        let y = builders::relu(&mut p, "y", b);
+        p.mark_output(x);
+        p.mark_output(y);
+        assert!(inject_program_fault(&p, Fault::SwapDependentTes).is_none());
+    }
+
+    #[test]
+    fn drop_grid_sync_trips_sv101() {
+        use souffle_kernel::Stage;
+        let p = chain();
+        let e = p.te(souffle_te::TeId(0)).output;
+        let r = p.te(souffle_te::TeId(1)).output;
+        let k = Kernel {
+            name: "k".into(),
+            stages: vec![
+                Stage {
+                    te: souffle_te::TeId(0),
+                    name: "e".into(),
+                    grid_blocks: 1,
+                    threads_per_block: 64,
+                    shared_mem_bytes: 0,
+                    regs_per_thread: 32,
+                    instrs: vec![Instr::StGlobal {
+                        tensor: e,
+                        bytes: 256,
+                    }],
+                    pipelined: false,
+                },
+                Stage {
+                    te: souffle_te::TeId(1),
+                    name: "r".into(),
+                    grid_blocks: 1,
+                    threads_per_block: 64,
+                    shared_mem_bytes: 0,
+                    regs_per_thread: 32,
+                    instrs: vec![
+                        Instr::GridSync,
+                        Instr::LdGlobal {
+                            tensor: e,
+                            bytes: 256,
+                        },
+                        Instr::StGlobal {
+                            tensor: r,
+                            bytes: 256,
+                        },
+                    ],
+                    pipelined: false,
+                },
+            ],
+        };
+        assert!(!verify_kernels(&p, std::slice::from_ref(&k)).has_errors());
+        let broken = drop_grid_sync(&[k]).unwrap();
+        let d = verify_kernels(&p, &broken);
+        assert!(d.has_code(Code::MissingGridSync), "{d}");
+    }
+
+    #[test]
+    fn generated_programs_accept_oob_injection() {
+        let mut rng = Rng::new(0xDEAD);
+        let mut injected = 0;
+        for _ in 0..50 {
+            let p = gen_spec(&mut rng, 8).build();
+            if let Some(bad) = inject_program_fault(&p, Fault::OobOffset) {
+                injected += 1;
+                assert!(
+                    verify_program(&bad).has_code(Code::OobAccess),
+                    "mutant escaped the verifier"
+                );
+            }
+        }
+        assert!(injected > 40, "only {injected}/50 programs had a site");
+    }
+}

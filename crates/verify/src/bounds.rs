@@ -1,0 +1,205 @@
+//! Pass 2: affine bounds analysis.
+//!
+//! Evaluates every unguarded quasi-affine access of every TE over the box
+//! domain of its index space (saturating interval arithmetic, see
+//! [`souffle_affine::IndexExpr::interval`]) and reports accesses that
+//! cannot be proven in-bounds. Accesses nested under a `Select` guard are
+//! runtime padding checks — legal out-of-bounds by construction — and are
+//! skipped, matching the interpreter's lazy branch evaluation.
+//!
+//! Because the pass runs after every pipeline stage, it re-proves safety
+//! of indices produced by vertical composition (`IndexMap::compose`,
+//! Eq. 2 of the paper): a composed access is just another quasi-affine
+//! expression over the consumer's iteration space.
+
+use crate::diag::{Code, Diagnostics, Loc};
+use souffle_te::{ScalarExpr, TeProgram};
+
+pub(crate) fn check(program: &TeProgram, diags: &mut Diagnostics) {
+    for te_id in program.te_ids() {
+        let te = program.te(te_id);
+        let Some(out_info) = program.tensors().get(te.output.0) else {
+            continue; // reported by the well-formedness pass
+        };
+        // Iteration variables range over the output box, then the
+        // reduction box.
+        let mut var_bounds: Vec<(i64, i64)> = out_info
+            .shape
+            .dims()
+            .iter()
+            .chain(te.reduce.iter())
+            .map(|&b| (0, b - 1))
+            .collect();
+        // Degenerate extents (caught as SV007/SV008) would make the box
+        // empty; clamp so interval() stays meaningful.
+        for b in &mut var_bounds {
+            if b.1 < b.0 {
+                b.1 = b.0;
+            }
+        }
+        let loc = Loc::Te {
+            te: te_id,
+            name: te.name.clone(),
+        };
+        walk(program, te_id, &te.body, &var_bounds, false, &loc, diags);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk(
+    program: &TeProgram,
+    te_id: souffle_te::TeId,
+    body: &ScalarExpr,
+    var_bounds: &[(i64, i64)],
+    guarded: bool,
+    loc: &Loc,
+    diags: &mut Diagnostics,
+) {
+    match body {
+        ScalarExpr::Const(_) | ScalarExpr::IndexValue(_) => {}
+        ScalarExpr::Input { operand, indices } => {
+            if guarded {
+                return; // runtime-checked padding access
+            }
+            let te = program.te(te_id);
+            let Some(&tensor_id) = te.inputs.get(*operand) else {
+                return; // reported by the well-formedness pass
+            };
+            let Some(t) = program.tensors().get(tensor_id.0) else {
+                return;
+            };
+            if indices.len() != t.shape.rank() {
+                return; // SV004 already reported
+            }
+            for (axis, idx) in indices.iter().enumerate() {
+                if idx.max_var().is_some_and(|v| v >= var_bounds.len()) {
+                    continue; // SV005 already reported
+                }
+                let (lo, hi) = idx.interval(var_bounds);
+                let extent = t.shape.dim(axis);
+                if lo < 0 || hi >= extent {
+                    diags.push(
+                        Code::OobAccess,
+                        loc.clone(),
+                        format!(
+                            "unguarded access to operand {operand} ({tensor_id} `{}`) axis \
+                             {axis} spans ({lo}, {hi}), extent {extent}",
+                            t.name
+                        ),
+                    );
+                }
+            }
+        }
+        ScalarExpr::Unary(_, a) => walk(program, te_id, a, var_bounds, guarded, loc, diags),
+        ScalarExpr::Binary(_, a, b) => {
+            walk(program, te_id, a, var_bounds, guarded, loc, diags);
+            walk(program, te_id, b, var_bounds, guarded, loc, diags);
+        }
+        ScalarExpr::Select {
+            on_true, on_false, ..
+        } => {
+            walk(program, te_id, on_true, var_bounds, true, loc, diags);
+            walk(program, te_id, on_false, var_bounds, true, loc, diags);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use souffle_affine::IndexExpr;
+    use souffle_te::{builders, CmpOp, Cond, ScalarExpr, TensorExpr, TensorKind};
+    use souffle_tensor::{DType, Shape};
+
+    fn run(p: &TeProgram) -> Diagnostics {
+        let mut d = Diagnostics::new();
+        check(p, &mut d);
+        d
+    }
+
+    #[test]
+    fn in_bounds_program_is_clean() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![8, 16]), DType::F16);
+        let w = p.add_weight("W", Shape::new(vec![16, 8]), DType::F16);
+        let m = builders::matmul(&mut p, "mm", a, w);
+        p.mark_output(m);
+        assert!(run(&p).is_empty());
+    }
+
+    #[test]
+    fn constant_offset_past_extent_is_flagged() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4]), DType::F32);
+        let out = p.add_tensor("o", Shape::new(vec![4]), DType::F32, TensorKind::Output);
+        p.push_te(TensorExpr {
+            name: "o".into(),
+            output: out,
+            inputs: vec![a],
+            reduce: vec![],
+            reduce_op: None,
+            // A[v0 + 4]: spans (4, 7) against extent 4.
+            body: ScalarExpr::input(0, vec![IndexExpr::var(0).add(IndexExpr::constant(4))]),
+        });
+        let d = run(&p);
+        assert!(d.has_code(Code::OobAccess), "{d}");
+        let msg = &d.iter().next().unwrap().message;
+        assert!(msg.contains("spans (4, 7), extent 4"), "{msg}");
+    }
+
+    #[test]
+    fn negative_stride_underflow_is_flagged() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4]), DType::F32);
+        let out = p.add_tensor("o", Shape::new(vec![4]), DType::F32, TensorKind::Output);
+        p.push_te(TensorExpr {
+            name: "o".into(),
+            output: out,
+            inputs: vec![a],
+            reduce: vec![],
+            reduce_op: None,
+            // A[v0 - 1]: spans (-1, 2).
+            body: ScalarExpr::input(0, vec![IndexExpr::var(0).sub(IndexExpr::constant(1))]),
+        });
+        assert!(run(&p).has_code(Code::OobAccess));
+    }
+
+    #[test]
+    fn select_guarded_padding_access_is_skipped() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4]), DType::F32);
+        let out = p.add_tensor("pad", Shape::new(vec![8]), DType::F32, TensorKind::Output);
+        // pad[i] = i < 4 ? A[i] : 0 — the access escapes for i in 4..8 but
+        // is guarded, exactly the frontend's padding idiom.
+        p.push_te(TensorExpr {
+            name: "pad".into(),
+            output: out,
+            inputs: vec![a],
+            reduce: vec![],
+            reduce_op: None,
+            body: ScalarExpr::select(
+                Cond::cmp(CmpOp::Lt, IndexExpr::var(0), IndexExpr::constant(4)),
+                ScalarExpr::input(0, vec![IndexExpr::var(0)]),
+                ScalarExpr::Const(0.0),
+            ),
+        });
+        assert!(run(&p).is_empty());
+    }
+
+    #[test]
+    fn reduction_vars_use_reduce_extents() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4, 7]), DType::F32);
+        let out = p.add_tensor("s", Shape::new(vec![4]), DType::F32, TensorKind::Output);
+        p.push_te(TensorExpr {
+            name: "s".into(),
+            output: out,
+            inputs: vec![a],
+            reduce: vec![8], // one past A's axis-1 extent
+            reduce_op: Some(souffle_te::ReduceOp::Sum),
+            body: ScalarExpr::input(0, vec![IndexExpr::var(0), IndexExpr::var(1)]),
+        });
+        let d = run(&p);
+        assert!(d.has_code(Code::OobAccess), "{d}");
+    }
+}

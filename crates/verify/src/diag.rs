@@ -1,0 +1,383 @@
+//! Structured diagnostics: stable error codes, severities, locations, and
+//! a renderable collection.
+
+use souffle_te::{TeId, TensorId};
+use std::fmt;
+
+/// How serious a diagnostic is.
+///
+/// `Error` means the IR violates an invariant the pipeline relies on
+/// (compiling further is meaningless); `Warning` flags suspicious but
+/// well-defined programs (dead code, unused bindings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but well-defined; compilation proceeds.
+    Warning,
+    /// Invariant violation; the IR must not be lowered further.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Stable diagnostic codes.
+///
+/// The numbering is part of the tool's interface (tests and CI match on
+/// it): `SV0xx` = TE-program structure and bounds, `SV1xx` = merged-kernel
+/// safety, `SV2xx` = lints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Code {
+    /// SV001: a TE reads a tensor defined later in the program.
+    UseBeforeDef,
+    /// SV002: a tensor is defined more than once (two TEs, or a TE
+    /// defining a caller-bound input/weight).
+    MultipleProducers,
+    /// SV003: a body access names an operand slot with no backing tensor.
+    BadOperand,
+    /// SV004: an access has the wrong number of index expressions for the
+    /// tensor's rank.
+    RankMismatch,
+    /// SV005: the body references an index variable outside
+    /// `0..rank+reduce_rank`.
+    VarOutOfRange,
+    /// SV006: reduction axes and the reduce combinator disagree.
+    ReduceMismatch,
+    /// SV007: a reduction axis has a non-positive extent.
+    BadReduceExtent,
+    /// SV008: a tensor's shape has a non-positive extent (empty iteration
+    /// or data space).
+    BadShape,
+    /// SV010: interval analysis cannot prove an unguarded access stays
+    /// inside its buffer.
+    OobAccess,
+    /// SV101: a stage reads a tensor written by an earlier stage of the
+    /// same kernel with no grid sync in between.
+    MissingGridSync,
+    /// SV102: two stages write the same tensor with no grid sync in
+    /// between.
+    WriteRace,
+    /// SV201: a TE's output never (transitively) reaches a program output.
+    DeadTe,
+    /// SV202: a caller-bound input or weight is never read.
+    UnusedInput,
+    /// SV203: two tensors share a name (shadowing in reports and traces).
+    DuplicateName,
+}
+
+impl Code {
+    /// Every code, in numbering order (drives the documentation table and
+    /// exhaustiveness tests).
+    pub const ALL: [Code; 14] = [
+        Code::UseBeforeDef,
+        Code::MultipleProducers,
+        Code::BadOperand,
+        Code::RankMismatch,
+        Code::VarOutOfRange,
+        Code::ReduceMismatch,
+        Code::BadReduceExtent,
+        Code::BadShape,
+        Code::OobAccess,
+        Code::MissingGridSync,
+        Code::WriteRace,
+        Code::DeadTe,
+        Code::UnusedInput,
+        Code::DuplicateName,
+    ];
+
+    /// The stable code string, e.g. `"SV010"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::UseBeforeDef => "SV001",
+            Code::MultipleProducers => "SV002",
+            Code::BadOperand => "SV003",
+            Code::RankMismatch => "SV004",
+            Code::VarOutOfRange => "SV005",
+            Code::ReduceMismatch => "SV006",
+            Code::BadReduceExtent => "SV007",
+            Code::BadShape => "SV008",
+            Code::OobAccess => "SV010",
+            Code::MissingGridSync => "SV101",
+            Code::WriteRace => "SV102",
+            Code::DeadTe => "SV201",
+            Code::UnusedInput => "SV202",
+            Code::DuplicateName => "SV203",
+        }
+    }
+
+    /// The fixed severity of this code.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::DeadTe | Code::UnusedInput | Code::DuplicateName => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What a diagnostic points at.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Loc {
+    /// The program as a whole.
+    Program,
+    /// One tensor expression.
+    Te {
+        /// Its id in the program.
+        te: TeId,
+        /// Its human-readable name.
+        name: String,
+    },
+    /// One tensor.
+    Tensor {
+        /// Its id in the program.
+        tensor: TensorId,
+        /// Its human-readable name.
+        name: String,
+    },
+    /// One instruction of a lowered kernel.
+    Instr {
+        /// The kernel's name.
+        kernel: String,
+        /// Stage index within the kernel.
+        stage: usize,
+        /// Instruction index within the stage.
+        instr: usize,
+    },
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Loc::Program => f.write_str("program"),
+            Loc::Te { te, name } => write!(f, "{te} `{name}`"),
+            Loc::Tensor { tensor, name } => write!(f, "{tensor} `{name}`"),
+            Loc::Instr {
+                kernel,
+                stage,
+                instr,
+            } => write!(f, "kernel `{kernel}` stage {stage} instr {instr}"),
+        }
+    }
+}
+
+/// One finding: a code, a location, a human-readable message, and the
+/// pipeline stage whose output it was found in (when known).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: Code,
+    /// What the diagnostic points at.
+    pub loc: Loc,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Pipeline stage label (`"frontend"`, `"vertical"`, …), if tagged.
+    pub stage: Option<String>,
+}
+
+impl Diagnostic {
+    /// The severity of this diagnostic (fixed per code).
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity(), self.code)?;
+        if let Some(stage) = &self.stage {
+            write!(f, " ({stage})")?;
+        }
+        write!(f, " {}: {}", self.loc, self.message)
+    }
+}
+
+/// An ordered collection of diagnostics, as produced by one or more
+/// verifier passes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Diagnostics {
+    diags: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// An empty collection.
+    pub fn new() -> Self {
+        Diagnostics::default()
+    }
+
+    /// Records a finding.
+    pub fn push(&mut self, code: Code, loc: Loc, message: impl Into<String>) {
+        self.diags.push(Diagnostic {
+            code,
+            loc,
+            message: message.into(),
+            stage: None,
+        });
+    }
+
+    /// Tags every not-yet-tagged diagnostic with a pipeline stage label.
+    pub fn tag_stage(&mut self, stage: &str) {
+        for d in &mut self.diags {
+            if d.stage.is_none() {
+                d.stage = Some(stage.to_string());
+            }
+        }
+    }
+
+    /// Appends all of `other`'s diagnostics.
+    pub fn merge(&mut self, other: Diagnostics) {
+        self.diags.extend(other.diags);
+    }
+
+    /// All diagnostics in discovery order.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diags.iter()
+    }
+
+    /// Error-severity diagnostics only.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.iter().filter(|d| d.severity() == Severity::Error)
+    }
+
+    /// Warning-severity diagnostics only.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.iter().filter(|d| d.severity() == Severity::Warning)
+    }
+
+    /// Number of error-severity diagnostics.
+    pub fn num_errors(&self) -> usize {
+        self.errors().count()
+    }
+
+    /// Number of warning-severity diagnostics.
+    pub fn num_warnings(&self) -> usize {
+        self.warnings().count()
+    }
+
+    /// Whether any error-severity diagnostic was recorded.
+    pub fn has_errors(&self) -> bool {
+        self.errors().next().is_some()
+    }
+
+    /// Whether a diagnostic with the given code was recorded.
+    pub fn has_code(&self, code: Code) -> bool {
+        self.iter().any(|d| d.code == code)
+    }
+
+    /// Total number of diagnostics.
+    pub fn len(&self) -> usize {
+        self.diags.len()
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Renders every diagnostic, one per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diags {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_numbered_by_family() {
+        let mut seen = std::collections::HashSet::new();
+        for c in Code::ALL {
+            assert!(seen.insert(c.as_str()), "duplicate code {c}");
+            assert!(c.as_str().starts_with("SV"));
+            let family = &c.as_str()[2..3];
+            match c.severity() {
+                Severity::Warning => assert_eq!(family, "2", "{c}"),
+                Severity::Error => assert!(family == "0" || family == "1", "{c}"),
+            }
+        }
+    }
+
+    #[test]
+    fn render_includes_severity_code_stage_and_loc() {
+        let mut d = Diagnostics::new();
+        d.push(
+            Code::OobAccess,
+            Loc::Te {
+                te: TeId(3),
+                name: "op3".into(),
+            },
+            "axis 0 spans (0, 9), extent 4",
+        );
+        d.push(
+            Code::DeadTe,
+            Loc::Te {
+                te: TeId(1),
+                name: "dead".into(),
+            },
+            "output never reaches a program output",
+        );
+        d.tag_stage("vertical");
+        let s = d.render();
+        assert!(
+            s.contains("error[SV010] (vertical) TE3 `op3`: axis 0"),
+            "{s}"
+        );
+        assert!(s.contains("warning[SV201]"), "{s}");
+        assert_eq!(d.num_errors(), 1);
+        assert_eq!(d.num_warnings(), 1);
+        assert!(d.has_errors());
+        assert!(d.has_code(Code::DeadTe));
+        assert!(!d.has_code(Code::WriteRace));
+    }
+
+    #[test]
+    fn merge_preserves_order_and_tags() {
+        let mut a = Diagnostics::new();
+        a.push(Code::UseBeforeDef, Loc::Program, "x");
+        a.tag_stage("frontend");
+        let mut b = Diagnostics::new();
+        b.push(Code::WriteRace, Loc::Program, "y");
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.iter().next().unwrap().stage.as_deref(), Some("frontend"));
+        // tag_stage only fills empty stages.
+        a.tag_stage("kernel-lowering");
+        let stages: Vec<_> = a.iter().map(|d| d.stage.clone().unwrap()).collect();
+        assert_eq!(stages, vec!["frontend", "kernel-lowering"]);
+    }
+
+    #[test]
+    fn loc_display_formats() {
+        assert_eq!(Loc::Program.to_string(), "program");
+        assert_eq!(
+            Loc::Instr {
+                kernel: "subprogram_0".into(),
+                stage: 1,
+                instr: 0
+            }
+            .to_string(),
+            "kernel `subprogram_0` stage 1 instr 0"
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Pass 4: dead-code lints (warnings).
+//!
+//! * `SV201` — a TE whose output never (transitively) feeds a program
+//!   output: computed then thrown away.
+//! * `SV202` — a caller-bound input or weight no TE ever reads.
+//!
+//! Both are warnings: the program is well-defined, but dead work usually
+//! means a fusion or pruning pass went wrong (or a model was built with
+//! vestigial operands), and it skews the cost model's FLOP/byte counts.
+//!
+//! Liveness is a single backward sweep from the program outputs over the
+//! TE list, so the pass stays linear even on the LSTM's unrolled
+//! multi-thousand-TE programs.
+
+use crate::diag::{Code, Diagnostics, Loc};
+use souffle_te::{TeProgram, TensorKind};
+
+pub(crate) fn check(program: &TeProgram, diags: &mut Diagnostics) {
+    let n = program.num_tensors();
+    let mut live = vec![false; n];
+    for id in program.outputs() {
+        if id.0 < n {
+            live[id.0] = true;
+        }
+    }
+    // TEs are in definition order, so one reverse sweep propagates
+    // liveness from outputs back to the tensors they depend on.
+    let mut te_live = vec![false; program.num_tes()];
+    for (i, te) in program.tes().iter().enumerate().rev() {
+        if te.output.0 < n && live[te.output.0] {
+            te_live[i] = true;
+            for input in &te.inputs {
+                if input.0 < n {
+                    live[input.0] = true;
+                }
+            }
+        }
+    }
+
+    // Consumption: which tensors are read by any TE at all (live or not —
+    // an input read only by dead TEs is still "used", the dead TE is the
+    // finding).
+    let mut consumed = vec![false; n];
+    for te in program.tes() {
+        for input in &te.inputs {
+            if input.0 < n {
+                consumed[input.0] = true;
+            }
+        }
+    }
+
+    for (i, te) in program.tes().iter().enumerate() {
+        if !te_live[i] {
+            diags.push(
+                Code::DeadTe,
+                Loc::Te {
+                    te: souffle_te::TeId(i),
+                    name: te.name.clone(),
+                },
+                "output never reaches a program output".to_string(),
+            );
+        }
+    }
+    for (i, t) in program.tensors().iter().enumerate() {
+        if matches!(t.kind, TensorKind::Input | TensorKind::Weight) && !consumed[i] {
+            diags.push(
+                Code::UnusedInput,
+                Loc::Tensor {
+                    tensor: souffle_te::TensorId(i),
+                    name: t.name.clone(),
+                },
+                format!("caller-bound {:?} is never read", t.kind),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use souffle_te::builders;
+    use souffle_tensor::{DType, Shape};
+
+    fn run(p: &TeProgram) -> Diagnostics {
+        let mut d = Diagnostics::new();
+        check(p, &mut d);
+        d
+    }
+
+    #[test]
+    fn fully_live_program_is_clean() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4, 8]), DType::F16);
+        let w = p.add_weight("W", Shape::new(vec![8, 4]), DType::F16);
+        let m = builders::matmul(&mut p, "mm", a, w);
+        let r = builders::relu(&mut p, "r", m);
+        p.mark_output(r);
+        assert!(run(&p).is_empty());
+    }
+
+    #[test]
+    fn dead_te_warns() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4]), DType::F32);
+        let e = builders::exp(&mut p, "e", a);
+        let _dead = builders::relu(&mut p, "dead", a); // never marked output
+        p.mark_output(e);
+        let d = run(&p);
+        assert!(d.has_code(Code::DeadTe), "{d}");
+        assert_eq!(d.num_errors(), 0);
+        assert!(d.render().contains("`dead`"), "{d}");
+    }
+
+    #[test]
+    fn transitively_dead_chain_warns_on_every_link() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4]), DType::F32);
+        let live = builders::exp(&mut p, "live", a);
+        let d1 = builders::relu(&mut p, "d1", a);
+        let _d2 = builders::exp(&mut p, "d2", d1);
+        p.mark_output(live);
+        let d = run(&p);
+        assert_eq!(d.iter().filter(|x| x.code == Code::DeadTe).count(), 2);
+    }
+
+    #[test]
+    fn unused_input_warns() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4]), DType::F32);
+        let _unused = p.add_weight("W", Shape::new(vec![4]), DType::F32);
+        let e = builders::exp(&mut p, "e", a);
+        p.mark_output(e);
+        let d = run(&p);
+        assert!(d.has_code(Code::UnusedInput), "{d}");
+        assert!(d.render().contains("`W`"), "{d}");
+    }
+
+    #[test]
+    fn input_read_only_by_dead_te_is_not_unused() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4]), DType::F32);
+        let b = p.add_input("B", Shape::new(vec![4]), DType::F32);
+        let e = builders::exp(&mut p, "e", a);
+        let _dead = builders::relu(&mut p, "dead", b);
+        p.mark_output(e);
+        let d = run(&p);
+        assert!(d.has_code(Code::DeadTe));
+        assert!(!d.has_code(Code::UnusedInput), "{d}");
+    }
+}

@@ -1,0 +1,401 @@
+//! Pass 3: merged-kernel race detection.
+//!
+//! A merged kernel runs several TE stages back-to-back inside one launch
+//! (§6.2 of the paper). Thread blocks are scheduled independently, so a
+//! stage that reads a tensor produced by an *earlier stage of the same
+//! kernel* observes complete data only if a grid-wide synchronization
+//! (`grid.sync()`) separates the producing writes from the consuming
+//! reads — block-local barriers are not enough. Likewise, two stages that
+//! write the same buffer (shared-memory LRU reuse, partial-reduction
+//! scratch) race unless a grid sync orders them.
+//!
+//! The pass walks each kernel's instruction stream in launch order with a
+//! map of tensors written since the last grid sync, flagging:
+//!
+//! * `SV101` — a load of a tensor written by a *different* stage since the
+//!   last `GridSync`;
+//! * `SV102` — a store to a tensor already written by a different stage
+//!   since the last `GridSync`.
+//!
+//! Accesses within a single stage are same-TE and ordered by the stage's
+//! own block-local structure; they are never flagged.
+
+use crate::diag::{Code, Diagnostics, Loc};
+use souffle_kernel::{Instr, Kernel};
+use souffle_te::{TeProgram, TensorId};
+use std::collections::HashMap;
+
+pub(crate) fn check(program: &TeProgram, kernels: &[Kernel], diags: &mut Diagnostics) {
+    for kernel in kernels {
+        check_kernel(program, kernel, diags);
+    }
+}
+
+fn tensor_name(program: &TeProgram, tensor: TensorId) -> String {
+    program
+        .tensors()
+        .get(tensor.0)
+        .map(|t| t.name.clone())
+        .unwrap_or_else(|| "?".to_string())
+}
+
+fn check_kernel(program: &TeProgram, kernel: &Kernel, diags: &mut Diagnostics) {
+    // tensor -> index of the stage that last wrote it since the last
+    // grid-wide sync.
+    let mut written_since_sync: HashMap<TensorId, usize> = HashMap::new();
+
+    for (si, stage) in kernel.stages.iter().enumerate() {
+        // A stage's writes land on its own TE's output buffer; `AtomicAdd`
+        // carries no tensor id, so resolve it through the program.
+        let atomic_target = program.tes().get(stage.te.0).map(|te| te.output);
+
+        for (ii, instr) in stage.instrs.iter().enumerate() {
+            let loc = |instr: usize| Loc::Instr {
+                kernel: kernel.name.clone(),
+                stage: si,
+                instr,
+            };
+            match *instr {
+                Instr::GridSync => written_since_sync.clear(),
+                Instr::BlockSync | Instr::Wmma { .. } | Instr::Fma { .. } => {}
+                Instr::LdGlobalToShared { tensor, .. }
+                | Instr::LdGlobal { tensor, .. }
+                | Instr::LdShared { tensor, .. } => {
+                    if let Some(&w) = written_since_sync.get(&tensor) {
+                        if w != si {
+                            diags.push(
+                                Code::MissingGridSync,
+                                loc(ii),
+                                format!(
+                                    "stage {si} `{}` reads {tensor} `{}` written by stage {w} \
+                                     `{}` with no grid sync in between",
+                                    stage.name,
+                                    tensor_name(program, tensor),
+                                    kernel.stages[w].name,
+                                ),
+                            );
+                        }
+                    }
+                }
+                Instr::StSharedToGlobal { tensor, .. } | Instr::StGlobal { tensor, .. } => {
+                    record_write(
+                        program,
+                        kernel,
+                        si,
+                        ii,
+                        tensor,
+                        &mut written_since_sync,
+                        diags,
+                    );
+                }
+                Instr::AtomicAdd { .. } => {
+                    if let Some(tensor) = atomic_target {
+                        record_write(
+                            program,
+                            kernel,
+                            si,
+                            ii,
+                            tensor,
+                            &mut written_since_sync,
+                            diags,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn record_write(
+    program: &TeProgram,
+    kernel: &Kernel,
+    si: usize,
+    ii: usize,
+    tensor: TensorId,
+    written_since_sync: &mut HashMap<TensorId, usize>,
+    diags: &mut Diagnostics,
+) {
+    if let Some(&w) = written_since_sync.get(&tensor) {
+        if w != si {
+            diags.push(
+                Code::WriteRace,
+                Loc::Instr {
+                    kernel: kernel.name.clone(),
+                    stage: si,
+                    instr: ii,
+                },
+                format!(
+                    "stage {si} `{}` and stage {w} `{}` both write {tensor} `{}` with no grid \
+                     sync in between",
+                    kernel.stages[si].name,
+                    kernel.stages[w].name,
+                    tensor_name(program, tensor),
+                ),
+            );
+        }
+    }
+    written_since_sync.insert(tensor, si);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use souffle_kernel::Stage;
+    use souffle_te::{builders, TeId};
+    use souffle_tensor::{DType, Shape};
+
+    /// A two-TE chain (exp → relu) plus a kernel skeleton over it.
+    fn chain() -> (TeProgram, TensorId, TensorId) {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![64]), DType::F32);
+        let e = builders::exp(&mut p, "e", a);
+        let r = builders::relu(&mut p, "r", e);
+        p.mark_output(r);
+        (p, e, r)
+    }
+
+    fn stage(te: usize, name: &str, instrs: Vec<Instr>) -> Stage {
+        Stage {
+            te: TeId(te),
+            name: name.into(),
+            grid_blocks: 4,
+            threads_per_block: 128,
+            shared_mem_bytes: 0,
+            regs_per_thread: 32,
+            instrs,
+            pipelined: false,
+        }
+    }
+
+    fn run(p: &TeProgram, k: Kernel) -> Diagnostics {
+        let mut d = Diagnostics::new();
+        check(p, &[k], &mut d);
+        d
+    }
+
+    #[test]
+    fn synced_producer_consumer_is_clean() {
+        let (p, e, r) = chain();
+        let k = Kernel {
+            name: "k".into(),
+            stages: vec![
+                stage(
+                    0,
+                    "e",
+                    vec![Instr::StGlobal {
+                        tensor: e,
+                        bytes: 256,
+                    }],
+                ),
+                stage(
+                    1,
+                    "r",
+                    vec![
+                        Instr::GridSync,
+                        Instr::LdGlobal {
+                            tensor: e,
+                            bytes: 256,
+                        },
+                        Instr::StGlobal {
+                            tensor: r,
+                            bytes: 256,
+                        },
+                    ],
+                ),
+            ],
+        };
+        assert!(run(&p, k).is_empty());
+    }
+
+    #[test]
+    fn missing_grid_sync_is_flagged() {
+        let (p, e, r) = chain();
+        let k = Kernel {
+            name: "k".into(),
+            stages: vec![
+                stage(
+                    0,
+                    "e",
+                    vec![Instr::StGlobal {
+                        tensor: e,
+                        bytes: 256,
+                    }],
+                ),
+                stage(
+                    1,
+                    "r",
+                    vec![
+                        Instr::LdGlobal {
+                            tensor: e,
+                            bytes: 256,
+                        },
+                        Instr::StGlobal {
+                            tensor: r,
+                            bytes: 256,
+                        },
+                    ],
+                ),
+            ],
+        };
+        let d = run(&p, k);
+        assert!(d.has_code(Code::MissingGridSync), "{d}");
+        let diag = d.iter().next().unwrap();
+        assert_eq!(
+            diag.loc,
+            Loc::Instr {
+                kernel: "k".into(),
+                stage: 1,
+                instr: 0
+            }
+        );
+    }
+
+    #[test]
+    fn block_sync_does_not_order_cross_stage_accesses() {
+        let (p, e, r) = chain();
+        let k = Kernel {
+            name: "k".into(),
+            stages: vec![
+                stage(
+                    0,
+                    "e",
+                    vec![Instr::StGlobal {
+                        tensor: e,
+                        bytes: 256,
+                    }],
+                ),
+                stage(
+                    1,
+                    "r",
+                    vec![
+                        Instr::BlockSync, // not grid-wide
+                        Instr::LdGlobal {
+                            tensor: e,
+                            bytes: 256,
+                        },
+                        Instr::StGlobal {
+                            tensor: r,
+                            bytes: 256,
+                        },
+                    ],
+                ),
+            ],
+        };
+        assert!(run(&p, k).has_code(Code::MissingGridSync));
+    }
+
+    #[test]
+    fn write_write_conflict_without_sync_is_flagged() {
+        let (p, e, _r) = chain();
+        // Two stages writing the same (LRU-reused) buffer with no sync.
+        let k = Kernel {
+            name: "k".into(),
+            stages: vec![
+                stage(
+                    0,
+                    "e",
+                    vec![Instr::StGlobal {
+                        tensor: e,
+                        bytes: 256,
+                    }],
+                ),
+                stage(
+                    1,
+                    "r",
+                    vec![Instr::StGlobal {
+                        tensor: e,
+                        bytes: 256,
+                    }],
+                ),
+            ],
+        };
+        let d = run(&p, k);
+        assert!(d.has_code(Code::WriteRace), "{d}");
+    }
+
+    #[test]
+    fn same_stage_rewrite_is_fine() {
+        let (p, e, _r) = chain();
+        let k = Kernel {
+            name: "k".into(),
+            stages: vec![stage(
+                0,
+                "e",
+                vec![
+                    Instr::StGlobal {
+                        tensor: e,
+                        bytes: 128,
+                    },
+                    Instr::StGlobal {
+                        tensor: e,
+                        bytes: 128,
+                    },
+                    Instr::LdGlobal {
+                        tensor: e,
+                        bytes: 256,
+                    },
+                ],
+            )],
+        };
+        assert!(run(&p, k).is_empty());
+    }
+
+    #[test]
+    fn atomic_add_counts_as_write_to_stage_output() {
+        let (p, e, r) = chain();
+        let k = Kernel {
+            name: "k".into(),
+            stages: vec![
+                // Stage of TE0 writes its output `e` via atomics...
+                stage(0, "e", vec![Instr::AtomicAdd { bytes: 256 }]),
+                // ...and the next stage reads it unsynchronized.
+                stage(
+                    1,
+                    "r",
+                    vec![
+                        Instr::LdGlobal {
+                            tensor: e,
+                            bytes: 256,
+                        },
+                        Instr::StGlobal {
+                            tensor: r,
+                            bytes: 256,
+                        },
+                    ],
+                ),
+            ],
+        };
+        assert!(run(&p, k).has_code(Code::MissingGridSync));
+    }
+
+    #[test]
+    fn sync_resets_write_write_tracking() {
+        let (p, e, _r) = chain();
+        let k = Kernel {
+            name: "k".into(),
+            stages: vec![
+                stage(
+                    0,
+                    "e",
+                    vec![Instr::StGlobal {
+                        tensor: e,
+                        bytes: 256,
+                    }],
+                ),
+                stage(
+                    1,
+                    "r",
+                    vec![
+                        Instr::GridSync,
+                        Instr::StGlobal {
+                            tensor: e,
+                            bytes: 256,
+                        },
+                    ],
+                ),
+            ],
+        };
+        assert!(run(&p, k).is_empty());
+    }
+}

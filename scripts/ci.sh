@@ -22,6 +22,11 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "== cargo build --release --offline =="
 cargo build --release --offline --workspace
 
+# Static verifier gate: every pipeline stage of every paper-scale model
+# must prove clean (exit code is non-zero on any error diagnostic).
+echo "== souffle-verify (all models, paper scale) =="
+cargo run -q --release --offline -p souffle --bin souffle-verify
+
 echo "== cargo test -q --offline =="
 cargo test -q --offline --workspace
 

@@ -1,0 +1,131 @@
+//! The "no false negatives" half of the verifier's contract: every fault
+//! class the mutation stage can inject must be detected, with the exact
+//! diagnostic code that class maps to.
+//!
+//! Each property builds a clean program (which verifies clean), injects
+//! one fault, and requires the expected code — a differential pair per
+//! case, so a verifier that rubber-stamps everything fails immediately.
+
+use souffle::{Souffle, SouffleOptions};
+use souffle_te::{builders, TeProgram};
+use souffle_tensor::{DType, Shape};
+use souffle_testkit::mutate::{drop_grid_sync, inject_program_fault, Fault};
+use souffle_testkit::teprog::gen_spec;
+use souffle_testkit::{forall, tk_assert, Config};
+use souffle_verify::{verify_kernels, verify_program, Code};
+
+forall!(
+    injected_oob_offsets_are_always_detected,
+    Config::with_cases(60),
+    |rng| gen_spec(rng, 10),
+    |spec| {
+        let program = spec.build();
+        tk_assert!(!verify_program(&program).has_errors());
+        let Some(mutant) = inject_program_fault(&program, Fault::OobOffset) else {
+            return Ok(()); // no unguarded access to corrupt
+        };
+        let d = verify_program(&mutant);
+        tk_assert!(
+            d.has_code(Fault::OobOffset.expected_code()),
+            "OOB mutant of {spec:?} escaped:\n{d}"
+        );
+        Ok(())
+    }
+);
+
+forall!(
+    injected_te_swaps_are_always_detected,
+    Config::with_cases(60),
+    |rng| gen_spec(rng, 10),
+    |spec| {
+        let program = spec.build();
+        let Some(mutant) = inject_program_fault(&program, Fault::SwapDependentTes) else {
+            return Ok(()); // no dependent pair (single-op programs)
+        };
+        let d = verify_program(&mutant);
+        tk_assert!(
+            d.has_code(Fault::SwapDependentTes.expected_code()),
+            "swapped mutant of {spec:?} escaped:\n{d}"
+        );
+        Ok(())
+    }
+);
+
+/// The Fig. 2 program: a multi-TE diamond the full pipeline merges into
+/// one grid-synchronized kernel, so dropping a sync is always possible.
+fn fig2_program() -> TeProgram {
+    let mut p = TeProgram::new();
+    let i0 = p.add_input("I0", Shape::new(vec![64, 64]), DType::F16);
+    let w0 = p.add_weight("W0", Shape::new(vec![64, 64]), DType::F16);
+    let o0 = builders::matmul(&mut p, "TE0", i0, w0);
+    let o1 = builders::sigmoid(&mut p, "TE1", o0);
+    let w2 = p.add_weight("W2", Shape::new(vec![64, 64]), DType::F16);
+    let o2 = builders::matmul(&mut p, "TE2", o1, w2);
+    let o3 = builders::add(&mut p, "TE3", o0, o2);
+    let w4 = p.add_weight("W4", Shape::new(vec![64, 256]), DType::F16);
+    let o4 = builders::matmul(&mut p, "TE4", o3, w4);
+    p.mark_output(o4);
+    p
+}
+
+#[test]
+fn dropped_grid_sync_is_detected_on_merged_kernel() {
+    let program = fig2_program();
+    let mut opts = SouffleOptions::full();
+    opts.verify = true;
+    let compiled = Souffle::new(opts).compile(&program);
+    assert!(
+        compiled.kernels.iter().any(|k| k.uses_grid_sync()),
+        "pipeline must merge Fig. 2 into a synchronized kernel"
+    );
+    assert!(!verify_kernels(&compiled.program, &compiled.kernels).has_errors());
+    let broken = drop_grid_sync(&compiled.kernels).expect("a sync to drop");
+    let d = verify_kernels(&compiled.program, &broken);
+    assert!(
+        d.has_code(Fault::DropGridSync.expected_code()),
+        "dropped sync escaped:\n{d}"
+    );
+}
+
+forall!(
+    dropped_grid_syncs_are_detected_on_generated_programs,
+    Config::with_cases(30),
+    |rng| gen_spec(rng, 10),
+    |spec| {
+        let program = spec.build();
+        let mut opts = SouffleOptions::full();
+        opts.verify = true;
+        let compiled = match Souffle::new(opts).compile_checked(&program) {
+            Ok(c) => c,
+            Err(d) => {
+                tk_assert!(false, "clean program rejected: {spec:?}\n{d}");
+                unreachable!()
+            }
+        };
+        let Some(broken) = drop_grid_sync(&compiled.kernels) else {
+            return Ok(()); // single-stage kernels: nothing to desynchronize
+        };
+        let d = verify_kernels(&compiled.program, &broken);
+        tk_assert!(
+            d.has_code(Code::MissingGridSync),
+            "dropped sync escaped on {spec:?}:\n{d}"
+        );
+        Ok(())
+    }
+);
+
+#[test]
+fn every_fault_class_maps_to_a_distinct_code() {
+    let codes: Vec<Code> = [
+        Fault::OobOffset,
+        Fault::SwapDependentTes,
+        Fault::DropGridSync,
+    ]
+    .iter()
+    .map(|f| f.expected_code())
+    .collect();
+    assert_eq!(
+        codes,
+        vec![Code::OobAccess, Code::UseBeforeDef, Code::MissingGridSync]
+    );
+}
