@@ -7,8 +7,9 @@ use crate::liveness::{live_ranges, LiveRange};
 use crate::partition::{partition_program, Partition};
 use crate::reuse::{find_reuse, ReuseReport};
 use souffle_affine::DependenceKind;
-use souffle_sched::{schedule_program, GpuSpec, ScheduleMap};
+use souffle_sched::{schedule_program_with_stats, GpuSpec, ScheduleMap};
 use souffle_te::{TeId, TeProgram, TensorId};
+use souffle_trace::{SpanId, Tracer};
 use std::collections::HashMap;
 
 /// All global analysis results for one TE program — the inputs Algorithm 1
@@ -37,16 +38,53 @@ pub struct AnalysisResult {
 impl AnalysisResult {
     /// Runs the full §5 analysis pipeline on a program.
     pub fn analyze(program: &TeProgram, spec: &GpuSpec) -> AnalysisResult {
-        let graph = TeGraph::build(program);
+        AnalysisResult::analyze_traced(program, spec, &Tracer::disabled(), None)
+    }
+
+    /// [`AnalysisResult::analyze`] recording one `analysis:<pass>` span
+    /// per sub-analysis into `tracer` (nested under `parent` when given)
+    /// plus `sched.memo_hits`/`sched.memo_misses` counters from the
+    /// schedule-search memo.
+    pub fn analyze_traced(
+        program: &TeProgram,
+        spec: &GpuSpec,
+        tracer: &Tracer,
+        parent: Option<SpanId>,
+    ) -> AnalysisResult {
+        let span = tracer.span_under("analysis", parent);
+        let pass = |name: &str| span.child(name);
+
+        let graph = {
+            let _s = pass("analysis:graph");
+            TeGraph::build(program)
+        };
         let dependence = program
             .te_ids()
             .map(|id| (id, program.te(id).dependence_kind()))
             .collect();
-        let classes = classify_program(program);
-        let reuse = find_reuse(program, &graph);
-        let liveness = live_ranges(program);
-        let schedules = schedule_program(program, spec);
-        let partition = partition_program(program, &graph, &classes, &schedules, spec);
+        let classes = {
+            let _s = pass("analysis:classify");
+            classify_program(program)
+        };
+        let reuse = {
+            let _s = pass("analysis:reuse");
+            find_reuse(program, &graph)
+        };
+        let liveness = {
+            let _s = pass("analysis:liveness");
+            live_ranges(program)
+        };
+        let schedules = {
+            let _s = pass("analysis:schedule");
+            let (schedules, memo) = schedule_program_with_stats(program, spec);
+            tracer.add("sched.memo_hits", memo.hits as u64);
+            tracer.add("sched.memo_misses", memo.misses as u64);
+            schedules
+        };
+        let partition = {
+            let _s = pass("analysis:partition");
+            partition_program(program, &graph, &classes, &schedules, spec)
+        };
         let wavefronts = graph.wavefronts();
         AnalysisResult {
             dependence,

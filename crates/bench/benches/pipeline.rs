@@ -9,6 +9,9 @@
 //! Besides the console table, results are written machine-readably to
 //! `results/bench_pipeline.json`.
 
+use souffle::trace::summary::TraceSummary;
+use souffle::trace::{chrome, Tracer};
+use souffle::{Souffle, SouffleOptions};
 use souffle_analysis::{
     classify_program, find_reuse, live_ranges, partition_program, AnalysisResult, TeGraph,
 };
@@ -172,6 +175,84 @@ fn bench_evaluators(b: &mut Bench) -> EvaluatorSummary {
     }
 }
 
+/// Tracing overhead + trace summary for the JSON report: the same LSTM
+/// pipeline eval with no tracer argument, with a disabled tracer threaded
+/// through, and with a live tracer recording every span.
+struct TracingSummary {
+    workload: String,
+    untraced: Timing,
+    disabled: Timing,
+    enabled: Timing,
+    summary_json: String,
+    chrome_json: String,
+}
+
+impl TracingSummary {
+    /// Overhead ratios from the per-row **minimum** — the robust statistic
+    /// on a noisy shared machine, where means are dominated by scheduler
+    /// outliers and tracing cost is strictly additive.
+    fn overhead_disabled(&self) -> f64 {
+        self.disabled.min_ns as f64 / self.untraced.min_ns as f64 - 1.0
+    }
+    fn overhead_enabled(&self) -> f64 {
+        self.enabled.min_ns as f64 / self.untraced.min_ns as f64 - 1.0
+    }
+}
+
+/// The observability contract is "~free when disabled": threading a
+/// disabled [`Tracer`] through the wavefront executor must cost within
+/// noise of the untraced entry point (documented bound: ≤5 % on the LSTM
+/// pipeline bench). The enabled row prices actual span recording — a
+/// fresh tracer per call, like `--trace-out` uses — and the one-shot
+/// traced compile+eval below feeds the `trace_summary` object embedded in
+/// `results/bench_pipeline.json`.
+fn bench_tracing(b: &mut Bench) -> TracingSummary {
+    let program = build_model(Model::Lstm, ModelConfig::Tiny);
+    let bindings = random_bindings(&program, 11);
+    let compiled = compile_program(&program);
+    let plan = ExecPlan::from_compiled(&compiled);
+    let rt = Runtime::with_options(RuntimeOptions {
+        threads: Some(thread_count().max(2)),
+        arena: true,
+    });
+
+    b.group("tracing_lstm");
+    let untraced = b
+        .run("eval_untraced", || {
+            rt.eval_with_plan(black_box(&compiled), &plan, &bindings)
+        })
+        .clone();
+    let off = Tracer::disabled();
+    let disabled = b
+        .run("eval_tracer_disabled", || {
+            rt.eval_with_plan_traced(black_box(&compiled), &plan, &bindings, &off, None)
+        })
+        .clone();
+    let enabled = b
+        .run("eval_tracer_enabled", || {
+            let tracer = Tracer::new();
+            rt.eval_with_plan_traced(black_box(&compiled), &plan, &bindings, &tracer, None)
+        })
+        .clone();
+
+    let tracer = Tracer::new();
+    let souffle = Souffle::new(SouffleOptions::full()).with_tracer(tracer.clone());
+    let sc = souffle.compile(&program);
+    souffle.eval_outputs(&sc, &bindings).expect("traced eval");
+    let trace = tracer.take();
+    let summary_json = TraceSummary::from_trace(&trace).to_json(2);
+    let chrome_json = chrome::chrome_json(&trace);
+
+    TracingSummary {
+        workload: "lstm(tiny)".to_string(),
+        untraced,
+        disabled,
+        enabled,
+        summary_json,
+        chrome_json,
+    }
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -179,8 +260,12 @@ fn json_escape(s: &str) -> String {
 /// Serializes every stage timing plus the evaluator comparison to
 /// `results/bench_pipeline.json` (hand-rolled writer: the workspace is
 /// dependency-free by design, so no serde).
-fn write_report(timings: &[Timing], ev: &EvaluatorSummary) -> std::io::Result<()> {
-    let mut out = String::from("{\n  \"schema\": \"souffle-bench-pipeline/2\",\n  \"stages\": [\n");
+fn write_report(
+    timings: &[Timing],
+    ev: &EvaluatorSummary,
+    tr: &TracingSummary,
+) -> std::io::Result<()> {
+    let mut out = String::from("{\n  \"schema\": \"souffle-bench-pipeline/3\",\n  \"stages\": [\n");
     for (i, t) in timings.iter().enumerate() {
         let sep = if i + 1 == timings.len() { "" } else { "," };
         out.push_str(&format!(
@@ -211,7 +296,25 @@ fn write_report(timings: &[Timing], ev: &EvaluatorSummary) -> std::io::Result<()
         "    \"threads_compiled_1t\": {},\n    \"threads_compiled_mt\": {},\n    \"arena_buffers_reused\": {},\n    \"arena_buffers_allocated\": {}\n",
         ev.threads_1t, ev.threads_mt, ev.arena.reused, ev.arena.allocated
     ));
-    out.push_str("  }\n}\n");
+    out.push_str("  },\n  \"tracing\": {\n");
+    out.push_str(&format!(
+        "    \"workload\": \"{}\",\n",
+        json_escape(&tr.workload)
+    ));
+    out.push_str(&format!(
+        "    \"untraced_min_ns\": {}, \"untraced_mean_ns\": {:.1},\n    \"disabled_min_ns\": {}, \"disabled_mean_ns\": {:.1},\n    \"enabled_min_ns\": {}, \"enabled_mean_ns\": {:.1},\n",
+        tr.untraced.min_ns, tr.untraced.mean_ns,
+        tr.disabled.min_ns, tr.disabled.mean_ns,
+        tr.enabled.min_ns, tr.enabled.mean_ns
+    ));
+    out.push_str(&format!(
+        "    \"overhead_disabled\": {:.4},\n    \"overhead_enabled\": {:.4}\n",
+        tr.overhead_disabled(),
+        tr.overhead_enabled()
+    ));
+    out.push_str("  },\n");
+    out.push_str(&format!("  \"trace_summary\": {}\n", tr.summary_json));
+    out.push_str("}\n");
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),
         "/../../results/bench_pipeline.json"
@@ -243,6 +346,7 @@ fn main() {
     bench_lowering(&mut b);
     bench_lru_capacity(&mut b);
     let ev = bench_evaluators(&mut b);
+    let tr = bench_tracing(&mut b);
     println!(
         "\nevaluator speedup on {}: {:.1}x with {} stream(s), {:.1}x with {} stream(s) \
          ({:.1}x outputs-only with arena reuse: {} buffers recycled)",
@@ -254,7 +358,23 @@ fn main() {
         ev.naive_mean_ns / ev.compiled_mt_arena_mean_ns,
         ev.arena.reused
     );
-    if let Err(e) = write_report(b.results(), &ev) {
+    println!(
+        "tracing overhead on {} (min-based): {:+.1}% with tracer disabled, {:+.1}% with tracer enabled",
+        tr.workload,
+        tr.overhead_disabled() * 100.0,
+        tr.overhead_enabled() * 100.0
+    );
+    if let Err(e) = write_report(b.results(), &ev, &tr) {
         eprintln!("could not write results/bench_pipeline.json: {e}");
+    }
+    // `cargo bench --bench pipeline -- --trace-out t.json` additionally
+    // dumps the fully traced LSTM compile+eval as Chrome trace_event JSON.
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        if arg == "--trace-out" {
+            let path = argv.next().expect("--trace-out expects a file path");
+            std::fs::write(&path, &tr.chrome_json).expect("write trace");
+            println!("wrote Chrome trace to {path} (open in chrome://tracing or Perfetto)");
+        }
     }
 }

@@ -1,0 +1,131 @@
+//! Simulator invariants over real Souffle-lowered kernels.
+//!
+//! The simulator is the experimental apparatus of every table and figure
+//! in the paper reproduction, so it gets its own contract suite:
+//!
+//! * **Determinism** — simulating the same kernel sequence twice yields
+//!   bit-identical profiles (the whole bench/CI story assumes this).
+//! * **Occupancy** — any grid-synchronized (cooperative-launch) kernel
+//!   must fit one wave: every stage's grid fits within the device's
+//!   max-blocks-per-wave for that stage's resource footprint, otherwise
+//!   the simulated grid sync would deadlock on real hardware.
+//! * **Aggregation** — every `ModelProfile` total is exactly the sum of
+//!   its per-kernel costs; nothing is double-counted or dropped.
+
+use souffle_analysis::AnalysisResult;
+use souffle_frontend::{build_model, Model, ModelConfig};
+use souffle_gpusim::{simulate, SimConfig};
+use souffle_kernel::{lower_partition, Kernel, LowerOptions};
+use souffle_sched::GpuSpec;
+
+const MODELS: [Model; 3] = [Model::Bert, Model::Lstm, Model::Mmoe];
+
+fn souffle_kernels(model: Model) -> Vec<Kernel> {
+    let program = build_model(model, ModelConfig::Tiny);
+    let spec = GpuSpec::a100();
+    let analysis = AnalysisResult::analyze(&program, &spec);
+    lower_partition(
+        &program,
+        &analysis.partition,
+        &analysis.schedules,
+        &analysis.classes,
+        LowerOptions::default(),
+    )
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let cfg = SimConfig::a100();
+    for model in MODELS {
+        let kernels = souffle_kernels(model);
+        let a = simulate(&kernels, &cfg);
+        let b = simulate(&kernels, &cfg);
+        assert_eq!(a.kernels, b.kernels, "{model}: nondeterministic profile");
+        // A freshly lowered kernel list must simulate identically too —
+        // lowering itself is deterministic.
+        let c = simulate(&souffle_kernels(model), &cfg);
+        assert_eq!(a.kernels, c.kernels, "{model}: lowering nondeterministic");
+    }
+}
+
+#[test]
+fn grid_synced_kernels_fit_one_wave() {
+    let spec = GpuSpec::a100();
+    for model in MODELS {
+        for kernel in souffle_kernels(model) {
+            if !kernel.uses_grid_sync() {
+                continue;
+            }
+            for stage in &kernel.stages {
+                let max_wave = spec.max_blocks_per_wave(
+                    stage.threads_per_block,
+                    stage.shared_mem_bytes,
+                    stage.regs_per_thread,
+                );
+                assert!(
+                    stage.grid_blocks <= max_wave,
+                    "{model}/{}/{}: {} blocks > {} blocks/wave",
+                    kernel.name,
+                    stage.name,
+                    stage.grid_blocks,
+                    max_wave
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn profile_totals_are_sums_of_per_kernel_costs() {
+    let cfg = SimConfig::a100();
+    for model in MODELS {
+        let kernels = souffle_kernels(model);
+        let p = simulate(&kernels, &cfg);
+        assert_eq!(p.num_kernel_calls(), kernels.len());
+        assert_eq!(
+            p.total_time_s(),
+            p.kernels.iter().map(|k| k.time_s).sum::<f64>(),
+            "{model}"
+        );
+        assert_eq!(
+            p.global_read_bytes(),
+            p.kernels.iter().map(|k| k.global_read_bytes).sum::<u64>(),
+            "{model}"
+        );
+        assert_eq!(
+            p.global_transfer_bytes(),
+            p.kernels
+                .iter()
+                .map(|k| k.global_read_bytes + k.global_write_bytes)
+                .sum::<u64>(),
+            "{model}"
+        );
+        assert_eq!(
+            p.grid_syncs(),
+            p.kernels.iter().map(|k| k.grid_syncs).sum::<u64>(),
+            "{model}"
+        );
+        // Per-kernel traffic in turn matches the kernel's own accounting.
+        for (kp, k) in p.kernels.iter().zip(&kernels) {
+            assert_eq!(kp.global_read_bytes, k.global_read_bytes(), "{model}");
+            assert_eq!(kp.global_write_bytes, k.global_write_bytes(), "{model}");
+            assert_eq!(kp.flops, k.flops(), "{model}");
+            assert!(kp.time_s > 0.0, "{model}: kernel with zero time");
+        }
+    }
+}
+
+#[test]
+fn utilizations_are_fractions() {
+    let cfg = SimConfig::a100();
+    for model in MODELS {
+        let p = simulate(&souffle_kernels(model), &cfg);
+        for (name, u) in [
+            ("lsu", p.lsu_utilization()),
+            ("fma", p.fma_utilization()),
+            ("tensor", p.tensor_utilization()),
+        ] {
+            assert!((0.0..=1.0).contains(&u), "{model}: {name} utilization {u}");
+        }
+    }
+}

@@ -6,8 +6,12 @@
 //! ```
 //!
 //! `<model>` is one of `bert`, `resnext`, `lstm`, `efficientnet`, `swin`,
-//! `mmoe`. `--compare` also runs the six baselines.
+//! `mmoe`. `--compare` also runs the six baselines. `--trace out.json`
+//! dumps the simulated kernel timeline; `--trace-out out.json` records
+//! the compiler + runtime span tree (one reference eval) as Chrome
+//! trace_event JSON.
 
+use souffle::trace::{chrome, Tracer};
 use souffle::{Souffle, SouffleOptions};
 use souffle_baselines::{all_baselines, StrategyContext};
 use souffle_frontend::{build_model, Model, ModelConfig};
@@ -37,7 +41,8 @@ fn parse_variant(name: &str) -> Option<SouffleOptions> {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: souffle-cli <bert|resnext|lstm|efficientnet|swin|mmoe> \
-         [--variant V0..V4] [--tiny] [--emit-cuda] [--compare] [--trace out.json]"
+         [--variant V0..V4] [--tiny] [--emit-cuda] [--compare] [--trace out.json] \
+         [--trace-out out.json]"
     );
     ExitCode::FAILURE
 }
@@ -55,6 +60,7 @@ fn main() -> ExitCode {
     let mut emit_cuda = false;
     let mut compare = false;
     let mut trace_path: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut config = ModelConfig::Paper;
     let mut i = 1;
     while i < args.len() {
@@ -76,6 +82,14 @@ fn main() -> ExitCode {
                 };
                 trace_path = Some(path.clone());
             }
+            "--trace-out" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("--trace-out expects a file path");
+                    return usage();
+                };
+                trace_out = Some(path.clone());
+            }
             "--emit-cuda" => emit_cuda = true,
             "--compare" => compare = true,
             other => {
@@ -93,7 +107,12 @@ fn main() -> ExitCode {
         program.num_tensors(),
         program.weight_bytes() as f64 / 1e6
     );
-    let souffle = Souffle::new(options);
+    let tracer = if trace_out.is_some() {
+        Tracer::new()
+    } else {
+        Tracer::disabled()
+    };
+    let souffle = Souffle::new(options).with_tracer(tracer.clone());
     let compiled = souffle.compile(&program);
     let profile = souffle.simulate(&compiled);
     println!(
@@ -136,6 +155,27 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("wrote Chrome trace to {path} (open in chrome://tracing or Perfetto)");
+    }
+    if let Some(path) = trace_out {
+        // One reference inference so the trace covers the runtime too.
+        let bindings = souffle::te::interp::random_bindings(&program, 0);
+        if let Err(e) = souffle.eval_outputs(&compiled, &bindings) {
+            eprintln!("trace eval failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        let trace = tracer.take();
+        if let Err(e) = trace.well_formed() {
+            eprintln!("malformed trace: {e}");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = std::fs::write(&path, chrome::chrome_json(&trace)) {
+            eprintln!("failed to write trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "wrote compiler+runtime trace to {path} ({} spans; open in chrome://tracing)",
+            trace.spans.len()
+        );
     }
     if emit_cuda {
         println!("\n{}", compiled.emit_cuda());

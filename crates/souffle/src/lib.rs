@@ -62,5 +62,6 @@ pub use souffle_kernel as kernel;
 pub use souffle_sched as sched;
 pub use souffle_te as te;
 pub use souffle_tensor as tensor;
+pub use souffle_trace as trace;
 pub use souffle_transform as transform;
 pub use souffle_verify as verify;

@@ -12,12 +12,13 @@ use souffle_te::{
     TensorId,
 };
 use souffle_tensor::Tensor;
+use souffle_trace::{SpanId, Tracer};
 use souffle_transform::{horizontal_fuse_program, vertical_fuse_program, TransformStats};
 use souffle_verify::Diagnostics;
 use std::collections::HashMap;
 use std::collections::HashSet;
 use std::sync::OnceLock;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Timing and statistics of one compilation (§8.5's overhead study).
 #[derive(Debug, Clone, Default)]
@@ -77,6 +78,50 @@ impl Compiled {
     }
 }
 
+/// Span names the pipeline records per compile, queried to derive
+/// [`CompileStats`] durations (see DESIGN.md "Trace schema").
+const VERIFY_SPANS: [&str; 5] = [
+    "verify:frontend",
+    "verify:horizontal",
+    "verify:vertical",
+    "verify:schedule-merge",
+    "verify:kernel-lowering",
+];
+
+/// Pre-compile snapshot of per-span-name totals on a (possibly shared)
+/// tracer, so one compile's stage durations can be extracted by delta even
+/// when the same tracer has recorded earlier compiles or evals.
+struct StageBaseline {
+    base: HashMap<&'static str, u64>,
+}
+
+impl StageBaseline {
+    const STAT_SPANS: [&'static str; 5] = [
+        "analysis",
+        "transform:horizontal",
+        "transform:vertical",
+        "lower",
+        "subprogram-opt",
+    ];
+
+    fn capture(tracer: &Tracer) -> StageBaseline {
+        let mut base = HashMap::new();
+        for name in Self::STAT_SPANS.into_iter().chain(VERIFY_SPANS) {
+            base.insert(name, tracer.span_duration_ns(name));
+        }
+        StageBaseline { base }
+    }
+
+    /// Nanoseconds recorded under `names` since the capture.
+    fn delta(&self, tracer: &Tracer, names: &[&'static str]) -> Duration {
+        let ns: u64 = names
+            .iter()
+            .map(|n| tracer.span_duration_ns(n).saturating_sub(self.base[n]))
+            .sum();
+        Duration::from_nanos(ns)
+    }
+}
+
 /// The Souffle compiler.
 #[derive(Debug, Default)]
 pub struct Souffle {
@@ -86,15 +131,21 @@ pub struct Souffle {
     /// compiler so pool threads and arena buffers are reused across
     /// inferences.
     runtime: OnceLock<Runtime>,
+    /// Tracing sink for compile + eval instrumentation; disabled (free)
+    /// unless installed via [`Souffle::with_tracer`] /
+    /// [`Souffle::set_tracer`].
+    tracer: Tracer,
 }
 
 impl Clone for Souffle {
     fn clone(&self) -> Self {
         // The runtime is per-instance state (pool threads, arena
         // buffers); a clone starts fresh and builds its own on first use.
+        // The tracer clone feeds the same trace as the original.
         Souffle {
             options: self.options.clone(),
             runtime: OnceLock::new(),
+            tracer: self.tracer.clone(),
         }
     }
 }
@@ -105,7 +156,27 @@ impl Souffle {
         Souffle {
             options,
             runtime: OnceLock::new(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Builder-style [`Souffle::set_tracer`].
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.set_tracer(tracer);
+        self
+    }
+
+    /// Installs a tracing sink. Every subsequent compile records
+    /// `compile`/`verify:*`/`analysis:*`/`lower` spans into it, and every
+    /// eval records `eval`/`level:*`/`te:*` spans plus `arena.*`/`pool.*`
+    /// counters. Pass [`Tracer::disabled`] to turn tracing back off.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The installed tracing sink (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The active options.
@@ -149,21 +220,23 @@ impl Souffle {
         ExecPlan::with_levels_and_last_use(cp, &level_of, &last_use)
     }
 
-    /// Runs one verifier stage: times it, accumulates warnings into
-    /// `diags`, and fails with everything collected so far if the stage
-    /// found errors. No-op when verification is disabled.
+    /// Runs one verifier stage under a `verify:<stage>` span, accumulates
+    /// warnings into `diags`, and fails with everything collected so far
+    /// if the stage found errors. No-op when verification is disabled (no
+    /// span is recorded, so `verify_time` stays zero).
     fn verify_stage(
         &self,
+        tracer: &Tracer,
+        parent: Option<SpanId>,
         diags: &mut Diagnostics,
-        verify_time: &mut Duration,
+        stage: &str,
         run: impl FnOnce() -> Diagnostics,
     ) -> Result<(), Diagnostics> {
         if !self.options.verify {
             return Ok(());
         }
-        let t = Instant::now();
+        let _span = tracer.span_under(&format!("verify:{stage}"), parent);
         let found = run();
-        *verify_time += t.elapsed();
         let fail = found.has_errors();
         diags.merge(found);
         if fail {
@@ -194,60 +267,78 @@ impl Souffle {
     /// stage with an error-severity finding. Warnings alone never fail;
     /// they end up on [`Compiled::diagnostics`].
     pub fn compile_checked(&self, program: &TeProgram) -> Result<Compiled, Diagnostics> {
+        // Stage timings come from trace spans (one mechanism for both
+        // stats and tracing); when the user installed no tracer, a local
+        // one records this compile only.
+        let local;
+        let tracer: &Tracer = if self.tracer.is_enabled() {
+            &self.tracer
+        } else {
+            local = Tracer::new();
+            &local
+        };
+        let baseline = StageBaseline::capture(tracer);
+        let compile_span = tracer.span("compile");
+        let root = compile_span.id();
+
         let mut stats = CompileStats::default();
         let mut diags = Diagnostics::new();
-        let mut vt = Duration::ZERO;
         let spec = &self.options.spec;
 
-        self.verify_stage(&mut diags, &mut vt, || {
+        self.verify_stage(tracer, root, &mut diags, "frontend", || {
             souffle_verify::verify_program_stage(program, "frontend")
         })?;
 
         // --- Semantic-preserving TE transformations (§6.1, §6.2) ---
-        let t0 = Instant::now();
         let mut transformed = program.clone();
         if self.options.horizontal {
-            let (p, s) = horizontal_fuse_program(&transformed);
+            let (p, s) = {
+                let _span = tracer.span_under("transform:horizontal", root);
+                horizontal_fuse_program(&transformed)
+            };
             transformed = p;
             stats.transform.horizontal_groups = s.horizontal_groups;
-            self.verify_stage(&mut diags, &mut vt, || {
+            self.verify_stage(tracer, root, &mut diags, "horizontal", || {
                 souffle_verify::verify_program_stage(&transformed, "horizontal")
             })?;
         }
         if self.options.vertical {
-            let (p, s) = vertical_fuse_program(&transformed);
+            let (p, s) = {
+                let _span = tracer.span_under("transform:vertical", root);
+                vertical_fuse_program(&transformed)
+            };
             transformed = p;
             stats.transform.vertical_fused = s.vertical_fused;
-            self.verify_stage(&mut diags, &mut vt, || {
+            self.verify_stage(tracer, root, &mut diags, "vertical", || {
                 souffle_verify::verify_program_stage(&transformed, "vertical")
             })?;
         }
         stats.transform.tes_before = program.num_tes();
         stats.transform.tes_after = transformed.num_tes();
-        stats.transform_time = t0.elapsed();
 
         // --- Global analysis + partitioning (§5) ---
-        let t1 = Instant::now();
-        let analysis = AnalysisResult::analyze(&transformed, spec);
-        stats.analysis_time = t1.elapsed();
+        let analysis = AnalysisResult::analyze_traced(&transformed, spec, tracer, root);
 
         // --- Lowering (§6.4) + subprogram optimization (§6.5) ---
-        let t2 = Instant::now();
-        let mut kernels = if self.options.global_sync {
-            lower_partition(
-                &transformed,
-                &analysis.partition,
-                &analysis.schedules,
-                &analysis.classes,
-                LowerOptions::default(),
-            )
-        } else {
-            // Without global sync, fall back to Ansor-style epilogue-fused
-            // kernels over the transformed program (the V0–V2 codegen).
-            let ctx = StrategyContext::new(&transformed, spec);
-            AnsorStrategy.compile(&ctx).kernels
+        let mut kernels = {
+            let _span = tracer.span_under("lower", root);
+            if self.options.global_sync {
+                lower_partition(
+                    &transformed,
+                    &analysis.partition,
+                    &analysis.schedules,
+                    &analysis.classes,
+                    LowerOptions::default(),
+                )
+            } else {
+                // Without global sync, fall back to Ansor-style
+                // epilogue-fused kernels over the transformed program
+                // (the V0–V2 codegen).
+                let ctx = StrategyContext::new(&transformed, spec);
+                AnsorStrategy.compile(&ctx).kernels
+            }
         };
-        self.verify_stage(&mut diags, &mut vt, || {
+        self.verify_stage(tracer, root, &mut diags, "schedule-merge", || {
             souffle_verify::verify_kernels_stage(&transformed, &kernels, "schedule-merge")
         })?;
         if self.options.subprogram_opts {
@@ -257,20 +348,27 @@ impl Souffle {
                 .options
                 .reuse_cache_bytes
                 .unwrap_or(spec.num_sms as u64 * spec.shared_mem_per_sm);
-            for k in &mut kernels {
-                let r = tensor_reuse_pass(k, cache);
-                stats.reuse.loads_eliminated += r.loads_eliminated;
-                stats.reuse.bytes_saved += r.bytes_saved;
-                stats.reuse.bytes_spilled += r.bytes_spilled;
-                let p = pipeline_pass(k);
-                stats.pipeline.stages_pipelined += p.stages_pipelined;
+            {
+                let _span = tracer.span_under("subprogram-opt", root);
+                for k in &mut kernels {
+                    let r = tensor_reuse_pass(k, cache);
+                    stats.reuse.loads_eliminated += r.loads_eliminated;
+                    stats.reuse.bytes_saved += r.bytes_saved;
+                    stats.reuse.bytes_spilled += r.bytes_spilled;
+                    let p = pipeline_pass(k);
+                    stats.pipeline.stages_pipelined += p.stages_pipelined;
+                }
             }
-            self.verify_stage(&mut diags, &mut vt, || {
+            self.verify_stage(tracer, root, &mut diags, "kernel-lowering", || {
                 souffle_verify::verify_kernels_stage(&transformed, &kernels, "kernel-lowering")
             })?;
         }
-        stats.codegen_time = t2.elapsed();
-        stats.verify_time = vt;
+        drop(compile_span);
+        stats.transform_time =
+            baseline.delta(tracer, &["transform:horizontal", "transform:vertical"]);
+        stats.analysis_time = baseline.delta(tracer, &["analysis"]);
+        stats.codegen_time = baseline.delta(tracer, &["lower", "subprogram-opt"]);
+        stats.verify_time = baseline.delta(tracer, &VERIFY_SPANS);
 
         Ok(Compiled {
             program: transformed,
@@ -317,6 +415,15 @@ impl Souffle {
                 );
             }
         }
+        if self.tracer.is_enabled() {
+            let trace = self.tracer.snapshot();
+            if !trace.spans.is_empty() {
+                out.push_str("trace:\n");
+                for line in trace.tree_report().lines() {
+                    let _ = writeln!(out, "  {line}");
+                }
+            }
+        }
         out
     }
 
@@ -345,10 +452,35 @@ impl Souffle {
             Evaluator::Compiled => {
                 let cp = compile_program(&compiled.program);
                 let plan = Self::exec_plan(compiled, &cp);
-                self.runtime()
-                    .eval_keeping_intermediates_with_plan(&cp, &plan, bindings)
+                if self.tracer.is_enabled() {
+                    let result = self.runtime().eval_keeping_intermediates_with_plan_traced(
+                        &cp,
+                        &plan,
+                        bindings,
+                        &self.tracer,
+                        None,
+                    );
+                    self.record_runtime_counters();
+                    result
+                } else {
+                    self.runtime()
+                        .eval_keeping_intermediates_with_plan(&cp, &plan, bindings)
+                }
             }
         }
+    }
+
+    /// Drains the runtime's per-window stats into tracer counters after a
+    /// traced eval (`arena.*` buffer recycling, `pool.*` work stealing).
+    fn record_runtime_counters(&self) {
+        let rs = self.runtime().take_stats();
+        let t = &self.tracer;
+        t.add("arena.reused", rs.arena.reused);
+        t.add("arena.allocated", rs.arena.allocated);
+        t.high_water("arena.high_water_bytes", rs.arena.high_water_bytes);
+        t.add("pool.tasks", rs.pool.tasks);
+        t.add("pool.steals", rs.pool.steals);
+        t.high_water("pool.max_queue_depth", rs.pool.max_queue_depth);
     }
 
     /// The inference hot path: evaluates the compiled (transformed) TE
@@ -369,7 +501,15 @@ impl Souffle {
     ) -> Result<HashMap<TensorId, Tensor>, EvalError> {
         let cp = compile_program(&compiled.program);
         let plan = Self::exec_plan(compiled, &cp);
-        self.runtime().eval_with_plan(&cp, &plan, bindings)
+        if self.tracer.is_enabled() {
+            let result =
+                self.runtime()
+                    .eval_with_plan_traced(&cp, &plan, bindings, &self.tracer, None);
+            self.record_runtime_counters();
+            result
+        } else {
+            self.runtime().eval_with_plan(&cp, &plan, bindings)
+        }
     }
 
     /// The simulator configuration Souffle-generated code runs under.
@@ -395,7 +535,10 @@ impl Souffle {
         &self,
         graph: &souffle_frontend::OpGraph,
     ) -> Result<GraphCompiled, souffle_frontend::GraphError> {
-        let lowered = graph.lower()?;
+        let lowered = {
+            let _span = self.tracer.span("frontend-lowering");
+            graph.lower()?
+        };
         let mut parts = Vec::new();
         for segment in lowered.segments {
             match segment {

@@ -1,0 +1,77 @@
+//! End-to-end test of `souffle-cli --trace-out`: the shipped binary must
+//! emit a valid Chrome trace_event JSON file whose span structure matches
+//! the golden compile/eval shape (stage spans under `compile`, wavefront
+//! levels under `eval`).
+
+use souffle::trace::chrome;
+use souffle::trace::json::{self, Value};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn run_cli(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_souffle-cli"))
+        .args(args)
+        .output()
+        .expect("run souffle-cli")
+}
+
+fn event_names(doc: &str) -> Vec<String> {
+    let root = json::parse(doc).expect("parse trace");
+    root.get("traceEvents")
+        .and_then(Value::as_arr)
+        .expect("traceEvents array")
+        .iter()
+        .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+        .map(|e| e.get("name").and_then(Value::as_str).unwrap().to_string())
+        .collect()
+}
+
+#[test]
+fn trace_out_emits_valid_chrome_trace_with_golden_shape() {
+    let path: PathBuf =
+        std::env::temp_dir().join(format!("souffle-cli-trace-{}.json", std::process::id()));
+    let out = run_cli(&["lstm", "--tiny", "--trace-out", path.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "cli failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = std::fs::read_to_string(&path).expect("trace file written");
+    let _ = std::fs::remove_file(&path);
+
+    let stats = chrome::validate(&doc).expect("valid Chrome trace JSON");
+    assert!(stats.complete_events > 10, "{stats:?}");
+    assert!(stats.metadata_events >= 1, "{stats:?}");
+
+    // Golden shape: the pipeline stage spans appear in order under
+    // `compile`, then the runtime's wavefront spans.
+    let names = event_names(&doc);
+    let pos = |n: &str| {
+        names
+            .iter()
+            .position(|x| x == n)
+            .unwrap_or_else(|| panic!("missing span `{n}` in {names:?}"))
+    };
+    let compile = pos("compile");
+    let analysis = pos("analysis");
+    let lower = pos("lower");
+    let eval = pos("eval");
+    let level0 = pos("level:0");
+    assert!(compile < analysis && analysis < lower && lower < eval && eval < level0);
+    assert!(
+        names.iter().any(|n| n.starts_with("te:")),
+        "no per-TE spans in {names:?}"
+    );
+    // Spans are recorded in creation order; Chrome events preserve it, so
+    // sub-analysis passes sit between `analysis` and `lower`.
+    let sched = pos("analysis:schedule");
+    assert!(analysis < sched && sched < lower);
+}
+
+#[test]
+fn trace_out_rejects_missing_path() {
+    let out = run_cli(&["lstm", "--tiny", "--trace-out"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--trace-out expects a file path"), "{err}");
+}

@@ -16,13 +16,20 @@
 //! buffers and re-runs serially, so stale data can never leak into
 //! results.
 
-/// Allocation statistics for one [`BufferArena`] (monotonic counters).
+/// Allocation statistics for one [`BufferArena`].
+///
+/// `reused`/`allocated` count requests since the arena was created or
+/// since the last [`BufferArena::take_stats`]; `high_water_bytes` is the
+/// peak number of bytes parked on the free list over the same window
+/// (i.e. memory the arena retained between evaluations).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ArenaStats {
     /// Requests served by recycling a free-listed buffer.
     pub reused: u64,
     /// Requests that had to allocate a fresh buffer.
     pub allocated: u64,
+    /// Peak bytes held on the free list.
+    pub high_water_bytes: u64,
 }
 
 impl ArenaStats {
@@ -46,6 +53,8 @@ impl ArenaStats {
 pub struct BufferArena {
     free: Vec<Vec<f32>>,
     stats: ArenaStats,
+    /// Bytes currently parked on the free list (capacity, not length).
+    parked_bytes: u64,
 }
 
 /// Cap on free-listed buffers; beyond this the smallest is dropped so a
@@ -72,6 +81,7 @@ impl BufferArena {
         match best {
             Some((i, _)) => {
                 let mut buf = self.free.swap_remove(i);
+                self.parked_bytes -= cap_bytes(buf.capacity());
                 if buf.len() >= len {
                     // Stale prefix is fine: every element is overwritten
                     // before any read (see module docs).
@@ -94,6 +104,7 @@ impl BufferArena {
         if buf.capacity() == 0 {
             return;
         }
+        self.parked_bytes += cap_bytes(buf.capacity());
         self.free.push(buf);
         if self.free.len() > MAX_FREE {
             // Drop the smallest buffer: large ones are the expensive
@@ -104,9 +115,11 @@ impl BufferArena {
                 .enumerate()
                 .min_by_key(|(_, b)| b.capacity())
             {
-                self.free.swap_remove(i);
+                let evicted = self.free.swap_remove(i);
+                self.parked_bytes -= cap_bytes(evicted.capacity());
             }
         }
+        self.stats.high_water_bytes = self.stats.high_water_bytes.max(self.parked_bytes);
     }
 
     /// Number of buffers currently on the free list.
@@ -114,10 +127,33 @@ impl BufferArena {
         self.free.len()
     }
 
-    /// Monotonic reuse/allocation counters.
+    /// Counters since creation or the last [`BufferArena::take_stats`].
     pub fn stats(&self) -> ArenaStats {
         self.stats
     }
+
+    /// Drains the counters, returning what was accumulated and starting a
+    /// fresh window: `reused`/`allocated` reset to 0 and the high-water
+    /// mark restarts from the bytes *currently* parked (retained buffers
+    /// still count toward the next window's peak). This is what gives
+    /// per-evaluation stats instead of the pre-existing
+    /// accumulate-forever behavior.
+    pub fn take_stats(&mut self) -> ArenaStats {
+        let out = self.stats;
+        self.stats = ArenaStats {
+            reused: 0,
+            allocated: 0,
+            high_water_bytes: self.parked_bytes,
+        };
+        out
+    }
+}
+
+/// Bytes the allocator actually holds for a buffer of capacity `cap`
+/// (capacity, not length — a truncated buffer still pins its full
+/// allocation).
+fn cap_bytes(cap: usize) -> u64 {
+    (cap * std::mem::size_of::<f32>()) as u64
 }
 
 #[cfg(test)]
@@ -133,7 +169,8 @@ mod tests {
             a.stats(),
             ArenaStats {
                 reused: 0,
-                allocated: 1
+                allocated: 1,
+                high_water_bytes: 0
             }
         );
     }
@@ -186,5 +223,43 @@ mod tests {
             a.give(vec![0.0; i + 1]);
         }
         assert!(a.free_buffers() <= MAX_FREE);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_parked_bytes() {
+        let mut a = BufferArena::new();
+        let b1 = a.take(8); // 32 bytes
+        let b2 = a.take(4); // 16 bytes
+        assert_eq!(a.stats().high_water_bytes, 0, "nothing parked yet");
+        a.give(b1);
+        a.give(b2);
+        let peak = a.stats().high_water_bytes;
+        assert!(peak >= 48, "both buffers parked: {peak}");
+        // Taking one back shrinks parked bytes but never the peak.
+        let _b = a.take(8);
+        assert_eq!(a.stats().high_water_bytes, peak);
+    }
+
+    #[test]
+    fn take_stats_resets_window_but_keeps_parked_baseline() {
+        let mut a = BufferArena::new();
+        let b = a.take(8);
+        a.give(b);
+        let first = a.take_stats();
+        assert_eq!(first.allocated, 1);
+        assert!(first.high_water_bytes >= 32);
+        // New window: counters zero, high-water restarts at the bytes
+        // still parked (the buffer is still retained).
+        let now = a.stats();
+        assert_eq!(now.reused, 0);
+        assert_eq!(now.allocated, 0);
+        assert_eq!(now.high_water_bytes, first.high_water_bytes);
+        // A reuse in the new window is counted from zero.
+        let b = a.take(8);
+        assert_eq!(a.stats().reused, 1);
+        a.give(b);
+        let second = a.take_stats();
+        assert_eq!(second.reused, 1);
+        assert_eq!(second.allocated, 0);
     }
 }

@@ -63,8 +63,8 @@ mod vm;
 pub use arena::{ArenaStats, BufferArena};
 pub use compile::{compile_program, CompiledProgram, CompiledTe, Evaluator};
 pub use expr::{BinaryOp, CmpOp, Cond, ScalarExpr, UnaryOp};
-pub use pool::ThreadPool;
+pub use pool::{PoolStats, ThreadPool};
 pub use program::{TeProgram, TensorId, TensorInfo, TensorKind, ValidateError};
-pub use runtime::{ExecPlan, Runtime, RuntimeOptions};
+pub use runtime::{ExecPlan, Runtime, RuntimeOptions, RuntimeStats};
 pub use te::{ReduceOp, TeId, TensorExpr};
 pub use vm::{thread_count, THREADS_ENV};

@@ -22,13 +22,28 @@
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// A lifetime-erased unit of work.
 type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Scheduling counters for one [`ThreadPool`], accumulated since pool
+/// creation or the last [`ThreadPool::take_stats`]. All updates are
+/// relaxed atomics on paths that already hold a deque mutex, so the
+/// accounting adds no contention.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Tasks submitted through [`Scope::spawn`].
+    pub tasks: u64,
+    /// Tasks executed by a thread other than the deque they were pushed
+    /// to (worker cross-steals plus scope-helper grabs).
+    pub steals: u64,
+    /// Peak length of any single worker deque observed at push time.
+    pub max_queue_depth: u64,
+}
 
 struct Shared {
     /// One deque per worker. Owners pop from the front, thieves steal from
@@ -43,6 +58,12 @@ struct Shared {
     shutdown: AtomicBool,
     /// Round-robin cursor for task distribution.
     rr: AtomicUsize,
+    /// [`PoolStats::tasks`].
+    tasks: AtomicU64,
+    /// [`PoolStats::steals`].
+    steals: AtomicU64,
+    /// [`PoolStats::max_queue_depth`].
+    max_depth: AtomicU64,
 }
 
 impl Shared {
@@ -64,6 +85,7 @@ impl Shared {
                 .expect("pool deque poisoned")
                 .pop_back()
             {
+                self.steals.fetch_add(1, Ordering::Relaxed);
                 return Some(t);
             }
         }
@@ -75,6 +97,7 @@ impl Shared {
     fn grab_any(&self) -> Option<Task> {
         for d in &self.deques {
             if let Some(t) = d.lock().expect("pool deque poisoned").pop_back() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
                 return Some(t);
             }
         }
@@ -163,6 +186,9 @@ impl ThreadPool {
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
             rr: AtomicUsize::new(0),
+            tasks: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            max_depth: AtomicU64::new(0),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -186,14 +212,37 @@ impl ThreadPool {
 
     fn push(&self, task: Task) {
         let i = self.shared.rr.fetch_add(1, Ordering::Relaxed) % self.shared.deques.len();
-        self.shared.deques[i]
-            .lock()
-            .expect("pool deque poisoned")
-            .push_back(task);
+        let depth = {
+            let mut d = self.shared.deques[i].lock().expect("pool deque poisoned");
+            d.push_back(task);
+            d.len() as u64
+        };
+        self.shared.tasks.fetch_add(1, Ordering::Relaxed);
+        self.shared.max_depth.fetch_max(depth, Ordering::Relaxed);
         // Notify under the sleep lock so a worker between "scan found
         // nothing" and "wait" cannot miss this task.
         let _g = self.shared.sleep.lock().expect("pool sleep lock poisoned");
         self.shared.wake.notify_one();
+    }
+
+    /// Scheduling counters accumulated since creation or the last
+    /// [`ThreadPool::take_stats`].
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            tasks: self.shared.tasks.load(Ordering::Relaxed),
+            steals: self.shared.steals.load(Ordering::Relaxed),
+            max_queue_depth: self.shared.max_depth.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drains the counters, returning what was accumulated and resetting
+    /// all of them to zero.
+    pub fn take_stats(&self) -> PoolStats {
+        PoolStats {
+            tasks: self.shared.tasks.swap(0, Ordering::Relaxed),
+            steals: self.shared.steals.swap(0, Ordering::Relaxed),
+            max_queue_depth: self.shared.max_depth.swap(0, Ordering::Relaxed),
+        }
     }
 
     /// Runs `f` with a [`Scope`] through which tasks borrowing data alive
@@ -417,6 +466,27 @@ mod tests {
             });
         });
         assert_eq!(ok.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn stats_count_tasks_and_reset_on_take() {
+        let pool = ThreadPool::new(2);
+        let count = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..40 {
+                let count = &count;
+                s.spawn(move || {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        let stats = pool.take_stats();
+        assert_eq!(stats.tasks, 40);
+        assert!(stats.max_queue_depth >= 1);
+        // `steals` is timing-dependent (0 is legal if workers kept up),
+        // but it can never exceed the number of tasks.
+        assert!(stats.steals <= stats.tasks);
+        assert_eq!(pool.stats(), PoolStats::default());
     }
 
     #[test]

@@ -33,16 +33,23 @@
 use crate::arena::{ArenaStats, BufferArena};
 use crate::compile::{CompiledProgram, CompiledTe};
 use crate::interp::EvalError;
-use crate::pool::ThreadPool;
+use crate::pool::{PoolStats, ThreadPool};
 use crate::program::{TensorId, TensorKind};
 use crate::vm::{run_chunk, thread_count, SERIAL_THRESHOLD};
 use souffle_tensor::Tensor;
+use souffle_trace::{SpanId, Tracer};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 /// Target number of stealable chunks per execution stream; more chunks
 /// than streams lets stealing balance uneven TE costs within a level.
 const TASKS_PER_THREAD: usize = 4;
+
+/// Synthetic Chrome-trace lane base for per-TE spans: members of one
+/// wavefront level get lanes `BASE, BASE+1, …` so they render as parallel
+/// tracks rather than stacking on the coordinator's thread.
+const TRACE_LANE_BASE: u64 = 1000;
 
 /// A wavefront execution plan for one [`CompiledProgram`]: TEs grouped
 /// into dependency levels, plus per-level lists of tensors whose last
@@ -221,6 +228,17 @@ impl Default for RuntimeOptions {
     }
 }
 
+/// Combined runtime counters: arena reuse/allocation/high-water plus pool
+/// task/steal/queue-depth stats. Snapshot via [`Runtime::stats`], or
+/// drain per evaluation via [`Runtime::take_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Buffer-arena counters.
+    pub arena: ArenaStats,
+    /// Thread-pool counters (all zero for single-threaded runtimes).
+    pub pool: PoolStats,
+}
+
 /// The persistent evaluation runtime: one work-stealing pool plus one
 /// buffer arena, reused across every `eval` call made through it.
 ///
@@ -287,6 +305,39 @@ impl Runtime {
         self.arena.lock().expect("arena lock poisoned").stats()
     }
 
+    /// Pool scheduling counters (zero for a single-threaded runtime).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool
+            .as_ref()
+            .map(ThreadPool::stats)
+            .unwrap_or_default()
+    }
+
+    /// Arena + pool counters accumulated since runtime creation or the
+    /// last [`Runtime::take_stats`].
+    pub fn stats(&self) -> RuntimeStats {
+        RuntimeStats {
+            arena: self.arena_stats(),
+            pool: self.pool_stats(),
+        }
+    }
+
+    /// Drains both counter sets, returning what was accumulated and
+    /// starting a fresh window. Before this existed, `BufferArena`
+    /// counters accumulated across `eval` calls with no way to reset, so
+    /// any per-evaluation reading (and the tracer counters derived from
+    /// it) double-counted earlier runs.
+    pub fn take_stats(&self) -> RuntimeStats {
+        RuntimeStats {
+            arena: self.arena.lock().expect("arena lock poisoned").take_stats(),
+            pool: self
+                .pool
+                .as_ref()
+                .map(ThreadPool::take_stats)
+                .unwrap_or_default(),
+        }
+    }
+
     /// Evaluates `cp`, returning **output tensors only** (intermediates
     /// are recycled through the arena). Levels come from
     /// [`ExecPlan::from_compiled`]; use [`Runtime::eval_with_plan`] to
@@ -302,7 +353,68 @@ impl Runtime {
         cp: &CompiledProgram,
         bindings: &HashMap<TensorId, Tensor>,
     ) -> Result<HashMap<TensorId, Tensor>, EvalError> {
-        self.eval_inner(cp, &ExecPlan::from_compiled(cp), bindings, false)
+        self.eval_inner(cp, &ExecPlan::from_compiled(cp), bindings, false, None)
+    }
+
+    /// [`Runtime::eval`] recording an `eval` span (with per-level
+    /// `level:<k>` children and per-TE `te:<name>` grandchildren) into
+    /// `tracer`, nested under `parent` when given.
+    ///
+    /// Span *structure* is recorded by the calling thread in plan order,
+    /// so it is identical for every pool size; only durations (gathered
+    /// from the workers) vary. Results are bit-identical to
+    /// [`Runtime::eval`] — tracing never touches data.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Runtime::eval`].
+    pub fn eval_traced(
+        &self,
+        cp: &CompiledProgram,
+        bindings: &HashMap<TensorId, Tensor>,
+        tracer: &Tracer,
+        parent: Option<SpanId>,
+    ) -> Result<HashMap<TensorId, Tensor>, EvalError> {
+        self.eval_inner(
+            cp,
+            &ExecPlan::from_compiled(cp),
+            bindings,
+            false,
+            Some((tracer, parent)),
+        )
+    }
+
+    /// [`Runtime::eval_traced`] with a caller-supplied [`ExecPlan`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Runtime::eval`].
+    pub fn eval_with_plan_traced(
+        &self,
+        cp: &CompiledProgram,
+        plan: &ExecPlan,
+        bindings: &HashMap<TensorId, Tensor>,
+        tracer: &Tracer,
+        parent: Option<SpanId>,
+    ) -> Result<HashMap<TensorId, Tensor>, EvalError> {
+        self.eval_inner(cp, plan, bindings, false, Some((tracer, parent)))
+    }
+
+    /// [`Runtime::eval_keeping_intermediates_with_plan`] recording spans
+    /// into `tracer` (see [`Runtime::eval_traced`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Runtime::eval`].
+    pub fn eval_keeping_intermediates_with_plan_traced(
+        &self,
+        cp: &CompiledProgram,
+        plan: &ExecPlan,
+        bindings: &HashMap<TensorId, Tensor>,
+        tracer: &Tracer,
+        parent: Option<SpanId>,
+    ) -> Result<HashMap<TensorId, Tensor>, EvalError> {
+        self.eval_inner(cp, plan, bindings, true, Some((tracer, parent)))
     }
 
     /// [`Runtime::eval`] with a caller-supplied [`ExecPlan`].
@@ -316,7 +428,7 @@ impl Runtime {
         plan: &ExecPlan,
         bindings: &HashMap<TensorId, Tensor>,
     ) -> Result<HashMap<TensorId, Tensor>, EvalError> {
-        self.eval_inner(cp, plan, bindings, false)
+        self.eval_inner(cp, plan, bindings, false, None)
     }
 
     /// Evaluates `cp` keeping every TE-produced tensor (the
@@ -332,7 +444,7 @@ impl Runtime {
         cp: &CompiledProgram,
         bindings: &HashMap<TensorId, Tensor>,
     ) -> Result<HashMap<TensorId, Tensor>, EvalError> {
-        self.eval_inner(cp, &ExecPlan::from_compiled(cp), bindings, true)
+        self.eval_inner(cp, &ExecPlan::from_compiled(cp), bindings, true, None)
     }
 
     /// [`Runtime::eval_keeping_intermediates`] with a caller-supplied
@@ -347,7 +459,7 @@ impl Runtime {
         plan: &ExecPlan,
         bindings: &HashMap<TensorId, Tensor>,
     ) -> Result<HashMap<TensorId, Tensor>, EvalError> {
-        self.eval_inner(cp, plan, bindings, true)
+        self.eval_inner(cp, plan, bindings, true, None)
     }
 
     fn eval_inner(
@@ -356,6 +468,7 @@ impl Runtime {
         plan: &ExecPlan,
         bindings: &HashMap<TensorId, Tensor>,
         keep_all: bool,
+        trace: Option<(&Tracer, Option<SpanId>)>,
     ) -> Result<HashMap<TensorId, Tensor>, EvalError> {
         enum Slot<'a> {
             Empty,
@@ -384,7 +497,25 @@ impl Runtime {
         };
         let recycle = self.arena_enabled && !keep_all;
 
+        // Tracing: the coordinator records every span (eval → level:<k> →
+        // te:<name>) in plan order so the tree structure is identical for
+        // every pool size; workers only contribute wall-clock timestamps
+        // via the per-TE atomics below.
+        let tracing = trace.filter(|(t, _)| t.is_enabled());
+        let tr: Option<&Tracer> = tracing.map(|(t, _)| t);
+        let eval_span = tracing.map(|(t, parent)| t.span_under("eval", parent));
+
         for (lvl, tes) in plan.levels.iter().enumerate() {
+            let level_span = eval_span.as_ref().map(|e| e.child(&format!("level:{lvl}")));
+            let level_t0 = tr.map_or(0, Tracer::now_ns);
+            // (earliest chunk start, latest chunk end) per level member.
+            let times: Vec<(AtomicU64, AtomicU64)> = if tr.is_some() {
+                (0..tes.len())
+                    .map(|_| (AtomicU64::new(u64::MAX), AtomicU64::new(0)))
+                    .collect()
+            } else {
+                Vec::new()
+            };
             let failed;
             // Phase 1: acquire output buffers and gather operand slices.
             // The operand refs borrow `slots`, so result insertion waits
@@ -432,20 +563,42 @@ impl Runtime {
                     .collect();
                 let total_tasks: usize = results.iter().map(Vec::len).sum();
                 if !pooled || total_tasks <= 1 {
-                    for ((ti, buf, ops), res) in work.iter_mut().zip(&mut results) {
-                        res[0] = run_chunk(&cp.tes[*ti], 0, buf, ops);
+                    for (i, ((ti, buf, ops), res)) in work.iter_mut().zip(&mut results).enumerate()
+                    {
+                        match tr {
+                            Some(t) => {
+                                let t0 = t.now_ns();
+                                res[0] = run_chunk(&cp.tes[*ti], 0, buf, ops);
+                                let t1 = t.now_ns();
+                                times[i].0.fetch_min(t0, Ordering::Relaxed);
+                                times[i].1.fetch_max(t1, Ordering::Relaxed);
+                            }
+                            None => res[0] = run_chunk(&cp.tes[*ti], 0, buf, ops),
+                        }
                     }
                 } else {
                     let pool = self.pool.as_ref().expect("pooled implies pool");
                     pool.scope(|s| {
-                        for ((ti, buf, ops), res) in work.iter_mut().zip(&mut results) {
+                        for (i, ((ti, buf, ops), res)) in
+                            work.iter_mut().zip(&mut results).enumerate()
+                        {
                             let te = &cp.tes[*ti];
                             let chunk = chunk_len(te, threads);
                             let ops: &[&[f32]] = ops;
+                            let t_slot = times.get(i);
                             for ((ci, slice), r) in
                                 buf.chunks_mut(chunk).enumerate().zip(res.iter_mut())
                             {
-                                s.spawn(move || *r = run_chunk(te, ci * chunk, slice, ops));
+                                s.spawn(move || match (tr, t_slot) {
+                                    (Some(t), Some(slot)) => {
+                                        let t0 = t.now_ns();
+                                        *r = run_chunk(te, ci * chunk, slice, ops);
+                                        let t1 = t.now_ns();
+                                        slot.0.fetch_min(t0, Ordering::Relaxed);
+                                        slot.1.fetch_max(t1, Ordering::Relaxed);
+                                    }
+                                    _ => *r = run_chunk(te, ci * chunk, slice, ops),
+                                });
                             }
                         }
                     });
@@ -470,6 +623,31 @@ impl Runtime {
                     }
                 }
                 return eval_serial(cp, bindings, keep_all);
+            }
+
+            // Record per-TE spans in plan order (structure deterministic;
+            // timing from the atomics the executing threads filled). The
+            // synthetic lane tid renders level members on parallel tracks
+            // in chrome://tracing.
+            if let (Some(t), Some(level)) = (tr, &level_span) {
+                for (slot, &ti) in tes.iter().enumerate() {
+                    let start = times[slot].0.load(Ordering::Relaxed);
+                    let end = times[slot].1.load(Ordering::Relaxed);
+                    let (start, end) = if start == u64::MAX {
+                        // Zero-element TE: no chunk ever ran; pin the
+                        // empty span at the level start so it still nests.
+                        (level_t0, level_t0)
+                    } else {
+                        (start, end)
+                    };
+                    t.record_span(
+                        &format!("te:{}", cp.tes[ti].name),
+                        level.id(),
+                        start,
+                        end,
+                        TRACE_LANE_BASE + slot as u64,
+                    );
+                }
             }
 
             // Phase 3: publish results, then retire tensors whose last

@@ -1,0 +1,91 @@
+//! Golden-file assertions with in-tree blessing.
+//!
+//! A golden test renders some stable artifact (a trace span tree, a
+//! report, generated source) to a string and compares it against a file
+//! checked into the repository. On mismatch the failure prints both
+//! sides and the one command that refreshes the file:
+//!
+//! ```sh
+//! TESTKIT_BLESS=1 cargo test <name>
+//! ```
+//!
+//! Blessing rewrites the golden file with the actual output (creating
+//! parent directories as needed) instead of failing, so intentional
+//! structure changes are a one-command update reviewed via the diff.
+
+use std::path::Path;
+
+/// Whether `TESTKIT_BLESS` is set to a truthy value (anything but empty
+/// or `0`).
+pub fn blessing() -> bool {
+    match std::env::var("TESTKIT_BLESS") {
+        Ok(v) => !v.is_empty() && v != "0",
+        Err(_) => false,
+    }
+}
+
+/// Asserts `actual` matches the golden file at `path`, or rewrites the
+/// file when [`blessing`].
+///
+/// # Panics
+///
+/// Panics when the file is missing or differs (and `TESTKIT_BLESS` is
+/// not set), or when blessing cannot write the file.
+pub fn assert_golden(path: &Path, actual: &str) {
+    if blessing() {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", dir.display()));
+        }
+        std::fs::write(path, actual)
+            .unwrap_or_else(|e| panic!("cannot bless {}: {e}", path.display()));
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); generate it with TESTKIT_BLESS=1",
+            path.display()
+        )
+    });
+    if expected != actual {
+        panic!(
+            "golden mismatch against {}\n\
+             --- expected ---\n{expected}\n--- actual ---\n{actual}\n\
+             refresh with: TESTKIT_BLESS=1 cargo test",
+            path.display()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matching_golden_passes() {
+        let dir = std::env::temp_dir().join("souffle-testkit-golden");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("match.txt");
+        std::fs::write(&path, "hello\n").unwrap();
+        assert_golden(&path, "hello\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "golden mismatch")]
+    fn mismatch_panics_with_refresh_hint() {
+        let dir = std::env::temp_dir().join("souffle-testkit-golden");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mismatch.txt");
+        std::fs::write(&path, "old\n").unwrap();
+        assert_golden(&path, "new\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "missing golden file")]
+    fn missing_file_mentions_bless() {
+        let path = std::env::temp_dir().join("souffle-testkit-golden/definitely-missing.txt");
+        let _ = std::fs::remove_file(&path);
+        assert_golden(&path, "x");
+    }
+}

@@ -30,6 +30,7 @@
 //! `TESTKIT_SEED=<reported seed> cargo test <name>` replays the exact
 //! failing run.
 
+pub mod golden;
 pub mod mutate;
 pub mod oracle;
 mod prop;

@@ -15,6 +15,8 @@
 //! broken rewrite.
 
 use souffle::{Souffle, SouffleOptions};
+use souffle_baselines::{RammerStrategy, Strategy, StrategyContext};
+use souffle_sched::GpuSpec;
 use souffle_te::interp::{eval_with_random_inputs_using, random_bindings, EvalError};
 use souffle_te::{
     compile_program, source::te_source, Evaluator, Runtime, RuntimeOptions, TeProgram, TensorId,
@@ -47,18 +49,26 @@ pub enum Stage {
     /// and the compiled bytecode VM must reproduce it **bit-exactly**
     /// (tolerance is ignored for this stage).
     CrossEvaluator,
+    /// The program with its TEs re-ordered into a baseline strategy's
+    /// flattened kernel-group order (Rammer's wavefront grouping — the
+    /// most aggressive re-orderer). Every baseline claims its groups are
+    /// in execution order; this checks that executing TEs in that order
+    /// is semantic-preserving. [`check_baseline`] runs the same check for
+    /// an arbitrary strategy.
+    BaselineOrder,
 }
 
 impl Stage {
     /// Every stage, in pipeline order (the evaluator cross-check runs
     /// last).
-    pub const ALL: [Stage; 6] = [
+    pub const ALL: [Stage; 7] = [
         Stage::Horizontal,
         Stage::Vertical,
         Stage::Transform,
         Stage::ScheduleMerge,
         Stage::FullPipeline,
         Stage::CrossEvaluator,
+        Stage::BaselineOrder,
     ];
 
     /// Short stable name for reports.
@@ -70,6 +80,7 @@ impl Stage {
             Stage::ScheduleMerge => "schedule-merge",
             Stage::FullPipeline => "full-pipeline",
             Stage::CrossEvaluator => "cross-evaluator",
+            Stage::BaselineOrder => "baseline-order",
         }
     }
 
@@ -87,8 +98,69 @@ impl Stage {
                     .program
             }
             Stage::CrossEvaluator => program.clone(),
+            Stage::BaselineOrder => baseline_order(program, &RammerStrategy),
         }
     }
+}
+
+/// Rebuilds `program` with its TEs permuted into `strategy`'s flattened
+/// kernel-group order. Tensor ids are unchanged (tensors are copied in
+/// declaration order), so bindings and outputs carry over directly.
+pub fn baseline_order(program: &TeProgram, strategy: &dyn Strategy) -> TeProgram {
+    let ctx = StrategyContext::new(program, &GpuSpec::a100());
+    let mut reordered = TeProgram::new();
+    for t in program.tensors() {
+        reordered.add_tensor(&t.name, t.shape.clone(), t.dtype, t.kind);
+    }
+    for te in strategy.group(&ctx).into_iter().flatten() {
+        reordered.push_te(program.te(te).clone());
+    }
+    reordered
+}
+
+/// Differentially checks one baseline strategy: re-orders the program's
+/// TEs into the strategy's kernel-group execution order (see
+/// [`baseline_order`]) and requires the result to validate (the order is
+/// topological) and evaluate **bit-identically** to the untouched program
+/// — the baselines lower the *same* TE semantics, only grouped
+/// differently, so re-ordering whole TEs must not change a single bit.
+/// `tol` only shapes the mismatch report.
+///
+/// # Errors
+///
+/// Returns an [`OracleError`] (reported under [`Stage::BaselineOrder`])
+/// when the reordered program is invalid or diverges.
+pub fn check_baseline(
+    program: &TeProgram,
+    strategy: &dyn Strategy,
+    seed: u64,
+    tol: &Tolerance,
+) -> Result<(), OracleError> {
+    let stage = Stage::BaselineOrder;
+    let transformed = baseline_order(program, strategy);
+    if let Err(e) = transformed.validate() {
+        return Err(OracleError::Invalid {
+            stage,
+            detail: format!("{} order: {e:?}", strategy.name()),
+            program: te_source(&transformed),
+        });
+    }
+    let want =
+        eval_with_random_inputs_using(program, seed, Evaluator::Compiled).map_err(|error| {
+            OracleError::Eval {
+                stage,
+                which: "before",
+                error,
+            }
+        })?;
+    let got = eval_with_random_inputs_using(&transformed, seed, Evaluator::Compiled).map_err(
+        |error| OracleError::Eval {
+            stage,
+            which: "after",
+            error,
+        },
+    )?;
+    compare_outputs(program, &transformed, stage, seed, tol, true, &want, &got)
 }
 
 impl fmt::Display for Stage {

@@ -1,0 +1,227 @@
+//! Chrome `trace_event` export: serialize a [`Trace`] into the JSON
+//! Object Format consumed by `chrome://tracing` and Perfetto, plus a
+//! strict validator used by tests and CI to check emitted files without
+//! external dependencies.
+//!
+//! Mapping (see DESIGN.md "Trace schema"):
+//! * every closed span → one `"ph":"X"` complete event. `ts`/`dur` are
+//!   emitted in microseconds (the trace_event native unit) with three
+//!   fractional digits, preserving the tracer's nanosecond resolution;
+//!   `cat` is the span-name category (the part before the first `:`);
+//! * every counter → one `"ph":"C"` counter event stamped at the end of
+//!   the trace;
+//! * one `"ph":"M"` `process_name` metadata event names the process.
+
+use crate::json::{self, escape, Value};
+use crate::Trace;
+use std::fmt::Write as _;
+
+/// Category of a span name: the part before the first `:`, or the whole
+/// name (`compile`, `eval`, …) when there is no colon.
+pub fn category(name: &str) -> &str {
+    name.split(':').next().unwrap_or(name)
+}
+
+/// Nanoseconds → microseconds with three fractional digits, the form
+/// Chrome expects for `ts`/`dur` (both are doubles in trace_event).
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Serialize the trace as Chrome trace_event JSON (object format).
+pub fn chrome_json(trace: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n");
+    let mut first = true;
+    let mut push = |out: &mut String, ev: String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str("    ");
+        out.push_str(&ev);
+    };
+    push(
+        &mut out,
+        "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \
+         \"args\": {\"name\": \"souffle\"}}"
+            .to_string(),
+    );
+    let mut end_ts = 0u64;
+    for span in &trace.spans {
+        let end = span.end_ns.unwrap_or(span.start_ns);
+        end_ts = end_ts.max(end);
+        let mut ev = String::new();
+        let _ = write!(
+            ev,
+            "{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"pid\": 1, \
+             \"tid\": {}, \"ts\": {}, \"dur\": {}}}",
+            escape(&span.name),
+            escape(category(&span.name)),
+            span.tid,
+            us(span.start_ns),
+            us(end.saturating_sub(span.start_ns)),
+        );
+        push(&mut out, ev);
+    }
+    for (name, value) in &trace.counters {
+        let mut ev = String::new();
+        let _ = write!(
+            ev,
+            "{{\"name\": \"{}\", \"ph\": \"C\", \"pid\": 1, \"tid\": 0, \
+             \"ts\": {}, \"args\": {{\"value\": {}}}}}",
+            escape(name),
+            us(end_ts),
+            value,
+        );
+        push(&mut out, ev);
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// What [`validate`] counted in a well-formed Chrome trace document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChromeStats {
+    /// `"ph":"X"` complete (span) events.
+    pub complete_events: usize,
+    /// `"ph":"C"` counter events.
+    pub counter_events: usize,
+    /// `"ph":"M"` metadata events.
+    pub metadata_events: usize,
+}
+
+/// Validate a Chrome trace_event JSON document (the schema check run by
+/// tests and CI against `--trace-out` files). Checks:
+/// * the document parses and is an object with a `traceEvents` array;
+/// * every event is an object carrying string `name`/`ph` and numeric
+///   `pid`/`tid`;
+/// * `X` events carry numeric non-negative `ts` and `dur`;
+/// * `C` events carry `ts` and a numeric `args.value`;
+/// * only `X`/`C`/`M` phases appear.
+pub fn validate(doc: &str) -> Result<ChromeStats, String> {
+    let root = json::parse(doc)?;
+    let events = root
+        .get("traceEvents")
+        .ok_or("missing `traceEvents`")?
+        .as_arr()
+        .ok_or("`traceEvents` is not an array")?;
+    let mut stats = ChromeStats::default();
+    for (i, ev) in events.iter().enumerate() {
+        let obj = ev
+            .as_obj()
+            .ok_or_else(|| format!("event #{i} is not an object"))?;
+        let name = obj
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event #{i} missing string `name`"))?;
+        let ph = obj
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event #{i} (`{name}`) missing string `ph`"))?;
+        for key in ["pid", "tid"] {
+            obj.get(key)
+                .and_then(Value::as_num)
+                .ok_or_else(|| format!("event #{i} (`{name}`) missing numeric `{key}`"))?;
+        }
+        let num_field = |key: &str| -> Result<f64, String> {
+            obj.get(key)
+                .and_then(Value::as_num)
+                .ok_or_else(|| format!("event #{i} (`{name}`) missing numeric `{key}`"))
+        };
+        match ph {
+            "X" => {
+                let ts = num_field("ts")?;
+                let dur = num_field("dur")?;
+                if ts < 0.0 || dur < 0.0 || !ts.is_finite() || !dur.is_finite() {
+                    return Err(format!("event #{i} (`{name}`) has negative ts/dur"));
+                }
+                stats.complete_events += 1;
+            }
+            "C" => {
+                num_field("ts")?;
+                ev.get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(Value::as_num)
+                    .ok_or_else(|| format!("counter event #{i} (`{name}`) missing `args.value`"))?;
+                stats.counter_events += 1;
+            }
+            "M" => stats.metadata_events += 1,
+            other => {
+                return Err(format!(
+                    "event #{i} (`{name}`) has unsupported ph `{other}`"
+                ))
+            }
+        }
+    }
+    if stats.complete_events == 0 {
+        return Err("trace contains no complete (`ph:X`) events".into());
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+
+    fn sample_trace() -> Trace {
+        let t = Tracer::new();
+        {
+            let root = t.span("compile");
+            let a = root.child("analysis");
+            let _g = a.child("analysis:graph");
+        }
+        t.record_span("te:weird \"name\"\n", None, 5, 9, 1000);
+        t.add("arena.reused", 3);
+        t.add("sched.memo_hits", 11);
+        t.take()
+    }
+
+    #[test]
+    fn export_validates() {
+        let trace = sample_trace();
+        let doc = chrome_json(&trace);
+        let stats = validate(&doc).expect("valid chrome trace");
+        assert_eq!(stats.complete_events, 4);
+        assert_eq!(stats.counter_events, 2);
+        assert_eq!(stats.metadata_events, 1);
+    }
+
+    #[test]
+    fn export_preserves_names_and_categories() {
+        let trace = sample_trace();
+        let doc = chrome_json(&trace);
+        let root = json::parse(&doc).unwrap();
+        let events = root.get("traceEvents").unwrap().as_arr().unwrap();
+        let graph = events
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("analysis:graph"))
+            .expect("analysis:graph event present");
+        assert_eq!(graph.get("cat").and_then(Value::as_str), Some("analysis"));
+        assert!(events
+            .iter()
+            .any(|e| e.get("name").and_then(Value::as_str) == Some("te:weird \"name\"\n")));
+    }
+
+    #[test]
+    fn empty_trace_is_rejected() {
+        let doc = chrome_json(&Trace::default());
+        assert!(validate(&doc).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate("not json").is_err());
+        assert!(validate("{\"traceEvents\": 3}").is_err());
+        assert!(validate(
+            "{\"traceEvents\": [{\"name\": \"x\", \"ph\": \"Q\", \"pid\": 1, \"tid\": 0}]}"
+        )
+        .is_err());
+        assert!(validate(
+            "{\"traceEvents\": [{\"name\": \"x\", \"ph\": \"X\", \"pid\": 1, \"tid\": 0, \
+             \"ts\": 0}]}"
+        )
+        .is_err());
+    }
+}

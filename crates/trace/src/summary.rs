@@ -1,0 +1,226 @@
+//! `TraceSummary`: a compact, *stable-schema* aggregation of a [`Trace`]
+//! that bench binaries embed in `results/*.json`, giving cross-PR perf
+//! trajectory without storing full traces.
+//!
+//! Schema `souffle-trace-summary/1`:
+//!
+//! ```json
+//! {
+//!   "schema": "souffle-trace-summary/1",
+//!   "span_count": 42,
+//!   "categories": {
+//!     "analysis": {"spans": 6, "total_us": 1234},
+//!     ...
+//!   },
+//!   "counters": {"arena.reused": 17, ...}
+//! }
+//! ```
+//!
+//! Categories are span-name prefixes up to the first `:` (see
+//! [`crate::chrome::category`]); durations are summed per category in
+//! microseconds. Adding fields is allowed without a schema bump; renaming
+//! or removing them is not.
+
+use crate::chrome::category;
+use crate::json::{self, escape, Value};
+use crate::Trace;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema identifier written into every serialized summary.
+pub const SCHEMA: &str = "souffle-trace-summary/1";
+
+/// Aggregated per-category span stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CategoryStats {
+    /// Number of spans in the category.
+    pub spans: u64,
+    /// Sum of span durations, microseconds.
+    pub total_us: u64,
+}
+
+/// Stable aggregation of a trace: span counts + total time per category,
+/// and the final counter values.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total number of spans in the trace.
+    pub span_count: u64,
+    /// Per-category stats, keyed by category name (sorted).
+    pub categories: BTreeMap<String, CategoryStats>,
+    /// Counter values, keyed by counter name (sorted).
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl TraceSummary {
+    /// Aggregate a trace.
+    pub fn from_trace(trace: &Trace) -> TraceSummary {
+        let mut categories: BTreeMap<String, CategoryStats> = BTreeMap::new();
+        let mut total_ns: BTreeMap<String, u64> = BTreeMap::new();
+        for span in &trace.spans {
+            let cat = category(&span.name);
+            categories.entry(cat.to_string()).or_default().spans += 1;
+            *total_ns.entry(cat.to_string()).or_default() += span.dur_ns();
+        }
+        for (cat, ns) in total_ns {
+            categories.get_mut(&cat).unwrap().total_us = ns / 1_000;
+        }
+        TraceSummary {
+            span_count: trace.spans.len() as u64,
+            categories,
+            counters: trace.counters.clone(),
+        }
+    }
+
+    /// Serialize as a JSON object (no trailing newline), indented so it
+    /// embeds readably inside bench result files at `indent` spaces.
+    pub fn to_json(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let pad2 = " ".repeat(indent + 2);
+        let pad3 = " ".repeat(indent + 4);
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "{pad2}\"schema\": \"{}\",", escape(SCHEMA));
+        let _ = writeln!(out, "{pad2}\"span_count\": {},", self.span_count);
+        let _ = writeln!(out, "{pad2}\"categories\": {{");
+        let n = self.categories.len();
+        for (i, (name, st)) in self.categories.iter().enumerate() {
+            let comma = if i + 1 < n { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "{pad3}\"{}\": {{\"spans\": {}, \"total_us\": {}}}{comma}",
+                escape(name),
+                st.spans,
+                st.total_us
+            );
+        }
+        let _ = writeln!(out, "{pad2}}},");
+        let _ = writeln!(out, "{pad2}\"counters\": {{");
+        let n = self.counters.len();
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            let comma = if i + 1 < n { "," } else { "" };
+            let _ = writeln!(out, "{pad3}\"{}\": {value}{comma}", escape(name));
+        }
+        let _ = writeln!(out, "{pad2}}}");
+        let _ = write!(out, "{pad}}}");
+        out
+    }
+
+    /// Parse a serialized summary back (used by schema-check tests).
+    pub fn from_json(doc: &str) -> Result<TraceSummary, String> {
+        let root = json::parse(doc)?;
+        Self::from_value(&root)
+    }
+
+    /// Validate + extract a summary from an already-parsed JSON value
+    /// (e.g. the `trace_summary` member of a bench results file).
+    pub fn from_value(root: &Value) -> Result<TraceSummary, String> {
+        let schema = root
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or("summary missing `schema`")?;
+        if schema != SCHEMA {
+            return Err(format!("unexpected summary schema `{schema}`"));
+        }
+        let span_count = root
+            .get("span_count")
+            .and_then(Value::as_num)
+            .ok_or("summary missing numeric `span_count`")? as u64;
+        let mut categories = BTreeMap::new();
+        let cats = root
+            .get("categories")
+            .and_then(Value::as_obj)
+            .ok_or("summary missing object `categories`")?;
+        for (name, v) in cats {
+            let spans = v
+                .get("spans")
+                .and_then(Value::as_num)
+                .ok_or_else(|| format!("category `{name}` missing `spans`"))?;
+            let total_us = v
+                .get("total_us")
+                .and_then(Value::as_num)
+                .ok_or_else(|| format!("category `{name}` missing `total_us`"))?;
+            categories.insert(
+                name.clone(),
+                CategoryStats {
+                    spans: spans as u64,
+                    total_us: total_us as u64,
+                },
+            );
+        }
+        let mut counters = BTreeMap::new();
+        let ctrs = root
+            .get("counters")
+            .and_then(Value::as_obj)
+            .ok_or("summary missing object `counters`")?;
+        for (name, v) in ctrs {
+            let value = v
+                .as_num()
+                .ok_or_else(|| format!("counter `{name}` is not numeric"))?;
+            counters.insert(name.clone(), value as u64);
+        }
+        Ok(TraceSummary {
+            span_count,
+            categories,
+            counters,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+
+    fn sample() -> TraceSummary {
+        let t = Tracer::new();
+        t.record_span("compile", None, 0, 100_000, 0);
+        t.record_span("analysis:graph", None, 0, 30_000, 0);
+        t.record_span("analysis:reuse", None, 30_000, 50_000, 0);
+        t.add("arena.reused", 7);
+        t.add("pool.steals", 2);
+        TraceSummary::from_trace(&t.take())
+    }
+
+    #[test]
+    fn aggregates_by_category() {
+        let s = sample();
+        assert_eq!(s.span_count, 3);
+        assert_eq!(
+            s.categories.get("analysis"),
+            Some(&CategoryStats {
+                spans: 2,
+                total_us: 50
+            })
+        );
+        assert_eq!(
+            s.categories.get("compile"),
+            Some(&CategoryStats {
+                spans: 1,
+                total_us: 100
+            })
+        );
+        assert_eq!(s.counters.get("arena.reused"), Some(&7));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let s = sample();
+        let doc = s.to_json(0);
+        let back = TraceSummary::from_json(&doc).expect("round trips");
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        let doc = sample().to_json(0).replace(SCHEMA, "bogus/9");
+        assert!(TraceSummary::from_json(&doc).is_err());
+    }
+
+    #[test]
+    fn empty_trace_summarizes() {
+        let s = TraceSummary::from_trace(&Trace::default());
+        assert_eq!(s.span_count, 0);
+        let back = TraceSummary::from_json(&s.to_json(4)).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -30,6 +30,14 @@ cargo run -q --release --offline -p souffle --bin souffle-verify
 echo "== cargo test -q --offline =="
 cargo test -q --offline --workspace
 
+# Observability gate: golden span-tree structure for BERT/LSTM (refresh
+# with TESTKIT_BLESS=1 on intentional pipeline changes), trace property
+# suite, and an end-to-end `souffle-cli --trace-out` run whose Chrome
+# trace_event JSON is schema-checked in the test binary.
+echo "== golden traces + --trace-out schema check =="
+cargo test -q --offline --test trace_golden --test trace_properties
+cargo test -q --offline -p souffle --test cli_trace
+
 # Re-run the evaluator-facing suites with a pinned 2-stream wavefront pool:
 # results must be bit-identical under any SOUFFLE_EVAL_THREADS, and this
 # catches pool-size-dependent bugs that the ambient default would hide.

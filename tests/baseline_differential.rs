@@ -1,0 +1,80 @@
+//! Differential semantics check for the baseline strategies.
+//!
+//! Every baseline lowers the *same* TE program Souffle does — only the
+//! kernel grouping differs. The executable claim behind Table 3's
+//! comparison is therefore that running TEs in a baseline's flattened
+//! kernel-group order computes exactly what Souffle's reference
+//! evaluator computes. [`souffle_testkit::oracle::check_baseline`]
+//! re-orders the program into that order and demands bit-identical
+//! outputs; this suite drives it over all six paper models (test scale)
+//! and all six strategies, plus seeded random programs.
+
+use souffle::{Souffle, SouffleOptions};
+use souffle_baselines::all_baselines;
+use souffle_frontend::{build_model, Model, ModelConfig};
+use souffle_te::interp::random_bindings;
+use souffle_testkit::oracle::{baseline_order, check_baseline, Tolerance};
+use souffle_testkit::teprog::gen_spec;
+use souffle_testkit::{forall, Config};
+
+const MODELS: [Model; 6] = [
+    Model::Bert,
+    Model::ResNext,
+    Model::Lstm,
+    Model::EfficientNet,
+    Model::SwinTransformer,
+    Model::Mmoe,
+];
+
+#[test]
+fn baseline_order_matches_reference_on_all_models() {
+    let tol = Tolerance::default();
+    for model in MODELS {
+        let program = build_model(model, ModelConfig::Tiny);
+        for strategy in all_baselines() {
+            if let Err(e) = check_baseline(&program, strategy.as_ref(), 17, &tol) {
+                panic!("{model}/{}: {e}", strategy.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn baseline_order_matches_souffle_eval_reference() {
+    // The oracle compares against the raw program; this closes the loop
+    // against `Souffle::eval_reference` itself for one model: the
+    // reordered program's outputs must be bit-identical to what the full
+    // Souffle pipeline computes as reference semantics.
+    let program = build_model(Model::Lstm, ModelConfig::Tiny);
+    let souffle = Souffle::new(SouffleOptions::full());
+    let compiled = souffle.compile(&program);
+    let bindings = random_bindings(&program, 23);
+    let want = souffle.eval_reference(&compiled, &bindings).expect("eval");
+    for strategy in all_baselines() {
+        let reordered = baseline_order(&program, strategy.as_ref());
+        reordered.validate().expect("baseline order is topological");
+        let got = souffle_te::interp::eval_program(&reordered, &bindings).expect("eval");
+        for id in program.outputs() {
+            let (w, g) = (&want[&id], &got[&id]);
+            assert_eq!(w.shape(), g.shape(), "{}", strategy.name());
+            for (a, b) in w.data().iter().zip(g.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{}", strategy.name());
+            }
+        }
+    }
+}
+
+forall!(
+    baseline_order_is_semantic_preserving_on_random_programs,
+    Config::with_cases(16),
+    |rng| gen_spec(rng, 10),
+    |spec| {
+        let program = spec.build();
+        let tol = Tolerance::default();
+        for strategy in all_baselines() {
+            check_baseline(&program, strategy.as_ref(), 5, &tol)
+                .map_err(|e| format!("{}: {e}", strategy.name()))?;
+        }
+        Ok(())
+    }
+);

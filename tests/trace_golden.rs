@@ -1,0 +1,88 @@
+//! Golden span-tree structure tests for the tracing spine.
+//!
+//! The *structure* of a trace — span names, nesting, and which counters
+//! fired, never durations — is a deterministic function of the model and
+//! options. These tests pin that structure for BERT and LSTM at test
+//! scale: an accidental re-ordering of pipeline stages, a dropped verify
+//! pass, or a runtime span leak shows up as a golden diff.
+//!
+//! Refresh after an intentional change with:
+//!
+//! ```sh
+//! TESTKIT_BLESS=1 cargo test --test trace_golden
+//! ```
+
+use souffle::trace::{chrome, summary::TraceSummary, Tracer};
+use souffle::{Souffle, SouffleOptions};
+use souffle_frontend::{build_model, Model, ModelConfig};
+use souffle_te::interp::random_bindings;
+use souffle_testkit::golden::assert_golden;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compile + one inference with everything pinned deterministic: verify
+/// on (its spans are part of the contract), one execution stream (the
+/// work-stealing counters of a real pool are timing-dependent and must
+/// not leak into golden structure), arena on.
+fn traced_run(model: Model) -> souffle::trace::Trace {
+    let program = build_model(model, ModelConfig::Tiny);
+    let mut options = SouffleOptions::full();
+    options.verify = true;
+    options.eval_threads = Some(1);
+    options.eval_arena = true;
+    let tracer = Tracer::new();
+    let souffle = Souffle::new(options).with_tracer(tracer.clone());
+    let compiled = souffle.compile(&program);
+    let bindings = random_bindings(&program, 42);
+    souffle.eval_outputs(&compiled, &bindings).expect("eval");
+    let trace = tracer.take();
+    trace.well_formed().expect("well-formed trace");
+    trace
+}
+
+#[test]
+fn bert_trace_structure_matches_golden() {
+    let trace = traced_run(Model::Bert);
+    assert_golden(&golden_path("trace_bert.txt"), &trace.structure());
+}
+
+#[test]
+fn lstm_trace_structure_matches_golden() {
+    let trace = traced_run(Model::Lstm);
+    assert_golden(&golden_path("trace_lstm.txt"), &trace.structure());
+}
+
+#[test]
+fn structure_is_stable_across_runs() {
+    let a = traced_run(Model::Lstm).structure();
+    let b = traced_run(Model::Lstm).structure();
+    assert_eq!(a, b, "trace structure must not depend on timing");
+}
+
+#[test]
+fn chrome_export_of_golden_run_validates() {
+    let trace = traced_run(Model::Bert);
+    let doc = chrome::chrome_json(&trace);
+    let stats = chrome::validate(&doc).expect("valid Chrome trace");
+    // One X event per span, one C event per counter, plus metadata.
+    assert_eq!(stats.complete_events, trace.spans.len());
+    assert_eq!(stats.counter_events, trace.counters.len());
+    assert!(stats.metadata_events >= 1);
+}
+
+#[test]
+fn summary_of_golden_run_round_trips() {
+    let trace = traced_run(Model::Lstm);
+    let summary = TraceSummary::from_trace(&trace);
+    assert_eq!(summary.span_count, trace.spans.len() as u64);
+    assert!(summary.categories.contains_key("compile"), "{summary:?}");
+    assert!(summary.categories.contains_key("analysis"), "{summary:?}");
+    assert!(summary.categories.contains_key("eval"), "{summary:?}");
+    let back = TraceSummary::from_json(&summary.to_json(0)).expect("round trip");
+    assert_eq!(back, summary);
+}
