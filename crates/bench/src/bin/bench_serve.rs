@@ -1,0 +1,282 @@
+//! Latency vs offered load for the `souffle-serve` layer.
+//!
+//! For BERT and LSTM (tiny configs — the only sizes the in-process
+//! evaluator serves at interactive rates), this harness:
+//!
+//! 1. **calibrates** the single-request service time by round-tripping a
+//!    few requests through a real server and averaging the reported
+//!    batched-evaluation wall time (`Response::exec_ns` at batch 1);
+//! 2. **sweeps** open-loop offered load at 0.25×, 0.5×, 1×, and 2× of
+//!    that calibrated service rate, ~64 Poisson-ish arrivals per point
+//!    from the deterministic testkit PRNG (`TESTKIT_SEED` seeds the
+//!    arrival process and the request tensors);
+//! 3. writes `results/bench_serve.json` (schema `souffle-bench-serve/1`)
+//!    with p50/p95/p99 latency, achieved throughput, rejection counts,
+//!    and the executed batch-size histogram per point.
+//!
+//! Open-loop means arrivals do *not* wait for responses, so queueing
+//! delay and backpressure rejections appear as load crosses capacity —
+//! see EXPERIMENTS.md for the methodology and its caveats (single-core
+//! container, simulated GPU timing not involved here at all).
+//!
+//! `--smoke` runs one tiny point, writes to a temp file instead of
+//! `results/`, and validates the emitted JSON against the schema — the
+//! hermetic CI entry point (no timing assertions).
+
+use souffle_frontend::{build_model, Model, ModelConfig};
+use souffle_serve::{LoadConfig, LoadReport, ServeOptions, Server, ServerBuilder, ServerStats};
+use souffle_te::interp::random_bindings;
+use souffle_te::{TeProgram, TensorId, TensorKind};
+use souffle_tensor::Tensor;
+use souffle_testkit::seed_from_env;
+use std::collections::HashMap;
+
+/// One sweep point: what was offered, what came back.
+struct Row {
+    model: &'static str,
+    multiplier: f64,
+    report: LoadReport,
+    stats: ServerStats,
+}
+
+fn split_weights(
+    program: &TeProgram,
+    bindings: HashMap<TensorId, Tensor>,
+) -> (HashMap<TensorId, Tensor>, HashMap<TensorId, Tensor>) {
+    bindings
+        .into_iter()
+        .partition(|(id, _)| program.tensor(*id).kind == TensorKind::Weight)
+}
+
+fn serve_options() -> ServeOptions {
+    ServeOptions {
+        queue_capacity: 32,
+        max_batch: 8,
+        batch_deadline_ns: 1_000_000, // 1 ms
+        workers: 1,
+        buckets: vec![1, 2, 4, 8],
+    }
+}
+
+fn start_server(program: &TeProgram, weights: &HashMap<TensorId, Tensor>) -> Server {
+    ServerBuilder::new(serve_options())
+        .register("m", program, weights.clone())
+        .start()
+}
+
+/// Mean batch-1 evaluation wall time, measured through the server itself.
+fn calibrate_service_ns(
+    program: &TeProgram,
+    weights: &HashMap<TensorId, Tensor>,
+    seed: u64,
+) -> u64 {
+    let server = start_server(program, weights);
+    let rounds = 5;
+    let mut total = 0u64;
+    for i in 0..rounds {
+        let (_, inputs) = split_weights(program, random_bindings(program, seed.wrapping_add(i)));
+        let resp = server
+            .submit("m", inputs)
+            .expect_accepted()
+            .wait()
+            .expect("calibration request");
+        total += resp.exec_ns.max(1);
+    }
+    server.shutdown();
+    (total / rounds).max(1)
+}
+
+fn run_point(
+    program: &TeProgram,
+    weights: &HashMap<TensorId, Tensor>,
+    model: &'static str,
+    multiplier: f64,
+    offered_rps: f64,
+    requests: usize,
+    seed: u64,
+) -> Row {
+    let server = start_server(program, weights);
+    let cfg = LoadConfig {
+        requests,
+        offered_rps,
+        seed,
+    };
+    let report = souffle_serve::run_open_loop(&server, "m", &cfg, |rng, _| {
+        split_weights(program, random_bindings(program, rng.next_u64())).1
+    });
+    let stats = server.shutdown();
+    Row {
+        model,
+        multiplier,
+        report,
+        stats,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Hand-rolled writer (the workspace is dependency-free by design).
+fn render_report(seed: u64, rows: &[Row]) -> String {
+    let opts = serve_options();
+    let mut out = String::from("{\n  \"schema\": \"souffle-bench-serve/1\",\n");
+    out.push_str(&format!("  \"testkit_seed\": {seed},\n"));
+    out.push_str(&format!(
+        "  \"config\": {{\"queue_capacity\": {}, \"max_batch\": {}, \"batch_deadline_ns\": {}, \"workers\": {}, \"buckets\": {:?}}},\n",
+        opts.queue_capacity, opts.max_batch, opts.batch_deadline_ns, opts.workers, opts.buckets
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        let hist: Vec<String> = r.stats.batch_hist.iter().map(u64::to_string).collect();
+        out.push_str(&format!(
+            "    {{\"model\": \"{}\", \"load_multiplier\": {:.2}, \"offered_rps\": {:.1}, \
+             \"submitted\": {}, \"rejected\": {}, \"completed\": {}, \
+             \"throughput_rps\": {:.1}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \
+             \"mean_batch\": {:.2}, \"batches\": {}, \"size_flushes\": {}, \"deadline_flushes\": {}, \
+             \"padded_slots\": {}, \"batch_hist\": [{}]}}{sep}\n",
+            json_escape(r.model),
+            r.multiplier,
+            r.report.offered_rps,
+            r.report.submitted,
+            r.report.rejected,
+            r.report.completed,
+            r.report.throughput_rps(),
+            r.report.percentile_ms(50.0),
+            r.report.percentile_ms(95.0),
+            r.report.percentile_ms(99.0),
+            r.stats.mean_batch(),
+            r.stats.batches,
+            r.stats.size_flushes,
+            r.stats.deadline_flushes,
+            r.stats.padded_slots,
+            hist.join(", "),
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Structural validation of the emitted report — shared by `--smoke` and
+/// usable against the committed file.
+fn validate_report(raw: &str) -> Result<(), String> {
+    let v = souffle_trace::json::parse(raw)?;
+    let schema = v
+        .get("schema")
+        .and_then(|s| s.as_str())
+        .ok_or("missing schema")?;
+    if schema != "souffle-bench-serve/1" {
+        return Err(format!("unexpected schema {schema:?}"));
+    }
+    v.get("testkit_seed")
+        .and_then(|s| s.as_num())
+        .ok_or("missing testkit_seed")?;
+    let rows = v
+        .get("rows")
+        .and_then(|r| r.as_arr())
+        .ok_or("missing rows")?;
+    if rows.is_empty() {
+        return Err("rows must not be empty".into());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        for key in [
+            "model",
+            "offered_rps",
+            "submitted",
+            "rejected",
+            "completed",
+            "throughput_rps",
+            "p50_ms",
+            "p95_ms",
+            "p99_ms",
+            "mean_batch",
+            "batch_hist",
+        ] {
+            row.get(key).ok_or(format!("row {i}: missing {key:?}"))?;
+        }
+        let (sub, rej, comp) = (
+            row.get("submitted")
+                .and_then(|x| x.as_num())
+                .unwrap_or(-1.0),
+            row.get("rejected").and_then(|x| x.as_num()).unwrap_or(-1.0),
+            row.get("completed")
+                .and_then(|x| x.as_num())
+                .unwrap_or(-1.0),
+        );
+        if sub < 0.0 || rej < 0.0 || sub != comp {
+            return Err(format!(
+                "row {i}: inconsistent accounting (submitted {sub}, rejected {rej}, completed {comp})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let seed = seed_from_env();
+    let (models, multipliers, requests): (&[Model], &[f64], usize) = if smoke {
+        (&[Model::Lstm], &[0.5], 8)
+    } else {
+        (&[Model::Bert, Model::Lstm], &[0.25, 0.5, 1.0, 2.0], 64)
+    };
+
+    let mut rows = Vec::new();
+    for &model in models {
+        let program = build_model(model, ModelConfig::Tiny);
+        let (weights, _) = split_weights(&program, random_bindings(&program, seed));
+        let service_ns = calibrate_service_ns(&program, &weights, seed ^ 0xCA11);
+        let service_rps = 1e9 / service_ns as f64;
+        let name: &'static str = match model {
+            Model::Bert => "bert",
+            Model::Lstm => "lstm",
+            _ => unreachable!("sweep covers bert and lstm only"),
+        };
+        println!(
+            "{name}: calibrated batch-1 service {:.3} ms ({service_rps:.0} rps)",
+            service_ns as f64 / 1e6
+        );
+        for &m in multipliers {
+            let row = run_point(
+                &program,
+                &weights,
+                name,
+                m,
+                service_rps * m,
+                requests,
+                seed ^ (m * 1000.0) as u64,
+            );
+            println!(
+                "  {m:.2}x: offered {:.0} rps, throughput {:.0} rps, p50 {:.2} ms, p99 {:.2} ms, \
+                 mean batch {:.2}, rejected {}",
+                row.report.offered_rps,
+                row.report.throughput_rps(),
+                row.report.percentile_ms(50.0),
+                row.report.percentile_ms(99.0),
+                row.stats.mean_batch(),
+                row.report.rejected,
+            );
+            rows.push(row);
+        }
+    }
+
+    let report = render_report(seed, &rows);
+    let path = if smoke {
+        std::env::temp_dir().join("bench_serve_smoke.json")
+    } else {
+        std::path::PathBuf::from(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results/bench_serve.json"
+        ))
+    };
+    std::fs::write(&path, &report).expect("write report");
+    println!("wrote {}", path.display());
+
+    let raw = std::fs::read_to_string(&path).expect("re-read report");
+    if let Err(e) = validate_report(&raw) {
+        eprintln!("emitted report fails schema validation: {e}");
+        std::process::exit(1);
+    }
+    println!("schema souffle-bench-serve/1: OK");
+}

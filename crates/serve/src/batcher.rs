@@ -1,0 +1,168 @@
+//! The dynamic batcher: a **pure** state machine over an explicit clock.
+//!
+//! Requests of one *class* (one model) coalesce into a batch that is
+//! flushed by whichever trigger fires first:
+//!
+//! - **size** — the class reaches `max_batch` queued items
+//!   ([`BatcherCore::push`] returns the batch synchronously), or
+//! - **deadline** — the *oldest* queued item of the class has waited
+//!   `deadline_ns` ([`BatcherCore::poll`] flushes the class whose
+//!   deadline expired first).
+//!
+//! Every method takes `now` (nanoseconds on any monotonic clock) as an
+//! argument and the batcher never reads a wall clock, spawns a thread, or
+//! sleeps — so unit tests drive it on a virtual clock and are exactly
+//! reproducible (see `tests/batcher_clock.rs`). The server wraps it in a
+//! mutex and supplies real timestamps; a timer thread sleeps until
+//! [`BatcherCore::next_deadline`] and calls [`BatcherCore::poll`].
+//!
+//! Classes are kept in first-submission order and every queue is FIFO, so
+//! the flush sequence is a deterministic function of the (class, now)
+//! event sequence.
+
+use std::collections::VecDeque;
+
+/// Which rule flushed a [`Batch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchTrigger {
+    /// The class reached `max_batch` queued items.
+    Size,
+    /// The oldest item of the class waited out `deadline_ns`.
+    Deadline,
+    /// [`BatcherCore::flush_all`] drained the queue (shutdown).
+    Flush,
+}
+
+/// A flushed batch: `items.len()` is in `1..=max_batch`.
+#[derive(Debug)]
+pub struct Batch<T> {
+    /// The class every item belongs to (the model key, in the server).
+    pub class: String,
+    /// The coalesced items, in submission order.
+    pub items: Vec<T>,
+    /// Enqueue time of the oldest item (the batch's deadline anchor).
+    pub oldest_ns: u64,
+    /// Which rule fired.
+    pub trigger: BatchTrigger,
+}
+
+/// See the [module docs](self).
+#[derive(Debug)]
+pub struct BatcherCore<T> {
+    max_batch: usize,
+    deadline_ns: u64,
+    /// Per-class FIFO of `(item, enqueue_ns)`, classes in first-submission
+    /// order. A linear scan over a handful of models beats a hash map
+    /// here and keeps iteration order deterministic.
+    classes: Vec<(String, VecDeque<(T, u64)>)>,
+}
+
+impl<T> BatcherCore<T> {
+    /// A batcher flushing at `max_batch` items or `deadline_ns` elapsed
+    /// wait of the oldest item, whichever comes first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `max_batch == 0`.
+    pub fn new(max_batch: usize, deadline_ns: u64) -> BatcherCore<T> {
+        assert!(max_batch >= 1, "max_batch must be >= 1");
+        BatcherCore {
+            max_batch,
+            deadline_ns,
+            classes: Vec::new(),
+        }
+    }
+
+    /// Enqueues one item at time `now`; returns the size-triggered batch
+    /// when this push filled the class to `max_batch`.
+    pub fn push(&mut self, class: &str, item: T, now: u64) -> Option<Batch<T>> {
+        let idx = match self.classes.iter().position(|(c, _)| c == class) {
+            Some(i) => i,
+            None => {
+                self.classes.push((class.to_string(), VecDeque::new()));
+                self.classes.len() - 1
+            }
+        };
+        self.classes[idx].1.push_back((item, now));
+        (self.classes[idx].1.len() >= self.max_batch).then(|| self.drain(idx, BatchTrigger::Size))
+    }
+
+    /// Flushes the class whose oldest item's deadline expired earliest
+    /// (`enqueue + deadline_ns <= now`), oldest first; `None` when no
+    /// deadline has expired. Call repeatedly to drain every expired class.
+    pub fn poll(&mut self, now: u64) -> Option<Batch<T>> {
+        let idx = self
+            .classes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (_, q))| q.front().map(|&(_, t)| (i, t)))
+            .filter(|&(_, t)| t.saturating_add(self.deadline_ns) <= now)
+            .min_by_key(|&(_, t)| t)
+            .map(|(i, _)| i)?;
+        Some(self.drain(idx, BatchTrigger::Deadline))
+    }
+
+    /// The earliest pending deadline across all classes (`None` when
+    /// empty) — what a timer should sleep until.
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.classes
+            .iter()
+            .filter_map(|(_, q)| q.front().map(|&(_, t)| t.saturating_add(self.deadline_ns)))
+            .min()
+    }
+
+    /// Drains everything immediately (shutdown): every nonempty class
+    /// yields `Flush`-triggered batches of at most `max_batch` items, in
+    /// class-registration then FIFO order.
+    pub fn flush_all(&mut self) -> Vec<Batch<T>> {
+        let mut out = Vec::new();
+        for i in 0..self.classes.len() {
+            while !self.classes[i].1.is_empty() {
+                out.push(self.drain(i, BatchTrigger::Flush));
+            }
+        }
+        out
+    }
+
+    /// Total queued (not yet flushed) items.
+    pub fn pending(&self) -> usize {
+        self.classes.iter().map(|(_, q)| q.len()).sum()
+    }
+
+    fn drain(&mut self, idx: usize, trigger: BatchTrigger) -> Batch<T> {
+        let (name, queue) = &mut self.classes[idx];
+        let take = queue.len().min(self.max_batch);
+        let oldest_ns = queue.front().map(|&(_, t)| t).unwrap_or(0);
+        let items = queue.drain(..take).map(|(item, _)| item).collect();
+        Batch {
+            class: name.clone(),
+            items,
+            oldest_ns,
+            trigger,
+        }
+    }
+}
+
+/// The smallest bucket holding `len` requests (`buckets` ascending), the
+/// padding policy of the serving layer: a batch of 3 runs on the
+/// 4-variant with one padded slot. `None` when `len` exceeds every
+/// bucket.
+pub fn bucket_for(len: usize, buckets: &[usize]) -> Option<usize> {
+    buckets.iter().copied().find(|&b| b >= len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_for_picks_next_bucket_up() {
+        let buckets = [1, 2, 4, 8];
+        assert_eq!(bucket_for(1, &buckets), Some(1));
+        assert_eq!(bucket_for(2, &buckets), Some(2));
+        assert_eq!(bucket_for(3, &buckets), Some(4));
+        assert_eq!(bucket_for(8, &buckets), Some(8));
+        assert_eq!(bucket_for(9, &buckets), None);
+        assert_eq!(bucket_for(0, &buckets), Some(1));
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+//! # souffle-serve: inference serving with dynamic batching
+//!
+//! The ROADMAP north-star is a *serving system under heavy concurrent
+//! traffic*, not one-shot inference. This crate is that layer, std-only
+//! and hermetic, on top of the existing compilation pipeline and
+//! wavefront [`souffle_te::Runtime`]:
+//!
+//! ```text
+//!  clients ──submit──▶ bounded admission ──▶ dynamic batcher ──▶ workers
+//!                      (Rejected at cap)     (size | deadline)    │
+//!  ResponseHandle ◀────────── per-request completion ◀────────────┘
+//! ```
+//!
+//! - **Bucketed variants, not dynamic shapes.** Each registered model is
+//!   compiled once per batch bucket (default 1/2/4/8) via
+//!   [`souffle_transform::batch_program`]; a batch of `n` runs on the
+//!   smallest bucket `>= n` with padded slots. No per-request
+//!   (re)compilation — the Vortex-style answer to varying batch sizes.
+//! - **Explicit backpressure.** Admission is bounded; at capacity
+//!   [`Submit::Rejected`] is returned immediately instead of queueing
+//!   without bound.
+//! - **Deterministic core.** The [`BatcherCore`] takes time as a
+//!   parameter (virtual-clock unit tests, no sleeps); batched results
+//!   are bit-identical to per-request evaluation by the batch-invariance
+//!   construction (enforced by the testkit oracle's `BatchedServe` stage
+//!   and `tests/serve_differential.rs`).
+//! - **Observable.** With a tracer installed, each batch records a
+//!   `serve:batch:<model>` span whose children are the runtime's `eval`
+//!   tree and one `serve:request` span per request.
+//!
+//! [`loadgen`] adds a seeded open-loop (Poisson-ish) load generator; the
+//! `bench_serve` bin in `souffle-bench` uses it to produce the
+//! latency-vs-offered-load curves in `results/bench_serve.json`.
+
+pub mod batcher;
+pub mod loadgen;
+pub mod server;
+
+pub use batcher::{bucket_for, Batch, BatchTrigger, BatcherCore};
+pub use loadgen::{percentile_ns, run_open_loop, LoadConfig, LoadReport};
+pub use server::{
+    Response, ResponseHandle, ServeError, ServeOptions, Server, ServerBuilder, ServerStats, Submit,
+};

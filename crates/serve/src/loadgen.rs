@@ -1,0 +1,145 @@
+//! Synthetic **open-loop** load generation for the serving layer.
+//!
+//! Requests arrive on a Poisson-ish process: inter-arrival gaps are drawn
+//! i.i.d. exponential with rate `offered_rps` from the deterministic
+//! testkit PRNG, and the submission schedule is fixed up front —
+//! arrival `k` happens at the pre-drawn time regardless of how far the
+//! server has fallen behind (responses are awaited only after the last
+//! submission). That is what makes the harness *open-loop*: unlike a
+//! closed loop, where each client waits for its response before sending
+//! the next request and thereby throttles itself to the server's pace,
+//! offered load here is independent of service capacity, so queueing
+//! delay and backpressure rejections become visible as load crosses
+//! capacity. See EXPERIMENTS.md for the methodology caveats.
+
+use crate::server::{Server, Submit};
+use souffle_te::TensorId;
+use souffle_tensor::Tensor;
+use souffle_testkit::Rng;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// One open-loop run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Total submission attempts.
+    pub requests: usize,
+    /// Offered arrival rate (requests per second).
+    pub offered_rps: f64,
+    /// PRNG seed for the arrival process (and for `make_inputs` forks).
+    pub seed: u64,
+}
+
+/// What one open-loop run observed.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// The configured offered rate.
+    pub offered_rps: f64,
+    /// Requests admitted.
+    pub submitted: u64,
+    /// Requests rejected by backpressure.
+    pub rejected: u64,
+    /// Responses received (== submitted unless executions failed).
+    pub completed: u64,
+    /// Per-request latency (submission → completion), ascending.
+    pub latencies_ns: Vec<u64>,
+    /// Wall time from first submission to last completion.
+    pub wall_ns: u64,
+}
+
+impl LoadReport {
+    /// Completed requests per wall-clock second.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / (self.wall_ns as f64 / 1e9)
+    }
+
+    /// The `p`-th latency percentile in milliseconds (0 when nothing
+    /// completed).
+    pub fn percentile_ms(&self, p: f64) -> f64 {
+        percentile_ns(&self.latencies_ns, p) as f64 / 1e6
+    }
+}
+
+/// Nearest-rank percentile over an **ascending** slice (`p` in 0..=100);
+/// 0 on empty input.
+pub fn percentile_ns(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Drives `server` with `cfg.requests` open-loop arrivals for `model`,
+/// then awaits every accepted handle. `make_inputs(rng, k)` builds the
+/// `k`-th request's input bindings from a forked PRNG, so the request
+/// stream is a pure function of `cfg.seed`.
+///
+/// # Panics
+///
+/// Panics when a submission is `Invalid` (the generator built malformed
+/// inputs — a harness bug, not load behavior) or an admitted request
+/// fails.
+pub fn run_open_loop(
+    server: &Server,
+    model: &str,
+    cfg: &LoadConfig,
+    mut make_inputs: impl FnMut(&mut Rng, usize) -> HashMap<TensorId, Tensor>,
+) -> LoadReport {
+    let mut rng = Rng::new(cfg.seed);
+    let start = Instant::now();
+    let mut next_arrival_ns = 0.0f64;
+    let mut handles = Vec::new();
+    let mut rejected = 0u64;
+    for k in 0..cfg.requests {
+        // Exponential inter-arrival gap: -ln(1-U)/lambda.
+        let u = rng.f32_unit() as f64;
+        next_arrival_ns += -(1.0 - u).ln() / cfg.offered_rps * 1e9;
+        let target = Duration::from_nanos(next_arrival_ns as u64);
+        if let Some(sleep) = target.checked_sub(start.elapsed()) {
+            std::thread::sleep(sleep);
+        }
+        let inputs = make_inputs(&mut rng.fork(), k);
+        match server.submit(model, inputs) {
+            Submit::Accepted(h) => handles.push(h),
+            Submit::Rejected => rejected += 1,
+            Submit::Invalid(why) => panic!("load generator built an invalid request: {why}"),
+            Submit::Shutdown => break,
+        }
+    }
+    let submitted = handles.len() as u64;
+    let mut latencies_ns: Vec<u64> = handles
+        .into_iter()
+        .map(|h| {
+            let r = h.wait().expect("admitted request failed");
+            r.completed_ns.saturating_sub(r.submitted_ns)
+        })
+        .collect();
+    latencies_ns.sort_unstable();
+    LoadReport {
+        offered_rps: cfg.offered_rps,
+        submitted,
+        rejected,
+        completed: latencies_ns.len() as u64,
+        latencies_ns,
+        wall_ns: start.elapsed().as_nanos() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_ns(&v, 0.0), 1);
+        assert_eq!(percentile_ns(&v, 50.0), 51); // index round(49.5)=50
+        assert_eq!(percentile_ns(&v, 100.0), 100);
+        assert_eq!(percentile_ns(&[], 50.0), 0);
+        assert_eq!(percentile_ns(&[7], 99.0), 7);
+    }
+}

@@ -1,0 +1,797 @@
+//! The serving engine: bounded admission → dynamic batcher → worker pool
+//! over pre-compiled batch-bucket variants.
+//!
+//! One [`Server`] owns, per registered model, the Souffle-transformed TE
+//! program plus one `CompiledProgram` + `ExecPlan` per batch bucket
+//! (default 1/2/4/8), built once at registration — no per-request
+//! compilation ever happens. A flushed batch of `n` requests runs on the
+//! smallest bucket `>= n`, padding the trailing slots by replicating the
+//! last request's inputs (padded outputs are discarded).
+//!
+//! **Backpressure.** Admission is bounded by
+//! [`ServeOptions::queue_capacity`] *admitted-but-uncompleted* requests.
+//! At capacity, [`Server::submit`] returns [`Submit::Rejected`]
+//! immediately — the queue never grows without bound and the caller
+//! decides whether to retry, shed, or block.
+//!
+//! **Exactly-once completion.** Every accepted request's
+//! [`ResponseHandle`] is completed exactly once — with a [`Response`] or
+//! a [`ServeError`] — including across [`Server::shutdown`], which drains
+//! the batcher and joins every worker before returning. Double
+//! completion panics (it would mean a lost or duplicated response).
+//!
+//! **Determinism.** Batched execution is the [`souffle_transform::batch_program`]
+//! rewrite evaluated on the wavefront [`Runtime`], so every response is
+//! bit-identical to evaluating that request alone via
+//! `Souffle::eval_reference` — regardless of which requests it shared a
+//! batch with, the bucket it padded into, or the worker that ran it
+//! (`tests/serve_differential.rs` enforces this across all six models ×
+//! buckets 1/2/4/8).
+
+use crate::batcher::{bucket_for, Batch, BatchTrigger, BatcherCore};
+use souffle::{Souffle, SouffleOptions};
+use souffle_te::{
+    compile_program, CompiledProgram, ExecPlan, Runtime, TeProgram, TensorId, TensorKind,
+};
+use souffle_tensor::Tensor;
+use souffle_trace::Tracer;
+use souffle_transform::{batch_program, split_batch, stack_tensors};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Synthetic Chrome-trace lane for per-request spans (the runtime uses
+/// 1000+ for TE lanes; serve spans sit above them).
+const SERVE_LANE_BASE: u64 = 2000;
+
+/// Timer idle sleep when no deadline is pending.
+const IDLE_WAIT: Duration = Duration::from_millis(20);
+
+/// Serving configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Maximum admitted-but-uncompleted requests; submissions beyond it
+    /// are [`Submit::Rejected`] (explicit backpressure).
+    pub queue_capacity: usize,
+    /// Size trigger: a class flushes as soon as it holds this many
+    /// requests. Must not exceed the largest bucket.
+    pub max_batch: usize,
+    /// Deadline trigger: a class flushes once its oldest request has
+    /// waited this long, even if under-full.
+    pub batch_deadline_ns: u64,
+    /// Batch-executing worker threads.
+    pub workers: usize,
+    /// Batch buckets (ascending): one compiled variant per bucket, a
+    /// batch of `n` runs padded on the smallest bucket `>= n`.
+    pub buckets: Vec<usize>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            queue_capacity: 64,
+            max_batch: 8,
+            batch_deadline_ns: 2_000_000, // 2 ms
+            workers: 1,
+            buckets: vec![1, 2, 4, 8],
+        }
+    }
+}
+
+/// Outcome of [`Server::submit`].
+#[derive(Debug)]
+pub enum Submit {
+    /// Admitted; await the response on the handle.
+    Accepted(ResponseHandle),
+    /// The admission queue is at capacity — backpressure, retry later.
+    Rejected,
+    /// The request can never succeed (unknown model, missing/mis-shaped
+    /// input binding); the message says why.
+    Invalid(String),
+    /// The server is shutting down and admits nothing.
+    Shutdown,
+}
+
+impl Submit {
+    /// Unwraps [`Submit::Accepted`], panicking otherwise (test helper).
+    pub fn expect_accepted(self) -> ResponseHandle {
+        match self {
+            Submit::Accepted(h) => h,
+            other => panic!("expected Submit::Accepted, got {other:?}"),
+        }
+    }
+}
+
+/// A completed inference.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Output tensors of this request alone (batch slice, un-padded),
+    /// keyed by the model program's output tensor ids.
+    pub outputs: HashMap<TensorId, Tensor>,
+    /// Real requests in the executed batch (padding excluded).
+    pub batch_size: usize,
+    /// The bucket variant that ran it.
+    pub bucket: usize,
+    /// What flushed the batch.
+    pub trigger: BatchTrigger,
+    /// Submission → execution start (queueing + batching delay).
+    pub queue_ns: u64,
+    /// Batched evaluation wall time (shared by the whole batch).
+    pub exec_ns: u64,
+    /// Server-clock submission timestamp.
+    pub submitted_ns: u64,
+    /// Server-clock completion timestamp; `completed_ns - submitted_ns`
+    /// is this request's latency.
+    pub completed_ns: u64,
+}
+
+/// Why an admitted request failed (admission errors are [`Submit`]
+/// variants instead).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The batched evaluation failed; carries the rendered eval error.
+    Eval(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Eval(e) => write!(f, "batched evaluation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Cumulative serving counters (snapshot via [`Server::stats`], final via
+/// [`Server::shutdown`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests admitted.
+    pub submitted: u64,
+    /// Requests refused with [`Submit::Rejected`] (backpressure).
+    pub rejected: u64,
+    /// Requests refused with [`Submit::Invalid`].
+    pub invalid: u64,
+    /// Requests completed with a [`Response`].
+    pub completed: u64,
+    /// Requests completed with a [`ServeError`].
+    pub failed: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Size-triggered flushes.
+    pub size_flushes: u64,
+    /// Deadline-triggered flushes.
+    pub deadline_flushes: u64,
+    /// Bucket slots filled with replicated padding.
+    pub padded_slots: u64,
+    /// `batch_hist[n]` = executed batches holding `n` real requests
+    /// (index 0 unused).
+    pub batch_hist: Vec<u64>,
+}
+
+impl ServerStats {
+    /// Mean real batch size over executed batches (0 when none ran).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        let total: u64 = self
+            .batch_hist
+            .iter()
+            .enumerate()
+            .map(|(n, &c)| n as u64 * c)
+            .sum();
+        total as f64 / self.batches as f64
+    }
+}
+
+enum Slot {
+    Pending,
+    Ready(Result<Response, ServeError>),
+}
+
+struct Completion {
+    slot: Mutex<Slot>,
+    cv: Condvar,
+}
+
+impl Completion {
+    fn complete(&self, result: Result<Response, ServeError>) {
+        let mut slot = self.slot.lock().expect("completion lock poisoned");
+        match *slot {
+            Slot::Pending => *slot = Slot::Ready(result),
+            Slot::Ready(_) => panic!("request completed twice"),
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// The caller's side of one admitted request: blocks until the batch that
+/// contains the request has executed.
+pub struct ResponseHandle {
+    state: Arc<Completion>,
+}
+
+impl std::fmt::Debug for ResponseHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ResponseHandle")
+    }
+}
+
+impl ResponseHandle {
+    /// Blocks until the response is ready. Always returns: every admitted
+    /// request is completed, including through shutdown.
+    ///
+    /// # Errors
+    ///
+    /// The [`ServeError`] the batch execution failed with.
+    pub fn wait(self) -> Result<Response, ServeError> {
+        let mut slot = self.state.slot.lock().expect("completion lock poisoned");
+        loop {
+            if let Slot::Ready(r) = &*slot {
+                return r.clone();
+            }
+            slot = self.state.cv.wait(slot).expect("completion lock poisoned");
+        }
+    }
+
+    /// `Some(result)` when already completed, without blocking.
+    pub fn try_wait(&self) -> Option<Result<Response, ServeError>> {
+        match &*self.state.slot.lock().expect("completion lock poisoned") {
+            Slot::Ready(r) => Some(r.clone()),
+            Slot::Pending => None,
+        }
+    }
+}
+
+struct Variant {
+    bucket: usize,
+    cp: CompiledProgram,
+    plan: ExecPlan,
+}
+
+struct ModelEntry {
+    name: String,
+    /// The Souffle-transformed (unbatched) program; requests bind its
+    /// non-weight free tensors (transformations preserve the tensor
+    /// table, so these are the original model program's ids).
+    base: TeProgram,
+    weights: HashMap<TensorId, Tensor>,
+    input_ids: Vec<TensorId>,
+    output_ids: Vec<TensorId>,
+    variants: Vec<Variant>,
+}
+
+struct Pending {
+    inputs: HashMap<TensorId, Tensor>,
+    done: Arc<Completion>,
+    submitted_ns: u64,
+}
+
+struct ReadyBatch {
+    model: Arc<ModelEntry>,
+    batch: Batch<Pending>,
+}
+
+struct State {
+    batcher: BatcherCore<Pending>,
+    ready: VecDeque<ReadyBatch>,
+    /// Admitted and not yet completed (queued + batching + executing).
+    inflight: usize,
+    shutting_down: bool,
+    stats: ServerStats,
+}
+
+struct Shared {
+    opts: ServeOptions,
+    models: BTreeMap<String, Arc<ModelEntry>>,
+    runtime: Runtime,
+    tracer: Tracer,
+    epoch: Instant,
+    state: Mutex<State>,
+    /// Wakes workers (ready batch / shutdown) and the timer (new
+    /// deadline / shutdown).
+    work: Condvar,
+}
+
+impl Shared {
+    /// The server clock: the tracer's epoch when tracing (so serve spans
+    /// align with runtime spans), a private monotonic epoch otherwise.
+    fn now_ns(&self) -> u64 {
+        if self.tracer.is_enabled() {
+            self.tracer.now_ns()
+        } else {
+            self.epoch.elapsed().as_nanos() as u64
+        }
+    }
+}
+
+/// Configures and builds a [`Server`]; model registration (and its
+/// per-bucket compilation) happens here, before any thread starts.
+pub struct ServerBuilder {
+    opts: ServeOptions,
+    tracer: Tracer,
+    models: BTreeMap<String, Arc<ModelEntry>>,
+}
+
+impl ServerBuilder {
+    /// A builder with the given serving options.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the options are inconsistent: no workers, zero queue
+    /// capacity, unsorted/empty buckets, or `max_batch` larger than the
+    /// largest bucket (such a batch could never be placed).
+    pub fn new(opts: ServeOptions) -> ServerBuilder {
+        assert!(opts.workers >= 1, "need at least one worker");
+        assert!(opts.queue_capacity >= 1, "need a nonzero queue capacity");
+        assert!(!opts.buckets.is_empty(), "need at least one batch bucket");
+        assert!(
+            opts.buckets.windows(2).all(|w| w[0] < w[1]) && opts.buckets[0] >= 1,
+            "buckets must be ascending and >= 1: {:?}",
+            opts.buckets
+        );
+        assert!(
+            opts.max_batch >= 1 && opts.max_batch <= *opts.buckets.last().unwrap(),
+            "max_batch {} must fit the largest bucket {:?}",
+            opts.max_batch,
+            opts.buckets
+        );
+        ServerBuilder {
+            opts,
+            tracer: Tracer::disabled(),
+            models: BTreeMap::new(),
+        }
+    }
+
+    /// Installs a tracing sink: each executed batch records a
+    /// `serve:batch:<model>` span with the runtime's `eval` tree nested
+    /// under it, plus one root `serve:request` span per real request
+    /// (submission → completion) on a synthetic per-slot lane. Request
+    /// spans are roots, not children of the batch span: a request's
+    /// lifetime *contains* its batch execution (queueing happens before
+    /// the batch starts), so nesting it under the batch would violate
+    /// `Trace::well_formed`'s containment invariant.
+    pub fn tracer(mut self, tracer: Tracer) -> ServerBuilder {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Registers a model: runs the Souffle pipeline once, then compiles
+    /// one batched variant per bucket. `weights` must bind every
+    /// `Weight`-kind free tensor of `program` (weights are shared across
+    /// every batch; requests bind only the remaining inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate name or missing/mis-shaped weights — both
+    /// deployment-time programming errors, unlike per-request problems
+    /// which surface as [`Submit::Invalid`].
+    pub fn register(
+        mut self,
+        name: &str,
+        program: &TeProgram,
+        weights: HashMap<TensorId, Tensor>,
+    ) -> ServerBuilder {
+        assert!(
+            !self.models.contains_key(name),
+            "model {name:?} registered twice"
+        );
+        let compiled = Souffle::new(SouffleOptions::full()).compile(program);
+        let base = compiled.program;
+        let mut input_ids = Vec::new();
+        for id in base.free_tensors() {
+            let info = base.tensor(id);
+            if info.kind == TensorKind::Weight {
+                let w = weights
+                    .get(&id)
+                    .unwrap_or_else(|| panic!("model {name:?}: missing weight {}", info.name));
+                // Shape only: `Tensor` storage is always f32 and its dtype
+                // is a logical tag (F16 models bind f32-backed tensors
+                // everywhere in this workspace), so dtype is not part of
+                // the binding contract.
+                assert!(
+                    w.shape() == &info.shape,
+                    "model {name:?}: weight {} bound as {:?}, expected {:?}",
+                    info.name,
+                    w.shape(),
+                    info.shape
+                );
+            } else {
+                input_ids.push(id);
+            }
+        }
+        let variants = self
+            .opts
+            .buckets
+            .iter()
+            .map(|&b| {
+                let bp = batch_program(&base, b as i64);
+                let cp = compile_program(&bp);
+                let plan = ExecPlan::from_compiled(&cp);
+                Variant {
+                    bucket: b,
+                    cp,
+                    plan,
+                }
+            })
+            .collect();
+        let output_ids = base.outputs();
+        self.models.insert(
+            name.to_string(),
+            Arc::new(ModelEntry {
+                name: name.to_string(),
+                base,
+                weights,
+                input_ids,
+                output_ids,
+                variants,
+            }),
+        );
+        self
+    }
+
+    /// Starts the worker pool and deadline timer and returns the running
+    /// server.
+    pub fn start(self) -> Server {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                batcher: BatcherCore::new(self.opts.max_batch, self.opts.batch_deadline_ns),
+                ready: VecDeque::new(),
+                inflight: 0,
+                shutting_down: false,
+                stats: ServerStats {
+                    batch_hist: vec![0; self.opts.max_batch + 1],
+                    ..ServerStats::default()
+                },
+            }),
+            work: Condvar::new(),
+            opts: self.opts,
+            models: self.models,
+            runtime: Runtime::new(),
+            tracer: self.tracer,
+            epoch: Instant::now(),
+        });
+        let workers = (0..shared.opts.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let timer = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("serve-timer".into())
+                .spawn(move || timer_loop(&shared))
+                .expect("spawn timer")
+        };
+        Server {
+            shared,
+            workers,
+            timer: Some(timer),
+        }
+    }
+}
+
+/// See the [module docs](self). Build with [`ServerBuilder`].
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    timer: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("models", &self.shared.models.keys().collect::<Vec<_>>())
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Submits one inference request for `model`. `inputs` must bind
+    /// exactly the model's non-weight free tensors with correctly shaped
+    /// tensors. Never blocks: over-capacity submissions are
+    /// [`Submit::Rejected`] immediately.
+    pub fn submit(&self, model: &str, inputs: HashMap<TensorId, Tensor>) -> Submit {
+        let shared = &*self.shared;
+        let Some(entry) = shared.models.get(model) else {
+            let mut st = shared.state.lock().expect("server state poisoned");
+            st.stats.invalid += 1;
+            return Submit::Invalid(format!("unknown model {model:?}"));
+        };
+        if let Err(why) = validate_inputs(entry, &inputs) {
+            let mut st = shared.state.lock().expect("server state poisoned");
+            st.stats.invalid += 1;
+            return Submit::Invalid(why);
+        }
+        let now = shared.now_ns();
+        let mut st = shared.state.lock().expect("server state poisoned");
+        if st.shutting_down {
+            return Submit::Shutdown;
+        }
+        if st.inflight >= shared.opts.queue_capacity {
+            st.stats.rejected += 1;
+            return Submit::Rejected;
+        }
+        st.inflight += 1;
+        st.stats.submitted += 1;
+        let done = Arc::new(Completion {
+            slot: Mutex::new(Slot::Pending),
+            cv: Condvar::new(),
+        });
+        let handle = ResponseHandle {
+            state: Arc::clone(&done),
+        };
+        let pending = Pending {
+            inputs,
+            done,
+            submitted_ns: now,
+        };
+        if let Some(batch) = st.batcher.push(model, pending, now) {
+            st.stats.size_flushes += 1;
+            st.ready.push_back(ReadyBatch {
+                model: Arc::clone(entry),
+                batch,
+            });
+        }
+        // Wake workers (new ready batch) and the timer (a fresh deadline
+        // may now be the earliest).
+        shared.work.notify_all();
+        Submit::Accepted(handle)
+    }
+
+    /// Snapshot of the cumulative counters.
+    pub fn stats(&self) -> ServerStats {
+        self.shared
+            .state
+            .lock()
+            .expect("server state poisoned")
+            .stats
+            .clone()
+    }
+
+    /// The registered model names (sorted).
+    pub fn models(&self) -> Vec<String> {
+        self.shared.models.keys().cloned().collect()
+    }
+
+    /// The non-weight free tensors a request for `model` must bind.
+    pub fn input_ids(&self, model: &str) -> Option<Vec<TensorId>> {
+        self.shared.models.get(model).map(|e| e.input_ids.clone())
+    }
+
+    /// Stops admission, drains every queued request (each completes
+    /// normally), joins all threads, and returns the final counters.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.shutdown_impl()
+    }
+
+    fn shutdown_impl(&mut self) -> ServerStats {
+        {
+            let mut st = self.shared.state.lock().expect("server state poisoned");
+            if !st.shutting_down {
+                st.shutting_down = true;
+                let flushed = st.batcher.flush_all();
+                for batch in flushed {
+                    let entry = Arc::clone(&self.shared.models[&batch.class]);
+                    st.ready.push_back(ReadyBatch {
+                        model: entry,
+                        batch,
+                    });
+                }
+            }
+            self.shared.work.notify_all();
+        }
+        if let Some(t) = self.timer.take() {
+            t.join().expect("timer thread panicked");
+        }
+        for w in self.workers.drain(..) {
+            w.join().expect("worker thread panicked");
+        }
+        let st = self.shared.state.lock().expect("server state poisoned");
+        debug_assert_eq!(st.inflight, 0, "shutdown left requests uncompleted");
+        st.stats.clone()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.timer.is_some() || !self.workers.is_empty() {
+            self.shutdown_impl();
+        }
+    }
+}
+
+fn validate_inputs(entry: &ModelEntry, inputs: &HashMap<TensorId, Tensor>) -> Result<(), String> {
+    for &id in &entry.input_ids {
+        let info = entry.base.tensor(id);
+        let Some(t) = inputs.get(&id) else {
+            return Err(format!(
+                "model {:?}: missing input {} ({id})",
+                entry.name, info.name
+            ));
+        };
+        // Shape only — dtype is a logical tag over f32 storage (see
+        // `ServerBuilder::register`).
+        if t.shape() != &info.shape {
+            return Err(format!(
+                "model {:?}: input {} bound as {:?}, expected {:?}",
+                entry.name,
+                info.name,
+                t.shape(),
+                info.shape
+            ));
+        }
+    }
+    if inputs.len() != entry.input_ids.len() {
+        return Err(format!(
+            "model {:?}: {} bindings supplied, expected exactly the {} model inputs",
+            entry.name,
+            inputs.len(),
+            entry.input_ids.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Flushes deadline-expired classes; sleeps until the next deadline (or
+/// idly) between rounds.
+fn timer_loop(shared: &Shared) {
+    let mut st = shared.state.lock().expect("server state poisoned");
+    loop {
+        if st.shutting_down {
+            return;
+        }
+        let now = shared.now_ns();
+        let mut flushed = false;
+        while let Some(batch) = st.batcher.poll(now) {
+            st.stats.deadline_flushes += 1;
+            let entry = Arc::clone(&shared.models[&batch.class]);
+            st.ready.push_back(ReadyBatch {
+                model: entry,
+                batch,
+            });
+            flushed = true;
+        }
+        if flushed {
+            shared.work.notify_all();
+        }
+        let wait = match st.batcher.next_deadline() {
+            Some(d) => Duration::from_nanos(d.saturating_sub(now).max(1)),
+            None => IDLE_WAIT,
+        };
+        st = shared
+            .work
+            .wait_timeout(st, wait)
+            .expect("server state poisoned")
+            .0;
+    }
+}
+
+/// Pops ready batches and executes them until shutdown drains the queue.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let rb = {
+            let mut st = shared.state.lock().expect("server state poisoned");
+            loop {
+                if let Some(rb) = st.ready.pop_front() {
+                    break rb;
+                }
+                if st.shutting_down {
+                    return;
+                }
+                st = shared.work.wait(st).expect("server state poisoned");
+            }
+        };
+        execute_batch(shared, rb);
+    }
+}
+
+/// Runs one flushed batch on its bucket variant and completes every
+/// request handle (exactly once, success or failure).
+fn execute_batch(shared: &Shared, rb: ReadyBatch) {
+    let entry = rb.model;
+    let items = rb.batch.items;
+    let n = items.len();
+    let bucket = bucket_for(n, &shared.opts.buckets)
+        .unwrap_or_else(|| panic!("batch of {n} exceeds every bucket"));
+    let variant = entry
+        .variants
+        .iter()
+        .find(|v| v.bucket == bucket)
+        .expect("one variant per bucket");
+
+    // Weights are shared (unbatched); inputs stack per-request tensors,
+    // padding trailing slots by replicating the last request.
+    let mut bindings = entry.weights.clone();
+    for &id in &entry.input_ids {
+        let parts: Vec<&Tensor> = (0..bucket)
+            .map(|slot| &items[slot.min(n - 1)].inputs[&id])
+            .collect();
+        bindings.insert(id, stack_tensors(&parts));
+    }
+
+    let tracing = shared.tracer.is_enabled();
+    let exec_start = shared.now_ns();
+    let result = if tracing {
+        let span = shared
+            .tracer
+            .span(&format!("serve:batch:{}[{n}/{bucket}]", entry.name));
+        let r = shared.runtime.eval_with_plan_traced(
+            &variant.cp,
+            &variant.plan,
+            &bindings,
+            &shared.tracer,
+            span.id(),
+        );
+        drop(span);
+        // Per-request root spans (submission → now) on synthetic lanes so
+        // they render as parallel tracks. Roots, not batch-span children:
+        // the interval starts at submission, before the batch began.
+        for (slot, item) in items.iter().enumerate() {
+            shared.tracer.record_span(
+                "serve:request",
+                None,
+                item.submitted_ns,
+                shared.now_ns(),
+                SERVE_LANE_BASE + slot as u64,
+            );
+        }
+        r
+    } else {
+        shared
+            .runtime
+            .eval_with_plan(&variant.cp, &variant.plan, &bindings)
+    };
+    let exec_ns = shared.now_ns().saturating_sub(exec_start);
+
+    let mut failed = 0u64;
+    match result {
+        Ok(outs) => {
+            let split: HashMap<TensorId, Vec<Tensor>> = entry
+                .output_ids
+                .iter()
+                .map(|id| (*id, split_batch(&outs[id])))
+                .collect();
+            for (slot, item) in items.into_iter().enumerate() {
+                let outputs = split.iter().map(|(id, v)| (*id, v[slot].clone())).collect();
+                let completed_ns = shared.now_ns();
+                item.done.complete(Ok(Response {
+                    outputs,
+                    batch_size: n,
+                    bucket,
+                    trigger: rb.batch.trigger,
+                    queue_ns: exec_start.saturating_sub(item.submitted_ns),
+                    exec_ns,
+                    submitted_ns: item.submitted_ns,
+                    completed_ns,
+                }));
+            }
+        }
+        Err(e) => {
+            failed = n as u64;
+            let err = ServeError::Eval(e.to_string());
+            for item in items {
+                item.done.complete(Err(err.clone()));
+            }
+        }
+    }
+
+    let mut st = shared.state.lock().expect("server state poisoned");
+    st.inflight -= n;
+    st.stats.batches += 1;
+    st.stats.padded_slots += (bucket - n) as u64;
+    if st.stats.batch_hist.len() <= n {
+        st.stats.batch_hist.resize(n + 1, 0);
+    }
+    st.stats.batch_hist[n] += 1;
+    st.stats.failed += failed;
+    st.stats.completed += n as u64 - failed;
+}

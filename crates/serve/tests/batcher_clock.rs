@@ -1,0 +1,171 @@
+//! Deterministic batcher tests on a **virtual clock**.
+//!
+//! [`BatcherCore`] takes `now` as an argument and never sleeps or reads a
+//! wall clock, so every scenario here is driven by hand-picked (or
+//! `TESTKIT_SEED`-randomized) timestamps and is exactly reproducible —
+//! no timing-dependent flakiness, no `std::thread::sleep`.
+
+use souffle_serve::{bucket_for, BatchTrigger, BatcherCore};
+use souffle_testkit::{forall, tk_assert, tk_assert_eq, Config};
+
+#[test]
+fn size_trigger_flushes_on_the_filling_push() {
+    let mut b: BatcherCore<u32> = BatcherCore::new(3, 1_000);
+    assert!(b.push("m", 10, 0).is_none());
+    assert!(b.push("m", 11, 1).is_none());
+    let batch = b.push("m", 12, 2).expect("third push fills the batch");
+    assert_eq!(batch.class, "m");
+    assert_eq!(batch.items, vec![10, 11, 12], "submission order preserved");
+    assert_eq!(batch.trigger, BatchTrigger::Size);
+    assert_eq!(batch.oldest_ns, 0);
+    assert_eq!(b.pending(), 0);
+}
+
+#[test]
+fn deadline_trigger_fires_exactly_at_oldest_plus_deadline() {
+    let mut b: BatcherCore<u32> = BatcherCore::new(8, 100);
+    b.push("m", 1, 40);
+    b.push("m", 2, 60);
+    // The deadline anchors on the *oldest* item (enqueued at 40).
+    assert_eq!(b.next_deadline(), Some(140));
+    assert!(b.poll(139).is_none(), "one tick early: nothing expires");
+    let batch = b.poll(140).expect("deadline reached");
+    assert_eq!(batch.items, vec![1, 2]);
+    assert_eq!(batch.trigger, BatchTrigger::Deadline);
+    assert_eq!(batch.oldest_ns, 40);
+    assert!(b.poll(10_000).is_none(), "queue is empty afterwards");
+    assert_eq!(b.next_deadline(), None);
+}
+
+#[test]
+fn expired_classes_flush_oldest_deadline_first() {
+    let mut b: BatcherCore<&'static str> = BatcherCore::new(8, 100);
+    b.push("a", "a0", 50); // expires at 150
+    b.push("b", "b0", 30); // expires at 130 — earlier despite later registration
+    b.push("a", "a1", 60);
+    assert_eq!(b.next_deadline(), Some(130));
+    let first = b.poll(500).expect("both expired");
+    assert_eq!(first.class, "b", "earliest-expired class flushes first");
+    assert_eq!(first.items, vec!["b0"]);
+    let second = b.poll(500).expect("class a still expired");
+    assert_eq!(second.class, "a");
+    assert_eq!(second.items, vec!["a0", "a1"]);
+    assert!(b.poll(500).is_none());
+}
+
+#[test]
+fn deadline_flush_is_not_starved_by_later_traffic() {
+    // A steady trickle into a class must not push its deadline out: the
+    // anchor is the oldest queued item, not the newest.
+    let mut b: BatcherCore<u32> = BatcherCore::new(100, 50);
+    b.push("m", 0, 0);
+    for t in 1..40u32 {
+        b.push("m", t, u64::from(t));
+        assert_eq!(b.next_deadline(), Some(50), "anchor stays at the oldest");
+    }
+    let batch = b.poll(50).expect("deadline of the first item");
+    assert_eq!(batch.items.len(), 40);
+    assert_eq!(batch.oldest_ns, 0);
+}
+
+#[test]
+fn flush_all_drains_leftovers_in_class_registration_order() {
+    let mut b: BatcherCore<u32> = BatcherCore::new(3, 1_000_000);
+    b.push("a", 1, 0);
+    b.push("b", 10, 1);
+    b.push("a", 2, 2);
+    // Class a fills to max_batch and flushes inline on this push, so
+    // only the leftovers (a=[4] after a refill, b=[10,11]) remain for
+    // the shutdown drain.
+    assert!(b.push("a", 3, 3).is_some());
+    b.push("a", 4, 4);
+    b.push("b", 11, 5);
+    let batches = b.flush_all();
+    assert_eq!(b.pending(), 0);
+    let summary: Vec<(&str, Vec<u32>)> = batches
+        .iter()
+        .map(|batch| (batch.class.as_str(), batch.items.clone()))
+        .collect();
+    assert_eq!(summary, vec![("a", vec![4]), ("b", vec![10, 11])]);
+    assert!(batches.iter().all(|x| x.trigger == BatchTrigger::Flush));
+}
+
+#[test]
+fn padding_policy_maps_batch_sizes_onto_buckets() {
+    // The serving layer runs a flushed batch of n on bucket_for(n): the
+    // smallest compiled variant that fits, padding the rest.
+    let buckets = [1, 2, 4, 8];
+    let expect = [(1, 1), (2, 2), (3, 4), (4, 4), (5, 8), (7, 8), (8, 8)];
+    for (n, bucket) in expect {
+        assert_eq!(bucket_for(n, &buckets), Some(bucket), "batch of {n}");
+    }
+    assert_eq!(bucket_for(9, &buckets), None, "no bucket fits 9");
+}
+
+forall!(
+    // Invariants over randomized event sequences: every pushed item is
+    // flushed exactly once, batches respect max_batch, a poll never
+    // flushes before the oldest item's deadline, and the whole run is a
+    // pure function of the seed (virtual time only).
+    random_event_sequences_flush_every_item_exactly_once,
+    Config::with_cases(64),
+    |rng| {
+        let max_batch = rng.usize_in(1..6);
+        let deadline = rng.u64_in(1..200);
+        // (class, advance, is_poll) events on a virtual clock.
+        let events: Vec<(u8, u64, bool)> =
+            rng.vec(1..40, |r| (r.u8_in(0..3), r.u64_in(0..60), r.chance(0.3)));
+        (max_batch, deadline, events)
+    },
+    |(max_batch, deadline, events)| {
+        fn record(
+            batch: &souffle_serve::Batch<u64>,
+            max_batch: usize,
+            deadline: u64,
+            now: u64,
+            flushed: &mut Vec<u64>,
+        ) -> Result<(), String> {
+            tk_assert!(
+                !batch.items.is_empty() && batch.items.len() <= max_batch,
+                "batch of {} outside 1..={max_batch}",
+                batch.items.len()
+            );
+            tk_assert!(
+                batch.oldest_ns.saturating_add(deadline) <= now
+                    || batch.trigger != BatchTrigger::Deadline,
+                "deadline flush before the deadline"
+            );
+            flushed.extend(batch.items.iter().copied());
+            Ok(())
+        }
+        let mut b: BatcherCore<u64> = BatcherCore::new(*max_batch, *deadline);
+        let mut now = 0u64;
+        let mut pushed = 0u64;
+        let mut flushed = Vec::new();
+        for &(class, advance, is_poll) in events {
+            now += advance;
+            if is_poll {
+                while let Some(batch) = b.poll(now) {
+                    record(&batch, *max_batch, *deadline, now, &mut flushed)?;
+                }
+            } else {
+                let item = pushed;
+                pushed += 1;
+                if let Some(batch) = b.push(&format!("c{class}"), item, now) {
+                    tk_assert_eq!(batch.items.len(), *max_batch);
+                    record(&batch, *max_batch, *deadline, now, &mut flushed)?;
+                }
+            }
+        }
+        tk_assert_eq!(b.pending() as u64 + flushed.len() as u64, pushed);
+        for batch in b.flush_all() {
+            record(&batch, *max_batch, *deadline, now, &mut flushed)?;
+        }
+        tk_assert_eq!(b.pending(), 0);
+        // Exactly once: after the final drain, the flushed multiset is
+        // exactly {0, 1, .., pushed-1}.
+        flushed.sort_unstable();
+        tk_assert_eq!(flushed, (0..pushed).collect::<Vec<u64>>());
+        Ok(())
+    }
+);

@@ -1,0 +1,78 @@
+//! The traced serving path: a server built with a live [`Tracer`] must
+//! produce a **well-formed** span tree — one `serve:batch:<model>` span
+//! per executed batch with the runtime's wavefront `level:*` tree nested
+//! under it, and one root `serve:request` span per real request on a
+//! synthetic lane.
+//!
+//! Regression: request spans used to be recorded as *children* of the
+//! batch span, but their interval (submission → completion) contains the
+//! batch execution, so `Trace::well_formed` rejected the tree ("escapes
+//! parent"). They are root spans now; this test pins that down.
+
+use souffle_frontend::{build_model, Model, ModelConfig};
+use souffle_serve::{BatchTrigger, ServeOptions, ServerBuilder};
+use souffle_te::interp::random_bindings;
+use souffle_te::{TensorId, TensorKind};
+use souffle_tensor::Tensor;
+use souffle_trace::Tracer;
+use std::collections::HashMap;
+
+fn split_weights(
+    program: &souffle_te::TeProgram,
+    bindings: HashMap<TensorId, Tensor>,
+) -> (HashMap<TensorId, Tensor>, HashMap<TensorId, Tensor>) {
+    bindings
+        .into_iter()
+        .partition(|(id, _)| program.tensor(*id).kind == TensorKind::Weight)
+}
+
+#[test]
+fn traced_batch_produces_a_well_formed_span_tree() {
+    let program = build_model(Model::Mmoe, ModelConfig::Tiny);
+    let (weights, _) = split_weights(&program, random_bindings(&program, 42));
+    let tracer = Tracer::new();
+    let server = ServerBuilder::new(ServeOptions {
+        max_batch: 3,
+        batch_deadline_ns: 3_600_000_000_000,
+        ..ServeOptions::default()
+    })
+    .tracer(tracer.clone())
+    .register("mmoe", &program, weights)
+    .start();
+
+    let handles: Vec<_> = (0..3)
+        .map(|i| {
+            let (_, inputs) = split_weights(&program, random_bindings(&program, 100 + i));
+            server.submit("mmoe", inputs).expect_accepted()
+        })
+        .collect();
+    for h in handles {
+        let r = h.wait().expect("traced request");
+        assert_eq!(r.batch_size, 3);
+        assert_eq!(r.trigger, BatchTrigger::Size);
+    }
+    server.shutdown();
+
+    let trace = tracer.take();
+    trace
+        .well_formed()
+        .expect("serving spans respect parent containment");
+    let batch: Vec<usize> = (0..trace.spans.len())
+        .filter(|&i| trace.spans[i].name.starts_with("serve:batch:mmoe"))
+        .collect();
+    assert_eq!(batch.len(), 1, "one size-flushed batch of 3");
+    let requests: Vec<&souffle_trace::SpanRec> = trace
+        .spans
+        .iter()
+        .filter(|s| s.name == "serve:request")
+        .collect();
+    assert_eq!(requests.len(), 3, "one span per request");
+    assert!(
+        requests.iter().all(|s| s.parent.is_none()),
+        "request spans are roots (their interval contains the batch)"
+    );
+    assert!(
+        !trace.children(batch[0]).is_empty(),
+        "runtime eval tree nests under the batch span"
+    );
+}

@@ -192,6 +192,10 @@ impl Souffle {
             Runtime::with_options(RuntimeOptions {
                 threads: self.options.eval_threads,
                 arena: self.options.eval_arena,
+                // An explicit thread request pins the cap (tests exercise
+                // pools on narrow machines); the default adapts to the
+                // machine and falls back to inline execution.
+                max_parallelism: self.options.eval_threads,
             })
         })
     }

@@ -35,7 +35,7 @@ use crate::compile::{CompiledProgram, CompiledTe};
 use crate::interp::EvalError;
 use crate::pool::{PoolStats, ThreadPool};
 use crate::program::{TensorId, TensorKind};
-use crate::vm::{run_chunk, thread_count, SERIAL_THRESHOLD};
+use crate::vm::{detected_parallelism, env_threads, run_chunk, thread_count, SERIAL_THRESHOLD};
 use souffle_tensor::Tensor;
 use souffle_trace::{SpanId, Tracer};
 use std::collections::HashMap;
@@ -217,6 +217,15 @@ pub struct RuntimeOptions {
     pub threads: Option<usize>,
     /// Recycle intermediate buffers through the [`BufferArena`].
     pub arena: bool,
+    /// Upper bound on the execution streams an `eval` actually uses.
+    /// `None` caps at the machine's detected parallelism (or an explicit
+    /// `SOUFFLE_EVAL_THREADS`, whichever is larger) — so an over-sized
+    /// pool on a narrow machine falls back to inline execution instead of
+    /// paying cross-thread handoffs that cannot run concurrently anyway.
+    /// `Some(n)` pins the cap, forcing pool scheduling even past the
+    /// detected parallelism (tests use this to exercise pools on
+    /// single-core machines).
+    pub max_parallelism: Option<usize>,
 }
 
 impl Default for RuntimeOptions {
@@ -224,6 +233,7 @@ impl Default for RuntimeOptions {
         RuntimeOptions {
             threads: None,
             arena: true,
+            max_parallelism: None,
         }
     }
 }
@@ -248,8 +258,12 @@ pub struct RuntimeStats {
 #[derive(Debug)]
 pub struct Runtime {
     threads: usize,
+    /// Resolved parallelism cap ([`RuntimeOptions::max_parallelism`]);
+    /// evaluation uses `threads.min(slots)` streams.
+    slots: usize,
     /// `Some` iff `threads > 1`; sized to `threads - 1` workers (the
-    /// scope-owning thread is the remaining execution stream).
+    /// scope-owning thread is the remaining execution stream). The pool
+    /// may exist yet stay idle when `slots` caps execution to one stream.
     pool: Option<ThreadPool>,
     arena: Mutex<BufferArena>,
     arena_enabled: bool,
@@ -271,18 +285,27 @@ impl Runtime {
     }
 
     /// Runtime with exactly `threads` execution streams and the arena on.
+    /// The parallelism cap is pinned to `threads`, so the pool is
+    /// exercised even on machines with fewer cores (the historical
+    /// behavior every pool test relies on).
     pub fn with_threads(threads: usize) -> Runtime {
         Runtime::with_options(RuntimeOptions {
             threads: Some(threads),
             arena: true,
+            max_parallelism: Some(threads),
         })
     }
 
     /// Runtime with explicit options.
     pub fn with_options(opts: RuntimeOptions) -> Runtime {
         let threads = opts.threads.unwrap_or_else(thread_count).max(1);
+        let slots = opts
+            .max_parallelism
+            .unwrap_or_else(|| detected_parallelism().max(env_threads().unwrap_or(1)))
+            .max(1);
         Runtime {
             threads,
+            slots,
             pool: (threads > 1).then(|| ThreadPool::new(threads - 1)),
             arena: Mutex::new(BufferArena::new()),
             arena_enabled: opts.arena,
@@ -293,6 +316,26 @@ impl Runtime {
     /// Configured execution streams (pool workers + calling thread).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Execution streams the next `eval` will actually use: the
+    /// configured thread count capped at the resolved
+    /// [`RuntimeOptions::max_parallelism`]. On a machine narrower than
+    /// the configured pool this is smaller than [`Runtime::threads`] and
+    /// evaluation runs inline — cross-thread handoffs cannot help when
+    /// the streams cannot run concurrently. An explicit
+    /// `SOUFFLE_EVAL_THREADS` on the env-honoring global runtime is taken
+    /// verbatim (uncapped) so pinned CI runs still exercise the pool.
+    pub fn effective_streams(&self) -> usize {
+        if self.honor_env {
+            match env_threads() {
+                Some(n) => n,
+                None => thread_count().min(self.slots),
+            }
+        } else {
+            self.threads.min(self.slots)
+        }
+        .max(1)
     }
 
     /// Whether intermediate buffers are recycled across TEs and calls.
@@ -490,11 +533,7 @@ impl Runtime {
             }
             slots[id.0] = Slot::Bound(t);
         }
-        let threads = if self.honor_env {
-            thread_count()
-        } else {
-            self.threads
-        };
+        let threads = self.effective_streams();
         let recycle = self.arena_enabled && !keep_all;
 
         // Tracing: the coordinator records every span (eval → level:<k> →
@@ -892,6 +931,46 @@ mod tests {
             ExecPlan::with_levels_and_last_use(&cp, &level_of, &last_use)
         });
         assert!(r.is_err());
+    }
+
+    /// The multi-thread-regression fix: a pool wider than the machine's
+    /// useful parallelism must never schedule cross-thread handoffs — an
+    /// over-sized runtime on a capped configuration runs inline, with
+    /// results bit-identical to the pooled path.
+    #[test]
+    fn saturated_pool_never_schedules_cross_thread_handoffs() {
+        let p = diamond();
+        let cp = compile_program(&p);
+        let bindings = random_bindings(&p, 11);
+        let want = Runtime::with_threads(4).eval(&cp, &bindings).unwrap();
+
+        let rt = Runtime::with_options(RuntimeOptions {
+            threads: Some(8),
+            arena: true,
+            max_parallelism: Some(1), // a single-slot machine
+        });
+        assert_eq!(rt.threads(), 8, "configured width is reported verbatim");
+        assert!(rt.pool.is_some(), "the pool exists; it must simply idle");
+        assert_eq!(rt.effective_streams(), 1);
+        for _ in 0..5 {
+            let got = rt.eval(&cp, &bindings).unwrap();
+            for id in p.outputs() {
+                for (a, b) in want[&id].data().iter().zip(got[&id].data()) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+        let stats = rt.pool_stats();
+        assert_eq!(stats.tasks, 0, "no task may cross a thread boundary");
+        assert_eq!(stats.steals, 0);
+    }
+
+    #[test]
+    fn with_threads_pins_the_parallelism_cap() {
+        // Pool tests rely on with_threads(n) exercising n streams even on
+        // a single-core machine.
+        let rt = Runtime::with_threads(4);
+        assert_eq!(rt.effective_streams(), 4);
     }
 
     #[test]

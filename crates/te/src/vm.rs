@@ -65,15 +65,27 @@ impl CompiledProgram {
     }
 }
 
+/// The explicit `SOUFFLE_EVAL_THREADS` override, if set and parseable
+/// (clamped to at least 1). An explicit override is honored verbatim —
+/// it is never capped at the detected machine parallelism.
+pub(crate) fn env_threads() -> Option<usize> {
+    std::env::var(THREADS_ENV)
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .map(|n| n.max(1))
+}
+
+/// The machine's available parallelism (1 when it cannot be queried).
+pub(crate) fn detected_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
 /// Resolves the thread count: `SOUFFLE_EVAL_THREADS` if set (clamped to at
 /// least 1), otherwise the machine's available parallelism.
 pub fn thread_count() -> usize {
-    if let Ok(v) = std::env::var(THREADS_ENV) {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
-        }
-    }
-    std::thread::available_parallelism().map_or(1, usize::from)
+    env_threads().unwrap_or_else(detected_parallelism)
 }
 
 /// Evaluates output elements `start .. start + out.len()` (flat row-major

@@ -22,7 +22,10 @@ use souffle_te::{
     compile_program, source::te_source, Evaluator, Runtime, RuntimeOptions, TeProgram, TensorId,
 };
 use souffle_tensor::Tensor;
-use souffle_transform::{horizontal_fuse_program, transform_program, vertical_fuse_program};
+use souffle_transform::{
+    batch_bindings, batch_program, horizontal_fuse_program, split_batch, transform_program,
+    vertical_fuse_program,
+};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::OnceLock;
@@ -56,12 +59,21 @@ pub enum Stage {
     /// is semantic-preserving. [`check_baseline`] runs the same check for
     /// an arbitrary strategy.
     BaselineOrder,
+    /// The serving layer's batch rewrite
+    /// (`souffle_transform::batch_program` at batch 4): a batch of
+    /// distinct requests sharing one weight set is evaluated in one shot
+    /// on the pooled runtime, and slice `b` of every output must be
+    /// **bit-identical** to evaluating request `b` alone (`tol` is
+    /// ignored). This is the batch-invariance contract `souffle-serve`
+    /// builds on; `tests/serve_differential.rs` extends it to the real
+    /// server across all six models and every bucket.
+    BatchedServe,
 }
 
 impl Stage {
     /// Every stage, in pipeline order (the evaluator cross-check runs
     /// last).
-    pub const ALL: [Stage; 7] = [
+    pub const ALL: [Stage; 8] = [
         Stage::Horizontal,
         Stage::Vertical,
         Stage::Transform,
@@ -69,7 +81,12 @@ impl Stage {
         Stage::FullPipeline,
         Stage::CrossEvaluator,
         Stage::BaselineOrder,
+        Stage::BatchedServe,
     ];
+
+    /// The batch size [`Stage::BatchedServe`] checks with (one mid-size
+    /// bucket; the serve differential suite sweeps all of 1/2/4/8).
+    pub const BATCHED_SERVE_BATCH: usize = 4;
 
     /// Short stable name for reports.
     pub fn name(self) -> &'static str {
@@ -81,6 +98,7 @@ impl Stage {
             Stage::FullPipeline => "full-pipeline",
             Stage::CrossEvaluator => "cross-evaluator",
             Stage::BaselineOrder => "baseline-order",
+            Stage::BatchedServe => "batched-serve",
         }
     }
 
@@ -99,6 +117,7 @@ impl Stage {
             }
             Stage::CrossEvaluator => program.clone(),
             Stage::BaselineOrder => baseline_order(program, &RammerStrategy),
+            Stage::BatchedServe => batch_program(program, Self::BATCHED_SERVE_BATCH as i64),
         }
     }
 }
@@ -383,6 +402,12 @@ pub fn check_stage_with(
     tol: &Tolerance,
     evaluator: Evaluator,
 ) -> Result<(), OracleError> {
+    if stage == Stage::BatchedServe {
+        // The batch rewrite changes shapes, so the generic same-bindings
+        // comparison below cannot apply; its contract is per-request
+        // batch invariance instead.
+        return check_batched(program, Stage::BATCHED_SERVE_BATCH, seed);
+    }
     let transformed = stage.apply(program);
     if let Err(e) = transformed.validate() {
         return Err(OracleError::Invalid {
@@ -444,6 +469,79 @@ pub fn check_stage_with(
     Ok(())
 }
 
+/// The [`Stage::BatchedServe`] check at an explicit batch size: builds
+/// `batch` requests with distinct seeded inputs but one shared weight
+/// set, evaluates the batched rewrite once on the pooled runtime, and
+/// requires slice `b` of every output to be **bit-identical** to
+/// evaluating request `b` alone with the compiled evaluator.
+///
+/// # Errors
+///
+/// Returns an [`OracleError`] under [`Stage::BatchedServe`] when the
+/// rewrite produces an invalid program, evaluation fails on either side,
+/// or any output slice diverges by even one bit.
+pub fn check_batched(program: &TeProgram, batch: usize, seed: u64) -> Result<(), OracleError> {
+    let stage = Stage::BatchedServe;
+    let batched = batch_program(program, batch as i64);
+    if let Err(e) = batched.validate() {
+        return Err(OracleError::Invalid {
+            stage,
+            detail: format!("batch {batch}: {e:?}"),
+            program: te_source(&batched),
+        });
+    }
+    // Request b gets its own seeded inputs; weights come from request 0
+    // everywhere (the server shares one weight set across every batch).
+    let requests: Vec<HashMap<TensorId, Tensor>> = (0..batch)
+        .map(|b| random_bindings(program, seed.wrapping_add(b as u64)))
+        .collect();
+    let shared_weights: Vec<TensorId> = program
+        .free_tensors()
+        .into_iter()
+        .filter(|&id| program.tensor(id).kind == souffle_te::TensorKind::Weight)
+        .collect();
+    let requests: Vec<HashMap<TensorId, Tensor>> = requests
+        .iter()
+        .map(|r| {
+            let mut r = r.clone();
+            for &id in &shared_weights {
+                r.insert(id, requests[0][&id].clone());
+            }
+            r
+        })
+        .collect();
+    let refs: Vec<&HashMap<TensorId, Tensor>> = requests.iter().collect();
+    let got_batched = pooled_runtime()
+        .eval(&compile_program(&batched), &batch_bindings(program, &refs))
+        .map_err(|error| OracleError::Eval {
+            stage,
+            which: "after",
+            error,
+        })?;
+    let split: HashMap<TensorId, Vec<Tensor>> = got_batched
+        .iter()
+        .map(|(id, t)| (*id, split_batch(t)))
+        .collect();
+    let cp = compile_program(program);
+    let tol = Tolerance::default(); // ignored: bit_exact comparison
+    for (b, request) in requests.iter().enumerate() {
+        let want = cp.eval(request).map_err(|error| OracleError::Eval {
+            stage,
+            which: "before",
+            error,
+        })?;
+        let want: HashMap<TensorId, Tensor> = program
+            .outputs()
+            .iter()
+            .map(|id| (*id, want[id].clone()))
+            .collect();
+        let got: HashMap<TensorId, Tensor> =
+            split.iter().map(|(id, v)| (*id, v[b].clone())).collect();
+        compare_outputs(program, &batched, stage, seed, &tol, true, &want, &got)?;
+    }
+    Ok(())
+}
+
 /// The persistent runtime backing the oracle's pooled cross-check: kept
 /// alive across calls so successive programs recycle each other's arena
 /// buffers — exactly the reuse pattern that would expose stale-data bugs.
@@ -453,6 +551,7 @@ fn pooled_runtime() -> &'static Runtime {
         Runtime::with_options(RuntimeOptions {
             threads: Some(4),
             arena: true,
+            max_parallelism: Some(4),
         })
     })
 }

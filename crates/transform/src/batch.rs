@@ -1,0 +1,297 @@
+//! Batch transformation for serving: rewrites a TE program for a fixed
+//! batch size `B` by giving every non-weight tensor a leading batch
+//! dimension.
+//!
+//! The serving layer (`souffle-serve`) compiles one variant of each model
+//! per batch *bucket* (1/2/4/8) instead of threading a dynamic batch
+//! dimension through the frontend builders — the bucketed-variant
+//! approach of Vortex (see PAPERS.md). This module is the rewrite behind
+//! those variants.
+//!
+//! The transformation is intentionally *not* semantic-preserving in the
+//! oracle's usual sense (shapes change); its contract is **batch
+//! invariance**: slice `b` of every output of the batched program is
+//! bit-identical to running the original program alone on request `b`'s
+//! inputs. That holds by construction:
+//!
+//! - every non-weight tensor's shape becomes `[B, ...dims]`; weights keep
+//!   their shape and are shared across the batch;
+//! - every TE body keeps its arithmetic untouched — index variables are
+//!   shifted up by one (`v_i → v_{i+1}`, making room for the new batch
+//!   iteration variable `v_0`) and accesses to batched operands gain
+//!   `v_0` as their leading index;
+//! - no access ever crosses the batch boundary (the *only* index
+//!   expression on a batch axis is exactly `v_0`), so element `b` of the
+//!   output depends only on slice `b` of the inputs, computed by the same
+//!   float operations in the same order as the unbatched program.
+//!
+//! The batch-invariance contract is enforced by the testkit oracle's
+//! `Stage::BatchedServe` and by `tests/serve_differential.rs` across all
+//! six models and every bucket.
+
+use souffle_affine::IndexExpr;
+use souffle_te::{ScalarExpr, TeProgram, TensorExpr, TensorId, TensorKind};
+use souffle_tensor::{Shape, Tensor};
+use std::collections::HashMap;
+
+/// Rewrites `program` for batch size `batch`: every non-weight tensor
+/// gains a leading batch dimension, every TE iterates the batch axis as
+/// its outermost iteration variable. Tensor ids are unchanged (the tensor
+/// table is copied in order), so bindings and outputs of the original
+/// program map 1:1 onto the batched one.
+///
+/// # Panics
+///
+/// Panics if `batch < 1`. Expects a validated program (the rewrite of an
+/// invalid body may panic on out-of-range variables).
+pub fn batch_program(program: &TeProgram, batch: i64) -> TeProgram {
+    assert!(batch >= 1, "batch size must be >= 1, got {batch}");
+    let mut out = TeProgram::new();
+    for t in program.tensors() {
+        let shape = if t.kind == TensorKind::Weight {
+            t.shape.clone()
+        } else {
+            let mut dims = Vec::with_capacity(t.shape.rank() + 1);
+            dims.push(batch);
+            dims.extend_from_slice(t.shape.dims());
+            Shape::new(dims)
+        };
+        out.add_tensor(&t.name, shape, t.dtype, t.kind);
+    }
+    for te in program.tes() {
+        let out_rank = program.tensor(te.output).shape.rank();
+        let n_vars = out_rank + te.reduce.len();
+        // v_i → v_{i+1}: the batch variable becomes v_0, iteration and
+        // reduction variables keep their relative order (the batched
+        // output has rank out_rank + 1, so reduction variables still
+        // start right after the iteration variables).
+        let shift: Vec<IndexExpr> = (1..=n_vars).map(IndexExpr::var).collect();
+        let shifted = te.body.substitute(&shift, &|op| op);
+        let body = prepend_batch_index(&shifted, &|op| {
+            program.tensor(te.inputs[op]).kind != TensorKind::Weight
+        });
+        out.push_te(TensorExpr {
+            name: te.name.clone(),
+            output: te.output,
+            inputs: te.inputs.clone(),
+            reduce: te.reduce.clone(),
+            reduce_op: te.reduce_op,
+            body,
+        });
+    }
+    out
+}
+
+/// Inserts `v_0` as the leading index of every access whose operand is
+/// batched. Called on a body whose variables are already shifted, so `v_0`
+/// is free for the batch axis. Conditions need no rewrite beyond the shift:
+/// they index the iteration space, not tensors.
+fn prepend_batch_index(body: &ScalarExpr, batched: &dyn Fn(usize) -> bool) -> ScalarExpr {
+    match body {
+        ScalarExpr::Const(c) => ScalarExpr::Const(*c),
+        ScalarExpr::IndexValue(e) => ScalarExpr::IndexValue(e.clone()),
+        ScalarExpr::Input { operand, indices } => {
+            let mut indices = indices.clone();
+            if batched(*operand) {
+                indices.insert(0, IndexExpr::var(0));
+            }
+            ScalarExpr::Input {
+                operand: *operand,
+                indices,
+            }
+        }
+        ScalarExpr::Unary(op, a) => {
+            ScalarExpr::Unary(*op, Box::new(prepend_batch_index(a, batched)))
+        }
+        ScalarExpr::Binary(op, a, b) => ScalarExpr::Binary(
+            *op,
+            Box::new(prepend_batch_index(a, batched)),
+            Box::new(prepend_batch_index(b, batched)),
+        ),
+        ScalarExpr::Select {
+            cond,
+            on_true,
+            on_false,
+        } => ScalarExpr::Select {
+            cond: cond.clone(),
+            on_true: Box::new(prepend_batch_index(on_true, batched)),
+            on_false: Box::new(prepend_batch_index(on_false, batched)),
+        },
+    }
+}
+
+/// Stacks same-shaped tensors along a new leading batch axis.
+///
+/// # Panics
+///
+/// Panics on an empty slice or mismatched shapes/dtypes.
+pub fn stack_tensors(parts: &[&Tensor]) -> Tensor {
+    let first = parts.first().expect("stack_tensors needs >= 1 tensor");
+    let mut dims = Vec::with_capacity(first.shape().rank() + 1);
+    dims.push(parts.len() as i64);
+    dims.extend_from_slice(first.shape().dims());
+    let mut data = Vec::with_capacity(first.data().len() * parts.len());
+    for p in parts {
+        assert_eq!(p.shape(), first.shape(), "stacked tensors must agree");
+        assert_eq!(p.dtype(), first.dtype(), "stacked tensors must agree");
+        data.extend_from_slice(p.data());
+    }
+    Tensor::from_parts(Shape::new(dims), first.dtype(), data)
+}
+
+/// Splits a batched tensor back into its per-request slices (the inverse
+/// of [`stack_tensors`]).
+///
+/// # Panics
+///
+/// Panics on a rank-0 tensor.
+pub fn split_batch(t: &Tensor) -> Vec<Tensor> {
+    let dims = t.shape().dims();
+    assert!(!dims.is_empty(), "split_batch needs a batch axis");
+    let b = dims[0] as usize;
+    let inner = Shape::new(dims[1..].to_vec());
+    let n = inner.numel() as usize;
+    (0..b)
+        .map(|i| {
+            Tensor::from_parts(
+                inner.clone(),
+                t.dtype(),
+                t.data()[i * n..(i + 1) * n].to_vec(),
+            )
+        })
+        .collect()
+}
+
+/// Builds bindings for the batched program from per-request bindings of
+/// the original: non-weight free tensors are stacked in request order,
+/// weights are taken from the first request (they are shared — callers
+/// must bind identical weights on every request).
+///
+/// # Panics
+///
+/// Panics when a request misses a binding (serve validates at admission;
+/// the oracle constructs bindings itself).
+pub fn batch_bindings(
+    program: &TeProgram,
+    requests: &[&HashMap<TensorId, Tensor>],
+) -> HashMap<TensorId, Tensor> {
+    assert!(!requests.is_empty(), "batch_bindings needs >= 1 request");
+    let mut out = HashMap::new();
+    for id in program.free_tensors() {
+        let info = program.tensor(id);
+        let get = |r: &HashMap<TensorId, Tensor>| -> Tensor {
+            r.get(&id)
+                .unwrap_or_else(|| panic!("request misses binding for {} ({id})", info.name))
+                .clone()
+        };
+        if info.kind == TensorKind::Weight {
+            out.insert(id, get(requests[0]));
+        } else {
+            let parts: Vec<&Tensor> = requests
+                .iter()
+                .map(|r| {
+                    r.get(&id).unwrap_or_else(|| {
+                        panic!("request misses binding for {} ({id})", info.name)
+                    })
+                })
+                .collect();
+            out.insert(id, stack_tensors(&parts));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use souffle_te::interp::{eval_program, random_bindings};
+    use souffle_te::{builders, compile_program};
+    use souffle_tensor::DType;
+
+    /// mm → softmax over a weight, plus a positional-encoding add: covers
+    /// reductions, Select guards (softmax), IndexValue, and a shared
+    /// weight.
+    fn sample() -> TeProgram {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4, 6]), DType::F32);
+        let w = p.add_weight("W", Shape::new(vec![6, 5]), DType::F32);
+        let mm = builders::matmul(&mut p, "mm", a, w);
+        let sm = builders::softmax(&mut p, "sm", mm);
+        p.mark_output(sm);
+        p.validate().unwrap();
+        p
+    }
+
+    #[test]
+    fn batched_program_validates_and_keeps_ids() {
+        let p = sample();
+        for b in [1, 2, 4, 8] {
+            let bp = batch_program(&p, b);
+            bp.validate().unwrap_or_else(|e| panic!("batch {b}: {e}"));
+            assert_eq!(bp.num_tensors(), p.num_tensors());
+            assert_eq!(bp.num_tes(), p.num_tes());
+            assert_eq!(bp.outputs(), p.outputs());
+            for id in p.free_tensors() {
+                let (orig, batched) = (p.tensor(id), bp.tensor(id));
+                if orig.kind == TensorKind::Weight {
+                    assert_eq!(orig.shape, batched.shape, "weights stay unbatched");
+                } else {
+                    assert_eq!(batched.shape.dim(0), b);
+                    assert_eq!(&batched.shape.dims()[1..], orig.shape.dims());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_slices_are_bit_identical_to_per_request_eval() {
+        let p = sample();
+        let b = 4usize;
+        // Distinct inputs per request, one shared weight set.
+        let shared = random_bindings(&p, 100);
+        let requests: Vec<HashMap<TensorId, Tensor>> = (0..b)
+            .map(|i| {
+                let mut r = random_bindings(&p, 200 + i as u64);
+                for id in p.free_tensors() {
+                    if p.tensor(id).kind == TensorKind::Weight {
+                        r.insert(id, shared[&id].clone());
+                    }
+                }
+                r
+            })
+            .collect();
+        let refs: Vec<&HashMap<TensorId, Tensor>> = requests.iter().collect();
+        let bp = batch_program(&p, b as i64);
+        let stacked = batch_bindings(&p, &refs);
+        let got = compile_program(&bp).eval(&stacked).unwrap();
+        for (i, req) in requests.iter().enumerate() {
+            let want = eval_program(&p, req).unwrap();
+            for id in p.outputs() {
+                let slices = split_batch(&got[&id]);
+                assert_eq!(slices.len(), b);
+                assert_eq!(slices[i].shape(), want[&id].shape());
+                for (x, y) in want[&id].data().iter().zip(slices[i].data()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "request {i} output {id}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stack_and_split_roundtrip() {
+        let t0 = Tensor::random(Shape::new(vec![2, 3]), 1);
+        let t1 = Tensor::random(Shape::new(vec![2, 3]), 2);
+        let stacked = stack_tensors(&[&t0, &t1]);
+        assert_eq!(stacked.shape().dims(), &[2, 2, 3]);
+        let parts = split_batch(&stacked);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].data(), t0.data());
+        assert_eq!(parts[1].data(), t1.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be >= 1")]
+    fn zero_batch_panics() {
+        batch_program(&sample(), 0);
+    }
+}

@@ -21,11 +21,13 @@
 //! rewrite is checked in tests by evaluating both programs with the
 //! reference interpreter on random inputs.
 
+pub mod batch;
 pub mod horizontal;
 pub mod vertical;
 
 mod rewrite;
 
+pub use batch::{batch_bindings, batch_program, split_batch, stack_tensors};
 pub use horizontal::{find_horizontal_groups, horizontal_fuse_program};
 pub use rewrite::TransformStats;
 pub use vertical::vertical_fuse_program;

@@ -38,6 +38,16 @@ echo "== golden traces + --trace-out schema check =="
 cargo test -q --offline --test trace_golden --test trace_properties
 cargo test -q --offline -p souffle --test cli_trace
 
+# Serving gate: batcher virtual-clock determinism + queue/backpressure
+# properties, the server-vs-eval_reference batch-invariance differential
+# (all six models × buckets 1/2/4/8), and a bench_serve smoke run that
+# validates the souffle-bench-serve/1 schema on a temp file (hermetic:
+# no timing assertions, results/ untouched).
+echo "== serving suites + bench_serve --smoke =="
+cargo test -q --offline -p souffle-serve
+cargo test -q --offline --test serve_differential
+cargo run -q --release --offline -p souffle-bench --bin bench_serve -- --smoke
+
 # Re-run the evaluator-facing suites with a pinned 2-stream wavefront pool:
 # results must be bit-identical under any SOUFFLE_EVAL_THREADS, and this
 # catches pool-size-dependent bugs that the ambient default would hide.

@@ -32,6 +32,7 @@ fn runtimes() -> &'static [(&'static str, Runtime)] {
             Runtime::with_options(RuntimeOptions {
                 threads: Some(threads),
                 arena,
+                max_parallelism: Some(threads),
             })
         };
         vec![
@@ -200,6 +201,7 @@ fn repeated_evals_on_recycled_buffers_are_stable() {
     let rt = Runtime::with_options(RuntimeOptions {
         threads: Some(4),
         arena: true,
+        max_parallelism: Some(4),
     });
     let mut first: Option<HashMap<TensorId, souffle_tensor::Tensor>> = None;
     for round in 0..12 {

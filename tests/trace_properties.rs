@@ -29,6 +29,7 @@ fn runtimes() -> &'static [(&'static str, Runtime)] {
             Runtime::with_options(RuntimeOptions {
                 threads: Some(threads),
                 arena,
+                max_parallelism: Some(threads),
             })
         };
         vec![
