@@ -97,11 +97,19 @@ struct EvaluatorSummary {
     workload: String,
     naive_mean_ns: f64,
     compiled_1t_mean_ns: f64,
+    compiled_1t_nokernels_mean_ns: f64,
+    compiled_1t_fastmath_mean_ns: f64,
     compiled_mt_mean_ns: f64,
     compiled_mt_arena_mean_ns: f64,
     threads_1t: usize,
     threads_mt: usize,
     arena: souffle_te::ArenaStats,
+    /// Static per-eval kernel-selection census of the BERT program.
+    census: souffle_te::KernelStats,
+    /// Dynamic dispatch counters drained from the kernel-tier row's
+    /// runtime (census × evaluations; nonzero proves the tier actually
+    /// dispatched).
+    dispatched: souffle_te::KernelStats,
 }
 
 /// Naive interpreter vs compiled VM on a BERT-sized TE program: 2
@@ -140,12 +148,30 @@ fn bench_evaluators(b: &mut Bench) -> EvaluatorSummary {
         threads: Some(1),
         arena: true,
         max_parallelism: Some(1),
+        kernel_tier: Some(true),
+        ..RuntimeOptions::default()
+    });
+    let rt_1t_nok = Runtime::with_options(RuntimeOptions {
+        threads: Some(1),
+        arena: true,
+        max_parallelism: Some(1),
+        kernel_tier: Some(false),
+        ..RuntimeOptions::default()
+    });
+    let rt_1t_fast = Runtime::with_options(RuntimeOptions {
+        threads: Some(1),
+        arena: true,
+        max_parallelism: Some(1),
+        kernel_tier: Some(true),
+        fast_math: true,
     });
     let mt_threads = thread_count().max(2);
     let rt_mt = Runtime::with_options(RuntimeOptions {
         threads: Some(mt_threads),
         arena: true,
         max_parallelism: None, // adapt: inline when the machine can't help
+        kernel_tier: Some(true),
+        ..RuntimeOptions::default()
     });
 
     b.group("evaluator_bert");
@@ -155,6 +181,16 @@ fn bench_evaluators(b: &mut Bench) -> EvaluatorSummary {
     let compiled_1t_mean_ns = b
         .run("compiled_1t", || {
             rt_1t.eval_keeping_intermediates_with_plan(black_box(&compiled), &plan, &bindings)
+        })
+        .mean_ns;
+    let compiled_1t_nokernels_mean_ns = b
+        .run("compiled_1t_nokernels", || {
+            rt_1t_nok.eval_keeping_intermediates_with_plan(black_box(&compiled), &plan, &bindings)
+        })
+        .mean_ns;
+    let compiled_1t_fastmath_mean_ns = b
+        .run("compiled_1t_fastmath", || {
+            rt_1t_fast.eval_keeping_intermediates_with_plan(black_box(&compiled), &plan, &bindings)
         })
         .mean_ns;
     let compiled_mt_mean_ns = b
@@ -174,12 +210,80 @@ fn bench_evaluators(b: &mut Bench) -> EvaluatorSummary {
         ),
         naive_mean_ns,
         compiled_1t_mean_ns,
+        compiled_1t_nokernels_mean_ns,
+        compiled_1t_fastmath_mean_ns,
         compiled_mt_mean_ns,
         compiled_mt_arena_mean_ns,
         threads_1t: rt_1t.effective_streams(),
         threads_mt: rt_mt.effective_streams(),
         arena: rt_mt.arena_stats(),
+        census: compiled.kernel_census(),
+        dispatched: rt_1t.take_stats().kernels,
     }
+}
+
+/// Per-model evaluator rows for the smaller pipeline models: LSTM and
+/// MMoE, each with the naive interpreter, the specialized kernel tier
+/// (`compiled_1t`), and the pure bytecode VM (`compiled_1t_nokernels`) —
+/// the same single-stream A/B as BERT above, so the JSON report prices
+/// the kernel tier across body-shape mixes (LSTM is gate-matmul heavy,
+/// MMoE is small-dot heavy).
+struct ModelEval {
+    model: &'static str,
+    naive_mean_ns: f64,
+    compiled_1t_mean_ns: f64,
+    compiled_1t_nokernels_mean_ns: f64,
+    census: souffle_te::KernelStats,
+}
+
+fn bench_model_evaluators(b: &mut Bench) -> Vec<ModelEval> {
+    let rt_1t = Runtime::with_options(RuntimeOptions {
+        threads: Some(1),
+        arena: true,
+        max_parallelism: Some(1),
+        kernel_tier: Some(true),
+        ..RuntimeOptions::default()
+    });
+    let rt_1t_nok = Runtime::with_options(RuntimeOptions {
+        threads: Some(1),
+        arena: true,
+        max_parallelism: Some(1),
+        kernel_tier: Some(false),
+        ..RuntimeOptions::default()
+    });
+    let mut rows = Vec::new();
+    for (model, name) in [(Model::Lstm, "lstm"), (Model::Mmoe, "mmoe")] {
+        let program = tiny_program(model);
+        let bindings = random_bindings(&program, 7);
+        let compiled = compile_program(&program);
+        let plan = ExecPlan::from_compiled(&compiled);
+        b.group(&format!("evaluator_{name}"));
+        let naive_mean_ns = b
+            .run("naive", || eval_program(black_box(&program), &bindings))
+            .mean_ns;
+        let compiled_1t_mean_ns = b
+            .run("compiled_1t", || {
+                rt_1t.eval_keeping_intermediates_with_plan(black_box(&compiled), &plan, &bindings)
+            })
+            .mean_ns;
+        let compiled_1t_nokernels_mean_ns = b
+            .run("compiled_1t_nokernels", || {
+                rt_1t_nok.eval_keeping_intermediates_with_plan(
+                    black_box(&compiled),
+                    &plan,
+                    &bindings,
+                )
+            })
+            .mean_ns;
+        rows.push(ModelEval {
+            model: name,
+            naive_mean_ns,
+            compiled_1t_mean_ns,
+            compiled_1t_nokernels_mean_ns,
+            census: compiled.kernel_census(),
+        });
+    }
+    rows
 }
 
 /// Tracing overhead + trace summary for the JSON report: the same LSTM
@@ -222,6 +326,7 @@ fn bench_tracing(b: &mut Bench) -> TracingSummary {
         threads: Some(thread_count().max(2)),
         arena: true,
         max_parallelism: None, // adapt: inline when the machine can't help
+        ..RuntimeOptions::default()
     });
 
     b.group("tracing_lstm");
@@ -265,15 +370,26 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-/// Serializes every stage timing plus the evaluator comparison to
-/// `results/bench_pipeline.json` (hand-rolled writer: the workspace is
-/// dependency-free by design, so no serde).
-fn write_report(
+/// One `{"kernels.x": n, ...}` JSON object from a counter set.
+fn kernel_counters_json(stats: &souffle_te::KernelStats, indent: &str) -> String {
+    let entries: Vec<String> = stats
+        .counters()
+        .iter()
+        .map(|(name, v)| format!("{indent}  \"{name}\": {v}"))
+        .collect();
+    format!("{{\n{}\n{indent}}}", entries.join(",\n"))
+}
+
+/// Renders every stage timing plus the evaluator comparisons as the
+/// `souffle-bench-pipeline/4` JSON document (hand-rolled writer: the
+/// workspace is dependency-free by design, so no serde).
+fn render_report(
     timings: &[Timing],
     ev: &EvaluatorSummary,
+    models: &[ModelEval],
     tr: &TracingSummary,
-) -> std::io::Result<()> {
-    let mut out = String::from("{\n  \"schema\": \"souffle-bench-pipeline/3\",\n  \"stages\": [\n");
+) -> String {
+    let mut out = String::from("{\n  \"schema\": \"souffle-bench-pipeline/4\",\n  \"stages\": [\n");
     for (i, t) in timings.iter().enumerate() {
         let sep = if i + 1 == timings.len() { "" } else { "," };
         out.push_str(&format!(
@@ -291,20 +407,46 @@ fn write_report(
         json_escape(&ev.workload)
     ));
     out.push_str(&format!(
-        "    \"naive_mean_ns\": {:.1},\n    \"compiled_1t_mean_ns\": {:.1},\n    \"compiled_mt_mean_ns\": {:.1},\n    \"compiled_mt_arena_mean_ns\": {:.1},\n",
-        ev.naive_mean_ns, ev.compiled_1t_mean_ns, ev.compiled_mt_mean_ns, ev.compiled_mt_arena_mean_ns
+        "    \"naive_mean_ns\": {:.1},\n    \"compiled_1t_mean_ns\": {:.1},\n    \"compiled_1t_nokernels_mean_ns\": {:.1},\n    \"compiled_1t_fastmath_mean_ns\": {:.1},\n    \"compiled_mt_mean_ns\": {:.1},\n    \"compiled_mt_arena_mean_ns\": {:.1},\n",
+        ev.naive_mean_ns,
+        ev.compiled_1t_mean_ns,
+        ev.compiled_1t_nokernels_mean_ns,
+        ev.compiled_1t_fastmath_mean_ns,
+        ev.compiled_mt_mean_ns,
+        ev.compiled_mt_arena_mean_ns
     ));
     out.push_str(&format!(
-        "    \"speedup_compiled_1t\": {:.2},\n    \"speedup_compiled_mt\": {:.2},\n    \"speedup_compiled_mt_arena\": {:.2},\n",
+        "    \"speedup_compiled_1t\": {:.2},\n    \"speedup_compiled_mt\": {:.2},\n    \"speedup_compiled_mt_arena\": {:.2},\n    \"speedup_kernel_tier\": {:.2},\n",
         ev.naive_mean_ns / ev.compiled_1t_mean_ns,
         ev.naive_mean_ns / ev.compiled_mt_mean_ns,
         ev.naive_mean_ns / ev.compiled_mt_arena_mean_ns,
+        ev.compiled_1t_nokernels_mean_ns / ev.compiled_1t_mean_ns,
     ));
     out.push_str(&format!(
-        "    \"threads_compiled_1t\": {},\n    \"threads_compiled_mt\": {},\n    \"arena_buffers_reused\": {},\n    \"arena_buffers_allocated\": {}\n",
+        "    \"threads_compiled_1t\": {},\n    \"threads_compiled_mt\": {},\n    \"arena_buffers_reused\": {},\n    \"arena_buffers_allocated\": {},\n",
         ev.threads_1t, ev.threads_mt, ev.arena.reused, ev.arena.allocated
     ));
-    out.push_str("  },\n  \"tracing\": {\n");
+    out.push_str(&format!(
+        "    \"kernel_census\": {},\n    \"kernel_dispatches_specialized\": {},\n    \"kernel_dispatches_bytecode\": {}\n",
+        kernel_counters_json(&ev.census, "    "),
+        ev.dispatched.specialized(),
+        ev.dispatched.bytecode()
+    ));
+    out.push_str("  },\n  \"evaluator_models\": [\n");
+    for (i, m) in models.iter().enumerate() {
+        let sep = if i + 1 == models.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"model\": \"{}(tiny)\", \"naive_mean_ns\": {:.1}, \"compiled_1t_mean_ns\": {:.1}, \"compiled_1t_nokernels_mean_ns\": {:.1}, \"speedup_compiled_1t\": {:.2}, \"speedup_kernel_tier\": {:.2}, \"kernel_census\": {}}}{sep}\n",
+            m.model,
+            m.naive_mean_ns,
+            m.compiled_1t_mean_ns,
+            m.compiled_1t_nokernels_mean_ns,
+            m.naive_mean_ns / m.compiled_1t_mean_ns,
+            m.compiled_1t_nokernels_mean_ns / m.compiled_1t_mean_ns,
+            kernel_counters_json(&m.census, "    ")
+        ));
+    }
+    out.push_str("  ],\n  \"tracing\": {\n");
     out.push_str(&format!(
         "    \"workload\": \"{}\",\n",
         json_escape(&tr.workload)
@@ -323,13 +465,54 @@ fn write_report(
     out.push_str("  },\n");
     out.push_str(&format!("  \"trace_summary\": {}\n", tr.summary_json));
     out.push_str("}\n");
+    out
+}
+
+/// Writes the rendered report to `results/bench_pipeline.json`.
+fn write_report(report: &str) -> std::io::Result<()> {
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),
         "/../../results/bench_pipeline.json"
     );
-    std::fs::write(path, out)?;
+    std::fs::write(path, report)?;
     println!("\nwrote {path}");
     Ok(())
+}
+
+/// The `--smoke` gate: asserts the report is structurally sound — current
+/// schema, per-model evaluator rows, and kernel-tier dispatch counters
+/// present — and writes it to a scratch path instead of `results/` (smoke
+/// timings are garbage by construction; they must never overwrite real
+/// numbers).
+fn smoke_check(report: &str, ev: &EvaluatorSummary, models: &[ModelEval]) {
+    assert!(
+        report.contains("\"schema\": \"souffle-bench-pipeline/4\""),
+        "smoke: schema must be souffle-bench-pipeline/4"
+    );
+    assert!(
+        report.contains("\"evaluator_models\""),
+        "smoke: per-model evaluator rows missing"
+    );
+    for counter in ["kernels.row_dot", "kernels.ew_tile", "kernels.bytecode"] {
+        assert!(
+            report.contains(counter),
+            "smoke: kernel counter {counter} missing from report"
+        );
+    }
+    assert!(
+        ev.census.specialized() > 0,
+        "smoke: BERT census selected no specialized kernels: {:?}",
+        ev.census
+    );
+    assert!(
+        ev.dispatched.specialized() > 0,
+        "smoke: kernel tier never dispatched on the compiled_1t row: {:?}",
+        ev.dispatched
+    );
+    assert_eq!(models.len(), 2, "smoke: expected lstm + mmoe rows");
+    let path = std::env::temp_dir().join("souffle_bench_pipeline_smoke.json");
+    std::fs::write(&path, report).expect("write smoke report");
+    println!("\nsmoke OK: wrote {}", path.display());
 }
 
 /// Ablation: LRU cache throughput across capacities (design choice: the
@@ -348,12 +531,19 @@ fn bench_lru_capacity(b: &mut Bench) {
 }
 
 fn main() {
+    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
+    if smoke && std::env::var("TESTKIT_BENCH_MS").is_err() {
+        // Smoke cares about structure, not numbers: shrink the budget so
+        // the full bench sweep finishes in seconds.
+        std::env::set_var("TESTKIT_BENCH_MS", "2");
+    }
     let mut b = Bench::new();
     bench_analysis_stages(&mut b);
     bench_transforms(&mut b);
     bench_lowering(&mut b);
     bench_lru_capacity(&mut b);
     let ev = bench_evaluators(&mut b);
+    let models = bench_model_evaluators(&mut b);
     let tr = bench_tracing(&mut b);
     println!(
         "\nevaluator speedup on {}: {:.1}x with {} stream(s), {:.1}x with {} stream(s) \
@@ -367,12 +557,32 @@ fn main() {
         ev.arena.reused
     );
     println!(
+        "kernel tier on {}: {:.2}x over bytecode (census: {} specialized / {} bytecode TEs; \
+         {} specialized dispatches on the compiled_1t row)",
+        ev.workload,
+        ev.compiled_1t_nokernels_mean_ns / ev.compiled_1t_mean_ns,
+        ev.census.specialized(),
+        ev.census.bytecode(),
+        ev.dispatched.specialized()
+    );
+    for m in &models {
+        println!(
+            "kernel tier on {}(tiny): {:.2}x over bytecode ({:.1}x over naive)",
+            m.model,
+            m.compiled_1t_nokernels_mean_ns / m.compiled_1t_mean_ns,
+            m.naive_mean_ns / m.compiled_1t_mean_ns
+        );
+    }
+    println!(
         "tracing overhead on {} (min-based): {:+.1}% with tracer disabled, {:+.1}% with tracer enabled",
         tr.workload,
         tr.overhead_disabled() * 100.0,
         tr.overhead_enabled() * 100.0
     );
-    if let Err(e) = write_report(b.results(), &ev, &tr) {
+    let report = render_report(b.results(), &ev, &models, &tr);
+    if smoke {
+        smoke_check(&report, &ev, &models);
+    } else if let Err(e) = write_report(&report) {
         eprintln!("could not write results/bench_pipeline.json: {e}");
     }
     // `cargo bench --bench pipeline -- --trace-out t.json` additionally

@@ -36,6 +36,17 @@ pub struct SouffleOptions {
     /// Recycle intermediate tensor buffers through the runtime's arena
     /// across TEs and across repeated `eval_reference` calls.
     pub eval_arena: bool,
+    /// Kernel-tier mode for the compiled evaluator: `Some(true)` forces
+    /// the monomorphized native kernels, `Some(false)` forces pure
+    /// bytecode, `None` resolves via `SOUFFLE_KERNEL_TIER` (on when
+    /// unset). Bit-identical either way; this knob exists for the
+    /// differential suites and A/B benchmarking.
+    pub kernel_tier: Option<bool>,
+    /// Relax `Sum` reduction order in the specialized dot kernels
+    /// (multi-lane partial accumulators). Opt-in: changes float results,
+    /// is excluded from every bit-identity oracle, and is benchmarked as
+    /// its own row.
+    pub fast_math: bool,
     /// Run the static verifier (`souffle-verify`) after every pipeline
     /// stage: the frontend program, each TE transformation, and the
     /// lowered kernels. Errors abort compilation
@@ -60,6 +71,8 @@ impl SouffleOptions {
             evaluator: Evaluator::default(),
             eval_threads: None,
             eval_arena: true,
+            kernel_tier: None,
+            fast_math: false,
             verify: cfg!(debug_assertions),
             spec: GpuSpec::a100(),
         }

@@ -196,6 +196,8 @@ impl Souffle {
                 // pools on narrow machines); the default adapts to the
                 // machine and falls back to inline execution.
                 max_parallelism: self.options.eval_threads,
+                kernel_tier: self.options.kernel_tier,
+                fast_math: self.options.fast_math,
             })
         })
     }
@@ -397,6 +399,22 @@ impl Souffle {
             compiled.program.num_tes(),
             compiled.num_kernels()
         );
+        // Static kernel-tier census: which TEs the compiled evaluator runs
+        // through specialized native loops vs the bytecode VM (the
+        // per-eval dispatch counts surface as `kernels.*` trace counters).
+        let census = compile_program(&compiled.program).kernel_census();
+        let _ = writeln!(
+            out,
+            "  kernel tier: {} specialized (copy_rows {}, ew_tile {}, row_dot {}, \
+             slice_dot {}, slice_reduce {}), {} bytecode",
+            census.specialized(),
+            census.copy_rows,
+            census.ew_tile,
+            census.row_dot,
+            census.slice_dot,
+            census.slice_reduce,
+            census.bytecode()
+        );
         let _ = writeln!(
             out,
             "  transform {:?}  analysis {:?}  codegen {:?}  verify {:?}  (total {:?})",
@@ -475,7 +493,8 @@ impl Souffle {
     }
 
     /// Drains the runtime's per-window stats into tracer counters after a
-    /// traced eval (`arena.*` buffer recycling, `pool.*` work stealing).
+    /// traced eval (`arena.*` buffer recycling, `pool.*` work stealing,
+    /// `kernels.*` specialized-tier dispatches and fallback reasons).
     fn record_runtime_counters(&self) {
         let rs = self.runtime().take_stats();
         let t = &self.tracer;
@@ -485,6 +504,9 @@ impl Souffle {
         t.add("pool.tasks", rs.pool.tasks);
         t.add("pool.steals", rs.pool.steals);
         t.high_water("pool.max_queue_depth", rs.pool.max_queue_depth);
+        for (name, v) in rs.kernels.counters() {
+            t.add(name, v);
+        }
     }
 
     /// The inference hot path: evaluates the compiled (transformed) TE

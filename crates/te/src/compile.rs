@@ -25,6 +25,7 @@
 //! Evaluation of the compiled form lives in [`crate::vm`].
 
 use crate::expr::{BinaryOp, Cond, ScalarExpr, UnaryOp};
+use crate::kernels::{self, KernelSel, KernelStats};
 use crate::program::{TeProgram, TensorId, TensorInfo};
 use crate::te::ReduceOp;
 use souffle_affine::IndexExpr;
@@ -133,6 +134,10 @@ pub struct CompiledTe {
     pub(crate) n_vars: usize,
     /// Recognized body shape for the VM's specialized fast paths.
     pub(crate) kind: BodyKind,
+    /// Kernel-tier selection ([`crate::kernels`]): the monomorphized
+    /// native inner loop this TE dispatches to, or the bytecode fallback
+    /// with its reason. Static per TE, decided here at compile time.
+    pub(crate) tier: KernelSel,
 }
 
 impl CompiledTe {
@@ -149,6 +154,21 @@ impl CompiledTe {
     /// Bytecode length (a proxy for body size after fusion).
     pub fn code_len(&self) -> usize {
         self.code.len()
+    }
+
+    /// Name of the specialized kernel this TE dispatches to (`"bytecode"`
+    /// when it stays on the VM's instruction loop).
+    pub fn kernel(&self) -> &'static str {
+        self.tier.name()
+    }
+
+    /// Why this TE stays on the bytecode path (`None` when a specialized
+    /// kernel was selected).
+    pub fn kernel_fallback_reason(&self) -> Option<&'static str> {
+        match self.tier {
+            KernelSel::Fallback(r) => Some(r.name()),
+            _ => None,
+        }
     }
 }
 
@@ -178,6 +198,17 @@ impl CompiledProgram {
 
     pub(crate) fn tensor(&self, id: TensorId) -> &TensorInfo {
         &self.tensors[id.0]
+    }
+
+    /// Static kernel-tier census: how many TEs selected each specialized
+    /// kernel (and each fallback reason). Counts are per TE definition —
+    /// multiply by evaluations to get the runtime's dispatch counters.
+    pub fn kernel_census(&self) -> KernelStats {
+        let mut stats = KernelStats::default();
+        for te in &self.tes {
+            stats.record(te.tier);
+        }
+        stats
     }
 }
 
@@ -265,7 +296,7 @@ fn compile_te(
     let result = c.fresh();
     c.compile_into(body, result);
     let kind = classify_body(&c.code, result);
-    CompiledTe {
+    let mut te = CompiledTe {
         name: name.to_string(),
         output,
         out_shape,
@@ -281,7 +312,10 @@ fn compile_te(
         index_exprs: c.index_exprs,
         n_vars,
         kind,
-    }
+        tier: KernelSel::Fallback(kernels::FallbackReason::ReducedBody),
+    };
+    te.tier = kernels::select(&te);
+    te
 }
 
 /// Pattern-matches the emitted bytecode against the shapes the VM

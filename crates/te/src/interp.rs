@@ -76,6 +76,23 @@ impl fmt::Display for EvalError {
 
 impl std::error::Error for EvalError {}
 
+impl EvalError {
+    /// The single construction site for [`EvalError::OutOfBounds`], shared
+    /// by the naive interpreter and the VM's generic-access path (which
+    /// re-derives the failing index vector before calling this). Keeping
+    /// one constructor is what guarantees the two evaluator tiers report
+    /// byte-identical errors — the `evaluator_equivalence` suite compares
+    /// them with `==`.
+    pub(crate) fn oob_access(te: &str, operand: usize, index: Vec<i64>, dims: &[i64]) -> EvalError {
+        EvalError::OutOfBounds {
+            te: te.to_string(),
+            operand,
+            index,
+            shape: dims.to_vec(),
+        }
+    }
+}
+
 /// Evaluates a whole program.
 ///
 /// `bindings` must contain a tensor for every input and weight; the result
@@ -180,12 +197,12 @@ fn eval_scalar(
                     .zip(t.shape().dims())
                     .all(|(&i, &d)| (0..d).contains(&i));
             if !in_bounds {
-                return Err(EvalError::OutOfBounds {
-                    te: te_name.to_string(),
-                    operand: *operand,
-                    index: idx,
-                    shape: t.shape().dims().to_vec(),
-                });
+                return Err(EvalError::oob_access(
+                    te_name,
+                    *operand,
+                    idx,
+                    t.shape().dims(),
+                ));
             }
             t.at(&idx)
         }

@@ -53,6 +53,7 @@ pub mod compile;
 mod expr;
 pub mod grad;
 pub mod interp;
+pub mod kernels;
 pub mod pool;
 mod program;
 pub mod runtime;
@@ -63,6 +64,7 @@ mod vm;
 pub use arena::{ArenaStats, BufferArena};
 pub use compile::{compile_program, CompiledProgram, CompiledTe, Evaluator};
 pub use expr::{BinaryOp, CmpOp, Cond, ScalarExpr, UnaryOp};
+pub use kernels::{FallbackReason, KernelStats, KERNEL_TIER_ENV};
 pub use pool::{PoolStats, ThreadPool};
 pub use program::{TeProgram, TensorId, TensorInfo, TensorKind, ValidateError};
 pub use runtime::{ExecPlan, Runtime, RuntimeOptions, RuntimeStats};

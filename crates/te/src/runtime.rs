@@ -33,6 +33,7 @@
 use crate::arena::{ArenaStats, BufferArena};
 use crate::compile::{CompiledProgram, CompiledTe};
 use crate::interp::EvalError;
+use crate::kernels::{env_kernel_tier, ExecOpts, KernelStats};
 use crate::pool::{PoolStats, ThreadPool};
 use crate::program::{TensorId, TensorKind};
 use crate::vm::{detected_parallelism, env_threads, run_chunk, thread_count, SERIAL_THRESHOLD};
@@ -226,6 +227,16 @@ pub struct RuntimeOptions {
     /// detected parallelism (tests use this to exercise pools on
     /// single-core machines).
     pub max_parallelism: Option<usize>,
+    /// Kernel-tier mode for TE dispatch ([`crate::kernels`]): `Some(true)`
+    /// forces the specialized native kernels, `Some(false)` forces pure
+    /// bytecode, `None` resolves via `SOUFFLE_KERNEL_TIER` (on when
+    /// unset). Results are bit-identical either way — the differential
+    /// suites force both sides.
+    pub kernel_tier: Option<bool>,
+    /// Relax `Sum` reduction order in the specialized dot kernels
+    /// (multi-lane partial accumulators). Changes float results; off by
+    /// default and excluded from every bit-identity oracle.
+    pub fast_math: bool,
 }
 
 impl Default for RuntimeOptions {
@@ -234,6 +245,8 @@ impl Default for RuntimeOptions {
             threads: None,
             arena: true,
             max_parallelism: None,
+            kernel_tier: None,
+            fast_math: false,
         }
     }
 }
@@ -247,6 +260,8 @@ pub struct RuntimeStats {
     pub arena: ArenaStats,
     /// Thread-pool counters (all zero for single-threaded runtimes).
     pub pool: PoolStats,
+    /// Kernel-tier dispatch counters (all zero when the tier is off).
+    pub kernels: KernelStats,
 }
 
 /// The persistent evaluation runtime: one work-stealing pool plus one
@@ -267,6 +282,14 @@ pub struct Runtime {
     pool: Option<ThreadPool>,
     arena: Mutex<BufferArena>,
     arena_enabled: bool,
+    /// [`RuntimeOptions::kernel_tier`], resolved per eval (the env
+    /// fallback is re-read so CI can sweep `SOUFFLE_KERNEL_TIER`).
+    kernel_tier: Option<bool>,
+    fast_math: bool,
+    /// Kernel dispatch counters, updated once per wavefront level by the
+    /// coordinator thread (selection is static, so counts never depend on
+    /// chunking or pool size).
+    kernel_stats: Mutex<KernelStats>,
     /// The process-global runtime re-reads `SOUFFLE_EVAL_THREADS` on
     /// every call (tests toggle it); explicitly sized runtimes do not.
     honor_env: bool,
@@ -291,8 +314,8 @@ impl Runtime {
     pub fn with_threads(threads: usize) -> Runtime {
         Runtime::with_options(RuntimeOptions {
             threads: Some(threads),
-            arena: true,
             max_parallelism: Some(threads),
+            ..RuntimeOptions::default()
         })
     }
 
@@ -309,6 +332,9 @@ impl Runtime {
             pool: (threads > 1).then(|| ThreadPool::new(threads - 1)),
             arena: Mutex::new(BufferArena::new()),
             arena_enabled: opts.arena,
+            kernel_tier: opts.kernel_tier,
+            fast_math: opts.fast_math,
+            kernel_stats: Mutex::new(KernelStats::default()),
             honor_env: false,
         }
     }
@@ -343,6 +369,25 @@ impl Runtime {
         self.arena_enabled
     }
 
+    /// Whether the next `eval` dispatches to the specialized kernel tier:
+    /// the explicit [`RuntimeOptions::kernel_tier`] if set, otherwise the
+    /// `SOUFFLE_KERNEL_TIER` environment variable, otherwise on.
+    pub fn kernels_enabled(&self) -> bool {
+        self.kernel_tier.or_else(env_kernel_tier).unwrap_or(true)
+    }
+
+    /// Whether relaxed-reduction fast math is enabled on this runtime.
+    pub fn fast_math(&self) -> bool {
+        self.fast_math
+    }
+
+    fn exec_opts(&self) -> ExecOpts {
+        ExecOpts {
+            kernels: self.kernels_enabled(),
+            fast_math: self.fast_math,
+        }
+    }
+
     /// Cumulative arena reuse/allocation counters for this runtime.
     pub fn arena_stats(&self) -> ArenaStats {
         self.arena.lock().expect("arena lock poisoned").stats()
@@ -362,6 +407,7 @@ impl Runtime {
         RuntimeStats {
             arena: self.arena_stats(),
             pool: self.pool_stats(),
+            kernels: *self.kernel_stats.lock().expect("kernel stats poisoned"),
         }
     }
 
@@ -378,6 +424,7 @@ impl Runtime {
                 .as_ref()
                 .map(ThreadPool::take_stats)
                 .unwrap_or_default(),
+            kernels: std::mem::take(&mut *self.kernel_stats.lock().expect("kernel stats poisoned")),
         }
     }
 
@@ -535,6 +582,7 @@ impl Runtime {
         }
         let threads = self.effective_streams();
         let recycle = self.arena_enabled && !keep_all;
+        let exec = self.exec_opts();
 
         // Tracing: the coordinator records every span (eval → level:<k> →
         // te:<name>) in plan order so the tree structure is identical for
@@ -607,12 +655,12 @@ impl Runtime {
                         match tr {
                             Some(t) => {
                                 let t0 = t.now_ns();
-                                res[0] = run_chunk(&cp.tes[*ti], 0, buf, ops);
+                                res[0] = run_chunk(&cp.tes[*ti], 0, buf, ops, exec);
                                 let t1 = t.now_ns();
                                 times[i].0.fetch_min(t0, Ordering::Relaxed);
                                 times[i].1.fetch_max(t1, Ordering::Relaxed);
                             }
-                            None => res[0] = run_chunk(&cp.tes[*ti], 0, buf, ops),
+                            None => res[0] = run_chunk(&cp.tes[*ti], 0, buf, ops, exec),
                         }
                     }
                 } else {
@@ -631,12 +679,12 @@ impl Runtime {
                                 s.spawn(move || match (tr, t_slot) {
                                     (Some(t), Some(slot)) => {
                                         let t0 = t.now_ns();
-                                        *r = run_chunk(te, ci * chunk, slice, ops);
+                                        *r = run_chunk(te, ci * chunk, slice, ops, exec);
                                         let t1 = t.now_ns();
                                         slot.0.fetch_min(t0, Ordering::Relaxed);
                                         slot.1.fetch_max(t1, Ordering::Relaxed);
                                     }
-                                    _ => *r = run_chunk(te, ci * chunk, slice, ops),
+                                    _ => *r = run_chunk(te, ci * chunk, slice, ops, exec),
                                 });
                             }
                         }
@@ -661,7 +709,18 @@ impl Runtime {
                         }
                     }
                 }
-                return eval_serial(cp, bindings, keep_all);
+                return eval_serial(cp, bindings, keep_all, exec);
+            }
+
+            // Tally kernel dispatches for the level (selection is static,
+            // so counts are per-TE, independent of chunking or pool size).
+            // A disabled tier records nothing: absent `kernels.*` counters
+            // signal pure-bytecode execution.
+            if exec.kernels {
+                let mut ks = self.kernel_stats.lock().expect("kernel stats poisoned");
+                for &ti in tes {
+                    ks.record(cp.tes[ti].tier);
+                }
             }
 
             // Record per-TE spans in plan order (structure deterministic;
@@ -756,6 +815,7 @@ fn eval_serial(
     cp: &CompiledProgram,
     bindings: &HashMap<TensorId, Tensor>,
     keep_all: bool,
+    exec: ExecOpts,
 ) -> Result<HashMap<TensorId, Tensor>, EvalError> {
     let mut values: HashMap<TensorId, Tensor> = HashMap::new();
     for &id in cp.free_tensors() {
@@ -784,7 +844,7 @@ fn eval_serial(
             })
             .collect();
         let mut data = vec![0.0f32; te.out_shape.numel() as usize];
-        run_chunk(te, 0, &mut data, &operands)?;
+        run_chunk(te, 0, &mut data, &operands, exec)?;
         let dtype = cp.tensor(te.output).dtype;
         values.insert(
             te.output,
@@ -946,8 +1006,8 @@ mod tests {
 
         let rt = Runtime::with_options(RuntimeOptions {
             threads: Some(8),
-            arena: true,
             max_parallelism: Some(1), // a single-slot machine
+            ..RuntimeOptions::default()
         });
         assert_eq!(rt.threads(), 8, "configured width is reported verbatim");
         assert!(rt.pool.is_some(), "the pool exists; it must simply idle");

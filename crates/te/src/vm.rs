@@ -31,6 +31,7 @@
 
 use crate::compile::{BodyKind, CompiledProgram, CompiledTe, Instr};
 use crate::interp::EvalError;
+use crate::kernels::{self, ExecOpts, KernelSel};
 use crate::program::TensorId;
 use souffle_tensor::Tensor;
 use std::collections::HashMap;
@@ -90,12 +91,23 @@ pub fn thread_count() -> usize {
 
 /// Evaluates output elements `start .. start + out.len()` (flat row-major
 /// order) into `out`.
+///
+/// When `exec.kernels` is set and the compiler selected a specialized
+/// kernel for this TE ([`crate::kernels`]), the monomorphized native loop
+/// runs instead of the bytecode below; selection excludes every body that
+/// can fail, so the kernel path is infallible and the error contract is
+/// carried entirely by the bytecode path.
 pub(crate) fn run_chunk(
     te: &CompiledTe,
     start: usize,
     out: &mut [f32],
     operands: &[&[f32]],
+    exec: ExecOpts,
 ) -> Result<(), EvalError> {
+    if exec.kernels && !matches!(te.tier, KernelSel::Fallback(_)) {
+        kernels::run(te, start, out, operands, exec.fast_math);
+        return Ok(());
+    }
     let n_iter = te.out_shape.rank();
     let dims = te.out_shape.dims();
     let mut vars = vec![0i64; te.n_vars];
@@ -301,16 +313,17 @@ fn run_body(
     Ok(regs[te.result as usize])
 }
 
-/// Builds the structured out-of-bounds error for a failing generic access:
-/// the full evaluated index vector plus the buffer shape, matching the
-/// naive interpreter's error bit for bit.
+/// Builds the structured out-of-bounds error for a failing generic access
+/// by re-deriving the full evaluated index vector, then delegating to the
+/// shared [`EvalError::oob_access`] constructor — the single construction
+/// site both evaluator tiers use, so their errors cannot drift.
 fn oob(te: &CompiledTe, g: &crate::compile::GenericAccess, vars: &[i64]) -> EvalError {
-    EvalError::OutOfBounds {
-        te: te.name.clone(),
-        operand: g.operand,
-        index: g.indices.iter().map(|e| e.eval(vars)).collect(),
-        shape: g.dims.clone(),
-    }
+    EvalError::oob_access(
+        &te.name,
+        g.operand,
+        g.indices.iter().map(|e| e.eval(vars)).collect(),
+        &g.dims,
+    )
 }
 
 #[cfg(test)]

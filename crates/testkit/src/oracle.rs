@@ -68,12 +68,20 @@ pub enum Stage {
     /// builds on; `tests/serve_differential.rs` extends it to the real
     /// server across all six models and every bucket.
     BatchedServe,
+    /// No transformation: the compiled evaluator's *kernel tier* is the
+    /// system under test. The naive interpreter evaluates the program as
+    /// ground truth and two pooled runtimes — one with the monomorphized
+    /// native kernels forced **on**, one forced **off** (pure bytecode) —
+    /// must both reproduce it **bit-exactly** (`tol` is ignored). Both
+    /// runtimes pin 2 execution streams so chunk boundaries land
+    /// mid-row, exercising the kernels' segment-walk resume logic.
+    KernelTier,
 }
 
 impl Stage {
     /// Every stage, in pipeline order (the evaluator cross-check runs
     /// last).
-    pub const ALL: [Stage; 8] = [
+    pub const ALL: [Stage; 9] = [
         Stage::Horizontal,
         Stage::Vertical,
         Stage::Transform,
@@ -82,6 +90,7 @@ impl Stage {
         Stage::CrossEvaluator,
         Stage::BaselineOrder,
         Stage::BatchedServe,
+        Stage::KernelTier,
     ];
 
     /// The batch size [`Stage::BatchedServe`] checks with (one mid-size
@@ -99,6 +108,7 @@ impl Stage {
             Stage::CrossEvaluator => "cross-evaluator",
             Stage::BaselineOrder => "baseline-order",
             Stage::BatchedServe => "batched-serve",
+            Stage::KernelTier => "kernel-tier",
         }
     }
 
@@ -118,6 +128,7 @@ impl Stage {
             Stage::CrossEvaluator => program.clone(),
             Stage::BaselineOrder => baseline_order(program, &RammerStrategy),
             Stage::BatchedServe => batch_program(program, Self::BATCHED_SERVE_BATCH as i64),
+            Stage::KernelTier => program.clone(),
         }
     }
 }
@@ -408,6 +419,11 @@ pub fn check_stage_with(
         // batch invariance instead.
         return check_batched(program, Stage::BATCHED_SERVE_BATCH, seed);
     }
+    if stage == Stage::KernelTier {
+        // The program is untouched; the comparison is interpreter vs the
+        // kernel tier forced on and off, each bit-exact.
+        return check_kernel_tier(program, seed);
+    }
     let transformed = stage.apply(program);
     if let Err(e) = transformed.validate() {
         return Err(OracleError::Invalid {
@@ -552,8 +568,70 @@ fn pooled_runtime() -> &'static Runtime {
             threads: Some(4),
             arena: true,
             max_parallelism: Some(4),
+            ..RuntimeOptions::default()
         })
     })
+}
+
+/// The persistent runtimes backing [`Stage::KernelTier`]: one with the
+/// monomorphized kernel tier forced on, one forced off. Both pin two
+/// execution streams (even on single-core machines, via
+/// `max_parallelism`) so output chunks split mid-row and the kernels'
+/// odometer-resume paths are exercised, and both keep the arena on so
+/// recycled buffers flow through the specialized loops.
+fn tier_runtime(kernels: bool) -> &'static Runtime {
+    static TIER_ON: OnceLock<Runtime> = OnceLock::new();
+    static TIER_OFF: OnceLock<Runtime> = OnceLock::new();
+    let cell = if kernels { &TIER_ON } else { &TIER_OFF };
+    cell.get_or_init(|| {
+        Runtime::with_options(RuntimeOptions {
+            threads: Some(2),
+            arena: true,
+            max_parallelism: Some(2),
+            kernel_tier: Some(kernels),
+            ..RuntimeOptions::default()
+        })
+    })
+}
+
+/// The [`Stage::KernelTier`] check: the naive interpreter provides ground
+/// truth, and the compiled program must reproduce it **bit-exactly** both
+/// with the kernel tier forced on and forced off. Any divergence between
+/// the two forced modes therefore also surfaces (both are pinned to the
+/// same reference), which is the tier's core contract: kernel selection
+/// must never change a single output bit.
+///
+/// # Errors
+///
+/// Returns an [`OracleError`] under [`Stage::KernelTier`] when evaluation
+/// fails on either side or any element differs by even one bit.
+pub fn check_kernel_tier(program: &TeProgram, seed: u64) -> Result<(), OracleError> {
+    let stage = Stage::KernelTier;
+    let want = eval_with_random_inputs_using(program, seed, Evaluator::Naive).map_err(|error| {
+        OracleError::Eval {
+            stage,
+            which: "before",
+            error,
+        }
+    })?;
+    let bindings = random_bindings(program, seed);
+    let cp = compile_program(program);
+    let tol = Tolerance::default(); // ignored: bit_exact comparison
+    for kernels in [true, false] {
+        let got = tier_runtime(kernels)
+            .eval(&cp, &bindings)
+            .map_err(|error| OracleError::Eval {
+                stage,
+                which: if kernels {
+                    "after (kernel tier on)"
+                } else {
+                    "after (kernel tier off)"
+                },
+                error,
+            })?;
+        compare_outputs(program, program, stage, seed, &tol, true, &want, &got)?;
+    }
+    Ok(())
 }
 
 #[allow(clippy::too_many_arguments)]

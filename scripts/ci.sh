@@ -56,4 +56,18 @@ SOUFFLE_EVAL_THREADS=2 cargo test -q --offline -p souffle-te -p souffle
 SOUFFLE_EVAL_THREADS=2 cargo test -q --offline \
   --test evaluator_equivalence --test runtime_determinism
 
+# Kernel-tier gate: the monomorphized native kernels must be bit-identical
+# to the bytecode VM and the interpreter whichever way the environment
+# forces the tier — so the evaluator suites run once with the tier pinned
+# off (pure bytecode everywhere a test doesn't force it) and once pinned
+# on. The pipeline bench smoke run then validates the
+# souffle-bench-pipeline/4 schema with its kernel-dispatch counters on a
+# temp file (hermetic: no timing assertions, results/ untouched).
+echo "== cargo test (SOUFFLE_KERNEL_TIER=off/on) + bench pipeline --smoke =="
+SOUFFLE_KERNEL_TIER=off cargo test -q --offline \
+  --test evaluator_equivalence --test kernel_tier_differential --test runtime_determinism
+SOUFFLE_KERNEL_TIER=on cargo test -q --offline \
+  --test evaluator_equivalence --test kernel_tier_differential --test runtime_determinism
+cargo bench -q --offline -p souffle-bench --bench pipeline -- --smoke
+
 echo "ci.sh: all checks passed"

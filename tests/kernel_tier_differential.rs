@@ -1,0 +1,280 @@
+//! Bit-exact differential testing of the monomorphized kernel tier.
+//!
+//! The kernel tier (`souffle_te::kernels`) sits between the bytecode VM
+//! and the naive interpreter: at compile time each TE either gets a
+//! fixed-stride native inner loop or stays on bytecode. Its contract is
+//! the same as the VM's — **bit equality** with the naive interpreter for
+//! every element of every produced tensor, and identical errors — and it
+//! must hold whether the tier is forced on, forced off, or left in auto
+//! mode, at every pool size (chunks split mid-row, so the kernels'
+//! segment-resume logic is on the line).
+//!
+//! The suite drives that contract over the six paper models at test
+//! scale, hundreds of `TESTKIT_SEED`-randomized generated programs, and
+//! handcrafted mid-row chunk-boundary cases; it also pins the selection
+//! census on the models (BERT's matmuls really do take `row_dot`, convs
+//! really do fall back) and checks the `fast_math` opt-out stays *close*
+//! (never bit-identical is not required — it reassociates sums — but the
+//! oracle tolerance must hold).
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use souffle_frontend::{build_model, Model, ModelConfig};
+use souffle_te::interp::{eval_program, random_bindings};
+use souffle_te::{
+    builders, compile_program, FallbackReason, Runtime, RuntimeOptions, TeProgram, TensorId,
+};
+use souffle_tensor::{DType, Shape, Tensor};
+use souffle_testkit::oracle::{check_stage, Stage, Tolerance};
+use souffle_testkit::teprog::gen_spec;
+use souffle_testkit::{forall, Config};
+
+/// One persistent runtime per (pool size, arena, kernel-tier mode) point:
+/// the tier forced on and off at both pool widths, plus an auto-mode
+/// runtime (resolves `SOUFFLE_KERNEL_TIER`, on by default — this is the
+/// configuration `ci.sh` sweeps with the environment set both ways).
+fn runtimes() -> &'static [(&'static str, Runtime)] {
+    static CELL: OnceLock<Vec<(&'static str, Runtime)>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let rt = |threads: usize, arena: bool, kernel_tier: Option<bool>| {
+            Runtime::with_options(RuntimeOptions {
+                threads: Some(threads),
+                arena,
+                max_parallelism: Some(threads),
+                kernel_tier,
+                ..RuntimeOptions::default()
+            })
+        };
+        vec![
+            ("1 stream, kernels on", rt(1, true, Some(true))),
+            ("1 stream, kernels off", rt(1, true, Some(false))),
+            ("3 streams, kernels on", rt(3, true, Some(true))),
+            ("3 streams, kernels off", rt(3, false, Some(false))),
+            ("2 streams, kernels auto", rt(2, true, None)),
+        ]
+    })
+}
+
+fn compare_maps(
+    label: &str,
+    program: &TeProgram,
+    want: &HashMap<TensorId, Tensor>,
+    got: &HashMap<TensorId, Tensor>,
+    seed: u64,
+) -> Result<(), String> {
+    for (id, w) in want {
+        let Some(g) = got.get(id) else { continue };
+        let name = &program.tensor(*id).name;
+        if w.shape() != g.shape() {
+            return Err(format!(
+                "[{label}] \"{name}\" shape: naive {} vs tiered {} (seed {seed})",
+                w.shape(),
+                g.shape()
+            ));
+        }
+        for (i, (a, b)) in w.data().iter().zip(g.data()).enumerate() {
+            if a.to_bits() != b.to_bits() {
+                return Err(format!(
+                    "[{label}] \"{name}\"[{i}]: naive {a} ({:#010x}) vs tiered {b} ({:#010x}), seed {seed}",
+                    a.to_bits(),
+                    b.to_bits()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs `program` through every tier mode × pool size and requires each
+/// result (intermediates included) to be bit-identical to the naive
+/// interpreter's — or to fail with the identical error.
+fn assert_tier_matches_interpreter(program: &TeProgram, seed: u64) -> Result<(), String> {
+    let bindings = random_bindings(program, seed);
+    let want = eval_program(program, &bindings);
+    let cp = compile_program(program);
+    for (label, rt) in runtimes() {
+        let got = rt.eval_keeping_intermediates(&cp, &bindings);
+        match (&want, got) {
+            (Err(we), Err(ge)) => {
+                if *we != ge {
+                    return Err(format!(
+                        "[{label}] errors differ: naive {we:?}, tiered {ge:?}"
+                    ));
+                }
+            }
+            (Err(we), Ok(_)) => {
+                return Err(format!(
+                    "[{label}] naive failed ({we:?}) but tiered succeeded"
+                ));
+            }
+            (Ok(_), Err(ge)) => {
+                return Err(format!(
+                    "[{label}] tiered failed ({ge:?}) but naive succeeded"
+                ));
+            }
+            (Ok(want), Ok(got)) => compare_maps(label, program, want, &got, seed)?,
+        }
+    }
+    Ok(())
+}
+
+/// The headline contract: all six paper models at test scale, bit-exact
+/// across every tier mode and pool size.
+#[test]
+fn six_models_are_bit_identical_across_tier_modes() {
+    for model in Model::ALL {
+        let program = build_model(model, ModelConfig::Tiny);
+        for seed in [42, 777] {
+            assert_tier_matches_interpreter(&program, seed)
+                .unwrap_or_else(|e| panic!("{model}: {e}"));
+        }
+    }
+}
+
+forall!(
+    generated_programs_are_bit_identical_across_tier_modes,
+    Config::with_cases(100),
+    |rng| (gen_spec(rng, 10), rng.u64_in(0..1_000_000)),
+    |(spec, seed)| {
+        if spec.ops.is_empty() {
+            return Ok(()); // shrunk-out-of-domain candidate
+        }
+        assert_tier_matches_interpreter(&spec.build(), *seed)
+    }
+);
+
+/// The oracle's dedicated stage covers the same ground from the oracle
+/// side (naive want vs tier-forced-on and tier-forced-off pooled
+/// runtimes); run it directly on a kernel-rich program so the stage is
+/// exercised even where `check_all_stages` sweeps are trimmed.
+#[test]
+fn kernel_tier_oracle_stage_passes_on_kernel_rich_program() {
+    let mut p = TeProgram::new();
+    let a = p.add_input("A", Shape::new(vec![12, 24]), DType::F32);
+    let w = p.add_weight("W", Shape::new(vec![24, 16]), DType::F32);
+    let mm = builders::matmul(&mut p, "mm", a, w);
+    let sm = builders::softmax(&mut p, "sm", mm);
+    let sc = builders::scale(&mut p, "sc", sm, 3.0);
+    p.mark_output(sc);
+    p.validate().unwrap();
+    for seed in [1, 99, 123_456] {
+        check_stage(&p, Stage::KernelTier, seed, &Tolerance::default()).unwrap();
+    }
+}
+
+/// Chunk boundaries land mid-row: a 3-stream pool over a 7×13 output
+/// (91 elements, indivisible by any row multiple) forces every row-based
+/// kernel to start and stop segments inside rows, resuming the affine
+/// odometer across chunk edges. Odd prime-ish shapes also leave `TILE`-
+/// and `FAST_LANES`-sized remainders everywhere.
+#[test]
+fn mid_row_chunk_boundaries_stay_bit_identical() {
+    let mut p = TeProgram::new();
+    let a = p.add_input("A", Shape::new(vec![7, 29]), DType::F32);
+    let b = p.add_weight("B", Shape::new(vec![29, 13]), DType::F32);
+    let bias = p.add_weight("bias", Shape::new(vec![13]), DType::F32);
+    let mm = builders::matmul(&mut p, "mm", a, b);
+    let biased = builders::bias_add(&mut p, "bias_add", mm, bias);
+    let act = builders::relu(&mut p, "act", biased);
+    let sm = builders::softmax(&mut p, "sm", act);
+    p.mark_output(sm);
+    p.validate().unwrap();
+    for seed in [5, 17, 4242] {
+        assert_tier_matches_interpreter(&p, seed).unwrap();
+    }
+}
+
+/// Selection census on the six models: BERT's attention/FFN stack must
+/// actually hit the specialized kernels it was built for, and the
+/// convolutional models must fall back honestly (multi-axis reduction
+/// odometers are exactly what the tier refuses to specialize).
+#[test]
+fn model_censuses_match_expected_kernel_mix() {
+    let bert_program = build_model(Model::Bert, ModelConfig::Tiny);
+    let bert = compile_program(&bert_program).kernel_census();
+    assert!(bert.row_dot > 0, "BERT matmuls must take row_dot: {bert:?}");
+    assert!(
+        bert.slice_reduce > 0,
+        "BERT softmax/layernorm moments must take slice_reduce: {bert:?}"
+    );
+    assert!(
+        bert.ew_tile > 0,
+        "BERT bias/residual adds must take ew_tile: {bert:?}"
+    );
+    // The raw program reaches Q·Kᵀ through an explicit transpose TE, so
+    // the score matmuls are still row_dot; only after vertical fusion
+    // composes the transpose into the matmul body do both factors become
+    // unit-stride over the reduction axis — slice_dot is a property of
+    // the *transformed* program.
+    let fused = souffle::Souffle::new(souffle::SouffleOptions::full())
+        .compile(&bert_program)
+        .program;
+    let fused_census = compile_program(&fused).kernel_census();
+    assert!(
+        fused_census.slice_dot > 0,
+        "transformed BERT Q·Kᵀ scores must take slice_dot: {fused_census:?}"
+    );
+
+    for conv_model in [Model::ResNext, Model::EfficientNet] {
+        let census = compile_program(&build_model(conv_model, ModelConfig::Tiny)).kernel_census();
+        let multi_axis = FallbackReason::ALL
+            .iter()
+            .position(|r| *r == FallbackReason::MultiAxisReduce)
+            .unwrap();
+        assert!(
+            census.fallback[multi_axis] > 0,
+            "{conv_model}: conv reductions must fall back multi_axis_reduce: {census:?}"
+        );
+    }
+}
+
+/// `fast_math` is the one deliberate bit-identity opt-out: multi-lane
+/// partial accumulators reassociate `Sum` dots. Results must stay within
+/// the oracle tolerance of the strict order — and on a reduction long
+/// enough to accumulate rounding differences, they must actually *differ*
+/// somewhere, proving the relaxed path ran (a bit-identical "fast" path
+/// would mean the flag silently did nothing).
+#[test]
+fn fast_math_is_close_but_relaxed() {
+    let mut p = TeProgram::new();
+    let w = p.add_weight("W", Shape::new(vec![6, 211]), DType::F32);
+    let x = p.add_input("x", Shape::new(vec![211]), DType::F32);
+    // gemv: both factors unit-stride over the reduction axis, so the
+    // tier selects slice_dot — the kernel fast_math relaxes.
+    let y = builders::gemv(&mut p, "y", w, x);
+    p.mark_output(y);
+    p.validate().unwrap();
+    let census = compile_program(&p).kernel_census();
+    assert!(
+        census.slice_dot > 0,
+        "setup must select slice_dot: {census:?}"
+    );
+
+    let rt_fast = Runtime::with_options(RuntimeOptions {
+        threads: Some(1),
+        arena: true,
+        max_parallelism: Some(1),
+        kernel_tier: Some(true),
+        fast_math: true,
+    });
+    let bindings = random_bindings(&p, 31);
+    let want = eval_program(&p, &bindings).unwrap();
+    let got = rt_fast.eval(&compile_program(&p), &bindings).unwrap();
+    let tol = Tolerance::default();
+    let mut any_diff = false;
+    for (id, w) in &want {
+        let Some(g) = got.get(id) else { continue };
+        for (i, (a, b)) in w.data().iter().zip(g.data()).enumerate() {
+            assert!(
+                tol.close(*a, *b),
+                "fast_math drifted beyond tolerance at [{i}]: strict {a} vs relaxed {b}"
+            );
+            any_diff |= a.to_bits() != b.to_bits();
+        }
+    }
+    assert!(
+        any_diff,
+        "a 211-term relaxed sum should differ from the strict order in at least one bit"
+    );
+}

@@ -33,6 +33,7 @@ fn runtimes() -> &'static [(&'static str, Runtime)] {
                 threads: Some(threads),
                 arena,
                 max_parallelism: Some(threads),
+                ..RuntimeOptions::default()
             })
         };
         vec![
@@ -202,6 +203,7 @@ fn repeated_evals_on_recycled_buffers_are_stable() {
         threads: Some(4),
         arena: true,
         max_parallelism: Some(4),
+        ..RuntimeOptions::default()
     });
     let mut first: Option<HashMap<TensorId, souffle_tensor::Tensor>> = None;
     for round in 0..12 {

@@ -35,6 +35,10 @@ fn traced_run(model: Model) -> souffle::trace::Trace {
     options.verify = true;
     options.eval_threads = Some(1);
     options.eval_arena = true;
+    // Pin the kernel tier on so golden structure cannot drift with the
+    // `SOUFFLE_KERNEL_TIER` environment (off would drop every `kernels.*`
+    // counter from the spine).
+    options.kernel_tier = Some(true);
     let tracer = Tracer::new();
     let souffle = Souffle::new(options).with_tracer(tracer.clone());
     let compiled = souffle.compile(&program);
@@ -62,6 +66,45 @@ fn structure_is_stable_across_runs() {
     let a = traced_run(Model::Lstm).structure();
     let b = traced_run(Model::Lstm).structure();
     assert_eq!(a, b, "trace structure must not depend on timing");
+}
+
+/// Pins the kernel-tier counter vocabulary: the golden BERT run must
+/// surface the specialized-dispatch counters the kernel tier promises
+/// (matmuls → `row_dot`, attention scores → `slice_dot`, softmax and
+/// layernorm moments → `slice_reduce`, bias/residual adds → `ew_tile`,
+/// and guarded `Select` bodies staying on bytecode), and every `kernels.*`
+/// counter a trace emits must come from [`souffle_te::KernelStats`]'s
+/// stable name set — no ad-hoc counter names on the spine.
+#[test]
+fn kernel_tier_counters_are_pinned_in_traces() {
+    let trace = traced_run(Model::Bert);
+    for required in [
+        "kernels.row_dot",
+        "kernels.slice_dot",
+        "kernels.slice_reduce",
+        "kernels.ew_tile",
+        "kernels.bytecode",
+        "kernels.fallback.control_flow",
+    ] {
+        assert!(
+            trace.counters.get(required).is_some_and(|&v| v > 0),
+            "BERT trace must carry a nonzero {required} counter, got {:?}",
+            trace.counters
+        );
+    }
+    let stable: Vec<&str> = souffle_te::KernelStats::default()
+        .counters()
+        .iter()
+        .map(|(n, _)| *n)
+        .collect();
+    for name in trace.counters.keys() {
+        if name.starts_with("kernels.") {
+            assert!(
+                stable.contains(&name.as_str()),
+                "unknown kernel counter {name} on the trace spine"
+            );
+        }
+    }
 }
 
 #[test]

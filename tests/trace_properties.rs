@@ -30,6 +30,7 @@ fn runtimes() -> &'static [(&'static str, Runtime)] {
                 threads: Some(threads),
                 arena,
                 max_parallelism: Some(threads),
+                ..RuntimeOptions::default()
             })
         };
         vec![
