@@ -129,6 +129,21 @@ impl IndexExpr {
         }
     }
 
+    /// Calls `f` for every `Var(i)` occurrence (with repetition).
+    pub fn for_each_var(&self, f: &mut dyn FnMut(usize)) {
+        match self {
+            IndexExpr::Var(i) => f(*i),
+            IndexExpr::Const(_) => {}
+            IndexExpr::Add(a, b) | IndexExpr::Sub(a, b) => {
+                a.for_each_var(f);
+                b.for_each_var(f);
+            }
+            IndexExpr::Mul(a, _) | IndexExpr::FloorDiv(a, _) | IndexExpr::Mod(a, _) => {
+                a.for_each_var(f)
+            }
+        }
+    }
+
     /// Remaps every `Var(i)` to `Var(i + offset)`.
     pub fn shift_vars(&self, offset: usize) -> IndexExpr {
         match self {

@@ -24,7 +24,7 @@ use souffle_sched::{schedule_program, GpuSpec};
 use souffle_te::interp::{eval_program, random_bindings};
 use souffle_te::{compile_program, thread_count, ExecPlan, Runtime, RuntimeOptions, TensorId};
 use souffle_testkit::timer::{black_box, Bench, Timing};
-use souffle_transform::{horizontal_fuse_program, vertical_fuse_program};
+use souffle_transform::{horizontal_fuse_program, program_traffic, vertical_fuse_program};
 
 fn bench_analysis_stages(b: &mut Bench) {
     let program = build_model(Model::Bert, ModelConfig::Tiny);
@@ -286,6 +286,94 @@ fn bench_model_evaluators(b: &mut Bench) -> Vec<ModelEval> {
     rows
 }
 
+/// One reduction-fusion A/B row: the same model compiled through the full
+/// pipeline with the fusion stage forced off and on — TE and kernel
+/// counts, the traffic model's bytes-moved totals, the stage's own
+/// counters, and the measured single-stream wall-clock of evaluating each
+/// transformed program.
+struct FusionRow {
+    model: String,
+    tes_off: usize,
+    tes_on: usize,
+    kernels_off: usize,
+    kernels_on: usize,
+    modeled_bytes_off: u64,
+    modeled_bytes_on: u64,
+    stats: souffle_transform::FusionStats,
+    eval_off_mean_ns: f64,
+    eval_on_mean_ns: f64,
+}
+
+/// The reduction-fusion A/B: BERT at bench scale (softmax + layernorm
+/// chains behind real matmuls) and Swin-T at test scale (layernorm-heavy
+/// window attention) through the full pipeline with
+/// `SouffleOptions::reduction_fusion` forced both ways. The fused
+/// program's folds run on the bytecode VM's per-slice fold cache; the
+/// unfused one materializes the reductions — the rows price that trade
+/// end to end.
+fn bench_reduction_fusion(b: &mut Bench) -> Vec<FusionRow> {
+    let rt = Runtime::with_options(RuntimeOptions {
+        threads: Some(1),
+        arena: true,
+        max_parallelism: Some(1),
+        kernel_tier: Some(true),
+        ..RuntimeOptions::default()
+    });
+    let bert_cfg = BertConfig {
+        layers: 2,
+        hidden: 64,
+        heads: 4,
+        seq: 64,
+        ffn: 256,
+    };
+    let workloads = vec![
+        ("bert(bench)".to_string(), build_bert(&bert_cfg)),
+        (
+            "swin(tiny)".to_string(),
+            tiny_program(Model::SwinTransformer),
+        ),
+    ];
+    b.group("reduction_fusion");
+    let mut rows = Vec::new();
+    for (name, program) in workloads {
+        let compile_with = |fusion: bool| {
+            let mut opts = SouffleOptions::full();
+            opts.reduction_fusion = Some(fusion);
+            Souffle::new(opts).compile(&program)
+        };
+        let off = compile_with(false);
+        let on = compile_with(true);
+        let bindings = random_bindings(&program, 7);
+        let cp_off = compile_program(&off.program);
+        let plan_off = ExecPlan::from_compiled(&cp_off);
+        let cp_on = compile_program(&on.program);
+        let plan_on = ExecPlan::from_compiled(&cp_on);
+        let eval_off_mean_ns = b
+            .run(&format!("eval_1t_off/{name}"), || {
+                rt.eval_with_plan(black_box(&cp_off), &plan_off, &bindings)
+            })
+            .mean_ns;
+        let eval_on_mean_ns = b
+            .run(&format!("eval_1t_on/{name}"), || {
+                rt.eval_with_plan(black_box(&cp_on), &plan_on, &bindings)
+            })
+            .mean_ns;
+        rows.push(FusionRow {
+            model: name,
+            tes_off: off.program.num_tes(),
+            tes_on: on.program.num_tes(),
+            kernels_off: off.num_kernels(),
+            kernels_on: on.num_kernels(),
+            modeled_bytes_off: program_traffic(&off.program).total(),
+            modeled_bytes_on: program_traffic(&on.program).total(),
+            stats: on.stats.fusion,
+            eval_off_mean_ns,
+            eval_on_mean_ns,
+        });
+    }
+    rows
+}
+
 /// Tracing overhead + trace summary for the JSON report: the same LSTM
 /// pipeline eval with no tracer argument, with a disabled tracer threaded
 /// through, and with a live tracer recording every span.
@@ -381,15 +469,16 @@ fn kernel_counters_json(stats: &souffle_te::KernelStats, indent: &str) -> String
 }
 
 /// Renders every stage timing plus the evaluator comparisons as the
-/// `souffle-bench-pipeline/4` JSON document (hand-rolled writer: the
+/// `souffle-bench-pipeline/5` JSON document (hand-rolled writer: the
 /// workspace is dependency-free by design, so no serde).
 fn render_report(
     timings: &[Timing],
     ev: &EvaluatorSummary,
     models: &[ModelEval],
+    fusion: &[FusionRow],
     tr: &TracingSummary,
 ) -> String {
-    let mut out = String::from("{\n  \"schema\": \"souffle-bench-pipeline/4\",\n  \"stages\": [\n");
+    let mut out = String::from("{\n  \"schema\": \"souffle-bench-pipeline/5\",\n  \"stages\": [\n");
     for (i, t) in timings.iter().enumerate() {
         let sep = if i + 1 == timings.len() { "" } else { "," };
         out.push_str(&format!(
@@ -446,6 +535,27 @@ fn render_report(
             kernel_counters_json(&m.census, "    ")
         ));
     }
+    out.push_str("  ],\n  \"reduction_fusion\": [\n");
+    for (i, r) in fusion.iter().enumerate() {
+        let sep = if i + 1 == fusion.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"model\": \"{}\", \"tes_off\": {}, \"tes_on\": {}, \"kernels_off\": {}, \"kernels_on\": {}, \"modeled_bytes_off\": {}, \"modeled_bytes_on\": {}, \"fusion.candidates\": {}, \"fusion.fused\": {}, \"fusion.rejected_by_cost\": {}, \"fusion.bytes_saved\": {}, \"eval_1t_off_mean_ns\": {:.1}, \"eval_1t_on_mean_ns\": {:.1}, \"speedup_reduction_fusion\": {:.2}}}{sep}\n",
+            json_escape(&r.model),
+            r.tes_off,
+            r.tes_on,
+            r.kernels_off,
+            r.kernels_on,
+            r.modeled_bytes_off,
+            r.modeled_bytes_on,
+            r.stats.candidates,
+            r.stats.fused,
+            r.stats.rejected_by_cost,
+            r.stats.bytes_saved,
+            r.eval_off_mean_ns,
+            r.eval_on_mean_ns,
+            r.eval_off_mean_ns / r.eval_on_mean_ns
+        ));
+    }
     out.push_str("  ],\n  \"tracing\": {\n");
     out.push_str(&format!(
         "    \"workload\": \"{}\",\n",
@@ -484,14 +594,33 @@ fn write_report(report: &str) -> std::io::Result<()> {
 /// present — and writes it to a scratch path instead of `results/` (smoke
 /// timings are garbage by construction; they must never overwrite real
 /// numbers).
-fn smoke_check(report: &str, ev: &EvaluatorSummary, models: &[ModelEval]) {
+fn smoke_check(report: &str, ev: &EvaluatorSummary, models: &[ModelEval], fusion: &[FusionRow]) {
     assert!(
-        report.contains("\"schema\": \"souffle-bench-pipeline/4\""),
-        "smoke: schema must be souffle-bench-pipeline/4"
+        report.contains("\"schema\": \"souffle-bench-pipeline/5\""),
+        "smoke: schema must be souffle-bench-pipeline/5"
     );
     assert!(
         report.contains("\"evaluator_models\""),
         "smoke: per-model evaluator rows missing"
+    );
+    assert!(
+        report.contains("\"reduction_fusion\"") && report.contains("\"fusion.bytes_saved\""),
+        "smoke: reduction-fusion rows missing from report"
+    );
+    let bert = fusion
+        .iter()
+        .find(|r| r.model.starts_with("bert"))
+        .expect("smoke: bert fusion row missing");
+    assert!(
+        bert.stats.fused > 0,
+        "smoke: reduction fusion fused nothing on bert: {:?}",
+        bert.stats
+    );
+    assert!(
+        bert.modeled_bytes_on < bert.modeled_bytes_off,
+        "smoke: fusion must shrink bert's modeled bytes: {} vs {}",
+        bert.modeled_bytes_on,
+        bert.modeled_bytes_off
     );
     for counter in ["kernels.row_dot", "kernels.ew_tile", "kernels.bytecode"] {
         assert!(
@@ -544,6 +673,7 @@ fn main() {
     bench_lru_capacity(&mut b);
     let ev = bench_evaluators(&mut b);
     let models = bench_model_evaluators(&mut b);
+    let fusion = bench_reduction_fusion(&mut b);
     let tr = bench_tracing(&mut b);
     println!(
         "\nevaluator speedup on {}: {:.1}x with {} stream(s), {:.1}x with {} stream(s) \
@@ -573,15 +703,30 @@ fn main() {
             m.naive_mean_ns / m.compiled_1t_mean_ns
         );
     }
+    for r in &fusion {
+        println!(
+            "reduction fusion on {}: {} -> {} TEs, {} -> {} kernels, {:.1}% modeled bytes saved, \
+             {:.2}x eval ({} fused, {} rejected by cost)",
+            r.model,
+            r.tes_off,
+            r.tes_on,
+            r.kernels_off,
+            r.kernels_on,
+            100.0 * r.stats.bytes_saved as f64 / r.modeled_bytes_off.max(1) as f64,
+            r.eval_off_mean_ns / r.eval_on_mean_ns,
+            r.stats.fused,
+            r.stats.rejected_by_cost
+        );
+    }
     println!(
         "tracing overhead on {} (min-based): {:+.1}% with tracer disabled, {:+.1}% with tracer enabled",
         tr.workload,
         tr.overhead_disabled() * 100.0,
         tr.overhead_enabled() * 100.0
     );
-    let report = render_report(b.results(), &ev, &models, &tr);
+    let report = render_report(b.results(), &ev, &models, &fusion, &tr);
     if smoke {
-        smoke_check(&report, &ev, &models);
+        smoke_check(&report, &ev, &models, &fusion);
     } else if let Err(e) = write_report(&report) {
         eprintln!("could not write results/bench_pipeline.json: {e}");
     }

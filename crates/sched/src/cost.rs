@@ -16,7 +16,18 @@ pub const MEMORY_EFFICIENCY: f64 = 0.80;
 /// spatial reuse inside a block).
 pub fn operand_footprints(program: &TeProgram, te: TeId, bounds: &[i64]) -> Vec<(usize, i64)> {
     let te_ref = program.te(te);
-    let pairs: Vec<(i64, i64)> = bounds.iter().map(|&b| (0, b - 1)).collect();
+    let mut pairs: Vec<(i64, i64)> = bounds.iter().map(|&b| (0, b - 1)).collect();
+    // Inline-fold binders (reduction fusion) live above the iteration and
+    // reduction variables; give them their full extents so a fold body's
+    // accesses are priced like the reduction they replaced.
+    if let Some(max_var) = te_ref.body.max_var() {
+        if pairs.len() <= max_var {
+            pairs.resize(max_var + 1, (0, 0));
+        }
+    }
+    for (var, extent) in te_ref.body.collect_folds() {
+        pairs[var] = (0, (extent - 1).max(0));
+    }
     let mut per_operand: Vec<(usize, i64)> = Vec::new();
     for (operand, indices) in te_ref.body.accesses() {
         let shape = &program.tensor(te_ref.inputs[operand]).shape;

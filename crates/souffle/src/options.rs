@@ -12,6 +12,16 @@ pub struct SouffleOptions {
     pub horizontal: bool,
     /// Vertical TE transformation (§6.2) — V2.
     pub vertical: bool,
+    /// Data-movement-aware reduction fusion: carry single-axis reductions
+    /// (softmax denominators, layernorm moments) *inline* in their
+    /// broadcast consumers as scoped folds when the bytes-moved cost model
+    /// approves. Runs as its own stage between vertical fusion and global
+    /// analysis, and only when `vertical` is on (its candidates are the
+    /// post-vertical reduction chains). `Some(true)`/`Some(false)` force
+    /// it; `None` resolves via `SOUFFLE_REDUCTION_FUSION` (on when unset).
+    /// Bit-exact: fusion preserves per-element reduction order, and the
+    /// stage is re-verified and oracle-checked like every other.
+    pub reduction_fusion: Option<bool>,
     /// Resource-aware partitioning into grid-synchronized merged kernels
     /// (§5.4, §6.4) — V3. When off, kernels are generated per compute TE
     /// with epilogue fusion (Ansor-style).
@@ -65,6 +75,7 @@ impl SouffleOptions {
         SouffleOptions {
             horizontal: false,
             vertical: false,
+            reduction_fusion: None,
             global_sync: false,
             subprogram_opts: false,
             reuse_cache_bytes: None,
@@ -113,6 +124,16 @@ impl SouffleOptions {
     /// The complete pipeline (alias of [`SouffleOptions::v4`]).
     pub fn full() -> Self {
         SouffleOptions::v4()
+    }
+
+    /// Whether the reduction-fusion stage runs: the explicit option if
+    /// set, else the `SOUFFLE_REDUCTION_FUSION` environment override,
+    /// else on. The pipeline additionally requires `vertical` — the
+    /// stage's candidates are post-vertical reduction chains.
+    pub fn resolve_reduction_fusion(&self) -> bool {
+        self.reduction_fusion
+            .or_else(souffle_transform::env_reduction_fusion)
+            .unwrap_or(true)
     }
 
     /// All ablation variants in order, with their Table 4 labels.

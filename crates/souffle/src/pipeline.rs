@@ -13,7 +13,10 @@ use souffle_te::{
 };
 use souffle_tensor::Tensor;
 use souffle_trace::{SpanId, Tracer};
-use souffle_transform::{horizontal_fuse_program, vertical_fuse_program, TransformStats};
+use souffle_transform::{
+    horizontal_fuse_program, reduction_fuse_program, vertical_fuse_program, FusionStats,
+    TransformStats,
+};
 use souffle_verify::Diagnostics;
 use std::collections::HashMap;
 use std::collections::HashSet;
@@ -25,6 +28,9 @@ use std::time::Duration;
 pub struct CompileStats {
     /// Horizontal + vertical transformation statistics.
     pub transform: TransformStats,
+    /// Reduction-fusion stage counters (`fusion.*` on the trace spine):
+    /// candidates, commits, cost rejections, and modeled bytes saved.
+    pub fusion: FusionStats,
     /// LRU tensor-reuse pass statistics, summed over kernels.
     pub reuse: ReuseStats,
     /// Pipelining pass statistics, summed over kernels.
@@ -80,10 +86,11 @@ impl Compiled {
 
 /// Span names the pipeline records per compile, queried to derive
 /// [`CompileStats`] durations (see DESIGN.md "Trace schema").
-const VERIFY_SPANS: [&str; 5] = [
+const VERIFY_SPANS: [&str; 6] = [
     "verify:frontend",
     "verify:horizontal",
     "verify:vertical",
+    "verify:reduction-fusion",
     "verify:schedule-merge",
     "verify:kernel-lowering",
 ];
@@ -96,10 +103,11 @@ struct StageBaseline {
 }
 
 impl StageBaseline {
-    const STAT_SPANS: [&'static str; 5] = [
+    const STAT_SPANS: [&'static str; 6] = [
         "analysis",
         "transform:horizontal",
         "transform:vertical",
+        "transform:reduction",
         "lower",
         "subprogram-opt",
     ];
@@ -319,6 +327,22 @@ impl Souffle {
                 souffle_verify::verify_program_stage(&transformed, "vertical")
             })?;
         }
+        // --- Data-movement-aware reduction fusion (fold inlining) ---
+        if self.options.vertical && self.options.resolve_reduction_fusion() {
+            let (p, s) = {
+                let _span = tracer.span_under("transform:reduction", root);
+                reduction_fuse_program(&transformed)
+            };
+            transformed = p;
+            stats.fusion = s;
+            tracer.add("fusion.candidates", s.candidates as u64);
+            tracer.add("fusion.fused", s.fused as u64);
+            tracer.add("fusion.rejected_by_cost", s.rejected_by_cost as u64);
+            tracer.add("fusion.bytes_saved", s.bytes_saved);
+            self.verify_stage(tracer, root, &mut diags, "reduction-fusion", || {
+                souffle_verify::verify_program_stage(&transformed, "reduction-fusion")
+            })?;
+        }
         stats.transform.tes_before = program.num_tes();
         stats.transform.tes_after = transformed.num_tes();
 
@@ -370,8 +394,14 @@ impl Souffle {
             })?;
         }
         drop(compile_span);
-        stats.transform_time =
-            baseline.delta(tracer, &["transform:horizontal", "transform:vertical"]);
+        stats.transform_time = baseline.delta(
+            tracer,
+            &[
+                "transform:horizontal",
+                "transform:vertical",
+                "transform:reduction",
+            ],
+        );
         stats.analysis_time = baseline.delta(tracer, &["analysis"]);
         stats.codegen_time = baseline.delta(tracer, &["lower", "subprogram-opt"]);
         stats.verify_time = baseline.delta(tracer, &VERIFY_SPANS);
@@ -414,6 +444,13 @@ impl Souffle {
             census.slice_dot,
             census.slice_reduce,
             census.bytecode()
+        );
+        let f = &s.fusion;
+        let _ = writeln!(
+            out,
+            "  reduction fusion: {} candidates, {} fused, {} rejected by cost, \
+             {} modeled bytes saved",
+            f.candidates, f.fused, f.rejected_by_cost, f.bytes_saved
         );
         let _ = writeln!(
             out,

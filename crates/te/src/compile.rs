@@ -59,6 +59,13 @@ pub(crate) enum Instr {
     JumpIfNot { cond: u32, target: u32 },
     /// Unconditional jump (skips the untaken `Select` branch).
     Jump { target: u32 },
+    /// `regs[dst] = ` the combined value of `folds[fold]` — an inline
+    /// reduction loop over the fold's bound variable, left by reduction
+    /// fusion. The VM caches the value per fold and invalidates it when a
+    /// variable the fold depends on changes, so a row-invariant fold (the
+    /// softmax denominator, layernorm mean/var) is recomputed once per
+    /// slice rather than once per element.
+    Fold { dst: u32, fold: u32 },
 }
 
 /// A strength-reduced operand access: the flat row-major offset into the
@@ -100,6 +107,26 @@ pub(crate) enum BodyKind {
     },
 }
 
+/// An inline reduction loop compiled from [`ScalarExpr::Reduce`]: its own
+/// code sequence over the bound variable, sharing the enclosing TE's
+/// register file and access tables.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledFold {
+    /// Fold combinator.
+    pub op: ReduceOp,
+    /// The bound variable (above the TE's free variables).
+    pub var: usize,
+    /// Trip count: the bound variable ranges over `0..extent`.
+    pub extent: i64,
+    /// Body bytecode, executed once per trip.
+    pub code: Vec<Instr>,
+    /// Register holding the body value after one execution of `code`.
+    pub result: u32,
+    /// Free variables the fold's *value* depends on (binder excluded) —
+    /// the VM's cache-invalidation set.
+    pub deps: Vec<usize>,
+}
+
 /// A generic (non-affine or not provably in-bounds) operand access,
 /// evaluated per-axis with runtime bounds checks like the naive
 /// interpreter.
@@ -130,7 +157,10 @@ pub struct CompiledTe {
     pub(crate) generic: Vec<GenericAccess>,
     pub(crate) conds: Vec<Cond>,
     pub(crate) index_exprs: Vec<IndexExpr>,
-    /// Iteration vars (output rank) + reduction vars.
+    /// Inline reduction loops referenced by [`Instr::Fold`].
+    pub(crate) folds: Vec<CompiledFold>,
+    /// Iteration vars (output rank) + reduction vars, extended through any
+    /// fold binders so `vars`/`coeffs` cover every variable position.
     pub(crate) n_vars: usize,
     /// Recognized body shape for the VM's specialized fast paths.
     pub(crate) kind: BodyKind,
@@ -277,9 +307,19 @@ fn compile_te(
     body: &ScalarExpr,
     operand_shapes: &[Shape],
 ) -> CompiledTe {
-    let n_vars = out_shape.rank() + reduce.len();
+    let n_free = out_shape.rank() + reduce.len();
+    // Fold binders (reduction fusion) live above the free variables; give
+    // them var/coeff slots and interval bounds so strength reduction covers
+    // accesses inside fold bodies too.
+    let n_vars = n_free.max(body.max_var().map_or(0, |m| m + 1));
     let mut var_bounds: Vec<i64> = out_shape.dims().to_vec();
     var_bounds.extend_from_slice(&reduce);
+    var_bounds.resize(n_vars, 1);
+    for (var, extent) in body.collect_folds() {
+        if var >= n_free {
+            var_bounds[var] = var_bounds[var].max(extent.max(1));
+        }
+    }
     let mut c = BodyCompiler {
         operand_shapes,
         n_vars,
@@ -292,6 +332,7 @@ fn compile_te(
         generic_keys: Vec::new(),
         conds: Vec::new(),
         index_exprs: Vec::new(),
+        folds: Vec::new(),
     };
     let result = c.fresh();
     c.compile_into(body, result);
@@ -310,6 +351,7 @@ fn compile_te(
         generic: c.generic,
         conds: c.conds,
         index_exprs: c.index_exprs,
+        folds: c.folds,
         n_vars,
         kind,
         tier: KernelSel::Fallback(kernels::FallbackReason::ReducedBody),
@@ -351,6 +393,7 @@ struct BodyCompiler<'a> {
     generic_keys: Vec<(usize, Vec<IndexExpr>)>,
     conds: Vec<Cond>,
     index_exprs: Vec<IndexExpr>,
+    folds: Vec<CompiledFold>,
 }
 
 impl BodyCompiler<'_> {
@@ -413,6 +456,30 @@ impl BodyCompiler<'_> {
                 if let Instr::Jump { target } = &mut self.code[jump_to_end] {
                     *target = end;
                 }
+            }
+            ScalarExpr::Reduce {
+                op,
+                var,
+                extent,
+                body,
+            } => {
+                // The fold body compiles into its own code sequence (the VM
+                // loops it over the binder), sharing the enclosing TE's
+                // register file and access tables.
+                let result = self.fresh();
+                let outer = std::mem::take(&mut self.code);
+                self.compile_into(body, result);
+                let code = std::mem::replace(&mut self.code, outer);
+                let id = self.folds.len() as u32;
+                self.folds.push(CompiledFold {
+                    op: *op,
+                    var: *var,
+                    extent: *extent,
+                    code,
+                    result,
+                    deps: e.free_vars(),
+                });
+                self.code.push(Instr::Fold { dst, fold: id });
             }
         }
     }

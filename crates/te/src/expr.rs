@@ -1,5 +1,6 @@
 //! Scalar expression bodies of tensor expressions.
 
+use crate::te::ReduceOp;
 use souffle_affine::IndexExpr;
 use std::fmt;
 
@@ -232,6 +233,21 @@ impl Cond {
             Cond::Not(a) => a.max_var(),
         }
     }
+
+    /// Calls `f` for every variable occurrence in the condition.
+    pub fn for_each_var(&self, f: &mut dyn FnMut(usize)) {
+        match self {
+            Cond::Cmp(_, a, b) => {
+                a.for_each_var(f);
+                b.for_each_var(f);
+            }
+            Cond::And(a, b) | Cond::Or(a, b) => {
+                a.for_each_var(f);
+                b.for_each_var(f);
+            }
+            Cond::Not(a) => a.for_each_var(f),
+        }
+    }
 }
 
 impl fmt::Display for Cond {
@@ -279,6 +295,25 @@ pub enum ScalarExpr {
         /// Value otherwise.
         on_false: Box<ScalarExpr>,
     },
+    /// A scoped inline reduction: the fold of `body` under `op` with `var`
+    /// ranging over `0..extent`. Produced by reduction fusion
+    /// (tiling-with-recomputation): the consumer's body recomputes the
+    /// per-slice reduced scalar inline so the intermediate tensor never hits
+    /// memory. `var` is a *binder* — it is allocated above the enclosing
+    /// TE's free variables (`rank + reduce.len() + nesting depth`) and is
+    /// only in scope inside `body`; combine order is ascending `var`, which
+    /// matches the reduction odometer of a standalone reduction TE, keeping
+    /// fusion bit-exact per element.
+    Reduce {
+        /// Fold combinator.
+        op: ReduceOp,
+        /// Index of the bound variable.
+        var: usize,
+        /// Trip count (the bound variable ranges over `0..extent`).
+        extent: i64,
+        /// The folded scalar body.
+        body: Box<ScalarExpr>,
+    },
 }
 
 impl ScalarExpr {
@@ -306,7 +341,19 @@ impl ScalarExpr {
         }
     }
 
-    /// Largest index variable referenced anywhere in the body.
+    /// Shorthand for a scoped inline reduction.
+    pub fn fold(op: ReduceOp, var: usize, extent: i64, body: ScalarExpr) -> Self {
+        ScalarExpr::Reduce {
+            op,
+            var,
+            extent,
+            body: Box::new(body),
+        }
+    }
+
+    /// Largest index variable referenced anywhere in the body, including
+    /// fold binders. Substitutions sized from this value cover every
+    /// variable position.
     pub fn max_var(&self) -> Option<usize> {
         match self {
             ScalarExpr::Const(_) => None,
@@ -324,6 +371,117 @@ impl ScalarExpr {
                 .max_var()
                 .max(on_true.max_var())
                 .max(on_false.max_var()),
+            ScalarExpr::Reduce { var, body, .. } => Some(*var).max(body.max_var()),
+        }
+    }
+
+    /// Largest *free* index variable referenced — like [`max_var`] but
+    /// excluding fold binders and variables only used under their scope.
+    /// This is what well-formedness checks compare against the TE's
+    /// `rank + reduce.len()` variable budget.
+    ///
+    /// [`max_var`]: ScalarExpr::max_var
+    pub fn max_free_var(&self) -> Option<usize> {
+        let mut max = None;
+        let mut bound = Vec::new();
+        self.walk_free_vars(&mut |v| max = max.max(Some(v)), &mut bound);
+        max
+    }
+
+    /// The set of free variables referenced in the body (sorted, deduped);
+    /// fold binders and their scoped uses are excluded.
+    pub fn free_vars(&self) -> Vec<usize> {
+        let mut vars = Vec::new();
+        let mut bound = Vec::new();
+        self.walk_free_vars(
+            &mut |v| {
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            },
+            &mut bound,
+        );
+        vars.sort_unstable();
+        vars
+    }
+
+    fn walk_free_vars(&self, f: &mut dyn FnMut(usize), bound: &mut Vec<usize>) {
+        let on_var = |bound: &[usize], f: &mut dyn FnMut(usize), v: usize| {
+            if !bound.contains(&v) {
+                f(v);
+            }
+        };
+        match self {
+            ScalarExpr::Const(_) => {}
+            ScalarExpr::Input { indices, .. } => {
+                for e in indices {
+                    e.for_each_var(&mut |v| on_var(bound, f, v));
+                }
+            }
+            ScalarExpr::IndexValue(e) => e.for_each_var(&mut |v| on_var(bound, f, v)),
+            ScalarExpr::Unary(_, a) => a.walk_free_vars(f, bound),
+            ScalarExpr::Binary(_, a, b) => {
+                a.walk_free_vars(f, bound);
+                b.walk_free_vars(f, bound);
+            }
+            ScalarExpr::Select {
+                cond,
+                on_true,
+                on_false,
+            } => {
+                cond.for_each_var(&mut |v| on_var(bound, f, v));
+                on_true.walk_free_vars(f, bound);
+                on_false.walk_free_vars(f, bound);
+            }
+            ScalarExpr::Reduce { var, body, .. } => {
+                bound.push(*var);
+                body.walk_free_vars(f, bound);
+                bound.pop();
+            }
+        }
+    }
+
+    /// All fold binders in the body as `(var, extent)` pairs, outermost
+    /// first. Empty for bodies without inline reductions.
+    pub fn collect_folds(&self) -> Vec<(usize, i64)> {
+        let mut out = Vec::new();
+        self.walk_folds(&mut out);
+        out
+    }
+
+    fn walk_folds(&self, out: &mut Vec<(usize, i64)>) {
+        match self {
+            ScalarExpr::Const(_) | ScalarExpr::Input { .. } | ScalarExpr::IndexValue(_) => {}
+            ScalarExpr::Unary(_, a) => a.walk_folds(out),
+            ScalarExpr::Binary(_, a, b) => {
+                a.walk_folds(out);
+                b.walk_folds(out);
+            }
+            ScalarExpr::Select {
+                on_true, on_false, ..
+            } => {
+                on_true.walk_folds(out);
+                on_false.walk_folds(out);
+            }
+            ScalarExpr::Reduce {
+                var, extent, body, ..
+            } => {
+                out.push((*var, *extent));
+                body.walk_folds(out);
+            }
+        }
+    }
+
+    /// Whether the body contains an inline reduction.
+    pub fn has_fold(&self) -> bool {
+        match self {
+            ScalarExpr::Const(_) | ScalarExpr::Input { .. } | ScalarExpr::IndexValue(_) => false,
+            ScalarExpr::Unary(_, a) => a.has_fold(),
+            ScalarExpr::Binary(_, a, b) => a.has_fold() || b.has_fold(),
+            ScalarExpr::Select {
+                on_true, on_false, ..
+            } => on_true.has_fold() || on_false.has_fold(),
+            ScalarExpr::Reduce { .. } => true,
         }
     }
 
@@ -349,6 +507,7 @@ impl ScalarExpr {
                 on_true.collect_accesses(out);
                 on_false.collect_accesses(out);
             }
+            ScalarExpr::Reduce { body, .. } => body.collect_accesses(out),
         }
     }
 
@@ -362,6 +521,48 @@ impl ScalarExpr {
             ScalarExpr::Select {
                 on_true, on_false, ..
             } => 1 + on_true.arith_cost().max(on_false.arith_cost()),
+            // One combine per trip on top of the body.
+            ScalarExpr::Reduce { extent, body, .. } => {
+                (*extent).max(0) as u64 * (body.arith_cost() + 1)
+            }
+        }
+    }
+
+    /// Arithmetic split into `(per_point, per_slice)` instruction counts:
+    /// the cost of one body evaluation with every inline fold treated as a
+    /// cached read, and the cost of evaluating each fold once. Reduction
+    /// fusion only inlines folds that are invariant along the innermost
+    /// output axis, and the VM (like a tiled kernel) computes every fold —
+    /// nested ones included — once per innermost slice and reuses it, so
+    /// fold arithmetic amortizes over the innermost extent rather than
+    /// recurring per point. For fold-free bodies this is
+    /// `(arith_cost(), 0)`.
+    pub fn arith_cost_split(&self) -> (u64, u64) {
+        match self {
+            ScalarExpr::Const(_) | ScalarExpr::Input { .. } | ScalarExpr::IndexValue(_) => (0, 0),
+            ScalarExpr::Unary(op, a) => {
+                let (p, s) = a.arith_cost_split();
+                (op.cost() + p, s)
+            }
+            ScalarExpr::Binary(op, a, b) => {
+                let (pa, sa) = a.arith_cost_split();
+                let (pb, sb) = b.arith_cost_split();
+                (op.cost() + pa + pb, sa + sb)
+            }
+            ScalarExpr::Select {
+                on_true, on_false, ..
+            } => {
+                let (pt, st) = on_true.arith_cost_split();
+                let (pf, sf) = on_false.arith_cost_split();
+                (1 + pt.max(pf), st + sf)
+            }
+            // The fold itself is slice-cost; its body's own nested folds
+            // are also cached per slice, so they count once, not once per
+            // trip.
+            ScalarExpr::Reduce { extent, body, .. } => {
+                let (pb, sb) = body.arith_cost_split();
+                (0, (*extent).max(0) as u64 * (pb + 1) + sb)
+            }
         }
     }
 
@@ -379,6 +580,9 @@ impl ScalarExpr {
             } => on_true
                 .arith_cost_accesses()
                 .max(on_false.arith_cost_accesses()),
+            ScalarExpr::Reduce { extent, body, .. } => {
+                (*extent).max(0) as u64 * body.arith_cost_accesses()
+            }
         }
     }
 
@@ -421,6 +625,33 @@ impl ScalarExpr {
                 on_true: Box::new(on_true.substitute(subs, operand_map)),
                 on_false: Box::new(on_false.substitute(subs, operand_map)),
             },
+            ScalarExpr::Reduce {
+                op,
+                var,
+                extent,
+                body,
+            } => {
+                // A fold binder lives above the enclosing TE's free
+                // variables, so substitutions sized to the free-variable
+                // budget are extended with identities through the binder.
+                // Wider substitutions (e.g. the +1 shift of batching, sized
+                // by `max_var`) may rename the binder, but only to another
+                // plain variable — folds have no index image to compose.
+                let mut subs2: Vec<IndexExpr> = subs.to_vec();
+                for i in subs2.len()..=*var {
+                    subs2.push(IndexExpr::Var(i));
+                }
+                let new_var = match &subs2[*var] {
+                    IndexExpr::Var(v) => *v,
+                    other => panic!("fold binder v{var} must map to a variable, got {other}"),
+                };
+                ScalarExpr::Reduce {
+                    op: *op,
+                    var: new_var,
+                    extent: *extent,
+                    body: Box::new(body.substitute(&subs2, operand_map)),
+                }
+            }
         }
     }
 
@@ -460,6 +691,17 @@ impl ScalarExpr {
                 cond: cond.clone(),
                 on_true: Box::new(on_true.inline_operand(slot, replacement)),
                 on_false: Box::new(on_false.inline_operand(slot, replacement)),
+            },
+            ScalarExpr::Reduce {
+                op,
+                var,
+                extent,
+                body,
+            } => ScalarExpr::Reduce {
+                op: *op,
+                var: *var,
+                extent: *extent,
+                body: Box::new(body.inline_operand(slot, replacement)),
             },
         }
     }
@@ -533,6 +775,19 @@ impl ScalarExpr {
                     on_false: Box::new(on_false.simplified()),
                 }
             }
+            // Folds only simplify their body: collapsing the fold itself
+            // (e.g. Sum of a constant) would change float rounding.
+            ScalarExpr::Reduce {
+                op,
+                var,
+                extent,
+                body,
+            } => ScalarExpr::Reduce {
+                op: *op,
+                var: *var,
+                extent: *extent,
+                body: Box::new(body.simplified()),
+            },
         }
     }
 }
@@ -559,6 +814,12 @@ impl fmt::Display for ScalarExpr {
                 on_true,
                 on_false,
             } => write!(f, "select({cond}, {on_true}, {on_false})"),
+            ScalarExpr::Reduce {
+                op,
+                var,
+                extent,
+                body,
+            } => write!(f, "fold_{op:?}(v{var} < {extent}, {body})"),
         }
     }
 }

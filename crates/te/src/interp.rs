@@ -224,6 +224,25 @@ fn eval_scalar(
                 eval_scalar(on_false, vars, inputs, te_name)?
             }
         }
+        ScalarExpr::Reduce {
+            op,
+            var,
+            extent,
+            body,
+        } => {
+            // The binder lives above the TE's free variables; extend a local
+            // copy of the point so nested index expressions can read it.
+            let mut v = vars.to_vec();
+            if v.len() <= *var {
+                v.resize(*var + 1, 0);
+            }
+            let mut acc = op.init();
+            for k in 0..*extent {
+                v[*var] = k;
+                acc = op.combine(acc, eval_scalar(body, &v, inputs, te_name)?);
+            }
+            acc
+        }
     })
 }
 

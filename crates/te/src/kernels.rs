@@ -68,6 +68,17 @@ const TILE: usize = 16;
 /// Accumulator lanes for the `fast_math` relaxed-order dot product.
 const FAST_LANES: usize = 8;
 
+/// Below this many body evaluations (output points × reduction points) a
+/// TE stays on plain bytecode: per-chunk kernel setup (scratch allocation,
+/// segment bookkeeping) dominates tiny launches, which is what made MMoE's
+/// tiny TEs (≤32 points: 4-wide expert GEMMs, 3-wide gates) *slower*
+/// under the tier — the 0.91× regression. The measured crossover sits
+/// between MMoE's 32-point bodies and LSTM's 256-point gate gemvs
+/// (`[4h=32] · reduce 8`), which win 1.37× as `slice_dot`: the cutoff is
+/// strict, so 256-point TEs keep their kernels and only genuinely
+/// dispatch-dominated bodies fall back.
+pub(crate) const SMALL_TE_POINTS: i64 = 256;
+
 /// The `SOUFFLE_KERNEL_TIER` override, if set and parseable.
 pub(crate) fn env_kernel_tier() -> Option<bool> {
     match std::env::var(KERNEL_TIER_ENV)
@@ -112,12 +123,15 @@ pub enum FallbackReason {
     /// A reduction whose body is general bytecode, not a recognized load
     /// or product.
     ReducedBody,
+    /// Too few body evaluations to amortize kernel setup; plain bytecode
+    /// dispatch is faster (see [`SMALL_TE_POINTS`]).
+    SmallTe,
 }
 
 impl FallbackReason {
     /// Every reason, in counter order ([`KernelStats::fallback`] indexes
     /// by this).
-    pub const ALL: [FallbackReason; 7] = [
+    pub const ALL: [FallbackReason; 8] = [
         FallbackReason::GenericAccess,
         FallbackReason::ControlFlow,
         FallbackReason::IndexValue,
@@ -125,6 +139,7 @@ impl FallbackReason {
         FallbackReason::Strided,
         FallbackReason::MultiAxisReduce,
         FallbackReason::ReducedBody,
+        FallbackReason::SmallTe,
     ];
 
     /// Stable snake_case name, used as the counter suffix.
@@ -137,6 +152,7 @@ impl FallbackReason {
             FallbackReason::Strided => "strided",
             FallbackReason::MultiAxisReduce => "multi_axis_reduce",
             FallbackReason::ReducedBody => "reduced_body",
+            FallbackReason::SmallTe => "small_te",
         }
     }
 
@@ -187,9 +203,20 @@ impl KernelSel {
 /// time; the predicate only consults compile-time constants (body
 /// classification, stride tables, reduction extents), never data.
 pub(crate) fn select(te: &CompiledTe) -> KernelSel {
+    let points = te.out_shape.numel().max(1) * te.reduce.iter().product::<i64>().max(1);
+    if points < SMALL_TE_POINTS {
+        return KernelSel::Fallback(FallbackReason::SmallTe);
+    }
+    if !te.folds.is_empty() {
+        // Fusion-produced inline reductions carry per-slice state the
+        // stateless kernels cannot express; the VM's fold cache handles
+        // them well on the bytecode path.
+        return KernelSel::Fallback(FallbackReason::ReducedBody);
+    }
     match *te.reduce.as_slice() {
         [] => select_map(te),
         [_] => select_single_reduce(te),
+        [_, inner] => select_two_axis_reduce(te, inner),
         _ => KernelSel::Fallback(FallbackReason::MultiAxisReduce),
     }
 }
@@ -224,6 +251,7 @@ fn select_map(te: &CompiledTe) -> KernelSel {
                 return KernelSel::Fallback(FallbackReason::ControlFlow)
             }
             Instr::Index { .. } => return KernelSel::Fallback(FallbackReason::IndexValue),
+            Instr::Fold { .. } => return KernelSel::Fallback(FallbackReason::ReducedBody),
             Instr::Const { .. }
             | Instr::LoadAffine { .. }
             | Instr::Unary { .. }
@@ -258,6 +286,36 @@ fn select_single_reduce(te: &CompiledTe) -> KernelSel {
                 KernelSel::SliceReduce { access }
             } else {
                 KernelSel::Fallback(FallbackReason::Strided)
+            }
+        }
+        BodyKind::Generic => KernelSel::Fallback(FallbackReason::ReducedBody),
+    }
+}
+
+/// Selection for two-axis reductions whose combined slice is contiguous:
+/// unit stride along the inner reduction axis and a stride along the
+/// outer axis equal to the inner extent mean the `outer × inner` region
+/// is one flat slice, and the odometer's lexicographic (outer, inner)
+/// combine order is exactly ascending-address order — so the sequential
+/// slice fold is bit-identical to the bytecode. This catches pooling-style
+/// `[h, w]` reductions that previously fell back as `multi_axis_reduce`.
+fn select_two_axis_reduce(te: &CompiledTe, inner: i64) -> KernelSel {
+    let kv_in = te.n_vars - 1;
+    let kv_out = te.n_vars - 2;
+    let contiguous = |a: &AffineAccess| a.coeffs[kv_in] == 1 && a.coeffs[kv_out] == inner;
+    match te.kind {
+        BodyKind::AffineLoad { access } => {
+            if contiguous(&te.affine[access]) {
+                KernelSel::SliceReduce { access }
+            } else {
+                KernelSel::Fallback(FallbackReason::MultiAxisReduce)
+            }
+        }
+        BodyKind::MulAffine { a, b } => {
+            if contiguous(&te.affine[a]) && contiguous(&te.affine[b]) {
+                KernelSel::SliceDot { a, b }
+            } else {
+                KernelSel::Fallback(FallbackReason::MultiAxisReduce)
             }
         }
         BodyKind::Generic => KernelSel::Fallback(FallbackReason::ReducedBody),
@@ -347,6 +405,7 @@ fn fallback_counter_name(r: FallbackReason) -> &'static str {
         FallbackReason::Strided => "kernels.fallback.strided",
         FallbackReason::MultiAxisReduce => "kernels.fallback.multi_axis_reduce",
         FallbackReason::ReducedBody => "kernels.fallback.reduced_body",
+        FallbackReason::SmallTe => "kernels.fallback.small_te",
     }
 }
 
@@ -522,7 +581,8 @@ fn ew_tile_segment(
                 Instr::LoadGeneric { .. }
                 | Instr::Index { .. }
                 | Instr::JumpIfNot { .. }
-                | Instr::Jump { .. } => {
+                | Instr::Jump { .. }
+                | Instr::Fold { .. } => {
                     unreachable!("excluded by the ew_tile selection predicate")
                 }
             }
@@ -589,7 +649,9 @@ fn row_dot_segment(
 fn run_elems(te: &CompiledTe, start: usize, out: &mut [f32], operands: &[&[f32]], fast_math: bool) {
     let n_iter = te.out_shape.rank();
     let dims = te.out_shape.dims();
-    let ext = te.reduce[0];
+    // One or two reduction axes; in the two-axis case selection proved the
+    // combined region is a single contiguous slice of the product extent.
+    let ext: i64 = te.reduce.iter().product();
     let op = te.reduce_op.expect("validated reduction");
     if ext <= 0 {
         // Empty reduction: every element is the identity, and the operand
@@ -707,8 +769,8 @@ mod tests {
     #[test]
     fn matmul_selects_row_dot() {
         let mut p = TeProgram::new();
-        let a = p.add_input("A", Shape::new(vec![4, 8]), DType::F32);
-        let b = p.add_weight("B", Shape::new(vec![8, 3]), DType::F32);
+        let a = p.add_input("A", Shape::new(vec![16, 64]), DType::F32);
+        let b = p.add_weight("B", Shape::new(vec![64, 32]), DType::F32);
         let c = builders::matmul(&mut p, "mm", a, b);
         p.mark_output(c);
         let cp = compile_program(&p);
@@ -718,8 +780,8 @@ mod tests {
     #[test]
     fn elementwise_chain_selects_ew_tile_and_copy() {
         let mut p = TeProgram::new();
-        let a = p.add_input("A", Shape::new(vec![4, 8]), DType::F32);
-        let b = p.add_input("B", Shape::new(vec![4, 8]), DType::F32);
+        let a = p.add_input("A", Shape::new(vec![64, 64]), DType::F32);
+        let b = p.add_input("B", Shape::new(vec![64, 64]), DType::F32);
         let s = builders::add(&mut p, "add", a, b);
         let r = builders::relu(&mut p, "act", s);
         let t = builders::transpose(&mut p, "t", r, &[1, 0]);
@@ -738,7 +800,7 @@ mod tests {
     #[test]
     fn softmax_pieces_select_slice_reduce() {
         let mut p = TeProgram::new();
-        let a = p.add_input("A", Shape::new(vec![4, 16]), DType::F32);
+        let a = p.add_input("A", Shape::new(vec![64, 64]), DType::F32);
         let s = builders::softmax(&mut p, "sm", a);
         p.mark_output(s);
         let cp = compile_program(&p);
@@ -749,14 +811,60 @@ mod tests {
     #[test]
     fn padded_conv_falls_back_with_reasons() {
         let mut p = TeProgram::new();
-        let x = p.add_input("X", Shape::new(vec![1, 2, 6, 6]), DType::F32);
-        let w = p.add_weight("W", Shape::new(vec![3, 2, 3, 3]), DType::F32);
+        let x = p.add_input("X", Shape::new(vec![1, 4, 16, 16]), DType::F32);
+        let w = p.add_weight("W", Shape::new(vec![8, 4, 3, 3]), DType::F32);
         let y = builders::conv2d(&mut p, "conv", x, w, 1, 1);
         p.mark_output(y);
         let cp = compile_program(&p);
         let census = cp.kernel_census();
         assert_eq!(census.specialized(), 0);
         assert!(census.bytecode() >= 1);
+    }
+
+    #[test]
+    fn tiny_te_falls_back_as_small_te() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4, 8]), DType::F32);
+        let b = p.add_input("B", Shape::new(vec![4, 8]), DType::F32);
+        let s = builders::add(&mut p, "add", a, b);
+        p.mark_output(s);
+        let cp = compile_program(&p);
+        // 32 body evaluations: launch overhead would dominate any kernel.
+        assert_eq!(
+            cp.tes()[0].tier,
+            KernelSel::Fallback(FallbackReason::SmallTe)
+        );
+    }
+
+    #[test]
+    fn small_te_cutoff_counts_reduction_points() {
+        // Output is only 16 elements, but each folds 512 reduction points:
+        // 8192 body evaluations clear the cutoff and keep the kernel.
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![16, 512]), DType::F32);
+        let s = builders::reduce_last(&mut p, "rs", ReduceOp::Sum, a);
+        p.mark_output(s);
+        let cp = compile_program(&p);
+        assert!(matches!(cp.tes()[0].tier, KernelSel::SliceReduce { .. }));
+    }
+
+    #[test]
+    fn contiguous_two_axis_reduce_selects_slice_reduce() {
+        // Global-pool style `[h, w]` reduction over NCHW: unit stride
+        // along w, stride `w_ext` along h — one contiguous slice per
+        // output element, so the two-axis arm upgrades it from the old
+        // multi_axis_reduce fallback.
+        let mut p = TeProgram::new();
+        let x = p.add_input("X", Shape::new(vec![2, 8, 16, 16]), DType::F32);
+        let y = builders::global_avg_pool(&mut p, "pool", x);
+        p.mark_output(y);
+        let cp = compile_program(&p);
+        let sum = cp
+            .tes()
+            .iter()
+            .find(|te| te.reduce.len() == 2)
+            .expect("pool sum TE");
+        assert!(matches!(sum.tier, KernelSel::SliceReduce { .. }));
     }
 
     #[test]

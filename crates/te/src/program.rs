@@ -368,7 +368,9 @@ impl TeProgram {
             }
             let out_shape = &self.tensors[te.output.0].shape;
             let n_vars = out_shape.rank() + te.reduce.len();
-            if let Some(max_var) = te.body.max_var() {
+            // Fold binders live above the free variables, so only *free*
+            // occurrences are range-checked against the TE's own space.
+            if let Some(max_var) = te.body.max_free_var() {
                 if max_var >= n_vars {
                     return Err(ValidateError::VarOutOfRange {
                         te: te_id,
@@ -471,6 +473,19 @@ fn check_bounds<'a>(
         } => {
             check_bounds(on_true, te, var_bounds, shape_of, true)?;
             check_bounds(on_false, te, var_bounds, shape_of, true)
+        }
+        ScalarExpr::Reduce {
+            var, extent, body, ..
+        } => {
+            // The binder ranges over 0..extent inside the fold body.
+            // Binders may be allocated sparsely above the free variables;
+            // pad any gap with extent 1 (those variables never occur).
+            let mut inner = var_bounds.to_vec();
+            if inner.len() <= *var {
+                inner.resize(*var + 1, 1);
+            }
+            inner[*var] = (*extent).max(1);
+            check_bounds(body, te, &inner, shape_of, guarded)
         }
     }
 }

@@ -104,6 +104,23 @@ fn body_src(e: &ScalarExpr, names: &[String], rank: usize) -> String {
             body_src(on_true, names, rank),
             body_src(on_false, names, rank)
         ),
+        ScalarExpr::Reduce {
+            op,
+            var,
+            extent,
+            body,
+        } => {
+            let f = match op {
+                ReduceOp::Sum => "te.fold_sum",
+                ReduceOp::Max => "te.fold_max",
+                ReduceOp::Min => "te.fold_min",
+            };
+            format!(
+                "{f}({} < {extent}, {})",
+                var_name(*var, rank),
+                body_src(body, names, rank)
+            )
+        }
     }
 }
 

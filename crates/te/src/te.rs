@@ -77,10 +77,11 @@ pub struct TensorExpr {
 }
 
 impl TensorExpr {
-    /// Dependence classification (§5.2): TEs with a reduction axis are
-    /// *one-relies-on-many*; all others are *one-relies-on-one*.
+    /// Dependence classification (§5.2): TEs with a reduction axis — or an
+    /// inline fold left by reduction fusion — are *one-relies-on-many*; all
+    /// others are *one-relies-on-one*.
     pub fn dependence_kind(&self) -> DependenceKind {
-        if self.reduce.is_empty() {
+        if self.reduce.is_empty() && !self.body.has_fold() {
             DependenceKind::OneReliesOnOne
         } else {
             DependenceKind::OneReliesOnMany
@@ -102,11 +103,19 @@ impl TensorExpr {
         output_shape.numel() * self.reduce.iter().product::<i64>()
     }
 
-    /// Arithmetic instructions per full output computation.
+    /// Arithmetic instructions per full output computation. Inline folds
+    /// (reduction fusion) are invariant along the innermost output axis by
+    /// construction, and both the VM's per-slice fold cache and a tiled
+    /// kernel evaluate them once per slice — so their arithmetic is priced
+    /// per slice, not per point (pricing recompute per point is what made
+    /// a fused softmax look compute-bound at paper scale).
     pub fn flops(&self, output_shape: &Shape) -> u64 {
-        let per_point = self.body.arith_cost().max(1);
+        let (per_point, per_slice) = self.body.arith_cost_split();
+        let per_point = per_point.max(1);
         let reduce_combine: u64 = u64::from(self.is_reduction());
-        (per_point + reduce_combine) * self.total_points(output_shape) as u64
+        let total = self.total_points(output_shape) as u64;
+        let inner = output_shape.dims().last().copied().unwrap_or(1).max(1) as u64;
+        (per_point + reduce_combine) * total + per_slice * total.div_ceil(inner)
     }
 
     /// The compute/memory ratio from §5.3: arithmetic instructions divided
@@ -124,16 +133,25 @@ impl TensorExpr {
     /// operands (none in practice) are skipped.
     pub fn relations(&self, output_shape: &Shape) -> Vec<(usize, Relation)> {
         let domain = IterDomain::new(output_shape.dims().to_vec());
-        let n_vars = output_shape.rank() + self.reduce.len();
+        let rank = output_shape.rank();
+        let n_free = rank + self.reduce.len();
+        // Fold binders introduced by reduction fusion live above the free
+        // variables; treat them as extra reduction axes so the relation's
+        // footprint reflects the recomputed slice.
+        let n_all = n_free.max(self.body.max_var().map_or(0, |m| m + 1));
+        let mut extents = self.reduce.clone();
+        extents.resize(n_all - rank, 1);
+        for (var, extent) in self.body.collect_folds() {
+            if var >= n_free {
+                extents[var - rank] = extent;
+            }
+        }
         self.body
             .accesses()
             .into_iter()
             .map(|(operand, indices)| {
-                let map = IndexMap::new(n_vars, indices.to_vec());
-                (
-                    operand,
-                    Relation::new(domain.clone(), map, self.reduce.clone()),
-                )
+                let map = IndexMap::new(n_all, indices.to_vec());
+                (operand, Relation::new(domain.clone(), map, extents.clone()))
             })
             .collect()
     }

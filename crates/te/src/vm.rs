@@ -122,6 +122,7 @@ pub(crate) fn run_chunk(
         .map(|a| a.base + a.coeffs.iter().zip(&vars).map(|(c, v)| c * v).sum::<i64>())
         .collect();
     let mut regs = vec![0.0f32; te.n_regs];
+    let mut fold_eval = FoldEval::new(te.folds.len());
     for slot in out.iter_mut() {
         let value = if te.reduce.is_empty() {
             match te.kind {
@@ -135,7 +136,14 @@ pub(crate) fn run_chunk(
                     operands[te.affine[a].operand][offsets[a] as usize]
                         * operands[te.affine[b].operand][offsets[b] as usize]
                 }
-                BodyKind::Generic => run_body(te, &mut regs, &vars, &offsets, operands)?,
+                BodyKind::Generic => run_body(
+                    te,
+                    &mut regs,
+                    &mut vars,
+                    &mut offsets,
+                    operands,
+                    &mut fold_eval,
+                )?,
             }
         } else {
             let op = te.reduce_op.expect("validated reduction");
@@ -196,9 +204,14 @@ pub(crate) fn run_chunk(
                                 operands[te.affine[a].operand][offsets[a] as usize]
                                     * operands[te.affine[b].operand][offsets[b] as usize]
                             }
-                            BodyKind::Generic => {
-                                run_body(te, &mut regs, &vars, &offsets, operands)?
-                            }
+                            BodyKind::Generic => run_body(
+                                te,
+                                &mut regs,
+                                &mut vars,
+                                &mut offsets,
+                                operands,
+                                &mut fold_eval,
+                            )?,
                         };
                         acc = op.combine(acc, v);
                         let mut axis = te.reduce.len();
@@ -209,6 +222,9 @@ pub(crate) fn run_chunk(
                             axis -= 1;
                             let vi = n_iter + axis;
                             vars[vi] += 1;
+                            if !te.folds.is_empty() {
+                                fold_eval.invalidate(te, vi);
+                            }
                             if vars[vi] < te.reduce[axis] {
                                 for (off, a) in offsets.iter_mut().zip(&te.affine) {
                                     *off += a.coeffs[vi];
@@ -234,6 +250,9 @@ pub(crate) fn run_chunk(
             }
             axis -= 1;
             vars[axis] += 1;
+            if !te.folds.is_empty() {
+                fold_eval.invalidate(te, axis);
+            }
             if vars[axis] < dims[axis] {
                 for (off, a) in offsets.iter_mut().zip(&te.affine) {
                     *off += a.coeffs[axis];
@@ -249,17 +268,69 @@ pub(crate) fn run_chunk(
     Ok(())
 }
 
+/// Per-fold value cache for [`Instr::Fold`] execution. A fold's combined
+/// value only depends on its `deps` variables, so the cached value stays
+/// valid while the odometer walks variables outside that set — the
+/// row-invariant folds left by reduction fusion (softmax denominator,
+/// layernorm mean/var) are recomputed once per slice instead of once per
+/// element. A cache hit returns the exact bits recomputation would
+/// produce (same code, same variable values), so caching cannot change
+/// any result bit.
+pub(crate) struct FoldEval {
+    vals: Vec<f32>,
+    valid: Vec<bool>,
+}
+
+impl FoldEval {
+    pub(crate) fn new(n: usize) -> Self {
+        FoldEval {
+            vals: vec![0.0; n],
+            valid: vec![false; n],
+        }
+    }
+
+    /// Drops cached values of every fold whose dependency set contains
+    /// `var` (called when the odometer or an enclosing fold steps it).
+    #[inline]
+    pub(crate) fn invalidate(&mut self, te: &CompiledTe, var: usize) {
+        for (i, f) in te.folds.iter().enumerate() {
+            if f.deps.contains(&var) {
+                self.valid[i] = false;
+            }
+        }
+    }
+}
+
 /// One execution of the body bytecode at the current loop point. Returns
-/// the value of the result register.
+/// the value of the result register. `vars`/`offsets` are mutated only
+/// transiently by inline fold loops and are restored before returning.
 #[inline]
-fn run_body(
+pub(crate) fn run_body(
     te: &CompiledTe,
     regs: &mut [f32],
-    vars: &[i64],
-    offsets: &[i64],
+    vars: &mut [i64],
+    offsets: &mut [i64],
     operands: &[&[f32]],
+    fold_eval: &mut FoldEval,
 ) -> Result<f32, EvalError> {
-    let code = &te.code;
+    run_code(
+        te, &te.code, te.result, regs, vars, offsets, operands, fold_eval,
+    )
+}
+
+/// Executes one code sequence (the TE body or a fold body) and returns the
+/// value of `result`.
+#[allow(clippy::too_many_arguments)]
+fn run_code(
+    te: &CompiledTe,
+    code: &[Instr],
+    result: u32,
+    regs: &mut [f32],
+    vars: &mut [i64],
+    offsets: &mut [i64],
+    operands: &[&[f32]],
+    fold_eval: &mut FoldEval,
+) -> Result<f32, EvalError> {
     let mut pc = 0usize;
     while pc < code.len() {
         match &code[pc] {
@@ -308,9 +379,43 @@ fn run_body(
                 }
             }
             Instr::Jump { target } => pc = *target as usize,
+            Instr::Fold { dst, fold } => {
+                let fi = *fold as usize;
+                let value = if fold_eval.valid[fi] {
+                    fold_eval.vals[fi]
+                } else {
+                    let f = &te.folds[fi];
+                    let mut acc = f.op.init();
+                    for _ in 0..f.extent {
+                        // Nested folds that read this binder must be
+                        // recomputed each trip (and stale values from a
+                        // previous evaluation discarded on the first).
+                        fold_eval.invalidate(te, f.var);
+                        let v = run_code(
+                            te, &f.code, f.result, regs, vars, offsets, operands, fold_eval,
+                        )?;
+                        acc = f.op.combine(acc, v);
+                        vars[f.var] += 1;
+                        for (off, a) in offsets.iter_mut().zip(&te.affine) {
+                            *off += a.coeffs[f.var];
+                        }
+                    }
+                    // Restore the binder and offsets to their pre-loop state.
+                    vars[f.var] = 0;
+                    for (off, a) in offsets.iter_mut().zip(&te.affine) {
+                        *off -= a.coeffs[f.var] * f.extent;
+                    }
+                    fold_eval.invalidate(te, f.var);
+                    fold_eval.vals[fi] = acc;
+                    fold_eval.valid[fi] = true;
+                    acc
+                };
+                regs[*dst as usize] = value;
+                pc += 1;
+            }
         }
     }
-    Ok(regs[te.result as usize])
+    Ok(regs[result as usize])
 }
 
 /// Builds the structured out-of-bounds error for a failing generic access

@@ -1,0 +1,161 @@
+//! Evaluator agreement for inline-fold (`ScalarExpr::Reduce`) bodies: the
+//! tree-walking interpreter and the compiled VM must produce bit-identical
+//! results, and a fused softmax body (fold in place of a materialized
+//! denominator) must be bit-identical to the unfused TE chain.
+
+use souffle_affine::IndexExpr;
+use souffle_te::interp::{eval_program, random_bindings};
+use souffle_te::{
+    builders, compile_program, ReduceOp, ScalarExpr, TeProgram, TensorExpr, TensorKind, UnaryOp,
+};
+use souffle_tensor::{DType, Shape};
+
+/// `out[i, j] = exp(A[i, j]) / fold_sum(k < n, exp(A[i, k]))` — the shape
+/// reduction fusion produces for a softmax-style chain (without the
+/// numerical max-shift, which is irrelevant to evaluator agreement).
+fn fused_softmax(rows: i64, cols: i64) -> TeProgram {
+    let mut p = TeProgram::new();
+    let a = p.add_input("A", Shape::new(vec![rows, cols]), DType::F32);
+    let out = p.add_tensor(
+        "sm",
+        Shape::new(vec![rows, cols]),
+        DType::F32,
+        TensorKind::Output,
+    );
+    // Binder sits above the 2 free iteration variables.
+    let num = ScalarExpr::unary(
+        UnaryOp::Exp,
+        ScalarExpr::input(0, vec![IndexExpr::var(0), IndexExpr::var(1)]),
+    );
+    let den = ScalarExpr::fold(
+        ReduceOp::Sum,
+        2,
+        cols,
+        ScalarExpr::unary(
+            UnaryOp::Exp,
+            ScalarExpr::input(0, vec![IndexExpr::var(0), IndexExpr::var(2)]),
+        ),
+    );
+    p.push_te(TensorExpr {
+        name: "sm".into(),
+        output: out,
+        inputs: vec![a],
+        reduce: vec![],
+        reduce_op: None,
+        body: ScalarExpr::binary(souffle_te::BinaryOp::Div, num, den),
+    });
+    p.validate().expect("fused softmax validates");
+    p
+}
+
+/// The same function as an unfused two-TE chain: a materialized row-sum
+/// reduction, then the element-wise divide.
+fn unfused_softmax(rows: i64, cols: i64) -> TeProgram {
+    let mut p = TeProgram::new();
+    let a = p.add_input("A", Shape::new(vec![rows, cols]), DType::F32);
+    let e = builders::exp(&mut p, "e", a);
+    let s = builders::reduce_last(&mut p, "s", ReduceOp::Sum, e);
+    let den = p.tensor(s).shape.clone();
+    assert_eq!(den.rank(), 1);
+    let out = p.add_tensor(
+        "sm",
+        Shape::new(vec![rows, cols]),
+        DType::F32,
+        TensorKind::Output,
+    );
+    p.push_te(TensorExpr {
+        name: "sm".into(),
+        output: out,
+        inputs: vec![e, s],
+        reduce: vec![],
+        reduce_op: None,
+        body: ScalarExpr::binary(
+            souffle_te::BinaryOp::Div,
+            ScalarExpr::input(0, vec![IndexExpr::var(0), IndexExpr::var(1)]),
+            ScalarExpr::input(1, vec![IndexExpr::var(0)]),
+        ),
+    });
+    p.mark_output(out);
+    p.validate().expect("unfused softmax validates");
+    p
+}
+
+#[test]
+fn fold_interp_and_vm_agree_bitwise() {
+    for (rows, cols) in [(1, 1), (3, 7), (8, 33), (64, 64)] {
+        let p = fused_softmax(rows, cols);
+        let binds = random_bindings(&p, 42);
+        let want = eval_program(&p, &binds).expect("interp");
+        let got = compile_program(&p).eval(&binds).expect("vm");
+        for id in p.outputs() {
+            for (x, y) in want[&id].data().iter().zip(got[&id].data()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{rows}x{cols}");
+            }
+        }
+    }
+}
+
+#[test]
+fn fused_fold_matches_unfused_chain_bitwise() {
+    for (rows, cols) in [(2, 5), (16, 16), (64, 48)] {
+        let fused = fused_softmax(rows, cols);
+        let unfused = unfused_softmax(rows, cols);
+        let binds = random_bindings(&fused, 7);
+        let got = compile_program(&fused).eval(&binds).expect("fused vm");
+        let want = compile_program(&unfused).eval(&binds).expect("unfused vm");
+        let fid = fused.outputs()[0];
+        let uid = *unfused.outputs().last().expect("output");
+        for (x, y) in want[&uid].data().iter().zip(got[&fid].data()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{rows}x{cols}");
+        }
+    }
+}
+
+#[test]
+fn nested_folds_evaluate_correctly() {
+    // out[i] = fold_sum(j < n, A[i, j] - fold_max(k < n, A[i, k]) )
+    // The inner fold is row-invariant; the outer fold nests it.
+    let (rows, cols) = (5, 9);
+    let mut p = TeProgram::new();
+    let a = p.add_input("A", Shape::new(vec![rows, cols]), DType::F32);
+    let out = p.add_tensor("o", Shape::new(vec![rows]), DType::F32, TensorKind::Output);
+    let inner = ScalarExpr::fold(
+        ReduceOp::Max,
+        2,
+        cols,
+        ScalarExpr::input(0, vec![IndexExpr::var(0), IndexExpr::var(2)]),
+    );
+    let body = ScalarExpr::fold(
+        ReduceOp::Sum,
+        1,
+        cols,
+        ScalarExpr::binary(
+            souffle_te::BinaryOp::Sub,
+            ScalarExpr::input(0, vec![IndexExpr::var(0), IndexExpr::var(1)]),
+            inner,
+        ),
+    );
+    p.push_te(TensorExpr {
+        name: "o".into(),
+        output: out,
+        inputs: vec![a],
+        reduce: vec![],
+        reduce_op: None,
+        body,
+    });
+    p.validate().expect("nested folds validate");
+    let binds = random_bindings(&p, 11);
+    let want = eval_program(&p, &binds).expect("interp");
+    let got = compile_program(&p).eval(&binds).expect("vm");
+    let id = p.outputs()[0];
+    // Reference by hand.
+    let data = binds[&p.free_tensors()[0]].data();
+    for i in 0..rows as usize {
+        let row = &data[i * cols as usize..(i + 1) * cols as usize];
+        let m = row.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let s: f32 = row.iter().fold(0.0, |a, &b| a + (b - m));
+        assert_eq!(want[&id].data()[i].to_bits(), got[&id].data()[i].to_bits());
+        let err = (got[&id].data()[i] - s).abs();
+        assert!(err <= 1e-4 * s.abs().max(1.0), "row {i}: {err}");
+    }
+}

@@ -23,8 +23,8 @@ use souffle_te::{
 };
 use souffle_tensor::Tensor;
 use souffle_transform::{
-    batch_bindings, batch_program, horizontal_fuse_program, split_batch, transform_program,
-    vertical_fuse_program,
+    batch_bindings, batch_program, horizontal_fuse_program, reduction_fuse_program, split_batch,
+    transform_program, vertical_fuse_program,
 };
 use std::collections::HashMap;
 use std::fmt;
@@ -39,6 +39,15 @@ pub enum Stage {
     Vertical,
     /// Horizontal + vertical to fixpoint (`transform_program`).
     Transform,
+    /// Data-movement-aware reduction fusion alone
+    /// (`souffle_transform::reduction_fuse_program`): single-axis
+    /// reductions carried inline in their broadcast consumers as scoped
+    /// folds. The shipped pass preserves each output element's reduction
+    /// order exactly (ascending fold binder ≡ the standalone reduction
+    /// odometer), so this stage is checked **bit-exactly**; a fusion that
+    /// reassociates must opt into tolerance explicitly via
+    /// [`check_reduction_fusion_relaxed`].
+    ReductionFusion,
     /// The V3 pipeline: transforms plus schedule propagation, resource
     /// partitioning and kernel merging (§6.3–6.4). The lowered kernels are
     /// not interpretable, but the TE program the pipeline lowers *is* —
@@ -81,10 +90,11 @@ pub enum Stage {
 impl Stage {
     /// Every stage, in pipeline order (the evaluator cross-check runs
     /// last).
-    pub const ALL: [Stage; 9] = [
+    pub const ALL: [Stage; 10] = [
         Stage::Horizontal,
         Stage::Vertical,
         Stage::Transform,
+        Stage::ReductionFusion,
         Stage::ScheduleMerge,
         Stage::FullPipeline,
         Stage::CrossEvaluator,
@@ -103,6 +113,7 @@ impl Stage {
             Stage::Horizontal => "horizontal",
             Stage::Vertical => "vertical",
             Stage::Transform => "transform",
+            Stage::ReductionFusion => "reduction-fusion",
             Stage::ScheduleMerge => "schedule-merge",
             Stage::FullPipeline => "full-pipeline",
             Stage::CrossEvaluator => "cross-evaluator",
@@ -119,6 +130,7 @@ impl Stage {
             Stage::Horizontal => horizontal_fuse_program(program).0,
             Stage::Vertical => vertical_fuse_program(program).0,
             Stage::Transform => transform_program(program).0,
+            Stage::ReductionFusion => reduction_fuse_program(program).0,
             Stage::ScheduleMerge => Souffle::new(SouffleOptions::v3()).compile(program).program,
             Stage::FullPipeline => {
                 Souffle::new(SouffleOptions::full())
@@ -434,6 +446,9 @@ pub fn check_stage_with(
     }
     let (want_eval, got_eval, bit_exact) = match stage {
         Stage::CrossEvaluator => (Evaluator::Naive, Evaluator::Compiled, true),
+        // Reduction fusion preserves per-element reduction order; the
+        // relaxed entry point is `check_reduction_fusion_relaxed`.
+        Stage::ReductionFusion => (evaluator, evaluator, true),
         _ => (evaluator, evaluator, false),
     };
     let want = eval_with_random_inputs_using(program, seed, want_eval).map_err(|error| {
@@ -483,6 +498,50 @@ pub fn check_stage_with(
         )?;
     }
     Ok(())
+}
+
+/// The explicit ULP-tolerance opt-out for [`Stage::ReductionFusion`]:
+/// compares the fused program against the original under `tol` instead of
+/// bit-exactly. The shipped pass never needs this — it preserves each
+/// element's reduction order — so reaching for this function is a
+/// deliberate statement that a fusion reassociates floats (e.g. a future
+/// multi-axis or tree-reduction variant) and is held to the oracle
+/// tolerance instead.
+///
+/// # Errors
+///
+/// Returns an [`OracleError`] when the fused program is invalid,
+/// uninterpretable, drops an output, or diverges beyond `tol`.
+pub fn check_reduction_fusion_relaxed(
+    program: &TeProgram,
+    seed: u64,
+    tol: &Tolerance,
+) -> Result<(), OracleError> {
+    let stage = Stage::ReductionFusion;
+    let transformed = stage.apply(program);
+    if let Err(e) = transformed.validate() {
+        return Err(OracleError::Invalid {
+            stage,
+            detail: format!("{e:?}"),
+            program: te_source(&transformed),
+        });
+    }
+    let want =
+        eval_with_random_inputs_using(program, seed, Evaluator::Compiled).map_err(|error| {
+            OracleError::Eval {
+                stage,
+                which: "before",
+                error,
+            }
+        })?;
+    let got = eval_with_random_inputs_using(&transformed, seed, Evaluator::Compiled).map_err(
+        |error| OracleError::Eval {
+            stage,
+            which: "after",
+            error,
+        },
+    )?;
+    compare_outputs(program, &transformed, stage, seed, tol, false, &want, &got)
 }
 
 /// The [`Stage::BatchedServe`] check at an explicit batch size: builds

@@ -64,8 +64,11 @@ pub fn batch_program(program: &TeProgram, batch: i64) -> TeProgram {
         // v_i → v_{i+1}: the batch variable becomes v_0, iteration and
         // reduction variables keep their relative order (the batched
         // output has rank out_rank + 1, so reduction variables still
-        // start right after the iteration variables).
-        let shift: Vec<IndexExpr> = (1..=n_vars).map(IndexExpr::var).collect();
+        // start right after the iteration variables). Size the shift
+        // through any inline-fold binders (which live above n_vars) so
+        // they move up with the rest and stay collision-free.
+        let n_shift = n_vars.max(te.body.max_var().map_or(0, |m| m + 1));
+        let shift: Vec<IndexExpr> = (1..=n_shift).map(IndexExpr::var).collect();
         let shifted = te.body.substitute(&shift, &|op| op);
         let body = prepend_batch_index(&shifted, &|op| {
             program.tensor(te.inputs[op]).kind != TensorKind::Weight
@@ -116,6 +119,17 @@ fn prepend_batch_index(body: &ScalarExpr, batched: &dyn Fn(usize) -> bool) -> Sc
             cond: cond.clone(),
             on_true: Box::new(prepend_batch_index(on_true, batched)),
             on_false: Box::new(prepend_batch_index(on_false, batched)),
+        },
+        ScalarExpr::Reduce {
+            op,
+            var,
+            extent,
+            body,
+        } => ScalarExpr::Reduce {
+            op: *op,
+            var: *var,
+            extent: *extent,
+            body: Box::new(prepend_batch_index(body, batched)),
         },
     }
 }

@@ -17,19 +17,33 @@
 //!   into one TE guarded by `if_then_else` predicates, increasing
 //!   parallelism and letting a shared input be loaded once.
 //!
+//! A third, data-movement-aware rewrite ([`reduction`]) runs after the
+//! two above in the pipeline: single-axis reductions consumed broadcast-
+//! style (softmax denominators, layernorm moments) are carried *inline*
+//! in their consumers as scoped folds, gated by the bytes-moved cost
+//! model in [`traffic`]. It is not part of [`transform_program`] — the
+//! pipeline stages it separately so it can be toggled and verified on
+//! its own.
+//!
 //! Both rewrites return a *new* program; the original is untouched. Every
 //! rewrite is checked in tests by evaluating both programs with the
 //! reference interpreter on random inputs.
 
 pub mod batch;
 pub mod horizontal;
+pub mod reduction;
+pub mod traffic;
 pub mod vertical;
 
 mod rewrite;
 
 pub use batch::{batch_bindings, batch_program, split_batch, stack_tensors};
 pub use horizontal::{find_horizontal_groups, horizontal_fuse_program};
+pub use reduction::{
+    env_reduction_fusion, reduction_fuse_program, FusionStats, REDUCTION_FUSION_ENV,
+};
 pub use rewrite::TransformStats;
+pub use traffic::{program_traffic, te_traffic, Traffic};
 pub use vertical::vertical_fuse_program;
 
 use souffle_te::TeProgram;

@@ -1,0 +1,178 @@
+//! Bytes-moved cost model for fusion decisions.
+//!
+//! Estimates the global-memory traffic a TE program generates by walking
+//! each body's access maps over the TE's box domain with interval
+//! arithmetic — the same strength-reduced affine structure the compiler's
+//! stride tables are built from. The model prices a *cache-resident slice*
+//! execution: each access contributes its distinct-element footprint, not
+//! its dynamic load count, which matches how the VM's fold cache executes
+//! inline reductions (a slice-invariant fold body runs once per slice, so
+//! it touches each operand element once — see `souffle_te`'s fold
+//! evaluation).
+//!
+//! The reduction-fusion pass ([`crate::reduction`]) uses the model as its
+//! gate: a candidate is fused only when the modeled bytes moved by the
+//! rewritten TEs drop below the original's. The absolute numbers are also
+//! cross-checked against the `gpusim` memory-hierarchy totals in tests, so
+//! the model stays anchored to the simulator rather than drifting into a
+//! private currency.
+
+use souffle_te::{TeProgram, TensorExpr};
+
+/// Modeled bytes moved through global memory, split by direction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Traffic {
+    /// Bytes read from operand tensors (distinct-footprint estimate).
+    pub read_bytes: u64,
+    /// Bytes written to output tensors.
+    pub write_bytes: u64,
+}
+
+impl Traffic {
+    /// Total bytes moved in either direction.
+    pub fn total(&self) -> u64 {
+        self.read_bytes + self.write_bytes
+    }
+
+    /// Accumulates another estimate into this one.
+    pub fn add(&mut self, other: Traffic) {
+        self.read_bytes += other.read_bytes;
+        self.write_bytes += other.write_bytes;
+    }
+}
+
+/// Models one TE's traffic: the full output is written once; every body
+/// access contributes the number of distinct operand elements its index
+/// expressions can address over the box domain (iteration × reduction ×
+/// fold-binder extents), clamped per axis by both the interval span and
+/// the operand extent, and overall by the operand size.
+pub fn te_traffic(program: &TeProgram, te: &TensorExpr) -> Traffic {
+    let out = program.tensor(te.output);
+    let mut t = Traffic {
+        read_bytes: 0,
+        write_bytes: out.shape.numel().max(0) as u64 * out.dtype.size_bytes(),
+    };
+
+    // Box domain: iteration vars from the output shape, reduction vars,
+    // then any inline-fold binders (gaps degenerate).
+    let mut bounds: Vec<(i64, i64)> = out
+        .shape
+        .dims()
+        .iter()
+        .chain(te.reduce.iter())
+        .map(|&b| (0, (b - 1).max(0)))
+        .collect();
+    if let Some(max_var) = te.body.max_var() {
+        if bounds.len() <= max_var {
+            bounds.resize(max_var + 1, (0, 0));
+        }
+    }
+    for (var, extent) in te.body.collect_folds() {
+        bounds[var] = (0, (extent - 1).max(0));
+    }
+    let extent_of = |v: usize| bounds.get(v).map_or(1, |&(lo, hi)| (hi - lo + 1).max(1));
+
+    for (operand, indices) in te.body.accesses() {
+        let Some(&tensor_id) = te.inputs.get(operand) else {
+            continue; // invalid program; reported by validation
+        };
+        let info = program.tensor(tensor_id);
+        let numel = info.shape.numel().max(1);
+        let mut count: i64 = 1;
+        for (axis, idx) in indices.iter().enumerate() {
+            // Distinct values this axis coordinate takes: at most the
+            // product of the extents of the variables it reads, at most
+            // its interval span, at most the axis extent.
+            let mut var_prod: i64 = 1;
+            idx.for_each_var(&mut |v| {
+                var_prod = var_prod.saturating_mul(extent_of(v));
+            });
+            let (lo, hi) = idx.interval(&bounds);
+            let span = hi.saturating_sub(lo).saturating_add(1).max(1);
+            let axis_extent = if axis < info.shape.rank() {
+                info.shape.dim(axis).max(1)
+            } else {
+                1 // rank mismatch; reported by validation
+            };
+            let axis_count = var_prod.min(span).min(axis_extent);
+            count = count.saturating_mul(axis_count).min(numel);
+        }
+        t.read_bytes += count as u64 * info.dtype.size_bytes();
+    }
+    t
+}
+
+/// Sums [`te_traffic`] over every TE of the program.
+pub fn program_traffic(program: &TeProgram) -> Traffic {
+    let mut t = Traffic::default();
+    for te in program.tes() {
+        t.add(te_traffic(program, te));
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use souffle_te::builders;
+    use souffle_tensor::{DType, Shape};
+
+    #[test]
+    fn matmul_traffic_counts_both_factors_once() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![8, 16]), DType::F32);
+        let b = p.add_weight("B", Shape::new(vec![16, 4]), DType::F32);
+        let c = builders::matmul(&mut p, "mm", a, b);
+        p.mark_output(c);
+        let t = te_traffic(&p, &p.tes()[0]);
+        // A[i, k]: 8*16 elements; B[k, j]: 16*4; out 8*4 — all f32.
+        assert_eq!(t.read_bytes, (8 * 16 + 16 * 4) * 4);
+        assert_eq!(t.write_bytes, 8 * 4 * 4);
+    }
+
+    #[test]
+    fn broadcast_read_is_footprint_not_loads() {
+        // out[i, j] = A[i] broadcast along j: footprint is |A|, not
+        // |out| loads.
+        use souffle_affine::IndexExpr;
+        use souffle_te::{ScalarExpr, TensorExpr, TensorKind};
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![8]), DType::F32);
+        let out = p.add_tensor("b", Shape::new(vec![8, 16]), DType::F32, TensorKind::Output);
+        p.push_te(TensorExpr {
+            name: "b".into(),
+            output: out,
+            inputs: vec![a],
+            reduce: vec![],
+            reduce_op: None,
+            body: ScalarExpr::input(0, vec![IndexExpr::var(0)]),
+        });
+        let t = te_traffic(&p, &p.tes()[0]);
+        assert_eq!(t.read_bytes, 8 * 4);
+        assert_eq!(t.write_bytes, 8 * 16 * 4);
+    }
+
+    #[test]
+    fn strided_slice_footprint_clamps_to_span() {
+        // out[i] = A[2*i] over i<4 from |A|=8: span is 0..=6, variable
+        // extent 4 — the tighter of the two (4) wins.
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![8]), DType::F32);
+        let s = builders::strided_slice(&mut p, "s", a, 0, 0, 2, 4);
+        p.mark_output(s);
+        let t = te_traffic(&p, &p.tes()[0]);
+        assert_eq!(t.read_bytes, 4 * 4);
+    }
+
+    #[test]
+    fn program_traffic_sums_tes() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4, 8]), DType::F32);
+        let e = builders::exp(&mut p, "e", a);
+        let r = builders::relu(&mut p, "r", e);
+        p.mark_output(r);
+        let t = program_traffic(&p);
+        assert_eq!(t.read_bytes, 2 * 32 * 4);
+        assert_eq!(t.write_bytes, 2 * 32 * 4);
+    }
+}

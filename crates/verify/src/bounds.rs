@@ -101,6 +101,18 @@ fn walk(
             walk(program, te_id, on_true, var_bounds, true, loc, diags);
             walk(program, te_id, on_false, var_bounds, true, loc, diags);
         }
+        ScalarExpr::Reduce {
+            var, extent, body, ..
+        } => {
+            // The fold binder ranges over 0..extent inside the body; pad
+            // any gap with the degenerate box (such vars never occur).
+            let mut inner = var_bounds.to_vec();
+            if inner.len() <= *var {
+                inner.resize(*var + 1, (0, 0));
+            }
+            inner[*var] = (0, (*extent - 1).max(0));
+            walk(program, te_id, body, &inner, guarded, loc, diags);
+        }
     }
 }
 

@@ -107,8 +107,10 @@ pub(crate) fn check(program: &TeProgram, diags: &mut Diagnostics) {
 
         // The TE's index space is implied by its output buffer: iteration
         // vars 0..rank from the output shape, then the reduction vars.
+        // Inline-fold binders live above that space, so only free
+        // occurrences are checked against it.
         let n_vars = out_info.shape.rank() + te.reduce.len();
-        if let Some(max_var) = te.body.max_var() {
+        if let Some(max_var) = te.body.max_free_var() {
             if max_var >= n_vars {
                 diags.push(
                     Code::VarOutOfRange,
@@ -118,6 +120,25 @@ pub(crate) fn check(program: &TeProgram, diags: &mut Diagnostics) {
                          variables (output rank {} + {} reduction axes)",
                         out_info.shape.rank(),
                         te.reduce.len()
+                    ),
+                );
+            }
+        }
+        for (var, extent) in te.body.collect_folds() {
+            if extent <= 0 {
+                diags.push(
+                    Code::BadReduceExtent,
+                    loc.clone(),
+                    format!("inline fold over v{var} has non-positive extent {extent}"),
+                );
+            }
+            if var < n_vars {
+                diags.push(
+                    Code::VarOutOfRange,
+                    loc.clone(),
+                    format!(
+                        "inline fold binder v{var} collides with the TE's index space \
+                         ({n_vars} variables); binders must be allocated above it"
                     ),
                 );
             }

@@ -61,13 +61,23 @@ SOUFFLE_EVAL_THREADS=2 cargo test -q --offline \
 # forces the tier — so the evaluator suites run once with the tier pinned
 # off (pure bytecode everywhere a test doesn't force it) and once pinned
 # on. The pipeline bench smoke run then validates the
-# souffle-bench-pipeline/4 schema with its kernel-dispatch counters on a
-# temp file (hermetic: no timing assertions, results/ untouched).
+# souffle-bench-pipeline/5 schema with its kernel-dispatch and
+# reduction-fusion counters on a temp file (hermetic: no timing
+# assertions, results/ untouched).
 echo "== cargo test (SOUFFLE_KERNEL_TIER=off/on) + bench pipeline --smoke =="
 SOUFFLE_KERNEL_TIER=off cargo test -q --offline \
   --test evaluator_equivalence --test kernel_tier_differential --test runtime_determinism
 SOUFFLE_KERNEL_TIER=on cargo test -q --offline \
   --test evaluator_equivalence --test kernel_tier_differential --test runtime_determinism
 cargo bench -q --offline -p souffle-bench --bench pipeline -- --smoke
+
+# Reduction-fusion gate: fold inlining must be bit-identical to the
+# materialized pipeline whichever way the environment forces the stage,
+# on both the evaluator differentials and the serving path.
+echo "== cargo test (SOUFFLE_REDUCTION_FUSION=off/on) =="
+SOUFFLE_REDUCTION_FUSION=off cargo test -q --offline \
+  --test evaluator_equivalence --test reduction_fusion_differential --test serve_differential
+SOUFFLE_REDUCTION_FUSION=on cargo test -q --offline \
+  --test evaluator_equivalence --test reduction_fusion_differential --test serve_differential
 
 echo "ci.sh: all checks passed"

@@ -187,11 +187,23 @@ fn mid_row_chunk_boundaries_stay_bit_identical() {
 
 /// Selection census on the six models: BERT's attention/FFN stack must
 /// actually hit the specialized kernels it was built for, and the
-/// convolutional models must fall back honestly (multi-axis reduction
-/// odometers are exactly what the tier refuses to specialize).
+/// convolutional models must fall back honestly (three-axis conv
+/// odometers are exactly what the tier refuses to specialize) while
+/// their two-axis average pools take the contiguous slice-reduce path.
+///
+/// Pins run at Paper scale — kernel selection is static (no evaluation
+/// happens), and the Tiny configs sit below the small-TE dispatch cutoff
+/// by design, which is pinned separately below.
 #[test]
 fn model_censuses_match_expected_kernel_mix() {
-    let bert_program = build_model(Model::Bert, ModelConfig::Tiny);
+    let reason_index = |r: FallbackReason| {
+        FallbackReason::ALL
+            .iter()
+            .position(|x| *x == r)
+            .expect("reason listed")
+    };
+
+    let bert_program = build_model(Model::Bert, ModelConfig::Paper);
     let bert = compile_program(&bert_program).kernel_census();
     assert!(bert.row_dot > 0, "BERT matmuls must take row_dot: {bert:?}");
     assert!(
@@ -207,26 +219,58 @@ fn model_censuses_match_expected_kernel_mix() {
     // composes the transpose into the matmul body do both factors become
     // unit-stride over the reduction axis — slice_dot is a property of
     // the *transformed* program.
-    let fused = souffle::Souffle::new(souffle::SouffleOptions::full())
-        .compile(&bert_program)
-        .program;
+    let mut opts = souffle::SouffleOptions::full();
+    opts.verify = false; // selection census only; verification is covered elsewhere
+    let fused = souffle::Souffle::new(opts).compile(&bert_program).program;
     let fused_census = compile_program(&fused).kernel_census();
     assert!(
         fused_census.slice_dot > 0,
         "transformed BERT Q·Kᵀ scores must take slice_dot: {fused_census:?}"
     );
+    // Reduction fusion carries softmax/layernorm denominators inline as
+    // folds; those TEs fall back honestly (per-slice fold state is what
+    // the fixed-stride kernels cannot express).
+    assert!(
+        fused_census.fallback[reason_index(FallbackReason::ReducedBody)] > 0,
+        "transformed BERT fold-carrying TEs must fall back reduced_body: {fused_census:?}"
+    );
 
     for conv_model in [Model::ResNext, Model::EfficientNet] {
-        let census = compile_program(&build_model(conv_model, ModelConfig::Tiny)).kernel_census();
-        let multi_axis = FallbackReason::ALL
-            .iter()
-            .position(|r| *r == FallbackReason::MultiAxisReduce)
-            .unwrap();
+        let census = compile_program(&build_model(conv_model, ModelConfig::Paper)).kernel_census();
         assert!(
-            census.fallback[multi_axis] > 0,
-            "{conv_model}: conv reductions must fall back multi_axis_reduce: {census:?}"
+            census.fallback[reason_index(FallbackReason::MultiAxisReduce)] > 0,
+            "{conv_model}: three-axis conv reductions must fall back multi_axis_reduce: {census:?}"
+        );
+        assert!(
+            census.slice_reduce > 0,
+            "{conv_model}: contiguous two-axis pools must take slice_reduce: {census:?}"
         );
     }
+
+    // The small-TE cutoff: MMoE's gate/tower chains are exactly the
+    // dispatch-overhead shapes the cutoff exists for. At Tiny scale every
+    // TE is gate-sized and the whole model must stay on bytecode; at
+    // Paper scale the gate softmax chains still fall back small_te while
+    // the expert GEMMs (131k reduction points) keep their kernels.
+    let mmoe_tiny = compile_program(&build_model(Model::Mmoe, ModelConfig::Tiny)).kernel_census();
+    assert_eq!(
+        mmoe_tiny.specialized(),
+        0,
+        "Tiny MMoE must run entirely on bytecode: {mmoe_tiny:?}"
+    );
+    assert!(
+        mmoe_tiny.fallback[reason_index(FallbackReason::SmallTe)] > 0,
+        "Tiny MMoE gate-sized TEs must fall back small_te: {mmoe_tiny:?}"
+    );
+    let mmoe = compile_program(&build_model(Model::Mmoe, ModelConfig::Paper)).kernel_census();
+    assert!(
+        mmoe.fallback[reason_index(FallbackReason::SmallTe)] > 0,
+        "Paper MMoE gate-sized TEs must fall back small_te: {mmoe:?}"
+    );
+    assert!(
+        mmoe.row_dot + mmoe.slice_dot > 0,
+        "Paper MMoE expert GEMMs must keep specialized dots: {mmoe:?}"
+    );
 }
 
 /// `fast_math` is the one deliberate bit-identity opt-out: multi-lane
@@ -238,7 +282,8 @@ fn model_censuses_match_expected_kernel_mix() {
 #[test]
 fn fast_math_is_close_but_relaxed() {
     let mut p = TeProgram::new();
-    let w = p.add_weight("W", Shape::new(vec![6, 211]), DType::F32);
+    // 16 rows keeps the TE above the small-TE cutoff (16·211 points).
+    let w = p.add_weight("W", Shape::new(vec![16, 211]), DType::F32);
     let x = p.add_input("x", Shape::new(vec![211]), DType::F32);
     // gemv: both factors unit-stride over the reduction axis, so the
     // tier selects slice_dot — the kernel fast_math relaxes.

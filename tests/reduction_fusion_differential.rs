@@ -1,0 +1,251 @@
+//! Differential testing of the reduction-fusion stage (fold inlining).
+//!
+//! The stage's contract is stronger than the generic transform oracle's:
+//! because fusion preserves each output element's reduction order (the
+//! fold's ascending binder is exactly the standalone reduction odometer),
+//! the fused pipeline must be **bit-identical** to the unfused one — not
+//! merely within tolerance. The suite drives that contract over the six
+//! paper models at every fusion setting and pool size, hundreds of
+//! `TESTKIT_SEED`-randomized generated programs through the oracle's
+//! dedicated stage, and a hand-built softmax chain where the traffic
+//! model's byte accounting is pinned exactly.
+//!
+//! It also pins the perf claims the stage exists for: on BERT and Swin-T
+//! the transformed program must shrink (fewer TEs, no more kernels) and
+//! the modeled bytes moved must drop with fusion on, and the traffic
+//! model itself is cross-checked against the `gpusim` memory totals on a
+//! single-kernel program so the two currencies stay anchored.
+
+use std::collections::HashMap;
+
+use souffle::{Souffle, SouffleOptions};
+use souffle_frontend::{build_model, Model, ModelConfig};
+use souffle_te::interp::{eval_program, random_bindings};
+use souffle_te::{builders, TeProgram, TensorId};
+use souffle_tensor::{DType, Shape, Tensor};
+use souffle_testkit::oracle::{check_stage, Stage, Tolerance};
+use souffle_testkit::teprog::gen_spec;
+use souffle_testkit::{forall, Config};
+use souffle_transform::program_traffic;
+
+fn souffle_with(fusion: bool, threads: usize) -> Souffle {
+    let mut opts = SouffleOptions::full();
+    opts.reduction_fusion = Some(fusion);
+    opts.eval_threads = Some(threads);
+    Souffle::new(opts)
+}
+
+fn assert_outputs_bit_identical(
+    program: &TeProgram,
+    label: &str,
+    want: &HashMap<TensorId, Tensor>,
+    got: &HashMap<TensorId, Tensor>,
+) {
+    for id in program.outputs() {
+        let (w, g) = (&want[&id], &got[&id]);
+        let name = &program.tensor(id).name;
+        assert_eq!(w.shape(), g.shape(), "[{label}] \"{name}\" shape");
+        for (i, (a, b)) in w.data().iter().zip(g.data()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "[{label}] \"{name}\"[{i}]: {a} vs {b}"
+            );
+        }
+    }
+}
+
+/// The headline contract: all six paper models, fusion forced on and off,
+/// at 1 and 3 execution streams — every variant bit-identical to the
+/// naive interpreter's ground truth (and therefore to each other).
+#[test]
+fn six_models_are_bit_identical_across_fusion_modes_and_pools() {
+    for model in Model::ALL {
+        let program = build_model(model, ModelConfig::Tiny);
+        let bindings = random_bindings(&program, 42);
+        let mut reference: Option<HashMap<TensorId, Tensor>> = None;
+        for fusion in [false, true] {
+            for threads in [1, 3] {
+                let label = format!("{model}, fusion {fusion}, {threads} streams");
+                let s = souffle_with(fusion, threads);
+                let compiled = s.compile(&program);
+                // Ground truth per variant: the naive interpreter on that
+                // variant's transformed program.
+                let want = eval_program(&compiled.program, &bindings).unwrap();
+                let got = s.eval_reference(&compiled, &bindings).unwrap();
+                assert_outputs_bit_identical(&program, &label, &want, &got);
+                // Cross-variant: fused and unfused pipelines agree bitwise.
+                match &reference {
+                    None => {
+                        reference = Some(
+                            program
+                                .outputs()
+                                .iter()
+                                .map(|id| (*id, got[id].clone()))
+                                .collect(),
+                        )
+                    }
+                    Some(want) => assert_outputs_bit_identical(&program, &label, want, &got),
+                }
+            }
+        }
+    }
+}
+
+forall!(
+    generated_programs_survive_the_reduction_fusion_oracle_stage,
+    Config::with_cases(100),
+    |rng| (gen_spec(rng, 10), rng.u64_in(0..1_000_000)),
+    |(spec, seed)| {
+        if spec.ops.is_empty() {
+            return Ok(()); // shrunk-out-of-domain candidate
+        }
+        check_stage(
+            &spec.build(),
+            Stage::ReductionFusion,
+            *seed,
+            &Tolerance::default(),
+        )
+        .map_err(|e| e.to_string())
+    }
+);
+
+/// A matmul → softmax → scale chain through the real pipeline: with
+/// fusion on, the softmax's materialized row-max and row-sum tensors must
+/// vanish from the transformed program, the `fusion.*` counters must
+/// account for them, and the traffic model's before/after byte totals
+/// must differ by exactly the bytes the stage claims it saved.
+#[test]
+fn softmax_chain_folds_denominator_and_prices_it_exactly() {
+    let mut p = TeProgram::new();
+    let a = p.add_input("A", Shape::new(vec![12, 24]), DType::F32);
+    let w = p.add_weight("W", Shape::new(vec![24, 16]), DType::F32);
+    let mm = builders::matmul(&mut p, "mm", a, w);
+    let sm = builders::softmax(&mut p, "sm", mm);
+    let sc = builders::scale(&mut p, "sc", sm, 3.0);
+    p.mark_output(sc);
+    p.validate().unwrap();
+
+    let off = souffle_with(false, 1).compile(&p);
+    let on = souffle_with(true, 1).compile(&p);
+
+    // Fusion-off leaves the softmax reductions materialized.
+    let names = |c: &souffle::Compiled| -> Vec<String> {
+        c.program.tes().iter().map(|te| te.name.clone()).collect()
+    };
+    assert!(
+        names(&off).iter().any(|n| n.ends_with(".sum")),
+        "unfused pipeline must materialize the denominator: {:?}",
+        names(&off)
+    );
+    assert!(
+        !names(&on).iter().any(|n| n.ends_with(".sum")),
+        "fused pipeline must not materialize the denominator: {:?}",
+        names(&on)
+    );
+    assert!(
+        !names(&on).iter().any(|n| n.ends_with(".max")),
+        "fused pipeline must not materialize the row max: {:?}",
+        names(&on)
+    );
+    assert!(on.program.num_tes() < off.program.num_tes());
+
+    let f = &on.stats.fusion;
+    assert!(f.candidates >= 2, "{f:?}");
+    assert_eq!(f.fused, 2, "softmax has two fusable reductions: {f:?}");
+    assert!(f.bytes_saved > 0, "{f:?}");
+    assert_eq!(off.stats.fusion.fused, 0, "{:?}", off.stats.fusion);
+
+    // The stage's claimed saving is exactly the program-level delta of
+    // the traffic model — no double counting, no private currency.
+    let before = program_traffic(&off.program).total();
+    let after = program_traffic(&on.program).total();
+    assert_eq!(
+        before - after,
+        f.bytes_saved,
+        "before {before} after {after}"
+    );
+
+    // And the rewritten chain still computes the same bits.
+    let bindings = random_bindings(&p, 7);
+    let want = eval_program(&off.program, &bindings).unwrap();
+    let got = eval_program(&on.program, &bindings).unwrap();
+    assert_outputs_bit_identical(&p, "softmax chain", &want, &got);
+}
+
+/// The perf pin the stage ships for: on BERT (softmax + layernorm) and
+/// Swin-T (layernorm chains), fusion on must shrink the transformed
+/// program, never increase the kernel count, and strictly reduce the
+/// modeled bytes moved; the simulator's global-memory totals must agree
+/// on the direction.
+#[test]
+fn bert_and_swin_shrink_kernels_and_modeled_bytes_with_fusion_on() {
+    for model in [Model::Bert, Model::SwinTransformer] {
+        let program = build_model(model, ModelConfig::Tiny);
+        let s_off = souffle_with(false, 1);
+        let s_on = souffle_with(true, 1);
+        let off = s_off.compile(&program);
+        let on = s_on.compile(&program);
+
+        let f = &on.stats.fusion;
+        assert!(f.candidates > 0, "{model}: {f:?}");
+        assert!(f.fused > 0, "{model}: {f:?}");
+        assert!(
+            on.program.num_tes() < off.program.num_tes(),
+            "{model}: fused TE count {} vs {}",
+            on.program.num_tes(),
+            off.program.num_tes()
+        );
+        assert!(
+            on.num_kernels() <= off.num_kernels(),
+            "{model}: fused kernels {} vs {}",
+            on.num_kernels(),
+            off.num_kernels()
+        );
+        let before = program_traffic(&off.program).total();
+        let after = program_traffic(&on.program).total();
+        assert!(
+            after < before,
+            "{model}: modeled bytes must drop: {after} vs {before}"
+        );
+        assert_eq!(before - after, f.bytes_saved, "{model}");
+
+        let sim_off = s_off.simulate(&off).global_transfer_bytes();
+        let sim_on = s_on.simulate(&on).global_transfer_bytes();
+        assert!(
+            sim_on <= sim_off,
+            "{model}: simulated transfer must not grow: {sim_on} vs {sim_off}"
+        );
+    }
+}
+
+/// Anchors the traffic model to the simulator: on a single-TE program the
+/// V0 pipeline lowers exactly one kernel whose load/store byte counts are
+/// computed by the scheduler's footprint model — the transform-side
+/// traffic model must price the same program to the same totals.
+#[test]
+fn traffic_model_matches_gpusim_totals_on_single_kernel_program() {
+    let mut p = TeProgram::new();
+    let a = p.add_input("A", Shape::new(vec![32, 48]), DType::F32);
+    let b = p.add_weight("B", Shape::new(vec![48, 24]), DType::F32);
+    let mm = builders::matmul(&mut p, "mm", a, b);
+    p.mark_output(mm);
+    p.validate().unwrap();
+
+    let s = Souffle::new(SouffleOptions::v0());
+    let compiled = s.compile(&p);
+    let profile = s.simulate(&compiled);
+    let t = program_traffic(&compiled.program);
+    assert_eq!(
+        profile.global_read_bytes(),
+        t.read_bytes,
+        "read bytes diverge: sim {:?} vs model {t:?}",
+        profile
+    );
+    assert_eq!(
+        profile.global_transfer_bytes(),
+        t.total(),
+        "transfer totals diverge: sim {:?} vs model {t:?}",
+        profile
+    );
+}
