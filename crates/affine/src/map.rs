@@ -139,6 +139,40 @@ impl IndexMap {
                 .enumerate()
                 .all(|(i, e)| *e == IndexExpr::Var(i))
     }
+
+    /// Semantic equality of two maps over the same input space: affine
+    /// maps compare by their unique `M·v + c` matrix form (so `(v0+1)-1`
+    /// equals `v0`), quasi-affine ones structurally after simplification.
+    /// Used by the translation-validation pass to check recorded access
+    /// maps against the transformed program.
+    pub fn equiv(&self, other: &IndexMap) -> bool {
+        if self.n_inputs != other.n_inputs || self.exprs.len() != other.exprs.len() {
+            return false;
+        }
+        match (self.as_matrix(), other.as_matrix()) {
+            (Some(a), Some(b)) => a == b,
+            (None, None) => self
+                .exprs
+                .iter()
+                .zip(&other.exprs)
+                .all(|(a, b)| a.simplified() == b.simplified()),
+            _ => false,
+        }
+    }
+
+    /// Whether the image box of this map over `bounds` lies inside
+    /// `region` (per-coordinate inclusive ranges) — the domain-inclusion
+    /// side condition of a recorded view rewrite: every point the view
+    /// reads must fall inside the tensor segment the rewrite assigned it.
+    pub fn image_within(&self, bounds: &[(i64, i64)], region: &[(i64, i64)]) -> bool {
+        if self.exprs.len() != region.len() {
+            return false;
+        }
+        self.domain(bounds)
+            .iter()
+            .zip(region)
+            .all(|(&(lo, hi), &(rlo, rhi))| lo >= rlo && hi <= rhi)
+    }
 }
 
 impl fmt::Display for IndexMap {
@@ -296,6 +330,46 @@ mod tests {
         let id = IndexMap::identity(3);
         assert!(id.is_identity());
         assert_eq!(id.eval(&[4, 5, 6]), vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn equiv_sees_through_affine_form() {
+        // (v0 + 1) - 1 == v0, by matrix form rather than structure.
+        let a = IndexMap::new(
+            2,
+            vec![
+                IndexExpr::var(0)
+                    .add(IndexExpr::constant(1))
+                    .sub(IndexExpr::constant(1)),
+                IndexExpr::var(1),
+            ],
+        );
+        let b = IndexMap::identity(2);
+        assert!(a.equiv(&b));
+        let shifted = IndexMap::new(
+            2,
+            vec![
+                IndexExpr::var(0).add(IndexExpr::constant(1)),
+                IndexExpr::var(1),
+            ],
+        );
+        assert!(!shifted.equiv(&b));
+    }
+
+    #[test]
+    fn image_within_checks_segment_inclusion() {
+        // view row v0+4 over v0 in [0,3] lands in rows [4,7] of the pack.
+        let view = IndexMap::new(
+            2,
+            vec![
+                IndexExpr::var(0).add(IndexExpr::constant(4)),
+                IndexExpr::var(1),
+            ],
+        );
+        let bounds = [(0, 3), (0, 15)];
+        assert!(view.image_within(&bounds, &[(4, 7), (0, 15)]));
+        assert!(!view.image_within(&bounds, &[(0, 3), (0, 15)]));
+        assert!(!view.image_within(&bounds, &[(4, 6), (0, 15)]));
     }
 
     #[test]

@@ -374,6 +374,80 @@ fn bench_reduction_fusion(b: &mut Bench) -> Vec<FusionRow> {
     rows
 }
 
+/// The explicit no-fusion baseline (ROADMAP item-5 follow-up): the same
+/// workloads as the reduction-fusion A/B compiled per-TE
+/// (`SouffleOptions::v0`, Ansor-style epilogue codegen only) and through
+/// the full fused pipeline, so the Table 3/5 bins have a fusion-off
+/// reference row.
+struct BaselineRow {
+    model: String,
+    tes_nofuse: usize,
+    tes_full: usize,
+    kernels_nofuse: usize,
+    kernels_full: usize,
+    modeled_bytes_nofuse: u64,
+    modeled_bytes_full: u64,
+    eval_nofuse_mean_ns: f64,
+    eval_full_mean_ns: f64,
+}
+
+fn bench_baselines(b: &mut Bench) -> Vec<BaselineRow> {
+    let rt = Runtime::with_options(RuntimeOptions {
+        threads: Some(1),
+        arena: true,
+        max_parallelism: Some(1),
+        kernel_tier: Some(true),
+        ..RuntimeOptions::default()
+    });
+    let bert_cfg = BertConfig {
+        layers: 2,
+        hidden: 64,
+        heads: 4,
+        seq: 64,
+        ffn: 256,
+    };
+    let workloads = vec![
+        ("bert(bench)".to_string(), build_bert(&bert_cfg)),
+        (
+            "swin(tiny)".to_string(),
+            tiny_program(Model::SwinTransformer),
+        ),
+    ];
+    b.group("baselines");
+    let mut rows = Vec::new();
+    for (name, program) in workloads {
+        let nofuse = Souffle::new(SouffleOptions::v0()).compile(&program);
+        let full = Souffle::new(SouffleOptions::full()).compile(&program);
+        let bindings = random_bindings(&program, 7);
+        let cp_nofuse = compile_program(&nofuse.program);
+        let plan_nofuse = ExecPlan::from_compiled(&cp_nofuse);
+        let cp_full = compile_program(&full.program);
+        let plan_full = ExecPlan::from_compiled(&cp_full);
+        let eval_nofuse_mean_ns = b
+            .run(&format!("eval_1t_nofuse/{name}"), || {
+                rt.eval_with_plan(black_box(&cp_nofuse), &plan_nofuse, &bindings)
+            })
+            .mean_ns;
+        let eval_full_mean_ns = b
+            .run(&format!("eval_1t_full/{name}"), || {
+                rt.eval_with_plan(black_box(&cp_full), &plan_full, &bindings)
+            })
+            .mean_ns;
+        rows.push(BaselineRow {
+            model: name,
+            tes_nofuse: nofuse.program.num_tes(),
+            tes_full: full.program.num_tes(),
+            kernels_nofuse: nofuse.num_kernels(),
+            kernels_full: full.num_kernels(),
+            modeled_bytes_nofuse: program_traffic(&nofuse.program).total(),
+            modeled_bytes_full: program_traffic(&full.program).total(),
+            eval_nofuse_mean_ns,
+            eval_full_mean_ns,
+        });
+    }
+    rows
+}
+
 /// Tracing overhead + trace summary for the JSON report: the same LSTM
 /// pipeline eval with no tracer argument, with a disabled tracer threaded
 /// through, and with a live tracer recording every span.
@@ -469,16 +543,17 @@ fn kernel_counters_json(stats: &souffle_te::KernelStats, indent: &str) -> String
 }
 
 /// Renders every stage timing plus the evaluator comparisons as the
-/// `souffle-bench-pipeline/5` JSON document (hand-rolled writer: the
+/// `souffle-bench-pipeline/6` JSON document (hand-rolled writer: the
 /// workspace is dependency-free by design, so no serde).
 fn render_report(
     timings: &[Timing],
     ev: &EvaluatorSummary,
     models: &[ModelEval],
     fusion: &[FusionRow],
+    baselines: &[BaselineRow],
     tr: &TracingSummary,
 ) -> String {
-    let mut out = String::from("{\n  \"schema\": \"souffle-bench-pipeline/5\",\n  \"stages\": [\n");
+    let mut out = String::from("{\n  \"schema\": \"souffle-bench-pipeline/6\",\n  \"stages\": [\n");
     for (i, t) in timings.iter().enumerate() {
         let sep = if i + 1 == timings.len() { "" } else { "," };
         out.push_str(&format!(
@@ -556,6 +631,23 @@ fn render_report(
             r.eval_off_mean_ns / r.eval_on_mean_ns
         ));
     }
+    out.push_str("  ],\n  \"baselines\": [\n");
+    for (i, r) in baselines.iter().enumerate() {
+        let sep = if i + 1 == baselines.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"model\": \"{}\", \"tes_nofuse\": {}, \"tes_full\": {}, \"kernels_nofuse\": {}, \"kernels_full\": {}, \"modeled_bytes_nofuse\": {}, \"modeled_bytes_full\": {}, \"eval_1t_nofuse_mean_ns\": {:.1}, \"eval_1t_full_mean_ns\": {:.1}, \"speedup_full_vs_nofuse\": {:.2}}}{sep}\n",
+            json_escape(&r.model),
+            r.tes_nofuse,
+            r.tes_full,
+            r.kernels_nofuse,
+            r.kernels_full,
+            r.modeled_bytes_nofuse,
+            r.modeled_bytes_full,
+            r.eval_nofuse_mean_ns,
+            r.eval_full_mean_ns,
+            r.eval_nofuse_mean_ns / r.eval_full_mean_ns
+        ));
+    }
     out.push_str("  ],\n  \"tracing\": {\n");
     out.push_str(&format!(
         "    \"workload\": \"{}\",\n",
@@ -594,10 +686,31 @@ fn write_report(report: &str) -> std::io::Result<()> {
 /// present — and writes it to a scratch path instead of `results/` (smoke
 /// timings are garbage by construction; they must never overwrite real
 /// numbers).
-fn smoke_check(report: &str, ev: &EvaluatorSummary, models: &[ModelEval], fusion: &[FusionRow]) {
+fn smoke_check(
+    report: &str,
+    ev: &EvaluatorSummary,
+    models: &[ModelEval],
+    fusion: &[FusionRow],
+    baselines: &[BaselineRow],
+) {
     assert!(
-        report.contains("\"schema\": \"souffle-bench-pipeline/5\""),
-        "smoke: schema must be souffle-bench-pipeline/5"
+        report.contains("\"schema\": \"souffle-bench-pipeline/6\""),
+        "smoke: schema must be souffle-bench-pipeline/6"
+    );
+    assert_eq!(baselines.len(), 2, "smoke: expected two baseline rows");
+    for r in baselines {
+        assert!(
+            r.kernels_full <= r.kernels_nofuse,
+            "smoke: the fused pipeline must not launch more kernels than the \
+             no-fusion baseline on {}: {} vs {}",
+            r.model,
+            r.kernels_full,
+            r.kernels_nofuse
+        );
+    }
+    assert!(
+        report.contains("\"baselines\"") && report.contains("\"speedup_full_vs_nofuse\""),
+        "smoke: baselines rows missing from report"
     );
     assert!(
         report.contains("\"evaluator_models\""),
@@ -674,6 +787,7 @@ fn main() {
     let ev = bench_evaluators(&mut b);
     let models = bench_model_evaluators(&mut b);
     let fusion = bench_reduction_fusion(&mut b);
+    let baselines = bench_baselines(&mut b);
     let tr = bench_tracing(&mut b);
     println!(
         "\nevaluator speedup on {}: {:.1}x with {} stream(s), {:.1}x with {} stream(s) \
@@ -703,6 +817,18 @@ fn main() {
             m.naive_mean_ns / m.compiled_1t_mean_ns
         );
     }
+    for r in &baselines {
+        println!(
+            "no-fusion baseline on {}: {} TEs / {} kernels vs {} TEs / {} kernels fused, \
+             {:.2}x eval from fusion",
+            r.model,
+            r.tes_nofuse,
+            r.kernels_nofuse,
+            r.tes_full,
+            r.kernels_full,
+            r.eval_nofuse_mean_ns / r.eval_full_mean_ns
+        );
+    }
     for r in &fusion {
         println!(
             "reduction fusion on {}: {} -> {} TEs, {} -> {} kernels, {:.1}% modeled bytes saved, \
@@ -724,9 +850,9 @@ fn main() {
         tr.overhead_disabled() * 100.0,
         tr.overhead_enabled() * 100.0
     );
-    let report = render_report(b.results(), &ev, &models, &fusion, &tr);
+    let report = render_report(b.results(), &ev, &models, &fusion, &baselines, &tr);
     if smoke {
-        smoke_check(&report, &ev, &models, &fusion);
+        smoke_check(&report, &ev, &models, &fusion, &baselines);
     } else if let Err(e) = write_report(&report) {
         eprintln!("could not write results/bench_pipeline.json: {e}");
     }

@@ -409,6 +409,15 @@ impl ServerBuilder {
             .iter()
             .map(|&b| {
                 let bp = batch_program(&base, b as i64);
+                // Translation-validate the batch rewrite before the bucket
+                // variant is ever served (debug default / SOUFFLE_CERTIFY).
+                if souffle_verify::certify_default() {
+                    let (_, d) = souffle_verify::certify_batch(&base, &bp, b as i64);
+                    assert!(
+                        !d.has_errors(),
+                        "model {name:?}: batch-{b} variant failed certification:\n{d}"
+                    );
+                }
                 let cp = compile_program(&bp);
                 let plan = ExecPlan::from_compiled(&cp);
                 Variant {

@@ -2,13 +2,19 @@
 //! at every pipeline stage and report the findings.
 //!
 //! ```sh
-//! souffle-verify [model ...] [--variant V0..V4] [--tiny] [--quiet]
+//! souffle-verify [model ...] [--variant V0..V4] [--tiny] [--quiet] [--no-certify]
 //! ```
 //!
 //! With no model arguments, all six frontend models are checked at paper
 //! scale. The exit code is non-zero iff any model produced an
 //! error-severity diagnostic, which makes this the CI gate for the
 //! verifier: every transformation stage of every model must prove clean.
+//!
+//! Per-stage translation validation (`verify::certify`) is forced on
+//! unless `--no-certify` is given: each transform stage must be *proven*
+//! equivalent to its input, with zero residual obligations, and a batch
+//! certificate is additionally checked on a batch-4 rewrite of every
+//! model. Certificates and certify timing print per model.
 
 use souffle::{Souffle, SouffleOptions};
 use souffle_frontend::{build_model, Model, ModelConfig};
@@ -47,6 +53,7 @@ fn main() -> ExitCode {
     let mut options = SouffleOptions::full();
     let mut config = ModelConfig::Paper;
     let mut quiet = false;
+    let mut certify = true;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -60,6 +67,7 @@ fn main() -> ExitCode {
             }
             "--tiny" => config = ModelConfig::Tiny,
             "--quiet" => quiet = true,
+            "--no-certify" => certify = false,
             arg => {
                 let Some(m) = parse_model(arg) else {
                     eprintln!("unknown model: {arg}");
@@ -74,6 +82,7 @@ fn main() -> ExitCode {
         models = Model::ALL.to_vec();
     }
     options.verify = true;
+    options.certify = Some(certify);
     let souffle = Souffle::new(options);
 
     let mut failed = false;
@@ -82,14 +91,42 @@ fn main() -> ExitCode {
         match souffle.compile_checked(&program) {
             Ok(compiled) => {
                 let w = compiled.diagnostics.num_warnings();
+                let residual: usize = compiled.certificates.iter().map(|c| c.residual).sum();
                 println!(
-                    "{model}: ok — {} TEs, {} kernels, {w} warning(s), verify {:.1?}",
+                    "{model}: ok — {} TEs, {} kernels, {w} warning(s), verify {:.1?}, \
+                     certify {:.1?} ({} certificates, {residual} residual)",
                     compiled.program.num_tes(),
                     compiled.num_kernels(),
                     compiled.stats.verify_time,
+                    compiled.stats.certify_time,
+                    compiled.certificates.len(),
                 );
-                if !quiet && w > 0 {
-                    print!("{}", souffle.report(&compiled));
+                if !quiet {
+                    for c in &compiled.certificates {
+                        println!("  {c}");
+                    }
+                    if w > 0 {
+                        print!("{}", souffle.report(&compiled));
+                    }
+                }
+                if certify && residual > 0 {
+                    // The CI gate demands *proofs*: an unproven obligation
+                    // fails the run even though it is only warning-level.
+                    failed = true;
+                    println!("{model}: FAILED — {residual} residual certify obligation(s)");
+                }
+                // The batching rewrite is outside the compile pipeline
+                // (souffle-serve applies it per bucket); certify it here
+                // on a representative batch so the stage is gated too.
+                if certify {
+                    let batched = souffle_transform::batch_program(&program, 4);
+                    let (bcert, bdiags) = souffle_verify::certify_batch(&program, &batched, 4);
+                    if bdiags.has_errors() {
+                        failed = true;
+                        println!("{model}: batch certification FAILED\n{bdiags}");
+                    } else if !quiet {
+                        println!("  {bcert}");
+                    }
                 }
             }
             Err(diags) => {

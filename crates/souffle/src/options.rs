@@ -65,6 +65,16 @@ pub struct SouffleOptions {
     /// [`crate::Compiled::diagnostics`]. Defaults to on in debug builds
     /// (and thus under `cargo test`), off in release builds.
     pub verify: bool,
+    /// Per-stage translation validation (`souffle_verify::certify`): after
+    /// every transform stage the certifier statically proves the rewritten
+    /// program equivalent to its input (canonical-form comparison of
+    /// unfolded tensor definitions, recorded-rewrite replay, merged-
+    /// schedule dataflow validation) and attaches a
+    /// [`souffle_verify::Certificate`] per stage to the compile result.
+    /// `Some(true)`/`Some(false)` force it; `None` resolves via
+    /// `SOUFFLE_CERTIFY`, else on in debug builds. Only effective when
+    /// `verify` is on (certification is part of the verification tier).
+    pub certify: Option<bool>,
     /// The target device.
     pub spec: GpuSpec,
 }
@@ -85,6 +95,7 @@ impl SouffleOptions {
             kernel_tier: None,
             fast_math: false,
             verify: cfg!(debug_assertions),
+            certify: None,
             spec: GpuSpec::a100(),
         }
     }
@@ -134,6 +145,17 @@ impl SouffleOptions {
         self.reduction_fusion
             .or_else(souffle_transform::env_reduction_fusion)
             .unwrap_or(true)
+    }
+
+    /// Whether the translation-validation stage runs: requires `verify`,
+    /// then the explicit option if set, else the `SOUFFLE_CERTIFY`
+    /// environment override, else on in debug builds.
+    pub fn resolve_certify(&self) -> bool {
+        self.verify
+            && self
+                .certify
+                .or_else(souffle_verify::env_certify)
+                .unwrap_or(cfg!(debug_assertions))
     }
 
     /// All ablation variants in order, with their Table 4 labels.

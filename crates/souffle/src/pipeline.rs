@@ -7,6 +7,7 @@ use souffle_gpusim::{simulate, ModelProfile, SimConfig};
 use souffle_kernel::passes::{pipeline_pass, tensor_reuse_pass, PipelineStats, ReuseStats};
 use souffle_kernel::{lower_partition, Kernel, LowerOptions};
 use souffle_te::interp::{eval_program, EvalError};
+use souffle_te::RewriteLog;
 use souffle_te::{
     compile_program, CompiledProgram, Evaluator, ExecPlan, Runtime, RuntimeOptions, TeProgram,
     TensorId,
@@ -14,10 +15,10 @@ use souffle_te::{
 use souffle_tensor::Tensor;
 use souffle_trace::{SpanId, Tracer};
 use souffle_transform::{
-    horizontal_fuse_program, reduction_fuse_program, vertical_fuse_program, FusionStats,
-    TransformStats,
+    horizontal_fuse_program_logged, reduction_fuse_program_logged, vertical_fuse_program_logged,
+    FusionStats, TransformStats,
 };
-use souffle_verify::Diagnostics;
+use souffle_verify::{Certificate, Diagnostics};
 use std::collections::HashMap;
 use std::collections::HashSet;
 use std::sync::OnceLock;
@@ -45,12 +46,19 @@ pub struct CompileStats {
     /// Wall time of the static verifier across all pipeline stages
     /// (zero when [`crate::SouffleOptions::verify`] is off).
     pub verify_time: Duration,
+    /// Wall time of per-stage translation validation (zero when
+    /// certification is off — see [`crate::SouffleOptions::certify`]).
+    pub certify_time: Duration,
 }
 
 impl CompileStats {
     /// Total compilation wall time.
     pub fn total_time(&self) -> Duration {
-        self.analysis_time + self.transform_time + self.codegen_time + self.verify_time
+        self.analysis_time
+            + self.transform_time
+            + self.codegen_time
+            + self.verify_time
+            + self.certify_time
     }
 }
 
@@ -69,6 +77,10 @@ pub struct Compiled {
     /// stages (empty when verification is off). Errors never land here —
     /// they abort compilation.
     pub diagnostics: Diagnostics,
+    /// Per-stage translation-validation certificates, in pipeline order
+    /// (empty when certification is off). Each records what the certifier
+    /// proved about that stage's rewrite.
+    pub certificates: Vec<Certificate>,
 }
 
 impl Compiled {
@@ -95,6 +107,15 @@ const VERIFY_SPANS: [&str; 6] = [
     "verify:kernel-lowering",
 ];
 
+/// Translation-validation spans, one per certified stage (see
+/// DESIGN.md "Translation validation").
+const CERTIFY_SPANS: [&str; 4] = [
+    "verify:certify:horizontal",
+    "verify:certify:vertical",
+    "verify:certify:reduction-fusion",
+    "verify:certify:schedule-merge",
+];
+
 /// Pre-compile snapshot of per-span-name totals on a (possibly shared)
 /// tracer, so one compile's stage durations can be extracted by delta even
 /// when the same tracer has recorded earlier compiles or evals.
@@ -114,7 +135,11 @@ impl StageBaseline {
 
     fn capture(tracer: &Tracer) -> StageBaseline {
         let mut base = HashMap::new();
-        for name in Self::STAT_SPANS.into_iter().chain(VERIFY_SPANS) {
+        for name in Self::STAT_SPANS
+            .into_iter()
+            .chain(VERIFY_SPANS)
+            .chain(CERTIFY_SPANS)
+        {
             base.insert(name, tracer.span_duration_ns(name));
         }
         StageBaseline { base }
@@ -260,6 +285,32 @@ impl Souffle {
         }
     }
 
+    /// Runs one translation-validation stage under a
+    /// `verify:certify:<stage>` span: proves the stage's rewrite
+    /// semantics-preserving, records the resulting [`Certificate`], and
+    /// fails the compile on any unproven-equivalence error. Callers gate
+    /// on [`crate::SouffleOptions::resolve_certify`].
+    fn certify_stage(
+        &self,
+        tracer: &Tracer,
+        parent: Option<SpanId>,
+        diags: &mut Diagnostics,
+        certs: &mut Vec<Certificate>,
+        stage: &str,
+        run: impl FnOnce() -> (Certificate, Diagnostics),
+    ) -> Result<(), Diagnostics> {
+        let _span = tracer.span_under(&format!("verify:certify:{stage}"), parent);
+        let (cert, found) = run();
+        let fail = found.has_errors();
+        diags.merge(found);
+        certs.push(cert);
+        if fail {
+            Err(std::mem::take(diags))
+        } else {
+            Ok(())
+        }
+    }
+
     /// Runs the full pipeline on a TE program, panicking if the static
     /// verifier rejects any stage's output. Use
     /// [`Souffle::compile_checked`] to receive the diagnostics instead.
@@ -297,6 +348,8 @@ impl Souffle {
 
         let mut stats = CompileStats::default();
         let mut diags = Diagnostics::new();
+        let mut certs: Vec<Certificate> = Vec::new();
+        let certify = self.options.resolve_certify();
         let spec = &self.options.spec;
 
         self.verify_stage(tracer, root, &mut diags, "frontend", || {
@@ -306,32 +359,48 @@ impl Souffle {
         // --- Semantic-preserving TE transformations (§6.1, §6.2) ---
         let mut transformed = program.clone();
         if self.options.horizontal {
+            let pre = certify.then(|| transformed.clone());
+            let mut log = RewriteLog::new();
             let (p, s) = {
                 let _span = tracer.span_under("transform:horizontal", root);
-                horizontal_fuse_program(&transformed)
+                horizontal_fuse_program_logged(&transformed, &mut log)
             };
             transformed = p;
             stats.transform.horizontal_groups = s.horizontal_groups;
             self.verify_stage(tracer, root, &mut diags, "horizontal", || {
                 souffle_verify::verify_program_stage(&transformed, "horizontal")
             })?;
+            if let Some(pre) = pre {
+                self.certify_stage(tracer, root, &mut diags, &mut certs, "horizontal", || {
+                    souffle_verify::certify_transform(&pre, &transformed, "horizontal", &log)
+                })?;
+            }
         }
         if self.options.vertical {
+            let pre = certify.then(|| transformed.clone());
+            let mut log = RewriteLog::new();
             let (p, s) = {
                 let _span = tracer.span_under("transform:vertical", root);
-                vertical_fuse_program(&transformed)
+                vertical_fuse_program_logged(&transformed, &mut log)
             };
             transformed = p;
             stats.transform.vertical_fused = s.vertical_fused;
             self.verify_stage(tracer, root, &mut diags, "vertical", || {
                 souffle_verify::verify_program_stage(&transformed, "vertical")
             })?;
+            if let Some(pre) = pre {
+                self.certify_stage(tracer, root, &mut diags, &mut certs, "vertical", || {
+                    souffle_verify::certify_transform(&pre, &transformed, "vertical", &log)
+                })?;
+            }
         }
         // --- Data-movement-aware reduction fusion (fold inlining) ---
         if self.options.vertical && self.options.resolve_reduction_fusion() {
+            let pre = certify.then(|| transformed.clone());
+            let mut log = RewriteLog::new();
             let (p, s) = {
                 let _span = tracer.span_under("transform:reduction", root);
-                reduction_fuse_program(&transformed)
+                reduction_fuse_program_logged(&transformed, &mut log)
             };
             transformed = p;
             stats.fusion = s;
@@ -342,6 +411,23 @@ impl Souffle {
             self.verify_stage(tracer, root, &mut diags, "reduction-fusion", || {
                 souffle_verify::verify_program_stage(&transformed, "reduction-fusion")
             })?;
+            if let Some(pre) = pre {
+                self.certify_stage(
+                    tracer,
+                    root,
+                    &mut diags,
+                    &mut certs,
+                    "reduction-fusion",
+                    || {
+                        souffle_verify::certify_transform(
+                            &pre,
+                            &transformed,
+                            "reduction-fusion",
+                            &log,
+                        )
+                    },
+                )?;
+            }
         }
         stats.transform.tes_before = program.num_tes();
         stats.transform.tes_after = transformed.num_tes();
@@ -371,6 +457,19 @@ impl Souffle {
         self.verify_stage(tracer, root, &mut diags, "schedule-merge", || {
             souffle_verify::verify_kernels_stage(&transformed, &kernels, "schedule-merge")
         })?;
+        // Certify the merged schedules on the raw lowered streams — the
+        // subprogram-opt passes below rewrite the instruction lists
+        // (reuse elides loads) and are bytes-level, not dataflow-level.
+        if certify {
+            self.certify_stage(
+                tracer,
+                root,
+                &mut diags,
+                &mut certs,
+                "schedule-merge",
+                || souffle_verify::certify_schedule(&transformed, &kernels),
+            )?;
+        }
         if self.options.subprogram_opts {
             // Each block caches its tile of reused buffers; capacity
             // defaults to the device-wide shared memory.
@@ -405,6 +504,7 @@ impl Souffle {
         stats.analysis_time = baseline.delta(tracer, &["analysis"]);
         stats.codegen_time = baseline.delta(tracer, &["lower", "subprogram-opt"]);
         stats.verify_time = baseline.delta(tracer, &VERIFY_SPANS);
+        stats.certify_time = baseline.delta(tracer, &CERTIFY_SPANS);
 
         Ok(Compiled {
             program: transformed,
@@ -412,6 +512,7 @@ impl Souffle {
             kernels,
             stats,
             diagnostics: diags,
+            certificates: certs,
         })
     }
 
@@ -454,13 +555,18 @@ impl Souffle {
         );
         let _ = writeln!(
             out,
-            "  transform {:?}  analysis {:?}  codegen {:?}  verify {:?}  (total {:?})",
+            "  transform {:?}  analysis {:?}  codegen {:?}  verify {:?}  certify {:?}  \
+             (total {:?})",
             s.transform_time,
             s.analysis_time,
             s.codegen_time,
             s.verify_time,
+            s.certify_time,
             s.total_time()
         );
+        for c in &compiled.certificates {
+            let _ = writeln!(out, "  {c}");
+        }
         let mut seen = HashSet::new();
         for d in compiled.diagnostics.warnings() {
             if seen.insert((d.code, d.loc.clone(), d.message.clone())) {

@@ -49,6 +49,7 @@
 
 pub mod arena;
 pub mod builders;
+pub mod canon;
 pub mod compile;
 mod expr;
 pub mod grad;
@@ -56,6 +57,7 @@ pub mod interp;
 pub mod kernels;
 pub mod pool;
 mod program;
+pub mod rewrite_log;
 pub mod runtime;
 pub mod source;
 mod te;
@@ -67,6 +69,7 @@ pub use expr::{BinaryOp, CmpOp, Cond, ScalarExpr, UnaryOp};
 pub use kernels::{FallbackReason, KernelStats, KERNEL_TIER_ENV};
 pub use pool::{PoolStats, ThreadPool};
 pub use program::{TeProgram, TensorId, TensorInfo, TensorKind, ValidateError};
+pub use rewrite_log::{Rewrite, RewriteLog};
 pub use runtime::{ExecPlan, Runtime, RuntimeOptions, RuntimeStats};
 pub use te::{ReduceOp, TeId, TensorExpr};
 pub use vm::{thread_count, THREADS_ENV};

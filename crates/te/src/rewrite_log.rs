@@ -1,0 +1,131 @@
+//! Rewrite records emitted by the transform passes and consumed by the
+//! translation-validation pass (`souffle-verify`'s certifier).
+//!
+//! Every structural rewrite a transform performs — inlining a producer,
+//! fusing a horizontal group behind a concat tensor, turning a standalone
+//! reduction into an inline fold, batching — is logged here in terms of
+//! *tensor ids*, which are stable across the program rebuilds the
+//! transforms perform (TE ids are not: dead TEs are dropped and the rest
+//! renumbered). The certifier replays each record against the before/after
+//! programs: the log tells it *which* equivalences were claimed, the
+//! canonical-form comparison proves they hold.
+
+use crate::program::TensorId;
+use crate::te::ReduceOp;
+use std::fmt;
+
+/// One structural rewrite performed by a transform stage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rewrite {
+    /// Horizontal fusion packed `members` (their output tensors) into a
+    /// new `concat` tensor along axis 0; `cuts` are the cumulative row
+    /// extents (so member `i` occupies rows `cuts[i-1]..cuts[i]`, with an
+    /// implicit leading 0). Each member's output is re-derived as a view
+    /// of `concat`.
+    HorizontalGroup {
+        /// Output tensors of the fused member TEs, in pack order.
+        members: Vec<TensorId>,
+        /// The freshly created packed tensor.
+        concat: TensorId,
+        /// Cumulative axis-0 extents; `cuts.last()` is the packed extent.
+        cuts: Vec<i64>,
+    },
+    /// Vertical fusion inlined the producer of `producer_output` into the
+    /// TE producing `consumer_output` (the producer TE may survive for
+    /// other consumers or be removed once dead).
+    Inlined {
+        /// Output tensor of the inlined producer.
+        producer_output: TensorId,
+        /// Output tensor of the consumer the body was substituted into.
+        consumer_output: TensorId,
+    },
+    /// Reduction fusion replaced reads of the standalone reduction
+    /// producing `reduction_output` with an inline fold of `extent`
+    /// iterations combining with `op` inside the TE producing
+    /// `consumer_output`.
+    ReductionFused {
+        /// Output tensor of the standalone reduction TE.
+        reduction_output: TensorId,
+        /// Output tensor of the consumer that received the inline fold.
+        consumer_output: TensorId,
+        /// Iteration count of the fold (the reduction's axis extent).
+        extent: i64,
+        /// The reduction combinator carried into the fold.
+        op: ReduceOp,
+    },
+    /// The whole program was rewritten for batch size `batch` (leading
+    /// batch axis on every non-weight tensor).
+    Batched {
+        /// The batch extent prepended to non-weight shapes.
+        batch: i64,
+    },
+}
+
+/// The ordered rewrite records of one transform stage.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RewriteLog {
+    /// Rewrites in application order.
+    pub entries: Vec<Rewrite>,
+}
+
+impl RewriteLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one rewrite.
+    pub fn push(&mut self, r: Rewrite) {
+        self.entries.push(r);
+    }
+
+    /// Number of recorded rewrites.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the stage performed no rewrites.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Display for RewriteLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.entries {
+            match e {
+                Rewrite::HorizontalGroup {
+                    members,
+                    concat,
+                    cuts,
+                } => writeln!(
+                    f,
+                    "horizontal: pack {:?} -> t{} cuts {:?}",
+                    members.iter().map(|t| t.0).collect::<Vec<_>>(),
+                    concat.0,
+                    cuts
+                )?,
+                Rewrite::Inlined {
+                    producer_output,
+                    consumer_output,
+                } => writeln!(
+                    f,
+                    "vertical: inline t{} into t{}",
+                    producer_output.0, consumer_output.0
+                )?,
+                Rewrite::ReductionFused {
+                    reduction_output,
+                    consumer_output,
+                    extent,
+                    op,
+                } => writeln!(
+                    f,
+                    "reduction: fold t{} (extent {extent}, {op:?}) into t{}",
+                    reduction_output.0, consumer_output.0
+                )?,
+                Rewrite::Batched { batch } => writeln!(f, "batch: x{batch}")?,
+            }
+        }
+        Ok(())
+    }
+}

@@ -10,7 +10,7 @@
 
 use souffle_affine::IndexExpr;
 use souffle_kernel::{Instr, Kernel};
-use souffle_te::{ScalarExpr, TeProgram, TensorExpr, TensorId};
+use souffle_te::{Cond, ScalarExpr, TeProgram, TensorExpr, TensorId};
 use souffle_verify::Code;
 
 /// One class of injected defect.
@@ -25,11 +25,30 @@ pub enum Fault {
     /// Removes the first grid-wide sync from a lowered kernel, leaving a
     /// cross-stage producer→consumer pair unordered.
     DropGridSync,
+    /// Swaps two distinct index expressions inside one tensor access — a
+    /// transposed read the certifier must flag as a diverging access map.
+    SwapAccessMap,
+    /// Re-binds the first fold to a fresh variable while its body still
+    /// references the old one — the classic "forgot to rename the binder"
+    /// miscompile of a fusion rewrite.
+    DropFoldRename,
+    /// Widens the first `Select` guard by one row, leaking a neighboring
+    /// segment's values into a fused domain.
+    WidenFusedDomain,
 }
 
 impl Fault {
     /// Every program-level fault (injectable via [`inject_program_fault`]).
     pub const PROGRAM: [Fault; 2] = [Fault::OobOffset, Fault::SwapDependentTes];
+
+    /// Miscompile injections aimed at the translation validator: each is
+    /// applied to the *after* program of a transform pair, and
+    /// `certify_transform` must reject the pair with the mapped code.
+    pub const CERTIFY: [Fault; 3] = [
+        Fault::SwapAccessMap,
+        Fault::DropFoldRename,
+        Fault::WidenFusedDomain,
+    ];
 
     /// The diagnostic code the verifier must report for this fault.
     pub fn expected_code(self) -> Code {
@@ -37,6 +56,9 @@ impl Fault {
             Fault::OobOffset => Code::OobAccess,
             Fault::SwapDependentTes => Code::UseBeforeDef,
             Fault::DropGridSync => Code::MissingGridSync,
+            Fault::SwapAccessMap => Code::CertifyAccessMap,
+            Fault::DropFoldRename => Code::CertifyOdometer,
+            Fault::WidenFusedDomain => Code::CertifyDomain,
         }
     }
 }
@@ -62,6 +84,164 @@ pub fn inject_program_fault(program: &TeProgram, fault: Fault) -> Option<TeProgr
         Fault::OobOffset => inject_oob_offset(program),
         Fault::SwapDependentTes => swap_dependent_tes(program),
         Fault::DropGridSync => None, // kernel-level: use [`drop_grid_sync`]
+        Fault::SwapAccessMap => {
+            mutate_first_body(program, &mut |b, done| swap_first_access(b, done))
+        }
+        Fault::DropFoldRename => mutate_first_body(program, &mut |b, done| {
+            let fresh = b.max_var().map_or(0, |m| m + 1);
+            drop_first_fold_rename(b, fresh, done)
+        }),
+        Fault::WidenFusedDomain => {
+            mutate_first_body(program, &mut |b, done| widen_first_select(b, done))
+        }
+    }
+}
+
+/// Applies `f` to each TE body in turn until it reports a mutation site,
+/// then rebuilds the program with that single body replaced.
+fn mutate_first_body(
+    program: &TeProgram,
+    f: &mut dyn FnMut(&ScalarExpr, &mut bool) -> ScalarExpr,
+) -> Option<TeProgram> {
+    let mut tes: Vec<TensorExpr> = program.tes().to_vec();
+    for te in &mut tes {
+        let mut done = false;
+        let body = f(&te.body, &mut done);
+        if done {
+            te.body = body;
+            return Some(rebuild(program, tes));
+        }
+    }
+    None
+}
+
+/// Swaps the first pair of distinct index expressions in the first access
+/// that has one.
+fn swap_first_access(body: &ScalarExpr, done: &mut bool) -> ScalarExpr {
+    if *done {
+        return body.clone();
+    }
+    match body {
+        ScalarExpr::Input { operand, indices } => {
+            for i in 0..indices.len() {
+                for j in i + 1..indices.len() {
+                    if indices[i] != indices[j] {
+                        *done = true;
+                        let mut idx = indices.clone();
+                        idx.swap(i, j);
+                        return ScalarExpr::Input {
+                            operand: *operand,
+                            indices: idx,
+                        };
+                    }
+                }
+            }
+            body.clone()
+        }
+        _ => map_children(body, &mut |c| swap_first_access(c, done)),
+    }
+}
+
+/// Re-binds the first fold to `fresh`, leaving its body referencing the
+/// old binder.
+fn drop_first_fold_rename(body: &ScalarExpr, fresh: usize, done: &mut bool) -> ScalarExpr {
+    if *done {
+        return body.clone();
+    }
+    match body {
+        ScalarExpr::Reduce {
+            op,
+            var,
+            extent,
+            body: inner,
+        } if uses_var(inner, *var) => {
+            *done = true;
+            ScalarExpr::Reduce {
+                op: *op,
+                var: fresh,
+                extent: *extent,
+                body: inner.clone(),
+            }
+        }
+        _ => map_children(body, &mut |c| drop_first_fold_rename(c, fresh, done)),
+    }
+}
+
+/// Widens the first comparison guard by one.
+fn widen_first_select(body: &ScalarExpr, done: &mut bool) -> ScalarExpr {
+    if *done {
+        return body.clone();
+    }
+    match body {
+        ScalarExpr::Select {
+            cond: Cond::Cmp(op, lhs, rhs),
+            on_true,
+            on_false,
+        } => {
+            *done = true;
+            ScalarExpr::Select {
+                cond: Cond::Cmp(*op, lhs.clone(), rhs.clone().add(IndexExpr::constant(1))),
+                on_true: on_true.clone(),
+                on_false: on_false.clone(),
+            }
+        }
+        _ => map_children(body, &mut |c| widen_first_select(c, done)),
+    }
+}
+
+fn uses_var(body: &ScalarExpr, var: usize) -> bool {
+    match body {
+        ScalarExpr::Const(_) => false,
+        ScalarExpr::IndexValue(ix) => ix_uses(ix, var),
+        ScalarExpr::Input { indices, .. } => indices.iter().any(|ix| ix_uses(ix, var)),
+        ScalarExpr::Unary(_, a) => uses_var(a, var),
+        ScalarExpr::Binary(_, a, b) => uses_var(a, var) || uses_var(b, var),
+        ScalarExpr::Select {
+            cond,
+            on_true,
+            on_false,
+        } => {
+            let mut c = false;
+            cond.for_each_var(&mut |v| c |= v == var);
+            c || uses_var(on_true, var) || uses_var(on_false, var)
+        }
+        ScalarExpr::Reduce { var: v, body, .. } => *v != var && uses_var(body, var),
+    }
+}
+
+fn ix_uses(ix: &IndexExpr, var: usize) -> bool {
+    let mut found = false;
+    ix.for_each_var(&mut |v| found |= v == var);
+    found
+}
+
+/// Rebuilds one level of `body` with `f` applied to every child
+/// expression (conditions untouched).
+fn map_children(body: &ScalarExpr, f: &mut dyn FnMut(&ScalarExpr) -> ScalarExpr) -> ScalarExpr {
+    match body {
+        ScalarExpr::Const(_) | ScalarExpr::IndexValue(_) | ScalarExpr::Input { .. } => body.clone(),
+        ScalarExpr::Unary(op, a) => ScalarExpr::Unary(*op, Box::new(f(a))),
+        ScalarExpr::Binary(op, a, b) => ScalarExpr::Binary(*op, Box::new(f(a)), Box::new(f(b))),
+        ScalarExpr::Select {
+            cond,
+            on_true,
+            on_false,
+        } => ScalarExpr::Select {
+            cond: cond.clone(),
+            on_true: Box::new(f(on_true)),
+            on_false: Box::new(f(on_false)),
+        },
+        ScalarExpr::Reduce {
+            op,
+            var,
+            extent,
+            body,
+        } => ScalarExpr::Reduce {
+            op: *op,
+            var: *var,
+            extent: *extent,
+            body: Box::new(f(body)),
+        },
     }
 }
 

@@ -30,7 +30,7 @@
 //! six models and every bucket.
 
 use souffle_affine::IndexExpr;
-use souffle_te::{ScalarExpr, TeProgram, TensorExpr, TensorId, TensorKind};
+use souffle_te::{Rewrite, RewriteLog, ScalarExpr, TeProgram, TensorExpr, TensorId, TensorKind};
 use souffle_tensor::{Shape, Tensor};
 use std::collections::HashMap;
 
@@ -45,7 +45,15 @@ use std::collections::HashMap;
 /// Panics if `batch < 1`. Expects a validated program (the rewrite of an
 /// invalid body may panic on out-of-range variables).
 pub fn batch_program(program: &TeProgram, batch: i64) -> TeProgram {
+    let mut log = RewriteLog::new();
+    batch_program_logged(program, batch, &mut log)
+}
+
+/// Like [`batch_program`], additionally recording the batch rewrite in
+/// `log` for the translation-validation pass.
+pub fn batch_program_logged(program: &TeProgram, batch: i64, log: &mut RewriteLog) -> TeProgram {
     assert!(batch >= 1, "batch size must be >= 1, got {batch}");
+    log.push(Rewrite::Batched { batch });
     let mut out = TeProgram::new();
     for t in program.tensors() {
         let shape = if t.kind == TensorKind::Weight {

@@ -4,7 +4,8 @@ use crate::rewrite::{dedup_inputs, rebuild_program, TransformStats};
 use souffle_affine::IndexExpr;
 use souffle_analysis::TeGraph;
 use souffle_te::{
-    CmpOp, Cond, ReduceOp, ScalarExpr, TeId, TeProgram, TensorExpr, TensorId, TensorKind,
+    CmpOp, Cond, ReduceOp, Rewrite, RewriteLog, ScalarExpr, TeId, TeProgram, TensorExpr, TensorId,
+    TensorKind,
 };
 use souffle_tensor::Shape;
 use std::collections::HashMap;
@@ -101,6 +102,7 @@ fn fuse_group(
     extra_tensors: &mut Vec<(String, Shape, souffle_tensor::DType)>,
     next_tensor_id: &mut usize,
     group: &[TeId],
+    log: &mut RewriteLog,
 ) {
     let members: Vec<TensorExpr> = group.iter().map(|&id| program.te(id).clone()).collect();
     let rank = program.output_shape(group[0]).rank();
@@ -167,6 +169,11 @@ fn fuse_group(
 
     // Replace members with views of the fused output.
     let member_outputs: Vec<TensorId> = members.iter().map(|m| m.output).collect();
+    log.push(Rewrite::HorizontalGroup {
+        members: member_outputs.clone(),
+        concat: concat_tensor,
+        cuts: cuts.clone(),
+    });
     tes.retain(|te| !member_outputs.contains(&te.output));
     tes.push(fused);
     let mut start = 0i64;
@@ -189,6 +196,16 @@ fn fuse_group(
 /// Applies horizontal transformation to every eligible group in the
 /// program. Returns the rewritten program and statistics.
 pub fn horizontal_fuse_program(program: &TeProgram) -> (TeProgram, TransformStats) {
+    let mut log = RewriteLog::new();
+    horizontal_fuse_program_logged(program, &mut log)
+}
+
+/// Like [`horizontal_fuse_program`], additionally recording every fused
+/// group in `log` for the translation-validation pass.
+pub fn horizontal_fuse_program_logged(
+    program: &TeProgram,
+    log: &mut RewriteLog,
+) -> (TeProgram, TransformStats) {
     let graph = TeGraph::build(program);
     let groups = find_horizontal_groups(program, &graph);
     if groups.is_empty() {
@@ -205,7 +222,14 @@ pub fn horizontal_fuse_program(program: &TeProgram) -> (TeProgram, TransformStat
     let mut extra: Vec<(String, Shape, souffle_tensor::DType)> = Vec::new();
     let mut next_tensor_id = program.num_tensors();
     for group in &groups {
-        fuse_group(program, &mut tes, &mut extra, &mut next_tensor_id, group);
+        fuse_group(
+            program,
+            &mut tes,
+            &mut extra,
+            &mut next_tensor_id,
+            group,
+            log,
+        );
     }
     // Rebuild over an extended tensor table.
     let mut base = program.clone();

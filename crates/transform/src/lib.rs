@@ -37,14 +37,17 @@ pub mod vertical;
 
 mod rewrite;
 
-pub use batch::{batch_bindings, batch_program, split_batch, stack_tensors};
-pub use horizontal::{find_horizontal_groups, horizontal_fuse_program};
+pub use batch::{batch_bindings, batch_program, batch_program_logged, split_batch, stack_tensors};
+pub use horizontal::{
+    find_horizontal_groups, horizontal_fuse_program, horizontal_fuse_program_logged,
+};
 pub use reduction::{
-    env_reduction_fusion, reduction_fuse_program, FusionStats, REDUCTION_FUSION_ENV,
+    env_reduction_fusion, reduction_fuse_program, reduction_fuse_program_logged, FusionStats,
+    REDUCTION_FUSION_ENV,
 };
 pub use rewrite::TransformStats;
 pub use traffic::{program_traffic, te_traffic, Traffic};
-pub use vertical::vertical_fuse_program;
+pub use vertical::{vertical_fuse_program, vertical_fuse_program_logged};
 
 use souffle_te::TeProgram;
 

@@ -65,7 +65,7 @@
 use crate::rewrite::{compact_inputs, dedup_inputs, rebuild_program};
 use crate::traffic::te_traffic;
 use souffle_affine::IndexExpr;
-use souffle_te::{ScalarExpr, TeProgram, TensorExpr, TensorId, TensorKind};
+use souffle_te::{Rewrite, RewriteLog, ScalarExpr, TeProgram, TensorExpr, TensorId, TensorKind};
 
 /// Environment variable overriding the pipeline's reduction-fusion stage:
 /// `on`/`1`/`true` forces it, `off`/`0`/`false` disables it. Unset (or
@@ -121,6 +121,16 @@ impl FusionStats {
 /// bytes-moved model approves. Returns the rewritten program and the
 /// fusion counters.
 pub fn reduction_fuse_program(program: &TeProgram) -> (TeProgram, FusionStats) {
+    let mut log = RewriteLog::new();
+    reduction_fuse_program_logged(program, &mut log)
+}
+
+/// Like [`reduction_fuse_program`], additionally recording every committed
+/// fold inlining in `log` for the translation-validation pass.
+pub fn reduction_fuse_program_logged(
+    program: &TeProgram,
+    log: &mut RewriteLog,
+) -> (TeProgram, FusionStats) {
     let mut tes: Vec<TensorExpr> = program.tes().to_vec();
     let mut stats = FusionStats {
         tes_before: tes.len(),
@@ -173,6 +183,12 @@ pub fn reduction_fuse_program(program: &TeProgram) -> (TeProgram, FusionStats) {
         stats.bytes_saved += before.total() - after_total;
         stats.fused += 1;
         for (c, fused) in rewritten {
+            log.push(Rewrite::ReductionFused {
+                reduction_output: red_out,
+                consumer_output: fused.output,
+                extent: reduction.reduce[0],
+                op: reduction.reduce_op.expect("validated reduction"),
+            });
             tes[c] = fused;
         }
         tes.remove(ri);

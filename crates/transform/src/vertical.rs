@@ -1,7 +1,7 @@
 //! Vertical transformation of one-relies-on-one chains (§6.2).
 
 use crate::rewrite::{compact_inputs, dedup_inputs, is_pure_view, rebuild_program, TransformStats};
-use souffle_te::{TeProgram, TensorExpr, TensorId, TensorKind};
+use souffle_te::{Rewrite, RewriteLog, TeProgram, TensorExpr, TensorId, TensorKind};
 use std::collections::HashMap;
 
 /// Collapses one-relies-on-one TE chains by composing index mapping
@@ -21,6 +21,16 @@ use std::collections::HashMap;
 ///
 /// Producers whose outputs are program outputs are kept.
 pub fn vertical_fuse_program(program: &TeProgram) -> (TeProgram, TransformStats) {
+    let mut log = RewriteLog::new();
+    vertical_fuse_program_logged(program, &mut log)
+}
+
+/// Like [`vertical_fuse_program`], additionally recording every inlining
+/// in `log` for the translation-validation pass.
+pub fn vertical_fuse_program_logged(
+    program: &TeProgram,
+    log: &mut RewriteLog,
+) -> (TeProgram, TransformStats) {
     let mut tes: Vec<TensorExpr> = program.tes().to_vec();
     let tes_before = tes.len();
     let mut fused = 0usize;
@@ -80,6 +90,10 @@ pub fn vertical_fuse_program(program: &TeProgram) -> (TeProgram, TransformStats)
                 // Remap the producer's operand slots past the consumer's,
                 // then inline the producer body at the access's indices.
                 let producer = tes[pi].clone();
+                log.push(Rewrite::Inlined {
+                    producer_output: producer.output,
+                    consumer_output: tes[ci].output,
+                });
                 let consumer = &mut tes[ci];
                 let base = consumer.inputs.len();
                 let shifted_body = producer.body.remap_operands(&|o| o + base);

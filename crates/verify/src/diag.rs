@@ -30,7 +30,8 @@ impl fmt::Display for Severity {
 ///
 /// The numbering is part of the tool's interface (tests and CI match on
 /// it): `SV0xx` = TE-program structure and bounds, `SV1xx` = merged-kernel
-/// safety, `SV2xx` = lints.
+/// safety, `SV20x` = lints, `SV21x` = translation validation (the
+/// `verify::certify` pass; mismatch codes are errors, residuals warn).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Code {
     /// SV001: a TE reads a tensor defined later in the program.
@@ -68,12 +69,37 @@ pub enum Code {
     UnusedInput,
     /// SV203: two tensors share a name (shadowing in reports and traces).
     DuplicateName,
+    /// SV204: a `Select` guard is decidable from the variable bounds alone
+    /// (a transform left a constant-foldable predicate behind).
+    ConstGuard,
+    /// SV205: a fold binder never appears in the fold body (the reduction
+    /// sums a loop-invariant value; a transform dropped a binder rename).
+    DeadFoldBinder,
+    /// SV210: a transform stage changed a TE body in a way the certifier
+    /// cannot match against the stage input (general semantic mismatch).
+    CertifyMismatch,
+    /// SV211: a transform stage changed an iteration-domain guard or view
+    /// offset (the fused domain no longer tiles the stage input's).
+    CertifyDomain,
+    /// SV212: a transform stage changed an operand's access map (same
+    /// operator structure, different tensor elements read).
+    CertifyAccessMap,
+    /// SV213: a fused fold's iteration odometer (combinator or extent)
+    /// differs from the standalone reduction it replaced.
+    CertifyOdometer,
+    /// SV214: the merged schedule breaks dataflow order — a kernel stage
+    /// reads a tensor no earlier stage produced, an output is never
+    /// stored, or two kernels clobber the same tensor.
+    CertifySchedule,
+    /// SV215: an equivalence obligation the certifier could neither prove
+    /// nor refute (residual; the differential oracle still covers it).
+    CertifyResidual,
 }
 
 impl Code {
     /// Every code, in numbering order (drives the documentation table and
     /// exhaustiveness tests).
-    pub const ALL: [Code; 14] = [
+    pub const ALL: [Code; 22] = [
         Code::UseBeforeDef,
         Code::MultipleProducers,
         Code::BadOperand,
@@ -88,6 +114,14 @@ impl Code {
         Code::DeadTe,
         Code::UnusedInput,
         Code::DuplicateName,
+        Code::ConstGuard,
+        Code::DeadFoldBinder,
+        Code::CertifyMismatch,
+        Code::CertifyDomain,
+        Code::CertifyAccessMap,
+        Code::CertifyOdometer,
+        Code::CertifySchedule,
+        Code::CertifyResidual,
     ];
 
     /// The stable code string, e.g. `"SV010"`.
@@ -107,13 +141,26 @@ impl Code {
             Code::DeadTe => "SV201",
             Code::UnusedInput => "SV202",
             Code::DuplicateName => "SV203",
+            Code::ConstGuard => "SV204",
+            Code::DeadFoldBinder => "SV205",
+            Code::CertifyMismatch => "SV210",
+            Code::CertifyDomain => "SV211",
+            Code::CertifyAccessMap => "SV212",
+            Code::CertifyOdometer => "SV213",
+            Code::CertifySchedule => "SV214",
+            Code::CertifyResidual => "SV215",
         }
     }
 
     /// The fixed severity of this code.
     pub fn severity(self) -> Severity {
         match self {
-            Code::DeadTe | Code::UnusedInput | Code::DuplicateName => Severity::Warning,
+            Code::DeadTe
+            | Code::UnusedInput
+            | Code::DuplicateName
+            | Code::ConstGuard
+            | Code::DeadFoldBinder
+            | Code::CertifyResidual => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -311,9 +358,14 @@ mod tests {
             assert!(seen.insert(c.as_str()), "duplicate code {c}");
             assert!(c.as_str().starts_with("SV"));
             let family = &c.as_str()[2..3];
+            // Structure (SV0xx) and kernel-safety (SV1xx) findings are
+            // errors; lints (SV20x) warn. The certify subfamily (SV21x)
+            // carries its own severities: proof failures are errors,
+            // residual obligations warn.
+            let certify = c.as_str() >= "SV210";
             match c.severity() {
                 Severity::Warning => assert_eq!(family, "2", "{c}"),
-                Severity::Error => assert!(family == "0" || family == "1", "{c}"),
+                Severity::Error => assert!(family == "0" || family == "1" || certify, "{c}"),
             }
         }
     }

@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod certify;
 pub mod diag;
 
 mod bounds;
@@ -32,6 +33,10 @@ mod lint;
 mod races;
 mod wellformed;
 
+pub use certify::{
+    certify_batch, certify_default, certify_schedule, certify_transform, env_certify, Certificate,
+    CERTIFY_ENV,
+};
 pub use diag::{Code, Diagnostic, Diagnostics, Loc, Severity};
 
 use souffle_kernel::Kernel;

@@ -3,17 +3,29 @@
 //! * `SV201` — a TE whose output never (transitively) feeds a program
 //!   output: computed then thrown away.
 //! * `SV202` — a caller-bound input or weight no TE ever reads.
+//! * `SV204` — a `Select` guard that interval analysis proves constant
+//!   over the TE's iteration domain: the branch never varies, so either
+//!   the guard is vestigial or a fused domain was mis-sized.
+//! * `SV205` — an inline fold whose body never reads its own binder:
+//!   the fold multiplies/extremizes a loop-invariant value, which is
+//!   almost always a dropped binder rename in reduction fusion.
 //!
-//! Both are warnings: the program is well-defined, but dead work usually
+//! All are warnings: the program is well-defined, but dead work usually
 //! means a fusion or pruning pass went wrong (or a model was built with
 //! vestigial operands), and it skews the cost model's FLOP/byte counts.
 //!
 //! Liveness is a single backward sweep from the program outputs over the
 //! TE list, so the pass stays linear even on the LSTM's unrolled
-//! multi-thousand-TE programs.
+//! multi-thousand-TE programs. The guard/binder walks visit each body
+//! node once with binder-scoped bounds.
 
 use crate::diag::{Code, Diagnostics, Loc};
-use souffle_te::{TeProgram, TensorKind};
+use souffle_te::canon::prove_cond;
+use souffle_te::{ScalarExpr, TeProgram, TensorKind};
+
+/// Bounds entry for variables nothing constrains (mirrors the canon
+/// pass's unknown interval; wide enough to never prove anything).
+const UNKNOWN: (i64, i64) = (i64::MIN / 4, i64::MAX / 4);
 
 pub(crate) fn check(program: &TeProgram, diags: &mut Diagnostics) {
     let n = program.num_tensors();
@@ -72,6 +84,119 @@ pub(crate) fn check(program: &TeProgram, diags: &mut Diagnostics) {
                 format!("caller-bound {:?} is never read", t.kind),
             );
         }
+    }
+
+    for (i, te) in program.tes().iter().enumerate() {
+        if te.output.0 >= n {
+            continue; // well-formedness reports the dangling output
+        }
+        let mut bounds: Vec<(i64, i64)> = program
+            .tensor(te.output)
+            .shape
+            .dims()
+            .iter()
+            .map(|&d| (0, d - 1))
+            .collect();
+        for &e in &te.reduce {
+            bounds.push((0, e - 1));
+        }
+        let loc = || Loc::Te {
+            te: souffle_te::TeId(i),
+            name: te.name.clone(),
+        };
+        walk_body(&te.body, &mut bounds, &loc, diags);
+    }
+}
+
+/// Visits every `Select` guard and `Reduce` fold with binder-scoped
+/// bounds, flagging constant guards (`SV204`) and dead binders (`SV205`).
+fn walk_body(
+    e: &ScalarExpr,
+    bounds: &mut Vec<(i64, i64)>,
+    loc: &dyn Fn() -> Loc,
+    diags: &mut Diagnostics,
+) {
+    match e {
+        ScalarExpr::Const(_) | ScalarExpr::IndexValue(_) | ScalarExpr::Input { .. } => {}
+        ScalarExpr::Unary(_, a) => walk_body(a, bounds, loc, diags),
+        ScalarExpr::Binary(_, a, b) => {
+            walk_body(a, bounds, loc, diags);
+            walk_body(b, bounds, loc, diags);
+        }
+        ScalarExpr::Select {
+            cond,
+            on_true,
+            on_false,
+        } => {
+            if let Some(v) = prove_cond(cond, bounds) {
+                diags.push(
+                    Code::ConstGuard,
+                    loc(),
+                    format!(
+                        "guard ({cond}) is always {v} over the iteration domain — the \
+                         `Select` never branches"
+                    ),
+                );
+            }
+            walk_body(on_true, bounds, loc, diags);
+            walk_body(on_false, bounds, loc, diags);
+        }
+        ScalarExpr::Reduce {
+            var, extent, body, ..
+        } => {
+            if !fold_body_uses(body, *var) {
+                diags.push(
+                    Code::DeadFoldBinder,
+                    loc(),
+                    format!(
+                        "fold binder v{var} (extent {extent}) is never read in the fold \
+                         body — the iteration accumulates a loop-invariant value"
+                    ),
+                );
+            }
+            if bounds.len() <= *var {
+                bounds.resize(*var + 1, UNKNOWN);
+            }
+            let saved = bounds[*var];
+            bounds[*var] = (0, extent - 1);
+            walk_body(body, bounds, loc, diags);
+            bounds[*var] = saved;
+        }
+    }
+}
+
+/// Whether the fold body reads `var` (through index expressions, guards,
+/// and nested folds, respecting shadowing).
+fn fold_body_uses(e: &ScalarExpr, var: usize) -> bool {
+    let ix_uses = |ix: &souffle_affine::IndexExpr| {
+        let mut found = false;
+        ix.for_each_var(&mut |v| {
+            if v == var {
+                found = true;
+            }
+        });
+        found
+    };
+    match e {
+        ScalarExpr::Const(_) => false,
+        ScalarExpr::IndexValue(ix) => ix_uses(ix),
+        ScalarExpr::Input { indices, .. } => indices.iter().any(ix_uses),
+        ScalarExpr::Unary(_, a) => fold_body_uses(a, var),
+        ScalarExpr::Binary(_, a, b) => fold_body_uses(a, var) || fold_body_uses(b, var),
+        ScalarExpr::Select {
+            cond,
+            on_true,
+            on_false,
+        } => {
+            let mut found = false;
+            cond.for_each_var(&mut |v| {
+                if v == var {
+                    found = true;
+                }
+            });
+            found || fold_body_uses(on_true, var) || fold_body_uses(on_false, var)
+        }
+        ScalarExpr::Reduce { var: v, body, .. } => *v != var && fold_body_uses(body, var),
     }
 }
 
@@ -133,6 +258,105 @@ mod tests {
         let d = run(&p);
         assert!(d.has_code(Code::UnusedInput), "{d}");
         assert!(d.render().contains("`W`"), "{d}");
+    }
+
+    #[test]
+    fn constant_guard_warns_sv204() {
+        use souffle_affine::IndexExpr;
+        use souffle_te::{Cond, ScalarExpr};
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4]), DType::F32);
+        // v0 < 4 always holds on a [4] domain: the select never branches.
+        let out = p.add_tensor("O", Shape::new(vec![4]), DType::F32, TensorKind::Output);
+        p.push_te(souffle_te::TensorExpr {
+            name: "guarded".into(),
+            output: out,
+            inputs: vec![a],
+            reduce: vec![],
+            reduce_op: None,
+            body: ScalarExpr::select(
+                Cond::cmp(
+                    souffle_te::CmpOp::Lt,
+                    IndexExpr::var(0),
+                    IndexExpr::constant(4),
+                ),
+                ScalarExpr::input(0, vec![IndexExpr::var(0)]),
+                ScalarExpr::Const(0.0),
+            ),
+        });
+        p.mark_output(out);
+        let d = run(&p);
+        assert!(d.has_code(Code::ConstGuard), "{d}");
+        assert_eq!(d.num_errors(), 0);
+    }
+
+    #[test]
+    fn live_guard_does_not_warn() {
+        use souffle_affine::IndexExpr;
+        use souffle_te::{Cond, ScalarExpr};
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4]), DType::F32);
+        let out = p.add_tensor("O", Shape::new(vec![4]), DType::F32, TensorKind::Output);
+        p.push_te(souffle_te::TensorExpr {
+            name: "guarded".into(),
+            output: out,
+            inputs: vec![a],
+            reduce: vec![],
+            reduce_op: None,
+            body: ScalarExpr::select(
+                Cond::cmp(
+                    souffle_te::CmpOp::Lt,
+                    IndexExpr::var(0),
+                    IndexExpr::constant(2),
+                ),
+                ScalarExpr::input(0, vec![IndexExpr::var(0)]),
+                ScalarExpr::Const(0.0),
+            ),
+        });
+        p.mark_output(out);
+        let d = run(&p);
+        assert!(!d.has_code(Code::ConstGuard), "{d}");
+    }
+
+    #[test]
+    fn dead_fold_binder_warns_sv205() {
+        use souffle_affine::IndexExpr;
+        use souffle_te::{ReduceOp, ScalarExpr};
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4]), DType::F32);
+        let out = p.add_tensor("O", Shape::new(vec![4]), DType::F32, TensorKind::Output);
+        // fold_{v1<8} sum A[v0]: the binder v1 is never read.
+        p.push_te(souffle_te::TensorExpr {
+            name: "deadfold".into(),
+            output: out,
+            inputs: vec![a],
+            reduce: vec![],
+            reduce_op: None,
+            body: ScalarExpr::fold(
+                ReduceOp::Sum,
+                1,
+                8,
+                ScalarExpr::input(0, vec![IndexExpr::var(0)]),
+            ),
+        });
+        p.mark_output(out);
+        let d = run(&p);
+        assert!(d.has_code(Code::DeadFoldBinder), "{d}");
+        assert_eq!(d.num_errors(), 0);
+    }
+
+    #[test]
+    fn live_fold_binder_does_not_warn() {
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![4, 32]), DType::F32);
+        let s = builders::softmax(&mut p, "sm", a);
+        p.mark_output(s);
+        let (v, _) = souffle_transform::vertical_fuse_program(&p);
+        let (q, stats) = souffle_transform::reduction_fuse_program(&v);
+        assert!(stats.fused > 0);
+        let d = run(&q);
+        assert!(!d.has_code(Code::DeadFoldBinder), "{d}");
+        assert!(!d.has_code(Code::ConstGuard), "{d}");
     }
 
     #[test]

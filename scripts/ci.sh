@@ -22,10 +22,13 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "== cargo build --release --offline =="
 cargo build --release --offline --workspace
 
-# Static verifier gate: every pipeline stage of every paper-scale model
-# must prove clean (exit code is non-zero on any error diagnostic).
-echo "== souffle-verify (all models, paper scale) =="
-cargo run -q --release --offline -p souffle --bin souffle-verify
+# Static verifier + certifier gate: every pipeline stage of every
+# paper-scale model must prove clean, and with SOUFFLE_CERTIFY=on the
+# translation validator must prove every transform stage (plus a batch-4
+# rewrite per model) equivalent with zero residual obligations. Exit
+# code is non-zero on any error diagnostic or residual obligation.
+echo "== souffle-verify (SOUFFLE_CERTIFY=on, all models, paper scale) =="
+SOUFFLE_CERTIFY=on cargo run -q --release --offline -p souffle --bin souffle-verify
 
 echo "== cargo test -q --offline =="
 cargo test -q --offline --workspace
@@ -61,9 +64,9 @@ SOUFFLE_EVAL_THREADS=2 cargo test -q --offline \
 # forces the tier — so the evaluator suites run once with the tier pinned
 # off (pure bytecode everywhere a test doesn't force it) and once pinned
 # on. The pipeline bench smoke run then validates the
-# souffle-bench-pipeline/5 schema with its kernel-dispatch and
-# reduction-fusion counters on a temp file (hermetic: no timing
-# assertions, results/ untouched).
+# souffle-bench-pipeline/6 schema with its kernel-dispatch,
+# reduction-fusion, and fusion-off-baseline counters on a temp file
+# (hermetic: no timing assertions, results/ untouched).
 echo "== cargo test (SOUFFLE_KERNEL_TIER=off/on) + bench pipeline --smoke =="
 SOUFFLE_KERNEL_TIER=off cargo test -q --offline \
   --test evaluator_equivalence --test kernel_tier_differential --test runtime_determinism
@@ -79,5 +82,15 @@ SOUFFLE_REDUCTION_FUSION=off cargo test -q --offline \
   --test evaluator_equivalence --test reduction_fusion_differential --test serve_differential
 SOUFFLE_REDUCTION_FUSION=on cargo test -q --offline \
   --test evaluator_equivalence --test reduction_fusion_differential --test serve_differential
+
+# Translation-validation sweep: the miscompile-injection suite forces
+# certification on itself, and the serving differential exercises the
+# serve-side batch-certify gate — both must pass whichever way the
+# environment pins the knob.
+echo "== cargo test (SOUFFLE_CERTIFY=off/on) =="
+SOUFFLE_CERTIFY=off cargo test -q --offline \
+  --test certify_mutations --test serve_differential
+SOUFFLE_CERTIFY=on cargo test -q --offline \
+  --test certify_mutations --test serve_differential
 
 echo "ci.sh: all checks passed"

@@ -1,0 +1,143 @@
+//! The "no false negatives" half of the *translation validator's*
+//! contract: every certify-targeted miscompile `testkit::mutate` can
+//! inject into the output of a transform stage must be rejected with the
+//! stable `SV2xx` code that fault class maps to — and the unmutated pair
+//! must certify clean, so each case is a differential pair.
+//!
+//! The "no false positives" half is the acceptance property at the
+//! bottom: the full pipeline, certification on, accepts 100 generated
+//! programs at every ablation stage.
+
+use souffle::{Souffle, SouffleOptions};
+use souffle_te::{builders, RewriteLog, TeProgram};
+use souffle_tensor::{DType, Shape};
+use souffle_testkit::mutate::{inject_program_fault, Fault};
+use souffle_testkit::teprog::gen_spec;
+use souffle_testkit::{forall, tk_assert, Config};
+use souffle_transform::{
+    horizontal_fuse_program_logged, reduction_fuse_program_logged, vertical_fuse_program,
+    vertical_fuse_program_logged,
+};
+use souffle_verify::certify_transform;
+
+/// Certifies the pair and asserts the clean side proves while the mutant
+/// is rejected with exactly the fault's mapped code.
+fn assert_differential(
+    before: &TeProgram,
+    after: &TeProgram,
+    stage: &str,
+    log: &RewriteLog,
+    fault: Fault,
+) {
+    let (cert, clean) = certify_transform(before, after, stage, log);
+    assert!(!clean.has_errors(), "clean {stage} pair rejected:\n{clean}");
+    assert_eq!(cert.residual, 0, "clean {stage} pair left residual: {cert}");
+
+    let mutant = inject_program_fault(after, fault)
+        .unwrap_or_else(|| panic!("{fault:?}: no injection site in the {stage} output"));
+    let (_, d) = certify_transform(before, &mutant, stage, log);
+    assert!(
+        d.has_code(fault.expected_code()),
+        "{fault:?} mutant escaped the {stage} certifier (expected {:?}):\n{d}",
+        fault.expected_code()
+    );
+}
+
+#[test]
+fn swapped_access_map_is_rejected_with_sv212() {
+    // Vertical fusion composes the transpose's map into the exp; swapping
+    // two indices in the fused access is a transposed read the canonical
+    // comparison must pin to the access map.
+    let mut p = TeProgram::new();
+    let a = p.add_input("A", Shape::new(vec![8, 8]), DType::F32);
+    let w = p.add_weight("W", Shape::new(vec![8, 8]), DType::F32);
+    let t = builders::transpose(&mut p, "t", a, &[1, 0]);
+    let mm = builders::matmul(&mut p, "mm", t, w);
+    p.mark_output(mm);
+    let mut log = RewriteLog::new();
+    let (q, _) = vertical_fuse_program_logged(&p, &mut log);
+    assert_differential(&p, &q, "vertical", &log, Fault::SwapAccessMap);
+}
+
+#[test]
+fn dropped_fold_rename_is_rejected_with_sv213() {
+    // Reduction fusion carries the softmax denominator as an inline fold;
+    // re-binding that fold without renaming its body is the classic
+    // fusion miscompile the odometer check exists for.
+    let mut p = TeProgram::new();
+    let a = p.add_input("A", Shape::new(vec![16, 64]), DType::F32);
+    let s = builders::softmax(&mut p, "sm", a);
+    p.mark_output(s);
+    let (v, _) = vertical_fuse_program(&p);
+    let mut log = RewriteLog::new();
+    let (q, stats) = reduction_fuse_program_logged(&v, &mut log);
+    assert!(stats.fused > 0, "softmax must fuse its reductions");
+    assert_differential(&v, &q, "reduction-fusion", &log, Fault::DropFoldRename);
+}
+
+#[test]
+fn widened_fused_domain_is_rejected_with_sv211() {
+    // Horizontal packing guards each member's rows with `v0 < cut`;
+    // widening a cut leaks the first member's values into its neighbor's
+    // segment. Member extents are ≥ 2 so the off-by-one guard is
+    // unprovable (rather than collapsing to the wrong branch outright).
+    let mut p = TeProgram::new();
+    let a1 = p.add_input("A1", Shape::new(vec![4, 8]), DType::F32);
+    let b1 = p.add_weight("B1", Shape::new(vec![8, 16]), DType::F32);
+    let a2 = p.add_input("A2", Shape::new(vec![2, 8]), DType::F32);
+    let b2 = p.add_weight("B2", Shape::new(vec![8, 16]), DType::F32);
+    let c1 = builders::matmul(&mut p, "C1", a1, b1);
+    let c2 = builders::matmul(&mut p, "C2", a2, b2);
+    let c = builders::concat(&mut p, "C", c1, c2, 0);
+    p.mark_output(c);
+    let mut log = RewriteLog::new();
+    let (q, _) = horizontal_fuse_program_logged(&p, &mut log);
+    assert_eq!(log.len(), 1, "one pack group expected");
+    assert_differential(&p, &q, "horizontal", &log, Fault::WidenFusedDomain);
+}
+
+forall!(
+    swapped_access_mutants_of_fused_pairs_never_certify,
+    Config::with_cases(40),
+    |rng| gen_spec(rng, 8),
+    |spec| {
+        let program = spec.build();
+        let mut log = RewriteLog::new();
+        let (fused, _) = vertical_fuse_program_logged(&program, &mut log);
+        let Some(mutant) = inject_program_fault(&fused, Fault::SwapAccessMap) else {
+            return Ok(()); // no access with two distinct indices
+        };
+        let (_, d) = certify_transform(&program, &mutant, "vertical", &log);
+        tk_assert!(
+            d.has_errors(),
+            "swapped-access mutant of {spec:?} certified:\n{d}"
+        );
+        Ok(())
+    }
+);
+
+forall!(
+    certifier_accepts_generated_programs_at_every_stage,
+    Config::with_cases(100),
+    |rng| gen_spec(rng, 10),
+    |spec| {
+        let program = spec.build();
+        for (name, mut opts) in SouffleOptions::ablation() {
+            opts.verify = true;
+            opts.certify = Some(true);
+            match Souffle::new(opts).compile_checked(&program) {
+                Ok(compiled) => {
+                    tk_assert!(
+                        compiled.certificates.iter().all(|c| c.residual == 0),
+                        "{name} left residual obligations on {spec:?}: {:?}",
+                        compiled.certificates
+                    );
+                }
+                Err(diags) => {
+                    tk_assert!(false, "{name} rejected {spec:?}:\n{diags}");
+                }
+            }
+        }
+        Ok(())
+    }
+);
