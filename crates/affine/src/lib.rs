@@ -36,7 +36,9 @@
 mod expr;
 mod map;
 mod relation;
+mod sym;
 
 pub use expr::IndexExpr;
 pub use map::{AffineMatrix, IndexMap};
 pub use relation::{DependenceKind, IterDomain, Relation};
+pub use sym::{sym_interval, SymAffine};

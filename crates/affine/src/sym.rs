@@ -1,0 +1,306 @@
+//! Symbolic-affine intervals: interval analysis whose endpoints are affine
+//! forms over declared symbolic dimensions rather than plain integers.
+//!
+//! The verifier uses this to prove access bounds *parametrically*: an access
+//! is safe over the whole declared range `min..=max` of every sym when the
+//! symbolic interval of each index stays inside the (symbolic) axis extent.
+//! Because index expressions are affine in the loop variables and loop
+//! extents are affine in the syms, every endpoint stays affine — extrema over
+//! the bounds box decompose per coefficient, with no corner enumeration.
+//!
+//! Quasi-affine operators (`FloorDiv`/`Mod`) are handled exactly where the
+//! divisor divides every sym coefficient (the linearize/delinearize pattern
+//! `reshape` produces); otherwise [`sym_interval`] returns `None` and the
+//! caller falls back to per-bucket concrete proof.
+
+use crate::expr::IndexExpr;
+use std::fmt;
+
+/// An affine form `constant + Σ coeffs[i] · sᵢ` over `n` symbolic dims.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SymAffine {
+    /// Constant term.
+    pub constant: i64,
+    /// One coefficient per declared symbolic dim.
+    pub coeffs: Vec<i64>,
+}
+
+impl SymAffine {
+    /// The constant form `c` over `n_syms` dims.
+    pub fn constant(c: i64, n_syms: usize) -> Self {
+        SymAffine {
+            constant: c,
+            coeffs: vec![0; n_syms],
+        }
+    }
+
+    /// The form `1 * s_i` over `n_syms` dims.
+    pub fn sym(i: usize, n_syms: usize) -> Self {
+        let mut coeffs = vec![0; n_syms];
+        coeffs[i] = 1;
+        SymAffine {
+            constant: 0,
+            coeffs,
+        }
+    }
+
+    /// Whether every sym coefficient is zero.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.iter().all(|&c| c == 0)
+    }
+
+    /// Pointwise sum (saturating).
+    pub fn add(&self, other: &SymAffine) -> SymAffine {
+        SymAffine {
+            constant: self.constant.saturating_add(other.constant),
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&other.coeffs)
+                .map(|(a, b)| a.saturating_add(*b))
+                .collect(),
+        }
+    }
+
+    /// Pointwise difference (saturating).
+    pub fn sub(&self, other: &SymAffine) -> SymAffine {
+        SymAffine {
+            constant: self.constant.saturating_sub(other.constant),
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&other.coeffs)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+        }
+    }
+
+    /// Adds `k` to the constant term.
+    pub fn offset(&self, k: i64) -> SymAffine {
+        SymAffine {
+            constant: self.constant.saturating_add(k),
+            coeffs: self.coeffs.clone(),
+        }
+    }
+
+    /// Multiplies every term by `k`.
+    pub fn scale(&self, k: i64) -> SymAffine {
+        SymAffine {
+            constant: self.constant.saturating_mul(k),
+            coeffs: self.coeffs.iter().map(|c| c.saturating_mul(k)).collect(),
+        }
+    }
+
+    /// Exact `floor(self / k)` as an affine form — only when `k` divides
+    /// every sym coefficient (then `floor((k·m + d)/k) = m + floor(d/k)`).
+    pub fn floor_div_exact(&self, k: i64) -> Option<SymAffine> {
+        debug_assert!(k > 0);
+        if self.coeffs.iter().any(|c| c % k != 0) {
+            return None;
+        }
+        Some(SymAffine {
+            constant: self.constant.div_euclid(k),
+            coeffs: self.coeffs.iter().map(|c| c / k).collect(),
+        })
+    }
+
+    /// Evaluates at one concrete value per sym.
+    pub fn eval(&self, vals: &[i64]) -> i64 {
+        self.coeffs
+            .iter()
+            .zip(vals)
+            .fold(self.constant, |acc, (c, v)| {
+                acc.saturating_add(c.saturating_mul(*v))
+            })
+    }
+
+    /// Minimum over the box `ranges[i] = (min, max)` per sym: affine forms
+    /// attain extrema per coefficient independently.
+    pub fn min_over(&self, ranges: &[(i64, i64)]) -> i64 {
+        self.coeffs
+            .iter()
+            .zip(ranges)
+            .fold(self.constant, |acc, (&c, &(lo, hi))| {
+                acc.saturating_add(c.saturating_mul(if c >= 0 { lo } else { hi }))
+            })
+    }
+
+    /// Maximum over the box `ranges[i] = (min, max)` per sym.
+    pub fn max_over(&self, ranges: &[(i64, i64)]) -> i64 {
+        self.coeffs
+            .iter()
+            .zip(ranges)
+            .fold(self.constant, |acc, (&c, &(lo, hi))| {
+                acc.saturating_add(c.saturating_mul(if c >= 0 { hi } else { lo }))
+            })
+    }
+
+    /// Whether `self >= 0` for every sym assignment in the box.
+    pub fn is_nonneg_over(&self, ranges: &[(i64, i64)]) -> bool {
+        self.min_over(ranges) >= 0
+    }
+}
+
+impl fmt::Display for SymAffine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut wrote = false;
+        for (i, &c) in self.coeffs.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if wrote {
+                write!(f, "{}", if c >= 0 { " + " } else { " - " })?;
+            } else if c < 0 {
+                write!(f, "-")?;
+            }
+            let a = c.unsigned_abs();
+            if a != 1 {
+                write!(f, "{a}*")?;
+            }
+            write!(f, "s{i}")?;
+            wrote = true;
+        }
+        if !wrote {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant > 0 {
+            write!(f, " + {}", self.constant)?;
+        } else if self.constant < 0 {
+            write!(f, " - {}", -self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+/// Interval of `e` with symbolic-affine endpoints, given per-variable bounds
+/// whose endpoints are themselves symbolic-affine (inclusive on both sides).
+///
+/// Returns `None` when the expression leaves the exactly-representable
+/// fragment (a `FloorDiv` whose divisor does not divide the sym
+/// coefficients); `Mod` is always bounded by `[0, k-1]` (tightened to the
+/// concrete sub-interval when the operand interval is constant and stays in
+/// one Euclidean block).
+pub fn sym_interval(
+    e: &IndexExpr,
+    bounds: &[(SymAffine, SymAffine)],
+    n_syms: usize,
+) -> Option<(SymAffine, SymAffine)> {
+    match e {
+        IndexExpr::Var(i) => bounds.get(*i).cloned(),
+        IndexExpr::Const(c) => Some((
+            SymAffine::constant(*c, n_syms),
+            SymAffine::constant(*c, n_syms),
+        )),
+        IndexExpr::Add(a, b) => {
+            let (al, ah) = sym_interval(a, bounds, n_syms)?;
+            let (bl, bh) = sym_interval(b, bounds, n_syms)?;
+            Some((al.add(&bl), ah.add(&bh)))
+        }
+        IndexExpr::Sub(a, b) => {
+            let (al, ah) = sym_interval(a, bounds, n_syms)?;
+            let (bl, bh) = sym_interval(b, bounds, n_syms)?;
+            Some((al.sub(&bh), ah.sub(&bl)))
+        }
+        IndexExpr::Mul(a, k) => {
+            let (al, ah) = sym_interval(a, bounds, n_syms)?;
+            if *k >= 0 {
+                Some((al.scale(*k), ah.scale(*k)))
+            } else {
+                Some((ah.scale(*k), al.scale(*k)))
+            }
+        }
+        IndexExpr::FloorDiv(a, k) => {
+            let (al, ah) = sym_interval(a, bounds, n_syms)?;
+            // floor is monotone, so dividing both endpoints is exact — when
+            // the division itself is exactly representable.
+            Some((al.floor_div_exact(*k)?, ah.floor_div_exact(*k)?))
+        }
+        IndexExpr::Mod(a, k) => {
+            let (al, ah) = sym_interval(a, bounds, n_syms)?;
+            if al.is_constant() && ah.is_constant() {
+                let (lo, hi) = (al.constant, ah.constant);
+                if lo.div_euclid(*k) == hi.div_euclid(*k) {
+                    return Some((
+                        SymAffine::constant(lo.rem_euclid(*k), n_syms),
+                        SymAffine::constant(hi.rem_euclid(*k), n_syms),
+                    ));
+                }
+            }
+            // Euclidean remainder is always in [0, k-1] for any operand.
+            Some((
+                SymAffine::constant(0, n_syms),
+                SymAffine::constant(k - 1, n_syms),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(v: i64) -> SymAffine {
+        SymAffine::constant(v, 1)
+    }
+
+    fn s0() -> SymAffine {
+        SymAffine::sym(0, 1)
+    }
+
+    #[test]
+    fn affine_extrema_decompose_per_coefficient() {
+        // 2*s0 - 3 over s0 in [1, 10]
+        let a = s0().scale(2).offset(-3);
+        assert_eq!(a.min_over(&[(1, 10)]), -1);
+        assert_eq!(a.max_over(&[(1, 10)]), 17);
+        assert_eq!(a.eval(&[4]), 5);
+        // negative coefficient flips which corner attains the min
+        let n = s0().scale(-1).offset(7);
+        assert_eq!(n.min_over(&[(1, 10)]), -3);
+        assert_eq!(n.max_over(&[(1, 10)]), 6);
+        assert_eq!(format!("{a}"), "2*s0 - 3");
+        assert_eq!(format!("{}", c(0)), "0");
+    }
+
+    #[test]
+    fn linear_index_gets_exact_symbolic_interval() {
+        // v0 in [0, s0 - 1], v1 in [0, 7]; e = 8*v0 + v1 in [0, 8*s0 - 1]
+        let e = IndexExpr::var(0).mul(8).add(IndexExpr::var(1));
+        let bounds = vec![(c(0), s0().offset(-1)), (c(0), c(7))];
+        let (lo, hi) = sym_interval(&e, &bounds, 1).unwrap();
+        assert_eq!(lo, c(0));
+        assert_eq!(hi, s0().scale(8).offset(-1));
+    }
+
+    #[test]
+    fn reshape_div_mod_stay_exact_when_divisible() {
+        // flat in [0, 8*s0 - 1]: flat / 8 in [0, s0 - 1]; flat mod 8 in [0, 7]
+        let flat = IndexExpr::var(0);
+        let bounds = vec![(c(0), s0().scale(8).offset(-1))];
+        let (dl, dh) = sym_interval(&flat.clone().floor_div(8), &bounds, 1).unwrap();
+        assert_eq!(dl, c(0));
+        assert_eq!(dh, s0().offset(-1));
+        let (ml, mh) = sym_interval(&flat.modulo(8), &bounds, 1).unwrap();
+        assert_eq!((ml.constant, mh.constant), (0, 7));
+        assert!(ml.is_constant() && mh.is_constant());
+    }
+
+    #[test]
+    fn non_divisible_floor_div_saturates_to_none() {
+        // hi = 8*s0 - 1, divide by 3: 3 does not divide 8 — fall back.
+        let e = IndexExpr::var(0).floor_div(3);
+        let bounds = vec![(c(0), s0().scale(8).offset(-1))];
+        assert!(sym_interval(&e, &bounds, 1).is_none());
+        // But a constant interval divides fine.
+        let cb = vec![(c(0), c(23))];
+        let (lo, hi) = sym_interval(&e, &cb, 1).unwrap();
+        assert_eq!((lo.constant, hi.constant), (0, 7));
+    }
+
+    #[test]
+    fn constant_mod_in_one_block_is_tight() {
+        let e = IndexExpr::var(0).modulo(8);
+        let bounds = vec![(c(9), c(11))];
+        let (lo, hi) = sym_interval(&e, &bounds, 1).unwrap();
+        assert_eq!((lo.constant, hi.constant), (1, 3));
+    }
+}

@@ -1,51 +1,169 @@
-//! Latency vs offered load for the `souffle-serve` layer.
+//! Latency vs offered load for the `souffle-serve` layer, with a
+//! variable-sequence-length workload over the shape-bucketed compile
+//! cache.
 //!
 //! For BERT and LSTM (tiny configs — the only sizes the in-process
-//! evaluator serves at interactive rates), this harness:
+//! evaluator serves at interactive rates), both registered **once** with
+//! a symbolic `seq` via [`souffle_frontend::dyn_seq_spec`], this harness:
 //!
 //! 1. **calibrates** the single-request service time by round-tripping a
-//!    few requests through a real server and averaging the reported
-//!    batched-evaluation wall time (`Response::exec_ns` at batch 1);
+//!    few max-length requests through a real server and averaging the
+//!    reported batched-evaluation wall time (`Response::exec_ns` at
+//!    batch 1);
 //! 2. **sweeps** open-loop offered load at 0.25×, 0.5×, 1×, and 2× of
-//!    that calibrated service rate, ~64 Poisson-ish arrivals per point
-//!    from the deterministic testkit PRNG (`TESTKIT_SEED` seeds the
-//!    arrival process and the request tensors);
-//! 3. writes `results/bench_serve.json` (schema `souffle-bench-serve/1`)
+//!    that calibrated service rate. Arrivals are Poisson-ish from the
+//!    deterministic testkit PRNG (`TESTKIT_SEED`), and every request
+//!    draws its sequence length from a **lognormal** distribution
+//!    (median ≈ 3) clamped to the declared `[1, max]` bound, so batches
+//!    continuously cross sequence-bucket boundaries;
+//! 3. measures a **steady-state** point per model: the same 1× load on a
+//!    server whose cache was warmed by an identical (discarded) run, so
+//!    the hit rate reflects serving, not cold compiles;
+//! 4. writes `results/bench_serve.json` (schema `souffle-bench-serve/2`)
 //!    with p50/p95/p99 latency, achieved throughput, rejection counts,
-//!    and the executed batch-size histogram per point.
+//!    the executed batch-size histogram, and per-point shape-cache
+//!    telemetry (hits, misses, hit rate, compile wall-ms, resident
+//!    variants) from the `shape_cache.*` trace counters.
 //!
 //! Open-loop means arrivals do *not* wait for responses, so queueing
 //! delay and backpressure rejections appear as load crosses capacity —
 //! see EXPERIMENTS.md for the methodology and its caveats (single-core
 //! container, simulated GPU timing not involved here at all).
 //!
+//! Two invariants are enforced on every point, cold or warm:
+//! cache misses never exceed the distinct `ShapeClass` count (i.e. no
+//! per-request recompiles, the failure mode bucketing exists to prevent),
+//! and the steady-state hit rate must be ≥ 95%.
+//!
 //! `--smoke` runs one tiny point, writes to a temp file instead of
 //! `results/`, and validates the emitted JSON against the schema — the
 //! hermetic CI entry point (no timing assertions).
 
-use souffle_frontend::{build_model, Model, ModelConfig};
+use souffle_frontend::{dyn_seq_spec, Model, ModelConfig};
 use souffle_serve::{LoadConfig, LoadReport, ServeOptions, Server, ServerBuilder, ServerStats};
 use souffle_te::interp::random_bindings;
-use souffle_te::{TeProgram, TensorId, TensorKind};
-use souffle_tensor::Tensor;
-use souffle_testkit::seed_from_env;
+use souffle_te::sym::DynSpec;
+use souffle_te::{TensorId, TensorKind};
+use souffle_tensor::{DType, Shape, Tensor};
+use souffle_testkit::{seed_from_env, Rng};
+use souffle_trace::Tracer;
 use std::collections::HashMap;
+
+/// Lognormal sequence-length distribution: `exp(MU)` ≈ 3 median with
+/// enough spread to reach both declared bounds after clamping.
+const SEQ_MU: f64 = 1.1;
+const SEQ_SIGMA: f64 = 0.6;
+
+/// Shape-cache telemetry for one sweep point, from the server's tracer.
+struct CacheStats {
+    hits: u64,
+    misses: u64,
+    compile_ms: u64,
+    variants: usize,
+    /// Per-variant compile wall time, from `compile:bucket:<k>` spans:
+    /// (bucket label `batch` or `batch x seq`, milliseconds).
+    compiles: Vec<(String, f64)>,
+}
+
+impl CacheStats {
+    fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 1.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
 
 /// One sweep point: what was offered, what came back.
 struct Row {
     model: &'static str,
     multiplier: f64,
+    warmed: bool,
     report: LoadReport,
     stats: ServerStats,
+    cache: CacheStats,
 }
 
-fn split_weights(
-    program: &TeProgram,
-    bindings: HashMap<TensorId, Tensor>,
-) -> (HashMap<TensorId, Tensor>, HashMap<TensorId, Tensor>) {
-    bindings
+/// A dynamic model ready to serve: the spec, its max-length interface,
+/// name-keyed weights, and the exact input set (ids, shapes, dtypes) a
+/// request must bind at every sequence length.
+struct DynRig {
+    spec: DynSpec,
+    max_seq: i64,
+    weights: HashMap<String, Tensor>,
+    inputs_at: Vec<Vec<(TensorId, Shape, DType)>>,
+}
+
+fn build_rig(model: Model, seed: u64) -> DynRig {
+    let spec = dyn_seq_spec(model, ModelConfig::Tiny).expect("bench models are dynamic");
+    let iface = spec.at(&spec.table.max_binding());
+    let sym = spec.table.ids().next().expect("one symbolic dim");
+    let (_, max_seq) = spec.table.bounds(sym);
+    let weights: HashMap<String, Tensor> = random_bindings(&iface, seed)
         .into_iter()
-        .partition(|(id, _)| program.tensor(*id).kind == TensorKind::Weight)
+        .filter(|(id, _)| iface.tensor(*id).kind == TensorKind::Weight)
+        .map(|(id, t)| (iface.tensor(id).name.clone(), t))
+        .collect();
+    let inputs_at = (0..=max_seq)
+        .map(|s| {
+            if s == 0 {
+                return Vec::new();
+            }
+            let p_s = spec.at(&spec.table.bind(vec![s]).expect("within bounds"));
+            let shape_at_s: HashMap<&str, &Shape> = p_s
+                .tensors()
+                .iter()
+                .map(|t| (t.name.as_str(), &t.shape))
+                .collect();
+            iface
+                .free_tensors()
+                .into_iter()
+                .filter_map(|id| {
+                    let info = iface.tensor(id);
+                    if info.kind == TensorKind::Weight || spec.is_derived_name(&info.name) {
+                        return None;
+                    }
+                    if let Some((_, t)) = spec.per_step_index(&info.name) {
+                        if t >= s {
+                            return None;
+                        }
+                    }
+                    Some((id, shape_at_s[info.name.as_str()].clone(), info.dtype))
+                })
+                .collect()
+        })
+        .collect();
+    DynRig {
+        spec,
+        max_seq,
+        weights,
+        inputs_at,
+    }
+}
+
+impl DynRig {
+    /// A request at sequence length `s`, with seeded random payloads.
+    fn request(&self, s: i64, rng: &mut Rng) -> HashMap<TensorId, Tensor> {
+        self.inputs_at[s as usize]
+            .iter()
+            .map(|(id, shape, dtype)| {
+                (
+                    *id,
+                    Tensor::random(shape.clone(), rng.next_u64()).with_dtype(*dtype),
+                )
+            })
+            .collect()
+    }
+
+    /// Lognormal draw clamped into the declared `[1, max]` bound.
+    fn sample_seq(&self, rng: &mut Rng) -> i64 {
+        let u1 = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let u2 = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let z = (-2.0 * u1.max(1e-12).ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        let len = (SEQ_MU + SEQ_SIGMA * z).exp().round() as i64;
+        len.clamp(1, self.max_seq)
+    }
 }
 
 fn serve_options() -> ServeOptions {
@@ -55,28 +173,28 @@ fn serve_options() -> ServeOptions {
         batch_deadline_ns: 1_000_000, // 1 ms
         workers: 1,
         buckets: vec![1, 2, 4, 8],
+        shape_cache_capacity: None,
     }
 }
 
-fn start_server(program: &TeProgram, weights: &HashMap<TensorId, Tensor>) -> Server {
+fn start_server(rig: &DynRig, tracer: &Tracer) -> Server {
     ServerBuilder::new(serve_options())
-        .register("m", program, weights.clone())
+        .tracer(tracer.clone())
+        .register_dyn("m", rig.spec.clone(), rig.weights.clone())
         .start()
 }
 
-/// Mean batch-1 evaluation wall time, measured through the server itself.
-fn calibrate_service_ns(
-    program: &TeProgram,
-    weights: &HashMap<TensorId, Tensor>,
-    seed: u64,
-) -> u64 {
-    let server = start_server(program, weights);
+/// Mean batch-1 evaluation wall time at max sequence length, measured
+/// through the server itself.
+fn calibrate_service_ns(rig: &DynRig, seed: u64) -> u64 {
+    let tracer = Tracer::disabled();
+    let server = start_server(rig, &tracer);
+    let mut rng = Rng::new(seed);
     let rounds = 5;
     let mut total = 0u64;
-    for i in 0..rounds {
-        let (_, inputs) = split_weights(program, random_bindings(program, seed.wrapping_add(i)));
+    for _ in 0..rounds {
         let resp = server
-            .submit("m", inputs)
+            .submit("m", rig.request(rig.max_seq, &mut rng))
             .expect_accepted()
             .wait()
             .expect("calibration request");
@@ -86,30 +204,82 @@ fn calibrate_service_ns(
     (total / rounds).max(1)
 }
 
+fn cache_stats(tracer: &Tracer, variants: usize) -> CacheStats {
+    let trace = tracer.snapshot();
+    let counter = |name: &str| trace.counters.get(name).copied().unwrap_or(0);
+    let compiles = trace
+        .spans
+        .iter()
+        .filter_map(|s| {
+            let label = s.name.strip_prefix("compile:bucket:")?;
+            let ms = (s.end_ns? - s.start_ns) as f64 / 1e6;
+            Some((label.to_string(), ms))
+        })
+        .collect();
+    CacheStats {
+        hits: counter("shape_cache.hit"),
+        misses: counter("shape_cache.miss"),
+        compile_ms: counter("shape_cache.compile_ms"),
+        variants,
+        compiles,
+    }
+}
+
 fn run_point(
-    program: &TeProgram,
-    weights: &HashMap<TensorId, Tensor>,
+    rig: &DynRig,
     model: &'static str,
     multiplier: f64,
     offered_rps: f64,
     requests: usize,
     seed: u64,
+    warmed: bool,
 ) -> Row {
-    let server = start_server(program, weights);
+    let tracer = Tracer::new();
+    let server = start_server(rig, &tracer);
+    let make_inputs = |rng: &mut Rng, _: usize| {
+        let s = rig.sample_seq(rng);
+        rig.request(s, rng)
+    };
+    if warmed {
+        // Identical discarded run: compiles every bucket the measured run
+        // will touch, then drains the counters so the row reflects
+        // steady-state traffic only.
+        let warm_cfg = LoadConfig {
+            requests,
+            offered_rps,
+            seed: seed ^ 0x77AA,
+        };
+        souffle_serve::run_open_loop(&server, "m", &warm_cfg, make_inputs);
+        tracer.take();
+    }
     let cfg = LoadConfig {
         requests,
         offered_rps,
         seed,
     };
-    let report = souffle_serve::run_open_loop(&server, "m", &cfg, |rng, _| {
-        split_weights(program, random_bindings(program, rng.next_u64())).1
-    });
+    let report = souffle_serve::run_open_loop(&server, "m", &cfg, make_inputs);
+    let variants = server.cached_variants("m").unwrap_or(0);
     let stats = server.shutdown();
+    let cache = cache_stats(&tracer, variants);
+
+    // The invariant bucketing exists for: distinct shape classes bound the
+    // compile count, independent of how many requests flowed.
+    let opts = serve_options();
+    let class_bound = (opts.buckets.len() * (rig.max_seq.ilog2() as usize + 2)) as u64;
+    assert!(
+        cache.misses <= class_bound,
+        "{model} {multiplier}x: {} cache misses exceed the {} distinct-shape-class bound \
+         (per-request recompiles?)",
+        cache.misses,
+        class_bound
+    );
     Row {
         model,
         multiplier,
+        warmed,
         report,
         stats,
+        cache,
     }
 }
 
@@ -120,10 +290,10 @@ fn json_escape(s: &str) -> String {
 /// Hand-rolled writer (the workspace is dependency-free by design).
 fn render_report(seed: u64, rows: &[Row]) -> String {
     let opts = serve_options();
-    let mut out = String::from("{\n  \"schema\": \"souffle-bench-serve/1\",\n");
+    let mut out = String::from("{\n  \"schema\": \"souffle-bench-serve/2\",\n");
     out.push_str(&format!("  \"testkit_seed\": {seed},\n"));
     out.push_str(&format!(
-        "  \"config\": {{\"queue_capacity\": {}, \"max_batch\": {}, \"batch_deadline_ns\": {}, \"workers\": {}, \"buckets\": {:?}}},\n",
+        "  \"config\": {{\"queue_capacity\": {}, \"max_batch\": {}, \"batch_deadline_ns\": {}, \"workers\": {}, \"buckets\": {:?}, \"seq_dist\": \"lognormal(mu={SEQ_MU}, sigma={SEQ_SIGMA}) clamped to declared bounds\"}},\n",
         opts.queue_capacity, opts.max_batch, opts.batch_deadline_ns, opts.workers, opts.buckets
     ));
     out.push_str("  \"rows\": [\n");
@@ -131,13 +301,16 @@ fn render_report(seed: u64, rows: &[Row]) -> String {
         let sep = if i + 1 == rows.len() { "" } else { "," };
         let hist: Vec<String> = r.stats.batch_hist.iter().map(u64::to_string).collect();
         out.push_str(&format!(
-            "    {{\"model\": \"{}\", \"load_multiplier\": {:.2}, \"offered_rps\": {:.1}, \
+            "    {{\"model\": \"{}\", \"load_multiplier\": {:.2}, \"warmed\": {}, \"offered_rps\": {:.1}, \
              \"submitted\": {}, \"rejected\": {}, \"completed\": {}, \
              \"throughput_rps\": {:.1}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \
              \"mean_batch\": {:.2}, \"batches\": {}, \"size_flushes\": {}, \"deadline_flushes\": {}, \
-             \"padded_slots\": {}, \"batch_hist\": [{}]}}{sep}\n",
+             \"padded_slots\": {}, \"batch_hist\": [{}], \
+             \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \
+             \"compile_ms\": {}, \"variants\": {}, \"compiles\": [{}]}}{sep}\n",
             json_escape(r.model),
             r.multiplier,
+            r.warmed,
             r.report.offered_rps,
             r.report.submitted,
             r.report.rejected,
@@ -152,6 +325,20 @@ fn render_report(seed: u64, rows: &[Row]) -> String {
             r.stats.deadline_flushes,
             r.stats.padded_slots,
             hist.join(", "),
+            r.cache.hits,
+            r.cache.misses,
+            r.cache.hit_rate(),
+            r.cache.compile_ms,
+            r.cache.variants,
+            r.cache
+                .compiles
+                .iter()
+                .map(|(label, ms)| format!(
+                    "{{\"bucket\": \"{}\", \"ms\": {ms:.2}}}",
+                    json_escape(label)
+                ))
+                .collect::<Vec<_>>()
+                .join(", "),
         ));
     }
     out.push_str("  ]\n}\n");
@@ -166,7 +353,7 @@ fn validate_report(raw: &str) -> Result<(), String> {
         .get("schema")
         .and_then(|s| s.as_str())
         .ok_or("missing schema")?;
-    if schema != "souffle-bench-serve/1" {
+    if schema != "souffle-bench-serve/2" {
         return Err(format!("unexpected schema {schema:?}"));
     }
     v.get("testkit_seed")
@@ -192,6 +379,12 @@ fn validate_report(raw: &str) -> Result<(), String> {
             "p99_ms",
             "mean_batch",
             "batch_hist",
+            "cache_hits",
+            "cache_misses",
+            "cache_hit_rate",
+            "compile_ms",
+            "variants",
+            "compiles",
         ] {
             row.get(key).ok_or(format!("row {i}: missing {key:?}"))?;
         }
@@ -209,6 +402,13 @@ fn validate_report(raw: &str) -> Result<(), String> {
                 "row {i}: inconsistent accounting (submitted {sub}, rejected {rej}, completed {comp})"
             ));
         }
+        let rate = row
+            .get("cache_hit_rate")
+            .and_then(|x| x.as_num())
+            .unwrap_or(-1.0);
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("row {i}: cache_hit_rate {rate} out of [0, 1]"));
+        }
     }
     Ok(())
 }
@@ -224,9 +424,8 @@ fn main() {
 
     let mut rows = Vec::new();
     for &model in models {
-        let program = build_model(model, ModelConfig::Tiny);
-        let (weights, _) = split_weights(&program, random_bindings(&program, seed));
-        let service_ns = calibrate_service_ns(&program, &weights, seed ^ 0xCA11);
+        let rig = build_rig(model, seed);
+        let service_ns = calibrate_service_ns(&rig, seed ^ 0xCA11);
         let service_rps = 1e9 / service_ns as f64;
         let name: &'static str = match model {
             Model::Bert => "bert",
@@ -234,29 +433,60 @@ fn main() {
             _ => unreachable!("sweep covers bert and lstm only"),
         };
         println!(
-            "{name}: calibrated batch-1 service {:.3} ms ({service_rps:.0} rps)",
-            service_ns as f64 / 1e6
+            "{name}: calibrated batch-1 service {:.3} ms ({service_rps:.0} rps) at seq {}",
+            service_ns as f64 / 1e6,
+            rig.max_seq
         );
         for &m in multipliers {
             let row = run_point(
-                &program,
-                &weights,
+                &rig,
                 name,
                 m,
                 service_rps * m,
                 requests,
                 seed ^ (m * 1000.0) as u64,
+                false,
             );
             println!(
                 "  {m:.2}x: offered {:.0} rps, throughput {:.0} rps, p50 {:.2} ms, p99 {:.2} ms, \
-                 mean batch {:.2}, rejected {}",
+                 mean batch {:.2}, rejected {}, cache hit {:.1}% ({} compiles, {} ms)",
                 row.report.offered_rps,
                 row.report.throughput_rps(),
                 row.report.percentile_ms(50.0),
                 row.report.percentile_ms(99.0),
                 row.stats.mean_batch(),
                 row.report.rejected,
+                100.0 * row.cache.hit_rate(),
+                row.cache.misses,
+                row.cache.compile_ms,
             );
+            rows.push(row);
+        }
+        if !smoke {
+            // Steady state: same 1x load on a cache warmed by an identical
+            // discarded run — hit rate now measures serving, not cold start.
+            let row = run_point(
+                &rig,
+                name,
+                1.0,
+                service_rps,
+                requests * 4,
+                seed ^ 0x57EA,
+                true,
+            );
+            println!(
+                "  steady: cache hit {:.1}% over {} lookups ({} residual compiles)",
+                100.0 * row.cache.hit_rate(),
+                row.cache.hits + row.cache.misses,
+                row.cache.misses,
+            );
+            if row.cache.hit_rate() < 0.95 {
+                eprintln!(
+                    "{name}: steady-state hit rate {:.1}% below the 95% floor",
+                    100.0 * row.cache.hit_rate()
+                );
+                std::process::exit(1);
+            }
             rows.push(row);
         }
     }
@@ -278,5 +508,5 @@ fn main() {
         eprintln!("emitted report fails schema validation: {e}");
         std::process::exit(1);
     }
-    println!("schema souffle-bench-serve/1: OK");
+    println!("schema souffle-bench-serve/2: OK");
 }

@@ -22,4 +22,5 @@ pub mod graph;
 pub mod models;
 
 pub use graph::{GraphError, LibraryCall, Lowered, NodeId, OpGraph, OpKind, OpNode, Segment};
+pub use models::dynshape::dyn_seq_spec;
 pub use models::{build_model, Model, ModelConfig};

@@ -48,13 +48,35 @@ impl BertConfig {
     }
 }
 
+/// Additive attention-mask value for padded key positions: large enough
+/// that `exp(score + PAD)` underflows to exactly `0.0` after the row-max
+/// subtraction, so padded keys contribute nothing to softmax sums.
+pub const MASK_PAD: f32 = -1e30;
+
 /// Builds the TE program.
 pub fn build(cfg: &BertConfig) -> TeProgram {
+    build_impl(cfg, false)
+}
+
+/// Builds the TE program with an additive attention mask input
+/// (`bert.mask`, shape `[seq]`): `0.0` for valid key positions, [`MASK_PAD`]
+/// for padding. With the mask bound accordingly, outputs at valid positions
+/// are bit-exact against an unpadded compile — padded keys underflow to
+/// probability `0.0` and attention is the only op that mixes positions.
+pub fn build_masked(cfg: &BertConfig) -> TeProgram {
+    build_impl(cfg, true)
+}
+
+fn build_impl(cfg: &BertConfig, masked: bool) -> TeProgram {
+    use souffle_affine::IndexExpr;
+    use souffle_te::{BinaryOp, ScalarExpr};
+
     let mut p = TeProgram::new();
     let dt = DType::F16;
     let (s, h) = (cfg.seq, cfg.hidden);
     let head_dim = h / cfg.heads;
     let mut x = p.add_input("bert.input", Shape::new(vec![s, h]), dt);
+    let mask = masked.then(|| p.add_input("bert.mask", Shape::new(vec![s]), dt));
 
     for l in 0..cfg.layers {
         let pre = format!("bert.l{l}");
@@ -98,6 +120,29 @@ pub fn build(cfg: &BertConfig) -> TeProgram {
             scores,
             1.0 / (head_dim as f32).sqrt(),
         );
+        // Additive mask over the key axis (v2) before the softmax.
+        let scaled = match mask {
+            None => scaled,
+            Some(m) => {
+                let body = ScalarExpr::binary(
+                    BinaryOp::Add,
+                    ScalarExpr::input(
+                        0,
+                        vec![IndexExpr::var(0), IndexExpr::var(1), IndexExpr::var(2)],
+                    ),
+                    ScalarExpr::input(1, vec![IndexExpr::var(2)]),
+                );
+                p.add_te(
+                    &format!("{pre}.scores.mask"),
+                    Shape::new(vec![cfg.heads, s, s]),
+                    dt,
+                    vec![scaled, m],
+                    vec![],
+                    None,
+                    body,
+                )
+            }
+        };
         // Softmax over keys: the reduction pattern TensorRT/XLA cannot fuse
         // with the GEMMs (§8.1).
         let probs = builders::softmax(&mut p, &format!("{pre}.softmax"), scaled);

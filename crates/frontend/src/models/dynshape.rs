@@ -1,0 +1,137 @@
+//! Dynamic-shape lowerings: models with the sequence dimension left
+//! symbolic, declared over `1..=max` and served via shape buckets.
+//!
+//! BERT lowers once as a shape-only [`DynSource::Template`] — the encoder's
+//! structure is independent of `seq`, so probing the builder at two lengths
+//! recovers which extents track the sym. The unrolled LSTM's TE count grows
+//! with the step count, so it stays a [`DynSource::Generator`] and is
+//! verified per bucket instead of parametrically. Both carry the padding
+//! contract (mask/gate derived inputs) that makes padded slots inert.
+
+use super::{bert, lstm, Model, ModelConfig};
+use souffle_te::sym::{DerivedInput, DynProgram, DynSource, DynSpec, PerStep, SymTable};
+use std::sync::Arc;
+
+/// Name of the symbolic sequence dim in every seq-dynamic spec.
+pub const SEQ_SYM: &str = "seq";
+
+/// The symbolic-sequence lowering of a model, if it has one.
+///
+/// BERT and LSTM — the two sequence models — are dynamic over
+/// `seq in 1..=max` where `max` is the size class's fixed length; the
+/// remaining four models have no sequence dimension and return `None`.
+pub fn dyn_seq_spec(model: Model, config: ModelConfig) -> Option<DynSpec> {
+    match model {
+        Model::Bert => {
+            let cfg = bert::BertConfig::new(config);
+            let mut table = SymTable::new();
+            let seq = table.declare(SEQ_SYM, 1, cfg.seq);
+            let dp = DynProgram::infer(table.clone(), &move |b| {
+                bert::build_masked(&bert::BertConfig {
+                    seq: b.get(seq),
+                    ..cfg
+                })
+            })
+            .expect("BERT is structurally stable over seq");
+            Some(DynSpec {
+                table,
+                source: DynSource::Template(dp),
+                pad_fill: Vec::new(),
+                derived: vec![DerivedInput::SeqMask {
+                    name: "bert.mask".into(),
+                    sym: seq,
+                    valid: 0.0,
+                    pad: bert::MASK_PAD,
+                }],
+                per_step: Vec::new(),
+            })
+        }
+        Model::Lstm => {
+            let cfg = lstm::LstmConfig::new(config);
+            let mut table = SymTable::new();
+            let seq = table.declare(SEQ_SYM, 1, cfg.steps as i64);
+            Some(DynSpec {
+                table,
+                source: DynSource::Generator(Arc::new(move |b| {
+                    lstm::build_gated(&lstm::LstmConfig {
+                        steps: b.get(seq) as usize,
+                        ..cfg
+                    })
+                })),
+                pad_fill: Vec::new(),
+                derived: vec![DerivedInput::StepGate {
+                    prefix: "lstm.m".into(),
+                    sym: seq,
+                    valid: 1.0,
+                    pad: 0.0,
+                }],
+                per_step: vec![PerStep {
+                    prefix: "lstm.x".into(),
+                    sym: seq,
+                }],
+            })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use souffle_te::sym::Dim;
+
+    #[test]
+    fn bert_seq_template_infers_symbolic_axes() {
+        let spec = dyn_seq_spec(Model::Bert, ModelConfig::Tiny).unwrap();
+        let dp = spec.template().expect("BERT lowers once as a template");
+        let seq = dp.table().ids().next().unwrap();
+        assert_eq!(dp.table().bounds(seq), (1, 8));
+        // bert.input is (seq, hidden): axis 0 symbolic.
+        assert_eq!(dp.tensor_dims(0), &[Dim::Sym(seq), Dim::Fixed(16)]);
+        // Concretizing at the max bound reproduces the fixed-shape build.
+        let at_max = dp.concretize(&dp.table().max_binding());
+        let fixed = bert::build_masked(&bert::BertConfig::new(ModelConfig::Tiny));
+        assert_eq!(at_max.tensors(), fixed.tensors());
+        assert_eq!(at_max.tes(), fixed.tes());
+        // Some reduction extent must track seq (the ctx batched GEMM).
+        let any_sym_reduce =
+            (0..at_max.num_tes()).any(|i| dp.reduce_dims(i).contains(&Dim::Sym(seq)));
+        assert!(any_sym_reduce);
+        for s in 1..=8 {
+            dp.concretize(&dp.table().bind(vec![s]).unwrap())
+                .validate()
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn lstm_seq_generator_builds_every_length() {
+        let spec = dyn_seq_spec(Model::Lstm, ModelConfig::Tiny).unwrap();
+        assert!(spec.template().is_none(), "unrolled LSTM is a generator");
+        for s in 1..=3 {
+            let p = spec.at(&spec.table.bind(vec![s]).unwrap());
+            p.validate().unwrap();
+            // s steps of x inputs plus s step gates.
+            let n_x = p
+                .tensors()
+                .iter()
+                .filter(|t| spec.per_step_index(&t.name).is_some())
+                .count();
+            assert_eq!(n_x as i64, s);
+        }
+        assert!(spec.is_derived_name("lstm.m0"));
+        assert!(!spec.is_derived_name("lstm.x0"));
+    }
+
+    #[test]
+    fn non_sequence_models_have_no_seq_spec() {
+        for m in [
+            Model::ResNext,
+            Model::EfficientNet,
+            Model::SwinTransformer,
+            Model::Mmoe,
+        ] {
+            assert!(dyn_seq_spec(m, ModelConfig::Tiny).is_none());
+        }
+    }
+}

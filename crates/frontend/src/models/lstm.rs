@@ -42,6 +42,23 @@ impl LstmConfig {
 
 /// Builds the TE program.
 pub fn build(cfg: &LstmConfig) -> TeProgram {
+    build_impl(cfg, false)
+}
+
+/// Builds the TE program with per-step scalar gates (`lstm.m{t}`, shape
+/// `[1]`): `1.0` for real steps, `0.0` for padding. A gated step computes
+/// `h' = m*h_new + (1-m)*h_old` (likewise for the cell state), so padded
+/// steps pass state through bit-exactly and the final output equals the
+/// unpadded program's — sum-fold GEMVs never produce `-0.0`, which is the
+/// only value a pass-through could perturb.
+pub fn build_gated(cfg: &LstmConfig) -> TeProgram {
+    build_impl(cfg, true)
+}
+
+fn build_impl(cfg: &LstmConfig, gated: bool) -> TeProgram {
+    use souffle_affine::IndexExpr;
+    use souffle_te::ScalarExpr;
+
     let mut p = TeProgram::new();
     let dt = DType::F16;
     let h = cfg.hidden;
@@ -68,8 +85,36 @@ pub fn build(cfg: &LstmConfig) -> TeProgram {
         .map(|t| p.add_input(&format!("lstm.x{t}"), Shape::new(vec![h]), dt))
         .collect();
 
+    // Blend `new` and `old` by the scalar gate: m*new + (1-m)*old.
+    let mix = |p: &mut TeProgram, name: &str, m, new, old| {
+        let gate = || ScalarExpr::input(0, vec![IndexExpr::constant(0)]);
+        let body = ScalarExpr::binary(
+            BinaryOp::Add,
+            ScalarExpr::binary(
+                BinaryOp::Mul,
+                gate(),
+                ScalarExpr::input(1, vec![IndexExpr::var(0)]),
+            ),
+            ScalarExpr::binary(
+                BinaryOp::Mul,
+                ScalarExpr::binary(BinaryOp::Sub, ScalarExpr::Const(1.0), gate()),
+                ScalarExpr::input(2, vec![IndexExpr::var(0)]),
+            ),
+        );
+        p.add_te(
+            name,
+            Shape::new(vec![h]),
+            dt,
+            vec![m, new, old],
+            vec![],
+            None,
+            body,
+        )
+    };
+
     let mut last_output = None;
     for (t, &input_t) in inputs.iter().enumerate() {
+        let gate = gated.then(|| p.add_input(&format!("lstm.m{t}"), Shape::new(vec![1]), dt));
         let mut x = input_t;
         for n in 0..cfg.cells {
             let tag = format!("lstm.t{t}.c{n}");
@@ -93,9 +138,16 @@ pub fn build(cfg: &LstmConfig) -> TeProgram {
             let c_new = builders::add(&mut p, &format!("{tag}.c"), fc, ig);
             let tc = builders::unary(&mut p, &format!("{tag}.tanh_c"), UnaryOp::Tanh, c_new);
             let h_new = builders::binary(&mut p, &format!("{tag}.h"), BinaryOp::Mul, o_g, tc);
-            cell[n] = c_new;
-            hidden[n] = h_new;
-            x = h_new;
+            let (c_next, h_next) = match gate {
+                None => (c_new, h_new),
+                Some(m) => (
+                    mix(&mut p, &format!("{tag}.cgate"), m, c_new, cell[n]),
+                    mix(&mut p, &format!("{tag}.hgate"), m, h_new, hidden[n]),
+                ),
+            };
+            cell[n] = c_next;
+            hidden[n] = h_next;
+            x = h_next;
         }
         last_output = Some(x);
     }

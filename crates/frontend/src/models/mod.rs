@@ -1,6 +1,7 @@
 //! Model builders.
 
 pub mod bert;
+pub mod dynshape;
 pub mod efficientnet;
 pub mod lstm;
 pub mod mmoe;

@@ -42,5 +42,6 @@ pub use device::GpuSpec;
 pub use occupancy::{estimate_occupancy, OccupancyEstimate};
 pub use schedule::{Schedule, TileDim};
 pub use search::{
-    auto_schedule, schedule_program, schedule_program_with_stats, ScheduleCacheStats, ScheduleMap,
+    auto_schedule, program_signature, schedule_program, schedule_program_with_stats,
+    ScheduleCacheStats, ScheduleMap,
 };

@@ -70,6 +70,33 @@ pub fn schedule_program_with_stats(
     (map, stats)
 }
 
+/// Structural signature of a whole program: a stable 64-bit FNV-1a hash of
+/// every TE's [`te_signature`] plus the tensor table (names, kinds, shapes,
+/// dtypes). Two programs share a signature exactly when the scheduler and
+/// compiler see the same structure — the shape-bucketed kernel cache uses
+/// this as the structural half of its `ShapeClass` key.
+pub fn program_signature(program: &TeProgram) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut feed = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    for t in program.tensors() {
+        feed(t.name.as_bytes());
+        feed(format!("|{:?}|{:?}|{:?};", t.kind, t.shape.dims(), t.dtype).as_bytes());
+    }
+    for id in program.te_ids() {
+        feed(te_signature(program, id).as_bytes());
+        feed(program.te(id).name.as_bytes());
+        feed(b";");
+    }
+    h
+}
+
 /// Structural signature of a TE: everything [`auto_schedule`] and the cost
 /// model read — output dims and dtype, reduction extents and op, operand
 /// shapes and dtypes, and the body (rendered, which covers every access
@@ -268,6 +295,32 @@ mod tests {
 
     fn spec() -> GpuSpec {
         GpuSpec::a100()
+    }
+
+    #[test]
+    fn program_signature_tracks_structure_and_shape() {
+        let build = |n: i64, name: &str| {
+            let mut p = TeProgram::new();
+            let a = p.add_input("A", Shape::new(vec![n, 16]), DType::F32);
+            let b = p.add_weight("B", Shape::new(vec![16, 4]), DType::F32);
+            let c = builders::matmul(&mut p, name, a, b);
+            p.mark_output(c);
+            p
+        };
+        // Deterministic and shape-sensitive: same build hashes equal, a
+        // different leading extent or TE name hashes differently.
+        assert_eq!(
+            program_signature(&build(8, "mm")),
+            program_signature(&build(8, "mm"))
+        );
+        assert_ne!(
+            program_signature(&build(8, "mm")),
+            program_signature(&build(9, "mm"))
+        );
+        assert_ne!(
+            program_signature(&build(8, "mm")),
+            program_signature(&build(8, "mm2"))
+        );
     }
 
     #[test]

@@ -12,11 +12,17 @@
 //!  ResponseHandle ◀────────── per-request completion ◀────────────┘
 //! ```
 //!
-//! - **Bucketed variants, not dynamic shapes.** Each registered model is
-//!   compiled once per batch bucket (default 1/2/4/8) via
-//!   [`souffle_transform::batch_program`]; a batch of `n` runs on the
-//!   smallest bucket `>= n` with padded slots. No per-request
-//!   (re)compilation — the Vortex-style answer to varying batch sizes.
+//! - **Shape-bucketed lazy compilation.** Each registered model —
+//!   fixed-shape via [`ServerBuilder::register`] or with a symbolic
+//!   sequence dim via [`ServerBuilder::register_dyn`] and a
+//!   [`souffle_te::sym::DynSpec`] — is compiled per
+//!   [`souffle::ShapeClass`] (structural signature × `(batch, seq)`
+//!   bucket vector) on first miss in a [`souffle::ShapeCache`], then
+//!   memoized. A batch of `n` requests at mixed sequence lengths runs
+//!   on the smallest covering bucket with padded slots (mask/gate
+//!   derived inputs keep padding bit-inert) and responses are sliced
+//!   back to each request's true length. No per-request
+//!   (re)compilation — the Vortex-style answer to varying shapes.
 //! - **Explicit backpressure.** Admission is bounded; at capacity
 //!   [`Submit::Rejected`] is returned immediately instead of queueing
 //!   without bound.
@@ -27,7 +33,9 @@
 //!   and `tests/serve_differential.rs`).
 //! - **Observable.** With a tracer installed, each batch records a
 //!   `serve:batch:<model>` span whose children are the runtime's `eval`
-//!   tree and one `serve:request` span per request.
+//!   tree and one `serve:request` span per request; the shape cache
+//!   records `compile:bucket:<k>` spans and the
+//!   `shape_cache.hit/miss/compile_ms/evict` counters.
 //!
 //! [`loadgen`] adds a seeded open-loop (Poisson-ish) load generator; the
 //! `bench_serve` bin in `souffle-bench` uses it to produce the

@@ -1,12 +1,18 @@
 //! The serving engine: bounded admission → dynamic batcher → worker pool
-//! over pre-compiled batch-bucket variants.
+//! over a shape-bucketed compile cache.
 //!
-//! One [`Server`] owns, per registered model, the Souffle-transformed TE
-//! program plus one `CompiledProgram` + `ExecPlan` per batch bucket
-//! (default 1/2/4/8), built once at registration — no per-request
-//! compilation ever happens. A flushed batch of `n` requests runs on the
-//! smallest bucket `>= n`, padding the trailing slots by replicating the
-//! last request's inputs (padded outputs are discarded).
+//! One [`Server`] owns, per registered model, a dynamic-shape spec
+//! ([`souffle_te::sym::DynSpec`] — fixed-shape models are the degenerate
+//! no-sym case) and a lazy [`souffle::ShapeCache`] of compiled variants
+//! keyed by [`souffle::ShapeClass`] (structural program signature ×
+//! `[batch_bucket, seq_bucket…]`). A flushed batch of `n` requests whose
+//! longest sequence is `s` runs on the smallest batch bucket `>= n` and the
+//! smallest sequence bucket `>= s` (from
+//! [`souffle_te::sym::bucket_boundaries`]), compiled on first miss —
+//! exactly once even when workers race — and memoized thereafter. Padded
+//! batch slots replicate the last request; padded sequence positions are
+//! filled per the spec's padding contract (fill values + derived
+//! masks/gates that keep them inert) and sliced off the response.
 //!
 //! **Backpressure.** Admission is bounded by
 //! [`ServeOptions::queue_capacity`] *admitted-but-uncompleted* requests.
@@ -23,17 +29,19 @@
 //! **Determinism.** Batched execution is the [`souffle_transform::batch_program`]
 //! rewrite evaluated on the wavefront [`Runtime`], so every response is
 //! bit-identical to evaluating that request alone via
-//! `Souffle::eval_reference` — regardless of which requests it shared a
-//! batch with, the bucket it padded into, or the worker that ran it
-//! (`tests/serve_differential.rs` enforces this across all six models ×
-//! buckets 1/2/4/8).
+//! `Souffle::eval_reference` at the request's *exact* shape — regardless
+//! of which requests it shared a batch with, the buckets it padded into,
+//! or the worker that ran it (`tests/serve_differential.rs` and
+//! `tests/dynamic_shape_differential.rs` enforce this).
 
 use crate::batcher::{bucket_for, Batch, BatchTrigger, BatcherCore};
+use souffle::{env_shape_cache, sched::program_signature, ShapeCache, ShapeClass};
 use souffle::{Souffle, SouffleOptions};
+use souffle_te::sym::{bucket_boundaries, DynSpec};
 use souffle_te::{
     compile_program, CompiledProgram, ExecPlan, Runtime, TeProgram, TensorId, TensorKind,
 };
-use souffle_tensor::Tensor;
+use souffle_tensor::{DType, Shape, Tensor};
 use souffle_trace::Tracer;
 use souffle_transform::{batch_program, split_batch, stack_tensors};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -62,9 +70,15 @@ pub struct ServeOptions {
     pub batch_deadline_ns: u64,
     /// Batch-executing worker threads.
     pub workers: usize,
-    /// Batch buckets (ascending): one compiled variant per bucket, a
-    /// batch of `n` runs padded on the smallest bucket `>= n`.
+    /// Batch buckets (ascending): a batch of `n` runs padded on the
+    /// smallest bucket `>= n`. The default is
+    /// [`souffle_te::sym::bucket_boundaries`]`(1, 8)`. Variants compile
+    /// lazily on first use, not at registration.
     pub buckets: Vec<usize>,
+    /// Maximum resident compiled variants per model; past it the
+    /// least-recently-used ready variant is evicted (and recompiles
+    /// bit-identically on the next miss). `None` = unbounded.
+    pub shape_cache_capacity: Option<usize>,
 }
 
 impl Default for ServeOptions {
@@ -75,6 +89,7 @@ impl Default for ServeOptions {
             batch_deadline_ns: 2_000_000, // 2 ms
             workers: 1,
             buckets: vec![1, 2, 4, 8],
+            shape_cache_capacity: None,
         }
     }
 }
@@ -106,13 +121,17 @@ impl Submit {
 /// A completed inference.
 #[derive(Debug, Clone)]
 pub struct Response {
-    /// Output tensors of this request alone (batch slice, un-padded),
-    /// keyed by the model program's output tensor ids.
+    /// Output tensors of this request alone (batch slice, un-padded, and
+    /// sliced back to the request's own sequence length), keyed by the
+    /// model interface program's output tensor ids.
     pub outputs: HashMap<TensorId, Tensor>,
     /// Real requests in the executed batch (padding excluded).
     pub batch_size: usize,
-    /// The bucket variant that ran it.
+    /// The batch bucket that ran it.
     pub bucket: usize,
+    /// The sequence bucket the request padded into (`None` for models
+    /// without a symbolic dim).
+    pub seq_bucket: Option<i64>,
     /// What flushed the batch.
     pub trigger: BatchTrigger,
     /// Submission → execution start (queueing + batching delay).
@@ -246,26 +265,80 @@ impl ResponseHandle {
     }
 }
 
-struct Variant {
-    bucket: usize,
+/// How one non-weight input of a bucket variant is filled per batch slot.
+enum SlotRole {
+    /// Derived by the server from the request's shape binding (mask/gate).
+    Derived,
+    /// Member `step` of a per-step family: the request's tensor while
+    /// `step < seq`, a `fill`-valued tensor beyond.
+    PerStep {
+        iface_id: TensorId,
+        step: i64,
+        fill: f32,
+    },
+    /// A regular input; symbolic axes pad from the request's extent up to
+    /// the bucket extent with `fill`.
+    Regular { iface_id: TensorId, fill: f32 },
+}
+
+struct SlotInput {
+    name: String,
+    bp_id: TensorId,
+    /// Unbatched shape in the bucket program.
+    shape: Shape,
+    dtype: DType,
+    role: SlotRole,
+}
+
+/// One lazily compiled `(batch bucket, seq bucket)` variant.
+struct DynVariant {
     cp: CompiledProgram,
     plan: ExecPlan,
+    /// Pre-bound unbatched weights, keyed by bucket-program id.
+    weights: HashMap<TensorId, Tensor>,
+    /// Non-weight inputs of the bucket program, in binding order.
+    slots: Vec<SlotInput>,
+    /// `(iface output id, bucket-program output id, symbolic axes)` —
+    /// positional across the two programs.
+    outputs: Vec<(TensorId, TensorId, Vec<usize>)>,
+}
+
+/// Symbolic-dim bookkeeping for a model with one declared sym.
+struct SymInfo {
+    min: i64,
+    max: i64,
+    /// Analytic sequence buckets: `bucket_boundaries(min, max)`.
+    seq_buckets: Vec<i64>,
+    /// Symbolic axes per regular (non-step, non-derived) input name.
+    in_sym_axes: HashMap<String, Vec<usize>>,
+    /// Symbolic axes per output position.
+    out_sym_axes: Vec<Vec<usize>>,
 }
 
 struct ModelEntry {
     name: String,
-    /// The Souffle-transformed (unbatched) program; requests bind its
-    /// non-weight free tensors (transformations preserve the tensor
-    /// table, so these are the original model program's ids).
-    base: TeProgram,
-    weights: HashMap<TensorId, Tensor>,
+    spec: DynSpec,
+    /// Interface program (`spec` at the max binding, untransformed):
+    /// requests bind its tensor ids; responses key its output ids.
+    iface: TeProgram,
+    /// Weights by tensor name (names are stable across shape bindings;
+    /// ids are not, for generator-sourced specs).
+    weights: HashMap<String, Tensor>,
+    /// Non-weight, non-derived free tensors of the interface — what a
+    /// max-length request binds; shorter requests bind the subset that
+    /// exists at their length.
     input_ids: Vec<TensorId>,
     output_ids: Vec<TensorId>,
-    variants: Vec<Variant>,
+    /// Structural half of the [`ShapeClass`] cache key.
+    sig: u64,
+    sym: Option<SymInfo>,
+    variants: ShapeCache<DynVariant>,
 }
 
 struct Pending {
     inputs: HashMap<TensorId, Tensor>,
+    /// The request's sequence length (`None` for fixed-shape models).
+    seq: Option<i64>,
     done: Arc<Completion>,
     submitted_ns: u64,
 }
@@ -308,8 +381,9 @@ impl Shared {
     }
 }
 
-/// Configures and builds a [`Server`]; model registration (and its
-/// per-bucket compilation) happens here, before any thread starts.
+/// Configures and builds a [`Server`]; model registration validates specs
+/// and weights up front, but compiles nothing — variants compile lazily on
+/// first use through the shape cache.
 pub struct ServerBuilder {
     opts: ServeOptions,
     tracer: Tracer,
@@ -353,16 +427,19 @@ impl ServerBuilder {
     /// spans are roots, not children of the batch span: a request's
     /// lifetime *contains* its batch execution (queueing happens before
     /// the batch starts), so nesting it under the batch would violate
-    /// `Trace::well_formed`'s containment invariant.
+    /// `Trace::well_formed`'s containment invariant. Variant compiles
+    /// additionally record `compile:bucket:<k>` spans and the
+    /// `shape_cache.hit` / `shape_cache.miss` / `shape_cache.compile_ms`
+    /// counters.
     pub fn tracer(mut self, tracer: Tracer) -> ServerBuilder {
         self.tracer = tracer;
         self
     }
 
-    /// Registers a model: runs the Souffle pipeline once, then compiles
-    /// one batched variant per bucket. `weights` must bind every
-    /// `Weight`-kind free tensor of `program` (weights are shared across
-    /// every batch; requests bind only the remaining inputs).
+    /// Registers a fixed-shape model (the degenerate no-sym dynamic spec).
+    /// `weights` must bind every `Weight`-kind free tensor of `program`
+    /// (weights are shared across every batch; requests bind only the
+    /// remaining inputs).
     ///
     /// # Panics
     ///
@@ -370,23 +447,50 @@ impl ServerBuilder {
     /// deployment-time programming errors, unlike per-request problems
     /// which surface as [`Submit::Invalid`].
     pub fn register(
-        mut self,
+        self,
         name: &str,
         program: &TeProgram,
         weights: HashMap<TensorId, Tensor>,
+    ) -> ServerBuilder {
+        let by_name = weights
+            .into_iter()
+            .map(|(id, t)| (program.tensor(id).name.clone(), t))
+            .collect();
+        self.register_dyn(name, DynSpec::fixed(program.clone()), by_name)
+    }
+
+    /// Registers a dynamic-shape model from its [`DynSpec`]. Requests bind
+    /// the interface program's tensor ids (the spec at its max binding);
+    /// shorter sequences bind the subset of inputs that exists at their
+    /// length, with symbolic-axis extents at the actual length. Derived
+    /// inputs (masks/gates) are supplied by the server, never the
+    /// requester.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate name, more than one declared sym, or
+    /// missing/mis-shaped weights.
+    pub fn register_dyn(
+        mut self,
+        name: &str,
+        spec: DynSpec,
+        weights: HashMap<String, Tensor>,
     ) -> ServerBuilder {
         assert!(
             !self.models.contains_key(name),
             "model {name:?} registered twice"
         );
-        let compiled = Souffle::new(SouffleOptions::full()).compile(program);
-        let base = compiled.program;
+        assert!(
+            spec.table.len() <= 1,
+            "model {name:?}: at most one symbolic dim per served model"
+        );
+        let iface = spec.at(&spec.table.max_binding());
         let mut input_ids = Vec::new();
-        for id in base.free_tensors() {
-            let info = base.tensor(id);
+        for id in iface.free_tensors() {
+            let info = iface.tensor(id);
             if info.kind == TensorKind::Weight {
                 let w = weights
-                    .get(&id)
+                    .get(&info.name)
                     .unwrap_or_else(|| panic!("model {name:?}: missing weight {}", info.name));
                 // Shape only: `Tensor` storage is always f32 and its dtype
                 // is a logical tag (F16 models bind f32-backed tensors
@@ -399,44 +503,94 @@ impl ServerBuilder {
                     w.shape(),
                     info.shape
                 );
-            } else {
+            } else if !spec.is_derived_name(&info.name) {
                 input_ids.push(id);
             }
         }
-        let variants = self
-            .opts
-            .buckets
-            .iter()
-            .map(|&b| {
-                let bp = batch_program(&base, b as i64);
-                // Translation-validate the batch rewrite before the bucket
-                // variant is ever served (debug default / SOUFFLE_CERTIFY).
-                if souffle_verify::certify_default() {
-                    let (_, d) = souffle_verify::certify_batch(&base, &bp, b as i64);
-                    assert!(
-                        !d.has_errors(),
-                        "model {name:?}: batch-{b} variant failed certification:\n{d}"
+        let sym = spec.table.ids().next().map(|sid| {
+            let (min, max) = spec.table.bounds(sid);
+            let pmin = spec.at(&spec.table.min_binding());
+            // Name-diff the min- and max-binding programs: an axis whose
+            // extent differs between the two tracks the sym (extents are
+            // slope-1 in the sym, so min < max implies a visible diff).
+            let min_by_name: HashMap<String, Shape> = pmin
+                .tensors()
+                .iter()
+                .map(|t| (t.name.clone(), t.shape.clone()))
+                .collect();
+            let mut in_sym_axes = HashMap::new();
+            for &id in &input_ids {
+                let info = iface.tensor(id);
+                if spec.per_step_index(&info.name).is_some() {
+                    continue; // family members have fixed shapes
+                }
+                let Some(smin) = min_by_name.get(&info.name) else {
+                    panic!(
+                        "model {name:?}: input {} missing at the min binding",
+                        info.name
                     );
+                };
+                let axes: Vec<usize> = info
+                    .shape
+                    .dims()
+                    .iter()
+                    .zip(smin.dims())
+                    .enumerate()
+                    .filter(|(_, (a, b))| a != b)
+                    .map(|(axis, _)| axis)
+                    .collect();
+                if !axes.is_empty() {
+                    in_sym_axes.insert(info.name.clone(), axes);
                 }
-                let cp = compile_program(&bp);
-                let plan = ExecPlan::from_compiled(&cp);
-                Variant {
-                    bucket: b,
-                    cp,
-                    plan,
-                }
-            })
-            .collect();
-        let output_ids = base.outputs();
+            }
+            let omin = pmin.outputs();
+            let omax = iface.outputs();
+            assert_eq!(
+                omin.len(),
+                omax.len(),
+                "model {name:?}: output count changes with the sym"
+            );
+            let out_sym_axes = omin
+                .iter()
+                .zip(&omax)
+                .map(|(&a, &b)| {
+                    iface
+                        .tensor(b)
+                        .shape
+                        .dims()
+                        .iter()
+                        .zip(pmin.tensor(a).shape.dims())
+                        .enumerate()
+                        .filter(|(_, (x, y))| x != y)
+                        .map(|(axis, _)| axis)
+                        .collect()
+                })
+                .collect();
+            SymInfo {
+                min,
+                max,
+                seq_buckets: bucket_boundaries(min, max),
+                in_sym_axes,
+                out_sym_axes,
+            }
+        });
+        let output_ids = iface.outputs();
+        let sig = program_signature(&iface);
         self.models.insert(
             name.to_string(),
             Arc::new(ModelEntry {
                 name: name.to_string(),
-                base,
+                spec,
+                iface,
                 weights,
                 input_ids,
                 output_ids,
-                variants,
+                sig,
+                sym,
+                variants: ShapeCache::with_settings(
+                    env_shape_cache().unwrap_or(true),
+                    self.opts.shape_cache_capacity,
+                ),
             }),
         );
         self
@@ -504,10 +658,11 @@ impl std::fmt::Debug for Server {
 }
 
 impl Server {
-    /// Submits one inference request for `model`. `inputs` must bind
-    /// exactly the model's non-weight free tensors with correctly shaped
-    /// tensors. Never blocks: over-capacity submissions are
-    /// [`Submit::Rejected`] immediately.
+    /// Submits one inference request for `model`. `inputs` must bind the
+    /// model's non-weight, non-derived free tensors — for dynamic models,
+    /// the subset existing at the request's sequence length, with
+    /// symbolic axes at that length. Never blocks: over-capacity
+    /// submissions are [`Submit::Rejected`] immediately.
     pub fn submit(&self, model: &str, inputs: HashMap<TensorId, Tensor>) -> Submit {
         let shared = &*self.shared;
         let Some(entry) = shared.models.get(model) else {
@@ -515,11 +670,14 @@ impl Server {
             st.stats.invalid += 1;
             return Submit::Invalid(format!("unknown model {model:?}"));
         };
-        if let Err(why) = validate_inputs(entry, &inputs) {
-            let mut st = shared.state.lock().expect("server state poisoned");
-            st.stats.invalid += 1;
-            return Submit::Invalid(why);
-        }
+        let seq = match validate_inputs(entry, &inputs) {
+            Ok(seq) => seq,
+            Err(why) => {
+                let mut st = shared.state.lock().expect("server state poisoned");
+                st.stats.invalid += 1;
+                return Submit::Invalid(why);
+            }
+        };
         let now = shared.now_ns();
         let mut st = shared.state.lock().expect("server state poisoned");
         if st.shutting_down {
@@ -540,6 +698,7 @@ impl Server {
         };
         let pending = Pending {
             inputs,
+            seq,
             done,
             submitted_ns: now,
         };
@@ -571,9 +730,25 @@ impl Server {
         self.shared.models.keys().cloned().collect()
     }
 
-    /// The non-weight free tensors a request for `model` must bind.
+    /// The non-weight, non-derived free tensors a max-length request for
+    /// `model` must bind.
     pub fn input_ids(&self, model: &str) -> Option<Vec<TensorId>> {
         self.shared.models.get(model).map(|e| e.input_ids.clone())
+    }
+
+    /// Number of compiled variants currently resident in `model`'s shape
+    /// cache.
+    pub fn cached_variants(&self, model: &str) -> Option<usize> {
+        self.shared.models.get(model).map(|e| e.variants.len())
+    }
+
+    /// The sequence buckets `model` compiles over (`None` for an unknown
+    /// model, empty for fixed-shape models).
+    pub fn seq_buckets(&self, model: &str) -> Option<Vec<i64>> {
+        self.shared
+            .models
+            .get(model)
+            .map(|e| e.sym.as_ref().map_or(Vec::new(), |s| s.seq_buckets.clone()))
     }
 
     /// Stops admission, drains every queued request (each completes
@@ -618,36 +793,164 @@ impl Drop for Server {
     }
 }
 
-fn validate_inputs(entry: &ModelEntry, inputs: &HashMap<TensorId, Tensor>) -> Result<(), String> {
-    for &id in &entry.input_ids {
-        let info = entry.base.tensor(id);
-        let Some(t) = inputs.get(&id) else {
+/// Validates a request's bindings and infers its sequence length for
+/// dynamic models (`Ok(None)` for fixed-shape models).
+fn validate_inputs(
+    entry: &ModelEntry,
+    inputs: &HashMap<TensorId, Tensor>,
+) -> Result<Option<i64>, String> {
+    let Some(sym) = &entry.sym else {
+        for &id in &entry.input_ids {
+            let info = entry.iface.tensor(id);
+            let Some(t) = inputs.get(&id) else {
+                return Err(format!(
+                    "model {:?}: missing input {} ({id})",
+                    entry.name, info.name
+                ));
+            };
+            // Shape only — dtype is a logical tag over f32 storage (see
+            // `ServerBuilder::register_dyn`).
+            if t.shape() != &info.shape {
+                return Err(format!(
+                    "model {:?}: input {} bound as {:?}, expected {:?}",
+                    entry.name,
+                    info.name,
+                    t.shape(),
+                    info.shape
+                ));
+            }
+        }
+        if inputs.len() != entry.input_ids.len() {
             return Err(format!(
-                "model {:?}: missing input {} ({id})",
-                entry.name, info.name
-            ));
-        };
-        // Shape only — dtype is a logical tag over f32 storage (see
-        // `ServerBuilder::register`).
-        if t.shape() != &info.shape {
-            return Err(format!(
-                "model {:?}: input {} bound as {:?}, expected {:?}",
+                "model {:?}: {} bindings supplied, expected exactly the {} model inputs",
                 entry.name,
-                info.name,
-                t.shape(),
-                info.shape
+                inputs.len(),
+                entry.input_ids.len()
+            ));
+        }
+        return Ok(None);
+    };
+
+    // Dynamic model: every bound id must be a known input, and the
+    // sequence length must be inferable consistently — from symbolic-axis
+    // extents and/or per-step family counts.
+    for &id in inputs.keys() {
+        if !entry.input_ids.contains(&id) {
+            return Err(format!(
+                "model {:?}: {id} is not a bindable input (unknown, weight, or derived)",
+                entry.name
             ));
         }
     }
-    if inputs.len() != entry.input_ids.len() {
+    let mut seq: Option<(i64, String)> = None;
+    let note = |s: i64, what: String, seq: &mut Option<(i64, String)>| -> Result<(), String> {
+        match seq {
+            None => {
+                *seq = Some((s, what));
+                Ok(())
+            }
+            Some((prev, _)) if *prev == s => Ok(()),
+            Some((prev, why)) => Err(format!(
+                "model {:?}: inconsistent sequence length — {why} says {prev}, {what} says {s}",
+                entry.name
+            )),
+        }
+    };
+    // Per-step family counts.
+    for ps in &entry.spec.per_step {
+        let count = inputs
+            .keys()
+            .filter(|&&id| {
+                let name = &entry.iface.tensor(id).name;
+                name.starts_with(&ps.prefix) && entry.spec.per_step_index(name).is_some()
+            })
+            .count() as i64;
+        if count > 0 {
+            note(count, format!("{} step count", ps.prefix), &mut seq)?;
+        }
+    }
+    // Symbolic-axis extents of bound regular inputs.
+    for (&id, t) in inputs {
+        let name = &entry.iface.tensor(id).name;
+        if let Some(axes) = sym.in_sym_axes.get(name) {
+            let axis = axes[0];
+            if axis >= t.shape().rank() {
+                return Err(format!(
+                    "model {:?}: input {name} bound with rank {} (expected {})",
+                    entry.name,
+                    t.shape().rank(),
+                    entry.iface.tensor(id).shape.rank()
+                ));
+            }
+            note(t.shape().dim(axis), format!("{name} axis {axis}"), &mut seq)?;
+        }
+    }
+    let s = match seq {
+        Some((s, _)) => s,
+        None if sym.min == sym.max => sym.max,
+        None => {
+            return Err(format!(
+                "model {:?}: cannot infer the sequence length from the bound inputs",
+                entry.name
+            ))
+        }
+    };
+    if s < sym.min || s > sym.max {
         return Err(format!(
-            "model {:?}: {} bindings supplied, expected exactly the {} model inputs",
-            entry.name,
-            inputs.len(),
-            entry.input_ids.len()
+            "model {:?}: sequence length {s} outside declared bounds {}..={}",
+            entry.name, sym.min, sym.max
         ));
     }
-    Ok(())
+    // The bound set must be exactly the inputs that exist at length `s`,
+    // each with the shape the interface dictates (symbolic axes at `s`).
+    let mut expected = 0usize;
+    for &id in &entry.input_ids {
+        let info = entry.iface.tensor(id);
+        let required = match entry.spec.per_step_index(&info.name) {
+            Some((_, t)) => t < s,
+            None => true,
+        };
+        if !required {
+            if inputs.contains_key(&id) {
+                return Err(format!(
+                    "model {:?}: input {} bound but the request's length is {s}",
+                    entry.name, info.name
+                ));
+            }
+            continue;
+        }
+        expected += 1;
+        let Some(t) = inputs.get(&id) else {
+            return Err(format!(
+                "model {:?}: missing input {} ({id}) at length {s}",
+                entry.name, info.name
+            ));
+        };
+        let mut want = info.shape.dims().to_vec();
+        if let Some(axes) = sym.in_sym_axes.get(&info.name) {
+            for &a in axes {
+                want[a] = s;
+            }
+        }
+        if t.shape().dims() != want.as_slice() {
+            return Err(format!(
+                "model {:?}: input {} bound as {:?}, expected {:?} at length {s}",
+                entry.name,
+                info.name,
+                t.shape(),
+                want
+            ));
+        }
+    }
+    if inputs.len() != expected {
+        return Err(format!(
+            "model {:?}: {} bindings supplied, expected {} at length {s}",
+            entry.name,
+            inputs.len(),
+            expected
+        ));
+    }
+    Ok(Some(s))
 }
 
 /// Flushes deadline-expired classes; sleeps until the next deadline (or
@@ -703,28 +1006,218 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-/// Runs one flushed batch on its bucket variant and completes every
-/// request handle (exactly once, success or failure).
+/// Compiles (or fetches) the `(batch, seq)` bucket variant of a model.
+fn build_variant(entry: &ModelEntry, batch: usize, seq: Option<i64>) -> DynVariant {
+    let binding = match seq {
+        Some(s) => entry
+            .spec
+            .table
+            .bind(vec![s])
+            .expect("seq bucket within declared bounds"),
+        None => entry.spec.table.max_binding(),
+    };
+    let concrete = entry.spec.at(&binding);
+    let compiled = Souffle::new(SouffleOptions::full()).compile(&concrete);
+    let base = compiled.program;
+    let bp = batch_program(&base, batch as i64);
+    // Translation-validate the batch rewrite before the bucket variant is
+    // ever served (debug default / SOUFFLE_CERTIFY).
+    if souffle_verify::certify_default() {
+        let (_, d) = souffle_verify::certify_batch(&base, &bp, batch as i64);
+        assert!(
+            !d.has_errors(),
+            "model {:?}: batch-{batch} variant failed certification:\n{d}",
+            entry.name
+        );
+    }
+    let cp = compile_program(&bp);
+    let plan = ExecPlan::from_compiled(&cp);
+
+    let iface_by_name: HashMap<&str, TensorId> = entry
+        .iface
+        .free_tensors()
+        .into_iter()
+        .map(|id| (entry.iface.tensor(id).name.as_str(), id))
+        .collect();
+    let mut weights = HashMap::new();
+    let mut slots = Vec::new();
+    for id in bp.free_tensors() {
+        // The batch rewrite copies the tensor table in order, so `id` is
+        // valid in both `bp` (batched shape) and `base` (unbatched).
+        let info = bp.tensor(id);
+        if info.kind == TensorKind::Weight {
+            let w = entry.weights.get(&info.name).unwrap_or_else(|| {
+                panic!(
+                    "model {:?}: bucket program needs unregistered weight {}",
+                    entry.name, info.name
+                )
+            });
+            weights.insert(id, w.clone());
+            continue;
+        }
+        let shape = base.tensor(id).shape.clone();
+        let role = if entry.spec.is_derived_name(&info.name) {
+            SlotRole::Derived
+        } else if let Some((_, step)) = entry.spec.per_step_index(&info.name) {
+            SlotRole::PerStep {
+                iface_id: iface_by_name[info.name.as_str()],
+                step,
+                fill: entry.spec.pad_fill_for(&info.name),
+            }
+        } else {
+            SlotRole::Regular {
+                iface_id: iface_by_name[info.name.as_str()],
+                fill: entry.spec.pad_fill_for(&info.name),
+            }
+        };
+        slots.push(SlotInput {
+            name: info.name.clone(),
+            bp_id: id,
+            shape,
+            dtype: info.dtype,
+            role,
+        });
+    }
+    let bouts = base.outputs();
+    assert_eq!(
+        bouts.len(),
+        entry.output_ids.len(),
+        "model {:?}: bucket program output count differs from the interface",
+        entry.name
+    );
+    let outputs = entry
+        .output_ids
+        .iter()
+        .zip(&bouts)
+        .enumerate()
+        .map(|(k, (&iface_id, &bp_id))| {
+            let axes = entry
+                .sym
+                .as_ref()
+                .map_or(Vec::new(), |s| s.out_sym_axes[k].clone());
+            (iface_id, bp_id, axes)
+        })
+        .collect();
+    DynVariant {
+        cp,
+        plan,
+        weights,
+        slots,
+        outputs,
+    }
+}
+
+/// Pads `t` up to `shape`: coordinates inside `t`'s extent copy through,
+/// the rest take `fill`. Non-symbolic axes have equal extents, so this
+/// only ever grows symbolic axes.
+fn pad_to(t: &Tensor, shape: &Shape, fill: f32) -> Tensor {
+    let dims = t.shape().dims().to_vec();
+    Tensor::from_fn(shape.clone(), |idx| {
+        if idx.iter().zip(&dims).all(|(&i, &d)| i < d) {
+            t.at(idx)
+        } else {
+            fill
+        }
+    })
+    .with_dtype(t.dtype())
+}
+
+/// Slices `t` down to extent `s` along `axes` (the inverse of the padding
+/// the bucket added).
+fn slice_to(t: &Tensor, axes: &[usize], s: i64) -> Tensor {
+    let mut dims = t.shape().dims().to_vec();
+    for &a in axes {
+        dims[a] = s.min(dims[a]);
+    }
+    if dims.as_slice() == t.shape().dims() {
+        return t.clone();
+    }
+    Tensor::from_fn(Shape::new(dims), |idx| t.at(idx)).with_dtype(t.dtype())
+}
+
+/// The unbatched tensor for one input slot of one request.
+fn slot_tensor(entry: &ModelEntry, slot: &SlotInput, item: &Pending) -> Tensor {
+    match &slot.role {
+        SlotRole::Derived => {
+            let binding = entry
+                .spec
+                .table
+                .bind(vec![item.seq.expect("derived inputs imply a sym")])
+                .expect("validated at submit");
+            entry
+                .spec
+                .derived_tensor(&slot.name, &slot.shape, &binding)
+                .expect("role says derived")
+                .with_dtype(slot.dtype)
+        }
+        SlotRole::PerStep {
+            iface_id,
+            step,
+            fill,
+        } => {
+            if *step < item.seq.expect("per-step inputs imply a sym") {
+                item.inputs[iface_id].clone()
+            } else {
+                Tensor::full(slot.shape.clone(), *fill).with_dtype(slot.dtype)
+            }
+        }
+        SlotRole::Regular { iface_id, fill } => {
+            let t = &item.inputs[iface_id];
+            if t.shape() == &slot.shape {
+                t.clone()
+            } else {
+                pad_to(t, &slot.shape, *fill)
+            }
+        }
+    }
+}
+
+/// Runs one flushed batch on its `(batch, seq)` bucket variant and
+/// completes every request handle (exactly once, success or failure).
 fn execute_batch(shared: &Shared, rb: ReadyBatch) {
     let entry = rb.model;
     let items = rb.batch.items;
     let n = items.len();
     let bucket = bucket_for(n, &shared.opts.buckets)
         .unwrap_or_else(|| panic!("batch of {n} exceeds every bucket"));
-    let variant = entry
-        .variants
-        .iter()
-        .find(|v| v.bucket == bucket)
-        .expect("one variant per bucket");
+    let seq_bucket = entry.sym.as_ref().map(|sym| {
+        let s_max = items
+            .iter()
+            .map(|it| it.seq.expect("sym model requests carry a length"))
+            .max()
+            .expect("non-empty batch");
+        *sym.seq_buckets
+            .iter()
+            .find(|&&b| b >= s_max)
+            .expect("max bound is always a bucket boundary")
+    });
+    let key = ShapeClass {
+        sig: entry.sig,
+        buckets: std::iter::once(bucket as i64).chain(seq_bucket).collect(),
+    };
+    let variant = entry.variants.get_or_build(key, &shared.tracer, || {
+        build_variant(&entry, bucket, seq_bucket)
+    });
 
-    // Weights are shared (unbatched); inputs stack per-request tensors,
-    // padding trailing slots by replicating the last request.
-    let mut bindings = entry.weights.clone();
-    for &id in &entry.input_ids {
+    // Weights are shared (unbatched); inputs stack per-request tensors —
+    // padded to the sequence bucket per the spec's contract — replicating
+    // the last request into trailing batch slots.
+    let mut bindings = variant.weights.clone();
+    let slot_tensors: Vec<Vec<Tensor>> = items
+        .iter()
+        .map(|item| {
+            variant
+                .slots
+                .iter()
+                .map(|slot| slot_tensor(&entry, slot, item))
+                .collect()
+        })
+        .collect();
+    for (j, slot) in variant.slots.iter().enumerate() {
         let parts: Vec<&Tensor> = (0..bucket)
-            .map(|slot| &items[slot.min(n - 1)].inputs[&id])
+            .map(|b| &slot_tensors[b.min(n - 1)][j])
             .collect();
-        bindings.insert(id, stack_tensors(&parts));
+        bindings.insert(slot.bp_id, stack_tensors(&parts));
     }
 
     let tracing = shared.tracer.is_enabled();
@@ -764,18 +1257,29 @@ fn execute_batch(shared: &Shared, rb: ReadyBatch) {
     let mut failed = 0u64;
     match result {
         Ok(outs) => {
-            let split: HashMap<TensorId, Vec<Tensor>> = entry
-                .output_ids
+            let split: Vec<(TensorId, Vec<Tensor>, &Vec<usize>)> = variant
+                .outputs
                 .iter()
-                .map(|id| (*id, split_batch(&outs[id])))
+                .map(|(iface_id, bp_id, axes)| (*iface_id, split_batch(&outs[bp_id]), axes))
                 .collect();
             for (slot, item) in items.into_iter().enumerate() {
-                let outputs = split.iter().map(|(id, v)| (*id, v[slot].clone())).collect();
+                let outputs = split
+                    .iter()
+                    .map(|(iface_id, parts, axes)| {
+                        let t = &parts[slot];
+                        let t = match (item.seq, axes.is_empty()) {
+                            (Some(s), false) => slice_to(t, axes, s),
+                            _ => t.clone(),
+                        };
+                        (*iface_id, t)
+                    })
+                    .collect();
                 let completed_ns = shared.now_ns();
                 item.done.complete(Ok(Response {
                     outputs,
                     batch_size: n,
                     bucket,
+                    seq_bucket,
                     trigger: rb.batch.trigger,
                     queue_ns: exec_start.saturating_sub(item.submitted_ns),
                     exec_ns,

@@ -15,9 +15,11 @@
 //! `tests/serve_differential.rs` at the workspace root).
 
 use souffle_serve::{ServeOptions, ServerBuilder, Submit};
+use souffle_te::sym::{DynProgram, DynSource, DynSpec, SymTable};
 use souffle_te::{builders, TeProgram, TensorId};
 use souffle_tensor::{DType, Shape, Tensor};
 use souffle_testkit::{forall, tk_assert, tk_assert_eq, Config, Rng};
+use souffle_trace::{Trace, Tracer};
 use std::collections::HashMap;
 use std::sync::Mutex;
 
@@ -69,6 +71,7 @@ forall!(
             },
             workers,
             buckets: vec![1, 2, 4, 8],
+            shape_cache_capacity: None,
         })
         .register("toy", &program, HashMap::new())
         .start();
@@ -149,6 +152,7 @@ fn burst_beyond_capacity_rejects_the_excess_exactly() {
         batch_deadline_ns: 3_600_000_000_000,
         workers: 1,
         buckets: vec![1, 2, 4, 8],
+        shape_cache_capacity: None,
     })
     .register("toy", &program, HashMap::new())
     .start();
@@ -191,6 +195,7 @@ fn malformed_submissions_are_invalid_not_queued() {
         batch_deadline_ns: 1_000_000,
         workers: 1,
         buckets: vec![1, 2, 4, 8],
+        shape_cache_capacity: None,
     })
     .register("toy", &program, HashMap::new())
     .start();
@@ -222,4 +227,196 @@ fn malformed_submissions_are_invalid_not_queued() {
     assert_eq!(stats.rejected, 0, "invalid requests never hit admission");
     assert_eq!(stats.submitted, 1);
     assert_eq!(stats.completed, 1);
+}
+
+// --- Shape-cache semantics -------------------------------------------------
+//
+// The bucketed compile cache must be invisible except in compile count:
+// one compile per distinct `ShapeClass` (pinned through trace counters),
+// recompiles after eviction bit-identical, and a cold bucket raced by
+// concurrent workers compiled exactly once.
+
+fn counter(trace: &Trace, name: &str) -> u64 {
+    trace.counters.get(name).copied().unwrap_or(0)
+}
+
+fn compile_spans(trace: &Trace) -> Vec<String> {
+    trace
+        .spans
+        .iter()
+        .filter(|s| s.name.starts_with("compile:bucket:"))
+        .map(|s| s.name.clone())
+        .collect()
+}
+
+/// A toy *dynamic* model: `relu` over `[seq, 4]` with `seq` symbolic in
+/// `1..=4`, so distinct sequence lengths land on distinct cache keys.
+fn dyn_toy_spec() -> DynSpec {
+    let mut table = SymTable::new();
+    let seq = table.declare("seq", 1, 4);
+    let dp = DynProgram::infer(table.clone(), &move |b| {
+        let mut p = TeProgram::new();
+        let x = p.add_input("X", Shape::new(vec![b.get(seq), 4]), DType::F32);
+        let r = builders::relu(&mut p, "r", x);
+        p.mark_output(r);
+        p
+    })
+    .expect("toy template");
+    DynSpec {
+        table,
+        source: DynSource::Template(dp),
+        pad_fill: Vec::new(),
+        derived: Vec::new(),
+        per_step: Vec::new(),
+    }
+}
+
+/// (a) Same `ShapeClass` ⇒ exactly one compile: N identical sequential
+/// requests record one `shape_cache.miss`, N−1 hits, and a single
+/// `compile:bucket:1` span.
+#[test]
+fn one_shape_class_compiles_exactly_once() {
+    let (program, input) = toy_program();
+    let tracer = Tracer::new();
+    let server = ServerBuilder::new(ServeOptions {
+        queue_capacity: 64,
+        max_batch: 1,
+        batch_deadline_ns: 1_000_000,
+        workers: 1,
+        buckets: vec![1, 2, 4, 8],
+        shape_cache_capacity: None,
+    })
+    .tracer(tracer.clone())
+    .register("toy", &program, HashMap::new())
+    .start();
+
+    let mut rng = Rng::new(0xCAFE);
+    let n = 6u64;
+    for _ in 0..n {
+        server
+            .submit("toy", toy_request(&mut rng, input))
+            .expect_accepted()
+            .wait()
+            .expect("serve failed");
+    }
+    assert_eq!(server.cached_variants("toy"), Some(1));
+    server.shutdown();
+
+    let trace = tracer.snapshot();
+    assert_eq!(counter(&trace, "shape_cache.miss"), 1);
+    assert_eq!(counter(&trace, "shape_cache.hit"), n - 1);
+    assert_eq!(counter(&trace, "shape_cache.evict"), 0);
+    assert_eq!(
+        compile_spans(&trace),
+        vec!["compile:bucket:1".to_string()],
+        "exactly one compile, on the 1-bucket"
+    );
+}
+
+/// (b) Eviction then recompile is bit-identical: with a capacity-1 cache,
+/// alternating sequence buckets forces evictions, and the recompiled
+/// variant returns exactly the bytes the evicted one did.
+#[test]
+fn evicted_variants_recompile_bit_identically() {
+    let spec = dyn_toy_spec();
+    let tracer = Tracer::new();
+    let server = ServerBuilder::new(ServeOptions {
+        queue_capacity: 64,
+        max_batch: 1,
+        batch_deadline_ns: 1_000_000,
+        workers: 1,
+        buckets: vec![1, 2, 4, 8],
+        shape_cache_capacity: Some(1),
+    })
+    .tracer(tracer.clone())
+    .register_dyn("toy", spec, HashMap::new())
+    .start();
+    let input = server.input_ids("toy").expect("registered")[0];
+
+    let short = HashMap::from([(input, Tensor::random(Shape::new(vec![1, 4]), 11))]);
+    let long = HashMap::from([(input, Tensor::random(Shape::new(vec![3, 4]), 12))]);
+    let run = |req: &HashMap<TensorId, Tensor>| {
+        server
+            .submit("toy", req.clone())
+            .expect_accepted()
+            .wait()
+            .expect("serve failed")
+    };
+
+    let first = run(&short); // compile (1,1)
+    let mid = run(&long); // compile (1,4), evicts (1,1)
+    let again = run(&short); // recompile (1,1), evicts (1,4)
+    assert_eq!(mid.seq_bucket, Some(4), "3 pads onto the 4 seq bucket");
+    assert_eq!(server.cached_variants("toy"), Some(1), "capacity 1 held");
+
+    for (id, want) in &first.outputs {
+        let got = &again.outputs[id];
+        assert_eq!(want.shape(), got.shape());
+        let same = want
+            .data()
+            .iter()
+            .zip(got.data())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "recompiled variant diverged from evicted one");
+    }
+    server.shutdown();
+
+    let trace = tracer.snapshot();
+    assert_eq!(
+        counter(&trace, "shape_cache.miss"),
+        3,
+        "three cold compiles"
+    );
+    assert_eq!(counter(&trace, "shape_cache.hit"), 0);
+    assert_eq!(counter(&trace, "shape_cache.evict"), 2);
+    assert_eq!(compile_spans(&trace).len(), 3);
+}
+
+/// (c) Concurrent workers racing a cold bucket compile it exactly once:
+/// 8 simultaneous singleton requests across 4 workers record one miss and
+/// one compile span; every loser waits for the winner and records a hit.
+#[test]
+fn racing_workers_compile_a_cold_bucket_exactly_once() {
+    let (program, input) = toy_program();
+    let tracer = Tracer::new();
+    let server = ServerBuilder::new(ServeOptions {
+        queue_capacity: 64,
+        max_batch: 1,
+        batch_deadline_ns: 1_000_000,
+        workers: 4,
+        buckets: vec![1, 2, 4, 8],
+        shape_cache_capacity: None,
+    })
+    .tracer(tracer.clone())
+    .register("toy", &program, HashMap::new())
+    .start();
+
+    let done = Mutex::new(0u64);
+    std::thread::scope(|scope| {
+        for t in 0..8u64 {
+            let (server, done) = (&server, &done);
+            scope.spawn(move || {
+                let mut rng = Rng::new(0xBEEF ^ t);
+                server
+                    .submit("toy", toy_request(&mut rng, input))
+                    .expect_accepted()
+                    .wait()
+                    .expect("serve failed");
+                *done.lock().unwrap() += 1;
+            });
+        }
+    });
+    assert_eq!(done.into_inner().unwrap(), 8);
+    assert_eq!(server.cached_variants("toy"), Some(1));
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 8);
+
+    let trace = tracer.snapshot();
+    assert_eq!(counter(&trace, "shape_cache.miss"), 1, "one cold compile");
+    assert_eq!(
+        counter(&trace, "shape_cache.hit"),
+        7,
+        "losers wait, then hit"
+    );
+    assert_eq!(compile_spans(&trace).len(), 1);
 }

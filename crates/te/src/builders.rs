@@ -415,12 +415,23 @@ pub fn reshape(p: &mut TeProgram, name: &str, a: TensorId, new_shape: Shape) -> 
     for (i, &s) in strides.iter().enumerate() {
         flat = flat.add(IndexExpr::var(i).mul(s));
     }
-    // input index d: (flat / stride_in_d) % dim_in_d
+    // input index d: (flat / stride_in_d) % dim_in_d. For the outermost
+    // axis the modulo is redundant (flat < numel = stride * dim bounds the
+    // quotient), and omitting it keeps the body independent of the
+    // outermost extent (required for symbolic dims).
     let in_strides = sa.strides();
     let indices: Vec<IndexExpr> = in_strides
         .iter()
         .zip(sa.dims())
-        .map(|(&st, &d)| flat.clone().floor_div(st).modulo(d))
+        .enumerate()
+        .map(|(i, (&st, &d))| {
+            let q = flat.clone().floor_div(st);
+            if i == 0 {
+                q
+            } else {
+                q.modulo(d)
+            }
+        })
         .collect();
     p.add_te(
         name,

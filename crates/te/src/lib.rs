@@ -60,6 +60,7 @@ mod program;
 pub mod rewrite_log;
 pub mod runtime;
 pub mod source;
+pub mod sym;
 mod te;
 mod vm;
 
@@ -71,5 +72,9 @@ pub use pool::{PoolStats, ThreadPool};
 pub use program::{TeProgram, TensorId, TensorInfo, TensorKind, ValidateError};
 pub use rewrite_log::{Rewrite, RewriteLog};
 pub use runtime::{ExecPlan, Runtime, RuntimeOptions, RuntimeStats};
+pub use sym::{
+    DerivedInput, Dim, DimPoly, DynProgram, DynSource, DynSpec, PerStep, SymBinding, SymDecl,
+    SymId, SymTable,
+};
 pub use te::{ReduceOp, TeId, TensorExpr};
 pub use vm::{thread_count, THREADS_ENV};

@@ -10,6 +10,7 @@
 
 use souffle_affine::IndexExpr;
 use souffle_kernel::{Instr, Kernel};
+use souffle_te::sym::{Dim, DynProgram, SymTable};
 use souffle_te::{Cond, ScalarExpr, TeProgram, TensorExpr, TensorId};
 use souffle_verify::Code;
 
@@ -60,6 +61,135 @@ impl Fault {
             Fault::DropFoldRename => Code::CertifyOdometer,
             Fault::WidenFusedDomain => Code::CertifyDomain,
         }
+    }
+}
+
+/// One class of injected defect against a *symbolic-dim* template — the
+/// parametric half of the verifier ([`souffle_verify::verify_dyn`]) must
+/// reject each with its mapped code, even when every concrete instance at
+/// the min bound still verifies clean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DynFault {
+    /// Raises a declared sym's lower bound above the binding the template
+    /// was lowered at — the spec no longer covers its own lowering.
+    ShrinkSymBound,
+    /// Doubles a symbolic-axis index (`v → v + v`): safe at the min bound
+    /// (`2s - 2 <= s - 1` iff `s <= 1`) but out of bounds at the max, the
+    /// exact fault class a concrete-only bounds pass cannot see.
+    OobSymbolicOffset,
+}
+
+impl DynFault {
+    /// Every symbolic fault (injectable via [`inject_dyn_fault`]).
+    pub const ALL: [DynFault; 2] = [DynFault::ShrinkSymBound, DynFault::OobSymbolicOffset];
+
+    /// The diagnostic code the symbolic verifier must report.
+    pub fn expected_code(self) -> Code {
+        match self {
+            DynFault::ShrinkSymBound => Code::SymSpec,
+            DynFault::OobSymbolicOffset => Code::SymOob,
+        }
+    }
+}
+
+/// Injects `fault` into a copy of the template. Returns `None` when the
+/// template has no site for it (no shrinkable bound, no symbolic-axis
+/// access) — callers skip such templates.
+pub fn inject_dyn_fault(dp: &DynProgram, fault: DynFault) -> Option<DynProgram> {
+    match fault {
+        DynFault::ShrinkSymBound => shrink_sym_bound(dp),
+        DynFault::OobSymbolicOffset => oob_symbolic_offset(dp),
+    }
+}
+
+/// Raises the first shrinkable sym's min by one. The template was lowered
+/// at the original min binding, which now falls outside the declared box.
+fn shrink_sym_bound(dp: &DynProgram) -> Option<DynProgram> {
+    let mut table = SymTable::new();
+    let mut shrunk = false;
+    for d in dp.table().decls() {
+        if !shrunk && d.min < d.max {
+            table.declare(&d.name, d.min + 1, d.max);
+            shrunk = true;
+        } else {
+            table.declare(&d.name, d.min, d.max);
+        }
+    }
+    shrunk.then(|| dp.with_table(table))
+}
+
+/// Doubles the first unguarded `Var(v)` index over a symbolic tensor axis
+/// whose extent is the *same* sym as the variable's own bound, so the
+/// mutated access spans `0..=2s-2` against extent `s`.
+fn oob_symbolic_offset(dp: &DynProgram) -> Option<DynProgram> {
+    for (ti, te) in dp.base().tes().iter().enumerate() {
+        let out_dims = dp.tensor_dims(te.output.0).to_vec();
+        let mut done = false;
+        let body = double_first_sym_index(&te.body, &te.inputs, dp, &out_dims, &mut done);
+        if done {
+            return Some(dp.with_te_body(ti, body));
+        }
+    }
+    None
+}
+
+fn double_first_sym_index(
+    body: &ScalarExpr,
+    inputs: &[TensorId],
+    dp: &DynProgram,
+    out_dims: &[Dim],
+    done: &mut bool,
+) -> ScalarExpr {
+    if *done {
+        return body.clone();
+    }
+    match body {
+        ScalarExpr::Input { operand, indices } => {
+            let Some(&tid) = inputs.get(*operand) else {
+                return body.clone();
+            };
+            for (axis, idx) in indices.iter().enumerate() {
+                let IndexExpr::Var(v) = idx else { continue };
+                let Some(s) = dp.tensor_dims(tid.0).get(axis).and_then(|d| d.as_sym()) else {
+                    continue;
+                };
+                let same_sym = out_dims.get(*v).and_then(|d| d.as_sym()) == Some(s);
+                let (_, max) = dp.table().bounds(s);
+                if same_sym && max >= 2 {
+                    *done = true;
+                    let mut idx2 = indices.clone();
+                    idx2[axis] =
+                        IndexExpr::Add(Box::new(IndexExpr::Var(*v)), Box::new(IndexExpr::Var(*v)));
+                    return ScalarExpr::Input {
+                        operand: *operand,
+                        indices: idx2,
+                    };
+                }
+            }
+            body.clone()
+        }
+        // Select subtrees are guarded (legal padding); leave them alone.
+        ScalarExpr::Unary(op, a) => ScalarExpr::Unary(
+            *op,
+            Box::new(double_first_sym_index(a, inputs, dp, out_dims, done)),
+        ),
+        ScalarExpr::Binary(op, a, b) => {
+            let a = double_first_sym_index(a, inputs, dp, out_dims, done);
+            let b = double_first_sym_index(b, inputs, dp, out_dims, done);
+            ScalarExpr::Binary(*op, Box::new(a), Box::new(b))
+        }
+        ScalarExpr::Reduce {
+            op,
+            var,
+            extent,
+            body: inner,
+        } => ScalarExpr::Reduce {
+            op: *op,
+            var: *var,
+            extent: *extent,
+            body: Box::new(double_first_sym_index(inner, inputs, dp, out_dims, done)),
+        },
+        _ => body.clone(),
     }
 }
 

@@ -14,10 +14,12 @@
 //! `te.compute` notation — everything needed to reproduce and debug the
 //! broken rewrite.
 
-use souffle::{Souffle, SouffleOptions};
+use souffle::trace::Tracer;
+use souffle::{ShapeCache, ShapeClass, Souffle, SouffleOptions};
 use souffle_baselines::{RammerStrategy, Strategy, StrategyContext};
-use souffle_sched::GpuSpec;
+use souffle_sched::{program_signature, GpuSpec};
 use souffle_te::interp::{eval_with_random_inputs_using, random_bindings, EvalError};
+use souffle_te::sym::{bucket_boundaries, DynProgram, SymTable};
 use souffle_te::{
     compile_program, source::te_source, Evaluator, Runtime, RuntimeOptions, TeProgram, TensorId,
 };
@@ -85,12 +87,22 @@ pub enum Stage {
     /// runtimes pin 2 execution streams so chunk boundaries land
     /// mid-row, exercising the kernels' segment-walk resume logic.
     KernelTier,
+    /// The shape-bucketed compile cache the serving layer is built on:
+    /// the program is lifted to a symbolic-batch template
+    /// ([`dyn_batch_program`]), compiled lazily per batch bucket through a
+    /// [`souffle::ShapeCache`], and every batch size `1..=`
+    /// [`Stage::SHAPE_BUCKET_MAX_BATCH`] — padded up to its bucket by
+    /// replicating the last request — must reproduce each request's solo
+    /// evaluation **bit-exactly** (`tol` is ignored). A second lookup
+    /// sweep then pins the cache contract: same [`souffle::ShapeClass`] ⇒
+    /// no recompilation, with hit/miss counters checked.
+    ShapeBucket,
 }
 
 impl Stage {
     /// Every stage, in pipeline order (the evaluator cross-check runs
     /// last).
-    pub const ALL: [Stage; 10] = [
+    pub const ALL: [Stage; 11] = [
         Stage::Horizontal,
         Stage::Vertical,
         Stage::Transform,
@@ -101,11 +113,17 @@ impl Stage {
         Stage::BaselineOrder,
         Stage::BatchedServe,
         Stage::KernelTier,
+        Stage::ShapeBucket,
     ];
 
     /// The batch size [`Stage::BatchedServe`] checks with (one mid-size
     /// bucket; the serve differential suite sweeps all of 1/2/4/8).
     pub const BATCHED_SERVE_BATCH: usize = 4;
+
+    /// The largest batch [`Stage::ShapeBucket`] sweeps (buckets `[1, 2, 4]`
+    /// via `bucket_boundaries`; the serve differential suite covers the
+    /// full production bucket set).
+    pub const SHAPE_BUCKET_MAX_BATCH: usize = 4;
 
     /// Short stable name for reports.
     pub fn name(self) -> &'static str {
@@ -120,6 +138,7 @@ impl Stage {
             Stage::BaselineOrder => "baseline-order",
             Stage::BatchedServe => "batched-serve",
             Stage::KernelTier => "kernel-tier",
+            Stage::ShapeBucket => "shape-bucket",
         }
     }
 
@@ -141,6 +160,7 @@ impl Stage {
             Stage::BaselineOrder => baseline_order(program, &RammerStrategy),
             Stage::BatchedServe => batch_program(program, Self::BATCHED_SERVE_BATCH as i64),
             Stage::KernelTier => program.clone(),
+            Stage::ShapeBucket => program.clone(),
         }
     }
 }
@@ -436,6 +456,12 @@ pub fn check_stage_with(
         // kernel tier forced on and off, each bit-exact.
         return check_kernel_tier(program, seed);
     }
+    if stage == Stage::ShapeBucket {
+        // Shapes change per bucket, so the generic same-bindings
+        // comparison cannot apply; the contract is per-request invariance
+        // through the bucketed cache.
+        return check_shape_bucket(program, seed);
+    }
     let transformed = stage.apply(program);
     if let Err(e) = transformed.validate() {
         return Err(OracleError::Invalid {
@@ -651,6 +677,186 @@ fn tier_runtime(kernels: bool) -> &'static Runtime {
             ..RuntimeOptions::default()
         })
     })
+}
+
+/// Lifts a concrete program to a symbolic-**batch** template: the batch
+/// dim is declared as a sym in `1..=max_batch` and
+/// [`souffle_transform::batch_program`] instantiates it, with
+/// [`DynProgram::infer`] proving every tensor axis moves affinely in the
+/// sym (weights stay unbatched, everything else gains a leading batch
+/// axis). The template then serves any batch size without re-lowering —
+/// the symbolic half of the serving layer's shape-bucketed cache.
+///
+/// # Errors
+///
+/// Returns the inference error when some axis of `program`'s batch
+/// rewrite does not track the batch sym affinely (no such program exists
+/// today; the error is the API contract).
+pub fn dyn_batch_program(program: &TeProgram, max_batch: i64) -> Result<DynProgram, String> {
+    let mut table = SymTable::new();
+    let b = table.declare("batch", 1, max_batch);
+    let src = program.clone();
+    DynProgram::infer(table, &move |bind| batch_program(&src, bind.get(b)))
+}
+
+/// The [`Stage::ShapeBucket`] check. Three contracts in one pass:
+///
+/// 1. **Template fidelity** — [`dyn_batch_program`] lifts the program
+///    once; every bucket variant is `concretize`d from the template, never
+///    re-lowered.
+/// 2. **Cross-shape bit-exactness** — for every batch size `n` in
+///    `1..=SHAPE_BUCKET_MAX_BATCH`, the batch runs padded on the smallest
+///    bucket `>= n` (trailing slots replicate the last request) and slice
+///    `b` of every output must be **bit-identical** to evaluating request
+///    `b` alone.
+/// 3. **Cache semantics** — compiles happen once per distinct
+///    [`souffle::ShapeClass`]; a second lookup sweep must be all hits
+///    (no rebuild), with the `shape_cache.hit`/`shape_cache.miss`
+///    counters matching exactly.
+///
+/// # Errors
+///
+/// Returns an [`OracleError`] under [`Stage::ShapeBucket`] on any
+/// violation.
+pub fn check_shape_bucket(program: &TeProgram, seed: u64) -> Result<(), OracleError> {
+    let stage = Stage::ShapeBucket;
+    let max_batch = Stage::SHAPE_BUCKET_MAX_BATCH;
+    let dp =
+        dyn_batch_program(program, max_batch as i64).map_err(|detail| OracleError::Invalid {
+            stage,
+            detail,
+            program: te_source(program),
+        })?;
+    let buckets = bucket_boundaries(1, max_batch as i64);
+    let tracer = Tracer::new();
+    let cache: ShapeCache<(TeProgram, souffle_te::CompiledProgram)> =
+        ShapeCache::with_settings(true, None);
+    let sig = program_signature(program);
+    let key_for = |n: usize| {
+        let bucket = *buckets
+            .iter()
+            .find(|&&b| b >= n as i64)
+            .expect("max batch is always a bucket boundary");
+        (
+            bucket,
+            ShapeClass {
+                sig,
+                buckets: vec![bucket],
+            },
+        )
+    };
+
+    let shared_weights: Vec<TensorId> = program
+        .free_tensors()
+        .into_iter()
+        .filter(|&id| program.tensor(id).kind == souffle_te::TensorKind::Weight)
+        .collect();
+    let cp_solo = compile_program(program);
+    // One shared weight set across every batch (request 0's draw), exactly
+    // like the server.
+    let weight_set = random_bindings(program, seed);
+    let tol = Tolerance::default(); // ignored: bit_exact comparison
+    for n in 1..=max_batch {
+        let (bucket, key) = key_for(n);
+        let variant = cache.get_or_build(key, &tracer, || {
+            let binding = dp.table().bind(vec![bucket]).expect("bucket within bounds");
+            let bp = dp.concretize(&binding);
+            let cp = compile_program(&bp);
+            (bp, cp)
+        });
+        let (bp, cp) = &*variant;
+        if let Err(e) = bp.validate() {
+            return Err(OracleError::Invalid {
+                stage,
+                detail: format!("bucket {bucket}: {e:?}"),
+                program: te_source(bp),
+            });
+        }
+        let mut requests: Vec<HashMap<TensorId, Tensor>> = (0..n)
+            .map(|b| random_bindings(program, seed.wrapping_add(b as u64)))
+            .collect();
+        for r in &mut requests {
+            for &id in &shared_weights {
+                r.insert(id, weight_set[&id].clone());
+            }
+        }
+        // Padding policy under test: trailing slots replicate the last
+        // real request.
+        let refs: Vec<&HashMap<TensorId, Tensor>> = (0..bucket as usize)
+            .map(|slot| &requests[slot.min(n - 1)])
+            .collect();
+        let got_batched = pooled_runtime()
+            .eval(cp, &batch_bindings(program, &refs))
+            .map_err(|error| OracleError::Eval {
+                stage,
+                which: "after",
+                error,
+            })?;
+        let split: HashMap<TensorId, Vec<Tensor>> = got_batched
+            .iter()
+            .map(|(id, t)| (*id, split_batch(t)))
+            .collect();
+        for (b, request) in requests.iter().enumerate() {
+            let want = cp_solo.eval(request).map_err(|error| OracleError::Eval {
+                stage,
+                which: "before",
+                error,
+            })?;
+            let want: HashMap<TensorId, Tensor> = program
+                .outputs()
+                .iter()
+                .map(|id| (*id, want[id].clone()))
+                .collect();
+            let got: HashMap<TensorId, Tensor> =
+                split.iter().map(|(id, v)| (*id, v[b].clone())).collect();
+            compare_outputs(program, bp, stage, seed, &tol, true, &want, &got)?;
+        }
+    }
+
+    // Second sweep: every lookup must hit without rebuilding.
+    for n in 1..=max_batch {
+        let (bucket, key) = key_for(n);
+        let mut rebuilt = false;
+        let _ = cache.get_or_build(key, &tracer, || {
+            rebuilt = true;
+            let binding = dp.table().bind(vec![bucket]).expect("bucket within bounds");
+            let bp = dp.concretize(&binding);
+            let cp = compile_program(&bp);
+            (bp, cp)
+        });
+        if rebuilt {
+            return Err(OracleError::Invalid {
+                stage,
+                detail: format!("bucket {bucket} recompiled on a warm lookup"),
+                program: te_source(program),
+            });
+        }
+    }
+    let trace = tracer.snapshot();
+    let distinct: usize = {
+        let mut seen: Vec<i64> = Vec::new();
+        for n in 1..=max_batch {
+            let (bucket, _) = key_for(n);
+            if !seen.contains(&bucket) {
+                seen.push(bucket);
+            }
+        }
+        seen.len()
+    };
+    let misses = trace.counters.get("shape_cache.miss").copied().unwrap_or(0);
+    let hits = trace.counters.get("shape_cache.hit").copied().unwrap_or(0);
+    let lookups = 2 * max_batch as u64;
+    if misses != distinct as u64 || hits != lookups - distinct as u64 {
+        return Err(OracleError::Invalid {
+            stage,
+            detail: format!(
+                "cache counters off: {misses} misses / {hits} hits over {lookups} lookups, \
+                 expected {distinct} misses (one per distinct bucket)"
+            ),
+            program: te_source(program),
+        });
+    }
+    Ok(())
 }
 
 /// The [`Stage::KernelTier`] check: the naive interpreter provides ground

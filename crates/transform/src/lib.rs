@@ -32,6 +32,7 @@
 pub mod batch;
 pub mod horizontal;
 pub mod reduction;
+pub mod sym_traffic;
 pub mod traffic;
 pub mod vertical;
 
@@ -46,6 +47,7 @@ pub use reduction::{
     REDUCTION_FUSION_ENV,
 };
 pub use rewrite::TransformStats;
+pub use sym_traffic::{program_bytes_poly, te_bytes_poly, SymTraffic};
 pub use traffic::{program_traffic, te_traffic, Traffic};
 pub use vertical::{vertical_fuse_program, vertical_fuse_program_logged};
 

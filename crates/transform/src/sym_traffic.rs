@@ -1,0 +1,327 @@
+//! Symbolic bytes-moved pricing: the [`crate::traffic`] cost model lifted to
+//! polynomials over declared symbolic dims.
+//!
+//! A [`DynProgram`] carries per-tensor `Dim` annotations, so every extent in
+//! the concrete model becomes an (at most degree-1) polynomial and products
+//! of extents become higher-degree [`DimPoly`]s. The one non-polynomial
+//! operation in the concrete model is the per-axis clamp
+//! `min(var_prod, span, extent)`: we resolve it by checking which candidate
+//! is minimal at *every* integer binding in the declared box (the box is
+//! small — a seq dim of a few hundred values). When no single branch
+//! dominates everywhere, or an index interval saturates symbolically, the
+//! estimate returns `None` and callers fall back to pricing each shape
+//! bucket concretely with [`crate::traffic::program_traffic`].
+//!
+//! Exactness contract: when `program_bytes_poly` returns `Some`, evaluating
+//! the polynomial at any in-range binding equals the concrete model on the
+//! concretized program — property-tested in this module and in the
+//! dynamic-shape differential suite.
+
+use crate::traffic::Traffic;
+use souffle_affine::{sym_interval, SymAffine};
+use souffle_te::sym::{Dim, DimPoly, DynProgram, SymBinding, SymId};
+
+/// Largest number of integer bindings we will enumerate when resolving a
+/// symbolic `min(...)` clamp; larger boxes fall back to concrete pricing.
+const MAX_BOX_POINTS: usize = 1 << 16;
+
+/// Modeled traffic with polynomial byte counts over the symbolic dims.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymTraffic {
+    /// Bytes read from operand tensors, as a polynomial in the syms.
+    pub read_bytes: DimPoly,
+    /// Bytes written to output tensors, as a polynomial in the syms.
+    pub write_bytes: DimPoly,
+}
+
+impl SymTraffic {
+    /// Total bytes moved in either direction.
+    pub fn total(&self) -> DimPoly {
+        self.read_bytes.add(&self.write_bytes)
+    }
+
+    /// Concrete traffic at one binding.
+    pub fn eval(&self, binding: &SymBinding) -> Traffic {
+        Traffic {
+            read_bytes: self.read_bytes.eval(binding).max(0) as u64,
+            write_bytes: self.write_bytes.eval(binding).max(0) as u64,
+        }
+    }
+
+    fn add(&mut self, other: &SymTraffic) {
+        self.read_bytes = self.read_bytes.add(&other.read_bytes);
+        self.write_bytes = self.write_bytes.add(&other.write_bytes);
+    }
+}
+
+fn dim_affine(d: Dim, n: usize) -> SymAffine {
+    match d {
+        Dim::Fixed(c) => SymAffine::constant(c, n),
+        Dim::Sym(s) => SymAffine::sym(s.0, n),
+    }
+}
+
+fn affine_poly(a: &SymAffine) -> DimPoly {
+    let mut p = DimPoly::constant(a.constant);
+    for (i, &c) in a.coeffs.iter().enumerate() {
+        if c != 0 {
+            p = p.add(&DimPoly::sym(SymId(i)).scale(c));
+        }
+    }
+    p
+}
+
+/// Every integer binding in the declared box, or `None` when the box is too
+/// large to enumerate.
+fn box_points(dp: &DynProgram) -> Option<Vec<SymBinding>> {
+    let table = dp.table();
+    let mut total: usize = 1;
+    for decl in table.decls() {
+        let span = (decl.max - decl.min + 1).max(1) as usize;
+        total = total.checked_mul(span)?;
+        if total > MAX_BOX_POINTS {
+            return None;
+        }
+    }
+    let mut points = vec![table.min_binding()];
+    for id in table.ids() {
+        let (lo, hi) = table.bounds(id);
+        points = points
+            .iter()
+            .flat_map(|b| (lo..=hi).map(move |v| b.with(id, v)))
+            .collect();
+    }
+    Some(points)
+}
+
+/// The candidate that is minimal at every probe point, if one dominates.
+fn select_min(cands: &[DimPoly], points: &[SymBinding]) -> Option<DimPoly> {
+    'cand: for (i, c) in cands.iter().enumerate() {
+        for p in points {
+            let v = c.eval(p);
+            if cands
+                .iter()
+                .enumerate()
+                .any(|(j, other)| j != i && other.eval(p) < v)
+            {
+                continue 'cand;
+            }
+        }
+        return Some(c.clone());
+    }
+    None
+}
+
+/// Prices one TE of the template as polynomials in the symbolic dims.
+///
+/// Mirrors [`crate::traffic::te_traffic`] exactly: the output is written
+/// once; each body access contributes its distinct-element footprint with
+/// the per-axis clamp resolved by whole-box dominance. Returns `None` when
+/// an index interval saturates symbolically or no clamp branch dominates.
+pub fn te_bytes_poly(dp: &DynProgram, te_index: usize) -> Option<SymTraffic> {
+    let program = dp.base();
+    let te = &program.tes()[te_index];
+    let n = dp.table().len();
+    let points = box_points(dp)?;
+
+    let out = program.tensor(te.output);
+    let out_dims = dp.tensor_dims(te.output.0);
+    let mut write_poly = DimPoly::constant(1);
+    for d in out_dims {
+        write_poly = write_poly.mul(&d.poly());
+    }
+    write_poly = write_poly.scale(out.dtype.size_bytes() as i64);
+
+    // Box domain with symbolic-affine endpoints: iteration vars from the
+    // annotated output dims, then annotated reduction extents, then any
+    // inline-fold binders (concrete) — mirroring the concrete walk.
+    let mut bounds: Vec<(SymAffine, SymAffine)> = out_dims
+        .iter()
+        .chain(dp.reduce_dims(te_index).iter())
+        .map(|&d| (SymAffine::constant(0, n), dim_affine(d, n).offset(-1)))
+        .collect();
+    if let Some(max_var) = te.body.max_var() {
+        if bounds.len() <= max_var {
+            bounds.resize(
+                max_var + 1,
+                (SymAffine::constant(0, n), SymAffine::constant(0, n)),
+            );
+        }
+    }
+    for (var, extent) in te.body.collect_folds() {
+        bounds[var] = (
+            SymAffine::constant(0, n),
+            SymAffine::constant((extent - 1).max(0), n),
+        );
+    }
+    // Every bound below has lo = 0 and hi >= 0, so the span is >= 1 and the
+    // concrete model's `.max(1)` clamp is a no-op symbolically.
+    let extent_poly = |v: usize| -> DimPoly {
+        bounds.get(v).map_or(DimPoly::constant(1), |(lo, hi)| {
+            affine_poly(&hi.sub(lo).offset(1))
+        })
+    };
+
+    let mut read_poly = DimPoly::zero();
+    for (operand, indices) in te.body.accesses() {
+        let Some(&tensor_id) = te.inputs.get(operand) else {
+            continue; // invalid program; reported by validation
+        };
+        let info = program.tensor(tensor_id);
+        let op_dims = dp.tensor_dims(tensor_id.0);
+        let mut numel = DimPoly::constant(1);
+        for d in op_dims {
+            numel = numel.mul(&d.poly());
+        }
+        let mut count = DimPoly::constant(1);
+        for (axis, idx) in indices.iter().enumerate() {
+            let mut var_prod = DimPoly::constant(1);
+            let mut saturated = false;
+            idx.for_each_var(&mut |v| {
+                var_prod = var_prod.mul(&extent_poly(v));
+                if bounds.get(v).is_none() {
+                    saturated = true;
+                }
+            });
+            if saturated {
+                return None;
+            }
+            let (lo, hi) = sym_interval(idx, &bounds, n)?;
+            let span = affine_poly(&hi.sub(&lo).offset(1));
+            let axis_extent = if axis < op_dims.len() {
+                op_dims[axis].poly()
+            } else {
+                DimPoly::constant(1) // rank mismatch; reported by validation
+            };
+            let axis_count = select_min(&[var_prod, span, axis_extent], &points)?;
+            count = select_min(&[count.mul(&axis_count), numel.clone()], &points)?;
+        }
+        read_poly = read_poly.add(&count.scale(info.dtype.size_bytes() as i64));
+    }
+    Some(SymTraffic {
+        read_bytes: read_poly,
+        write_bytes: write_poly,
+    })
+}
+
+/// Sums [`te_bytes_poly`] over every TE of the template, or `None` when any
+/// TE falls outside the exactly-priceable fragment.
+pub fn program_bytes_poly(dp: &DynProgram) -> Option<SymTraffic> {
+    let mut t = SymTraffic {
+        read_bytes: DimPoly::zero(),
+        write_bytes: DimPoly::zero(),
+    };
+    for i in 0..dp.base().num_tes() {
+        t.add(&te_bytes_poly(dp, i)?);
+    }
+    Some(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::program_traffic;
+    use souffle_te::sym::{DynProgram, SymTable};
+    use souffle_te::{builders, TeProgram};
+    use souffle_tensor::{DType, Shape};
+
+    fn dyn_matmul(max_rows: i64) -> DynProgram {
+        let mut table = SymTable::new();
+        let s = table.declare("rows", 1, max_rows);
+        DynProgram::infer(table, &move |b| {
+            let rows = b.get(s);
+            let mut p = TeProgram::new();
+            let a = p.add_input("A", Shape::new(vec![rows, 16]), DType::F32);
+            let w = p.add_weight("W", Shape::new(vec![16, 4]), DType::F32);
+            let c = builders::matmul(&mut p, "mm", a, w);
+            p.mark_output(c);
+            p
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn matmul_poly_matches_concrete_model_at_every_length() {
+        let dp = dyn_matmul(32);
+        let sym = program_bytes_poly(&dp).expect("matmul is exactly priceable");
+        // A reads s*16 elements, W reads 16*4, out writes s*4 — all f32.
+        for rows in 1..=32 {
+            let b = dp.table().bind(vec![rows]).unwrap();
+            let concrete = program_traffic(&dp.concretize(&b));
+            assert_eq!(sym.eval(&b), concrete, "rows = {rows}");
+        }
+        assert_eq!(sym.total().degree(), 1);
+    }
+
+    #[test]
+    fn elementwise_chain_poly_is_linear_in_the_sym() {
+        let mut table = SymTable::new();
+        let s = table.declare("n", 1, 64);
+        let dp = DynProgram::infer(table, &move |b| {
+            let n = b.get(s);
+            let mut p = TeProgram::new();
+            let a = p.add_input("A", Shape::new(vec![n, 8]), DType::F32);
+            let e = builders::exp(&mut p, "e", a);
+            let r = builders::relu(&mut p, "r", e);
+            p.mark_output(r);
+            p
+        })
+        .unwrap();
+        let sym = program_bytes_poly(&dp).unwrap();
+        assert_eq!(sym.total().degree(), 1);
+        for n in [1, 2, 3, 31, 64] {
+            let b = dp.table().bind(vec![n]).unwrap();
+            assert_eq!(sym.eval(&b), program_traffic(&dp.concretize(&b)));
+        }
+    }
+
+    #[test]
+    fn broadcast_footprint_stays_operand_sized_symbolically() {
+        use souffle_affine::IndexExpr;
+        use souffle_te::{ScalarExpr, TensorExpr, TensorKind};
+        let mut table = SymTable::new();
+        let s = table.declare("n", 1, 16);
+        // out[i, j] = A[i]: the broadcast axis clamp must pick |A|, not
+        // |out|, at every binding.
+        let dp = DynProgram::infer(table, &move |b| {
+            let n = b.get(s);
+            let mut p = TeProgram::new();
+            let a = p.add_input("A", Shape::new(vec![n]), DType::F32);
+            let out = p.add_tensor("b", Shape::new(vec![n, 12]), DType::F32, TensorKind::Output);
+            p.push_te(TensorExpr {
+                name: "b".into(),
+                output: out,
+                inputs: vec![a],
+                reduce: vec![],
+                reduce_op: None,
+                body: ScalarExpr::input(0, vec![IndexExpr::var(0)]),
+            });
+            p.mark_output(out);
+            p
+        })
+        .unwrap();
+        let sym = program_bytes_poly(&dp).unwrap();
+        for n in 1..=16 {
+            let b = dp.table().bind(vec![n]).unwrap();
+            assert_eq!(sym.eval(&b), program_traffic(&dp.concretize(&b)));
+        }
+    }
+
+    #[test]
+    fn bert_template_prices_or_falls_back_consistently() {
+        // Whatever the symbolic model can price on the real encoder
+        // template must agree with the concrete model everywhere; TEs it
+        // cannot price must return None rather than a wrong polynomial.
+        let dp = dyn_matmul(8);
+        for i in 0..dp.base().num_tes() {
+            if let Some(t) = te_bytes_poly(&dp, i) {
+                for rows in 1..=8 {
+                    let b = dp.table().bind(vec![rows]).unwrap();
+                    let concrete =
+                        crate::traffic::te_traffic(&dp.concretize(&b), &dp.concretize(&b).tes()[i]);
+                    assert_eq!(t.eval(&b), concrete);
+                }
+            }
+        }
+    }
+}

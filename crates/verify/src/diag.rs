@@ -57,6 +57,14 @@ pub enum Code {
     /// SV010: interval analysis cannot prove an unguarded access stays
     /// inside its buffer.
     OobAccess,
+    /// SV020: symbolic interval analysis cannot prove an unguarded access
+    /// in-bounds for *every* binding of the declared symbolic dims (it may
+    /// be safe at min and overflow at max).
+    SymOob,
+    /// SV021: a dynamic-shape declaration is inconsistent — a symbolic
+    /// extent annotation disagrees with the template program, or a bound
+    /// admits an empty shape.
+    SymSpec,
     /// SV101: a stage reads a tensor written by an earlier stage of the
     /// same kernel with no grid sync in between.
     MissingGridSync,
@@ -99,7 +107,7 @@ pub enum Code {
 impl Code {
     /// Every code, in numbering order (drives the documentation table and
     /// exhaustiveness tests).
-    pub const ALL: [Code; 22] = [
+    pub const ALL: [Code; 24] = [
         Code::UseBeforeDef,
         Code::MultipleProducers,
         Code::BadOperand,
@@ -109,6 +117,8 @@ impl Code {
         Code::BadReduceExtent,
         Code::BadShape,
         Code::OobAccess,
+        Code::SymOob,
+        Code::SymSpec,
         Code::MissingGridSync,
         Code::WriteRace,
         Code::DeadTe,
@@ -136,6 +146,8 @@ impl Code {
             Code::BadReduceExtent => "SV007",
             Code::BadShape => "SV008",
             Code::OobAccess => "SV010",
+            Code::SymOob => "SV020",
+            Code::SymSpec => "SV021",
             Code::MissingGridSync => "SV101",
             Code::WriteRace => "SV102",
             Code::DeadTe => "SV201",

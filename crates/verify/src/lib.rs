@@ -27,6 +27,7 @@
 
 pub mod certify;
 pub mod diag;
+pub mod symbolic;
 
 mod bounds;
 mod lint;
@@ -38,6 +39,7 @@ pub use certify::{
     CERTIFY_ENV,
 };
 pub use diag::{Code, Diagnostic, Diagnostics, Loc, Severity};
+pub use symbolic::{verify_dyn, verify_dyn_spec, SymVerifyReport};
 
 use souffle_kernel::Kernel;
 use souffle_te::TeProgram;

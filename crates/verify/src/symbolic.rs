@@ -1,0 +1,437 @@
+//! Parametric bounds analysis over symbolic dimensions.
+//!
+//! For a [`DynProgram`] template this pass re-proves the affine bounds pass
+//! (`SV010`) *for every binding of the declared symbolic dims at once*:
+//! iteration-variable bounds become [`SymAffine`] forms (`0 ..= extent-1`
+//! with the extent affine in the syms), every unguarded access interval is
+//! computed with symbolic endpoints ([`souffle_affine::sym_interval`]), and
+//! safety reduces to two affine sign conditions checked per coefficient
+//! over the declared `min..=max` box. A violation is `SV020`: the access may
+//! be safe at min-seq yet out of bounds at max-seq.
+//!
+//! Where the symbolic interval saturates (a quasi-affine `FloorDiv` whose
+//! divisor does not divide the sym coefficients), the TE is recorded as
+//! *saturated* and the caller falls back to concrete per-bucket proof —
+//! [`verify_dyn_spec`] does this automatically at every bucket binding, and
+//! structural generators (no template at all) are always proven per bucket.
+//! Merged-kernel race checks (`SV1xx`) stay concrete: kernels only exist
+//! per bucket, and every bucket compile runs the full verifier.
+
+use crate::diag::{Code, Diagnostics, Loc};
+use souffle_affine::{sym_interval, SymAffine};
+use souffle_te::sym::{Dim, DynProgram, DynSpec, SymBinding};
+use souffle_te::{ScalarExpr, TeId};
+
+/// Outcome of a symbolic verification run.
+#[derive(Debug, Clone, Default)]
+pub struct SymVerifyReport {
+    /// TEs whose every access was proven in-bounds parametrically.
+    pub parametric_tes: usize,
+    /// TEs where the symbolic interval saturated (proven per bucket instead).
+    pub saturated_tes: Vec<TeId>,
+    /// Concrete bucket bindings the fallback pass verified.
+    pub fallback_bindings: Vec<Vec<i64>>,
+}
+
+impl SymVerifyReport {
+    /// Whether every TE was proven without concrete fallback.
+    pub fn fully_parametric(&self) -> bool {
+        self.saturated_tes.is_empty()
+    }
+}
+
+/// Parametric bounds proof for a template. Returns diagnostics (`SV020` /
+/// `SV021`) plus the report of which TEs needed fallback.
+pub fn verify_dyn(dp: &DynProgram) -> (Diagnostics, SymVerifyReport) {
+    let mut diags = Diagnostics::new();
+    let mut report = SymVerifyReport::default();
+    let n = dp.table().len();
+    let ranges: Vec<(i64, i64)> = dp.table().ids().map(|s| dp.table().bounds(s)).collect();
+    let base = dp.base();
+
+    // Spec consistency (SV021): the base binding must lie inside the
+    // declared bounds (a shrunk declaration invalidates the lowering),
+    // symbolic annotations must agree with the template at its base
+    // binding, and no binding may produce an empty shape or reduction.
+    for s in dp.table().ids() {
+        let v = dp.base_binding().get(s);
+        let (min, max) = dp.table().bounds(s);
+        if v < min || v > max {
+            diags.push(
+                Code::SymSpec,
+                Loc::Program,
+                format!(
+                    "template was lowered at {s} = {v}, outside the declared bounds \
+                     {min}..={max}"
+                ),
+            );
+        }
+    }
+    for (i, info) in base.tensors().iter().enumerate() {
+        for (axis, (&concrete, dim)) in info.shape.dims().iter().zip(dp.tensor_dims(i)).enumerate()
+        {
+            let at_base = dim.eval(dp.base_binding());
+            if at_base != concrete {
+                diags.push(
+                    Code::SymSpec,
+                    Loc::Tensor {
+                        tensor: souffle_te::TensorId(i),
+                        name: info.name.clone(),
+                    },
+                    format!(
+                        "axis {axis} declared {dim} = {at_base} at the base binding, \
+                         but the template has extent {concrete}"
+                    ),
+                );
+            }
+            if min_extent(*dim, &ranges) < 1 {
+                diags.push(
+                    Code::SymSpec,
+                    Loc::Tensor {
+                        tensor: souffle_te::TensorId(i),
+                        name: info.name.clone(),
+                    },
+                    format!("axis {axis} extent {dim} can be empty within the declared bounds"),
+                );
+            }
+        }
+    }
+    if diags.has_errors() {
+        return (diags, report);
+    }
+
+    for te_id in base.te_ids() {
+        let te = base.te(te_id);
+        let out_dims = dp.tensor_dims(te.output.0);
+        let red_dims = dp.reduce_dims(te_id.0);
+        // v_i in 0 ..= extent_i - 1, extent affine in the syms.
+        let var_bounds: Vec<(SymAffine, SymAffine)> = out_dims
+            .iter()
+            .chain(red_dims)
+            .map(|d| (SymAffine::constant(0, n), dim_affine(*d, n).offset(-1)))
+            .collect();
+        let loc = Loc::Te {
+            te: te_id,
+            name: te.name.clone(),
+        };
+        let mut saturated = false;
+        walk(
+            dp,
+            te_id,
+            &te.body,
+            &var_bounds,
+            &ranges,
+            false,
+            &loc,
+            &mut diags,
+            &mut saturated,
+        );
+        if saturated {
+            report.saturated_tes.push(te_id);
+        } else {
+            report.parametric_tes += 1;
+        }
+    }
+    (diags, report)
+}
+
+/// Full dynamic-shape verification: parametric proof of the template (when
+/// there is one), then concrete `verify_program` fallback at every bucket
+/// binding for saturated TEs or generator sources.
+pub fn verify_dyn_spec(spec: &DynSpec) -> (Diagnostics, SymVerifyReport) {
+    let (mut diags, mut report) = match spec.template() {
+        Some(dp) => verify_dyn(dp),
+        None => (Diagnostics::new(), SymVerifyReport::default()),
+    };
+    let needs_fallback = spec.template().is_none() || !report.fully_parametric();
+    if needs_fallback && !diags.has_errors() {
+        for binding in concrete_fallback_bindings(spec) {
+            let p = spec.at(&binding);
+            let mut d = crate::verify_program(&p);
+            d.tag_stage(&format!("bucket{:?}", binding.values()));
+            diags.merge(d);
+            report.fallback_bindings.push(binding.values().to_vec());
+        }
+    }
+    (diags, report)
+}
+
+fn concrete_fallback_bindings(spec: &DynSpec) -> Vec<SymBinding> {
+    spec.table.bucket_bindings()
+}
+
+fn dim_affine(d: Dim, n: usize) -> SymAffine {
+    match d {
+        Dim::Fixed(k) => SymAffine::constant(k, n),
+        Dim::Sym(s) => SymAffine::sym(s.0, n),
+    }
+}
+
+fn min_extent(d: Dim, ranges: &[(i64, i64)]) -> i64 {
+    match d {
+        Dim::Fixed(k) => k,
+        Dim::Sym(s) => ranges[s.0].0,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk(
+    dp: &DynProgram,
+    te_id: TeId,
+    body: &ScalarExpr,
+    var_bounds: &[(SymAffine, SymAffine)],
+    ranges: &[(i64, i64)],
+    guarded: bool,
+    loc: &Loc,
+    diags: &mut Diagnostics,
+    saturated: &mut bool,
+) {
+    let n = ranges.len();
+    match body {
+        ScalarExpr::Const(_) | ScalarExpr::IndexValue(_) => {}
+        ScalarExpr::Input { operand, indices } => {
+            if guarded {
+                return; // runtime-checked padding access
+            }
+            let base = dp.base();
+            let te = base.te(te_id);
+            let Some(&tensor_id) = te.inputs.get(*operand) else {
+                return; // well-formedness pass reports this
+            };
+            let Some(t) = base.tensors().get(tensor_id.0) else {
+                return;
+            };
+            if indices.len() != t.shape.rank() {
+                return; // SV004 territory
+            }
+            for (axis, idx) in indices.iter().enumerate() {
+                if idx.max_var().is_some_and(|v| v >= var_bounds.len()) {
+                    continue; // SV005 territory
+                }
+                let Some((lo, hi)) = sym_interval(idx, var_bounds, n) else {
+                    *saturated = true;
+                    continue;
+                };
+                let extent = dim_affine(dp.tensor_dims(tensor_id.0)[axis], n);
+                // Safe iff lo >= 0 and extent - 1 - hi >= 0 over the box.
+                let slack = extent.offset(-1).sub(&hi);
+                if !lo.is_nonneg_over(ranges) || !slack.is_nonneg_over(ranges) {
+                    diags.push(
+                        Code::SymOob,
+                        loc.clone(),
+                        format!(
+                            "unguarded access to operand {operand} ({tensor_id} `{}`) axis \
+                             {axis} spans ({lo}, {hi}) over the declared sym bounds, extent \
+                             {extent}",
+                            t.name
+                        ),
+                    );
+                }
+            }
+        }
+        ScalarExpr::Unary(_, a) => walk(
+            dp, te_id, a, var_bounds, ranges, guarded, loc, diags, saturated,
+        ),
+        ScalarExpr::Binary(_, a, b) => {
+            walk(
+                dp, te_id, a, var_bounds, ranges, guarded, loc, diags, saturated,
+            );
+            walk(
+                dp, te_id, b, var_bounds, ranges, guarded, loc, diags, saturated,
+            );
+        }
+        ScalarExpr::Select {
+            on_true, on_false, ..
+        } => {
+            walk(
+                dp, te_id, on_true, var_bounds, ranges, true, loc, diags, saturated,
+            );
+            walk(
+                dp, te_id, on_false, var_bounds, ranges, true, loc, diags, saturated,
+            );
+        }
+        ScalarExpr::Reduce {
+            var, extent, body, ..
+        } => {
+            // Fold binders carry concrete extents; pad variable gaps with
+            // the degenerate box exactly like the concrete pass.
+            let mut inner = var_bounds.to_vec();
+            let degenerate = (SymAffine::constant(0, n), SymAffine::constant(0, n));
+            if inner.len() <= *var {
+                inner.resize(*var + 1, degenerate);
+            }
+            inner[*var] = (
+                SymAffine::constant(0, n),
+                SymAffine::constant((*extent - 1).max(0), n),
+            );
+            walk(
+                dp, te_id, body, &inner, ranges, guarded, loc, diags, saturated,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use souffle_affine::IndexExpr;
+    use souffle_te::sym::{DynProgram, SymTable};
+    use souffle_te::{builders, TeProgram};
+    use souffle_tensor::{DType, Shape};
+
+    fn chain(rows: i64, shift: i64) -> TeProgram {
+        // B[v0, v1] = A[v0 + shift, v1] over (rows, 4): OOB when shift > 0.
+        let mut p = TeProgram::new();
+        let a = p.add_input("A", Shape::new(vec![rows, 4]), DType::F32);
+        let out = p.add_tensor(
+            "B",
+            Shape::new(vec![rows, 4]),
+            DType::F32,
+            souffle_te::TensorKind::Output,
+        );
+        p.push_te(souffle_te::TensorExpr {
+            name: "B".into(),
+            output: out,
+            inputs: vec![a],
+            reduce: vec![],
+            reduce_op: None,
+            body: ScalarExpr::input(
+                0,
+                vec![
+                    IndexExpr::var(0).add(IndexExpr::constant(shift)),
+                    IndexExpr::var(1),
+                ],
+            ),
+        });
+        p
+    }
+
+    fn dyn_chain(shift: i64) -> DynProgram {
+        let mut table = SymTable::new();
+        let s = table.declare("seq", 1, 16);
+        DynProgram::infer(table, &move |b| chain(b.get(s), shift)).unwrap()
+    }
+
+    #[test]
+    fn safe_template_is_proven_parametrically() {
+        let (d, r) = verify_dyn(&dyn_chain(0));
+        assert!(d.is_empty(), "{d}");
+        assert!(r.fully_parametric());
+        assert_eq!(r.parametric_tes, 1);
+    }
+
+    #[test]
+    fn symbolic_overflow_is_sv020() {
+        // v0 + v0 is safe at seq = 1 (only index 0) but spans 2*s - 2 >= s
+        // for s >= 2: parametrically out of bounds, concretely fine at min.
+        let dp = dyn_chain(0).with_te_body(
+            0,
+            ScalarExpr::input(
+                0,
+                vec![
+                    IndexExpr::Add(Box::new(IndexExpr::var(0)), Box::new(IndexExpr::var(0))),
+                    IndexExpr::var(1),
+                ],
+            ),
+        );
+        // Concretely clean at the min bound...
+        let at_min = dp.concretize(&dp.table().min_binding());
+        assert!(crate::verify_program(&at_min).is_empty());
+        // ...but rejected parametrically, with affine forms in the message.
+        let (d, _) = verify_dyn(&dp);
+        assert!(d.has_code(Code::SymOob), "{d}");
+        assert_eq!(Code::SymOob.as_str(), "SV020");
+        let msg = &d.errors().next().unwrap().message;
+        assert!(msg.contains("s0"), "{msg}");
+    }
+
+    #[test]
+    fn shrunk_annotation_is_sv020_and_shrunk_table_is_sv021() {
+        // Annotation shrunk to the min extent while an access still spans
+        // the symbolic output axis: safe at min-seq, OOB at max-seq.
+        let dp = dyn_chain(0).with_tensor_dim(0, 0, souffle_te::sym::Dim::Fixed(1));
+        let at_min = dp.concretize(&dp.table().min_binding());
+        assert!(crate::verify_program(&at_min).is_empty());
+        let (d, _) = verify_dyn(&dp);
+        assert!(d.has_code(Code::SymOob), "{d}");
+
+        // Declared bound shrunk out from under the lowering: SV021.
+        let mut shrunk = SymTable::new();
+        shrunk.declare("seq", 2, 16);
+        let dp = dyn_chain(0).with_table(shrunk);
+        let (d, _) = verify_dyn(&dp);
+        assert!(d.has_code(Code::SymSpec), "{d}");
+        assert_eq!(Code::SymSpec.as_str(), "SV021");
+    }
+
+    #[test]
+    fn reshape_saturation_falls_back_per_bucket() {
+        // (s, 6) -> (s, 2, 3): the flat/6 quotient divides exactly, but a
+        // division by 4 of a 6-stride flat cannot be represented — force a
+        // saturating case with an explicit non-divisible floor_div.
+        let mut table = SymTable::new();
+        let s = table.declare("seq", 1, 8);
+        let dp = DynProgram::infer(table, &move |b| {
+            let rows = b.get(s);
+            let mut p = TeProgram::new();
+            let a = p.add_input("A", Shape::new(vec![rows]), DType::F32);
+            let out = p.add_tensor(
+                "B",
+                Shape::new(vec![rows]),
+                DType::F32,
+                souffle_te::TensorKind::Output,
+            );
+            p.push_te(souffle_te::TensorExpr {
+                name: "B".into(),
+                output: out,
+                inputs: vec![a],
+                reduce: vec![],
+                reduce_op: None,
+                // A[(v0 / 2) * 2]: safe, but hi = s - 1 has sym
+                // coefficient 1, not divisible by 2 — the symbolic
+                // interval saturates.
+                body: ScalarExpr::input(0, vec![IndexExpr::var(0).floor_div(2).mul(2)]),
+            });
+            p
+        })
+        .unwrap();
+        let (d, r) = verify_dyn(&dp);
+        assert!(d.is_empty(), "{d}");
+        assert!(!r.fully_parametric());
+        // The spec-level driver then proves every bucket concretely.
+        let spec = DynSpec {
+            table: dp.table().clone(),
+            source: souffle_te::sym::DynSource::Template(dp.clone()),
+            pad_fill: vec![],
+            derived: vec![],
+            per_step: vec![],
+        };
+        let (d2, r2) = verify_dyn_spec(&spec);
+        assert!(!d2.has_errors(), "{d2}");
+        assert_eq!(
+            r2.fallback_bindings,
+            vec![vec![1], vec![2], vec![4], vec![8]]
+        );
+    }
+
+    #[test]
+    fn matmul_template_is_parametric_end_to_end() {
+        let mut table = SymTable::new();
+        let s = table.declare("seq", 1, 64);
+        let dp = DynProgram::infer(table, &move |b| {
+            let mut p = TeProgram::new();
+            let a = p.add_input("A", Shape::new(vec![b.get(s), 8]), DType::F32);
+            let w = p.add_weight("W", Shape::new(vec![8, 8]), DType::F32);
+            let m = builders::matmul(&mut p, "mm", a, w);
+            p.mark_output(m);
+            p
+        })
+        .unwrap();
+        let (d, r) = verify_dyn(&dp);
+        assert!(d.is_empty(), "{d}");
+        assert!(r.fully_parametric());
+    }
+
+    use souffle_te::sym::DynSpec;
+    use souffle_te::ScalarExpr;
+}

@@ -9,10 +9,13 @@
 use souffle::{Souffle, SouffleOptions};
 use souffle_te::{builders, TeProgram};
 use souffle_tensor::{DType, Shape};
-use souffle_testkit::mutate::{drop_grid_sync, inject_program_fault, Fault};
+use souffle_testkit::mutate::{
+    drop_grid_sync, inject_dyn_fault, inject_program_fault, DynFault, Fault,
+};
+use souffle_testkit::oracle::dyn_batch_program;
 use souffle_testkit::teprog::gen_spec;
 use souffle_testkit::{forall, tk_assert, Config};
-use souffle_verify::{verify_kernels, verify_program, Code};
+use souffle_verify::{verify_dyn, verify_kernels, verify_program, Code};
 
 forall!(
     injected_oob_offsets_are_always_detected,
@@ -114,6 +117,75 @@ forall!(
     }
 );
 
+forall!(
+    clean_symbolic_programs_are_accepted_parametrically,
+    Config::with_cases(100),
+    |rng| gen_spec(rng, 10),
+    |spec| {
+        let program = spec.build();
+        let dp = match dyn_batch_program(&program, 4) {
+            Ok(dp) => dp,
+            Err(e) => {
+                tk_assert!(false, "symbolic lift failed on {spec:?}: {e}");
+                unreachable!()
+            }
+        };
+        let (d, _) = verify_dyn(&dp);
+        tk_assert!(
+            !d.has_errors(),
+            "clean symbolic program rejected for {spec:?}:\n{d}"
+        );
+        Ok(())
+    }
+);
+
+forall!(
+    shrunk_symbolic_bounds_are_rejected_as_sv021,
+    Config::with_cases(40),
+    |rng| gen_spec(rng, 10),
+    |spec| {
+        let program = spec.build();
+        let dp = dyn_batch_program(&program, 4).expect("symbolic lift");
+        let Some(mutant) = inject_dyn_fault(&dp, DynFault::ShrinkSymBound) else {
+            return Ok(()); // degenerate table: nothing to shrink
+        };
+        let (d, _) = verify_dyn(&mutant);
+        tk_assert!(
+            d.has_code(DynFault::ShrinkSymBound.expected_code()),
+            "shrunk-bound mutant of {spec:?} escaped:\n{d}"
+        );
+        Ok(())
+    }
+);
+
+forall!(
+    symbolic_offsets_safe_at_min_seq_but_oob_at_max_are_rejected,
+    Config::with_cases(40),
+    |rng| gen_spec(rng, 10),
+    |spec| {
+        let program = spec.build();
+        let dp = dyn_batch_program(&program, 4).expect("symbolic lift");
+        let Some(mutant) = inject_dyn_fault(&dp, DynFault::OobSymbolicOffset) else {
+            return Ok(()); // no symbolic-axis access to corrupt
+        };
+        // This is the case a concrete per-shape check misses: at the
+        // minimum binding the doubled index still fits, so the concrete
+        // verifier accepts the mutant...
+        let at_min = mutant.concretize(&mutant.table().min_binding());
+        tk_assert!(
+            !verify_program(&at_min).has_errors(),
+            "mutant of {spec:?} must be safe at the minimum binding"
+        );
+        // ...but the parametric pass proves it OOB over the declared box.
+        let (d, _) = verify_dyn(&mutant);
+        tk_assert!(
+            d.has_code(DynFault::OobSymbolicOffset.expected_code()),
+            "symbolic OOB mutant of {spec:?} escaped:\n{d}"
+        );
+        Ok(())
+    }
+);
+
 #[test]
 fn every_fault_class_maps_to_a_distinct_code() {
     let codes: Vec<Code> = [
@@ -123,9 +195,16 @@ fn every_fault_class_maps_to_a_distinct_code() {
     ]
     .iter()
     .map(|f| f.expected_code())
+    .chain(DynFault::ALL.iter().map(|f| f.expected_code()))
     .collect();
     assert_eq!(
         codes,
-        vec![Code::OobAccess, Code::UseBeforeDef, Code::MissingGridSync]
+        vec![
+            Code::OobAccess,
+            Code::UseBeforeDef,
+            Code::MissingGridSync,
+            Code::SymSpec,
+            Code::SymOob,
+        ]
     );
 }
